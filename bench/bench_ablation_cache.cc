@@ -1,0 +1,147 @@
+// Ablation of Redoop's two cache tiers (DESIGN.md extension experiment):
+// reduce-input caching and reduce-output caching, toggled independently,
+// for both workloads at overlap 0.9. Quantifies how much of the Fig. 6/7
+// gain each tier contributes:
+//   - none:        Redoop machinery without caching (pane files only);
+//   - input-only:  avoid re-loading/re-shuffling, but re-reduce windows;
+//   - output-only (aggregation): merge per-pane partials;
+//   - both:        the full system.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace redoop::bench {
+namespace {
+
+constexpr double kOverlap = 0.9;
+
+void BM_AblationCache_Aggregation(benchmark::State& state) {
+  const bool input_cache = state.range(0) != 0;
+  const bool output_cache = state.range(1) != 0;
+  ExperimentSpec spec;
+  spec.overlap = kOverlap;
+
+  RecurringQuery query = MakeAggregationQuery(
+      5, "ablate-agg", 1, kWin, SlideForOverlap(kOverlap), kNumReducers);
+
+  RedoopDriverOptions options;
+  options.cache_reduce_input = input_cache;
+  options.cache_reduce_output = output_cache;
+
+  RunReport redoop;
+  RunReport hadoop;
+  for (auto _ : state) {
+    auto hadoop_feed = MakeWccFeed(spec, 1);
+    hadoop = RunHadoop(query, hadoop_feed.get());
+    auto feed = MakeWccFeed(spec, 1);
+    redoop = RunRedoop(query, feed.get(), options);
+  }
+  if (!ResultsMatch(hadoop, redoop)) {
+    state.SkipWithError("ablated Redoop diverged from Hadoop");
+    return;
+  }
+  std::printf("agg  input=%d output=%d: total %10.1f s (hadoop %10.1f s, "
+              "warm speedup %.2fx)\n",
+              input_cache, output_cache, redoop.TotalResponseTime(),
+              hadoop.TotalResponseTime(), WarmSpeedup(hadoop, redoop));
+  state.counters["total_s"] = redoop.TotalResponseTime();
+  state.counters["warm_speedup"] = WarmSpeedup(hadoop, redoop);
+}
+
+BENCHMARK(BM_AblationCache_Aggregation)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AblationCache_Join(benchmark::State& state) {
+  const bool input_cache = state.range(0) != 0;
+  const bool output_cache = state.range(1) != 0;
+  ExperimentSpec spec;
+  spec.overlap = kOverlap;
+  spec.rps = 2.5;
+  spec.record_bytes = 512 * 1024;
+  spec.seed = 2013;
+
+  RecurringQuery query = MakeJoinQuery(6, "ablate-join", 1, 2, kWin,
+                                       SlideForOverlap(kOverlap),
+                                       kNumReducers);
+
+  RedoopDriverOptions options;
+  options.cache_reduce_input = input_cache;
+  options.cache_reduce_output = output_cache;
+
+  RunReport redoop;
+  RunReport hadoop;
+  for (auto _ : state) {
+    auto hadoop_feed = MakeFfgFeed(spec, 1, 2);
+    hadoop = RunHadoop(query, hadoop_feed.get());
+    auto feed = MakeFfgFeed(spec, 1, 2);
+    redoop = RunRedoop(query, feed.get(), options);
+  }
+  if (!ResultsMatch(hadoop, redoop)) {
+    state.SkipWithError("ablated Redoop diverged from Hadoop");
+    return;
+  }
+  std::printf("join input=%d output=%d: total %10.1f s (hadoop %10.1f s, "
+              "warm speedup %.2fx)\n",
+              input_cache, output_cache, redoop.TotalResponseTime(),
+              hadoop.TotalResponseTime(), WarmSpeedup(hadoop, redoop));
+  state.counters["total_s"] = redoop.TotalResponseTime();
+  state.counters["warm_speedup"] = WarmSpeedup(hadoop, redoop);
+}
+
+BENCHMARK(BM_AblationCache_Join)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AblationCombiner_Aggregation(benchmark::State& state) {
+  // A stronger baseline: both systems with a map-side combiner (the
+  // aggregate is a semigroup, so results are unchanged while the shuffle
+  // collapses). Does Redoop's advantage survive when the baseline already
+  // eliminates most of the shuffle volume?
+  const bool combiner = state.range(0) != 0;
+  ExperimentSpec spec;
+  spec.overlap = kOverlap;
+
+  RecurringQuery query =
+      MakeAggregationQuery(12, "combine-agg", 1, kWin,
+                           SlideForOverlap(kOverlap), kNumReducers, combiner);
+
+  RunReport hadoop;
+  RunReport redoop;
+  for (auto _ : state) {
+    auto hadoop_feed = MakeWccFeed(spec, 1);
+    hadoop = RunHadoop(query, hadoop_feed.get());
+    auto redoop_feed = MakeWccFeed(spec, 1);
+    redoop = RunRedoop(query, redoop_feed.get());
+  }
+  if (!ResultsMatch(hadoop, redoop)) {
+    state.SkipWithError("results diverged");
+    return;
+  }
+  std::printf("agg combiner=%d: hadoop %10.1f s  redoop %10.1f s  "
+              "warm speedup %5.2fx\n",
+              combiner, hadoop.TotalResponseTime(),
+              redoop.TotalResponseTime(), WarmSpeedup(hadoop, redoop));
+  state.counters["hadoop_total_s"] = hadoop.TotalResponseTime();
+  state.counters["redoop_total_s"] = redoop.TotalResponseTime();
+  state.counters["warm_speedup"] = WarmSpeedup(hadoop, redoop);
+}
+
+BENCHMARK(BM_AblationCombiner_Aggregation)
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace redoop::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Ablation of the window-aware task scheduler (paper §4.3, Eq. 4):
+// Redoop with the cache-aware scheduler vs Redoop scheduling reduces with
+// Hadoop's default (cache-blind) policy, on the join workload where cached
+// reducer inputs are large and placement matters. Also sweeps the Eq. 4
+// load weight, showing the locality/balance trade-off.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace redoop::bench {
+namespace {
+
+constexpr double kOverlap = 0.9;
+
+ExperimentSpec JoinSpec() {
+  ExperimentSpec spec;
+  spec.overlap = kOverlap;
+  spec.rps = 2.5;
+  spec.record_bytes = 512 * 1024;
+  spec.seed = 2013;
+  return spec;
+}
+
+void BM_AblationScheduler_Join(benchmark::State& state) {
+  const bool cache_aware = state.range(0) != 0;
+  const ExperimentSpec spec = JoinSpec();
+  RecurringQuery query = MakeJoinQuery(8, "sched-join", 1, 2, kWin,
+                                       SlideForOverlap(kOverlap),
+                                       kNumReducers);
+  RedoopDriverOptions options;
+  options.use_cache_aware_scheduler = cache_aware;
+
+  RunReport redoop;
+  for (auto _ : state) {
+    auto feed = MakeFfgFeed(spec, 1, 2);
+    redoop = RunRedoop(query, feed.get(), options);
+  }
+  std::printf("join scheduler=%-12s total %10.1f s  (remote cache reads: "
+              "%.1f GB, local: %.1f GB)\n",
+              cache_aware ? "window-aware" : "default",
+              redoop.TotalResponseTime(),
+              SumCounter(redoop, counter::kCacheReadRemoteBytes) / 1e9,
+              SumCounter(redoop, counter::kCacheReadLocalBytes) / 1e9);
+  state.counters["total_s"] = redoop.TotalResponseTime();
+}
+
+BENCHMARK(BM_AblationScheduler_Join)
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SchedulerLoadWeight_Join(benchmark::State& state) {
+  const double load_weight = static_cast<double>(state.range(0));
+  const ExperimentSpec spec = JoinSpec();
+  RecurringQuery query = MakeJoinQuery(9, "weight-join", 1, 2, kWin,
+                                       SlideForOverlap(kOverlap),
+                                       kNumReducers);
+  RedoopDriverOptions options;
+  options.scheduler_load_weight_s = load_weight;
+
+  RunReport redoop;
+  for (auto _ : state) {
+    auto feed = MakeFfgFeed(spec, 1, 2);
+    redoop = RunRedoop(query, feed.get(), options);
+  }
+  std::printf("join load_weight=%-6.0f total %10.1f s\n", load_weight,
+              redoop.TotalResponseTime());
+  state.counters["total_s"] = redoop.TotalResponseTime();
+}
+
+BENCHMARK(BM_SchedulerLoadWeight_Join)
+    ->Arg(0)
+    ->Arg(30)
+    ->Arg(300)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace redoop::bench
+
+BENCHMARK_MAIN();

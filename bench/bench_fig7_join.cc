@@ -1,0 +1,66 @@
+// Reproduces paper Figure 7: recurring binary join query over the
+// (synthetic) football-field sensor dataset, Hadoop vs Redoop, 10 windows
+// at overlap = 0.9 / 0.5 / 0.1.
+//   Panels (a), (c), (e): per-window response time   -> printed series.
+//   Panels (b), (d), (f): shuffle vs reduce time sums -> printed breakdown.
+// Expected shape: Redoop wins on warm windows, biggest at overlap 0.9
+// (paper: close to an order of magnitude); the join's time distribution is
+// reduce-dominated (unlike the aggregation's).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace redoop::bench {
+namespace {
+
+void BM_Fig7_Join(benchmark::State& state) {
+  const double overlap = static_cast<double>(state.range(0)) / 100.0;
+  ExperimentSpec spec;
+  spec.overlap = overlap;
+  spec.rps = 2.5;
+  spec.record_bytes = 512 * 1024;
+  spec.seed = 2013;
+
+  RecurringQuery query =
+      MakeJoinQuery(2, "fig7-join", /*left=*/1, /*right=*/2, kWin,
+                    SlideForOverlap(overlap), kNumReducers);
+
+  RunReport hadoop;
+  RunReport redoop;
+  for (auto _ : state) {
+    auto hadoop_feed = MakeFfgFeed(spec, 1, 2);
+    hadoop = RunHadoop(query, hadoop_feed.get());
+    auto redoop_feed = MakeFfgFeed(spec, 1, 2);
+    redoop = RunRedoop(query, redoop_feed.get());
+  }
+  if (!ResultsMatch(hadoop, redoop)) {
+    state.SkipWithError("Redoop and Hadoop results diverged");
+    return;
+  }
+
+  const std::string title =
+      "Fig 7, join (Q2), overlap = " + std::to_string(overlap);
+  PrintSeries(title, {&hadoop, &redoop});
+  PrintPhaseBreakdown(title, {&hadoop, &redoop});
+
+  state.counters["hadoop_total_s"] = hadoop.TotalResponseTime();
+  state.counters["redoop_total_s"] = redoop.TotalResponseTime();
+  state.counters["warm_speedup"] = WarmSpeedup(hadoop, redoop);
+  state.counters["hadoop_shuffle_s"] = hadoop.TotalShuffleTime();
+  state.counters["redoop_shuffle_s"] = redoop.TotalShuffleTime();
+  state.counters["hadoop_reduce_s"] = hadoop.TotalReduceTime();
+  state.counters["redoop_reduce_s"] = redoop.TotalReduceTime();
+}
+
+BENCHMARK(BM_Fig7_Join)
+    ->Arg(90)
+    ->Arg(50)
+    ->Arg(10)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace redoop::bench
+
+BENCHMARK_MAIN();

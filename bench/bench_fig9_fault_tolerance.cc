@@ -1,0 +1,147 @@
+// Reproduces paper Figure 9: fault tolerance under cache/task failures.
+// Aggregation query on the (synthetic) FFG dataset, overlap = 0.5.
+// Four series: Hadoop, Hadoop(f), Redoop, Redoop(f). Hadoop(f) loses one
+// (rotating) worker node mid-window (task re-execution); Redoop(f) has a
+// rotating node's cache files removed at the start of every window — the
+// paper's injection — exercising ready-bit rollback and cache
+// re-construction (paper §5).
+// Expected shape: Redoop(f) is slower than failure-free Redoop but still
+// far ahead of plain Hadoop, because caching is pane-grained — only the
+// failed node's panes must be rebuilt. Hadoop(f) is worst.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/string_utils.h"
+
+namespace redoop::bench {
+namespace {
+
+constexpr double kOverlap = 0.5;
+
+RecurringQuery Fig9Query() {
+  return MakeAggregationQuery(4, "fig9-agg", /*source=*/1, kWin,
+                              SlideForOverlap(kOverlap), kNumReducers);
+}
+
+ExperimentSpec Fig9Spec() {
+  ExperimentSpec spec;
+  spec.overlap = kOverlap;
+  spec.rps = 4.0;
+  spec.seed = 2013;
+  return spec;
+}
+
+enum class Injection { kNone, kNodeFailure, kCacheRemoval };
+
+/// Runs either driver with per-window failure injection from the second
+/// window on. kNodeFailure kills a rotating node 30 s into the window
+/// (Hadoop(f): task re-execution); kCacheRemoval wipes a rotating node's
+/// cache files at the start of the window while the node stays up
+/// (Redoop(f): the paper's "cache removals at the beginning of each
+/// window").
+template <typename Driver>
+RunReport RunWithFailures(Cluster* cluster, Driver* driver,
+                          const std::string& label, Injection injection) {
+  RunReport report;
+  report.system = label;
+  for (int64_t i = 0; i < kNumWindows; ++i) {
+    const NodeId victim = static_cast<NodeId>(1 + i % (kClusterNodes - 1));
+    if (injection == Injection::kNodeFailure && i >= 1) {
+      // The node dies mid-window, while maps have completed and reduces
+      // are consuming their outputs — the expensive Hadoop failure case
+      // (completed map output on the dead node must be re-generated).
+      const SimTime trigger =
+          static_cast<SimTime>(driver->geometry().TriggerTime(i));
+      const SimTime when =
+          std::max(cluster->simulator().Now(), trigger) + 400.0;
+      cluster->simulator().ScheduleAt(
+          when, [cluster, victim] { cluster->FailNode(victim); });
+    } else if (injection == Injection::kCacheRemoval && i >= 1) {
+      // Remove the victim node's caches belonging to the oldest in-window
+      // pane: pane-grained loss, as in the paper — the rest of the window
+      // stays cached.
+      const PaneId target =
+          driver->geometry().PanesForRecurrence(i).first;
+      const std::string marker = redoop::StringPrintf("P%ld_R", target);
+      for (const std::string& file : cluster->node(victim).LocalFileNames()) {
+        if (file.find(marker) != std::string::npos) {
+          cluster->InjectCacheLoss(victim, file);
+        }
+      }
+    }
+    report.windows.push_back(driver->RunRecurrence(i));
+    if (injection == Injection::kNodeFailure && i >= 1) {
+      cluster->RecoverNode(victim);
+      cluster->dfs().ReplicateMissing();
+    }
+  }
+  return report;
+}
+
+void BM_Fig9_FaultTolerance(benchmark::State& state) {
+  const ExperimentSpec spec = Fig9Spec();
+  const RecurringQuery query = Fig9Query();
+
+  RunReport hadoop, hadoop_f, redoop, redoop_f;
+  for (auto _ : state) {
+    {
+      Cluster cluster(kClusterNodes, Config());
+      auto feed = MakeFfgFeed(spec, 1, 2);
+      HadoopRecurringDriver driver(&cluster, feed.get(), query);
+      hadoop = RunWithFailures(&cluster, &driver, "hadoop", Injection::kNone);
+    }
+    {
+      Cluster cluster(kClusterNodes, Config());
+      auto feed = MakeFfgFeed(spec, 1, 2);
+      HadoopRecurringDriver driver(&cluster, feed.get(), query);
+      hadoop_f = RunWithFailures(&cluster, &driver, "hadoop(f)", Injection::kNodeFailure);
+    }
+    {
+      Cluster cluster(kClusterNodes, Config());
+      auto feed = MakeFfgFeed(spec, 1, 2);
+      RedoopDriver driver(&cluster, feed.get(), query);
+      redoop = RunWithFailures(&cluster, &driver, "redoop", Injection::kNone);
+    }
+    {
+      Cluster cluster(kClusterNodes, Config());
+      auto feed = MakeFfgFeed(spec, 1, 2);
+      RedoopDriver driver(&cluster, feed.get(), query);
+      redoop_f = RunWithFailures(&cluster, &driver, "redoop(f)", Injection::kCacheRemoval);
+    }
+  }
+  if (!ResultsMatch(hadoop, hadoop_f) || !ResultsMatch(hadoop, redoop) ||
+      !ResultsMatch(hadoop, redoop_f)) {
+    state.SkipWithError("results diverged under failures");
+    return;
+  }
+
+  PrintSeries("Fig 9, fault tolerance (aggregation, overlap = 0.5)",
+              {&hadoop, &hadoop_f, &redoop, &redoop_f});
+
+  // Cumulative running time, the paper's Fig. 9 y-axis.
+  std::printf("\n--- cumulative running time (s) ---\n");
+  std::printf("%-8s %14s %14s %14s %14s\n", "window", "hadoop", "hadoop(f)",
+              "redoop", "redoop(f)");
+  double ch = 0, chf = 0, cr = 0, crf = 0;
+  for (int64_t w = 0; w < kNumWindows; ++w) {
+    ch += hadoop.windows[static_cast<size_t>(w)].response_time;
+    chf += hadoop_f.windows[static_cast<size_t>(w)].response_time;
+    cr += redoop.windows[static_cast<size_t>(w)].response_time;
+    crf += redoop_f.windows[static_cast<size_t>(w)].response_time;
+    std::printf("%-8ld %14.1f %14.1f %14.1f %14.1f\n", w + 1, ch, chf, cr,
+                crf);
+  }
+
+  state.counters["hadoop_total_s"] = hadoop.TotalResponseTime();
+  state.counters["hadoop_f_total_s"] = hadoop_f.TotalResponseTime();
+  state.counters["redoop_total_s"] = redoop.TotalResponseTime();
+  state.counters["redoop_f_total_s"] = redoop_f.TotalResponseTime();
+}
+
+BENCHMARK(BM_Fig9_FaultTolerance)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace redoop::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Ad-hoc queries over the cached history (paper §2.1: "even ad-hoc
+// queries can benefit from the caching of the intermediate data"): after
+// the recurring aggregation has been running for a while, an analyst asks
+// one-off questions about arbitrary past ranges. Pane-aligned ranges are
+// answered straight from the cached per-pane partial outputs — no
+// re-reading or re-shuffling of the raw data; misaligned edges fall back
+// to clipped re-maps of just the edge panes.
+
+#include <cstdio>
+
+#include "core/redoop_driver.h"
+#include "queries/aggregation_query.h"
+#include "workload/wcc_generator.h"
+
+using namespace redoop;
+
+int main() {
+  RecurringQuery query = MakeAggregationQuery(
+      /*id=*/1, "history", /*source=*/1, /*win=*/18000, /*slide=*/1800, 8);
+
+  Cluster cluster(16, Config());
+  auto feed = std::make_unique<SyntheticFeed>(/*batch_interval=*/600);
+  WccGeneratorOptions options;
+  options.record_logical_bytes = 2 * kBytesPerMB;
+  feed->AddSource(1, std::make_shared<WccGenerator>(
+                         std::make_shared<ConstantRate>(6.0), options));
+
+  RedoopDriver driver(&cluster, feed.get(), query);
+  for (int64_t i = 0; i < 3; ++i) driver.RunRecurrence(i);
+  std::printf("3 recurrences done; panes cached up to t = %ld s\n\n",
+              driver.geometry().WindowEnd(2));
+
+  struct Probe {
+    const char* label;
+    Timestamp begin;
+    Timestamp end;
+  };
+  const Probe probes[] = {
+      {"pane-aligned hour (cache only)", 7200, 10800},
+      {"misaligned 90 min (cache + edge re-map)", 8000, 13400},
+      {"one minute sliver", 9000, 9060},
+  };
+
+  for (const Probe& probe : probes) {
+    const SimTime before = cluster.simulator().Now();
+    auto result = driver.RunAdHocQuery(probe.begin, probe.end);
+    if (!result.ok()) {
+      std::printf("%-42s -> %s\n", probe.label,
+                  result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-42s -> %5zu rows in %6.1f simulated seconds\n",
+                probe.label, result->size(),
+                cluster.simulator().Now() - before);
+  }
+
+  auto too_old = driver.RunAdHocQuery(0, 1800);
+  std::printf("\nrange before the retained horizon -> %s\n",
+              too_old.status().ToString().c_str());
+  return 0;
+}

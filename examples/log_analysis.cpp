@@ -1,0 +1,79 @@
+// Log processing (paper Example 1): a data center collects click/request
+// logs continuously; a recurring query aggregates the recent past per
+// client to detect emerging patterns. This example runs the recurring
+// aggregation at three overlap settings and prints how Redoop's advantage
+// grows with the overlap between consecutive windows.
+
+#include <cstdio>
+
+#include "baseline/hadoop_driver.h"
+#include "core/redoop_driver.h"
+#include "queries/aggregation_query.h"
+#include "workload/wcc_generator.h"
+
+using namespace redoop;
+
+namespace {
+
+struct OverlapSetting {
+  const char* label;
+  Timestamp win;
+  Timestamp slide;
+};
+
+std::unique_ptr<SyntheticFeed> MakeFeed() {
+  auto feed = std::make_unique<SyntheticFeed>(/*batch_interval=*/600);
+  WccGeneratorOptions options;
+  options.record_logical_bytes = 2 * kBytesPerMB;
+  options.num_clients = 2000;
+  feed->AddSource(1, std::make_shared<WccGenerator>(
+                         std::make_shared<ConstantRate>(6.0), options));
+  return feed;
+}
+
+}  // namespace
+
+int main() {
+  // overlap = (win - slide) / win.
+  const OverlapSetting kSettings[] = {
+      {"0.9", 18000, 1800},
+      {"0.5", 18000, 9000},
+      {"0.1", 18000, 16200},
+  };
+  const int64_t kWindows = 5;
+
+  std::printf("Recurring log aggregation, %ld windows each (warm windows only):\n\n",
+              kWindows - 1);
+  std::printf("%-8s %16s %16s %9s\n", "overlap", "hadoop total(s)",
+              "redoop total(s)", "speedup");
+
+  for (const OverlapSetting& setting : kSettings) {
+    RecurringQuery query = MakeAggregationQuery(
+        1, "log-agg", 1, setting.win, setting.slide, /*num_reducers=*/8);
+
+    Cluster hadoop_cluster(16, Config());
+    auto hadoop_feed = MakeFeed();
+    HadoopRecurringDriver hadoop(&hadoop_cluster, hadoop_feed.get(), query);
+
+    Cluster redoop_cluster(16, Config());
+    auto redoop_feed = MakeFeed();
+    RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query);
+
+    double hadoop_total = 0.0;
+    double redoop_total = 0.0;
+    for (int64_t i = 0; i < kWindows; ++i) {
+      WindowReport h = hadoop.RunRecurrence(i);
+      WindowReport r = redoop.RunRecurrence(i);
+      if (i >= 1) {  // Cold window is similar by design; compare warm ones.
+        hadoop_total += h.response_time;
+        redoop_total += r.response_time;
+      }
+    }
+    std::printf("%-8s %16.1f %16.1f %8.1fx\n", setting.label, hadoop_total,
+                redoop_total, hadoop_total / redoop_total);
+  }
+
+  std::printf("\nThe higher the overlap, the more of each window Redoop serves "
+              "from its pane caches.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "cluster/cluster.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace redoop {
+
+Cluster::Cluster(int32_t num_nodes, const Config& config)
+    : cost_model_(CostModelOptions::FromConfig(config)),
+      dfs_(std::make_unique<Dfs>(num_nodes, DfsOptions::FromConfig(config))),
+      heartbeat_bus_(config.GetDouble("cluster.heartbeat_s", 3.0)) {
+  REDOOP_CHECK(num_nodes > 0);
+  const NodeOptions node_options = NodeOptions::FromConfig(config);
+  nodes_.reserve(static_cast<size_t>(num_nodes));
+  for (int32_t i = 0; i < num_nodes; ++i) {
+    nodes_.emplace_back(static_cast<NodeId>(i), node_options);
+  }
+}
+
+TaskNode& Cluster::node(NodeId id) {
+  REDOOP_CHECK(id >= 0 && id < num_nodes()) << "bad node id " << id;
+  return nodes_[static_cast<size_t>(id)];
+}
+
+const TaskNode& Cluster::node(NodeId id) const {
+  REDOOP_CHECK(id >= 0 && id < num_nodes()) << "bad node id " << id;
+  return nodes_[static_cast<size_t>(id)];
+}
+
+std::vector<NodeId> Cluster::AliveNodes() const {
+  std::vector<NodeId> alive;
+  for (const TaskNode& n : nodes_) {
+    if (n.alive()) alive.push_back(n.id());
+  }
+  return alive;
+}
+
+int32_t Cluster::alive_node_count() const {
+  int32_t count = 0;
+  for (const TaskNode& n : nodes_) count += n.alive() ? 1 : 0;
+  return count;
+}
+
+int32_t Cluster::TotalFreeMapSlots() const {
+  int32_t total = 0;
+  for (const TaskNode& n : nodes_) {
+    if (n.alive()) total += n.free_map_slots();
+  }
+  return total;
+}
+
+int32_t Cluster::TotalFreeReduceSlots() const {
+  int32_t total = 0;
+  for (const TaskNode& n : nodes_) {
+    if (n.alive()) total += n.free_reduce_slots();
+  }
+  return total;
+}
+
+void Cluster::FailNode(NodeId id) {
+  TaskNode& n = node(id);
+  if (!n.alive()) return;
+  const std::vector<std::string> lost = n.Fail();
+  dfs_->OnNodeFailed(id);
+  heartbeat_bus_.DropFrom(id);
+  for (const NodeFailureListener& listener : failure_listeners_) {
+    listener(id, lost);
+  }
+  for (const CacheLossListener& listener : cache_loss_listeners_) {
+    listener(id, lost);
+  }
+}
+
+void Cluster::RecoverNode(NodeId id) {
+  TaskNode& n = node(id);
+  if (n.alive()) return;
+  n.Recover();
+  dfs_->OnNodeRecovered(id);
+}
+
+void Cluster::AddFailureListener(NodeFailureListener listener) {
+  failure_listeners_.push_back(std::move(listener));
+}
+
+void Cluster::AddCacheLossListener(CacheLossListener listener) {
+  cache_loss_listeners_.push_back(std::move(listener));
+}
+
+void Cluster::InjectCacheLoss(NodeId id, const std::string& local_file) {
+  TaskNode& n = node(id);
+  if (!n.alive()) return;
+  if (n.DeleteLocalFile(local_file) == 0) return;
+  const std::vector<std::string> lost = {local_file};
+  for (const CacheLossListener& listener : cache_loss_listeners_) {
+    listener(id, lost);
+  }
+}
+
+}  // namespace redoop

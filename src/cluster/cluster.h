@@ -1,0 +1,86 @@
+#ifndef REDOOP_CLUSTER_CLUSTER_H_
+#define REDOOP_CLUSTER_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/heartbeat.h"
+#include "cluster/node.h"
+#include "common/config.h"
+#include "common/ids.h"
+#include "dfs/dfs.h"
+#include "sim/cost_model.h"
+#include "sim/simulator.h"
+
+namespace redoop {
+
+/// Observer invoked when a node dies; `lost_local_files` are the cache
+/// files that vanished with it (for metadata rollback, paper §5).
+using NodeFailureListener =
+    std::function<void(NodeId node, const std::vector<std::string>& lost_local_files)>;
+
+/// Observer invoked when local cache files are lost — either because their
+/// node died or because a targeted cache loss was injected while the node
+/// stayed up (Fig. 9 experiment).
+using CacheLossListener =
+    std::function<void(NodeId node, const std::vector<std::string>& lost_local_files)>;
+
+/// The simulated shared-nothing cluster: one master plus N task nodes, the
+/// DFS spread over the same nodes, a virtual clock, and the cost model.
+/// This is the substrate every driver (plain Hadoop and Redoop) runs on.
+class Cluster {
+ public:
+  Cluster(int32_t num_nodes, const Config& config = Config());
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int32_t num_nodes() const { return static_cast<int32_t>(nodes_.size()); }
+
+  Simulator& simulator() { return simulator_; }
+  const Simulator& simulator() const { return simulator_; }
+  Dfs& dfs() { return *dfs_; }
+  const Dfs& dfs() const { return *dfs_; }
+  const CostModel& cost_model() const { return cost_model_; }
+  HeartbeatBus& heartbeat_bus() { return heartbeat_bus_; }
+
+  TaskNode& node(NodeId id);
+  const TaskNode& node(NodeId id) const;
+
+  std::vector<NodeId> AliveNodes() const;
+  int32_t alive_node_count() const;
+
+  /// Total free map/reduce slots across live nodes.
+  int32_t TotalFreeMapSlots() const;
+  int32_t TotalFreeReduceSlots() const;
+
+  /// Kills a node: drops its local cache files, removes its DFS replicas,
+  /// drops its in-flight heartbeats, and notifies failure listeners.
+  void FailNode(NodeId id);
+
+  /// Restarts a failed node with empty local state.
+  void RecoverNode(NodeId id);
+
+  void AddFailureListener(NodeFailureListener listener);
+  void AddCacheLossListener(CacheLossListener listener);
+
+  /// Deletes a single local cache file from a node (targeted cache-failure
+  /// injection, used by the Fig. 9 experiment) and notifies listeners with
+  /// just that file.
+  void InjectCacheLoss(NodeId id, const std::string& local_file);
+
+ private:
+  Simulator simulator_;
+  CostModel cost_model_;
+  std::unique_ptr<Dfs> dfs_;
+  std::vector<TaskNode> nodes_;
+  HeartbeatBus heartbeat_bus_;
+  std::vector<NodeFailureListener> failure_listeners_;
+  std::vector<CacheLossListener> cache_loss_listeners_;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_CLUSTER_CLUSTER_H_

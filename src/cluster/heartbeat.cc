@@ -1,0 +1,37 @@
+#include "cluster/heartbeat.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace redoop {
+
+HeartbeatBus::HeartbeatBus(SimDuration interval) : interval_(interval) {
+  REDOOP_CHECK(interval >= 0.0);
+}
+
+void HeartbeatBus::Send(NodeId from, SimTime now, std::string kind,
+                        std::string payload) {
+  queue_.push_back(
+      HeartbeatMessage{from, now, std::move(kind), std::move(payload)});
+}
+
+std::vector<HeartbeatMessage> HeartbeatBus::DeliverUpTo(SimTime now) {
+  std::vector<HeartbeatMessage> delivered;
+  while (!queue_.empty() && queue_.front().sent_at + interval_ <= now) {
+    delivered.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return delivered;
+}
+
+void HeartbeatBus::DropFrom(NodeId node) {
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [node](const HeartbeatMessage& m) {
+                                return m.from == node;
+                              }),
+               queue_.end());
+}
+
+}  // namespace redoop

@@ -1,0 +1,53 @@
+#ifndef REDOOP_CLUSTER_HEARTBEAT_H_
+#define REDOOP_CLUSTER_HEARTBEAT_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+
+namespace redoop {
+
+/// A metadata message piggybacked on a TaskTracker heartbeat (paper §2.3:
+/// local cache registries ship their deltas to the master with heartbeats).
+struct HeartbeatMessage {
+  NodeId from = kInvalidNode;
+  SimTime sent_at = 0.0;
+  /// Message kind, e.g. "cache-add", "cache-expire", "status".
+  std::string kind;
+  /// Free-form payload (cache name, pane id, ...).
+  std::string payload;
+};
+
+/// Buffered node → master channel with heartbeat-interval delivery latency:
+/// a message sent at time t becomes visible to the master at t + interval.
+/// Deterministic and pull-based: callers pump DeliverUpTo() as simulated
+/// time advances.
+class HeartbeatBus {
+ public:
+  explicit HeartbeatBus(SimDuration interval = 3.0);
+
+  SimDuration interval() const { return interval_; }
+
+  /// Enqueues a message stamped `sent_at = now`.
+  void Send(NodeId from, SimTime now, std::string kind, std::string payload);
+
+  /// Pops every message deliverable at or before `now`, in send order.
+  std::vector<HeartbeatMessage> DeliverUpTo(SimTime now);
+
+  /// Messages still in flight.
+  size_t pending() const { return queue_.size(); }
+
+  /// Drops in-flight messages from a node (it died before the heartbeat).
+  void DropFrom(NodeId node);
+
+ private:
+  SimDuration interval_;
+  std::deque<HeartbeatMessage> queue_;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_CLUSTER_HEARTBEAT_H_

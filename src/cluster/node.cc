@@ -1,0 +1,114 @@
+#include "cluster/node.h"
+
+#include "common/logging.h"
+
+namespace redoop {
+
+NodeOptions NodeOptions::FromConfig(const Config& config) {
+  NodeOptions o;
+  o.map_slots =
+      static_cast<int32_t>(config.GetInt("node.map_slots", o.map_slots));
+  o.reduce_slots =
+      static_cast<int32_t>(config.GetInt("node.reduce_slots", o.reduce_slots));
+  o.local_capacity_bytes =
+      config.GetInt("node.local_capacity", o.local_capacity_bytes);
+  return o;
+}
+
+TaskNode::TaskNode(NodeId id, NodeOptions options)
+    : id_(id), options_(options) {
+  REDOOP_CHECK(options_.map_slots > 0);
+  REDOOP_CHECK(options_.reduce_slots > 0);
+  REDOOP_CHECK(options_.local_capacity_bytes > 0);
+}
+
+bool TaskNode::AcquireMapSlot() {
+  if (!alive_ || map_slots_used_ >= options_.map_slots) return false;
+  ++map_slots_used_;
+  return true;
+}
+
+bool TaskNode::AcquireReduceSlot() {
+  if (!alive_ || reduce_slots_used_ >= options_.reduce_slots) return false;
+  ++reduce_slots_used_;
+  return true;
+}
+
+void TaskNode::ReleaseMapSlot() {
+  REDOOP_CHECK(map_slots_used_ > 0);
+  --map_slots_used_;
+}
+
+void TaskNode::ReleaseReduceSlot() {
+  REDOOP_CHECK(reduce_slots_used_ > 0);
+  --reduce_slots_used_;
+}
+
+double TaskNode::Load() const {
+  const double total =
+      static_cast<double>(options_.map_slots + options_.reduce_slots);
+  return static_cast<double>(map_slots_used_ + reduce_slots_used_) / total;
+}
+
+bool TaskNode::HasLocalFile(std::string_view name) const {
+  return local_files_.count(std::string(name)) > 0;
+}
+
+int64_t TaskNode::LocalFileBytes(std::string_view name) const {
+  auto it = local_files_.find(std::string(name));
+  return it == local_files_.end() ? 0 : it->second;
+}
+
+bool TaskNode::PutLocalFile(std::string_view name, int64_t bytes) {
+  REDOOP_CHECK(bytes >= 0);
+  if (!alive_) return false;
+  auto it = local_files_.find(std::string(name));
+  const int64_t existing = it == local_files_.end() ? 0 : it->second;
+  if (local_bytes_used_ - existing + bytes > options_.local_capacity_bytes) {
+    return false;
+  }
+  local_bytes_used_ += bytes - existing;
+  local_files_[std::string(name)] = bytes;
+  return true;
+}
+
+int64_t TaskNode::DeleteLocalFile(std::string_view name) {
+  auto it = local_files_.find(std::string(name));
+  if (it == local_files_.end()) return 0;
+  const int64_t freed = it->second;
+  local_bytes_used_ -= freed;
+  local_files_.erase(it);
+  return freed;
+}
+
+std::vector<std::string> TaskNode::LocalFileNames() const {
+  std::vector<std::string> names;
+  names.reserve(local_files_.size());
+  for (const auto& [name, bytes] : local_files_) {
+    (void)bytes;
+    names.push_back(name);
+  }
+  return names;
+}
+
+double TaskNode::LocalDiskUtilization() const {
+  return static_cast<double>(local_bytes_used_) /
+         static_cast<double>(options_.local_capacity_bytes);
+}
+
+std::vector<std::string> TaskNode::Fail() {
+  std::vector<std::string> lost = LocalFileNames();
+  local_files_.clear();
+  local_bytes_used_ = 0;
+  map_slots_used_ = 0;
+  reduce_slots_used_ = 0;
+  alive_ = false;
+  return lost;
+}
+
+void TaskNode::Recover() {
+  REDOOP_CHECK(local_files_.empty());
+  alive_ = true;
+}
+
+}  // namespace redoop

@@ -1,0 +1,98 @@
+#ifndef REDOOP_CLUSTER_NODE_H_
+#define REDOOP_CLUSTER_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/config.h"
+#include "common/ids.h"
+#include "common/sim_time.h"
+
+namespace redoop {
+
+struct NodeOptions {
+  /// Per-node task slots (paper setup: 6 map, 2 reduce).
+  int32_t map_slots = 6;
+  int32_t reduce_slots = 2;
+  /// Local-filesystem budget for caches (76 GB disks in the paper).
+  int64_t local_capacity_bytes = 76 * kBytesPerGB;
+
+  /// Keys: node.map_slots, node.reduce_slots, node.local_capacity.
+  static NodeOptions FromConfig(const Config& config);
+};
+
+/// A TaskTracker node: task slots plus the node-local file system where
+/// Redoop stores its reduce input/output caches. Slot accounting is driven
+/// by the job runner; local files by the cache layer.
+class TaskNode {
+ public:
+  TaskNode(NodeId id, NodeOptions options);
+
+  NodeId id() const { return id_; }
+  bool alive() const { return alive_; }
+
+  // --- Task slots -----------------------------------------------------
+
+  int32_t map_slots_total() const { return options_.map_slots; }
+  int32_t reduce_slots_total() const { return options_.reduce_slots; }
+  int32_t map_slots_used() const { return map_slots_used_; }
+  int32_t reduce_slots_used() const { return reduce_slots_used_; }
+  int32_t free_map_slots() const { return options_.map_slots - map_slots_used_; }
+  int32_t free_reduce_slots() const {
+    return options_.reduce_slots - reduce_slots_used_;
+  }
+
+  /// Returns false when no slot is free (or the node is dead).
+  bool AcquireMapSlot();
+  bool AcquireReduceSlot();
+  void ReleaseMapSlot();
+  void ReleaseReduceSlot();
+
+  /// Busy fraction across all slots in [0, 1]; the Load_i term of the
+  /// paper's Eq. 4 scheduling metric.
+  double Load() const;
+
+  // --- Local file system (caches) --------------------------------------
+
+  bool HasLocalFile(std::string_view name) const;
+  int64_t LocalFileBytes(std::string_view name) const;
+
+  /// Stores/overwrites a local file. Returns false when the write would
+  /// exceed the capacity budget (caller should trigger on-demand purging).
+  bool PutLocalFile(std::string_view name, int64_t bytes);
+
+  /// Removes a local file; no-op when absent. Returns the freed bytes.
+  int64_t DeleteLocalFile(std::string_view name);
+
+  std::vector<std::string> LocalFileNames() const;
+  int64_t local_bytes_used() const { return local_bytes_used_; }
+  int64_t local_capacity_bytes() const { return options_.local_capacity_bytes; }
+
+  /// Fraction of the local disk budget in use, in [0, 1].
+  double LocalDiskUtilization() const;
+
+  // --- Failure --------------------------------------------------------
+
+  /// Kills the node: slots drain, all local files are lost. Returns the
+  /// names of the lost local files (so cache metadata can roll back).
+  std::vector<std::string> Fail();
+
+  /// Restarts the node with empty local storage and free slots.
+  void Recover();
+
+ private:
+  NodeId id_;
+  NodeOptions options_;
+  bool alive_ = true;
+  int32_t map_slots_used_ = 0;
+  int32_t reduce_slots_used_ = 0;
+  std::map<std::string, int64_t> local_files_;
+  int64_t local_bytes_used_ = 0;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_CLUSTER_NODE_H_

@@ -1,0 +1,65 @@
+#include "common/config.h"
+
+#include <cstdlib>
+
+#include "common/string_utils.h"
+
+namespace redoop {
+
+void Config::Set(std::string_view key, std::string_view value) {
+  values_[std::string(key)] = std::string(value);
+}
+
+void Config::SetInt(std::string_view key, int64_t value) {
+  Set(key, StringPrintf("%ld", value));
+}
+
+void Config::SetDouble(std::string_view key, double value) {
+  Set(key, StringPrintf("%.17g", value));
+}
+
+void Config::SetBool(std::string_view key, bool value) {
+  Set(key, value ? "true" : "false");
+}
+
+bool Config::Has(std::string_view key) const {
+  return values_.find(std::string(key)) != values_.end();
+}
+
+std::string Config::Get(std::string_view key, std::string_view def) const {
+  auto it = values_.find(std::string(key));
+  if (it == values_.end()) return std::string(def);
+  return it->second;
+}
+
+int64_t Config::GetInt(std::string_view key, int64_t def) const {
+  auto it = values_.find(std::string(key));
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') return def;
+  return static_cast<int64_t>(v);
+}
+
+double Config::GetDouble(std::string_view key, double def) const {
+  auto it = values_.find(std::string(key));
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') return def;
+  return v;
+}
+
+bool Config::GetBool(std::string_view key, bool def) const {
+  auto it = values_.find(std::string(key));
+  if (it == values_.end()) return def;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  return def;
+}
+
+void Config::Merge(const Config& other) {
+  for (const auto& [k, v] : other.values()) values_[k] = v;
+}
+
+}  // namespace redoop

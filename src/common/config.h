@@ -1,0 +1,45 @@
+#ifndef REDOOP_COMMON_CONFIG_H_
+#define REDOOP_COMMON_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace redoop {
+
+/// Hadoop-style string key/value configuration with typed accessors and
+/// defaults. Components read their knobs from a Config so experiments can
+/// override any parameter without recompiling.
+class Config {
+ public:
+  Config() = default;
+
+  void Set(std::string_view key, std::string_view value);
+  void SetInt(std::string_view key, int64_t value);
+  void SetDouble(std::string_view key, double value);
+  void SetBool(std::string_view key, bool value);
+
+  bool Has(std::string_view key) const;
+
+  /// Returns the raw string, or `def` when absent.
+  std::string Get(std::string_view key, std::string_view def = "") const;
+
+  /// Returns the parsed value, or `def` when absent or malformed.
+  int64_t GetInt(std::string_view key, int64_t def) const;
+  double GetDouble(std::string_view key, double def) const;
+  bool GetBool(std::string_view key, bool def) const;
+
+  /// Merges `other` into this config; existing keys are overwritten.
+  void Merge(const Config& other);
+
+  size_t size() const { return values_.size(); }
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_COMMON_CONFIG_H_

@@ -1,0 +1,21 @@
+#ifndef REDOOP_COMMON_HASH_H_
+#define REDOOP_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace redoop {
+
+/// 64-bit FNV-1a over bytes. Stable across platforms; used by the hash
+/// partitioner so reducer assignment is deterministic.
+uint64_t Fnv1a64(std::string_view data);
+
+/// Mixes a 64-bit integer (finalizer from MurmurHash3).
+uint64_t Mix64(uint64_t x);
+
+/// Combines two hashes (boost-style).
+uint64_t HashCombine(uint64_t seed, uint64_t value);
+
+}  // namespace redoop
+
+#endif  // REDOOP_COMMON_HASH_H_

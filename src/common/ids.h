@@ -1,0 +1,24 @@
+#ifndef REDOOP_COMMON_IDS_H_
+#define REDOOP_COMMON_IDS_H_
+
+#include <cstdint>
+
+namespace redoop {
+
+/// Identifier types shared across layers. Plain integers (not strong types)
+/// to keep container keys and logs simple; names document intent.
+using NodeId = int32_t;    // Cluster compute/storage node; -1 == invalid.
+using BlockId = int64_t;   // DFS block.
+using FileId = int64_t;    // DFS file.
+using PaneId = int64_t;    // Logical pane index within a data source.
+using SourceId = int32_t;  // Input data source (S1, S2, ... in the paper).
+using QueryId = int32_t;   // Registered recurring query.
+using JobId = int64_t;     // One MapReduce job instance.
+using TaskId = int64_t;    // One map or reduce task attempt group.
+
+constexpr NodeId kInvalidNode = -1;
+constexpr PaneId kInvalidPane = -1;
+
+}  // namespace redoop
+
+#endif  // REDOOP_COMMON_IDS_H_

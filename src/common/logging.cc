@@ -1,0 +1,60 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace redoop {
+
+namespace {
+LogLevel g_log_level = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level = level; }
+LogLevel GetLogLevel() { return g_log_level; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line) {
+  stream_ << "[FATAL " << Basename(file) << ":" << line << "] ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace redoop

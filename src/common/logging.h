@@ -1,0 +1,88 @@
+#ifndef REDOOP_COMMON_LOGGING_H_
+#define REDOOP_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace redoop {
+
+/// Log severity, ordered by importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kWarning so tests and benchmarks stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log message; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Fatal variant: logs and aborts the process.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement that is disabled at the current level.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define REDOOP_LOG(level)                                                  \
+  if (::redoop::LogLevel::k##level < ::redoop::GetLogLevel()) {            \
+  } else                                                                   \
+    ::redoop::internal_logging::LogMessage(::redoop::LogLevel::k##level,   \
+                                           __FILE__, __LINE__)             \
+        .stream()
+
+#define REDOOP_LOG_FATAL \
+  ::redoop::internal_logging::FatalLogMessage(__FILE__, __LINE__).stream()
+
+/// Invariant check: always on (also in release builds); violations indicate
+/// programming errors and abort with a message.
+#define REDOOP_CHECK(condition)                                \
+  if (condition) {                                             \
+  } else                                                       \
+    REDOOP_LOG_FATAL << "Check failed: " #condition " "
+
+#define REDOOP_CHECK_OK(expr)                                       \
+  do {                                                              \
+    ::redoop::Status _redoop_check_status_ = (expr);                \
+    REDOOP_CHECK(_redoop_check_status_.ok())                        \
+        << "status = " << _redoop_check_status_.ToString();         \
+  } while (0)
+
+}  // namespace redoop
+
+#endif  // REDOOP_COMMON_LOGGING_H_

@@ -1,0 +1,52 @@
+#include "common/math_utils.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace redoop {
+
+int64_t Gcd(int64_t a, int64_t b) {
+  REDOOP_CHECK(a >= 0 && b >= 0) << "Gcd of negative values";
+  while (b != 0) {
+    int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+int64_t GcdAll(const std::vector<int64_t>& values) {
+  int64_t g = 0;
+  for (int64_t v : values) g = Gcd(g, v);
+  return g;
+}
+
+int64_t CeilDiv(int64_t dividend, int64_t divisor) {
+  REDOOP_CHECK(divisor > 0);
+  REDOOP_CHECK(dividend >= 0);
+  return (dividend + divisor - 1) / divisor;
+}
+
+double Clamp(double v, double lo, double hi) {
+  if (v < lo) return lo;
+  if (v > hi) return hi;
+  return v;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double sq = 0.0;
+  for (double v : values) sq += (v - mean) * (v - mean);
+  return std::sqrt(sq / static_cast<double>(values.size()));
+}
+
+}  // namespace redoop

@@ -1,0 +1,29 @@
+#ifndef REDOOP_COMMON_MATH_UTILS_H_
+#define REDOOP_COMMON_MATH_UTILS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace redoop {
+
+/// Greatest common divisor; Gcd(0, b) == b, Gcd(a, 0) == a.
+int64_t Gcd(int64_t a, int64_t b);
+
+/// GCD over a list; returns 0 for an empty list.
+int64_t GcdAll(const std::vector<int64_t>& values);
+
+/// Ceiling division for nonnegative integers. Requires divisor > 0.
+int64_t CeilDiv(int64_t dividend, int64_t divisor);
+
+/// Clamps v to [lo, hi].
+double Clamp(double v, double lo, double hi);
+
+/// Arithmetic mean; returns 0 for an empty list.
+double Mean(const std::vector<double>& values);
+
+/// Population standard deviation; returns 0 for fewer than two samples.
+double StdDev(const std::vector<double>& values);
+
+}  // namespace redoop
+
+#endif  // REDOOP_COMMON_MATH_UTILS_H_

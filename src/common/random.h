@@ -1,0 +1,67 @@
+#ifndef REDOOP_COMMON_RANDOM_H_
+#define REDOOP_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace redoop {
+
+/// Deterministic pseudo-random generator (xoshiro256**). Used everywhere in
+/// the simulator so that experiments are exactly reproducible from a seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 42);
+
+  /// Uniform in [0, 2^64).
+  uint64_t NextUint64();
+
+  /// Uniform in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Exponentially distributed with the given rate (mean 1/rate).
+  double NextExponential(double rate);
+
+  /// Zipf-distributed rank in [0, n) with skew parameter s (s = 0 is
+  /// uniform; s ~ 1 is classic web-trace skew). Uses rejection-inversion.
+  uint64_t NextZipf(uint64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::size_t j = Uniform(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+  // Cached parameters for NextZipf so repeated draws with the same (n, s)
+  // avoid recomputing the harmonic normalization.
+  uint64_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  double zipf_h_x1_ = 0.0;
+  double zipf_h_half_ = 0.0;
+  double zipf_t_ = 0.0;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_COMMON_RANDOM_H_

@@ -1,0 +1,31 @@
+#ifndef REDOOP_COMMON_SIM_TIME_H_
+#define REDOOP_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace redoop {
+
+/// Simulated time, in seconds since the start of the simulation. All of the
+/// cluster simulator and the Redoop layer operate in this virtual timeline.
+using SimTime = double;
+
+/// A span of simulated time, in seconds.
+using SimDuration = double;
+
+constexpr SimTime kSimTimeZero = 0.0;
+
+/// Convenience constructors so call sites read naturally.
+constexpr SimDuration Seconds(double s) { return s; }
+constexpr SimDuration Minutes(double m) { return m * 60.0; }
+constexpr SimDuration Hours(double h) { return h * 3600.0; }
+
+/// Data-record timestamps use integral seconds so pane boundaries are exact.
+using Timestamp = int64_t;
+
+constexpr int64_t kBytesPerKB = 1024;
+constexpr int64_t kBytesPerMB = 1024 * 1024;
+constexpr int64_t kBytesPerGB = 1024LL * 1024 * 1024;
+
+}  // namespace redoop
+
+#endif  // REDOOP_COMMON_SIM_TIME_H_

@@ -1,0 +1,39 @@
+#ifndef REDOOP_COMMON_STRING_UTILS_H_
+#define REDOOP_COMMON_STRING_UTILS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace redoop {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Joins the pieces with `sep`.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Parses a nonnegative integer; returns false on malformed input.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Renders bytes with a binary-unit suffix, e.g. "64.0 MB".
+std::string HumanBytes(int64_t bytes);
+
+/// Renders seconds as "1h02m03s" / "42.5s" style.
+std::string HumanDuration(double seconds);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace redoop
+
+#endif  // REDOOP_COMMON_STRING_UTILS_H_

@@ -1,0 +1,52 @@
+#ifndef REDOOP_CORE_BATCH_FEED_H_
+#define REDOOP_CORE_BATCH_FEED_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "dfs/record.h"
+#include "mapreduce/mapper.h"
+
+namespace redoop {
+
+/// Supplier of the evolving input data: ordered, non-overlapping batches
+/// per source (paper §2.1's model of periodically collected HDFS files).
+/// Drivers pull the batches covering each inter-trigger interval; workload
+/// generators implement this deterministically from a seed.
+class BatchFeed {
+ public:
+  virtual ~BatchFeed() = default;
+
+  /// Batches of `source` covering exactly [begin, end): contiguous,
+  /// in order, first.start == begin, last.end == end. Both drivers must see
+  /// identical data for a given source/interval (determinism contract).
+  virtual std::vector<RecordBatch> BatchesFor(SourceId source,
+                                              Timestamp begin,
+                                              Timestamp end) = 0;
+};
+
+/// A mapper decorator that drops records outside [begin, end) before
+/// delegating — how a plain-Hadoop recurring job scopes a window when its
+/// input files do not align with window boundaries.
+class WindowFilterMapper : public Mapper {
+ public:
+  WindowFilterMapper(std::shared_ptr<const Mapper> inner, Timestamp begin,
+                     Timestamp end)
+      : inner_(std::move(inner)), begin_(begin), end_(end) {}
+
+  void Map(const Record& record, MapContext* context) const override {
+    if (record.timestamp < begin_ || record.timestamp >= end_) return;
+    inner_->Map(record, context);
+  }
+
+ private:
+  std::shared_ptr<const Mapper> inner_;
+  Timestamp begin_;
+  Timestamp end_;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_CORE_BATCH_FEED_H_

@@ -1,0 +1,54 @@
+#include "core/cache_aware_scheduler.h"
+
+#include "common/logging.h"
+
+namespace redoop {
+
+CacheAwareScheduler::CacheAwareScheduler(const CostModel* cost_model,
+                                         CacheAwareSchedulerOptions options)
+    : cost_model_(cost_model), options_(options) {
+  REDOOP_CHECK(cost_model_ != nullptr);
+}
+
+NodeId CacheAwareScheduler::SelectNodeForMap(
+    const MapPlacementRequest& request, const Cluster& cluster) {
+  // Maps keep Hadoop's shape: replica-local first, then least loaded.
+  DefaultScheduler fallback;
+  return fallback.SelectNodeForMap(request, cluster);
+}
+
+double CacheAwareScheduler::ReduceIoCost(const ReducePlacementRequest& request,
+                                         NodeId node) const {
+  double cost = 0.0;
+  for (const ReduceSideInput& side : request.side_inputs) {
+    if (side.location == node) {
+      cost += cost_model_->LocalReadTime(side.bytes);
+    } else {
+      cost += cost_model_->RemoteReadTime(side.bytes);
+    }
+  }
+  // Newly shuffled bytes arrive over the network regardless of placement;
+  // they do not differentiate nodes but keep C_task,i in honest units.
+  cost += cost_model_->TransferTime(request.shuffle_bytes);
+  return cost;
+}
+
+NodeId CacheAwareScheduler::SelectNodeForReduce(
+    const ReducePlacementRequest& request, const Cluster& cluster) {
+  NodeId best = kInvalidNode;
+  double best_score = 0.0;
+  for (int32_t i = 0; i < cluster.num_nodes(); ++i) {
+    const TaskNode& n = cluster.node(i);
+    if (!n.alive() || n.free_reduce_slots() <= 0) continue;
+    double score =
+        options_.load_weight_s * n.Load() + ReduceIoCost(request, n.id());
+    if (n.id() == request.preferred_node) score -= options_.preferred_bonus_s;
+    if (best == kInvalidNode || score < best_score) {
+      best = n.id();
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace redoop

@@ -1,0 +1,53 @@
+#ifndef REDOOP_CORE_CACHE_AWARE_SCHEDULER_H_
+#define REDOOP_CORE_CACHE_AWARE_SCHEDULER_H_
+
+#include "mapreduce/scheduler.h"
+#include "sim/cost_model.h"
+
+namespace redoop {
+
+struct CacheAwareSchedulerOptions {
+  /// Weight (seconds per unit of load) converting a node's busy-slot
+  /// fraction into the same units as the I/O cost term, so Eq. 4's
+  /// `Load_i + C_task,i` is a meaningful sum. Larger values favour load
+  /// balancing; smaller values favour cache locality.
+  double load_weight_s = 30.0;
+  /// Bonus (seconds subtracted from the score) for the task's preferred
+  /// node — used to co-locate pane-pair tasks that share a cached pane, so
+  /// repeat reads hit the OS page cache.
+  double preferred_bonus_s = 10.0;
+};
+
+/// Redoop's window-aware task scheduler (paper §4.3, Eq. 4):
+///
+///     node = argmin_i [ Load_i + C_task,i ]
+///
+/// where Load_i is node i's busy-slot fraction and C_task,i the I/O cost of
+/// running the task there (low on nodes already holding the task's cached
+/// reducer inputs, higher elsewhere — the SOPA-style I/O-dominant cost
+/// model). Only nodes with a free slot of the right kind are considered: a
+/// fully occupied node loses the task even if it holds the cache.
+/// Map placement keeps Hadoop's replica locality (the map task list is
+/// FIFO, §4.3 Algorithm 2).
+class CacheAwareScheduler : public TaskScheduler {
+ public:
+  CacheAwareScheduler(const CostModel* cost_model,
+                      CacheAwareSchedulerOptions options = {});
+
+  NodeId SelectNodeForMap(const MapPlacementRequest& request,
+                          const Cluster& cluster) override;
+  NodeId SelectNodeForReduce(const ReducePlacementRequest& request,
+                             const Cluster& cluster) override;
+
+  /// Eq. 4's C_task,i for a reduce task on `node`: simulated seconds to
+  /// read the task's cached inputs from where they live.
+  double ReduceIoCost(const ReducePlacementRequest& request, NodeId node) const;
+
+ private:
+  const CostModel* cost_model_;
+  CacheAwareSchedulerOptions options_;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_CORE_CACHE_AWARE_SCHEDULER_H_

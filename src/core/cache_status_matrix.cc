@@ -1,0 +1,104 @@
+#include "core/cache_status_matrix.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace redoop {
+
+CacheStatusMatrix::CacheStatusMatrix(const WindowGeometry& geometry)
+    : geometry_(geometry) {}
+
+bool CacheStatusMatrix::Get(int64_t li, int64_t ri) const {
+  return done_[static_cast<size_t>(li * extent_[1] + ri)];
+}
+
+void CacheStatusMatrix::GrowTo(PaneId left, PaneId right) {
+  const int64_t need_rows = std::max(extent_[0], left - base_[0] + 1);
+  const int64_t need_cols = std::max(extent_[1], right - base_[1] + 1);
+  if (need_rows == extent_[0] && need_cols == extent_[1]) return;
+  std::vector<bool> grown(static_cast<size_t>(need_rows * need_cols), false);
+  for (int64_t li = 0; li < extent_[0]; ++li) {
+    for (int64_t ri = 0; ri < extent_[1]; ++ri) {
+      grown[static_cast<size_t>(li * need_cols + ri)] = Get(li, ri);
+    }
+  }
+  done_ = std::move(grown);
+  extent_[0] = need_rows;
+  extent_[1] = need_cols;
+}
+
+void CacheStatusMatrix::MarkDone(PaneId left, PaneId right) {
+  REDOOP_CHECK(left >= 0 && right >= 0);
+  if (left < base_[0] || right < base_[1]) return;  // Already purged: done.
+  GrowTo(left, right);
+  const int64_t li = left - base_[0];
+  const int64_t ri = right - base_[1];
+  done_[static_cast<size_t>(li * extent_[1] + ri)] = true;
+}
+
+bool CacheStatusMatrix::IsDone(PaneId left, PaneId right) const {
+  if (left < base_[0] || right < base_[1]) return true;  // Purged == done.
+  const int64_t li = left - base_[0];
+  const int64_t ri = right - base_[1];
+  if (li >= extent_[0] || ri >= extent_[1]) return false;
+  return Get(li, ri);
+}
+
+bool CacheStatusMatrix::LifespanComplete(bool left_dim, PaneId p) const {
+  const PaneRange lifespan = JoinLifespan(geometry_, p);
+  for (PaneId q = lifespan.first; q < lifespan.last; ++q) {
+    const bool done = left_dim ? IsDone(p, q) : IsDone(q, p);
+    if (!done) return false;
+  }
+  return true;
+}
+
+bool CacheStatusMatrix::PaneExpired(bool left_dim, PaneId p,
+                                    int64_t completed_recurrence) const {
+  if (!geometry_.PaneExpiredAfter(p, completed_recurrence)) return false;
+  return LifespanComplete(left_dim, p);
+}
+
+std::pair<std::vector<PaneId>, std::vector<PaneId>> CacheStatusMatrix::Shift(
+    int64_t completed_recurrence) {
+  std::pair<std::vector<PaneId>, std::vector<PaneId>> purged;
+
+  // Scan each dimension in ascending pane order; stop at the first pane
+  // that is not expired (paper Fig. 4: "scan each element in ascending
+  // order by pane id until an element indicates the task has not been
+  // done").
+  int64_t drop_rows = 0;
+  while (drop_rows < extent_[0] &&
+         PaneExpired(/*left_dim=*/true, base_[0] + drop_rows,
+                     completed_recurrence)) {
+    purged.first.push_back(base_[0] + drop_rows);
+    ++drop_rows;
+  }
+  int64_t drop_cols = 0;
+  while (drop_cols < extent_[1] &&
+         PaneExpired(/*left_dim=*/false, base_[1] + drop_cols,
+                     completed_recurrence)) {
+    purged.second.push_back(base_[1] + drop_cols);
+    ++drop_cols;
+  }
+  if (drop_rows == 0 && drop_cols == 0) return purged;
+
+  const int64_t new_rows = extent_[0] - drop_rows;
+  const int64_t new_cols = extent_[1] - drop_cols;
+  std::vector<bool> shifted(static_cast<size_t>(new_rows * new_cols), false);
+  for (int64_t li = 0; li < new_rows; ++li) {
+    for (int64_t ri = 0; ri < new_cols; ++ri) {
+      shifted[static_cast<size_t>(li * new_cols + ri)] =
+          Get(li + drop_rows, ri + drop_cols);
+    }
+  }
+  done_ = std::move(shifted);
+  base_[0] += drop_rows;
+  base_[1] += drop_cols;
+  extent_[0] = new_rows;
+  extent_[1] = new_cols;
+  return purged;
+}
+
+}  // namespace redoop

@@ -1,0 +1,75 @@
+#ifndef REDOOP_CORE_CACHE_STATUS_MATRIX_H_
+#define REDOOP_CORE_CACHE_STATUS_MATRIX_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/window.h"
+
+namespace redoop {
+
+/// The paper's cache status matrix (§4.2, Table 3 / Fig. 4) for a binary
+/// join query: a 2-D boolean array, one dimension per source, where entry
+/// (p, q) records whether the pane-pair reduce task joining left pane p
+/// with right pane q has completed. Both dimensions share one window
+/// geometry (as in the paper's experiments).
+///
+/// The matrix grows at the high end as new panes appear and is periodically
+/// shifted (purged) at the low end: a leading pane can be removed once it
+/// has left the current window AND every pair within its lifespan is done.
+/// Panes shifted out are remembered only via the base offset — queries
+/// about them answer "done".
+class CacheStatusMatrix {
+ public:
+  explicit CacheStatusMatrix(const WindowGeometry& geometry);
+
+  /// Marks the pane-pair task (left, right) complete. Grows the matrix as
+  /// needed. Marking an already-purged pair is a no-op.
+  void MarkDone(PaneId left, PaneId right);
+
+  /// True when (left, right) completed (pairs before the purged frontier
+  /// count as done).
+  bool IsDone(PaneId left, PaneId right) const;
+
+  /// True when every pair within pane `p`'s lifespan (paper §4.2) is done,
+  /// i.e. p has exhausted its join partners. `left_dim` selects whether p
+  /// is a left- or right-source pane.
+  bool LifespanComplete(bool left_dim, PaneId p) const;
+
+  /// True when pane p can be safely purged after recurrence
+  /// `completed_recurrence`: it is outside every future window and its
+  /// lifespan is complete.
+  bool PaneExpired(bool left_dim, PaneId p, int64_t completed_recurrence) const;
+
+  /// The periodic shift (Fig. 4(c)): removes leading panes of both
+  /// dimensions that are expired w.r.t. `completed_recurrence`, scanning in
+  /// ascending pane order and stopping at the first non-expired pane.
+  /// Returns the purged pane ids (left dimension, right dimension).
+  std::pair<std::vector<PaneId>, std::vector<PaneId>> Shift(
+      int64_t completed_recurrence);
+
+  PaneId left_base() const { return base_[0]; }
+  PaneId right_base() const { return base_[1]; }
+  int64_t left_extent() const { return extent_[0]; }
+  int64_t right_extent() const { return extent_[1]; }
+  const WindowGeometry& geometry() const { return geometry_; }
+
+  /// Number of stored (non-purged) cells — the live metadata footprint.
+  int64_t CellCount() const { return extent_[0] * extent_[1]; }
+
+ private:
+  bool Get(int64_t li, int64_t ri) const;
+  void GrowTo(PaneId left, PaneId right);
+
+  WindowGeometry geometry_;
+  PaneId base_[2] = {0, 0};     // Pane id of row/column index 0.
+  int64_t extent_[2] = {0, 0};  // Rows (left) x columns (right).
+  /// Row-major bits: done_[li * extent_[1] + ri].
+  std::vector<bool> done_;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_CORE_CACHE_STATUS_MATRIX_H_

@@ -1,0 +1,37 @@
+#include "core/cache_store.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace redoop {
+
+void CacheStore::Put(const std::string& name, std::vector<KeyValue> payload,
+                     int64_t bytes, int64_t records) {
+  REDOOP_CHECK(bytes >= 0 && records >= 0);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    total_bytes_ -= it->second->bytes;
+    entries_.erase(it);
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->payload = std::move(payload);
+  entry->bytes = bytes;
+  entry->records = records;
+  total_bytes_ += bytes;
+  entries_[name] = std::move(entry);
+}
+
+const CacheStore::Entry* CacheStore::Find(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+void CacheStore::Remove(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return;
+  total_bytes_ -= it->second->bytes;
+  entries_.erase(it);
+}
+
+}  // namespace redoop

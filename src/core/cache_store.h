@@ -1,0 +1,54 @@
+#ifndef REDOOP_CORE_CACHE_STORE_H_
+#define REDOOP_CORE_CACHE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "mapreduce/kv.h"
+
+namespace redoop {
+
+/// The contents of cached files. In the real system every task node keeps
+/// cache payloads on its local disk; in the simulation the bytes live here
+/// (keyed by cache name) while placement, capacity, and I/O costs are
+/// tracked on the TaskNode / cache-controller side. Losing a cache (node
+/// failure, injection) removes its payload, forcing a rebuild — exactly
+/// the recovery path the paper describes.
+class CacheStore {
+ public:
+  struct Entry {
+    std::vector<KeyValue> payload;
+    int64_t bytes = 0;
+    int64_t records = 0;
+  };
+
+  CacheStore() = default;
+  CacheStore(const CacheStore&) = delete;
+  CacheStore& operator=(const CacheStore&) = delete;
+
+  /// Stores (or replaces) a payload.
+  void Put(const std::string& name, std::vector<KeyValue> payload,
+           int64_t bytes, int64_t records);
+
+  /// Returns nullptr when absent. The pointer stays valid until the entry
+  /// is removed.
+  const Entry* Find(const std::string& name) const;
+  bool Has(const std::string& name) const { return Find(name) != nullptr; }
+
+  void Remove(const std::string& name);
+
+  size_t size() const { return entries_.size(); }
+  int64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+  int64_t total_bytes_ = 0;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_CORE_CACHE_STORE_H_

@@ -1,0 +1,29 @@
+#include "core/cache_types.h"
+
+namespace redoop {
+
+const char* CacheTypeName(CacheType type) {
+  switch (type) {
+    case CacheType::kNone:
+      return "none";
+    case CacheType::kReduceInput:
+      return "reduce-input";
+    case CacheType::kReduceOutput:
+      return "reduce-output";
+  }
+  return "?";
+}
+
+const char* CacheReadyName(CacheReady ready) {
+  switch (ready) {
+    case CacheReady::kNotAvailable:
+      return "not-available";
+    case CacheReady::kHdfsAvailable:
+      return "hdfs-available";
+    case CacheReady::kCacheAvailable:
+      return "cache-available";
+  }
+  return "?";
+}
+
+}  // namespace redoop

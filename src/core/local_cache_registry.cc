@@ -1,0 +1,100 @@
+#include "core/local_cache_registry.h"
+
+#include "common/logging.h"
+
+namespace redoop {
+
+LocalCacheRegistry::LocalCacheRegistry(NodeId node, SimDuration purge_cycle)
+    : node_(node), purge_cycle_(purge_cycle) {
+  REDOOP_CHECK(purge_cycle_ >= 0.0);
+}
+
+void LocalCacheRegistry::AddEntry(const std::string& name, CacheType type,
+                                  int64_t bytes) {
+  REDOOP_CHECK(type != CacheType::kNone);
+  REDOOP_CHECK(bytes >= 0);
+  LocalCacheEntry entry;
+  entry.name = name;
+  entry.type = type;
+  entry.expired = false;
+  entry.bytes = bytes;
+  entries_[name] = std::move(entry);
+}
+
+bool LocalCacheRegistry::MarkExpired(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  it->second.expired = true;
+  return true;
+}
+
+void LocalCacheRegistry::Remove(const std::string& name) {
+  entries_.erase(name);
+}
+
+bool LocalCacheRegistry::Has(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+const LocalCacheEntry* LocalCacheRegistry::Find(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+int64_t LocalCacheRegistry::expired_count() const {
+  int64_t count = 0;
+  for (const auto& [name, entry] : entries_) {
+    (void)name;
+    if (entry.expired) ++count;
+  }
+  return count;
+}
+
+int64_t LocalCacheRegistry::PurgeExpired(TaskNode* node) {
+  REDOOP_CHECK(node != nullptr);
+  REDOOP_CHECK(node->id() == node_);
+  int64_t freed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.expired) {
+      freed += node->DeleteLocalFile(it->first);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return freed;
+}
+
+int64_t LocalCacheRegistry::MaybePeriodicPurge(TaskNode* node, SimTime now) {
+  if (now - last_purge_ < purge_cycle_) return 0;
+  last_purge_ = now;
+  return PurgeExpired(node);
+}
+
+int64_t LocalCacheRegistry::OnDemandPurge(TaskNode* node,
+                                          int64_t needed_bytes) {
+  REDOOP_CHECK(node != nullptr);
+  int64_t freed = 0;
+  for (auto it = entries_.begin();
+       it != entries_.end() && freed < needed_bytes;) {
+    if (it->second.expired) {
+      freed += node->DeleteLocalFile(it->first);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return freed;
+}
+
+std::vector<LocalCacheEntry> LocalCacheRegistry::Entries() const {
+  std::vector<LocalCacheEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    (void)name;
+    out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace redoop

@@ -1,0 +1,38 @@
+#include "core/metrics.h"
+
+namespace redoop {
+
+namespace {
+bool Less(const KeyValue& a, const KeyValue& b) {
+  if (a.key != b.key) return a.key < b.key;
+  return a.value < b.value;
+}
+
+bool Same(const KeyValue& a, const KeyValue& b) {
+  return a.key == b.key && a.value == b.value;
+}
+}  // namespace
+
+WindowDelta ComputeWindowDelta(const std::vector<KeyValue>& previous,
+                               const std::vector<KeyValue>& current) {
+  WindowDelta delta;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < previous.size() && j < current.size()) {
+    if (Same(previous[i], current[j])) {
+      ++i;
+      ++j;
+    } else if (Less(previous[i], current[j])) {
+      delta.removed.push_back(previous[i]);
+      ++i;
+    } else {
+      delta.added.push_back(current[j]);
+      ++j;
+    }
+  }
+  for (; i < previous.size(); ++i) delta.removed.push_back(previous[i]);
+  for (; j < current.size(); ++j) delta.added.push_back(current[j]);
+  return delta;
+}
+
+}  // namespace redoop

@@ -1,0 +1,108 @@
+#include "core/multi_query.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+#include "common/string_utils.h"
+
+namespace redoop {
+
+MultiQueryCoordinator::MultiQueryCoordinator(Cluster* cluster, BatchFeed* feed)
+    : cluster_(cluster), feed_(feed) {
+  REDOOP_CHECK(cluster_ != nullptr);
+  REDOOP_CHECK(feed_ != nullptr);
+}
+
+void MultiQueryCoordinator::AddQuery(RecurringQuery query,
+                                     RedoopDriverOptions options) {
+  REDOOP_CHECK(!started_) << "AddQuery after Run";
+  query.CheckValid();
+  for (const Entry& e : entries_) {
+    REDOOP_CHECK(e.query.id != query.id)
+        << "duplicate query id " << query.id;
+  }
+  Entry entry;
+  entry.query = std::move(query);
+  entry.options = options;
+  entries_.push_back(std::move(entry));
+}
+
+Timestamp MultiQueryCoordinator::PaneSizeForSource(SourceId source) const {
+  // GCD over every window constraint of every query consuming the source
+  // (paper §3.1: the analyzer slices window states by the constraints of
+  // individual data sources across the registered queries).
+  std::vector<WindowSpec> constraints;
+  for (const Entry& e : entries_) {
+    for (const QuerySource& qs : e.query.sources) {
+      if (qs.id == source) constraints.push_back(qs.window);
+    }
+  }
+  REDOOP_CHECK(!constraints.empty()) << "no query consumes source " << source;
+  return SemanticAnalyzer::PaneSizeFor(constraints);
+}
+
+void MultiQueryCoordinator::BuildDrivers() {
+  for (Entry& entry : entries_) {
+    // The query's grid must be common to all its sources (one geometry per
+    // driver): take the GCD across its sources' coordinated pane sizes.
+    std::vector<int64_t> panes;
+    for (const QuerySource& qs : entry.query.sources) {
+      panes.push_back(PaneSizeForSource(qs.id));
+    }
+    entry.options.pane_size_override = GcdAll(panes);
+    entry.options.file_namespace =
+        StringPrintf("q%d/", entry.query.id);
+    entry.driver = std::make_unique<RedoopDriver>(cluster_, feed_,
+                                                  entry.query, entry.options);
+  }
+}
+
+std::vector<RunReport> MultiQueryCoordinator::Run(int64_t windows_per_query) {
+  REDOOP_CHECK(!started_) << "Run may be called once";
+  REDOOP_CHECK(!entries_.empty());
+  started_ = true;
+  BuildDrivers();
+
+  std::vector<RunReport> reports(entries_.size());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    reports[i].system = "redoop:" + entries_[i].query.name;
+  }
+
+  // Global trigger-order interleaving: always advance the query whose next
+  // recurrence fires earliest (ties: registration order).
+  while (true) {
+    size_t best = entries_.size();
+    Timestamp best_trigger = std::numeric_limits<Timestamp>::max();
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      Entry& e = entries_[i];
+      if (e.next_recurrence >= windows_per_query) continue;
+      const Timestamp trigger =
+          e.driver->geometry().TriggerTime(e.next_recurrence);
+      if (trigger < best_trigger) {
+        best_trigger = trigger;
+        best = i;
+      }
+    }
+    if (best == entries_.size()) break;  // Everyone done.
+    Entry& e = entries_[best];
+    reports[best].windows.push_back(
+        e.driver->RunRecurrence(e.next_recurrence));
+    ++e.next_recurrence;
+  }
+  return reports;
+}
+
+const RedoopDriver& MultiQueryCoordinator::driver(QueryId id) const {
+  for (const Entry& e : entries_) {
+    if (e.query.id == id) {
+      REDOOP_CHECK(e.driver != nullptr) << "Run() not started yet";
+      return *e.driver;
+    }
+  }
+  REDOOP_LOG_FATAL << "unknown query " << id;
+}
+
+}  // namespace redoop

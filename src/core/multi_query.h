@@ -1,0 +1,93 @@
+#ifndef REDOOP_CORE_MULTI_QUERY_H_
+#define REDOOP_CORE_MULTI_QUERY_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/batch_feed.h"
+#include "core/metrics.h"
+#include "core/recurring_query.h"
+#include "core/redoop_driver.h"
+#include "core/semantic_analyzer.h"
+
+namespace redoop {
+
+/// Consolidates several recurring queries onto one cluster (the paper's
+/// Semantic Analyzer "takes as input a sequence of recurring queries with
+/// different window constraints", §3.1):
+///
+///  - every query touching a source is put on that source's common pane
+///    grid — the GCD over all of their win/slide constraints — so their
+///    pane boundaries align;
+///  - recurrences execute in global trigger order: whichever query's next
+///    window fires earliest runs next, so queries contend for the
+///    cluster's slots exactly as co-running jobs would (a query that
+///    overruns its slide delays whoever triggers behind it);
+///  - each query keeps its own caches (cache files are namespaced per
+///    query; sharing physical caches between queries with different
+///    map/partition functions would be unsound).
+class MultiQueryCoordinator {
+ public:
+  /// `cluster` and `feed` must outlive the coordinator.
+  MultiQueryCoordinator(Cluster* cluster, BatchFeed* feed);
+
+  MultiQueryCoordinator(const MultiQueryCoordinator&) = delete;
+  MultiQueryCoordinator& operator=(const MultiQueryCoordinator&) = delete;
+
+  /// Registers a query. Must be called before Run(); query ids must be
+  /// unique. `options.pane_size_override` and `options.file_namespace`
+  /// are set by the coordinator.
+  void AddQuery(RecurringQuery query, RedoopDriverOptions options = {});
+
+  /// The pane size the coordinator will assign to `source`, given the
+  /// queries registered so far.
+  Timestamp PaneSizeForSource(SourceId source) const;
+
+  /// Runs every query for `windows_per_query` recurrences, interleaved in
+  /// global trigger order. Returns one RunReport per query, in
+  /// registration order. May be called once.
+  std::vector<RunReport> Run(int64_t windows_per_query);
+
+  /// Driver access (valid after Run() started building them).
+  const RedoopDriver& driver(QueryId id) const;
+  size_t query_count() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    RecurringQuery query;
+    RedoopDriverOptions options;
+    std::unique_ptr<RedoopDriver> driver;
+    int64_t next_recurrence = 0;
+  };
+
+  void BuildDrivers();
+
+  Cluster* cluster_;
+  BatchFeed* feed_;
+  std::vector<Entry> entries_;
+  bool started_ = false;
+};
+
+/// A BatchFeed decorator giving each consumer an independent read cursor
+/// over a shared underlying feed. The coordinator hands one view per query
+/// so that several drivers can pull the same source ranges independently
+/// (the underlying feed must be a pure function of (source, range), which
+/// SyntheticFeed guarantees).
+class SharedFeedView : public BatchFeed {
+ public:
+  explicit SharedFeedView(BatchFeed* inner) : inner_(inner) {}
+
+  std::vector<RecordBatch> BatchesFor(SourceId source, Timestamp begin,
+                                      Timestamp end) override {
+    return inner_->BatchesFor(source, begin, end);
+  }
+
+ private:
+  BatchFeed* inner_;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_CORE_MULTI_QUERY_H_

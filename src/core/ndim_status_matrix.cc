@@ -1,0 +1,220 @@
+#include "core/ndim_status_matrix.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace redoop {
+
+NDimCacheStatusMatrix::NDimCacheStatusMatrix(const WindowGeometry& geometry,
+                                             int32_t dimensions)
+    : geometry_(geometry),
+      dimensions_(dimensions),
+      base_(static_cast<size_t>(dimensions), 0),
+      extent_(static_cast<size_t>(dimensions), 0) {
+  REDOOP_CHECK(dimensions >= 2);
+}
+
+PaneId NDimCacheStatusMatrix::base(int32_t dim) const {
+  REDOOP_CHECK(dim >= 0 && dim < dimensions_);
+  return base_[static_cast<size_t>(dim)];
+}
+
+int64_t NDimCacheStatusMatrix::extent(int32_t dim) const {
+  REDOOP_CHECK(dim >= 0 && dim < dimensions_);
+  return extent_[static_cast<size_t>(dim)];
+}
+
+int64_t NDimCacheStatusMatrix::FlatIndex(
+    const std::vector<int64_t>& indices) const {
+  int64_t flat = 0;
+  for (int32_t d = 0; d < dimensions_; ++d) {
+    flat = flat * extent_[static_cast<size_t>(d)] +
+           indices[static_cast<size_t>(d)];
+  }
+  return flat;
+}
+
+bool NDimCacheStatusMatrix::GetRelative(
+    const std::vector<int64_t>& indices) const {
+  return done_[static_cast<size_t>(FlatIndex(indices))];
+}
+
+void NDimCacheStatusMatrix::GrowTo(const std::vector<PaneId>& cell) {
+  std::vector<int64_t> needed(static_cast<size_t>(dimensions_));
+  bool grow = false;
+  for (int32_t d = 0; d < dimensions_; ++d) {
+    const size_t sd = static_cast<size_t>(d);
+    needed[sd] = std::max(extent_[sd], cell[sd] - base_[sd] + 1);
+    if (needed[sd] != extent_[sd]) grow = true;
+  }
+  if (!grow) return;
+
+  int64_t new_size = 1;
+  for (int64_t e : needed) new_size *= e;
+  std::vector<bool> grown(static_cast<size_t>(new_size), false);
+
+  // Copy existing cells over via odometer enumeration.
+  if (!done_.empty()) {
+    std::vector<int64_t> idx(static_cast<size_t>(dimensions_), 0);
+    while (true) {
+      // Compute destination flat index under the new extents.
+      int64_t flat = 0;
+      for (int32_t d = 0; d < dimensions_; ++d) {
+        flat = flat * needed[static_cast<size_t>(d)] +
+               idx[static_cast<size_t>(d)];
+      }
+      grown[static_cast<size_t>(flat)] = GetRelative(idx);
+      // Advance the odometer over the OLD extents.
+      int32_t d = dimensions_ - 1;
+      while (d >= 0) {
+        if (++idx[static_cast<size_t>(d)] <
+            extent_[static_cast<size_t>(d)]) {
+          break;
+        }
+        idx[static_cast<size_t>(d)] = 0;
+        --d;
+      }
+      if (d < 0) break;
+    }
+  }
+  done_ = std::move(grown);
+  extent_ = std::move(needed);
+}
+
+void NDimCacheStatusMatrix::MarkDone(const std::vector<PaneId>& cell) {
+  REDOOP_CHECK(static_cast<int32_t>(cell.size()) == dimensions_);
+  for (int32_t d = 0; d < dimensions_; ++d) {
+    REDOOP_CHECK(cell[static_cast<size_t>(d)] >= 0);
+    if (cell[static_cast<size_t>(d)] < base_[static_cast<size_t>(d)]) {
+      return;  // Purged region: already done.
+    }
+  }
+  GrowTo(cell);
+  std::vector<int64_t> idx(static_cast<size_t>(dimensions_));
+  for (int32_t d = 0; d < dimensions_; ++d) {
+    idx[static_cast<size_t>(d)] =
+        cell[static_cast<size_t>(d)] - base_[static_cast<size_t>(d)];
+  }
+  done_[static_cast<size_t>(FlatIndex(idx))] = true;
+}
+
+bool NDimCacheStatusMatrix::IsDone(const std::vector<PaneId>& cell) const {
+  REDOOP_CHECK(static_cast<int32_t>(cell.size()) == dimensions_);
+  std::vector<int64_t> idx(static_cast<size_t>(dimensions_));
+  for (int32_t d = 0; d < dimensions_; ++d) {
+    const size_t sd = static_cast<size_t>(d);
+    if (cell[sd] < base_[sd]) return true;  // Purged == done.
+    idx[sd] = cell[sd] - base_[sd];
+    if (idx[sd] >= extent_[sd]) return false;
+  }
+  return GetRelative(idx);
+}
+
+bool NDimCacheStatusMatrix::WindowCellsDone(int64_t rec, int32_t dim,
+                                            PaneId p) const {
+  const PaneRange window = geometry_.PanesForRecurrence(rec);
+  if (!window.Contains(p)) return true;  // Not this window's concern.
+  // Odometer over the window's pane range in every other dimension.
+  std::vector<PaneId> cell(static_cast<size_t>(dimensions_), window.first);
+  cell[static_cast<size_t>(dim)] = p;
+  while (true) {
+    if (!IsDone(cell)) return false;
+    int32_t d = dimensions_ - 1;
+    while (d >= 0) {
+      if (d == dim) {
+        --d;
+        continue;
+      }
+      if (++cell[static_cast<size_t>(d)] < window.last) break;
+      cell[static_cast<size_t>(d)] = window.first;
+      --d;
+    }
+    if (d < 0) break;
+  }
+  return true;
+}
+
+bool NDimCacheStatusMatrix::LifespanComplete(int32_t dim, PaneId p) const {
+  const int64_t first = geometry_.FirstRecurrenceUsingPane(p);
+  const int64_t last = geometry_.LastRecurrenceUsingPane(p);
+  for (int64_t rec = first; rec <= last; ++rec) {
+    if (!WindowCellsDone(rec, dim, p)) return false;
+  }
+  return true;
+}
+
+bool NDimCacheStatusMatrix::PaneExpired(int32_t dim, PaneId p,
+                                        int64_t completed_recurrence) const {
+  if (!geometry_.PaneExpiredAfter(p, completed_recurrence)) return false;
+  return LifespanComplete(dim, p);
+}
+
+std::vector<std::vector<PaneId>> NDimCacheStatusMatrix::Shift(
+    int64_t completed_recurrence) {
+  std::vector<std::vector<PaneId>> purged(static_cast<size_t>(dimensions_));
+  std::vector<int64_t> drop(static_cast<size_t>(dimensions_), 0);
+  bool any = false;
+  for (int32_t d = 0; d < dimensions_; ++d) {
+    const size_t sd = static_cast<size_t>(d);
+    while (drop[sd] < extent_[sd] &&
+           PaneExpired(d, base_[sd] + drop[sd], completed_recurrence)) {
+      purged[sd].push_back(base_[sd] + drop[sd]);
+      ++drop[sd];
+      any = true;
+    }
+  }
+  if (!any) return purged;
+
+  std::vector<int64_t> new_extent(static_cast<size_t>(dimensions_));
+  for (int32_t d = 0; d < dimensions_; ++d) {
+    const size_t sd = static_cast<size_t>(d);
+    new_extent[sd] = extent_[sd] - drop[sd];
+  }
+  int64_t new_size = 1;
+  for (int64_t e : new_extent) new_size *= e;
+  std::vector<bool> shifted(static_cast<size_t>(new_size), false);
+
+  if (new_size > 0) {
+    std::vector<int64_t> idx(static_cast<size_t>(dimensions_), 0);
+    while (true) {
+      // Source index under the old layout.
+      std::vector<int64_t> src(static_cast<size_t>(dimensions_));
+      for (int32_t d = 0; d < dimensions_; ++d) {
+        const size_t sd = static_cast<size_t>(d);
+        src[sd] = idx[sd] + drop[sd];
+      }
+      int64_t dst_flat = 0;
+      for (int32_t d = 0; d < dimensions_; ++d) {
+        dst_flat = dst_flat * new_extent[static_cast<size_t>(d)] +
+                   idx[static_cast<size_t>(d)];
+      }
+      shifted[static_cast<size_t>(dst_flat)] = GetRelative(src);
+      int32_t d = dimensions_ - 1;
+      while (d >= 0) {
+        if (++idx[static_cast<size_t>(d)] <
+            new_extent[static_cast<size_t>(d)]) {
+          break;
+        }
+        idx[static_cast<size_t>(d)] = 0;
+        --d;
+      }
+      if (d < 0) break;
+    }
+  }
+  done_ = std::move(shifted);
+  for (int32_t d = 0; d < dimensions_; ++d) {
+    const size_t sd = static_cast<size_t>(d);
+    base_[sd] += drop[sd];
+    extent_[sd] = new_extent[sd];
+  }
+  return purged;
+}
+
+int64_t NDimCacheStatusMatrix::CellCount() const {
+  int64_t count = 1;
+  for (int64_t e : extent_) count *= e;
+  return done_.empty() ? 0 : count;
+}
+
+}  // namespace redoop

@@ -1,0 +1,77 @@
+#ifndef REDOOP_CORE_NDIM_STATUS_MATRIX_H_
+#define REDOOP_CORE_NDIM_STATUS_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/window.h"
+
+namespace redoop {
+
+/// The n-dimensional generalization of the cache status matrix (paper
+/// §4.2: "the cache status matrix is a multidimensional boolean array...
+/// the extension to higher dimensions is straightforward"): one dimension
+/// per data source of an n-ary windowed join, one boolean cell per pane
+/// combination, recording whether that combination's join task completed.
+///
+/// All dimensions share one window geometry (as in the paper's setup).
+/// A cell (p_1, ..., p_n) must be computed iff its panes co-occur in some
+/// window — i.e. all p_i lie within one window's pane range. A pane of
+/// dimension d is expired once it has left every future window and every
+/// co-occurring cell through it is done; the periodic Shift() purges
+/// leading expired panes of every dimension, exactly like the 2-D matrix.
+///
+/// The 2-D `CacheStatusMatrix` remains the production structure for
+/// binary joins; this class demonstrates and tests the n-ary semantics.
+class NDimCacheStatusMatrix {
+ public:
+  /// `dimensions` >= 2.
+  NDimCacheStatusMatrix(const WindowGeometry& geometry, int32_t dimensions);
+
+  int32_t dimensions() const { return dimensions_; }
+  PaneId base(int32_t dim) const;
+  int64_t extent(int32_t dim) const;
+  const WindowGeometry& geometry() const { return geometry_; }
+
+  /// Marks the pane combination done; grows the matrix as needed. Cells in
+  /// the purged region are no-ops.
+  void MarkDone(const std::vector<PaneId>& cell);
+
+  /// Purged cells read as done; cells beyond the current extent as not.
+  bool IsDone(const std::vector<PaneId>& cell) const;
+
+  /// True when every co-occurring cell with coordinate `p` in dimension
+  /// `dim` is done (the pane has exhausted its join partners).
+  bool LifespanComplete(int32_t dim, PaneId p) const;
+
+  /// True when pane `p` of dimension `dim` can be purged after
+  /// `completed_recurrence`.
+  bool PaneExpired(int32_t dim, PaneId p, int64_t completed_recurrence) const;
+
+  /// Purges leading expired panes of every dimension (ascending scan,
+  /// stopping at the first survivor). Returns the purged panes per
+  /// dimension.
+  std::vector<std::vector<PaneId>> Shift(int64_t completed_recurrence);
+
+  /// Live cells currently stored.
+  int64_t CellCount() const;
+
+ private:
+  int64_t FlatIndex(const std::vector<int64_t>& indices) const;
+  bool GetRelative(const std::vector<int64_t>& indices) const;
+  void GrowTo(const std::vector<PaneId>& cell);
+  /// Enumerates all cells of window `rec` with dimension `dim` pinned to
+  /// `p`; returns false as soon as an undone cell is found.
+  bool WindowCellsDone(int64_t rec, int32_t dim, PaneId p) const;
+
+  WindowGeometry geometry_;
+  int32_t dimensions_;
+  std::vector<PaneId> base_;
+  std::vector<int64_t> extent_;
+  std::vector<bool> done_;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_CORE_NDIM_STATUS_MATRIX_H_

@@ -1,0 +1,74 @@
+#include "core/pane_naming.h"
+
+#include <cstdio>
+
+#include "common/string_utils.h"
+
+namespace redoop {
+
+std::string PaneFileName(SourceId source, PaneId pane) {
+  return StringPrintf("S%dP%ld", source, pane);
+}
+
+std::string MultiPaneFileName(SourceId source, PaneId first, PaneId last) {
+  return StringPrintf("S%dP%ld_%ld", source, first, last);
+}
+
+std::string SubPaneFileName(SourceId source, PaneId pane, int32_t subpane) {
+  return StringPrintf("S%dP%ld.%d", source, pane, subpane);
+}
+
+std::string ReduceInputCacheName(QueryId query, SourceId source, PaneId pane,
+                                 int32_t partition) {
+  return StringPrintf("RIC_Q%d_S%dP%ld_R%d", query, source, pane, partition);
+}
+
+std::string ReduceOutputCacheName(QueryId query, SourceId source, PaneId pane,
+                                  int32_t partition) {
+  return StringPrintf("ROC_Q%d_S%dP%ld_R%d", query, source, pane, partition);
+}
+
+std::string JoinOutputCacheName(QueryId query, PaneId left, PaneId right,
+                                int32_t partition) {
+  return StringPrintf("JOC_Q%d_P%ldx%ld_R%d", query, left, right, partition);
+}
+
+std::optional<ParsedPaneFileName> ParsePaneFileName(const std::string& name) {
+  ParsedPaneFileName parsed;
+  int source = 0;
+  long first = 0;
+  long last = 0;
+  int subpane = 0;
+  int consumed = 0;
+  // Try the three shapes, most specific first. %n captures how much of the
+  // string matched so trailing garbage is rejected.
+  if (std::sscanf(name.c_str(), "S%dP%ld.%d%n", &source, &first, &subpane,
+                  &consumed) == 3 &&
+      consumed == static_cast<int>(name.size())) {
+    parsed.source = source;
+    parsed.first_pane = first;
+    parsed.last_pane = first;
+    parsed.is_subpane = true;
+    parsed.subpane = subpane;
+    return parsed;
+  }
+  if (std::sscanf(name.c_str(), "S%dP%ld_%ld%n", &source, &first, &last,
+                  &consumed) == 3 &&
+      consumed == static_cast<int>(name.size())) {
+    parsed.source = source;
+    parsed.first_pane = first;
+    parsed.last_pane = last;
+    return parsed;
+  }
+  if (std::sscanf(name.c_str(), "S%dP%ld%n", &source, &first, &consumed) ==
+          2 &&
+      consumed == static_cast<int>(name.size())) {
+    parsed.source = source;
+    parsed.first_pane = first;
+    parsed.last_pane = first;
+    return parsed;
+  }
+  return std::nullopt;
+}
+
+}  // namespace redoop

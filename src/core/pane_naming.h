@@ -1,0 +1,44 @@
+#ifndef REDOOP_CORE_PANE_NAMING_H_
+#define REDOOP_CORE_PANE_NAMING_H_
+
+#include <optional>
+#include <string>
+
+#include "common/ids.h"
+
+namespace redoop {
+
+/// File/cache naming conventions (paper §3.2). Pane files:
+///   "S<sid>P<pid>"            one pane per file (oversize case)
+///   "S<sid>P<a>_<b>"          panes a..b inclusive in one file (undersized)
+///   "S<sid>P<pid>.<j>"        sub-pane j of pane pid (adaptive mode)
+/// Cache files:
+///   "RIC_Q<q>_S<sid>P<pid>_R<r>"   reduce input cache
+///   "ROC_Q<q>_S<sid>P<pid>_R<r>"   per-pane reduce output cache
+///   "JOC_Q<q>_P<p>x<q2>_R<r>"      pane-pair join output cache
+
+std::string PaneFileName(SourceId source, PaneId pane);
+std::string MultiPaneFileName(SourceId source, PaneId first, PaneId last);
+std::string SubPaneFileName(SourceId source, PaneId pane, int32_t subpane);
+
+std::string ReduceInputCacheName(QueryId query, SourceId source, PaneId pane,
+                                 int32_t partition);
+std::string ReduceOutputCacheName(QueryId query, SourceId source, PaneId pane,
+                                  int32_t partition);
+std::string JoinOutputCacheName(QueryId query, PaneId left, PaneId right,
+                                int32_t partition);
+
+/// Parsed identity of a pane-file name; nullopt when the name is not a pane
+/// file. `last_pane` equals `first_pane` for single-pane and sub-pane files.
+struct ParsedPaneFileName {
+  SourceId source = 0;
+  PaneId first_pane = 0;
+  PaneId last_pane = 0;
+  bool is_subpane = false;
+  int32_t subpane = 0;
+};
+std::optional<ParsedPaneFileName> ParsePaneFileName(const std::string& name);
+
+}  // namespace redoop
+
+#endif  // REDOOP_CORE_PANE_NAMING_H_

@@ -1,0 +1,43 @@
+#include "core/recurring_query.h"
+
+#include "common/logging.h"
+#include "common/string_utils.h"
+
+namespace redoop {
+
+Timestamp RecurringQuery::slide() const { return window().slide; }
+
+std::shared_ptr<const Mapper> RecurringQuery::MapperFor(
+    SourceId source) const {
+  auto it = source_mappers.find(source);
+  return it == source_mappers.end() ? config.mapper : it->second;
+}
+
+const WindowSpec& RecurringQuery::window() const {
+  REDOOP_CHECK(!sources.empty());
+  return sources.front().window;
+}
+
+std::string RecurringQuery::OutputPathForRecurrence(int64_t recurrence) const {
+  if (get_output_path) return get_output_path(recurrence);
+  return StringPrintf("out/%s/rec-%ld", name.c_str(), recurrence);
+}
+
+void RecurringQuery::CheckValid() const {
+  REDOOP_CHECK(!sources.empty()) << "query " << name << " has no sources";
+  REDOOP_CHECK(config.reducer != nullptr) << "query " << name << ": no reducer";
+  REDOOP_CHECK(config.mapper != nullptr) << "query " << name << ": no mapper";
+  REDOOP_CHECK(config.num_reducers > 0);
+  const WindowSpec& w = sources.front().window;
+  REDOOP_CHECK(w.Valid()) << "query " << name << ": invalid window";
+  for (const QuerySource& s : sources) {
+    REDOOP_CHECK(s.window.win == w.win && s.window.slide == w.slide)
+        << "query " << name << ": all sources must share one window spec";
+  }
+  if (pattern == IncrementalPattern::kPanePairJoin) {
+    REDOOP_CHECK(sources.size() == 2)
+        << "kPanePairJoin requires exactly two sources";
+  }
+}
+
+}  // namespace redoop

@@ -1,0 +1,95 @@
+#ifndef REDOOP_CORE_RECURRING_QUERY_H_
+#define REDOOP_CORE_RECURRING_QUERY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "core/window.h"
+#include "mapreduce/job.h"
+
+namespace redoop {
+
+/// One evolving input of a recurring query and its window constraint.
+struct QuerySource {
+  SourceId id = 0;
+  std::string name;
+  WindowSpec window;
+};
+
+/// How consecutive recurrences share work (the paper's finalization
+/// patterns, §2.1/§5):
+///  - kPerPaneMerge: the reduce function is an associative partial
+///    aggregator; Redoop caches per-pane reduce outputs and the window
+///    result is a merge of pane partials (aggregation queries).
+///  - kPanePairJoin: two sources; Redoop caches per-pane reduce inputs and
+///    computes pane-pair join outputs driven by the cache status matrix;
+///    the window result is the union of in-window pane-pair outputs.
+///  - kCachedInputRecompute: Redoop caches per-pane reduce inputs only and
+///    re-reduces the whole window from caches each recurrence (fallback for
+///    non-decomposable reduce functions; also the cache ablation midpoint).
+enum class IncrementalPattern {
+  kPerPaneMerge,
+  kPanePairJoin,
+  kCachedInputRecompute,
+};
+
+/// A registered recurring query (paper §5 API): the map/reduce body exactly
+/// as in Hadoop, window constraints per source, the execution frequency,
+/// and the finalization that merges partial outputs into the window result.
+struct RecurringQuery {
+  QueryId id = 0;
+  std::string name = "query";
+
+  /// The user job body. `config.num_reducers` is fixed across recurrences
+  /// (required for cache validity, paper §4.3).
+  JobConfig config;
+
+  /// Per-source mapper overrides (e.g. join-side tagging); sources not
+  /// listed use config.mapper.
+  std::map<SourceId, std::shared_ptr<const Mapper>> source_mappers;
+
+  std::vector<QuerySource> sources;
+
+  /// The mapper for one source (override or the default).
+  std::shared_ptr<const Mapper> MapperFor(SourceId source) const;
+
+  IncrementalPattern pattern = IncrementalPattern::kPerPaneMerge;
+
+  /// Update-style delivery (the paper's Example 2): when set, every
+  /// WindowReport also carries the delta of the window's result against
+  /// the previous recurrence's (added/removed rows). The full result is
+  /// still produced; deltas are derived from the sorted outputs.
+  bool emit_deltas = false;
+
+  /// Finalization: merges partial outputs (per-pane or per-pane-pair) into
+  /// the window result. For kPerPaneMerge the default (null) reuses
+  /// `config.reducer` — correct whenever the reducer is a semigroup
+  /// (sum-of-sums == sum). For kPanePairJoin the default is a pure union.
+  std::shared_ptr<const Reducer> finalizer;
+
+  /// Output location in DFS for recurrence i; default
+  /// "out/<name>/rec-<i>" (the paper's GetOutputPaths contract: a unique
+  /// path per recurrence).
+  std::function<std::string(int64_t recurrence)> get_output_path;
+
+  /// The query's execution frequency == the slide shared by its sources.
+  Timestamp slide() const;
+  /// The (common) window spec. The engine requires all sources of one
+  /// query to share win/slide, as in the paper's experiments.
+  const WindowSpec& window() const;
+
+  std::string OutputPathForRecurrence(int64_t recurrence) const;
+
+  /// Validates shape invariants (>=1 source, equal windows, reducer set,
+  /// pattern/source-count consistency). Aborts on violation.
+  void CheckValid() const;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_CORE_RECURRING_QUERY_H_

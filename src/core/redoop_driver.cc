@@ -1,0 +1,1283 @@
+#include "core/redoop_driver.h"
+
+#include <cstdio>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+#include "common/string_utils.h"
+#include "core/pane_naming.h"
+
+namespace redoop {
+
+namespace {
+/// Effective incremental strategy given the cache-tier ablation switches.
+enum class EffectivePattern {
+  kPerPaneMerge,
+  kPanePairJoin,
+  kPanePairJoinNoOutputCache,
+  kCachedInputRecompute,
+  kNoCaching,
+};
+
+EffectivePattern Effective(IncrementalPattern pattern,
+                           const RedoopDriverOptions& options) {
+  switch (pattern) {
+    case IncrementalPattern::kPerPaneMerge:
+      if (options.cache_reduce_output) return EffectivePattern::kPerPaneMerge;
+      if (options.cache_reduce_input)
+        return EffectivePattern::kCachedInputRecompute;
+      return EffectivePattern::kNoCaching;
+    case IncrementalPattern::kPanePairJoin:
+      if (!options.cache_reduce_input) return EffectivePattern::kNoCaching;
+      return options.cache_reduce_output
+                 ? EffectivePattern::kPanePairJoin
+                 : EffectivePattern::kPanePairJoinNoOutputCache;
+    case IncrementalPattern::kCachedInputRecompute:
+      return options.cache_reduce_input
+                 ? EffectivePattern::kCachedInputRecompute
+                 : EffectivePattern::kNoCaching;
+  }
+  return EffectivePattern::kNoCaching;
+}
+}  // namespace
+
+RedoopDriver::RedoopDriver(Cluster* cluster, BatchFeed* feed,
+                           RecurringQuery query, RedoopDriverOptions options)
+    : cluster_(cluster),
+      feed_(feed),
+      query_(std::move(query)),
+      options_(options),
+      geometry_(query_.window(),
+                options.pane_size_override > 0
+                    ? options.pane_size_override
+                    : Gcd(query_.window().win, query_.window().slide)),
+      analyzer_(cluster->dfs().options().block_size_bytes),
+      profiler_(options.profiler_alpha, options.profiler_beta) {
+  REDOOP_CHECK(cluster_ != nullptr);
+  REDOOP_CHECK(feed_ != nullptr);
+  query_.CheckValid();
+
+  base_plan_ = analyzer_.Plan(query_.window(), SourceStatistics{0.0});
+  base_plan_.pane_size = geometry_.pane_size();
+  current_plan_ = base_plan_;
+  controller_.RegisterQuery(query_, geometry_.pane_size());
+
+  if (options_.use_cache_aware_scheduler) {
+    CacheAwareSchedulerOptions sched_options;
+    sched_options.load_weight_s = options_.scheduler_load_weight_s;
+    cache_aware_scheduler_ = std::make_unique<CacheAwareScheduler>(
+        &cluster_->cost_model(), sched_options);
+  }
+  runner_ = std::make_unique<JobRunner>(cluster_, scheduler(),
+                                        options_.runner);
+  runner_->SetDiskFullHandler([this](NodeId node, int64_t needed) {
+    // On-demand (emergency) purging of expired caches, paper §4.1.
+    return registries_[static_cast<size_t>(node)]->OnDemandPurge(
+        &cluster_->node(node), needed);
+  });
+
+  for (const QuerySource& s : query_.sources) {
+    packers_[s.id] = std::make_unique<DynamicDataPacker>(
+        &cluster_->dfs(), s.id, current_plan_, options_.file_namespace);
+  }
+  const double purge_cycle = options_.purge_cycle_s >= 0
+                                 ? options_.purge_cycle_s
+                                 : static_cast<double>(query_.slide());
+  for (int32_t n = 0; n < cluster_->num_nodes(); ++n) {
+    registries_.push_back(
+        std::make_unique<LocalCacheRegistry>(n, purge_cycle));
+  }
+  ingested_until_.assign(query_.sources.size(), 0);
+
+  // Cache-loss rollback hook (paper §5 failure recovery). The shared flag
+  // guards against the cluster outliving this driver.
+  auto alive = std::make_shared<bool>(true);
+  alive_flag_ = alive;
+  cluster_->AddCacheLossListener(
+      [this, alive](NodeId node, const std::vector<std::string>& lost) {
+        if (!*alive) return;
+        OnCacheLossEvent(node, lost);
+      });
+}
+
+RedoopDriver::~RedoopDriver() {
+  if (alive_flag_ != nullptr) *alive_flag_ = false;
+}
+
+TaskScheduler* RedoopDriver::scheduler() {
+  if (cache_aware_scheduler_ != nullptr) return cache_aware_scheduler_.get();
+  return &default_scheduler_;
+}
+
+const LocalCacheRegistry& RedoopDriver::registry(NodeId node) const {
+  REDOOP_CHECK(node >= 0 && node < static_cast<NodeId>(registries_.size()));
+  return *registries_[static_cast<size_t>(node)];
+}
+
+const DynamicDataPacker& RedoopDriver::packer(SourceId source) const {
+  auto it = packers_.find(source);
+  REDOOP_CHECK(it != packers_.end()) << "unknown source " << source;
+  return *it->second;
+}
+
+JobConfig RedoopDriver::BaseJobConfig(const std::string& suffix) const {
+  JobConfig config = query_.config;
+  config.name = query_.name + "-" + suffix;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Ingestion
+// ---------------------------------------------------------------------------
+
+void RedoopDriver::IngestInterval(Timestamp from, Timestamp to) {
+  (void)from;  // Per-source progress is tracked in ingested_until_.
+  Simulator& sim = cluster_->simulator();
+  for (size_t si = 0; si < query_.sources.size(); ++si) {
+    const SourceId source = query_.sources[si].id;
+    if (ingested_until_[si] >= to) continue;
+    const std::vector<RecordBatch> batches =
+        feed_->BatchesFor(source, ingested_until_[si], to);
+    for (const RecordBatch& batch : batches) {
+      REDOOP_CHECK(batch.start == ingested_until_[si])
+          << "feed returned a non-contiguous batch";
+      ingested_until_[si] = batch.end;
+      if (proactive_mode_ &&
+          sim.Now() < static_cast<SimTime>(batch.end)) {
+        // Proactive execution: process data as it lands instead of waiting
+        // for the trigger (paper §3.3).
+        sim.RunUntil(static_cast<SimTime>(batch.end));
+      }
+      auto files = packers_[source]->Ingest(batch);
+      REDOOP_CHECK(files.ok()) << files.status().ToString();
+      HandlePaneFiles(source, *files);
+      if (proactive_mode_) DrainWorkLists();
+    }
+    REDOOP_CHECK(ingested_until_[si] == to);
+  }
+}
+
+void RedoopDriver::HandlePaneFiles(SourceId source,
+                                   const std::vector<PaneFileInfo>& files) {
+  for (const PaneFileInfo& f : files) {
+    for (PaneId pane = f.first_pane; pane <= f.last_pane; ++pane) {
+      PaneIngestState& ps = pane_states_[{source, pane}];
+      if (!f.file_name.empty()) {
+        FileSlice slice;
+        slice.file_name = f.file_name;
+        if (f.first_pane != f.last_pane) {
+          // Multi-pane file: locate this pane via the file header.
+          auto file_or = cluster_->dfs().GetFile(f.file_name);
+          REDOOP_CHECK(file_or.ok());
+          auto entry = (*file_or)->pane_header.Find(pane);
+          REDOOP_CHECK(entry.has_value())
+              << "pane " << pane << " missing from header of " << f.file_name;
+          slice.record_begin = entry->record_offset;
+          slice.record_end = entry->record_offset + entry->record_count;
+          slice.bytes = entry->byte_size;
+        } else {
+          slice.record_begin = 0;
+          slice.record_end = -1;
+          slice.bytes = f.bytes;
+        }
+        ps.bytes += slice.bytes;
+        fresh_bytes_accum_ += slice.bytes;
+        source_window_bytes_[source] += slice.bytes;
+        ps.unprocessed.push_back(slice);
+        ps.all_slices.push_back(slice);
+        controller_.OnPaneInHdfs(query_.id, source, pane, {f.file_name});
+      }
+      if (!f.is_subpane || f.subpane_index == f.subpane_count - 1) {
+        ps.complete = true;
+      }
+      if (ps.complete && ps.unprocessed.empty() && !ps.cached_reported) {
+        // Empty (or fully processed) complete pane.
+        ps.cached_reported = true;
+        controller_.OnPaneCached(query_.id, source, pane);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Work lists
+// ---------------------------------------------------------------------------
+
+void RedoopDriver::DrainWorkLists() {
+  const EffectivePattern pattern = Effective(query_.pattern, options_);
+  while (true) {
+    if (auto map_item = controller_.PopMapTask()) {
+      if (pattern == EffectivePattern::kNoCaching) continue;  // Nothing to do.
+      // Join/recompute patterns fold the caching pass into the window job
+      // when not running proactively; the pane's slices stay queued in
+      // pane_states_ until window preparation (rebuilds still run here).
+      const bool fold_later =
+          !proactive_mode_ && !map_item->rebuild &&
+          (pattern == EffectivePattern::kPanePairJoin ||
+           pattern == EffectivePattern::kPanePairJoinNoOutputCache ||
+           pattern == EffectivePattern::kCachedInputRecompute);
+      if (!fold_later) RunPaneJob(*map_item);
+      continue;
+    }
+    // Batch every pending pane pair into one job (shared startup).
+    std::vector<PanePairWorkItem> pairs;
+    while (auto pair_item = controller_.PopReduceTask()) {
+      pairs.push_back(*pair_item);
+    }
+    if (!pairs.empty()) {
+      if (pattern == EffectivePattern::kPanePairJoin) {
+        if (proactive_mode_ || !options_.hybrid_join_strategy) {
+          // Eager: compute pairs as soon as both sides are cached.
+          RunPanePairBatch(pairs);
+        } else {
+          // Defer to the window's strategy decision.
+          for (const PanePairWorkItem& p : pairs) {
+            if (deferred_pair_keys_.insert({p.left, p.right}).second) {
+              deferred_pairs_.push_back(p);
+            }
+          }
+        }
+      }
+      // Without output caching, in-window pairs are recomputed during
+      // window assembly; drop the items.
+      continue;
+    }
+    break;
+  }
+}
+
+void RedoopDriver::RunPaneJob(const PaneWorkItem& item) {
+  if (item.rebuild) {
+    RebuildPane(item.source, item.pane);
+    return;
+  }
+  PaneIngestState& ps = pane_states_[{item.source, item.pane}];
+  if (ps.unprocessed.empty()) {
+    if (ps.complete && !ps.cached_reported) {
+      ps.cached_reported = true;
+      controller_.OnPaneCached(query_.id, item.source, item.pane);
+    }
+    return;
+  }
+  RunPaneSlices(item.source, item.pane, ps.unprocessed);
+  ps.unprocessed.clear();
+  ++ps.chunks_processed;
+  if (ps.complete && !ps.cached_reported) {
+    ps.cached_reported = true;
+    controller_.OnPaneCached(query_.id, item.source, item.pane);
+  }
+}
+
+void RedoopDriver::RunPaneSlices(SourceId source, PaneId pane,
+                                 const std::vector<FileSlice>& slices,
+                                 std::vector<int32_t> active_partitions) {
+  const EffectivePattern pattern = Effective(query_.pattern, options_);
+  PaneIngestState& ps = pane_states_[{source, pane}];
+  const int32_t chunk = ps.chunks_processed;
+
+  JobSpec spec;
+  spec.config = BaseJobConfig(StringPrintf("pane-S%dP%ld", source, pane));
+  const bool make_roc = pattern == EffectivePattern::kPerPaneMerge;
+  if (!make_roc) {
+    // Caching-only pass: the shuffled inputs are the product.
+    spec.config.reducer = std::make_shared<const NullReducer>();
+  }
+  spec.per_source_mappers[source] = query_.MapperFor(source);
+  for (const FileSlice& slice : slices) {
+    MapInput input;
+    input.file_name = slice.file_name;
+    input.source = source;
+    input.pane = pane;
+    input.record_begin = slice.record_begin;
+    input.record_end = slice.record_end;
+    spec.map_inputs.push_back(std::move(input));
+  }
+  const QueryId qid = query_.id;
+  const std::string chunk_suffix =
+      chunk > 0 ? StringPrintf("_c%d", chunk) : "";
+  spec.cache.cache_reduce_input = options_.cache_reduce_input;
+  spec.cache.input_cache_name = [qid, chunk_suffix](SourceId s, PaneId p,
+                                                    int32_t r) {
+    return ReduceInputCacheName(qid, s, p, r) + chunk_suffix;
+  };
+  spec.cache.cache_reduce_output = make_roc;
+  spec.cache.output_cache_name = [qid, source, pane,
+                                  chunk_suffix](int32_t r) {
+    return ReduceOutputCacheName(qid, source, pane, r) + chunk_suffix;
+  };
+  spec.active_partitions = std::move(active_partitions);
+
+  JobResult result = runner_->Run(spec);
+  REDOOP_CHECK(result.status.ok()) << result.status.ToString();
+  RegisterJobCaches(result, source, pane);
+  AccumulateJobStats(result);
+}
+
+void RedoopDriver::RunPanePairBatch(
+    const std::vector<PanePairWorkItem>& pairs) {
+  if (pairs.empty()) return;
+  const SourceId left_source = query_.sources[0].id;
+  const SourceId right_source = query_.sources[1].id;
+  const int32_t num_partitions = query_.config.num_reducers;
+
+  JobSpec spec;
+  spec.config = BaseJobConfig("pane-pairs");
+  // Pair outputs are the query's actual results: they are published to the
+  // job output area in HDFS once, at pair-computation time (the window
+  // assembly then only unions them).
+  spec.output_prefix =
+      StringPrintf("out/%s/pairs-%ld", query_.name.c_str(),
+                   pair_batch_counter_++);
+  // Anchor each pair's tasks on the pane shared by the most pairs in this
+  // batch (typically the freshly arrived pane): its cached partitions then
+  // serve all partner joins from the page cache.
+  std::map<std::pair<SourceId, PaneId>, int64_t> pane_frequency;
+  for (const PanePairWorkItem& pair : pairs) {
+    ++pane_frequency[{left_source, pair.left}];
+    ++pane_frequency[{right_source, pair.right}];
+  }
+  for (const PanePairWorkItem& pair : pairs) {
+    const auto left_caches = controller_.CachesForPane(
+        query_.id, left_source, pair.left, CacheType::kReduceInput);
+    const auto right_caches = controller_.CachesForPane(
+        query_.id, right_source, pair.right, CacheType::kReduceInput);
+    const bool anchor_left = pane_frequency[{left_source, pair.left}] >=
+                             pane_frequency[{right_source, pair.right}];
+    for (int32_t r = 0; r < num_partitions; ++r) {
+      ExplicitReduceTask task;
+      task.partition = r;
+      task.label_left = pair.left;
+      task.label_right = pair.right;
+      task.output_cache_name =
+          JoinOutputCacheName(query_.id, pair.left, pair.right, r);
+      for (const CacheSignature* sig : left_caches) {
+        if (sig->partition == r) {
+          AppendSideInput(*sig, &task.side_inputs);
+          if (anchor_left) task.preferred_node = sig->node;
+        }
+      }
+      for (const CacheSignature* sig : right_caches) {
+        if (sig->partition == r) {
+          AppendSideInput(*sig, &task.side_inputs);
+          if (!anchor_left) task.preferred_node = sig->node;
+        }
+      }
+      spec.explicit_reduce_tasks.push_back(std::move(task));
+    }
+  }
+
+  JobResult result = runner_->Run(spec);
+  REDOOP_CHECK(result.status.ok()) << result.status.ToString();
+  RegisterJobCaches(result, /*source_for_roc=*/0, kInvalidPane);
+  AccumulateJobStats(result);
+  for (const PanePairWorkItem& pair : pairs) {
+    controller_.MarkPanePairDone(query_.id, pair.left, pair.right);
+  }
+}
+
+namespace {
+/// Parses the partition out of a cache name ("RIC_Q1_S1P5_R7" or
+/// "ROC_..._R7_c2" -> 7); -1 when the name has no partition marker.
+int32_t PartitionFromCacheName(const std::string& name) {
+  const size_t pos = name.rfind("_R");
+  if (pos == std::string::npos) return -1;
+  int partition = -1;
+  if (std::sscanf(name.c_str() + pos + 2, "%d", &partition) != 1) return -1;
+  return partition;
+}
+}  // namespace
+
+void RedoopDriver::RebuildPane(SourceId source, PaneId pane) {
+  auto it = pane_states_.find({source, pane});
+  if (it == pane_states_.end()) return;  // Pane already expired.
+  PaneIngestState& ps = it->second;
+
+  // Determine which of the pane's caches actually vanished; the survivors
+  // stay valid (caching is pane- and partition-grained, so a failure costs
+  // only the lost slices, paper §6.4). The replay still re-runs the pane's
+  // map tasks — their outputs are gone — but only the lost partitions'
+  // reduce/caching tasks.
+  std::set<int32_t> lost_ric;
+  std::set<int32_t> lost_roc;
+  auto classify = [&](std::vector<std::string>* manifest,
+                      std::set<int32_t>* lost) {
+    manifest->erase(
+        std::remove_if(manifest->begin(), manifest->end(),
+                       [&](const std::string& name) {
+                         if (store_.Has(name)) return false;  // Survivor.
+                         const int32_t partition =
+                             PartitionFromCacheName(name);
+                         if (partition >= 0) lost->insert(partition);
+                         const NodeId node = controller_.DropSignature(name);
+                         if (node != kInvalidNode &&
+                             node < cluster_->num_nodes()) {
+                           if (cluster_->node(node).alive()) {
+                             cluster_->node(node).DeleteLocalFile(name);
+                           }
+                           registries_[static_cast<size_t>(node)]->Remove(
+                               name);
+                         }
+                         return true;
+                       }),
+        manifest->end());
+  };
+  classify(&ps.ric_names, &lost_ric);
+  classify(&ps.roc_names, &lost_roc);
+  if (lost_ric.empty() && lost_roc.empty()) {
+    // Nothing actually missing (stale rebuild request).
+    if (ps.complete && !ps.cached_reported) {
+      ps.cached_reported = true;
+      controller_.OnPaneCached(query_.id, source, pane);
+    }
+    return;
+  }
+
+  // Partitions whose reduce-output cache vanished but whose reduce-input
+  // cache survives can be re-reduced straight from the input cache — no
+  // re-mapping of the pane.
+  std::set<int32_t> reducible;
+  for (int32_t partition : lost_roc) {
+    if (lost_ric.count(partition) > 0) continue;
+    bool have_ric = false;
+    for (const std::string& name : ps.ric_names) {
+      if (PartitionFromCacheName(name) == partition) have_ric = true;
+    }
+    if (have_ric) reducible.insert(partition);
+  }
+  // Which lost caches force a replay of the pane's map tasks? Join
+  // patterns read the input caches directly, so a lost one must come back.
+  // The aggregation pattern's window assembly reads only output caches —
+  // a lost input cache there is just a recovery asset and is dropped
+  // lazily (re-materialized only if its partition's output is ever lost
+  // too).
+  const bool ric_needed_by_assembly =
+      Effective(query_.pattern, options_) != EffectivePattern::kPerPaneMerge;
+  std::set<int32_t> remap;
+  if (ric_needed_by_assembly) remap = lost_ric;
+  for (int32_t partition : lost_roc) {
+    if (reducible.count(partition) == 0) remap.insert(partition);
+  }
+
+  if (!reducible.empty()) {
+    RebuildOutputsFromInputs(source, pane,
+                             std::vector<int32_t>(reducible.begin(),
+                                                  reducible.end()));
+  }
+  if (!remap.empty() && !ps.all_slices.empty()) {
+    ++ps.chunks_processed;  // Fresh chunk tag: rebuilt caches get new names.
+    RunPaneSlices(source, pane, ps.all_slices,
+                  std::vector<int32_t>(remap.begin(), remap.end()));
+    ++ps.chunks_processed;
+  }
+  ps.unprocessed.clear();
+  REDOOP_CHECK(ps.complete) << "rebuilding an incomplete pane";
+  ps.cached_reported = true;
+  controller_.OnPaneCached(query_.id, source, pane);
+}
+
+void RedoopDriver::RebuildOutputsFromInputs(
+    SourceId source, PaneId pane, std::vector<int32_t> partitions) {
+  PaneIngestState& ps = pane_states_[{source, pane}];
+  JobSpec spec;
+  spec.config =
+      BaseJobConfig(StringPrintf("roc-rebuild-S%dP%ld", source, pane));
+  for (const std::string& name : ps.ric_names) {
+    const int32_t partition = PartitionFromCacheName(name);
+    if (std::find(partitions.begin(), partitions.end(), partition) ==
+        partitions.end()) {
+      continue;
+    }
+    const CacheSignature* sig = controller_.Find(name);
+    if (sig != nullptr) AppendSideInput(*sig, &spec.side_inputs);
+  }
+  const QueryId qid = query_.id;
+  const int32_t chunk = ps.chunks_processed;
+  const std::string chunk_suffix =
+      chunk > 0 ? StringPrintf("_c%d", chunk) : "";
+  spec.cache.cache_reduce_output = true;
+  spec.cache.output_cache_name = [qid, source, pane,
+                                  chunk_suffix](int32_t r) {
+    return ReduceOutputCacheName(qid, source, pane, r) + chunk_suffix + "_rb";
+  };
+  spec.active_partitions = std::move(partitions);
+
+  JobResult result = runner_->Run(spec);
+  REDOOP_CHECK(result.status.ok()) << result.status.ToString();
+  RegisterJobCaches(result, source, pane);
+  AccumulateJobStats(result);
+}
+
+// ---------------------------------------------------------------------------
+// Cache registration
+// ---------------------------------------------------------------------------
+
+void RedoopDriver::AppendSideInput(const CacheSignature& sig,
+                                   std::vector<ReduceSideInput>* out) const {
+  const CacheStore::Entry* entry = store_.Find(sig.name);
+  REDOOP_CHECK(entry != nullptr) << "cache payload missing: " << sig.name;
+  ReduceSideInput side;
+  side.cache_name = sig.name;
+  side.partition = sig.partition;
+  side.source = sig.source;
+  side.pane = sig.pane;
+  side.location = sig.node;
+  side.bytes = sig.bytes;
+  side.records = sig.records;
+  side.payload = &entry->payload;
+  out->push_back(std::move(side));
+}
+
+std::vector<ReduceSideInput> RedoopDriver::SideInputsFor(
+    const std::vector<const CacheSignature*>& caches) const {
+  std::vector<ReduceSideInput> out;
+  out.reserve(caches.size());
+  for (const CacheSignature* sig : caches) AppendSideInput(*sig, &out);
+  return out;
+}
+
+void RedoopDriver::RegisterJobCaches(const JobResult& result,
+                                     SourceId source_for_roc,
+                                     PaneId pane_for_roc) {
+  for (const MaterializedCache& cache : result.caches) {
+    CacheSignature sig;
+    sig.name = cache.name;
+    sig.partition = cache.partition;
+    sig.node = cache.node;
+    sig.bytes = cache.bytes;
+    sig.records = cache.records;
+    sig.ready = CacheReady::kCacheAvailable;
+    if (cache.is_reduce_output) {
+      sig.type = CacheType::kReduceOutput;
+      if (cache.pane_right != kInvalidPane) {
+        sig.pane = cache.pane;           // Pane-pair output.
+        sig.pane_right = cache.pane_right;
+      } else {
+        sig.source = source_for_roc;     // Per-pane aggregation partial.
+        sig.pane = pane_for_roc;
+      }
+    } else {
+      sig.type = CacheType::kReduceInput;
+      sig.source = cache.source;
+      sig.pane = cache.pane;
+    }
+    // Manifest bookkeeping for loss detection.
+    if (sig.pane_right == kInvalidPane && sig.pane != kInvalidPane) {
+      PaneIngestState& ps = pane_states_[{sig.source, sig.pane}];
+      if (sig.type == CacheType::kReduceInput) {
+        ps.ric_names.push_back(sig.name);
+      } else {
+        ps.roc_names.push_back(sig.name);
+      }
+    }
+    store_.Put(sig.name, cache.payload, sig.bytes, sig.records);
+    registries_[static_cast<size_t>(sig.node)]->AddEntry(sig.name, sig.type,
+                                                         sig.bytes);
+    // The registry ships its delta to the master with its next heartbeat
+    // (paper §2.3); the bus records the in-flight metadata traffic.
+    cluster_->heartbeat_bus().Send(sig.node, cluster_->simulator().Now(),
+                                   "cache-add", sig.name);
+    controller_.AddSignature(std::move(sig), query_.id);
+  }
+  cluster_->heartbeat_bus().DeliverUpTo(cluster_->simulator().Now());
+}
+
+void RedoopDriver::AccumulateJobStats(const JobResult& result) {
+  shuffle_accum_ += result.shuffle_time_total;
+  reduce_accum_ += result.reduce_time_total;
+  map_phase_accum_ += result.map_phase_time;
+  work_accum_ += result.Elapsed();
+  counters_accum_.MergeFrom(result.counters);
+  task_reports_accum_.insert(task_reports_accum_.end(),
+                             result.task_reports.begin(),
+                             result.task_reports.end());
+}
+
+// ---------------------------------------------------------------------------
+// Window assembly
+// ---------------------------------------------------------------------------
+
+void RedoopDriver::EnsureWindowPanes(int64_t recurrence) {
+  const EffectivePattern pattern = Effective(query_.pattern, options_);
+  if (pattern == EffectivePattern::kNoCaching) return;
+  const PaneRange panes = geometry_.PanesForRecurrence(recurrence);
+  for (const QuerySource& qs : query_.sources) {
+    for (PaneId p = panes.first; p < panes.last; ++p) {
+      auto it = pane_states_.find({qs.id, p});
+      if (it == pane_states_.end()) continue;  // Pane had no data.
+      const PaneIngestState& ps = it->second;
+      bool missing = false;
+      for (const std::string& name : ps.ric_names) {
+        if (!store_.Has(name)) missing = true;
+      }
+      for (const std::string& name : ps.roc_names) {
+        if (!store_.Has(name)) missing = true;
+      }
+      if (missing) RebuildPane(qs.id, p);
+    }
+  }
+}
+
+std::vector<PanePairWorkItem> RedoopDriver::MissingWindowPairs(
+    int64_t recurrence) const {
+  const PaneRange panes = geometry_.PanesForRecurrence(recurrence);
+  const int32_t num_partitions = query_.config.num_reducers;
+  std::vector<PanePairWorkItem> missing;
+  for (PaneId l = panes.first; l < panes.last; ++l) {
+    for (PaneId r = panes.first; r < panes.last; ++r) {
+      bool needs_run = !controller_.IsPanePairDone(query_.id, l, r);
+      if (!needs_run) {
+        for (int32_t part = 0; part < num_partitions; ++part) {
+          if (controller_.Find(JoinOutputCacheName(query_.id, l, r, part)) ==
+              nullptr) {
+            // Pair output absent: lost to a failure, or the pair was
+            // retired by a recompute-path window without materializing it.
+            needs_run = true;
+          }
+        }
+      }
+      if (needs_run) missing.push_back(PanePairWorkItem{query_.id, l, r});
+    }
+  }
+  return missing;
+}
+
+double RedoopDriver::EstimatePairPathCost(
+    const std::vector<PanePairWorkItem>& pairs) const {
+  const CostModel& cost = cluster_->cost_model();
+  const SourceId left_source = query_.sources[0].id;
+  const SourceId right_source = query_.sources[1].id;
+  auto pane_bytes = [&](SourceId s, PaneId p) {
+    auto it = pane_states_.find({s, p});
+    return it == pane_states_.end() ? int64_t{0} : it->second.bytes;
+  };
+  // Reads: each distinct pane once (optimistic: co-located tasks hit the
+  // page cache); CPU: every pair scans both sides.
+  std::set<std::pair<SourceId, PaneId>> distinct;
+  double cpu_bytes = 0.0;
+  for (const PanePairWorkItem& pair : pairs) {
+    distinct.insert({left_source, pair.left});
+    distinct.insert({right_source, pair.right});
+    cpu_bytes += static_cast<double>(pane_bytes(left_source, pair.left) +
+                                     pane_bytes(right_source, pair.right));
+  }
+  double read_bytes = 0.0;
+  for (const auto& [s, p] : distinct) {
+    read_bytes += static_cast<double>(pane_bytes(s, p));
+  }
+  return cost.LocalReadTime(static_cast<int64_t>(read_bytes)) +
+         cost.ReduceComputeTime(static_cast<int64_t>(cpu_bytes)) +
+         static_cast<double>(pairs.size()) * cost.TaskStartupTime();
+}
+
+double RedoopDriver::EstimateRecomputePathCost(int64_t recurrence) const {
+  const CostModel& cost = cluster_->cost_model();
+  const PaneRange panes = geometry_.PanesForRecurrence(recurrence);
+  int64_t window_bytes = 0;
+  for (const QuerySource& qs : query_.sources) {
+    for (PaneId p = panes.first; p < panes.last; ++p) {
+      auto it = pane_states_.find({qs.id, p});
+      if (it != pane_states_.end()) window_bytes += it->second.bytes;
+    }
+  }
+  // Read + join-scan the whole window, then write the full output anew
+  // (estimated from the previous window's output volume).
+  return cost.LocalReadTime(window_bytes) +
+         cost.ReduceComputeTime(window_bytes) +
+         cost.HdfsWriteTime(last_join_output_bytes_);
+}
+
+JobSpec RedoopDriver::BuildFoldedWindowSpec(int64_t recurrence) {
+  const PaneRange panes = geometry_.PanesForRecurrence(recurrence);
+  JobSpec spec;
+  spec.config = BaseJobConfig(StringPrintf("window-%ld", recurrence));
+  spec.output_prefix = query_.OutputPathForRecurrence(recurrence);
+  const QueryId qid = query_.id;
+  for (const QuerySource& qs : query_.sources) {
+    spec.per_source_mappers[qs.id] = query_.MapperFor(qs.id);
+    for (PaneId p = panes.first; p < panes.last; ++p) {
+      auto it = pane_states_.find({qs.id, p});
+      if (it == pane_states_.end()) continue;  // Empty pane.
+      // Not-yet-cached slices are mapped; already-cached data arrives at
+      // the reducers straight from the local caches (paper Fig. 5: reducer
+      // input physically comes from the mappers AND the local FS).
+      for (const FileSlice& slice : it->second.unprocessed) {
+        MapInput input;
+        input.file_name = slice.file_name;
+        input.source = qs.id;
+        input.pane = p;
+        input.record_begin = slice.record_begin;
+        input.record_end = slice.record_end;
+        spec.map_inputs.push_back(std::move(input));
+      }
+      for (const CacheSignature* sig : controller_.CachesForPane(
+               qid, qs.id, p, CacheType::kReduceInput)) {
+        AppendSideInput(*sig, &spec.side_inputs);
+      }
+    }
+  }
+  spec.cache.cache_reduce_input = options_.cache_reduce_input;
+  spec.cache.input_cache_name = [this, qid](SourceId s, PaneId p, int32_t r) {
+    auto it = pane_states_.find({s, p});
+    const int32_t chunk =
+        it == pane_states_.end() ? 0 : it->second.chunks_processed;
+    const std::string suffix = chunk > 0 ? StringPrintf("_c%d", chunk) : "";
+    return ReduceInputCacheName(qid, s, p, r) + suffix;
+  };
+  return spec;
+}
+
+void RedoopDriver::FinishFoldedPanes(int64_t recurrence) {
+  const PaneRange panes = geometry_.PanesForRecurrence(recurrence);
+  for (const QuerySource& qs : query_.sources) {
+    for (PaneId p = panes.first; p < panes.last; ++p) {
+      auto it = pane_states_.find({qs.id, p});
+      if (it == pane_states_.end()) continue;
+      PaneIngestState& ps = it->second;
+      if (!ps.unprocessed.empty()) {
+        ps.unprocessed.clear();
+        ++ps.chunks_processed;
+      }
+      if (ps.complete && !ps.cached_reported) {
+        ps.cached_reported = true;
+        controller_.OnPaneCached(query_.id, qs.id, p);
+      }
+    }
+  }
+}
+
+void RedoopDriver::EnsureWindowPanesCached(int64_t recurrence) {
+  const PaneRange panes = geometry_.PanesForRecurrence(recurrence);
+  for (const QuerySource& qs : query_.sources) {
+    for (PaneId p = panes.first; p < panes.last; ++p) {
+      auto it = pane_states_.find({qs.id, p});
+      if (it == pane_states_.end()) continue;
+      PaneIngestState& ps = it->second;
+      if (!ps.unprocessed.empty()) {
+        RunPaneSlices(qs.id, p, ps.unprocessed);
+        ps.unprocessed.clear();
+        ++ps.chunks_processed;
+      }
+      if (ps.complete && !ps.cached_reported) {
+        ps.cached_reported = true;
+        controller_.OnPaneCached(query_.id, qs.id, p);
+      }
+    }
+  }
+}
+
+void RedoopDriver::RunJoinWindowRecompute(int64_t recurrence) {
+  // The folded window job: map the fresh panes, join against the cached
+  // older panes, publish the window output, and keep the fresh panes'
+  // shuffled inputs as caches (the merge spill, at no extra write cost).
+  JobSpec spec = BuildFoldedWindowSpec(recurrence);
+
+  std::vector<KeyValue> output;
+  if (!spec.map_inputs.empty() || !spec.side_inputs.empty()) {
+    JobResult result = runner_->Run(spec);
+    REDOOP_CHECK(result.status.ok()) << result.status.ToString();
+    RegisterJobCaches(result, /*source_for_roc=*/0, kInvalidPane);
+    AccumulateJobStats(result);
+    output = std::move(result.output);
+  }
+  FinishFoldedPanes(recurrence);
+  last_join_output_bytes_ = TotalLogicalBytes(output);
+  join_window_override_ = std::move(output);
+
+  // The pairs this window covers are retired in the status matrix (their
+  // outputs were delivered, just not cached); expiration bookkeeping
+  // proceeds as usual, and any future window that wants a pair's cached
+  // output will recompute it (MissingWindowPairs treats done-without-
+  // output as missing).
+  const PaneRange panes = geometry_.PanesForRecurrence(recurrence);
+  for (PaneId l = panes.first; l < panes.last; ++l) {
+    for (PaneId r = panes.first; r < panes.last; ++r) {
+      controller_.MarkPanePairDone(query_.id, l, r);
+    }
+  }
+}
+
+void RedoopDriver::PrepareJoinWindow(int64_t recurrence) {
+  const EffectivePattern pattern = Effective(query_.pattern, options_);
+  if (pattern != EffectivePattern::kPanePairJoin) return;
+  join_window_override_.reset();
+
+  // Drop deferred pairs that already ran (e.g. proactively).
+  deferred_pairs_.erase(
+      std::remove_if(deferred_pairs_.begin(), deferred_pairs_.end(),
+                     [&](const PanePairWorkItem& p) {
+                       if (controller_.IsPanePairDone(query_.id, p.left,
+                                                      p.right)) {
+                         deferred_pair_keys_.erase({p.left, p.right});
+                         return true;
+                       }
+                       return false;
+                     }),
+      deferred_pairs_.end());
+
+  const std::vector<PanePairWorkItem> missing = MissingWindowPairs(recurrence);
+  if (missing.empty()) return;  // Everything cached already.
+
+  // Strategy choice on steady-state costs: the pair path's recurring work
+  // is the pairs involving freshly arrived panes, regardless of how large
+  // the transition investment is this window (a myopic comparison on
+  // `missing` would lock the driver into recompute forever, since pairs
+  // retired by a recompute window have no cached output).
+  const PaneRange window = geometry_.PanesForRecurrence(recurrence);
+  const PaneRange fresh = geometry_.NewPanesForRecurrence(recurrence);
+  std::vector<PanePairWorkItem> steady_pairs;
+  for (PaneId l = window.first; l < window.last; ++l) {
+    for (PaneId r = window.first; r < window.last; ++r) {
+      if (fresh.Contains(l) || fresh.Contains(r)) {
+        steady_pairs.push_back(PanePairWorkItem{query_.id, l, r});
+      }
+    }
+  }
+  const bool choose_pairs =
+      !options_.hybrid_join_strategy ||
+      EstimatePairPathCost(steady_pairs) <=
+          EstimateRecomputePathCost(recurrence);
+  if (choose_pairs) {
+    // The pair path needs every in-window pane's reducer inputs cached
+    // first (pairs read from caches), then recomputes the missing pairs —
+    // including panes that became cache-ready during this preparation.
+    EnsureWindowPanesCached(recurrence);
+    const std::vector<PanePairWorkItem> needed =
+        MissingWindowPairs(recurrence);
+    RunPanePairBatch(needed);
+    for (const PanePairWorkItem& p : needed) {
+      deferred_pair_keys_.erase({p.left, p.right});
+    }
+  } else {
+    RunJoinWindowRecompute(recurrence);
+    // Deferred in-window pairs are covered by the recompute.
+    deferred_pairs_.erase(
+        std::remove_if(deferred_pairs_.begin(), deferred_pairs_.end(),
+                       [&](const PanePairWorkItem& p) {
+                         if (controller_.IsPanePairDone(query_.id, p.left,
+                                                        p.right)) {
+                           deferred_pair_keys_.erase({p.left, p.right});
+                           return true;
+                         }
+                         return false;
+                       }),
+        deferred_pairs_.end());
+  }
+}
+
+WindowReport RedoopDriver::AssembleWindow(int64_t recurrence) {
+  const EffectivePattern pattern = Effective(query_.pattern, options_);
+  const PaneRange panes = geometry_.PanesForRecurrence(recurrence);
+  const int32_t num_partitions = query_.config.num_reducers;
+
+  JobSpec spec;
+  spec.config = BaseJobConfig(StringPrintf("window-%ld", recurrence));
+  spec.output_prefix = query_.OutputPathForRecurrence(recurrence);
+
+  switch (pattern) {
+    case EffectivePattern::kPerPaneMerge: {
+      // Merge per-pane partial aggregates (pane-based, not tuple-based).
+      spec.config.reducer =
+          query_.finalizer ? query_.finalizer : query_.config.reducer;
+      const SourceId source = query_.sources[0].id;
+      for (PaneId p = panes.first; p < panes.last; ++p) {
+        auto caches = controller_.CachesForPane(query_.id, source, p,
+                                                CacheType::kReduceOutput);
+        auto sides = SideInputsFor(caches);
+        spec.side_inputs.insert(spec.side_inputs.end(), sides.begin(),
+                                sides.end());
+      }
+      break;
+    }
+    case EffectivePattern::kPanePairJoinNoOutputCache:
+      // Without pair-output caching, each window is re-joined from the
+      // cached reducer inputs — exactly the folded recompute below.
+      [[fallthrough]];
+    case EffectivePattern::kCachedInputRecompute: {
+      // The folded window job (paper Fig. 5): map only the fresh panes,
+      // pull the overlapping panes from the reducer-input caches, and keep
+      // the fresh panes' shuffled inputs as next window's caches.
+      JobSpec folded = BuildFoldedWindowSpec(recurrence);
+      folded.config.name = spec.config.name;
+      if (query_.finalizer != nullptr &&
+          query_.pattern == IncrementalPattern::kPerPaneMerge) {
+        // Input-cache-only mode reduces whole windows directly, so the
+        // window finalization composes into the reduce per key group.
+        folded.config.reducer = std::make_shared<const ComposedReducer>(
+            query_.config.reducer, query_.finalizer);
+      }
+      JobResult result = runner_->Run(folded);
+      REDOOP_CHECK(result.status.ok()) << result.status.ToString();
+      RegisterJobCaches(result, /*source_for_roc=*/0, kInvalidPane);
+      AccumulateJobStats(result);
+      FinishFoldedPanes(recurrence);
+
+      WindowReport report;
+      report.recurrence = recurrence;
+      report.output = std::move(result.output);
+      SortByKey(&report.output);
+      report.output_records = static_cast<int64_t>(report.output.size());
+      for (const QuerySource& qs : query_.sources) {
+        for (PaneId p = panes.first; p < panes.last; ++p) {
+          auto it = pane_states_.find({qs.id, p});
+          if (it != pane_states_.end())
+            report.window_input_bytes += it->second.bytes;
+        }
+      }
+      return report;
+    }
+    case EffectivePattern::kPanePairJoin: {
+      if (join_window_override_.has_value()) {
+        // The recompute path already produced (and published) the window
+        // output in one pass over the cached reducer inputs.
+        WindowReport report;
+        report.recurrence = recurrence;
+        report.output = std::move(*join_window_override_);
+        join_window_override_.reset();
+        SortByKey(&report.output);
+        report.output_records = static_cast<int64_t>(report.output.size());
+        for (const QuerySource& qs : query_.sources) {
+          for (PaneId p = panes.first; p < panes.last; ++p) {
+            auto it = pane_states_.find({qs.id, p});
+            if (it != pane_states_.end())
+              report.window_input_bytes += it->second.bytes;
+          }
+        }
+        return report;
+      }
+      // The window result is the union of the in-window pane-pair outputs.
+      // Each pair's output was already materialized (and written to the
+      // job output area in HDFS) exactly once, when the pair task ran;
+      // finalization is a pure metadata union — no re-reading or
+      // re-writing of result bytes (this is where the join's Fig. 7 gains
+      // come from: Hadoop rewrites the whole window's output every
+      // recurrence).
+      WindowReport report;
+      report.recurrence = recurrence;
+      for (PaneId l = panes.first; l < panes.last; ++l) {
+        for (PaneId r = panes.first; r < panes.last; ++r) {
+          for (int32_t part = 0; part < num_partitions; ++part) {
+            const CacheSignature* sig = controller_.Find(
+                JoinOutputCacheName(query_.id, l, r, part));
+            REDOOP_CHECK(sig != nullptr)
+                << "missing pair output " << l << "x" << r << " R" << part;
+            if (sig->records == 0) continue;
+            const CacheStore::Entry* entry = store_.Find(sig->name);
+            REDOOP_CHECK(entry != nullptr);
+            report.output.insert(report.output.end(), entry->payload.begin(),
+                                 entry->payload.end());
+          }
+        }
+      }
+      SortByKey(&report.output);
+      report.output_records = static_cast<int64_t>(report.output.size());
+      last_join_output_bytes_ = TotalLogicalBytes(report.output);
+      for (const QuerySource& qs : query_.sources) {
+        for (PaneId p = panes.first; p < panes.last; ++p) {
+          auto it = pane_states_.find({qs.id, p});
+          if (it != pane_states_.end())
+            report.window_input_bytes += it->second.bytes;
+        }
+      }
+      return report;
+    }
+    case EffectivePattern::kNoCaching: {
+      // Degenerate mode: recompute the window from the pane files.
+      for (const QuerySource& qs : query_.sources) {
+        spec.per_source_mappers[qs.id] = query_.MapperFor(qs.id);
+        for (PaneId p = panes.first; p < panes.last; ++p) {
+          auto it = pane_states_.find({qs.id, p});
+          if (it == pane_states_.end()) continue;
+          for (const FileSlice& slice : it->second.all_slices) {
+            MapInput input;
+            input.file_name = slice.file_name;
+            input.source = qs.id;
+            input.pane = p;
+            input.record_begin = slice.record_begin;
+            input.record_end = slice.record_end;
+            spec.map_inputs.push_back(std::move(input));
+          }
+        }
+      }
+      break;
+    }
+  }
+
+  JobResult result = runner_->Run(spec);
+  REDOOP_CHECK(result.status.ok()) << result.status.ToString();
+  AccumulateJobStats(result);
+
+  WindowReport report;
+  report.recurrence = recurrence;
+  report.output = std::move(result.output);
+  SortByKey(&report.output);
+  report.output_records = static_cast<int64_t>(report.output.size());
+  for (const QuerySource& qs : query_.sources) {
+    for (PaneId p = panes.first; p < panes.last; ++p) {
+      auto it = pane_states_.find({qs.id, p});
+      if (it != pane_states_.end()) report.window_input_bytes += it->second.bytes;
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Recurrence loop
+// ---------------------------------------------------------------------------
+
+WindowReport RedoopDriver::RunRecurrence(int64_t recurrence) {
+  REDOOP_CHECK(recurrence == next_recurrence_)
+      << "recurrences must run consecutively";
+  ++next_recurrence_;
+
+  const Timestamp trigger = geometry_.TriggerTime(recurrence);
+  const Timestamp window_end = geometry_.WindowEnd(recurrence);
+  Simulator& sim = cluster_->simulator();
+
+  // 1. Ingest the inter-trigger data; the packer materializes panes and, in
+  //    proactive mode, partial processing happens as data lands.
+  IngestInterval(geometry_.WindowBegin(recurrence), window_end);
+  for (const QuerySource& qs : query_.sources) {
+    HandlePaneFiles(qs.id, packers_[qs.id]->FlushUpTo(window_end));
+  }
+  if (proactive_mode_) DrainWorkLists();
+
+  // 2. Wait for the trigger (or start late if the previous window overran).
+  if (sim.Now() < static_cast<SimTime>(trigger)) {
+    sim.RunUntil(static_cast<SimTime>(trigger));
+  }
+
+  // 3. Remaining incremental work, failure repair, and window assembly.
+  DrainWorkLists();
+  EnsureWindowPanes(recurrence);
+  PrepareJoinWindow(recurrence);
+  WindowReport report = AssembleWindow(recurrence);
+
+  report.trigger_time = trigger;
+  report.finished_at = sim.Now();
+  report.response_time = sim.Now() - static_cast<SimTime>(trigger);
+  if (query_.emit_deltas) {
+    report.delta = ComputeWindowDelta(previous_output_, report.output);
+    previous_output_ = report.output;
+  }
+  report.shuffle_time = shuffle_accum_;
+  report.reduce_time = reduce_accum_;
+  report.map_phase_time = map_phase_accum_;
+  report.fresh_input_bytes = fresh_bytes_accum_;
+  report.counters = counters_accum_;
+  report.task_reports = std::move(task_reports_accum_);
+  task_reports_accum_.clear();
+  shuffle_accum_ = 0.0;
+  reduce_accum_ = 0.0;
+  map_phase_accum_ = 0.0;
+  fresh_bytes_accum_ = 0;
+  counters_accum_ = Counters();
+
+  AfterRecurrence(recurrence, report);
+  return report;
+}
+
+void RedoopDriver::AfterRecurrence(int64_t recurrence,
+                                   const WindowReport& report) {
+  // The profiler tracks the recurrence's total execution time — the sum of
+  // all job time spent for this window, whether it ran before the trigger
+  // (proactively) or after. Observing the response time instead would make
+  // the control loop disengage proactive mode the moment it helps. The
+  // cold recurrence 0 (a whole window of backlog, an order of magnitude
+  // above steady state) is excluded — feeding it in poisons the Holt trend
+  // with a huge negative slope for several recurrences.
+  if (recurrence > 0) {
+    profiler_.Observe(std::max(work_accum_, report.response_time),
+                      report.fresh_input_bytes);
+  }
+  work_accum_ = 0.0;
+
+  // Adaptive re-planning (paper §3.3): forecast next execution time; when
+  // it threatens the slide budget, switch to finer sub-panes + proactive
+  // early processing.
+  if (options_.adaptive && profiler_.observation_count() >= 2) {
+    const double budget =
+        options_.proactive_threshold * static_cast<double>(query_.slide());
+    const double forecast = profiler_.Forecast(1);
+    const double scale = budget > 0 ? forecast / budget : 0.0;
+    for (const QuerySource& qs : query_.sources) {
+      const double rate =
+          static_cast<double>(source_window_bytes_[qs.id]) /
+          static_cast<double>(query_.slide());
+      PartitionPlan plan =
+          analyzer_.Plan(query_.window(), SourceStatistics{rate});
+      plan.pane_size = geometry_.pane_size();  // Grid possibly overridden.
+      plan = analyzer_.AdaptPlan(plan, scale, options_.max_subpanes);
+      packers_[qs.id]->UpdatePlan(plan);
+      current_plan_ = plan;
+    }
+    proactive_mode_ = current_plan_.subpanes_per_pane > 1;
+  }
+  source_window_bytes_.clear();
+
+  // Expiration: flip doneQueryMask bits, shift the status matrix, route
+  // purge notifications to the local cache registries.
+  const std::vector<PurgeNotification> notifications =
+      controller_.FinishRecurrence(query_.id, recurrence);
+  for (const PurgeNotification& n : notifications) {
+    if (n.node >= 0 && n.node < cluster_->num_nodes()) {
+      registries_[static_cast<size_t>(n.node)]->MarkExpired(n.name);
+      // Master -> node purge notification (paper §4.2) rides the bus too.
+      cluster_->heartbeat_bus().Send(n.node, cluster_->simulator().Now(),
+                                     "cache-expire", n.name);
+    }
+    store_.Remove(n.name);
+  }
+  cluster_->heartbeat_bus().DeliverUpTo(cluster_->simulator().Now() +
+                                        cluster_->heartbeat_bus().interval());
+  // Periodic purging on every live node (paper §4.1).
+  for (int32_t n = 0; n < cluster_->num_nodes(); ++n) {
+    TaskNode& node = cluster_->node(n);
+    if (!node.alive()) continue;
+    registries_[static_cast<size_t>(n)]->MaybePeriodicPurge(
+        &node, cluster_->simulator().Now());
+  }
+  // Retire driver-side pane state that no future window can touch, along
+  // with the pane files in DFS.
+  const PaneRange next_window = geometry_.PanesForRecurrence(recurrence + 1);
+  for (auto it = pane_states_.begin(); it != pane_states_.end();) {
+    if (it->first.second < next_window.first) {
+      for (const FileSlice& slice : it->second.all_slices) {
+        if (cluster_->dfs().Exists(slice.file_name)) {
+          // Multi-pane files may be shared with a live pane; only drop
+          // files whose entire range expired.
+          auto file_or = cluster_->dfs().GetFile(slice.file_name);
+          if (file_or.ok() &&
+              (*file_or)->time_end <=
+                  geometry_.PaneBegin(next_window.first)) {
+            REDOOP_CHECK_OK(cluster_->dfs().DeleteFile(slice.file_name));
+          }
+        }
+      }
+      it = pane_states_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+RunReport RedoopDriver::Run(int64_t n) {
+  RunReport report;
+  report.system = options_.adaptive ? "redoop-adaptive" : "redoop";
+  for (int64_t i = 0; i < n; ++i) {
+    report.windows.push_back(RunRecurrence(i));
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Ad-hoc queries over the cached history
+// ---------------------------------------------------------------------------
+
+StatusOr<std::vector<KeyValue>> RedoopDriver::RunAdHocQuery(Timestamp begin,
+                                                            Timestamp end) {
+  if (query_.pattern != IncrementalPattern::kPerPaneMerge) {
+    return Status::InvalidArgument(
+        "ad-hoc range queries are supported for aggregation "
+        "(kPerPaneMerge) queries");
+  }
+  if (begin < 0 || end <= begin) {
+    return Status::InvalidArgument("empty or negative ad-hoc range");
+  }
+  const Timestamp pane_size = geometry_.pane_size();
+  const PaneId first_pane = begin / pane_size;
+  const PaneId last_pane = (end + pane_size - 1) / pane_size;  // Exclusive.
+  const SourceId source = query_.sources[0].id;
+
+  JobSpec spec;
+  spec.config = BaseJobConfig(
+      StringPrintf("adhoc-%ld-%ld", begin, end));
+  spec.config.reducer =
+      query_.finalizer
+          ? std::static_pointer_cast<const Reducer>(
+                std::make_shared<const ComposedReducer>(query_.config.reducer,
+                                                        query_.finalizer))
+          : query_.config.reducer;
+
+  // The retained horizon starts at the oldest pane still tracked; ranges
+  // reaching before it cannot be answered (their files were reclaimed).
+  if (!pane_states_.empty() &&
+      first_pane < pane_states_.begin()->first.second) {
+    return Status::OutOfRange(StringPrintf(
+        "ad-hoc range starts at pane %ld but history begins at pane %ld",
+        first_pane, pane_states_.begin()->first.second));
+  }
+
+  for (PaneId p = first_pane; p < last_pane; ++p) {
+    auto it = pane_states_.find({source, p});
+    if (it == pane_states_.end()) continue;  // Pane carried no data.
+    const PaneIngestState& ps = it->second;
+    const bool fully_covered =
+        begin <= geometry_.PaneBegin(p) && geometry_.PaneEnd(p) <= end;
+    const bool has_cached_outputs = fully_covered && !ps.roc_names.empty();
+    bool served_from_cache = false;
+    if (has_cached_outputs) {
+      // Serve the pane from its cached partial outputs.
+      served_from_cache = true;
+      for (const std::string& name : ps.roc_names) {
+        const CacheSignature* sig = controller_.Find(name);
+        if (sig == nullptr || !store_.Has(name)) {
+          served_from_cache = false;
+          break;
+        }
+      }
+      if (served_from_cache) {
+        for (const std::string& name : ps.roc_names) {
+          AppendSideInput(*controller_.Find(name), &spec.side_inputs);
+        }
+      }
+    }
+    if (!served_from_cache) {
+      // Re-map the pane's files, clipped to the requested range.
+      spec.per_source_mappers[source] =
+          std::make_shared<const WindowFilterMapper>(query_.MapperFor(source),
+                                                     begin, end);
+      for (const FileSlice& slice : ps.all_slices) {
+        MapInput input;
+        input.file_name = slice.file_name;
+        input.source = source;
+        input.pane = p;
+        input.record_begin = slice.record_begin;
+        input.record_end = slice.record_end;
+        spec.map_inputs.push_back(std::move(input));
+      }
+    }
+  }
+
+  JobResult result = runner_->Run(spec);
+  REDOOP_RETURN_IF_ERROR(result.status);
+  AccumulateJobStats(result);
+  std::vector<KeyValue> output = std::move(result.output);
+  SortByKey(&output);
+  return output;
+}
+
+// ---------------------------------------------------------------------------
+// Failure handling
+// ---------------------------------------------------------------------------
+
+void RedoopDriver::OnCacheLossEvent(NodeId node,
+                                    const std::vector<std::string>& lost) {
+  for (const std::string& name : lost) {
+    WindowAwareCacheController::LossImpact impact =
+        controller_.OnCacheLost(node, name);
+    for (const PurgeNotification& n : impact.lost_caches) {
+      store_.Remove(n.name);
+      if (n.node >= 0 && n.node < cluster_->num_nodes()) {
+        if (n.node != node && cluster_->node(n.node).alive()) {
+          cluster_->node(n.node).DeleteLocalFile(n.name);
+        }
+        registries_[static_cast<size_t>(n.node)]->Remove(n.name);
+      }
+    }
+  }
+}
+
+}  // namespace redoop

@@ -1,0 +1,243 @@
+#ifndef REDOOP_CORE_REDOOP_DRIVER_H_
+#define REDOOP_CORE_REDOOP_DRIVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/batch_feed.h"
+#include "core/cache_aware_scheduler.h"
+#include "core/cache_controller.h"
+#include "core/cache_store.h"
+#include "core/data_packer.h"
+#include "core/execution_profiler.h"
+#include "core/local_cache_registry.h"
+#include "core/metrics.h"
+#include "core/recurring_query.h"
+#include "core/semantic_analyzer.h"
+#include "core/window.h"
+#include "mapreduce/job_runner.h"
+#include "mapreduce/scheduler.h"
+
+namespace redoop {
+
+struct RedoopDriverOptions {
+  /// Cache the shuffled, sorted reducer inputs per pane (paper §4).
+  bool cache_reduce_input = true;
+  /// Cache per-pane (or per-pane-pair) reducer outputs.
+  bool cache_reduce_output = true;
+  /// Window-aware cache-locality scheduling (Eq. 4) vs Hadoop's default.
+  bool use_cache_aware_scheduler = true;
+  /// Join-window strategy optimizer: per recurrence, cost-estimate the
+  /// pane-pair incremental path against re-joining the whole window from
+  /// cached reducer inputs, and take the cheaper. Pane pairs win at high
+  /// overlap (pair outputs are reused across many windows); the recompute
+  /// path wins at low overlap, where per-pair execution would re-read each
+  /// pane once per partner. Disable to force pane pairs always.
+  bool hybrid_join_strategy = true;
+  /// Adaptive input partitioning + proactive execution (paper §3.3).
+  bool adaptive = false;
+  /// Proactive mode engages when the forecast execution time exceeds this
+  /// fraction of the slide.
+  double proactive_threshold = 0.8;
+  int32_t max_subpanes = 6;
+  /// Local-registry purge period; < 0 means "one slide" (paper default).
+  double purge_cycle_s = -1.0;
+  double scheduler_load_weight_s = 30.0;
+  /// Holt smoothing parameters for the Execution Profiler.
+  double profiler_alpha = 0.5;
+  double profiler_beta = 0.3;
+  /// Pane-grid override in seconds (0 = GCD(win, slide)). Must divide both
+  /// win and slide. The multi-query coordinator uses this to put every
+  /// query sharing a source on one grid (GCD across all their windows).
+  Timestamp pane_size_override = 0;
+  /// Prefix for the query's DFS pane files, so several drivers can consume
+  /// the same source on one cluster without name collisions.
+  std::string file_namespace;
+  /// Engine-level knobs (task retries, straggler model, speculative
+  /// execution — the latter off by default, as in the paper's setup).
+  JobRunnerOptions runner;
+};
+
+/// The Redoop execution driver: the component that ties together the
+/// Semantic Analyzer, Dynamic Data Packer, Execution Profiler, Window-Aware
+/// Cache Controller, per-node Local Cache Registries, and the Cache-Aware
+/// Task Scheduler to run a recurring query incrementally (paper §2.3
+/// architecture). Window results are exactly equal to what the plain-Hadoop
+/// driver produces on the same feed — caching must never change answers.
+class RedoopDriver {
+ public:
+  /// `cluster` and `feed` must outlive the driver.
+  RedoopDriver(Cluster* cluster, BatchFeed* feed, RecurringQuery query,
+               RedoopDriverOptions options = {});
+  ~RedoopDriver();
+
+  RedoopDriver(const RedoopDriver&) = delete;
+  RedoopDriver& operator=(const RedoopDriver&) = delete;
+
+  /// Executes recurrence i (consecutive from 0) and reports.
+  WindowReport RunRecurrence(int64_t recurrence);
+
+  /// Convenience: runs recurrences [0, n).
+  RunReport Run(int64_t n);
+
+  /// Ad-hoc historical query (paper §2.1: "even ad-hoc queries can benefit
+  /// from the caching of the intermediate data"): evaluates the query's
+  /// map/reduce/finalize over an arbitrary time range [begin, end) within
+  /// the retained pane horizon. Panes fully inside the range are served
+  /// from their cached reducer outputs; partially covered edge panes are
+  /// re-mapped from their pane files with a time filter. Aggregation
+  /// (kPerPaneMerge) queries only. Returns the sorted result.
+  StatusOr<std::vector<KeyValue>> RunAdHocQuery(Timestamp begin,
+                                                Timestamp end);
+
+  // --- Introspection (tests, benchmarks) --------------------------------
+  const WindowGeometry& geometry() const { return geometry_; }
+  const WindowAwareCacheController& controller() const { return controller_; }
+  const CacheStore& store() const { return store_; }
+  const ExecutionProfiler& profiler() const { return profiler_; }
+  const LocalCacheRegistry& registry(NodeId node) const;
+  const DynamicDataPacker& packer(SourceId source) const;
+  bool proactive_mode() const { return proactive_mode_; }
+  int32_t current_subpanes() const { return current_plan_.subpanes_per_pane; }
+  const RedoopDriverOptions& options() const { return options_; }
+
+ private:
+  struct FileSlice {
+    std::string file_name;
+    int64_t record_begin = 0;
+    int64_t record_end = -1;
+    int64_t bytes = 0;
+  };
+
+  struct PaneIngestState {
+    std::vector<FileSlice> unprocessed;  // Slices awaiting a caching pass.
+    std::vector<FileSlice> all_slices;   // Every slice (for rebuilds).
+    bool complete = false;
+    bool cached_reported = false;
+    int32_t chunks_processed = 0;
+    int64_t bytes = 0;
+    /// Cache files materialized for this pane (manifest for loss checks).
+    std::vector<std::string> ric_names;
+    std::vector<std::string> roc_names;
+  };
+
+  using PaneKey = std::pair<SourceId, PaneId>;
+
+  void IngestInterval(Timestamp from, Timestamp to);
+  void HandlePaneFiles(SourceId source,
+                       const std::vector<PaneFileInfo>& files);
+  void DrainWorkLists();
+  void RunPaneJob(const PaneWorkItem& item);
+  /// Runs one map+cache pass over a pane's (sub-)file slices; a non-empty
+  /// `active_partitions` limits the reduce/caching side to those
+  /// partitions (partition-scoped cache rebuild).
+  void RunPaneSlices(SourceId source, PaneId pane,
+                     const std::vector<FileSlice>& slices,
+                     std::vector<int32_t> active_partitions = {});
+  /// Runs a batch of pane-pair join tasks as one job.
+  void RunPanePairBatch(const std::vector<PanePairWorkItem>& pairs);
+  /// Invalidates the pane's *lost* caches and re-materializes just those:
+  /// lost output caches with surviving input caches are re-reduced in
+  /// place; anything else is replayed from the pane's HDFS files with the
+  /// reduce side limited to the lost partitions.
+  void RebuildPane(SourceId source, PaneId pane);
+  /// Re-reduces the given partitions' output caches from their surviving
+  /// reduce-input caches.
+  void RebuildOutputsFromInputs(SourceId source, PaneId pane,
+                                std::vector<int32_t> partitions);
+  void RegisterJobCaches(const JobResult& result, SourceId source_for_roc,
+                         PaneId pane_for_roc);
+  void AccumulateJobStats(const JobResult& result);
+  WindowReport AssembleWindow(int64_t recurrence);
+  void AfterRecurrence(int64_t recurrence, const WindowReport& report);
+  void OnCacheLossEvent(NodeId node, const std::vector<std::string>& lost);
+  void AppendSideInput(const CacheSignature& sig,
+                       std::vector<ReduceSideInput>* out) const;
+  std::vector<ReduceSideInput> SideInputsFor(
+      const std::vector<const CacheSignature*>& caches) const;
+  /// Join windows: decides the execution strategy (pane pairs vs cached-
+  /// input recompute), runs the needed work, and — on the recompute path —
+  /// stashes the window output in `join_window_override_`.
+  void PrepareJoinWindow(int64_t recurrence);
+  /// In-window pairs that are undone or whose outputs are missing.
+  std::vector<PanePairWorkItem> MissingWindowPairs(int64_t recurrence) const;
+  /// Cost estimates (simulated seconds of I/O+CPU work) for the two join
+  /// window strategies.
+  double EstimatePairPathCost(
+      const std::vector<PanePairWorkItem>& pairs) const;
+  double EstimateRecomputePathCost(int64_t recurrence) const;
+  /// Re-joins the whole window from cached reducer inputs in one job.
+  void RunJoinWindowRecompute(int64_t recurrence);
+  /// Builds the paper's folded window job (Fig. 5): map only the panes not
+  /// yet cached, feed previously cached panes to the reducers as side
+  /// inputs, and keep the new panes' merged reducer inputs as caches.
+  JobSpec BuildFoldedWindowSpec(int64_t recurrence);
+  /// Completes the caching pass for every in-window pane that still has
+  /// unprocessed slices (pair path prerequisite).
+  void EnsureWindowPanesCached(int64_t recurrence);
+  /// Marks the panes whose slices `spec` mapped as cached after the fold
+  /// job ran.
+  void FinishFoldedPanes(int64_t recurrence);
+  /// Ensures every in-window pane's manifest caches are still present.
+  void EnsureWindowPanes(int64_t recurrence);
+  JobConfig BaseJobConfig(const std::string& suffix) const;
+  TaskScheduler* scheduler();
+
+  Cluster* cluster_;
+  BatchFeed* feed_;
+  RecurringQuery query_;
+  RedoopDriverOptions options_;
+  WindowGeometry geometry_;
+  SemanticAnalyzer analyzer_;
+  PartitionPlan base_plan_;
+  PartitionPlan current_plan_;
+  WindowAwareCacheController controller_;
+  CacheStore store_;
+  ExecutionProfiler profiler_;
+  DefaultScheduler default_scheduler_;
+  std::unique_ptr<CacheAwareScheduler> cache_aware_scheduler_;
+  std::unique_ptr<JobRunner> runner_;
+  std::map<SourceId, std::unique_ptr<DynamicDataPacker>> packers_;
+  std::vector<std::unique_ptr<LocalCacheRegistry>> registries_;
+  std::map<PaneKey, PaneIngestState> pane_states_;
+  std::vector<Timestamp> ingested_until_;
+  int64_t next_recurrence_ = 0;
+  bool proactive_mode_ = false;
+  int64_t pair_batch_counter_ = 0;
+  /// Pairs popped from the controller's reduce task list but deferred to
+  /// the window's strategy decision (non-proactive join mode).
+  std::vector<PanePairWorkItem> deferred_pairs_;
+  std::set<std::pair<PaneId, PaneId>> deferred_pair_keys_;
+  /// Window output computed by the recompute join path (consumed by
+  /// AssembleWindow instead of the pair-output union).
+  std::optional<std::vector<KeyValue>> join_window_override_;
+  /// Previous join window's output volume (recompute cost estimation).
+  int64_t last_join_output_bytes_ = 0;
+  /// Previous recurrence's result, kept when the query emits deltas.
+  std::vector<KeyValue> previous_output_;
+  /// Guards the cluster's cache-loss listener against driver teardown.
+  std::shared_ptr<bool> alive_flag_;
+  /// Fresh bytes per source in the current inter-trigger interval (rate
+  /// statistics for the Semantic Analyzer).
+  std::map<SourceId, int64_t> source_window_bytes_;
+
+  // Per-recurrence accumulators (proactive jobs count toward the next
+  // recurrence's phase totals).
+  SimDuration shuffle_accum_ = 0.0;
+  SimDuration reduce_accum_ = 0.0;
+  SimDuration map_phase_accum_ = 0.0;
+  SimDuration work_accum_ = 0.0;  // Total job time, pre- and post-trigger.
+  std::vector<TaskReport> task_reports_accum_;
+  Counters counters_accum_;
+  int64_t fresh_bytes_accum_ = 0;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_CORE_REDOOP_DRIVER_H_

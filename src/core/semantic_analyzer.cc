@@ -1,0 +1,76 @@
+#include "core/semantic_analyzer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+
+namespace redoop {
+
+SemanticAnalyzer::SemanticAnalyzer(int64_t hdfs_block_size_bytes)
+    : block_size_bytes_(hdfs_block_size_bytes) {
+  REDOOP_CHECK(block_size_bytes_ > 0);
+}
+
+Timestamp SemanticAnalyzer::PaneSizeFor(
+    const std::vector<WindowSpec>& constraints) {
+  REDOOP_CHECK(!constraints.empty());
+  std::vector<int64_t> values;
+  values.reserve(constraints.size() * 2);
+  for (const WindowSpec& w : constraints) {
+    REDOOP_CHECK(w.Valid());
+    values.push_back(w.win);
+    values.push_back(w.slide);
+  }
+  const int64_t pane = GcdAll(values);
+  REDOOP_CHECK(pane > 0);
+  return pane;
+}
+
+PartitionPlan SemanticAnalyzer::Plan(const WindowSpec& window,
+                                     const SourceStatistics& stats) const {
+  return PlanMultiQuery({window}, stats);
+}
+
+PartitionPlan SemanticAnalyzer::PlanMultiQuery(
+    const std::vector<WindowSpec>& constraints,
+    const SourceStatistics& stats) const {
+  // Algorithm 1, verbatim:
+  //   1: pane <- GCD(Q.win, Q.slide)
+  //   2: filesize <- S.rate * pane
+  //   3: if filesize >= blocksize: PP <- (pane, 1, 1)
+  //   6: else panenum <- floor(blocksize / filesize); PP <- (pane, 1, panenum)
+  PartitionPlan plan;
+  plan.pane_size = PaneSizeFor(constraints);
+  const double file_size =
+      stats.rate_bps * static_cast<double>(plan.pane_size);
+  plan.files_per_pane = 1;
+  if (file_size >= static_cast<double>(block_size_bytes_) || file_size <= 0) {
+    plan.panes_per_file = 1;  // Oversize case: one pane == one file.
+  } else {
+    plan.panes_per_file = static_cast<int64_t>(
+        static_cast<double>(block_size_bytes_) / file_size);
+    if (plan.panes_per_file < 1) plan.panes_per_file = 1;
+  }
+  plan.expected_file_bytes = static_cast<int64_t>(
+      file_size * static_cast<double>(plan.panes_per_file));
+  plan.subpanes_per_pane = 1;
+  return plan;
+}
+
+PartitionPlan SemanticAnalyzer::AdaptPlan(const PartitionPlan& base,
+                                          double scale_factor,
+                                          int32_t max_subpanes) const {
+  REDOOP_CHECK(max_subpanes >= 1);
+  PartitionPlan plan = base;
+  if (scale_factor <= 1.0 || !std::isfinite(scale_factor)) {
+    plan.subpanes_per_pane = 1;
+    return plan;
+  }
+  int32_t subpanes = static_cast<int32_t>(std::ceil(scale_factor));
+  if (subpanes > max_subpanes) subpanes = max_subpanes;
+  plan.subpanes_per_pane = subpanes;
+  return plan;
+}
+
+}  // namespace redoop

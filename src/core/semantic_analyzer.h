@@ -1,0 +1,83 @@
+#ifndef REDOOP_CORE_SEMANTIC_ANALYZER_H_
+#define REDOOP_CORE_SEMANTIC_ANALYZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "core/recurring_query.h"
+#include "core/window.h"
+
+namespace redoop {
+
+/// Observed statistics for one data source, fed by the Execution Profiler.
+struct SourceStatistics {
+  /// Observed arrival rate, logical bytes per second of data time.
+  double rate_bps = 0.0;
+};
+
+/// The Semantic Analyzer's output (paper Algorithm 1): the logical pane
+/// size and how logical panes map onto physical HDFS files.
+struct PartitionPlan {
+  /// Logical pane length in seconds: GCD(win, slide) of every window
+  /// constraint on the source, possibly divided by `subpanes_per_pane`
+  /// during adaptive operation.
+  Timestamp pane_size = 0;
+  /// Always 1 in Algorithm 1 — one pane never spans multiple files.
+  int64_t files_per_pane = 1;
+  /// How many logical panes share one physical file (>= 1; > 1 in the
+  /// undersized case when rate * pane < HDFS block size).
+  int64_t panes_per_file = 1;
+  /// Expected physical file size, bytes (rate * pane * panes_per_file).
+  int64_t expected_file_bytes = 0;
+  /// Sub-pane split factor for adaptive/proactive mode (1 = off). Sub-panes
+  /// keep the base pane grid; each pane's data is emitted in this many
+  /// early slices.
+  int32_t subpanes_per_pane = 1;
+
+  friend bool operator==(const PartitionPlan& a, const PartitionPlan& b) {
+    return a.pane_size == b.pane_size && a.files_per_pane == b.files_per_pane &&
+           a.panes_per_file == b.panes_per_file &&
+           a.expected_file_bytes == b.expected_file_bytes &&
+           a.subpanes_per_pane == b.subpanes_per_pane;
+  }
+};
+
+/// Optimizer that turns window constraints plus source statistics into a
+/// pane-based partition plan (paper §3.1), and adapts it when the Execution
+/// Profiler forecasts load spikes (§3.3).
+class SemanticAnalyzer {
+ public:
+  explicit SemanticAnalyzer(int64_t hdfs_block_size_bytes);
+
+  /// The logical pane size for a source constrained by the given window
+  /// specs: GCD over every query's win and slide on that source.
+  static Timestamp PaneSizeFor(const std::vector<WindowSpec>& constraints);
+
+  /// Algorithm 1 for a single query on a single source.
+  PartitionPlan Plan(const WindowSpec& window,
+                     const SourceStatistics& stats) const;
+
+  /// Multi-query variant: one source consumed by several queries with
+  /// different windows gets the GCD pane of all of them.
+  PartitionPlan PlanMultiQuery(const std::vector<WindowSpec>& constraints,
+                               const SourceStatistics& stats) const;
+
+  /// Adaptive re-planning (§3.3): `scale_factor` is the ratio between the
+  /// forecast execution time and the slide budget. When it exceeds 1 the
+  /// plan splits each pane into ceil(scale_factor) sub-panes (capped) so
+  /// proactive execution can start on finer slices; when it drops back the
+  /// plan returns to whole panes.
+  PartitionPlan AdaptPlan(const PartitionPlan& base, double scale_factor,
+                          int32_t max_subpanes = 8) const;
+
+  int64_t block_size_bytes() const { return block_size_bytes_; }
+
+ private:
+  int64_t block_size_bytes_;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_CORE_SEMANTIC_ANALYZER_H_

@@ -1,0 +1,102 @@
+#include "core/window.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+
+namespace redoop {
+
+double WindowSpec::Overlap() const {
+  REDOOP_CHECK(win > 0);
+  return static_cast<double>(win - slide) / static_cast<double>(win);
+}
+
+WindowGeometry::WindowGeometry(WindowSpec spec, Timestamp pane_size)
+    : spec_(spec), pane_size_(pane_size) {
+  REDOOP_CHECK(spec_.Valid()) << "invalid window spec: win=" << spec.win
+                              << " slide=" << spec.slide;
+  REDOOP_CHECK(pane_size_ > 0);
+  REDOOP_CHECK(spec_.win % pane_size_ == 0)
+      << "pane size " << pane_size_ << " must divide win " << spec_.win;
+  REDOOP_CHECK(spec_.slide % pane_size_ == 0)
+      << "pane size " << pane_size_ << " must divide slide " << spec_.slide;
+}
+
+Timestamp WindowGeometry::TriggerTime(int64_t recurrence) const {
+  REDOOP_CHECK(recurrence >= 0);
+  return spec_.win + recurrence * spec_.slide;
+}
+
+Timestamp WindowGeometry::WindowBegin(int64_t recurrence) const {
+  REDOOP_CHECK(recurrence >= 0);
+  return recurrence * spec_.slide;
+}
+
+Timestamp WindowGeometry::WindowEnd(int64_t recurrence) const {
+  return WindowBegin(recurrence) + spec_.win;
+}
+
+PaneId WindowGeometry::PaneForTime(Timestamp t) const {
+  REDOOP_CHECK(t >= 0);
+  return t / pane_size_;
+}
+
+Timestamp WindowGeometry::PaneBegin(PaneId p) const { return p * pane_size_; }
+Timestamp WindowGeometry::PaneEnd(PaneId p) const {
+  return (p + 1) * pane_size_;
+}
+
+PaneRange WindowGeometry::PanesForRecurrence(int64_t recurrence) const {
+  return PaneRange{WindowBegin(recurrence) / pane_size_,
+                   WindowEnd(recurrence) / pane_size_};
+}
+
+PaneRange WindowGeometry::NewPanesForRecurrence(int64_t recurrence) const {
+  const PaneRange current = PanesForRecurrence(recurrence);
+  if (recurrence == 0) return current;
+  const PaneRange previous = PanesForRecurrence(recurrence - 1);
+  return PaneRange{std::max(current.first, previous.last), current.last};
+}
+
+PaneRange WindowGeometry::DroppedPanesAtRecurrence(int64_t recurrence) const {
+  if (recurrence == 0) return PaneRange{0, 0};
+  const PaneRange current = PanesForRecurrence(recurrence);
+  const PaneRange previous = PanesForRecurrence(recurrence - 1);
+  return PaneRange{previous.first, std::min(previous.last, current.first)};
+}
+
+int64_t WindowGeometry::FirstRecurrenceUsingPane(PaneId p) const {
+  // Smallest i with i*s <= p < i*s + w  (in pane units).
+  const int64_t s = panes_per_slide();
+  const int64_t w = panes_per_window();
+  // i >= (p - w + 1) / s, rounded up; and i >= 0.
+  const int64_t numerator = p - w + 1;
+  int64_t i = numerator <= 0 ? 0 : CeilDiv(numerator, s);
+  REDOOP_CHECK(i * s <= p) << "pane " << p << " precedes every window";
+  return i;
+}
+
+int64_t WindowGeometry::LastRecurrenceUsingPane(PaneId p) const {
+  // Largest i with i*s <= p, i.e. floor(p / s).
+  const int64_t s = panes_per_slide();
+  return p / s;
+}
+
+bool WindowGeometry::PaneExpiredAfter(PaneId p,
+                                      int64_t completed_recurrence) const {
+  return LastRecurrenceUsingPane(p) <= completed_recurrence;
+}
+
+PaneRange JoinLifespan(const WindowGeometry& geometry, PaneId p) {
+  // Union of the windows containing p, expressed in partner-pane ids: both
+  // sources share the geometry, so partner panes co-occurring with p are
+  // exactly the panes of those same windows.
+  const int64_t first_rec = geometry.FirstRecurrenceUsingPane(p);
+  const int64_t last_rec = geometry.LastRecurrenceUsingPane(p);
+  const PaneRange first_window = geometry.PanesForRecurrence(first_rec);
+  const PaneRange last_window = geometry.PanesForRecurrence(last_rec);
+  return PaneRange{first_window.first, last_window.last};
+}
+
+}  // namespace redoop

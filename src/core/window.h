@@ -1,0 +1,101 @@
+#ifndef REDOOP_CORE_WINDOW_H_
+#define REDOOP_CORE_WINDOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+
+namespace redoop {
+
+/// A sliding-window constraint on a data source: process the last `win`
+/// seconds of data, re-executing every `slide` seconds (paper §2.1).
+struct WindowSpec {
+  Timestamp win = 0;
+  Timestamp slide = 0;
+
+  /// The paper's `overlap` factor: (win - slide) / win — the fraction of a
+  /// window shared with its predecessor.
+  double Overlap() const;
+
+  bool Valid() const { return win > 0 && slide > 0 && slide <= win; }
+};
+
+/// Half-open pane-id range [first, last).
+struct PaneRange {
+  PaneId first = 0;
+  PaneId last = 0;
+
+  int64_t size() const { return last - first; }
+  bool Contains(PaneId p) const { return p >= first && p < last; }
+  bool empty() const { return last <= first; }
+
+  friend bool operator==(const PaneRange& a, const PaneRange& b) {
+    return a.first == b.first && a.last == b.last;
+  }
+};
+
+/// Pane/window arithmetic for one (WindowSpec, pane size) pair. Recurrence
+/// i (0-based) triggers at time `win + i*slide` and covers data in
+/// [i*slide, i*slide + win). With pane = GCD(win, slide) every window is an
+/// exact union of panes.
+class WindowGeometry {
+ public:
+  /// `pane_size` must evenly divide both win and slide.
+  WindowGeometry(WindowSpec spec, Timestamp pane_size);
+
+  const WindowSpec& spec() const { return spec_; }
+  Timestamp pane_size() const { return pane_size_; }
+  int64_t panes_per_window() const { return spec_.win / pane_size_; }
+  int64_t panes_per_slide() const { return spec_.slide / pane_size_; }
+
+  /// Wall-clock (data time) at which recurrence i fires.
+  Timestamp TriggerTime(int64_t recurrence) const;
+
+  /// Data time range [begin, end) that recurrence i processes.
+  Timestamp WindowBegin(int64_t recurrence) const;
+  Timestamp WindowEnd(int64_t recurrence) const;
+
+  /// Pane covering timestamp t.
+  PaneId PaneForTime(Timestamp t) const;
+
+  /// Time range [begin, end) of pane p.
+  Timestamp PaneBegin(PaneId p) const;
+  Timestamp PaneEnd(PaneId p) const;
+
+  /// Panes of recurrence i's window.
+  PaneRange PanesForRecurrence(int64_t recurrence) const;
+
+  /// Panes of recurrence i that were NOT in recurrence i-1 (all of them for
+  /// i == 0) — the data Redoop must actually process anew.
+  PaneRange NewPanesForRecurrence(int64_t recurrence) const;
+
+  /// Panes that recurrence i no longer needs but i-1 did (empty for i==0).
+  PaneRange DroppedPanesAtRecurrence(int64_t recurrence) const;
+
+  /// The last recurrence whose window contains pane p.
+  int64_t LastRecurrenceUsingPane(PaneId p) const;
+
+  /// The first recurrence whose window contains pane p.
+  int64_t FirstRecurrenceUsingPane(PaneId p) const;
+
+  /// True once pane p can never be needed again after recurrence i ran
+  /// (i.e. p lies strictly before window i+1's start... see .cc).
+  bool PaneExpiredAfter(PaneId p, int64_t completed_recurrence) const;
+
+ private:
+  WindowSpec spec_;
+  Timestamp pane_size_;
+};
+
+/// Lifespan of pane `p` of one source with respect to a partner source in a
+/// binary join (paper §4.2): the range of partner panes that co-occur with
+/// p in at least one window, i.e. the pairs that must be joined before p
+/// can expire. Both sources use the same geometry here (the paper's
+/// experiments use equal window constraints on both join inputs).
+PaneRange JoinLifespan(const WindowGeometry& geometry, PaneId p);
+
+}  // namespace redoop
+
+#endif  // REDOOP_CORE_WINDOW_H_

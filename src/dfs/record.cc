@@ -1,0 +1,11 @@
+#include "dfs/record.h"
+
+namespace redoop {
+
+int64_t TotalLogicalBytes(const std::vector<Record>& records) {
+  int64_t total = 0;
+  for (const Record& r : records) total += r.logical_bytes;
+  return total;
+}
+
+}  // namespace redoop

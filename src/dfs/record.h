@@ -1,0 +1,50 @@
+#ifndef REDOOP_DFS_RECORD_H_
+#define REDOOP_DFS_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace redoop {
+
+/// A timestamped key/value tuple — the unit of data flowing through DFS
+/// files and MapReduce tasks. `logical_bytes` is the record's on-disk size
+/// in the simulated world; it drives I/O and CPU costs and may be larger
+/// than the in-memory footprint (so experiments can model multi-GB inputs
+/// with modest record counts).
+struct Record {
+  Timestamp timestamp = 0;
+  std::string key;
+  std::string value;
+  int32_t logical_bytes = 0;
+
+  Record() = default;
+  Record(Timestamp ts, std::string k, std::string v, int32_t bytes)
+      : timestamp(ts), key(std::move(k)), value(std::move(v)),
+        logical_bytes(bytes) {}
+
+  friend bool operator==(const Record& a, const Record& b) {
+    return a.timestamp == b.timestamp && a.key == b.key && a.value == b.value &&
+           a.logical_bytes == b.logical_bytes;
+  }
+};
+
+/// Total logical size of a span of records.
+int64_t TotalLogicalBytes(const std::vector<Record>& records);
+
+/// A batch of records covering the half-open time range [start, end), the
+/// form in which evolving data sources deliver data to HDFS (paper §2.1:
+/// batch files arrive in order; tuples within a batch are unordered).
+struct RecordBatch {
+  Timestamp start = 0;
+  Timestamp end = 0;
+  std::vector<Record> records;
+
+  int64_t logical_bytes() const { return TotalLogicalBytes(records); }
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_DFS_RECORD_H_

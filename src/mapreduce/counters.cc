@@ -1,0 +1,30 @@
+#include "mapreduce/counters.h"
+
+#include "common/string_utils.h"
+
+namespace redoop {
+
+void Counters::Increment(std::string_view name, int64_t delta) {
+  values_[std::string(name)] += delta;
+}
+
+int64_t Counters::Get(std::string_view name) const {
+  auto it = values_.find(std::string(name));
+  return it == values_.end() ? 0 : it->second;
+}
+
+void Counters::MergeFrom(const Counters& other) {
+  for (const auto& [name, value] : other.values()) {
+    values_[name] += value;
+  }
+}
+
+std::string Counters::ToString() const {
+  std::string out;
+  for (const auto& [name, value] : values_) {
+    out += StringPrintf("%s = %ld\n", name.c_str(), value);
+  }
+  return out;
+}
+
+}  // namespace redoop

@@ -1,0 +1,56 @@
+#ifndef REDOOP_MAPREDUCE_COUNTERS_H_
+#define REDOOP_MAPREDUCE_COUNTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace redoop {
+
+/// Well-known counter names (Hadoop-style job counters).
+namespace counter {
+inline constexpr const char* kMapInputRecords = "map.input.records";
+inline constexpr const char* kMapInputBytes = "map.input.bytes";
+inline constexpr const char* kMapOutputRecords = "map.output.records";
+inline constexpr const char* kMapOutputBytes = "map.output.bytes";
+inline constexpr const char* kMapTasks = "map.tasks";
+inline constexpr const char* kMapTaskRetries = "map.task.retries";
+inline constexpr const char* kShuffleRemoteBytes = "shuffle.remote.bytes";
+inline constexpr const char* kShuffleLocalBytes = "shuffle.local.bytes";
+inline constexpr const char* kReduceInputRecords = "reduce.input.records";
+inline constexpr const char* kReduceInputBytes = "reduce.input.bytes";
+inline constexpr const char* kReduceOutputRecords = "reduce.output.records";
+inline constexpr const char* kReduceOutputBytes = "reduce.output.bytes";
+inline constexpr const char* kReduceTasks = "reduce.tasks";
+inline constexpr const char* kReduceTaskRetries = "reduce.task.retries";
+inline constexpr const char* kCacheReadLocalBytes = "cache.read.local.bytes";
+inline constexpr const char* kCacheReadRemoteBytes = "cache.read.remote.bytes";
+inline constexpr const char* kCacheWriteBytes = "cache.write.bytes";
+inline constexpr const char* kHdfsReadBytes = "hdfs.read.bytes";
+inline constexpr const char* kHdfsWriteBytes = "hdfs.write.bytes";
+}  // namespace counter
+
+/// A named bag of monotonically increasing int64 counters.
+class Counters {
+ public:
+  Counters() = default;
+
+  void Increment(std::string_view name, int64_t delta = 1);
+  int64_t Get(std::string_view name) const;
+
+  /// Adds every counter of `other` into this bag.
+  void MergeFrom(const Counters& other);
+
+  const std::map<std::string, int64_t>& values() const { return values_; }
+
+  /// Multi-line "name = value" dump, sorted by name.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, int64_t> values_;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_MAPREDUCE_COUNTERS_H_

@@ -1,0 +1,45 @@
+#ifndef REDOOP_MAPREDUCE_JOB_RESULT_H_
+#define REDOOP_MAPREDUCE_JOB_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "mapreduce/counters.h"
+#include "mapreduce/kv.h"
+#include "mapreduce/task.h"
+
+namespace redoop {
+
+/// Outcome of one MapReduce job execution on the simulated cluster.
+struct JobResult {
+  Status status;
+  SimTime submitted_at = 0.0;
+  SimTime finished_at = 0.0;
+
+  /// End-to-end job response time.
+  SimDuration Elapsed() const { return finished_at - submitted_at; }
+
+  /// Phase aggregates matching the paper's Fig. 6/7 (b,d,f) methodology:
+  /// shuffle time is the copying of map outputs to reducers; reduce time is
+  /// everything a reducer does after the shuffle (sort + grouping + reduce
+  /// calls + writes), summed over reduce tasks.
+  SimDuration shuffle_time_total = 0.0;
+  SimDuration reduce_time_total = 0.0;
+  /// Map phase span: first map start to last map finish.
+  SimDuration map_phase_time = 0.0;
+
+  /// Final output pairs, partitions concatenated in partition order, each
+  /// partition sorted by (key, value).
+  std::vector<KeyValue> output;
+
+  Counters counters;
+  std::vector<TaskReport> task_reports;
+  /// Caches materialized per the spec's CacheDirectives.
+  std::vector<MaterializedCache> caches;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_MAPREDUCE_JOB_RESULT_H_

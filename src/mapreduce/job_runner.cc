@@ -1,0 +1,898 @@
+#include "mapreduce/job_runner.h"
+
+#include <algorithm>
+#include <set>
+#include <type_traits>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_utils.h"
+
+namespace redoop {
+
+// ---------------------------------------------------------------------------
+// Internal task/run state
+// ---------------------------------------------------------------------------
+
+struct JobRunner::MapTaskState {
+  TaskId id = 0;
+  int64_t index = 0;  // Position in RunState::maps.
+  // Input slice.
+  const DfsFile* file = nullptr;
+  int64_t record_begin = 0;
+  int64_t record_end = 0;
+  int64_t input_bytes = 0;
+  std::vector<NodeId> replica_nodes;
+  SourceId source = 0;
+  PaneId pane = kInvalidPane;
+
+  TaskState state = TaskState::kPending;
+  NodeId node = kInvalidNode;
+  int32_t attempt = 0;
+  TaskTiming timing;
+  /// Speculative backup attempt, if launched (kInvalidNode = none).
+  NodeId backup_node = kInvalidNode;
+  TaskId backup_id = 0;
+  SimDuration nominal_duration = 0.0;
+  // Partitioned, sorted map output: one bucket per reduce partition.
+  std::vector<std::vector<KeyValue>> buckets;
+  std::vector<int64_t> bucket_bytes;
+  int64_t output_records = 0;
+  int64_t output_bytes = 0;
+};
+
+struct JobRunner::ReduceTaskState {
+  TaskId id = 0;
+  int32_t partition = 0;
+  std::vector<ReduceSideInput> side_inputs;
+  NodeId preferred_node = kInvalidNode;
+  /// Explicit-task fields (pane-pair jobs): skip the shuffle, use a
+  /// per-task output cache name, carry pane labels.
+  bool is_explicit = false;
+  std::string output_cache_name;
+  PaneId label_left = kInvalidPane;
+  PaneId label_right = kInvalidPane;
+
+  TaskState state = TaskState::kPending;
+  NodeId node = kInvalidNode;
+  int32_t attempt = 0;
+  TaskTiming timing;
+  /// Speculative backup attempt, if launched (kInvalidNode = none).
+  NodeId backup_node = kInvalidNode;
+  TaskId backup_id = 0;
+  SimDuration nominal_duration = 0.0;
+  std::vector<KeyValue> output;
+  std::vector<MaterializedCache> caches;
+};
+
+struct JobRunner::RunState {
+  const JobSpec* spec = nullptr;
+  std::shared_ptr<const Partitioner> partitioner;
+  JobResult result;
+  std::vector<std::unique_ptr<MapTaskState>> maps;
+  std::vector<std::unique_ptr<ReduceTaskState>> reduces;
+  int64_t maps_completed = 0;
+  int64_t reduces_completed = 0;
+  bool reduces_unlocked = false;  // Set once all maps are done.
+  bool finished = false;
+  Status failure;  // First fatal error.
+  SimTime first_map_start = -1.0;
+  SimTime last_map_finish = 0.0;
+  /// (node, cache name) pairs already read during this job: repeat reads on
+  /// the same node hit the OS page cache and are charged only latency.
+  std::set<std::pair<NodeId, std::string>> warm_reads;
+  /// Weak self-reference so scheduled events can keep the state alive past
+  /// the Run() call (stale completions are then safely ignored).
+  std::weak_ptr<RunState> self;
+};
+
+// ---------------------------------------------------------------------------
+// Construction / failure listener
+// ---------------------------------------------------------------------------
+
+JobRunner::JobRunner(Cluster* cluster, TaskScheduler* scheduler,
+                     JobRunnerOptions options)
+    : cluster_(cluster),
+      scheduler_(scheduler),
+      options_(options),
+      random_(options.seed) {
+  REDOOP_CHECK(cluster_ != nullptr);
+  REDOOP_CHECK(scheduler_ != nullptr);
+  cluster_->AddFailureListener(
+      [this](NodeId node, const std::vector<std::string>& lost) {
+        (void)lost;
+        OnNodeFailure(node);
+      });
+}
+
+JobRunner::~JobRunner() = default;
+
+// ---------------------------------------------------------------------------
+// Task construction
+// ---------------------------------------------------------------------------
+
+void JobRunner::BuildMapTasks(const JobSpec& spec, RunState* run) {
+  for (const MapInput& input : spec.map_inputs) {
+    auto file_or = cluster_->dfs().GetFile(input.file_name);
+    if (!file_or.ok()) {
+      run->failure = file_or.status();
+      return;
+    }
+    const DfsFile* file = *file_or;
+    const int64_t file_records = static_cast<int64_t>(file->records.size());
+    const int64_t begin = std::max<int64_t>(0, input.record_begin);
+    const int64_t end = input.record_end < 0
+                            ? file_records
+                            : std::min(input.record_end, file_records);
+    if (begin >= end) continue;  // Empty slice: nothing to map.
+    // One map task per HDFS block overlapping the requested slice
+    // (Hadoop: one map per input split).
+    for (const Block& block : file->blocks) {
+      const int64_t slice_begin = std::max(begin, block.record_begin);
+      const int64_t slice_end = std::min(end, block.record_end);
+      if (slice_begin >= slice_end) continue;
+      auto task = std::make_unique<MapTaskState>();
+      task->id = next_task_id_++;
+      task->index = static_cast<int64_t>(run->maps.size());
+      task->file = file;
+      task->record_begin = slice_begin;
+      task->record_end = slice_end;
+      for (int64_t r = slice_begin; r < slice_end; ++r) {
+        task->input_bytes += file->records[static_cast<size_t>(r)].logical_bytes;
+      }
+      task->replica_nodes = block.replicas;
+      task->source = input.source;
+      task->pane = input.pane;
+      bool any_replica_alive = false;
+      for (NodeId n : task->replica_nodes) {
+        if (cluster_->node(n).alive()) any_replica_alive = true;
+      }
+      if (!any_replica_alive) {
+        run->failure = Status::Unavailable(StringPrintf(
+            "block %ld of %s has no live replica", block.id,
+            file->name.c_str()));
+        return;
+      }
+      run->maps.push_back(std::move(task));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling loop
+// ---------------------------------------------------------------------------
+
+void JobRunner::TryScheduleTasks(RunState* run) {
+  if (run->finished) return;
+  // Maps first (FIFO over pending tasks).
+  for (auto& task : run->maps) {
+    if (task->state != TaskState::kPending) continue;
+    MapPlacementRequest request;
+    request.replica_nodes = task->replica_nodes;
+    request.source = task->source;
+    request.pane = task->pane;
+    request.input_bytes = task->input_bytes;
+    const NodeId node = scheduler_->SelectNodeForMap(request, *cluster_);
+    if (node == kInvalidNode) break;  // No free map slots anywhere.
+    StartMapTask(run, task.get(), node);
+  }
+  // Reduces once the map barrier lifted.
+  if (!run->reduces_unlocked) return;
+  for (auto& task : run->reduces) {
+    if (task->state != TaskState::kPending) continue;
+    ReducePlacementRequest request;
+    request.partition = task->partition;
+    request.side_inputs = task->side_inputs;
+    request.preferred_node = task->preferred_node;
+    for (const auto& map : run->maps) {
+      if (map->state == TaskState::kCompleted) {
+        request.shuffle_bytes +=
+            map->bucket_bytes[static_cast<size_t>(task->partition)];
+      }
+    }
+    const NodeId node = scheduler_->SelectNodeForReduce(request, *cluster_);
+    if (node == kInvalidNode) break;  // No free reduce slots anywhere.
+    StartReduceTask(run, task.get(), node);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Map execution
+// ---------------------------------------------------------------------------
+
+void JobRunner::StartMapTask(RunState* run, MapTaskState* task, NodeId node) {
+  TaskNode& n = cluster_->node(node);
+  REDOOP_CHECK(n.AcquireMapSlot()) << "scheduler chose node without slot";
+  task->state = TaskState::kRunning;
+  task->node = node;
+  task->timing = TaskTiming();
+  task->timing.scheduled_at = cluster_->simulator().Now();
+  if (run->first_map_start < 0) {
+    run->first_map_start = task->timing.scheduled_at;
+  }
+
+  const CostModel& cost = cluster_->cost_model();
+  const JobSpec& spec = *run->spec;
+
+  // Execute the user map function over the slice (per-source override
+  // first, e.g. join-side tagging).
+  const Mapper* mapper = spec.config.mapper.get();
+  auto override_it = spec.per_source_mappers.find(task->source);
+  if (override_it != spec.per_source_mappers.end()) {
+    mapper = override_it->second.get();
+  }
+  const int32_t num_partitions = spec.config.num_reducers;
+  task->buckets.assign(static_cast<size_t>(num_partitions), {});
+  task->bucket_bytes.assign(static_cast<size_t>(num_partitions), 0);
+  MapContext context;
+  for (int64_t r = task->record_begin; r < task->record_end; ++r) {
+    mapper->Map(task->file->records[static_cast<size_t>(r)], &context);
+  }
+  std::vector<KeyValue> output = context.TakeOutput();
+  task->output_records = static_cast<int64_t>(output.size());
+  task->output_bytes = TotalLogicalBytes(output);
+  for (KeyValue& kv : output) {
+    const int32_t p = run->partitioner->Partition(kv.key, num_partitions);
+    task->buckets[static_cast<size_t>(p)].push_back(std::move(kv));
+  }
+  for (auto& bucket : task->buckets) SortByKey(&bucket);
+
+  // Map-side combine: each sorted bucket's key groups collapse before the
+  // spill/shuffle. The sort above is charged on the pre-combine volume;
+  // everything downstream (spill, shuffle, reduce) sees the combined one.
+  if (spec.config.combiner != nullptr) {
+    for (auto& bucket : task->buckets) {
+      std::vector<KeyValue> combined;
+      size_t i = 0;
+      while (i < bucket.size()) {
+        size_t j = i;
+        while (j < bucket.size() && bucket[j].key == bucket[i].key) ++j;
+        std::vector<KeyValue> group(bucket.begin() + static_cast<int64_t>(i),
+                                    bucket.begin() + static_cast<int64_t>(j));
+        ReduceContext combine_out;
+        spec.config.combiner->Reduce(bucket[i].key, group, &combine_out);
+        std::vector<KeyValue> produced = combine_out.TakeOutput();
+        std::move(produced.begin(), produced.end(),
+                  std::back_inserter(combined));
+        i = j;
+      }
+      SortByKey(&combined);
+      bucket = std::move(combined);
+    }
+  }
+  for (size_t p = 0; p < task->buckets.size(); ++p) {
+    task->bucket_bytes[p] = TotalLogicalBytes(task->buckets[p]);
+  }
+
+  // Simulated duration of this attempt.
+  const bool local = std::find(task->replica_nodes.begin(),
+                               task->replica_nodes.end(),
+                               node) != task->replica_nodes.end();
+  int64_t spilled_bytes = 0;
+  for (int64_t b : task->bucket_bytes) spilled_bytes += b;
+  task->timing.startup = cost.TaskStartupTime();
+  task->timing.read = local ? cost.LocalReadTime(task->input_bytes)
+                            : cost.RemoteReadTime(task->input_bytes);
+  task->timing.compute = cost.MapComputeTime(task->input_bytes);
+  if (spec.config.combiner != nullptr) {
+    // The combiner scans the full pre-combine output once.
+    task->timing.compute += cost.ReduceComputeTime(task->output_bytes);
+  }
+  task->timing.sort = cost.SortTime(task->output_bytes, task->output_records);
+  task->timing.write = cost.LocalWriteTime(spilled_bytes);
+  const SimDuration duration =
+      ArmAttempt(run, task, task->timing.Total(), /*is_map=*/true);
+
+  // Capture the run state by shared_ptr: a stale completion event (for an
+  // attempt that was failed and re-issued) may fire after the job returned.
+  const TaskId id = task->id;
+  std::shared_ptr<RunState> keepalive = run->self.lock();
+  cluster_->simulator().Schedule(duration, [this, keepalive, task, id] {
+    RunState* run = keepalive.get();
+    if (run->finished || run != active_run_ ||
+        task->state != TaskState::kRunning || task->id != id) {
+      return;
+    }
+    FinishMapTask(run, task, task->node);
+  });
+}
+
+void JobRunner::FinishMapTask(RunState* run, MapTaskState* task,
+                              NodeId winner_node) {
+  task->state = TaskState::kCompleted;
+  task->timing.finished_at = cluster_->simulator().Now();
+  // Release the primary's slot and kill the speculative backup, if any
+  // (whichever of the two finished first is the winner).
+  if (cluster_->node(task->node).alive()) {
+    cluster_->node(task->node).ReleaseMapSlot();
+  }
+  if (task->backup_node != kInvalidNode) {
+    if (cluster_->node(task->backup_node).alive()) {
+      cluster_->node(task->backup_node).ReleaseMapSlot();
+    }
+    task->backup_node = kInvalidNode;
+    task->backup_id = 0;
+  }
+  task->node = winner_node;  // Map outputs live with the winner.
+  run->last_map_finish =
+      std::max(run->last_map_finish, task->timing.finished_at);
+  ++run->maps_completed;
+
+  TaskReport report;
+  report.id = task->id;
+  report.type = TaskType::kMap;
+  report.node = task->node;
+  report.source = task->source;
+  report.pane = task->pane;
+  report.attempt = task->attempt;
+  report.timing = task->timing;
+  run->result.task_reports.push_back(report);
+
+  Counters& c = run->result.counters;
+  c.Increment(counter::kMapTasks);
+  c.Increment(counter::kMapInputRecords, task->record_end - task->record_begin);
+  c.Increment(counter::kMapInputBytes, task->input_bytes);
+  c.Increment(counter::kMapOutputRecords, task->output_records);
+  c.Increment(counter::kMapOutputBytes, task->output_bytes);
+  c.Increment(counter::kHdfsReadBytes, task->input_bytes);
+
+  if (AllMapsDone(*run) && !run->reduces_unlocked) {
+    run->reduces_unlocked = true;
+  }
+  TryScheduleTasks(run);
+  MaybeFinishJob(run);
+}
+
+bool JobRunner::AllMapsDone(const RunState& run) const {
+  return run.maps_completed == static_cast<int64_t>(run.maps.size());
+}
+
+// ---------------------------------------------------------------------------
+// Reduce execution
+// ---------------------------------------------------------------------------
+
+void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
+                                NodeId node) {
+  TaskNode& n = cluster_->node(node);
+  REDOOP_CHECK(n.AcquireReduceSlot()) << "scheduler chose node without slot";
+  task->state = TaskState::kRunning;
+  task->node = node;
+  task->timing = TaskTiming();
+  task->timing.scheduled_at = cluster_->simulator().Now();
+  task->output.clear();
+  task->caches.clear();
+
+  const CostModel& cost = cluster_->cost_model();
+  const JobSpec& spec = *run->spec;
+  Counters& counters = run->result.counters;
+  const int32_t partition = task->partition;
+
+  task->timing.startup = cost.TaskStartupTime();
+
+  // ---- Shuffle: copy this partition's bucket from every map output. ----
+  int64_t new_bytes = 0;
+  int64_t new_records = 0;
+  std::vector<KeyValue> input;
+  // (source, pane) -> newly shuffled pairs, for reduce-input caching.
+  std::map<std::pair<SourceId, PaneId>, std::vector<KeyValue>> new_by_pane;
+  for (const auto& map : run->maps) {
+    REDOOP_CHECK(map->state == TaskState::kCompleted);
+    const auto& bucket = map->buckets[static_cast<size_t>(partition)];
+    if (bucket.empty()) continue;
+    const int64_t bytes = map->bucket_bytes[static_cast<size_t>(partition)];
+    new_bytes += bytes;
+    new_records += static_cast<int64_t>(bucket.size());
+    if (map->node == node) {
+      task->timing.shuffle += cost.LocalReadTime(bytes);
+      counters.Increment(counter::kShuffleLocalBytes, bytes);
+    } else {
+      task->timing.shuffle += cost.LocalReadTime(bytes) + cost.TransferTime(bytes);
+      counters.Increment(counter::kShuffleRemoteBytes, bytes);
+    }
+    auto& per_pane = new_by_pane[{map->source, map->pane}];
+    per_pane.insert(per_pane.end(), bucket.begin(), bucket.end());
+    input.insert(input.end(), bucket.begin(), bucket.end());
+  }
+
+  // ---- Cached side inputs (reduce input caches from prior recurrences). --
+  // A cache already read on this node during this job (e.g. a new pane
+  // joined against many partners by co-located pane-pair tasks) stays in
+  // the OS page cache; repeat reads pay only the access latency. This is
+  // optimistic for tasks running concurrently with the first reader, but
+  // the savings shape is right.
+  int64_t cached_bytes = 0;
+  int64_t cached_records = 0;
+  for (const ReduceSideInput& side : task->side_inputs) {
+    REDOOP_CHECK(side.partition == partition);
+    REDOOP_CHECK(side.payload != nullptr);
+    const bool warm = !run->warm_reads.insert({node, side.cache_name}).second;
+    if (warm) {
+      task->timing.read += cost.options().disk_seek_s;
+    } else if (side.location == node) {
+      task->timing.read += cost.LocalReadTime(side.bytes);
+      counters.Increment(counter::kCacheReadLocalBytes, side.bytes);
+    } else {
+      task->timing.read += cost.RemoteReadTime(side.bytes);
+      counters.Increment(counter::kCacheReadRemoteBytes, side.bytes);
+    }
+    cached_bytes += side.bytes;
+    cached_records += side.records;
+    input.insert(input.end(), side.payload->begin(), side.payload->end());
+  }
+
+  // ---- Sort / merge. Newly shuffled data pays a full sort plus the merge
+  // spill to local disk (Hadoop reducers materialize their merged input
+  // before reducing); cached runs are already sorted per pane and only pay
+  // a linear merge pass. ----
+  task->timing.sort = cost.SortTime(new_bytes, new_records) +
+                      cost.options().sort_factor *
+                          static_cast<double>(cached_bytes);
+  const SimDuration merge_spill = cost.LocalWriteTime(new_bytes);
+  SortByKey(&input);
+
+  // ---- Grouping + user reduce calls. ----
+  ReduceContext context;
+  size_t i = 0;
+  while (i < input.size()) {
+    size_t j = i;
+    while (j < input.size() && input[j].key == input[i].key) ++j;
+    std::vector<KeyValue> group(input.begin() + static_cast<int64_t>(i),
+                                input.begin() + static_cast<int64_t>(j));
+    spec.config.reducer->Reduce(input[i].key, group, &context);
+    i = j;
+  }
+  task->output = context.TakeOutput();
+  const int64_t total_input_bytes = new_bytes + cached_bytes;
+  task->timing.compute = cost.ReduceComputeTime(total_input_bytes);
+
+  const int64_t output_bytes = TotalLogicalBytes(task->output);
+
+  // ---- Writes: reduce-output cache and HDFS output. Reduce-input caches
+  // are the merge spill *kept* instead of deleted (paper §4: caching the
+  // shuffled, sorted reducer input), so they add no write cost beyond the
+  // spill already charged above. ----
+  int64_t write_bytes = output_bytes;  // Plain local materialization.
+  if (spec.cache.cache_reduce_input) {
+    REDOOP_CHECK(spec.cache.input_cache_name != nullptr);
+    for (auto& [key, pairs] : new_by_pane) {
+      if (pairs.empty()) continue;
+      MaterializedCache cache;
+      cache.name = spec.cache.input_cache_name(key.first, key.second, partition);
+      cache.node = node;
+      cache.partition = partition;
+      cache.source = key.first;
+      cache.pane = key.second;
+      cache.is_reduce_output = false;
+      cache.bytes = TotalLogicalBytes(pairs);
+      cache.records = static_cast<int64_t>(pairs.size());
+      SortByKey(&pairs);
+      cache.payload = std::move(pairs);
+      counters.Increment(counter::kCacheWriteBytes, cache.bytes);
+      task->caches.push_back(std::move(cache));
+    }
+  }
+  if (task->is_explicit && !task->output_cache_name.empty()) {
+    // Explicit (pane-pair) tasks materialize their output cache even when
+    // empty, so "pair done with empty result" is distinguishable from
+    // "pair output lost" during window assembly.
+    MaterializedCache cache;
+    cache.name = task->output_cache_name;
+    cache.node = node;
+    cache.partition = partition;
+    cache.pane = task->label_left;
+    cache.pane_right = task->label_right;
+    cache.is_reduce_output = true;
+    cache.bytes = output_bytes;
+    cache.records = static_cast<int64_t>(task->output.size());
+    cache.payload = task->output;  // Copy: result also returns the output.
+    write_bytes += cache.bytes;
+    counters.Increment(counter::kCacheWriteBytes, cache.bytes);
+    task->caches.push_back(std::move(cache));
+  } else if (spec.cache.cache_reduce_output && !task->output.empty()) {
+    REDOOP_CHECK(spec.cache.output_cache_name != nullptr);
+    MaterializedCache cache;
+    cache.name = spec.cache.output_cache_name(partition);
+    cache.node = node;
+    cache.partition = partition;
+    cache.is_reduce_output = true;
+    cache.bytes = output_bytes;
+    cache.records = static_cast<int64_t>(task->output.size());
+    cache.payload = task->output;  // Copy: result also returns the output.
+    write_bytes += cache.bytes;
+    counters.Increment(counter::kCacheWriteBytes, cache.bytes);
+    task->caches.push_back(std::move(cache));
+  }
+  task->timing.write = merge_spill + cost.LocalWriteTime(write_bytes);
+  if (!spec.output_prefix.empty()) {
+    task->timing.write += cost.HdfsWriteTime(output_bytes);
+    counters.Increment(counter::kHdfsWriteBytes, output_bytes);
+  }
+
+  counters.Increment(counter::kReduceInputRecords,
+                     new_records + cached_records);
+  counters.Increment(counter::kReduceInputBytes, total_input_bytes);
+  counters.Increment(counter::kReduceOutputRecords,
+                     static_cast<int64_t>(task->output.size()));
+  counters.Increment(counter::kReduceOutputBytes, output_bytes);
+
+  const SimDuration duration =
+      ArmAttempt(run, task, task->timing.Total(), /*is_map=*/false);
+  const TaskId id = task->id;
+  std::shared_ptr<RunState> keepalive = run->self.lock();
+  cluster_->simulator().Schedule(duration, [this, keepalive, task, id] {
+    RunState* run = keepalive.get();
+    if (run->finished || run != active_run_ ||
+        task->state != TaskState::kRunning || task->id != id) {
+      return;
+    }
+    FinishReduceTask(run, task, task->node);
+  });
+}
+
+void JobRunner::FinishReduceTask(RunState* run, ReduceTaskState* task,
+                                 NodeId winner_node) {
+  task->state = TaskState::kCompleted;
+  task->timing.finished_at = cluster_->simulator().Now();
+  if (cluster_->node(task->node).alive()) {
+    cluster_->node(task->node).ReleaseReduceSlot();
+  }
+  if (task->backup_node != kInvalidNode) {
+    if (cluster_->node(task->backup_node).alive()) {
+      cluster_->node(task->backup_node).ReleaseReduceSlot();
+    }
+    task->backup_node = kInvalidNode;
+    task->backup_id = 0;
+  }
+  task->node = winner_node;  // Caches/outputs live with the winner.
+  ++run->reduces_completed;
+
+  // Register cache files on the node's local FS so capacity/locality and
+  // later failure injection see them. A full disk triggers on-demand
+  // purging (paper §4.1) before the cache is dropped as a last resort.
+  for (MaterializedCache& cache : task->caches) {
+    cache.node = task->node;
+    TaskNode& n = cluster_->node(task->node);
+    bool stored = n.PutLocalFile(cache.name, cache.bytes);
+    if (!stored && disk_full_handler_ != nullptr) {
+      disk_full_handler_(task->node, cache.bytes);
+      stored = n.PutLocalFile(cache.name, cache.bytes);
+    }
+    if (!stored) {
+      REDOOP_LOG(Warning) << "node " << task->node
+                          << " local FS full; cache dropped: " << cache.name;
+      cache.bytes = -1;  // Mark dropped; filtered below.
+    }
+  }
+
+  TaskReport report;
+  report.id = task->id;
+  report.type = TaskType::kReduce;
+  report.node = task->node;
+  report.partition = task->partition;
+  report.attempt = task->attempt;
+  report.timing = task->timing;
+  run->result.task_reports.push_back(report);
+  run->result.counters.Increment(counter::kReduceTasks);
+
+  TryScheduleTasks(run);
+  MaybeFinishJob(run);
+}
+
+// ---------------------------------------------------------------------------
+// Stragglers & speculative execution
+// ---------------------------------------------------------------------------
+
+template <typename TaskStateT>
+SimDuration JobRunner::ArmAttempt(RunState* run, TaskStateT* task,
+                                  SimDuration nominal_duration, bool is_map) {
+  task->nominal_duration = nominal_duration;
+  task->backup_node = kInvalidNode;
+  task->backup_id = 0;
+
+  SimDuration actual = nominal_duration;
+  if (options_.straggler_probability > 0.0 &&
+      random_.Bernoulli(options_.straggler_probability)) {
+    actual = nominal_duration * options_.straggler_slowdown;
+  }
+  if (!options_.speculative_execution) return actual;
+
+  // Speculation check: if the attempt is still running well past its
+  // nominal duration, launch a backup on any free slot; the first finisher
+  // wins (Hadoop's speculative execution).
+  const TaskId primary_id = task->id;
+  std::shared_ptr<RunState> keepalive = run->self.lock();
+  cluster_->simulator().Schedule(
+      nominal_duration * options_.speculation_factor,
+      [this, keepalive, task, primary_id, nominal_duration, is_map] {
+        RunState* run = keepalive.get();
+        if (run->finished || run != active_run_) return;
+        if (task->state != TaskState::kRunning || task->id != primary_id) {
+          return;  // Finished (or re-issued) before the check fired.
+        }
+        if (task->backup_id != 0) return;  // Already speculating.
+        const NodeId node =
+            scheduler_internal::LeastLoadedWithFreeSlot(*cluster_, is_map);
+        if (node == kInvalidNode) return;  // No spare capacity.
+        TaskNode& n = cluster_->node(node);
+        const bool acquired =
+            is_map ? n.AcquireMapSlot() : n.AcquireReduceSlot();
+        if (!acquired) return;
+        task->backup_node = node;
+        task->backup_id = next_task_id_++;
+        const TaskId backup_id = task->backup_id;
+        // The backup gets a fresh straggler draw (it is most likely fast —
+        // that is the whole point).
+        SimDuration backup_duration = nominal_duration;
+        if (options_.straggler_probability > 0.0 &&
+            random_.Bernoulli(options_.straggler_probability)) {
+          backup_duration = nominal_duration * options_.straggler_slowdown;
+        }
+        auto keepalive2 = keepalive;
+        cluster_->simulator().Schedule(
+            backup_duration,
+            [this, keepalive2, task, primary_id, backup_id, is_map] {
+              RunState* run = keepalive2.get();
+              if (run->finished || run != active_run_) return;
+              if (task->state != TaskState::kRunning ||
+                  task->id != primary_id || task->backup_id != backup_id) {
+                return;  // Primary won or attempt was re-issued.
+              }
+              const NodeId winner = task->backup_node;
+              if constexpr (std::is_same_v<TaskStateT, MapTaskState>) {
+                (void)is_map;
+                FinishMapTask(run, task, winner);
+              } else {
+                FinishReduceTask(run, task, winner);
+              }
+            });
+      });
+  return actual;
+}
+
+// ---------------------------------------------------------------------------
+// Failure handling
+// ---------------------------------------------------------------------------
+
+void JobRunner::OnNodeFailure(NodeId node) {
+  RunState* run = active_run_;
+  if (run == nullptr || run->finished) return;
+
+  // Running tasks on the dead node fail and are re-queued; speculative
+  // backups on the dead node simply vanish (their slot died with it).
+  for (auto& task : run->maps) {
+    if (task->state != TaskState::kRunning) continue;
+    if (task->node == node) {
+      FailTaskAttempt(run, TaskType::kMap, task->index);
+    } else if (task->backup_node == node) {
+      task->backup_node = kInvalidNode;
+      task->backup_id = 0;
+    }
+  }
+  for (size_t i = 0; i < run->reduces.size(); ++i) {
+    auto& task = run->reduces[i];
+    if (task->state != TaskState::kRunning) continue;
+    if (task->node == node) {
+      FailTaskAttempt(run, TaskType::kReduce, static_cast<int64_t>(i));
+    } else if (task->backup_node == node) {
+      task->backup_node = kInvalidNode;
+      task->backup_id = 0;
+    }
+  }
+  // Completed map outputs stored on the dead node are lost; if any reduce
+  // still needs them, those maps must re-run (paper §2.2 fault tolerance:
+  // "a failure of a reduce task entails retrieving the corresponding map
+  // outputs again").
+  const bool reduces_outstanding =
+      run->reduces_completed < static_cast<int64_t>(run->reduces.size());
+  if (reduces_outstanding) {
+    for (auto& task : run->maps) {
+      if (task->state == TaskState::kCompleted && task->node == node) {
+        task->state = TaskState::kPending;
+        task->id = next_task_id_++;
+        ++task->attempt;
+        --run->maps_completed;
+        run->reduces_unlocked = false;
+        run->result.counters.Increment(counter::kMapTaskRetries);
+      }
+    }
+  }
+  // Input blocks may have lost replicas; if a pending map's block is now
+  // completely unreadable the job fails.
+  for (auto& task : run->maps) {
+    if (task->state != TaskState::kPending) continue;
+    bool any = false;
+    for (NodeId r : task->replica_nodes) {
+      if (cluster_->node(r).alive()) any = true;
+    }
+    if (!any) {
+      run->failure = Status::Unavailable(
+          StringPrintf("map input lost all replicas after node %d died", node));
+      run->finished = true;
+      return;
+    }
+  }
+  TryScheduleTasks(run);
+}
+
+void JobRunner::FailTaskAttempt(RunState* run, TaskType type, int64_t index) {
+  if (type == TaskType::kMap) {
+    MapTaskState* task = run->maps[static_cast<size_t>(index)].get();
+    // Slot was already reclaimed by TaskNode::Fail(); just re-queue. A
+    // live speculative backup is abandoned and its slot returned.
+    if (task->backup_node != kInvalidNode) {
+      if (cluster_->node(task->backup_node).alive()) {
+        cluster_->node(task->backup_node).ReleaseMapSlot();
+      }
+      task->backup_node = kInvalidNode;
+      task->backup_id = 0;
+    }
+    task->state = TaskState::kPending;
+    task->id = next_task_id_++;
+    ++task->attempt;
+    run->result.counters.Increment(counter::kMapTaskRetries);
+    if (task->attempt >= options_.max_task_attempts) {
+      run->failure = Status::Aborted(
+          StringPrintf("map task %ld exceeded max attempts", index));
+      run->finished = true;
+    }
+  } else {
+    ReduceTaskState* task = run->reduces[static_cast<size_t>(index)].get();
+    if (task->backup_node != kInvalidNode) {
+      if (cluster_->node(task->backup_node).alive()) {
+        cluster_->node(task->backup_node).ReleaseReduceSlot();
+      }
+      task->backup_node = kInvalidNode;
+      task->backup_id = 0;
+    }
+    task->state = TaskState::kPending;
+    task->id = next_task_id_++;
+    ++task->attempt;
+    run->result.counters.Increment(counter::kReduceTaskRetries);
+    if (task->attempt >= options_.max_task_attempts) {
+      run->failure = Status::Aborted(
+          StringPrintf("reduce task %ld exceeded max attempts", index));
+      run->finished = true;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Completion
+// ---------------------------------------------------------------------------
+
+void JobRunner::MaybeFinishJob(RunState* run) {
+  if (run->finished) return;
+  if (!AllMapsDone(*run)) return;
+  if (run->reduces_completed < static_cast<int64_t>(run->reduces.size()))
+    return;
+  run->finished = true;
+}
+
+JobResult JobRunner::Run(const JobSpec& spec) {
+  REDOOP_CHECK(active_run_ == nullptr) << "JobRunner is not reentrant";
+  REDOOP_CHECK(spec.config.num_reducers > 0);
+  REDOOP_CHECK(spec.config.reducer != nullptr);
+  REDOOP_CHECK(spec.map_inputs.empty() || spec.config.mapper != nullptr);
+
+  auto run_owner = std::make_shared<RunState>();
+  RunState& run = *run_owner;
+  run.self = run_owner;
+  run.spec = &spec;
+  run.partitioner = spec.config.partitioner
+                        ? spec.config.partitioner
+                        : std::make_shared<const HashPartitioner>();
+  run.result.submitted_at = cluster_->simulator().Now();
+  active_run_ = &run;
+
+  BuildMapTasks(spec, &run);
+  if (!run.failure.ok()) {
+    active_run_ = nullptr;
+    run.result.status = run.failure;
+    run.result.finished_at = cluster_->simulator().Now();
+    return std::move(run.result);
+  }
+
+  // Build reduce tasks: either the standard one-per-partition phase or the
+  // explicit task list (pane-pair jobs).
+  if (!spec.explicit_reduce_tasks.empty()) {
+    REDOOP_CHECK(spec.map_inputs.empty())
+        << "explicit reduce tasks cannot be combined with map inputs";
+    REDOOP_CHECK(spec.side_inputs.empty())
+        << "explicit reduce tasks carry their own side inputs";
+    for (const ExplicitReduceTask& explicit_task :
+         spec.explicit_reduce_tasks) {
+      auto task = std::make_unique<ReduceTaskState>();
+      task->id = next_task_id_++;
+      task->partition = explicit_task.partition;
+      task->side_inputs = explicit_task.side_inputs;
+      task->is_explicit = true;
+      task->output_cache_name = explicit_task.output_cache_name;
+      task->label_left = explicit_task.label_left;
+      task->label_right = explicit_task.label_right;
+      task->preferred_node = explicit_task.preferred_node;
+      run.reduces.push_back(std::move(task));
+    }
+  } else {
+    for (int32_t p = 0; p < spec.config.num_reducers; ++p) {
+      if (!spec.active_partitions.empty() &&
+          std::find(spec.active_partitions.begin(),
+                    spec.active_partitions.end(),
+                    p) == spec.active_partitions.end()) {
+        continue;  // Partition filtered out (cache-rebuild job).
+      }
+      auto task = std::make_unique<ReduceTaskState>();
+      task->id = next_task_id_++;
+      task->partition = p;
+      for (const ReduceSideInput& side : spec.side_inputs) {
+        if (side.partition == p) task->side_inputs.push_back(side);
+      }
+      if (p < static_cast<int32_t>(spec.preferred_reduce_nodes.size())) {
+        task->preferred_node =
+            spec.preferred_reduce_nodes[static_cast<size_t>(p)];
+      }
+      run.reduces.push_back(std::move(task));
+    }
+  }
+
+  // Job startup, then the scheduling loop drives everything.
+  cluster_->simulator().Schedule(
+      cluster_->cost_model().JobStartupTime(), [this, run_owner] {
+        RunState* run = run_owner.get();
+        if (run->finished || run != active_run_) return;
+        if (run->maps.empty()) run->reduces_unlocked = true;
+        TryScheduleTasks(run);
+        MaybeFinishJob(run);
+      });
+
+  // Drive the simulation until the job finishes. The guard catches
+  // deadlocks (e.g. every node dead) instead of spinning forever.
+  while (!run.finished) {
+    if (!cluster_->simulator().Step()) {
+      run.failure = Status::Internal(
+          "simulation ran out of events before job completion "
+          "(no schedulable nodes?)");
+      break;
+    }
+  }
+  active_run_ = nullptr;
+
+  JobResult& result = run.result;
+  result.status = run.failure;
+  result.finished_at = cluster_->simulator().Now();
+  if (run.first_map_start >= 0) {
+    result.map_phase_time = run.last_map_finish - run.first_map_start;
+  }
+
+  if (result.status.ok()) {
+    // Assemble output and caches in deterministic partition order.
+    for (auto& task : run.reduces) {
+      result.shuffle_time_total += task->timing.shuffle;
+      result.reduce_time_total += task->timing.read + task->timing.sort +
+                                  task->timing.compute + task->timing.write;
+      result.output.insert(result.output.end(), task->output.begin(),
+                           task->output.end());
+      for (MaterializedCache& cache : task->caches) {
+        if (cache.bytes < 0) continue;  // Dropped: node disk was full.
+        result.caches.push_back(std::move(cache));
+      }
+    }
+    // Write the job output to DFS when requested.
+    if (!spec.output_prefix.empty()) {
+      std::vector<Record> out_records;
+      out_records.reserve(result.output.size());
+      for (const KeyValue& kv : result.output) {
+        out_records.emplace_back(0, kv.key, kv.value, kv.logical_bytes);
+      }
+      const std::string out_name = spec.output_prefix + "/part-all";
+      if (cluster_->dfs().Exists(out_name)) {
+        REDOOP_CHECK_OK(cluster_->dfs().DeleteFile(out_name));
+      }
+      auto created = cluster_->dfs().CreateFile(out_name,
+                                                std::move(out_records), 0, 0);
+      REDOOP_CHECK(created.ok()) << created.status().ToString();
+    }
+  }
+  return std::move(result);
+}
+
+}  // namespace redoop

@@ -1,0 +1,101 @@
+#ifndef REDOOP_MAPREDUCE_JOB_RUNNER_H_
+#define REDOOP_MAPREDUCE_JOB_RUNNER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/ids.h"
+#include "common/random.h"
+#include "mapreduce/job.h"
+#include "mapreduce/job_result.h"
+#include "mapreduce/scheduler.h"
+#include "mapreduce/task.h"
+
+namespace redoop {
+
+struct JobRunnerOptions {
+  /// A task is retried this many times before failing the job (Hadoop's
+  /// mapred.map.max.attempts default).
+  int32_t max_task_attempts = 4;
+  /// Straggler model: with this probability a task attempt runs
+  /// `straggler_slowdown` times slower (background load, bad disk, ...).
+  /// Deterministic per (seed, attempt).
+  double straggler_probability = 0.0;
+  double straggler_slowdown = 4.0;
+  /// Hadoop's speculative execution: once a task has run
+  /// `speculation_factor` times its nominal duration, a backup attempt is
+  /// launched on another free slot and the first finisher wins. The
+  /// paper's experiments ran with speculation disabled (§6.1), which is
+  /// the default here too.
+  bool speculative_execution = false;
+  double speculation_factor = 1.3;
+  uint64_t seed = 99;
+};
+
+/// Executes MapReduce jobs on the simulated cluster: splits inputs into
+/// tasks (one map per HDFS block slice), drives the scheduler as slots free
+/// up, actually runs the user map/reduce functions on the records, accounts
+/// simulated time through the cost model, and survives node failures via
+/// task re-execution. This is the JobTracker + TaskTracker execution path
+/// of Hadoop, collapsed into one deterministic event-driven engine.
+class JobRunner {
+ public:
+  /// `cluster` and `scheduler` must outlive the runner.
+  JobRunner(Cluster* cluster, TaskScheduler* scheduler,
+            JobRunnerOptions options = JobRunnerOptions());
+  ~JobRunner();
+
+  JobRunner(const JobRunner&) = delete;
+  JobRunner& operator=(const JobRunner&) = delete;
+
+  /// Runs the job to completion (advancing simulated time) and returns the
+  /// result. Errors (missing input file, unreadable block, task attempts
+  /// exhausted) are reported in JobResult::status.
+  JobResult Run(const JobSpec& spec);
+
+  /// Invoked when a node's local FS cannot fit a new cache file: handler
+  /// should free space (on-demand purging of expired caches, paper §4.1)
+  /// and return the bytes freed. The write is retried once.
+  using DiskFullHandler = std::function<int64_t(NodeId node, int64_t needed)>;
+  void SetDiskFullHandler(DiskFullHandler handler) {
+    disk_full_handler_ = std::move(handler);
+  }
+
+ private:
+  struct MapTaskState;
+  struct ReduceTaskState;
+  struct RunState;
+
+  void BuildMapTasks(const JobSpec& spec, RunState* run);
+  void TryScheduleTasks(RunState* run);
+  void StartMapTask(RunState* run, MapTaskState* task, NodeId node);
+  void FinishMapTask(RunState* run, MapTaskState* task, NodeId winner_node);
+  void StartReduceTask(RunState* run, ReduceTaskState* task, NodeId node);
+  void FinishReduceTask(RunState* run, ReduceTaskState* task,
+                        NodeId winner_node);
+  /// Applies the straggler draw and, when speculation is on, arms the
+  /// backup-launch check. Returns the attempt's actual duration.
+  template <typename TaskState>
+  SimDuration ArmAttempt(RunState* run, TaskState* task,
+                         SimDuration nominal_duration, bool is_map);
+  void OnNodeFailure(NodeId node);
+  void FailTaskAttempt(RunState* run, TaskType type, int64_t index);
+  bool AllMapsDone(const RunState& run) const;
+  void MaybeFinishJob(RunState* run);
+
+  Cluster* cluster_;
+  TaskScheduler* scheduler_;
+  JobRunnerOptions options_;
+  DiskFullHandler disk_full_handler_;
+  Random random_;  // Straggler draws (deterministic from options.seed).
+  RunState* active_run_ = nullptr;  // Non-null only inside Run().
+  TaskId next_task_id_ = 1;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_MAPREDUCE_JOB_RUNNER_H_

@@ -1,0 +1,21 @@
+#include "mapreduce/kv.h"
+
+#include <algorithm>
+
+namespace redoop {
+
+int64_t TotalLogicalBytes(const std::vector<KeyValue>& kvs) {
+  int64_t total = 0;
+  for (const KeyValue& kv : kvs) total += kv.logical_bytes;
+  return total;
+}
+
+void SortByKey(std::vector<KeyValue>* kvs) {
+  std::sort(kvs->begin(), kvs->end(),
+            [](const KeyValue& a, const KeyValue& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.value < b.value;
+            });
+}
+
+}  // namespace redoop

@@ -1,0 +1,40 @@
+#ifndef REDOOP_MAPREDUCE_KV_H_
+#define REDOOP_MAPREDUCE_KV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace redoop {
+
+/// An intermediate or output key/value pair. `logical_bytes` is its size in
+/// the simulated world (drives shuffle/sort/reduce costs).
+struct KeyValue {
+  std::string key;
+  std::string value;
+  int32_t logical_bytes = 0;
+
+  KeyValue() = default;
+  KeyValue(std::string k, std::string v, int32_t bytes)
+      : key(std::move(k)), value(std::move(v)), logical_bytes(bytes) {}
+  /// Convenience: sizes the pair from its string lengths plus framing.
+  KeyValue(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)),
+        logical_bytes(static_cast<int32_t>(key.size() + value.size() + 8)) {}
+
+  friend bool operator==(const KeyValue& a, const KeyValue& b) {
+    return a.key == b.key && a.value == b.value &&
+           a.logical_bytes == b.logical_bytes;
+  }
+};
+
+/// Total logical size of a span of pairs.
+int64_t TotalLogicalBytes(const std::vector<KeyValue>& kvs);
+
+/// Sorts by (key, value) — the deterministic total order used after the
+/// shuffle so results are byte-identical across schedules.
+void SortByKey(std::vector<KeyValue>* kvs);
+
+}  // namespace redoop
+
+#endif  // REDOOP_MAPREDUCE_KV_H_

@@ -1,0 +1,52 @@
+#ifndef REDOOP_MAPREDUCE_MAPPER_H_
+#define REDOOP_MAPREDUCE_MAPPER_H_
+
+#include <string>
+#include <vector>
+
+#include "dfs/record.h"
+#include "mapreduce/kv.h"
+
+namespace redoop {
+
+/// Collects a map function's output pairs.
+class MapContext {
+ public:
+  MapContext() = default;
+
+  void Emit(std::string key, std::string value, int32_t logical_bytes) {
+    output_.emplace_back(std::move(key), std::move(value), logical_bytes);
+  }
+  void Emit(std::string key, std::string value) {
+    output_.emplace_back(std::move(key), std::move(value));
+  }
+
+  const std::vector<KeyValue>& output() const { return output_; }
+  std::vector<KeyValue> TakeOutput() { return std::move(output_); }
+  void Clear() { output_.clear(); }
+
+ private:
+  std::vector<KeyValue> output_;
+};
+
+/// User map function, exactly the Hadoop interface shape: consumes one input
+/// record at a time and emits zero or more intermediate pairs.
+/// Implementations must be stateless (one instance is shared by every map
+/// task of a job, possibly across recurrences).
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  virtual void Map(const Record& record, MapContext* context) const = 0;
+};
+
+/// Identity mapper: passes (key, value) through unchanged.
+class IdentityMapper : public Mapper {
+ public:
+  void Map(const Record& record, MapContext* context) const override {
+    context->Emit(record.key, record.value, record.logical_bytes);
+  }
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_MAPREDUCE_MAPPER_H_

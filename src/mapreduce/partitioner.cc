@@ -1,0 +1,15 @@
+#include "mapreduce/partitioner.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace redoop {
+
+int32_t HashPartitioner::Partition(const std::string& key,
+                                   int32_t num_partitions) const {
+  REDOOP_CHECK(num_partitions > 0);
+  return static_cast<int32_t>(Fnv1a64(key) %
+                              static_cast<uint64_t>(num_partitions));
+}
+
+}  // namespace redoop

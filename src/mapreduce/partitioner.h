@@ -1,0 +1,31 @@
+#ifndef REDOOP_MAPREDUCE_PARTITIONER_H_
+#define REDOOP_MAPREDUCE_PARTITIONER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace redoop {
+
+/// Assigns intermediate keys to reduce partitions. Redoop requires the
+/// partitioning function of a recurring query to stay fixed across
+/// recurrences (paper §4.3) so that cached reducer inputs remain valid;
+/// implementations must therefore be deterministic and stateless.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  /// Returns a partition in [0, num_partitions).
+  virtual int32_t Partition(const std::string& key,
+                            int32_t num_partitions) const = 0;
+};
+
+/// Default Hadoop-style partitioner: stable hash of the key modulo the
+/// partition count.
+class HashPartitioner : public Partitioner {
+ public:
+  int32_t Partition(const std::string& key,
+                    int32_t num_partitions) const override;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_MAPREDUCE_PARTITIONER_H_

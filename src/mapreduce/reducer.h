@@ -1,0 +1,94 @@
+#ifndef REDOOP_MAPREDUCE_REDUCER_H_
+#define REDOOP_MAPREDUCE_REDUCER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mapreduce/kv.h"
+
+namespace redoop {
+
+/// Collects a reduce function's output pairs.
+class ReduceContext {
+ public:
+  ReduceContext() = default;
+
+  void Emit(std::string key, std::string value, int32_t logical_bytes) {
+    output_.emplace_back(std::move(key), std::move(value), logical_bytes);
+  }
+  void Emit(std::string key, std::string value) {
+    output_.emplace_back(std::move(key), std::move(value));
+  }
+
+  const std::vector<KeyValue>& output() const { return output_; }
+  std::vector<KeyValue> TakeOutput() { return std::move(output_); }
+  void Clear() { output_.clear(); }
+
+ private:
+  std::vector<KeyValue> output_;
+};
+
+/// User reduce function: consumes one key group (all shuffled values for a
+/// key, in deterministic sorted order) and emits zero or more output pairs.
+/// Implementations must be stateless.
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual void Reduce(const std::string& key,
+                      const std::vector<KeyValue>& values,
+                      ReduceContext* context) const = 0;
+};
+
+/// Null reducer: consumes everything, emits nothing. Used by Redoop's
+/// pane-caching pass, whose only purpose is materializing the shuffled,
+/// sorted reducer inputs as caches.
+class NullReducer : public Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<KeyValue>& values,
+              ReduceContext* context) const override {
+    (void)key;
+    (void)values;
+    (void)context;
+  }
+};
+
+/// Identity reducer: re-emits every value under its key.
+class IdentityReducer : public Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<KeyValue>& values,
+              ReduceContext* context) const override {
+    for (const KeyValue& v : values) {
+      context->Emit(key, v.value, v.logical_bytes);
+    }
+  }
+};
+
+/// Per-key composition `second ∘ first`: runs `first` on the key group,
+/// then feeds its output through `second`. This is how a single-job
+/// baseline expresses a Redoop query whose finalization differs from its
+/// reduce body (reduce per pane, finalize per window == reduce then
+/// finalize when the whole window is one group).
+class ComposedReducer : public Reducer {
+ public:
+  ComposedReducer(std::shared_ptr<const Reducer> first,
+                  std::shared_ptr<const Reducer> second)
+      : first_(std::move(first)), second_(std::move(second)) {}
+
+  void Reduce(const std::string& key, const std::vector<KeyValue>& values,
+              ReduceContext* context) const override {
+    ReduceContext intermediate;
+    first_->Reduce(key, values, &intermediate);
+    if (intermediate.output().empty()) return;
+    second_->Reduce(key, intermediate.output(), context);
+  }
+
+ private:
+  std::shared_ptr<const Reducer> first_;
+  std::shared_ptr<const Reducer> second_;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_MAPREDUCE_REDUCER_H_

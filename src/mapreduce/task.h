@@ -1,0 +1,65 @@
+#ifndef REDOOP_MAPREDUCE_TASK_H_
+#define REDOOP_MAPREDUCE_TASK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "mapreduce/kv.h"
+
+namespace redoop {
+
+enum class TaskType { kMap, kReduce };
+
+enum class TaskState { kPending, kRunning, kCompleted, kFailed };
+
+/// Per-task timing breakdown (seconds of simulated time).
+struct TaskTiming {
+  SimTime scheduled_at = 0.0;
+  SimTime finished_at = 0.0;
+  SimDuration startup = 0.0;
+  SimDuration read = 0.0;     // Input read (HDFS / local spill / cache).
+  SimDuration shuffle = 0.0;  // Reduce only: copying map outputs.
+  SimDuration sort = 0.0;     // Sort/merge phase.
+  SimDuration compute = 0.0;  // User function CPU.
+  SimDuration write = 0.0;    // Spill / cache / HDFS output writes.
+
+  SimDuration Total() const {
+    return startup + read + shuffle + sort + compute + write;
+  }
+};
+
+/// Completion report for one task attempt that ran to completion (the
+/// successful attempt; earlier failed attempts bump `attempt`).
+struct TaskReport {
+  TaskId id = 0;
+  TaskType type = TaskType::kMap;
+  NodeId node = kInvalidNode;
+  int32_t partition = -1;  // Reduce tasks only.
+  SourceId source = 0;     // Map tasks: input source.
+  PaneId pane = kInvalidPane;  // Map tasks: input pane.
+  int32_t attempt = 0;
+  TaskTiming timing;
+};
+
+/// A cache file materialized by a job (reduce input or reduce output),
+/// reported back so the Redoop layer can register it.
+struct MaterializedCache {
+  std::string name;
+  NodeId node = kInvalidNode;
+  int32_t partition = 0;
+  SourceId source = 0;        // Reduce-input caches only.
+  PaneId pane = kInvalidPane; // Reduce-input caches; left pane for pairs.
+  PaneId pane_right = kInvalidPane;  // Pane-pair output caches only.
+  bool is_reduce_output = false;
+  int64_t bytes = 0;
+  int64_t records = 0;
+  /// The cached pairs (moved into the cache store by the caller).
+  std::vector<KeyValue> payload;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_MAPREDUCE_TASK_H_

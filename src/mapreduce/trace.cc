@@ -1,0 +1,54 @@
+#include "mapreduce/trace.h"
+
+#include <cstdio>
+
+#include "common/string_utils.h"
+
+namespace redoop {
+
+void TraceWriter::AddJob(const std::string& job_label,
+                         const std::vector<TaskReport>& reports) {
+  for (const TaskReport& report : reports) {
+    events_.push_back(Event{job_label, report});
+  }
+}
+
+std::string TraceWriter::ToJson() const {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const Event& event : events_) {
+    const TaskReport& r = event.report;
+    if (!first) out += ",\n";
+    first = false;
+    const char* kind = r.type == TaskType::kMap ? "map" : "reduce";
+    out += StringPrintf(
+        "{\"name\":\"%s %s#%ld\",\"cat\":\"%s\",\"ph\":\"X\","
+        "\"ts\":%.0f,\"dur\":%.0f,\"pid\":1,\"tid\":%d,"
+        "\"args\":{\"job\":\"%s\",\"partition\":%d,\"source\":%d,"
+        "\"pane\":%ld,\"attempt\":%d,\"startup\":%.3f,\"read\":%.3f,"
+        "\"shuffle\":%.3f,\"sort\":%.3f,\"compute\":%.3f,\"write\":%.3f}}",
+        kind, event.job.c_str(), r.id, kind,
+        r.timing.scheduled_at * 1e6, r.timing.Total() * 1e6, r.node,
+        event.job.c_str(), r.partition, r.source, r.pane, r.attempt,
+        r.timing.startup, r.timing.read, r.timing.shuffle, r.timing.sort,
+        r.timing.compute, r.timing.write);
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+Status TraceWriter::WriteFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Unavailable("cannot open trace file: " + path);
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  if (written != json.size()) {
+    return Status::Internal("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace redoop

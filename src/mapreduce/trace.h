@@ -1,0 +1,44 @@
+#ifndef REDOOP_MAPREDUCE_TRACE_H_
+#define REDOOP_MAPREDUCE_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mapreduce/task.h"
+
+namespace redoop {
+
+/// Exports task execution timelines in the Chrome trace-event format
+/// (load the file in chrome://tracing or https://ui.perfetto.dev): one
+/// lane per cluster node, one slice per task attempt, with the phase
+/// breakdown in the slice arguments. Simulated seconds are rendered as
+/// trace microseconds.
+class TraceWriter {
+ public:
+  TraceWriter() = default;
+
+  /// Adds every report of one job under the given label.
+  void AddJob(const std::string& job_label,
+              const std::vector<TaskReport>& reports);
+
+  size_t event_count() const { return events_.size(); }
+
+  /// The complete trace as Chrome trace JSON.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string job;
+    TaskReport report;
+  };
+
+  std::vector<Event> events_;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_MAPREDUCE_TRACE_H_

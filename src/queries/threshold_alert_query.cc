@@ -1,0 +1,36 @@
+#include "queries/threshold_alert_query.h"
+
+#include "common/logging.h"
+#include "common/string_utils.h"
+#include "queries/aggregation_query.h"
+
+namespace redoop {
+
+ThresholdAlertFinalizer::ThresholdAlertFinalizer(int64_t min_count)
+    : min_count_(min_count) {
+  REDOOP_CHECK(min_count >= 0);
+}
+
+void ThresholdAlertFinalizer::Reduce(const std::string& key,
+                                     const std::vector<KeyValue>& values,
+                                     ReduceContext* context) const {
+  AggregateValue total;
+  for (const KeyValue& kv : values) {
+    total.Merge(AggregateValue::Parse(kv.value));
+  }
+  if (total.count <= min_count_) return;
+  context->Emit(key, StringPrintf("ALERT count=%ld sum=%ld", total.count,
+                                  total.sum));
+}
+
+RecurringQuery MakeThresholdAlertQuery(QueryId id, const std::string& name,
+                                       SourceId source, Timestamp win,
+                                       Timestamp slide, int32_t num_reducers,
+                                       int64_t min_count) {
+  RecurringQuery query =
+      MakeAggregationQuery(id, name, source, win, slide, num_reducers);
+  query.finalizer = std::make_shared<const ThresholdAlertFinalizer>(min_count);
+  return query;
+}
+
+}  // namespace redoop

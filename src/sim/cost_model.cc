@@ -1,0 +1,79 @@
+#include "sim/cost_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace redoop {
+
+CostModelOptions CostModelOptions::FromConfig(const Config& config) {
+  CostModelOptions o;
+  o.disk_bandwidth_bps = config.GetDouble("cost.disk_bps", o.disk_bandwidth_bps);
+  o.disk_seek_s = config.GetDouble("cost.disk_seek_s", o.disk_seek_s);
+  o.network_bandwidth_bps = config.GetDouble("cost.net_bps", o.network_bandwidth_bps);
+  o.network_latency_s = config.GetDouble("cost.net_latency_s", o.network_latency_s);
+  o.map_cpu_bps = config.GetDouble("cost.map_cpu_bps", o.map_cpu_bps);
+  o.reduce_cpu_bps = config.GetDouble("cost.reduce_cpu_bps", o.reduce_cpu_bps);
+  o.sort_factor = config.GetDouble("cost.sort_factor", o.sort_factor);
+  o.task_startup_s = config.GetDouble("cost.task_startup_s", o.task_startup_s);
+  o.job_startup_s = config.GetDouble("cost.job_startup_s", o.job_startup_s);
+  o.hdfs_write_penalty =
+      config.GetDouble("cost.hdfs_write_penalty", o.hdfs_write_penalty);
+  return o;
+}
+
+CostModel::CostModel(CostModelOptions options) : options_(options) {
+  REDOOP_CHECK(options_.disk_bandwidth_bps > 0);
+  REDOOP_CHECK(options_.network_bandwidth_bps > 0);
+  REDOOP_CHECK(options_.map_cpu_bps > 0);
+  REDOOP_CHECK(options_.reduce_cpu_bps > 0);
+}
+
+SimDuration CostModel::LocalReadTime(int64_t bytes) const {
+  REDOOP_CHECK(bytes >= 0);
+  if (bytes == 0) return 0.0;
+  return options_.disk_seek_s +
+         static_cast<double>(bytes) / options_.disk_bandwidth_bps;
+}
+
+SimDuration CostModel::LocalWriteTime(int64_t bytes) const {
+  REDOOP_CHECK(bytes >= 0);
+  if (bytes == 0) return 0.0;
+  return options_.disk_seek_s +
+         static_cast<double>(bytes) / options_.disk_bandwidth_bps;
+}
+
+SimDuration CostModel::HdfsWriteTime(int64_t bytes) const {
+  return LocalWriteTime(bytes) * options_.hdfs_write_penalty;
+}
+
+SimDuration CostModel::RemoteReadTime(int64_t bytes) const {
+  return TransferTime(bytes) + LocalReadTime(bytes);
+}
+
+SimDuration CostModel::TransferTime(int64_t bytes) const {
+  REDOOP_CHECK(bytes >= 0);
+  if (bytes == 0) return 0.0;
+  return options_.network_latency_s +
+         static_cast<double>(bytes) / options_.network_bandwidth_bps;
+}
+
+SimDuration CostModel::MapComputeTime(int64_t bytes) const {
+  REDOOP_CHECK(bytes >= 0);
+  return static_cast<double>(bytes) / options_.map_cpu_bps;
+}
+
+SimDuration CostModel::ReduceComputeTime(int64_t bytes) const {
+  REDOOP_CHECK(bytes >= 0);
+  return static_cast<double>(bytes) / options_.reduce_cpu_bps;
+}
+
+SimDuration CostModel::SortTime(int64_t bytes, int64_t records) const {
+  REDOOP_CHECK(bytes >= 0);
+  REDOOP_CHECK(records >= 0);
+  if (bytes == 0 || records <= 1) return 0.0;
+  const double log_records = std::log2(static_cast<double>(records));
+  return options_.sort_factor * static_cast<double>(bytes) * log_records;
+}
+
+}  // namespace redoop

@@ -1,0 +1,93 @@
+#ifndef REDOOP_SIM_COST_MODEL_H_
+#define REDOOP_SIM_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "common/config.h"
+#include "common/sim_time.h"
+
+namespace redoop {
+
+/// Calibration knobs for the cluster cost model. Defaults approximate the
+/// paper's testbed: quad-core workers, local SATA disks, 1 Gbit Ethernet,
+/// 6 map + 2 reduce slots per node, 64 MB HDFS blocks.
+struct CostModelOptions {
+  /// Effective sequential disk bandwidth *per task*, bytes/second. The
+  /// node's physical disk (~100 MB/s SATA in the paper's testbed) is
+  /// shared by up to 8 concurrent task slots, so the per-task effective
+  /// rate is far lower; 35 MB/s matches observed Hadoop-era per-task
+  /// throughput.
+  double disk_bandwidth_bps = 35.0 * kBytesPerMB;
+  /// Per-access disk seek/rotational latency, seconds.
+  double disk_seek_s = 0.005;
+  /// Effective network bandwidth per flow, bytes/second (1 Gbit Ethernet
+  /// shared across concurrent shuffle flows on a node).
+  double network_bandwidth_bps = 30.0 * kBytesPerMB;
+  /// Per-transfer network latency, seconds.
+  double network_latency_s = 0.001;
+  /// Map-function processing rate, bytes/second of input consumed
+  /// (parse + user code on one core).
+  double map_cpu_bps = 40.0 * kBytesPerMB;
+  /// Reduce-function processing rate, bytes/second of input consumed.
+  double reduce_cpu_bps = 40.0 * kBytesPerMB;
+  /// Sort constant: seconds per (byte * log2(#records)) during the
+  /// merge-sort of shuffled data.
+  double sort_factor = 1.0 / (400.0 * kBytesPerMB);
+  /// Fixed JVM/task startup overhead per task, seconds.
+  double task_startup_s = 1.0;
+  /// Fixed per-job overhead (job setup/cleanup on the JobTracker), seconds.
+  double job_startup_s = 2.0;
+  /// HDFS replication pipeline slowdown: writes cost this multiple of a
+  /// plain local write.
+  double hdfs_write_penalty = 1.5;
+
+  /// Builds options from a Config; unspecified keys keep their defaults.
+  /// Keys: cost.disk_bps, cost.disk_seek_s, cost.net_bps, cost.net_latency_s,
+  /// cost.map_cpu_bps, cost.reduce_cpu_bps, cost.sort_factor,
+  /// cost.task_startup_s, cost.job_startup_s, cost.hdfs_write_penalty.
+  static CostModelOptions FromConfig(const Config& config);
+};
+
+/// Converts byte counts flowing through each MapReduce pipeline stage into
+/// simulated durations. Pure functions of the options; the cluster layers
+/// queueing on top.
+class CostModel {
+ public:
+  explicit CostModel(CostModelOptions options = CostModelOptions());
+
+  const CostModelOptions& options() const { return options_; }
+
+  /// Sequential read of `bytes` from local disk.
+  SimDuration LocalReadTime(int64_t bytes) const;
+
+  /// Sequential write of `bytes` to local disk.
+  SimDuration LocalWriteTime(int64_t bytes) const;
+
+  /// Write of `bytes` into HDFS (replication pipeline included).
+  SimDuration HdfsWriteTime(int64_t bytes) const;
+
+  /// Read of `bytes` from HDFS when the block is remote: network + disk.
+  SimDuration RemoteReadTime(int64_t bytes) const;
+
+  /// Network transfer of `bytes` between two nodes.
+  SimDuration TransferTime(int64_t bytes) const;
+
+  /// CPU time for the map function over `bytes` of input.
+  SimDuration MapComputeTime(int64_t bytes) const;
+
+  /// CPU time for the reduce function over `bytes` of input.
+  SimDuration ReduceComputeTime(int64_t bytes) const;
+
+  /// Merge-sort time for `bytes` of data containing `records` records.
+  SimDuration SortTime(int64_t bytes, int64_t records) const;
+
+  SimDuration TaskStartupTime() const { return options_.task_startup_s; }
+  SimDuration JobStartupTime() const { return options_.job_startup_s; }
+
+ private:
+  CostModelOptions options_;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_SIM_COST_MODEL_H_

@@ -1,0 +1,34 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace redoop {
+
+uint64_t EventQueue::Push(SimTime time, std::function<void()> action) {
+  const uint64_t seq = next_sequence_++;
+  heap_.push(Event{time, seq, std::move(action)});
+  return seq;
+}
+
+SimTime EventQueue::NextTime() const {
+  REDOOP_CHECK(!heap_.empty());
+  return heap_.top().time;
+}
+
+Event EventQueue::Pop() {
+  REDOOP_CHECK(!heap_.empty());
+  // std::priority_queue::top() returns const&; the action is moved out via a
+  // const_cast, which is safe because the element is popped immediately.
+  Event event = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  return event;
+}
+
+void EventQueue::Clear() {
+  while (!heap_.empty()) heap_.pop();
+  next_sequence_ = 0;
+}
+
+}  // namespace redoop

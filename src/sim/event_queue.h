@@ -1,0 +1,58 @@
+#ifndef REDOOP_SIM_EVENT_QUEUE_H_
+#define REDOOP_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace redoop {
+
+/// A scheduled callback in the simulated timeline.
+struct Event {
+  SimTime time = 0.0;
+  uint64_t sequence = 0;  // Tie-breaker: FIFO among same-time events.
+  std::function<void()> action;
+};
+
+/// Min-heap of events ordered by (time, sequence). Events scheduled at the
+/// same instant fire in the order they were scheduled, which keeps the
+/// simulation deterministic.
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Enqueues `action` to fire at absolute time `time`. Returns the event's
+  /// sequence number (usable for debugging/tracing).
+  uint64_t Push(SimTime time, std::function<void()> action);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Requires !empty().
+  SimTime NextTime() const;
+
+  /// Removes and returns the earliest event. Requires !empty().
+  Event Pop();
+
+  void Clear();
+
+ private:
+  struct Compare {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Compare> heap_;
+  uint64_t next_sequence_ = 0;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_SIM_EVENT_QUEUE_H_

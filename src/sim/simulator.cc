@@ -1,0 +1,49 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace redoop {
+
+void Simulator::Schedule(SimDuration delay, std::function<void()> action) {
+  REDOOP_CHECK(delay >= 0.0) << "cannot schedule into the past: " << delay;
+  queue_.Push(now_ + delay, std::move(action));
+}
+
+void Simulator::ScheduleAt(SimTime when, std::function<void()> action) {
+  REDOOP_CHECK(when >= now_) << "cannot schedule into the past: " << when
+                             << " < " << now_;
+  queue_.Push(when, std::move(action));
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime until) {
+  REDOOP_CHECK(until >= now_);
+  while (!queue_.empty() && queue_.NextTime() <= until) {
+    Step();
+  }
+  now_ = until;
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  Event event = queue_.Pop();
+  REDOOP_CHECK(event.time >= now_);
+  now_ = event.time;
+  ++processed_;
+  event.action();
+  return true;
+}
+
+void Simulator::Reset() {
+  queue_.Clear();
+  now_ = 0.0;
+  processed_ = 0;
+}
+
+}  // namespace redoop

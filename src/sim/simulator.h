@@ -1,0 +1,53 @@
+#ifndef REDOOP_SIM_SIMULATOR_H_
+#define REDOOP_SIM_SIMULATOR_H_
+
+#include <functional>
+
+#include "common/sim_time.h"
+#include "sim/event_queue.h"
+
+namespace redoop {
+
+/// Discrete-event simulator: a virtual clock plus an event queue. Components
+/// schedule callbacks; Run() advances the clock from event to event. Time
+/// never flows backwards.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  /// Schedules `action` to run `delay` seconds from now (delay >= 0).
+  void Schedule(SimDuration delay, std::function<void()> action);
+
+  /// Schedules `action` at absolute time `when` (>= Now()).
+  void ScheduleAt(SimTime when, std::function<void()> action);
+
+  /// Processes events until the queue is empty.
+  void Run();
+
+  /// Processes events with time <= `until`, then sets the clock to `until`
+  /// if it got that far (i.e. idles forward).
+  void RunUntil(SimTime until);
+
+  /// Processes exactly one event if any is pending; returns whether one ran.
+  bool Step();
+
+  bool HasPendingEvents() const { return !queue_.empty(); }
+  size_t pending_event_count() const { return queue_.size(); }
+  uint64_t processed_event_count() const { return processed_; }
+
+  /// Drops all pending events and resets the clock to zero.
+  void Reset();
+
+ private:
+  SimTime now_ = 0.0;
+  EventQueue queue_;
+  uint64_t processed_ = 0;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_SIM_SIMULATOR_H_

@@ -1,0 +1,58 @@
+#include "workload/count_window_feed.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace redoop {
+
+CountWindowFeed::CountWindowFeed(BatchFeed* inner,
+                                 Timestamp inner_batch_interval)
+    : inner_(inner), inner_batch_interval_(inner_batch_interval) {
+  REDOOP_CHECK(inner_ != nullptr);
+  REDOOP_CHECK(inner_batch_interval_ > 0);
+}
+
+std::vector<RecordBatch> CountWindowFeed::BatchesFor(SourceId source,
+                                                     Timestamp begin,
+                                                     Timestamp end) {
+  SourceState& state = states_[source];
+  REDOOP_CHECK(begin == state.next_served)
+      << "count-window ranges must be requested contiguously: got " << begin
+      << ", expected " << state.next_served;
+  REDOOP_CHECK(end >= begin);
+
+  // Pull inner-feed time until we buffered enough records to cover `end`.
+  int guard = 0;
+  while (state.next_ordinal < end) {
+    REDOOP_CHECK(++guard < 1000000)
+        << "inner feed stopped producing records for source " << source;
+    const std::vector<RecordBatch> pulled = inner_->BatchesFor(
+        source, state.inner_cursor, state.inner_cursor + inner_batch_interval_);
+    state.inner_cursor += inner_batch_interval_;
+    for (const RecordBatch& batch : pulled) {
+      for (const Record& r : batch.records) {
+        Record restamped = r;
+        restamped.timestamp = state.next_ordinal++;
+        state.buffer.push_back(std::move(restamped));
+      }
+    }
+  }
+
+  RecordBatch batch;
+  batch.start = begin;
+  batch.end = end;
+  const int64_t take = end - begin;
+  batch.records.assign(state.buffer.begin(),
+                       state.buffer.begin() + take);
+  state.buffer.erase(state.buffer.begin(), state.buffer.begin() + take);
+  state.next_served = end;
+  return {std::move(batch)};
+}
+
+Timestamp CountWindowFeed::InnerTimeConsumed(SourceId source) const {
+  auto it = states_.find(source);
+  return it == states_.end() ? 0 : it->second.inner_cursor;
+}
+
+}  // namespace redoop

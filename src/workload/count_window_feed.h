@@ -1,0 +1,52 @@
+#ifndef REDOOP_WORKLOAD_COUNT_WINDOW_FEED_H_
+#define REDOOP_WORKLOAD_COUNT_WINDOW_FEED_H_
+
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/batch_feed.h"
+
+namespace redoop {
+
+/// Adapter turning any time-based feed into a *count-based* one (paper
+/// §6.1: "count-based windows provide similar results"): each record of a
+/// source is re-timestamped with its arrival ordinal, so a count-based
+/// sliding window of `win = N records, slide = M records` is exactly a
+/// time-based window over ordinal "time". Both drivers then run unchanged;
+/// every window covers precisely `win` records.
+///
+/// Requested ranges are in ordinal units. The adapter pulls as much real
+/// time from the inner feed as needed to accumulate the requested number
+/// of records, so a range can always be served (assuming the inner feed
+/// keeps producing data).
+class CountWindowFeed : public BatchFeed {
+ public:
+  /// `inner` must outlive the adapter. `inner_batch_interval` is the step
+  /// (in the inner feed's real time) used when pulling from it.
+  CountWindowFeed(BatchFeed* inner, Timestamp inner_batch_interval);
+
+  /// Batches covering the ordinal range [begin, end): one batch per call,
+  /// carrying exactly end - begin records (re-stamped with their ordinal).
+  std::vector<RecordBatch> BatchesFor(SourceId source, Timestamp begin,
+                                      Timestamp end) override;
+
+  /// Real (inner-feed) time consumed so far for `source`.
+  Timestamp InnerTimeConsumed(SourceId source) const;
+
+ private:
+  struct SourceState {
+    Timestamp inner_cursor = 0;   // Inner-feed time already pulled.
+    Timestamp next_ordinal = 0;   // Next record ordinal to assign.
+    Timestamp next_served = 0;    // Ordinal up to which batches were given.
+    std::vector<Record> buffer;   // Re-stamped records not yet served.
+  };
+
+  BatchFeed* inner_;
+  Timestamp inner_batch_interval_;
+  std::map<SourceId, SourceState> states_;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_WORKLOAD_COUNT_WINDOW_FEED_H_

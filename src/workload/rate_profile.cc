@@ -1,0 +1,66 @@
+#include "workload/rate_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace redoop {
+
+ConstantRate::ConstantRate(double records_per_second)
+    : rps_(records_per_second) {
+  REDOOP_CHECK(records_per_second >= 0.0);
+}
+
+double ConstantRate::RecordsPerSecond(Timestamp t) const {
+  (void)t;
+  return rps_;
+}
+
+WindowSpikeRate::WindowSpikeRate(double base_rps, double multiplier,
+                                 Timestamp win, Timestamp slide,
+                                 std::vector<int64_t> spiked_slides)
+    : base_rps_(base_rps),
+      multiplier_(multiplier),
+      win_(win),
+      slide_(slide),
+      spiked_slides_(std::move(spiked_slides)) {
+  REDOOP_CHECK(base_rps >= 0.0);
+  REDOOP_CHECK(multiplier >= 0.0);
+  REDOOP_CHECK(win > 0 && slide > 0);
+}
+
+double WindowSpikeRate::RecordsPerSecond(Timestamp t) const {
+  // Which recurrence's fresh data does time t belong to? Recurrence k > 0
+  // freshly contributes [win + (k-1)*slide, win + k*slide); everything in
+  // [0, win) belongs to recurrence 0.
+  int64_t slide_index = 0;
+  if (t >= win_) slide_index = (t - win_) / slide_ + 1;
+  const bool spiked = std::find(spiked_slides_.begin(), spiked_slides_.end(),
+                                slide_index) != spiked_slides_.end();
+  return spiked ? base_rps_ * multiplier_ : base_rps_;
+}
+
+std::vector<int64_t> WindowSpikeRate::PaperSpikePattern(int64_t num_windows) {
+  std::vector<int64_t> spiked;
+  for (int64_t k = 0; k < num_windows; ++k) {
+    if (k % 3 != 0) spiked.push_back(k);
+  }
+  return spiked;
+}
+
+SinusoidalRate::SinusoidalRate(double base_rps, double amplitude,
+                               Timestamp period)
+    : base_rps_(base_rps), amplitude_(amplitude), period_(period) {
+  REDOOP_CHECK(base_rps >= 0.0);
+  REDOOP_CHECK(amplitude >= 0.0 && amplitude <= 1.0);
+  REDOOP_CHECK(period > 0);
+}
+
+double SinusoidalRate::RecordsPerSecond(Timestamp t) const {
+  const double phase =
+      2.0 * M_PI * static_cast<double>(t) / static_cast<double>(period_);
+  return base_rps_ * (1.0 + amplitude_ * std::sin(phase));
+}
+
+}  // namespace redoop

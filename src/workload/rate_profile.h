@@ -1,0 +1,71 @@
+#ifndef REDOOP_WORKLOAD_RATE_PROFILE_H_
+#define REDOOP_WORKLOAD_RATE_PROFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace redoop {
+
+/// Arrival-rate shape of an evolving data source: records per second as a
+/// function of data time. Deterministic, so both drivers replay identical
+/// workloads.
+class RateProfile {
+ public:
+  virtual ~RateProfile() = default;
+  virtual double RecordsPerSecond(Timestamp t) const = 0;
+};
+
+/// Steady arrival rate.
+class ConstantRate : public RateProfile {
+ public:
+  explicit ConstantRate(double records_per_second);
+  double RecordsPerSecond(Timestamp t) const override;
+
+ private:
+  double rps_;
+};
+
+/// The Fig. 8 workload: rate multiplied during chosen slides. Slide index
+/// k covers data time [win + (k-1)*slide, win + k*slide) — the fresh data
+/// of recurrence k — with slide index 0 covering the initial window
+/// [0, win). The paper doubles the workloads of windows 2,3,5,6,8,9
+/// (1-based), keeping 1,4,7,10 normal.
+class WindowSpikeRate : public RateProfile {
+ public:
+  /// `spiked_slides` lists 0-based recurrence indices whose fresh data is
+  /// multiplied by `multiplier`.
+  WindowSpikeRate(double base_rps, double multiplier, Timestamp win,
+                  Timestamp slide, std::vector<int64_t> spiked_slides);
+
+  double RecordsPerSecond(Timestamp t) const override;
+
+  /// The paper's pattern for n windows: every recurrence except 0, 3, 6,
+  /// 9, ... (multiples of 3) is spiked.
+  static std::vector<int64_t> PaperSpikePattern(int64_t num_windows);
+
+ private:
+  double base_rps_;
+  double multiplier_;
+  Timestamp win_;
+  Timestamp slide_;
+  std::vector<int64_t> spiked_slides_;
+};
+
+/// Smooth diurnal-style modulation: base * (1 + amplitude * sin(2πt/period)).
+class SinusoidalRate : public RateProfile {
+ public:
+  SinusoidalRate(double base_rps, double amplitude, Timestamp period);
+  double RecordsPerSecond(Timestamp t) const override;
+
+ private:
+  double base_rps_;
+  double amplitude_;
+  Timestamp period_;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_WORKLOAD_RATE_PROFILE_H_

@@ -1,0 +1,45 @@
+#include "workload/synthetic_feed.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace redoop {
+
+SyntheticFeed::SyntheticFeed(Timestamp batch_interval)
+    : batch_interval_(batch_interval) {
+  REDOOP_CHECK(batch_interval_ > 0);
+}
+
+void SyntheticFeed::AddSource(SourceId source,
+                              std::shared_ptr<const RecordGenerator> gen) {
+  REDOOP_CHECK(gen != nullptr);
+  generators_[source] = std::move(gen);
+}
+
+std::vector<RecordBatch> SyntheticFeed::BatchesFor(SourceId source,
+                                                   Timestamp begin,
+                                                   Timestamp end) {
+  auto it = generators_.find(source);
+  REDOOP_CHECK(it != generators_.end()) << "unknown source " << source;
+  REDOOP_CHECK(begin % batch_interval_ == 0 && end % batch_interval_ == 0)
+      << "requested range [" << begin << "," << end
+      << ") not aligned to batch interval " << batch_interval_;
+  const RecordGenerator& gen = *it->second;
+
+  std::vector<RecordBatch> batches;
+  for (Timestamp t = begin; t < end; t += batch_interval_) {
+    RecordBatch batch;
+    batch.start = t;
+    batch.end = t + batch_interval_;
+    for (Timestamp s = t; s < t + batch_interval_; ++s) {
+      std::vector<Record> second = gen.RecordsForSecond(source, s);
+      std::move(second.begin(), second.end(),
+                std::back_inserter(batch.records));
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+}  // namespace redoop

@@ -1,0 +1,48 @@
+#ifndef REDOOP_WORKLOAD_SYNTHETIC_FEED_H_
+#define REDOOP_WORKLOAD_SYNTHETIC_FEED_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/batch_feed.h"
+#include "workload/rate_profile.h"
+
+namespace redoop {
+
+/// Produces the records of one data source for one second of data time.
+/// Must be a pure function of (source, second) given the construction-time
+/// seed — both drivers must observe identical data.
+class RecordGenerator {
+ public:
+  virtual ~RecordGenerator() = default;
+  virtual std::vector<Record> RecordsForSecond(SourceId source,
+                                               Timestamp second) const = 0;
+};
+
+/// BatchFeed assembling generator output into batch files on a fixed
+/// arrival interval (the paper's model: the system collects log files
+/// periodically and uploads each as a new HDFS batch).
+class SyntheticFeed : public BatchFeed {
+ public:
+  /// Batches cover `batch_interval`-second spans aligned to the global
+  /// time grid. Requested ranges must align to batch boundaries.
+  SyntheticFeed(Timestamp batch_interval);
+
+  /// Registers a source. Both pointers are shared with the caller.
+  void AddSource(SourceId source, std::shared_ptr<const RecordGenerator> gen);
+
+  std::vector<RecordBatch> BatchesFor(SourceId source, Timestamp begin,
+                                      Timestamp end) override;
+
+  Timestamp batch_interval() const { return batch_interval_; }
+
+ private:
+  Timestamp batch_interval_;
+  std::map<SourceId, std::shared_ptr<const RecordGenerator>> generators_;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_WORKLOAD_SYNTHETIC_FEED_H_

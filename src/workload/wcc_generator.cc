@@ -1,0 +1,63 @@
+#include "workload/wcc_generator.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_utils.h"
+
+namespace redoop {
+
+WccGenerator::WccGenerator(std::shared_ptr<const RateProfile> rate,
+                           WccGeneratorOptions options)
+    : rate_(std::move(rate)), options_(options) {
+  REDOOP_CHECK(rate_ != nullptr);
+  REDOOP_CHECK(options_.num_clients > 0);
+  REDOOP_CHECK(options_.num_objects > 0);
+}
+
+std::vector<Record> WccGenerator::RecordsForSecond(SourceId source,
+                                                   Timestamp second) const {
+  // Seed from (seed, source, second): a pure function of time, so replays
+  // are identical across drivers and runs.
+  Random rng(HashCombine(HashCombine(options_.seed, Mix64(
+                 static_cast<uint64_t>(source))),
+                         static_cast<uint64_t>(second)));
+
+  const double rps = rate_->RecordsPerSecond(second);
+  // Deterministic fractional rounding: carry the fraction via the seed.
+  int64_t count = static_cast<int64_t>(rps);
+  if (rng.NextDouble() < rps - std::floor(rps)) ++count;
+
+  static const char* kMethods[] = {"GET", "POST", "HEAD"};
+  static const int kStatuses[] = {200, 200, 200, 200, 304, 404, 500};
+
+  std::vector<Record> records;
+  records.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    const uint64_t client =
+        rng.NextZipf(static_cast<uint64_t>(options_.num_clients),
+                     options_.client_skew);
+    const uint64_t object =
+        rng.NextZipf(static_cast<uint64_t>(options_.num_objects),
+                     options_.object_skew);
+    const int32_t region =
+        static_cast<int32_t>(rng.Uniform(static_cast<uint64_t>(
+            options_.num_regions)));
+    const char* method = kMethods[rng.Uniform(3)];
+    const int status = kStatuses[rng.Uniform(7)];
+    const int64_t bytes = 64 + static_cast<int64_t>(rng.Uniform(32768));
+    Record r;
+    r.timestamp = second;
+    r.key = StringPrintf("client-%lu", client);
+    r.value = StringPrintf("obj-%lu,%s,%d,reg-%d,%ld", object, method, status,
+                           region, bytes);
+    r.logical_bytes = options_.record_logical_bytes;
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+}  // namespace redoop

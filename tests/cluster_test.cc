@@ -1,0 +1,187 @@
+// Unit tests for the cluster layer: task nodes (slots, local FS), the
+// heartbeat bus, failure injection and listeners.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+
+namespace redoop {
+namespace {
+
+NodeOptions SmallNode() {
+  NodeOptions o;
+  o.map_slots = 2;
+  o.reduce_slots = 1;
+  o.local_capacity_bytes = 1000;
+  return o;
+}
+
+TEST(TaskNodeTest, SlotAccounting) {
+  TaskNode node(0, SmallNode());
+  EXPECT_EQ(node.free_map_slots(), 2);
+  EXPECT_TRUE(node.AcquireMapSlot());
+  EXPECT_TRUE(node.AcquireMapSlot());
+  EXPECT_FALSE(node.AcquireMapSlot()) << "slots exhausted";
+  node.ReleaseMapSlot();
+  EXPECT_TRUE(node.AcquireMapSlot());
+  EXPECT_TRUE(node.AcquireReduceSlot());
+  EXPECT_FALSE(node.AcquireReduceSlot());
+}
+
+TEST(TaskNodeTest, LoadIsBusyFraction) {
+  TaskNode node(0, SmallNode());
+  EXPECT_DOUBLE_EQ(node.Load(), 0.0);
+  node.AcquireMapSlot();
+  EXPECT_NEAR(node.Load(), 1.0 / 3.0, 1e-12);
+  node.AcquireMapSlot();
+  node.AcquireReduceSlot();
+  EXPECT_DOUBLE_EQ(node.Load(), 1.0);
+}
+
+TEST(TaskNodeTest, LocalFilesAndCapacity) {
+  TaskNode node(0, SmallNode());
+  EXPECT_TRUE(node.PutLocalFile("a", 400));
+  EXPECT_TRUE(node.PutLocalFile("b", 500));
+  EXPECT_FALSE(node.PutLocalFile("c", 200)) << "over the 1000-byte budget";
+  EXPECT_TRUE(node.HasLocalFile("a"));
+  EXPECT_EQ(node.LocalFileBytes("a"), 400);
+  EXPECT_EQ(node.local_bytes_used(), 900);
+  EXPECT_NEAR(node.LocalDiskUtilization(), 0.9, 1e-12);
+  // Overwrite shrinks usage.
+  EXPECT_TRUE(node.PutLocalFile("a", 100));
+  EXPECT_EQ(node.local_bytes_used(), 600);
+  EXPECT_EQ(node.DeleteLocalFile("b"), 500);
+  EXPECT_EQ(node.DeleteLocalFile("b"), 0) << "double delete is a no-op";
+  EXPECT_EQ(node.LocalFileNames(), std::vector<std::string>{"a"});
+}
+
+TEST(TaskNodeTest, FailReturnsLostFilesAndFreesEverything) {
+  TaskNode node(0, SmallNode());
+  node.AcquireMapSlot();
+  node.PutLocalFile("x", 10);
+  node.PutLocalFile("y", 20);
+  std::vector<std::string> lost = node.Fail();
+  EXPECT_EQ(lost.size(), 2u);
+  EXPECT_FALSE(node.alive());
+  EXPECT_EQ(node.local_bytes_used(), 0);
+  EXPECT_EQ(node.map_slots_used(), 0);
+  EXPECT_FALSE(node.AcquireMapSlot()) << "dead node accepts no tasks";
+  EXPECT_FALSE(node.PutLocalFile("z", 1));
+  node.Recover();
+  EXPECT_TRUE(node.alive());
+  EXPECT_TRUE(node.AcquireMapSlot());
+}
+
+TEST(HeartbeatBusTest, DeliversAfterInterval) {
+  HeartbeatBus bus(3.0);
+  bus.Send(1, /*now=*/10.0, "cache-add", "S1P1");
+  EXPECT_TRUE(bus.DeliverUpTo(12.0).empty());
+  auto delivered = bus.DeliverUpTo(13.0);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].from, 1);
+  EXPECT_EQ(delivered[0].kind, "cache-add");
+  EXPECT_EQ(delivered[0].payload, "S1P1");
+  EXPECT_EQ(bus.pending(), 0u);
+}
+
+TEST(HeartbeatBusTest, PreservesSendOrder) {
+  HeartbeatBus bus(1.0);
+  bus.Send(1, 0.0, "a", "");
+  bus.Send(2, 0.5, "b", "");
+  auto delivered = bus.DeliverUpTo(10.0);
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0].kind, "a");
+  EXPECT_EQ(delivered[1].kind, "b");
+}
+
+TEST(HeartbeatBusTest, DropFromRemovesInFlight) {
+  HeartbeatBus bus(1.0);
+  bus.Send(1, 0.0, "a", "");
+  bus.Send(2, 0.0, "b", "");
+  bus.DropFrom(1);
+  auto delivered = bus.DeliverUpTo(10.0);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].from, 2);
+}
+
+TEST(ClusterTest, ConstructionAndAccessors) {
+  Config config;
+  config.SetInt("node.map_slots", 4);
+  Cluster cluster(3, config);
+  EXPECT_EQ(cluster.num_nodes(), 3);
+  EXPECT_EQ(cluster.alive_node_count(), 3);
+  EXPECT_EQ(cluster.node(0).map_slots_total(), 4);
+  EXPECT_EQ(cluster.TotalFreeMapSlots(), 12);
+  EXPECT_EQ(cluster.AliveNodes().size(), 3u);
+}
+
+TEST(ClusterTest, FailNodeCascades) {
+  Cluster cluster(3, Config());
+  cluster.node(1).PutLocalFile("cache1", 100);
+
+  NodeId failed_node = kInvalidNode;
+  std::vector<std::string> failed_files;
+  cluster.AddFailureListener(
+      [&](NodeId n, const std::vector<std::string>& lost) {
+        failed_node = n;
+        failed_files = lost;
+      });
+  int cache_loss_events = 0;
+  cluster.AddCacheLossListener(
+      [&](NodeId, const std::vector<std::string>&) { ++cache_loss_events; });
+
+  cluster.FailNode(1);
+  EXPECT_EQ(failed_node, 1);
+  EXPECT_EQ(failed_files, std::vector<std::string>{"cache1"});
+  EXPECT_EQ(cache_loss_events, 1);
+  EXPECT_EQ(cluster.alive_node_count(), 2);
+  EXPECT_FALSE(cluster.node(1).alive());
+
+  // Idempotent.
+  cluster.FailNode(1);
+  EXPECT_EQ(cache_loss_events, 1);
+
+  cluster.RecoverNode(1);
+  EXPECT_TRUE(cluster.node(1).alive());
+  EXPECT_EQ(cluster.alive_node_count(), 3);
+}
+
+TEST(ClusterTest, InjectCacheLossKeepsNodeAlive) {
+  Cluster cluster(2, Config());
+  cluster.node(0).PutLocalFile("c", 50);
+
+  int failure_events = 0;
+  cluster.AddFailureListener(
+      [&](NodeId, const std::vector<std::string>&) { ++failure_events; });
+  std::vector<std::string> lost;
+  cluster.AddCacheLossListener(
+      [&](NodeId n, const std::vector<std::string>& files) {
+        EXPECT_EQ(n, 0);
+        lost = files;
+      });
+
+  cluster.InjectCacheLoss(0, "c");
+  EXPECT_EQ(lost, std::vector<std::string>{"c"});
+  EXPECT_EQ(failure_events, 0) << "cache loss is not a node failure";
+  EXPECT_TRUE(cluster.node(0).alive());
+  EXPECT_FALSE(cluster.node(0).HasLocalFile("c"));
+
+  // Losing an unknown file is silent.
+  lost.clear();
+  cluster.InjectCacheLoss(0, "unknown");
+  EXPECT_TRUE(lost.empty());
+}
+
+TEST(ClusterTest, FailNodeDropsDfsReplicas) {
+  Cluster cluster(4, Config());
+  std::vector<Record> records;
+  for (int i = 0; i < 10; ++i) records.emplace_back(i, "k", "v", 100);
+  ASSERT_TRUE(cluster.dfs().CreateFile("f", records, 0, 10).ok());
+  cluster.FailNode(2);
+  for (const Block& b : (*cluster.dfs().GetFile("f"))->blocks) {
+    for (NodeId n : b.replicas) EXPECT_NE(n, 2);
+  }
+}
+
+}  // namespace
+}  // namespace redoop

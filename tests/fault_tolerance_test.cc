@@ -1,0 +1,195 @@
+// Failure-injection tests at the driver level (paper §5 / §6.4): cache
+// loss, node loss, and mid-run failures must never change query answers,
+// and the caching metadata must recover (ready-bit rollback, rebuild,
+// re-registration).
+
+#include <gtest/gtest.h>
+
+#include "baseline/hadoop_driver.h"
+#include "core/pane_naming.h"
+#include "core/redoop_driver.h"
+#include "tests/test_util.h"
+
+namespace redoop {
+namespace {
+
+using ::redoop::testing::MakeFfgFeed;
+using ::redoop::testing::MakeWccFeed;
+using ::redoop::testing::SameOutput;
+using ::redoop::testing::SmallClusterConfig;
+
+constexpr int32_t kNodes = 8;
+
+// Removes every cache file present on `node`, via the injection API.
+void WipeNodeCaches(Cluster* cluster, NodeId node) {
+  for (const std::string& file : cluster->node(node).LocalFileNames()) {
+    cluster->InjectCacheLoss(node, file);
+  }
+}
+
+TEST(FaultToleranceTest, AggregationSurvivesCacheWipes) {
+  RecurringQuery query = MakeAggregationQuery(1, "agg", 1, 200, 40, 4);
+
+  Cluster hadoop_cluster(kNodes, SmallClusterConfig());
+  auto hadoop_feed = MakeWccFeed(1, 30, 20);
+  HadoopRecurringDriver hadoop(&hadoop_cluster, hadoop_feed.get(), query);
+
+  Cluster redoop_cluster(kNodes, SmallClusterConfig());
+  auto redoop_feed = MakeWccFeed(1, 30, 20);
+  RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query);
+
+  for (int64_t i = 0; i < 5; ++i) {
+    if (i >= 1) WipeNodeCaches(&redoop_cluster, static_cast<NodeId>(i % kNodes));
+    WindowReport h = hadoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i);
+    ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
+  }
+}
+
+TEST(FaultToleranceTest, JoinSurvivesCacheWipes) {
+  RecurringQuery query = MakeJoinQuery(2, "join", 1, 2, 120, 40, 4);
+
+  Cluster hadoop_cluster(kNodes, SmallClusterConfig());
+  auto hadoop_feed = MakeFfgFeed(1, 2, 4, 20);
+  HadoopRecurringDriver hadoop(&hadoop_cluster, hadoop_feed.get(), query);
+
+  Cluster redoop_cluster(kNodes, SmallClusterConfig());
+  auto redoop_feed = MakeFfgFeed(1, 2, 4, 20);
+  RedoopDriverOptions options;
+  options.hybrid_join_strategy = false;  // Exercise the pane-pair machinery.
+  RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query, options);
+
+  for (int64_t i = 0; i < 5; ++i) {
+    if (i >= 1) WipeNodeCaches(&redoop_cluster, static_cast<NodeId>(i % kNodes));
+    WindowReport h = hadoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i);
+    ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
+  }
+}
+
+TEST(FaultToleranceTest, JoinSurvivesNodeDeathBetweenWindows) {
+  RecurringQuery query = MakeJoinQuery(2, "join", 1, 2, 120, 40, 4);
+
+  Cluster hadoop_cluster(kNodes, SmallClusterConfig());
+  auto hadoop_feed = MakeFfgFeed(1, 2, 4, 20);
+  HadoopRecurringDriver hadoop(&hadoop_cluster, hadoop_feed.get(), query);
+
+  Cluster redoop_cluster(kNodes, SmallClusterConfig());
+  auto redoop_feed = MakeFfgFeed(1, 2, 4, 20);
+  RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query);
+
+  for (int64_t i = 0; i < 5; ++i) {
+    if (i == 2) {
+      // A node dies between recurrences, taking its caches and DFS
+      // replicas; it comes back (empty) one window later.
+      redoop_cluster.FailNode(3);
+    }
+    if (i == 3) {
+      redoop_cluster.RecoverNode(3);
+      redoop_cluster.dfs().ReplicateMissing();
+    }
+    WindowReport h = hadoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i);
+    ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
+  }
+}
+
+TEST(FaultToleranceTest, AggregationSurvivesMidWindowNodeFailure) {
+  RecurringQuery query = MakeAggregationQuery(1, "agg", 1, 200, 40, 4);
+
+  Cluster hadoop_cluster(kNodes, SmallClusterConfig());
+  auto hadoop_feed = MakeWccFeed(1, 30, 20);
+  HadoopRecurringDriver hadoop(&hadoop_cluster, hadoop_feed.get(), query);
+
+  Cluster redoop_cluster(kNodes, SmallClusterConfig());
+  auto redoop_feed = MakeWccFeed(1, 30, 20);
+  RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query);
+
+  for (int64_t i = 0; i < 4; ++i) {
+    if (i == 2) {
+      // Node 5 dies one simulated second after the trigger — mid-job.
+      const SimTime when = static_cast<SimTime>(
+          std::max<Timestamp>(redoop.geometry().TriggerTime(i),
+                              static_cast<Timestamp>(
+                                  redoop_cluster.simulator().Now()))) +
+          1.0;
+      redoop_cluster.simulator().ScheduleAt(
+          when, [&redoop_cluster] { redoop_cluster.FailNode(5); });
+    }
+    WindowReport h = hadoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i);
+    ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
+  }
+}
+
+TEST(FaultToleranceTest, LostCachesAreReRegistered) {
+  RecurringQuery query = MakeAggregationQuery(1, "agg", 1, 200, 40, 4);
+  Cluster cluster(kNodes, SmallClusterConfig());
+  auto feed = MakeWccFeed(1, 30, 20);
+  RedoopDriver redoop(&cluster, feed.get(), query);
+
+  ASSERT_GT(redoop.RunRecurrence(0).output.size(), 0u);
+  const size_t signatures_before = redoop.controller().signature_count();
+  ASSERT_GT(signatures_before, 0u);
+
+  WipeNodeCaches(&cluster, 2);
+  ASSERT_GT(redoop.RunRecurrence(1).output.size(), 0u);
+  // The surviving + rebuilt metadata again covers the live window; sizes
+  // match the steady-state progression (one pane retired, one added).
+  EXPECT_GT(redoop.controller().signature_count(), 0u);
+  EXPECT_GT(redoop.store().size(), 0u);
+  // Node 2 carries no stale registry entries for vanished files.
+  for (const LocalCacheEntry& entry : redoop.registry(2).Entries()) {
+    EXPECT_TRUE(cluster.node(2).HasLocalFile(entry.name))
+        << "registry entry without a backing local file: " << entry.name;
+  }
+}
+
+TEST(FaultToleranceTest, CacheLossRollsBackPaneReadyBit) {
+  RecurringQuery query = MakeJoinQuery(2, "join", 1, 2, 120, 40, 4);
+  Cluster cluster(kNodes, SmallClusterConfig());
+  auto feed = MakeFfgFeed(1, 2, 4, 20);
+  RedoopDriverOptions options;
+  options.hybrid_join_strategy = false;
+  RedoopDriver redoop(&cluster, feed.get(), query, options);
+  redoop.RunRecurrence(0);
+
+  // Find some reduce-input cache and lose it.
+  std::string victim_name;
+  NodeId victim_node = kInvalidNode;
+  PaneId victim_pane = kInvalidPane;
+  SourceId victim_source = 0;
+  // Pick a pane that recurrence 2's window will still need (pane >= 2),
+  // so it cannot expire before we assert on its recovered state.
+  for (NodeId n = 0; n < kNodes && victim_name.empty(); ++n) {
+    for (const std::string& file : cluster.node(n).LocalFileNames()) {
+      const CacheSignature* sig = redoop.controller().Find(file);
+      if (sig != nullptr && sig->type == CacheType::kReduceInput &&
+          sig->pane >= 2) {
+        victim_name = file;
+        victim_node = n;
+        victim_pane = sig->pane;
+        victim_source = sig->source;
+        break;
+      }
+    }
+  }
+  ASSERT_FALSE(victim_name.empty());
+  ASSERT_EQ(redoop.controller().PaneReady(2, victim_source, victim_pane),
+            CacheReady::kCacheAvailable);
+
+  cluster.InjectCacheLoss(victim_node, victim_name);
+  EXPECT_EQ(redoop.controller().PaneReady(2, victim_source, victim_pane),
+            CacheReady::kHdfsAvailable)
+      << "ready bit must roll back to HDFS-available (paper §5)";
+  EXPECT_EQ(redoop.controller().Find(victim_name), nullptr);
+  EXPECT_FALSE(redoop.store().Has(victim_name));
+
+  // The next recurrence heals everything and stays correct.
+  EXPECT_GT(redoop.RunRecurrence(1).output.size(), 0u);
+  EXPECT_EQ(redoop.controller().PaneReady(2, victim_source, victim_pane),
+            CacheReady::kCacheAvailable);
+}
+
+}  // namespace
+}  // namespace redoop

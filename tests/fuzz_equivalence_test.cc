@@ -1,0 +1,88 @@
+// Randomized equivalence sweep: deterministically generated random window
+// geometries, workload seeds, and driver options — every combination must
+// keep Redoop's results byte-identical to plain Hadoop's. Complements the
+// hand-picked cases in equivalence_property_test.cc.
+
+#include <gtest/gtest.h>
+
+#include "baseline/hadoop_driver.h"
+#include "common/random.h"
+#include "core/redoop_driver.h"
+#include "tests/test_util.h"
+
+namespace redoop {
+namespace {
+
+using ::redoop::testing::MakeFfgFeed;
+using ::redoop::testing::MakeWccFeed;
+using ::redoop::testing::SameOutput;
+using ::redoop::testing::SmallClusterConfig;
+
+class FuzzEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzEquivalenceTest, RandomConfigRedoopEqualsHadoop) {
+  Random rng(GetParam());
+
+  // Random geometry: win a multiple of the 20 s batch interval; slide a
+  // divisor-ish fraction of win, also batch-aligned.
+  const Timestamp win = 20 * (4 + static_cast<Timestamp>(rng.Uniform(12)));
+  Timestamp slide = 20 * (1 + static_cast<Timestamp>(
+                                  rng.Uniform(static_cast<uint64_t>(win / 20))));
+  if (slide > win) slide = win;
+
+  const bool join = rng.Bernoulli(0.4);
+  const uint64_t seed = 1000 + rng.Uniform(100000);
+  const int32_t reducers = 2 + static_cast<int32_t>(rng.Uniform(5));
+  const int32_t nodes = 4 + static_cast<int32_t>(rng.Uniform(6));
+  const int64_t windows = 2 + static_cast<int64_t>(rng.Uniform(3));
+
+  RedoopDriverOptions options;
+  options.cache_reduce_input = !rng.Bernoulli(0.15);
+  options.cache_reduce_output = !rng.Bernoulli(0.25);
+  options.use_cache_aware_scheduler = rng.Bernoulli(0.8);
+  options.hybrid_join_strategy = rng.Bernoulli(0.7);
+  options.adaptive = rng.Bernoulli(0.3);
+  if (options.adaptive) options.proactive_threshold = 0.05;
+
+  SCOPED_TRACE(::testing::Message()
+               << "win=" << win << " slide=" << slide << " join=" << join
+               << " seed=" << seed << " reducers=" << reducers
+               << " nodes=" << nodes << " windows=" << windows
+               << " ric=" << options.cache_reduce_input
+               << " roc=" << options.cache_reduce_output
+               << " adaptive=" << options.adaptive
+               << " hybrid=" << options.hybrid_join_strategy);
+
+  RecurringQuery query =
+      join ? MakeJoinQuery(9, "fuzz-join", 1, 2, win, slide, reducers)
+           : MakeAggregationQuery(9, "fuzz-agg", 1, win, slide, reducers);
+
+  Cluster hadoop_cluster(nodes, SmallClusterConfig());
+  Cluster redoop_cluster(nodes, SmallClusterConfig());
+  std::unique_ptr<SyntheticFeed> hadoop_feed;
+  std::unique_ptr<SyntheticFeed> redoop_feed;
+  if (join) {
+    hadoop_feed = MakeFfgFeed(1, 2, 4, 20, seed);
+    redoop_feed = MakeFfgFeed(1, 2, 4, 20, seed);
+  } else {
+    hadoop_feed = MakeWccFeed(1, 20, 20, seed);
+    redoop_feed = MakeWccFeed(1, 20, 20, seed);
+  }
+
+  HadoopRecurringDriver hadoop(&hadoop_cluster, hadoop_feed.get(), query);
+  RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query, options);
+
+  for (int64_t i = 0; i < windows; ++i) {
+    WindowReport h = hadoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i);
+    ASSERT_TRUE(SameOutput(h.output, r.output))
+        << "diverged at window " << i << " (hadoop " << h.output.size()
+        << " rows, redoop " << r.output.size() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalenceTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace redoop

@@ -1,0 +1,129 @@
+// Tests for the n-dimensional cache status matrix (paper §4.2: "the
+// extension to higher dimensions is straightforward"), including a
+// consistency check against the production 2-D matrix.
+
+#include <gtest/gtest.h>
+
+#include "core/cache_status_matrix.h"
+#include "core/ndim_status_matrix.h"
+
+namespace redoop {
+namespace {
+
+// win = 3 panes, slide = 1 pane.
+WindowGeometry SmallGeometry() {
+  return WindowGeometry(WindowSpec{300, 100}, 100);
+}
+
+TEST(NDimMatrixTest, MarkAndQueryThreeWay) {
+  NDimCacheStatusMatrix m(SmallGeometry(), 3);
+  EXPECT_FALSE(m.IsDone({0, 0, 0}));
+  m.MarkDone({0, 1, 2});
+  EXPECT_TRUE(m.IsDone({0, 1, 2}));
+  EXPECT_FALSE(m.IsDone({2, 1, 0}));
+  EXPECT_FALSE(m.IsDone({0, 1, 1}));
+  EXPECT_EQ(m.extent(0), 1);
+  EXPECT_EQ(m.extent(1), 2);
+  EXPECT_EQ(m.extent(2), 3);
+}
+
+TEST(NDimMatrixTest, GrowPreservesMarks) {
+  NDimCacheStatusMatrix m(SmallGeometry(), 3);
+  m.MarkDone({0, 0, 0});
+  m.MarkDone({1, 2, 0});
+  m.MarkDone({4, 4, 4});  // Forces growth in all dimensions.
+  EXPECT_TRUE(m.IsDone({0, 0, 0}));
+  EXPECT_TRUE(m.IsDone({1, 2, 0}));
+  EXPECT_TRUE(m.IsDone({4, 4, 4}));
+  EXPECT_FALSE(m.IsDone({3, 3, 3}));
+}
+
+TEST(NDimMatrixTest, LifespanCompleteThreeWay) {
+  // Pane 0 of dim 0 co-occurs only in window 0 (panes 0..2): the cells
+  // (0, y, z) for y, z in 0..2 must all be done.
+  NDimCacheStatusMatrix m(SmallGeometry(), 3);
+  for (PaneId y = 0; y < 3; ++y) {
+    for (PaneId z = 0; z < 3; ++z) {
+      if (y == 2 && z == 2) continue;  // Leave one cell pending.
+      m.MarkDone({0, y, z});
+    }
+  }
+  EXPECT_FALSE(m.LifespanComplete(0, 0));
+  m.MarkDone({0, 2, 2});
+  EXPECT_TRUE(m.LifespanComplete(0, 0));
+  EXPECT_FALSE(m.LifespanComplete(1, 0))
+      << "dimension 1's pane 0 has its own pending cells";
+}
+
+TEST(NDimMatrixTest, ShiftPurgesExpiredLeadingPanes) {
+  NDimCacheStatusMatrix m(SmallGeometry(), 3);
+  // Complete every cell among panes 0..4 in all dimensions.
+  for (PaneId x = 0; x < 5; ++x) {
+    for (PaneId y = 0; y < 5; ++y) {
+      for (PaneId z = 0; z < 5; ++z) m.MarkDone({x, y, z});
+    }
+  }
+  // After recurrence 1 (window = panes 1..3), panes 0 and 1 expired
+  // (LastRecurrenceUsingPane(p) == p for slide = 1 pane).
+  auto purged = m.Shift(1);
+  ASSERT_EQ(purged.size(), 3u);
+  for (int32_t d = 0; d < 3; ++d) {
+    EXPECT_EQ(purged[static_cast<size_t>(d)],
+              (std::vector<PaneId>{0, 1}));
+    EXPECT_EQ(m.base(d), 2);
+  }
+  // Purged cells read done; survivors intact.
+  EXPECT_TRUE(m.IsDone({0, 0, 0}));
+  EXPECT_TRUE(m.IsDone({4, 4, 4}));
+  EXPECT_FALSE(m.IsDone({5, 5, 5}));
+}
+
+TEST(NDimMatrixTest, TwoDimensionalMatchesProductionMatrix) {
+  // Random-ish mark sequence applied to both implementations; every query
+  // and shift must agree.
+  WindowGeometry g(WindowSpec{400, 100}, 100);
+  CacheStatusMatrix reference(g);
+  NDimCacheStatusMatrix general(g, 2);
+
+  const std::pair<PaneId, PaneId> marks[] = {
+      {0, 0}, {0, 1}, {1, 0}, {2, 3}, {3, 3}, {1, 1}, {0, 3}, {3, 0},
+      {2, 2}, {1, 2}, {2, 1}, {3, 1}, {1, 3}, {3, 2}, {2, 0}, {0, 2}};
+  for (const auto& [l, r] : marks) {
+    reference.MarkDone(l, r);
+    general.MarkDone({l, r});
+  }
+  for (PaneId l = 0; l < 6; ++l) {
+    for (PaneId r = 0; r < 6; ++r) {
+      EXPECT_EQ(reference.IsDone(l, r), general.IsDone({l, r}))
+          << l << "," << r;
+    }
+    EXPECT_EQ(reference.LifespanComplete(true, l),
+              general.LifespanComplete(0, l))
+        << "pane " << l;
+    EXPECT_EQ(reference.LifespanComplete(false, l),
+              general.LifespanComplete(1, l))
+        << "pane " << l;
+  }
+
+  auto [ref_left, ref_right] = reference.Shift(3);
+  auto gen_purged = general.Shift(3);
+  EXPECT_EQ(ref_left, gen_purged[0]);
+  EXPECT_EQ(ref_right, gen_purged[1]);
+  EXPECT_EQ(reference.left_base(), general.base(0));
+  EXPECT_EQ(reference.right_base(), general.base(1));
+}
+
+TEST(NDimMatrixTest, MarkInPurgedRegionIsNoOp) {
+  NDimCacheStatusMatrix m(SmallGeometry(), 2);
+  for (PaneId x = 0; x < 4; ++x) {
+    for (PaneId y = 0; y < 4; ++y) m.MarkDone({x, y});
+  }
+  m.Shift(1);
+  const PaneId old_base = m.base(0);
+  m.MarkDone({0, 0});
+  EXPECT_EQ(m.base(0), old_base);
+  EXPECT_TRUE(m.IsDone({0, 0}));
+}
+
+}  // namespace
+}  // namespace redoop

@@ -1,0 +1,88 @@
+// Unit tests for the recurring query model and the report types.
+
+#include <gtest/gtest.h>
+
+#include "core/cache_types.h"
+#include "core/metrics.h"
+#include "core/recurring_query.h"
+#include "queries/aggregation_query.h"
+#include "queries/join_query.h"
+
+namespace redoop {
+namespace {
+
+TEST(RecurringQueryTest, SlideAndWindowAccessors) {
+  RecurringQuery q = MakeAggregationQuery(1, "q", 1, 600, 120, 4);
+  EXPECT_EQ(q.slide(), 120);
+  EXPECT_EQ(q.window().win, 600);
+  EXPECT_DOUBLE_EQ(q.window().Overlap(), 0.8);
+}
+
+TEST(RecurringQueryTest, DefaultOutputPath) {
+  RecurringQuery q = MakeAggregationQuery(1, "clicks", 1, 600, 120, 4);
+  EXPECT_EQ(q.OutputPathForRecurrence(0), "out/clicks/rec-0");
+  EXPECT_EQ(q.OutputPathForRecurrence(17), "out/clicks/rec-17");
+}
+
+TEST(RecurringQueryTest, CustomOutputPath) {
+  RecurringQuery q = MakeAggregationQuery(1, "q", 1, 600, 120, 4);
+  q.get_output_path = [](int64_t rec) {
+    return "custom/" + std::to_string(rec * 2);
+  };
+  EXPECT_EQ(q.OutputPathForRecurrence(3), "custom/6");
+}
+
+TEST(RecurringQueryTest, MapperForFallsBackToDefault) {
+  RecurringQuery q = MakeAggregationQuery(1, "q", 1, 600, 120, 4);
+  EXPECT_EQ(q.MapperFor(1), q.config.mapper);
+  EXPECT_EQ(q.MapperFor(99), q.config.mapper) << "unknown source -> default";
+
+  RecurringQuery join = MakeJoinQuery(2, "j", 1, 2, 600, 120, 4);
+  EXPECT_EQ(join.MapperFor(1), join.source_mappers.at(1));
+  EXPECT_NE(join.MapperFor(1), join.MapperFor(2));
+}
+
+TEST(RecurringQueryTest, CheckValidCatchesMissingPieces) {
+  RecurringQuery q = MakeAggregationQuery(1, "q", 1, 600, 120, 4);
+  q.config.reducer = nullptr;
+  EXPECT_DEATH(q.CheckValid(), "no reducer");
+
+  RecurringQuery p = MakeAggregationQuery(1, "q", 1, 600, 120, 4);
+  p.sources.clear();
+  EXPECT_DEATH(p.CheckValid(), "no sources");
+
+  RecurringQuery r = MakeAggregationQuery(1, "q", 1, 600, 120, 4);
+  r.sources[0].window.slide = 700;  // slide > win.
+  EXPECT_DEATH(r.CheckValid(), "invalid window");
+}
+
+TEST(RunReportTest, Totals) {
+  RunReport report;
+  WindowReport w1;
+  w1.response_time = 10.0;
+  w1.shuffle_time = 3.0;
+  w1.reduce_time = 4.0;
+  WindowReport w2;
+  w2.response_time = 20.0;
+  w2.shuffle_time = 5.0;
+  w2.reduce_time = 6.0;
+  report.windows = {w1, w2};
+  EXPECT_DOUBLE_EQ(report.TotalResponseTime(), 30.0);
+  EXPECT_DOUBLE_EQ(report.TotalShuffleTime(), 8.0);
+  EXPECT_DOUBLE_EQ(report.TotalReduceTime(), 10.0);
+}
+
+TEST(CacheTypesTest, NamesAndExpiry) {
+  EXPECT_STREQ(CacheTypeName(CacheType::kReduceInput), "reduce-input");
+  EXPECT_STREQ(CacheReadyName(CacheReady::kCacheAvailable), "cache-available");
+
+  CacheSignature sig;
+  EXPECT_FALSE(sig.Expired()) << "an empty mask is never expired";
+  sig.done_query_mask = {true, false};
+  EXPECT_FALSE(sig.Expired());
+  sig.done_query_mask = {true, true};
+  EXPECT_TRUE(sig.Expired());
+}
+
+}  // namespace
+}  // namespace redoop

@@ -1,0 +1,246 @@
+// Unit tests for RedoopDriver internals observable through its public
+// surface: cache population, expiration/purging over time, proactive mode,
+// ablation modes, and the hybrid join strategy.
+
+#include <gtest/gtest.h>
+
+#include "baseline/hadoop_driver.h"
+#include "core/pane_naming.h"
+#include "core/redoop_driver.h"
+#include "tests/test_util.h"
+
+namespace redoop {
+namespace {
+
+using ::redoop::testing::MakeFfgFeed;
+using ::redoop::testing::MakeWccFeed;
+using ::redoop::testing::SameOutput;
+using ::redoop::testing::SmallClusterConfig;
+
+constexpr int32_t kNodes = 8;
+
+TEST(RedoopDriverTest, CachesAppearAfterFirstWindow) {
+  RecurringQuery query = MakeAggregationQuery(1, "agg", 1, 200, 40, 4);
+  Cluster cluster(kNodes, SmallClusterConfig());
+  auto feed = MakeWccFeed(1, 30, 20);
+  RedoopDriver driver(&cluster, feed.get(), query);
+
+  EXPECT_EQ(driver.controller().signature_count(), 0u);
+  driver.RunRecurrence(0);
+  // 5 panes, each with reduce-input and reduce-output caches.
+  EXPECT_GT(driver.controller().signature_count(), 0u);
+  EXPECT_GT(driver.store().total_bytes(), 0);
+  // Input and output caches present for pane 1 (pane 0 expired the moment
+  // recurrence 0 — its only window — completed).
+  EXPECT_FALSE(driver.controller()
+                   .CachesForPane(1, 1, 1, CacheType::kReduceInput)
+                   .empty());
+  EXPECT_FALSE(driver.controller()
+                   .CachesForPane(1, 1, 1, CacheType::kReduceOutput)
+                   .empty());
+}
+
+TEST(RedoopDriverTest, CacheFootprintIsBoundedByExpiration) {
+  RecurringQuery query = MakeAggregationQuery(1, "agg", 1, 200, 40, 4);
+  Cluster cluster(kNodes, SmallClusterConfig());
+  auto feed = MakeWccFeed(1, 30, 20);
+  RedoopDriver driver(&cluster, feed.get(), query);
+
+  size_t steady_size = 0;
+  for (int64_t i = 0; i < 10; ++i) {
+    driver.RunRecurrence(i);
+    if (i == 4) steady_size = driver.store().size();
+  }
+  // After warm-up the footprint stops growing: expired panes are purged.
+  EXPECT_LE(driver.store().size(), steady_size + 2)
+      << "cache store must not grow without bound";
+  // Expired pane 0 caches are gone everywhere.
+  EXPECT_EQ(driver.controller().Find(ReduceInputCacheName(1, 1, 0, 0)),
+            nullptr);
+  EXPECT_FALSE(driver.store().Has(ReduceInputCacheName(1, 1, 0, 0)));
+}
+
+TEST(RedoopDriverTest, PeriodicPurgeDeletesExpiredLocalFiles) {
+  RecurringQuery query = MakeAggregationQuery(1, "agg", 1, 200, 40, 4);
+  Cluster cluster(kNodes, SmallClusterConfig());
+  auto feed = MakeWccFeed(1, 30, 20);
+  RedoopDriverOptions options;
+  options.purge_cycle_s = 0.0;  // Purge on every scan.
+  RedoopDriver driver(&cluster, feed.get(), query, options);
+  for (int64_t i = 0; i < 6; ++i) driver.RunRecurrence(i);
+
+  // No node should hold a local file for long-expired pane 0.
+  const std::string pane0_ric = ReduceInputCacheName(1, 1, 0, 0);
+  for (NodeId n = 0; n < kNodes; ++n) {
+    EXPECT_FALSE(cluster.node(n).HasLocalFile(pane0_ric));
+  }
+}
+
+TEST(RedoopDriverTest, ProactiveModeEngagesAndRecovers) {
+  RecurringQuery query = MakeAggregationQuery(1, "agg", 1, 200, 40, 4);
+  Cluster cluster(kNodes, SmallClusterConfig());
+  auto feed = MakeWccFeed(1, 30, 20);
+  RedoopDriverOptions options;
+  options.adaptive = true;
+  options.proactive_threshold = 1e-6;  // Forecast always exceeds budget.
+  RedoopDriver driver(&cluster, feed.get(), query, options);
+
+  driver.RunRecurrence(0);
+  driver.RunRecurrence(1);
+  driver.RunRecurrence(2);
+  EXPECT_TRUE(driver.proactive_mode());
+  EXPECT_GT(driver.current_subpanes(), 1);
+}
+
+TEST(RedoopDriverTest, AdaptiveOffMeansNoProactiveMode) {
+  RecurringQuery query = MakeAggregationQuery(1, "agg", 1, 200, 40, 4);
+  Cluster cluster(kNodes, SmallClusterConfig());
+  auto feed = MakeWccFeed(1, 30, 20);
+  RedoopDriver driver(&cluster, feed.get(), query);
+  for (int64_t i = 0; i < 3; ++i) driver.RunRecurrence(i);
+  EXPECT_FALSE(driver.proactive_mode());
+  EXPECT_EQ(driver.current_subpanes(), 1);
+}
+
+TEST(RedoopDriverTest, NoCachingModeStillCorrect) {
+  RecurringQuery query = MakeAggregationQuery(1, "agg", 1, 200, 40, 4);
+
+  Cluster hadoop_cluster(kNodes, SmallClusterConfig());
+  auto hadoop_feed = MakeWccFeed(1, 30, 20);
+  HadoopRecurringDriver hadoop(&hadoop_cluster, hadoop_feed.get(), query);
+
+  Cluster redoop_cluster(kNodes, SmallClusterConfig());
+  auto redoop_feed = MakeWccFeed(1, 30, 20);
+  RedoopDriverOptions options;
+  options.cache_reduce_input = false;
+  options.cache_reduce_output = false;
+  RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query, options);
+
+  for (int64_t i = 0; i < 3; ++i) {
+    WindowReport h = hadoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i);
+    ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
+  }
+  EXPECT_EQ(redoop.controller().signature_count(), 0u);
+}
+
+TEST(RedoopDriverTest, InputOnlyCachingCorrectForAggregation) {
+  RecurringQuery query = MakeAggregationQuery(1, "agg", 1, 200, 40, 4);
+
+  Cluster hadoop_cluster(kNodes, SmallClusterConfig());
+  auto hadoop_feed = MakeWccFeed(1, 30, 20);
+  HadoopRecurringDriver hadoop(&hadoop_cluster, hadoop_feed.get(), query);
+
+  Cluster redoop_cluster(kNodes, SmallClusterConfig());
+  auto redoop_feed = MakeWccFeed(1, 30, 20);
+  RedoopDriverOptions options;
+  options.cache_reduce_output = false;  // Falls back to input recompute.
+  RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query, options);
+
+  for (int64_t i = 0; i < 3; ++i) {
+    WindowReport h = hadoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i);
+    ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
+  }
+}
+
+TEST(RedoopDriverTest, JoinWithoutOutputCacheCorrect) {
+  RecurringQuery query = MakeJoinQuery(2, "join", 1, 2, 120, 40, 4);
+
+  Cluster hadoop_cluster(kNodes, SmallClusterConfig());
+  auto hadoop_feed = MakeFfgFeed(1, 2, 4, 20);
+  HadoopRecurringDriver hadoop(&hadoop_cluster, hadoop_feed.get(), query);
+
+  Cluster redoop_cluster(kNodes, SmallClusterConfig());
+  auto redoop_feed = MakeFfgFeed(1, 2, 4, 20);
+  RedoopDriverOptions options;
+  options.cache_reduce_output = false;
+  RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query, options);
+
+  for (int64_t i = 0; i < 4; ++i) {
+    WindowReport h = hadoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i);
+    ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
+  }
+}
+
+TEST(RedoopDriverTest, ForcedPanePairStrategyCorrect) {
+  RecurringQuery query = MakeJoinQuery(2, "join", 1, 2, 120, 40, 4);
+
+  Cluster hadoop_cluster(kNodes, SmallClusterConfig());
+  auto hadoop_feed = MakeFfgFeed(1, 2, 4, 20);
+  HadoopRecurringDriver hadoop(&hadoop_cluster, hadoop_feed.get(), query);
+
+  Cluster redoop_cluster(kNodes, SmallClusterConfig());
+  auto redoop_feed = MakeFfgFeed(1, 2, 4, 20);
+  RedoopDriverOptions options;
+  options.hybrid_join_strategy = false;  // Pane pairs always.
+  RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query, options);
+
+  for (int64_t i = 0; i < 4; ++i) {
+    WindowReport h = hadoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i);
+    ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
+  }
+  // The status matrix advances (pairs retired as panes expire).
+  const CacheStatusMatrix* matrix = redoop.controller().matrix(2);
+  ASSERT_NE(matrix, nullptr);
+  EXPECT_GT(matrix->left_base(), 0) << "old panes should have been purged";
+}
+
+TEST(RedoopDriverTest, ReportsCarryPhaseAndByteAccounting) {
+  RecurringQuery query = MakeAggregationQuery(1, "agg", 1, 200, 40, 4);
+  Cluster cluster(kNodes, SmallClusterConfig());
+  auto feed = MakeWccFeed(1, 30, 20);
+  RedoopDriver driver(&cluster, feed.get(), query);
+
+  WindowReport w0 = driver.RunRecurrence(0);
+  EXPECT_GT(w0.response_time, 0.0);
+  EXPECT_GT(w0.window_input_bytes, 0);
+  EXPECT_EQ(w0.fresh_input_bytes, w0.window_input_bytes)
+      << "everything is fresh in the first window";
+  EXPECT_GT(w0.shuffle_time + w0.reduce_time, 0.0);
+
+  WindowReport w1 = driver.RunRecurrence(1);
+  EXPECT_LT(w1.fresh_input_bytes, w1.window_input_bytes)
+      << "warm windows only ingest the new slide";
+  EXPECT_LT(w1.response_time, w0.response_time);
+}
+
+TEST(RedoopDriverTest, PackerAdoptsObservedRateUnderAdaptivity) {
+  RecurringQuery query = MakeAggregationQuery(1, "agg", 1, 200, 40, 4);
+  Cluster cluster(kNodes, SmallClusterConfig());
+  auto feed = MakeWccFeed(1, 30, 20);
+  RedoopDriverOptions options;
+  options.adaptive = true;
+  RedoopDriver driver(&cluster, feed.get(), query, options);
+  for (int64_t i = 0; i < 3; ++i) driver.RunRecurrence(i);
+  // 30 rps * 4 KB = ~120 KB/s * 40 s pane = ~4.8 MB < 64 MB block: the
+  // analyzer should have switched the packer to multi-pane files.
+  EXPECT_GT(driver.packer(1).plan().panes_per_file, 1);
+}
+
+TEST(RedoopDriverTest, RecurrencesMustBeConsecutive) {
+  RecurringQuery query = MakeAggregationQuery(1, "agg", 1, 200, 40, 4);
+  Cluster cluster(kNodes, SmallClusterConfig());
+  auto feed = MakeWccFeed(1, 30, 20);
+  RedoopDriver driver(&cluster, feed.get(), query);
+  driver.RunRecurrence(0);
+  EXPECT_DEATH(driver.RunRecurrence(5), "consecutive");
+}
+
+TEST(RedoopDriverTest, CacheMetadataRidesTheHeartbeatBus) {
+  RecurringQuery query = MakeAggregationQuery(1, "agg", 1, 200, 40, 4);
+  Cluster cluster(kNodes, SmallClusterConfig());
+  auto feed = MakeWccFeed(1, 30, 20);
+  RedoopDriver driver(&cluster, feed.get(), query);
+  driver.RunRecurrence(0);
+  driver.RunRecurrence(1);
+  // Registration and purge notifications were sent and drained (paper
+  // §2.3: registries sync their deltas to the master with heartbeats).
+  EXPECT_EQ(cluster.heartbeat_bus().pending(), 0u)
+      << "metadata traffic must not accumulate";
+}
+
+}  // namespace
+}  // namespace redoop

@@ -1,0 +1,152 @@
+// Unit tests for task placement: the default Hadoop-style scheduler
+// (replica locality) and Redoop's window-aware scheduler (paper §4.3,
+// Eq. 4: argmin Load_i + C_task,i).
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "core/cache_aware_scheduler.h"
+#include "mapreduce/scheduler.h"
+
+namespace redoop {
+namespace {
+
+Config FourSlotConfig() {
+  Config config;
+  config.SetInt("node.map_slots", 2);
+  config.SetInt("node.reduce_slots", 2);
+  return config;
+}
+
+TEST(DefaultSchedulerTest, PrefersReplicaLocalNode) {
+  Cluster cluster(4, FourSlotConfig());
+  DefaultScheduler scheduler;
+  MapPlacementRequest request;
+  request.replica_nodes = {2, 3};
+  const NodeId chosen = scheduler.SelectNodeForMap(request, cluster);
+  EXPECT_TRUE(chosen == 2 || chosen == 3);
+}
+
+TEST(DefaultSchedulerTest, FallsBackWhenReplicasBusy) {
+  Cluster cluster(3, FourSlotConfig());
+  // Fill node 2's map slots.
+  cluster.node(2).AcquireMapSlot();
+  cluster.node(2).AcquireMapSlot();
+  DefaultScheduler scheduler;
+  MapPlacementRequest request;
+  request.replica_nodes = {2};
+  const NodeId chosen = scheduler.SelectNodeForMap(request, cluster);
+  EXPECT_NE(chosen, 2);
+  EXPECT_NE(chosen, kInvalidNode);
+}
+
+TEST(DefaultSchedulerTest, ReturnsInvalidWhenNoSlots) {
+  Cluster cluster(2, FourSlotConfig());
+  for (NodeId n = 0; n < 2; ++n) {
+    cluster.node(n).AcquireMapSlot();
+    cluster.node(n).AcquireMapSlot();
+  }
+  DefaultScheduler scheduler;
+  EXPECT_EQ(scheduler.SelectNodeForMap(MapPlacementRequest{}, cluster),
+            kInvalidNode);
+}
+
+TEST(DefaultSchedulerTest, SkipsDeadNodes) {
+  Cluster cluster(3, FourSlotConfig());
+  cluster.FailNode(1);
+  DefaultScheduler scheduler;
+  MapPlacementRequest request;
+  request.replica_nodes = {1};
+  const NodeId chosen = scheduler.SelectNodeForMap(request, cluster);
+  EXPECT_NE(chosen, 1);
+  EXPECT_NE(chosen, kInvalidNode);
+}
+
+TEST(DefaultSchedulerTest, ReduceGoesToLeastLoaded) {
+  Cluster cluster(3, FourSlotConfig());
+  cluster.node(0).AcquireReduceSlot();
+  cluster.node(1).AcquireMapSlot();
+  DefaultScheduler scheduler;
+  // Node 2 is idle -> least loaded.
+  EXPECT_EQ(scheduler.SelectNodeForReduce(ReducePlacementRequest{}, cluster),
+            2);
+}
+
+class CacheAwareSchedulerTest : public ::testing::Test {
+ protected:
+  CacheAwareSchedulerTest()
+      : cluster_(4, FourSlotConfig()),
+        scheduler_(&cluster_.cost_model()) {}
+
+  ReducePlacementRequest RequestWithCacheOn(NodeId node, int64_t bytes) {
+    ReducePlacementRequest request;
+    ReduceSideInput side;
+    side.cache_name = "c";
+    side.location = node;
+    side.bytes = bytes;
+    request.side_inputs.push_back(side);
+    return request;
+  }
+
+  Cluster cluster_;
+  CacheAwareScheduler scheduler_;
+};
+
+TEST_F(CacheAwareSchedulerTest, PrefersCacheLocalNode) {
+  auto request = RequestWithCacheOn(2, 512 * kBytesPerMB);
+  EXPECT_EQ(scheduler_.SelectNodeForReduce(request, cluster_), 2);
+}
+
+TEST_F(CacheAwareSchedulerTest, IoCostDiscriminatesNodes) {
+  auto request = RequestWithCacheOn(2, 100 * kBytesPerMB);
+  const double local = scheduler_.ReduceIoCost(request, 2);
+  const double remote = scheduler_.ReduceIoCost(request, 0);
+  EXPECT_LT(local, remote);
+}
+
+TEST_F(CacheAwareSchedulerTest, FullyLoadedCacheNodeLosesTheTask) {
+  // Paper §4.3: "if all task slots of a node have been taken, the
+  // scheduler assigns the task to a different node even if the fully
+  // loaded node has the desired cache available."
+  cluster_.node(2).AcquireReduceSlot();
+  cluster_.node(2).AcquireReduceSlot();
+  auto request = RequestWithCacheOn(2, 512 * kBytesPerMB);
+  const NodeId chosen = scheduler_.SelectNodeForReduce(request, cluster_);
+  EXPECT_NE(chosen, 2);
+  EXPECT_NE(chosen, kInvalidNode);
+}
+
+TEST_F(CacheAwareSchedulerTest, LoadBalancesWhenCachesAreSmall) {
+  // Tiny cache: the I/O difference (~ms) is dwarfed by the load term, so a
+  // busy cache-holder loses to an idle node.
+  cluster_.node(2).AcquireMapSlot();
+  cluster_.node(2).AcquireMapSlot();
+  cluster_.node(2).AcquireReduceSlot();  // Load 3/4, one reduce slot free.
+  auto request = RequestWithCacheOn(2, 1024);  // 1 KB cache.
+  const NodeId chosen = scheduler_.SelectNodeForReduce(request, cluster_);
+  EXPECT_NE(chosen, 2) << "Eq. 4's load term should win for tiny caches";
+}
+
+TEST_F(CacheAwareSchedulerTest, LargeCacheOutweighsLoad) {
+  cluster_.node(2).AcquireMapSlot();
+  cluster_.node(2).AcquireMapSlot();
+  cluster_.node(2).AcquireReduceSlot();  // Busy but has a free reduce slot.
+  auto request = RequestWithCacheOn(2, 4 * kBytesPerGB);
+  EXPECT_EQ(scheduler_.SelectNodeForReduce(request, cluster_), 2)
+      << "avoiding a 4 GB transfer is worth the imbalance";
+}
+
+TEST_F(CacheAwareSchedulerTest, PreferredNodeBreaksTies) {
+  ReducePlacementRequest request;  // No cached inputs: all nodes tie.
+  request.preferred_node = 3;
+  EXPECT_EQ(scheduler_.SelectNodeForReduce(request, cluster_), 3);
+}
+
+TEST_F(CacheAwareSchedulerTest, MapPlacementKeepsReplicaLocality) {
+  MapPlacementRequest request;
+  request.replica_nodes = {1};
+  EXPECT_EQ(scheduler_.SelectNodeForMap(request, cluster_), 1);
+}
+
+}  // namespace
+}  // namespace redoop

@@ -1,0 +1,142 @@
+// Unit tests for the discrete-event engine and cost model.
+
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace redoop {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Push(3.0, [&] { fired.push_back(3); });
+  q.Push(1.0, [&] { fired.push_back(1); });
+  q.Push(2.0, [&] { fired.push_back(2); });
+  while (!q.empty()) q.Pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoAmongTies) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.Push(1.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.Pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, NextTimeAndClear) {
+  EventQueue q;
+  q.Push(5.0, [] {});
+  q.Push(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.NextTime(), 2.0);
+  EXPECT_EQ(q.size(), 2u);
+  q.Clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.Schedule(10.0, [&] { times.push_back(sim.Now()); });
+  sim.Schedule(5.0, [&] { times.push_back(sim.Now()); });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<double>{5.0, 10.0}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 10.0);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) sim.Schedule(1.0, step);
+  };
+  sim.Schedule(1.0, step);
+  sim.Run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+}
+
+TEST(SimulatorTest, RunUntilIdlesForward) {
+  Simulator sim;
+  bool fired = false;
+  sim.Schedule(3.0, [&] { fired = true; });
+  sim.RunUntil(2.0);
+  EXPECT_FALSE(fired);
+  EXPECT_DOUBLE_EQ(sim.Now(), 2.0);
+  sim.RunUntil(10.0);
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(sim.Now(), 10.0);
+}
+
+TEST(SimulatorTest, StepProcessesOne) {
+  Simulator sim;
+  int count = 0;
+  sim.Schedule(1.0, [&] { ++count; });
+  sim.Schedule(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.processed_event_count(), 2u);
+}
+
+TEST(SimulatorTest, ResetClearsEverything) {
+  Simulator sim;
+  sim.Schedule(1.0, [] {});
+  sim.RunUntil(0.5);
+  sim.Reset();
+  EXPECT_DOUBLE_EQ(sim.Now(), 0.0);
+  EXPECT_FALSE(sim.HasPendingEvents());
+}
+
+TEST(CostModelTest, ReadWriteScaleWithBytes) {
+  CostModel cost;
+  EXPECT_DOUBLE_EQ(cost.LocalReadTime(0), 0.0);
+  const double t1 = cost.LocalReadTime(10 * kBytesPerMB);
+  const double t2 = cost.LocalReadTime(20 * kBytesPerMB);
+  EXPECT_GT(t2, t1);
+  // Linear in bytes beyond the seek constant.
+  EXPECT_NEAR(t2 - t1, t1 - cost.options().disk_seek_s, 1e-9);
+}
+
+TEST(CostModelTest, HdfsWriteCarriesReplicationPenalty) {
+  CostModel cost;
+  EXPECT_GT(cost.HdfsWriteTime(kBytesPerMB), cost.LocalWriteTime(kBytesPerMB));
+}
+
+TEST(CostModelTest, RemoteReadIsTransferPlusRead) {
+  CostModel cost;
+  const int64_t bytes = 5 * kBytesPerMB;
+  EXPECT_NEAR(cost.RemoteReadTime(bytes),
+              cost.TransferTime(bytes) + cost.LocalReadTime(bytes), 1e-12);
+}
+
+TEST(CostModelTest, SortTimeGrowsSuperlinearly) {
+  CostModel cost;
+  const double t1 = cost.SortTime(kBytesPerMB, 1000);
+  const double t2 = cost.SortTime(2 * kBytesPerMB, 2000);
+  EXPECT_GT(t2, 2.0 * t1);
+  EXPECT_DOUBLE_EQ(cost.SortTime(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(cost.SortTime(kBytesPerMB, 1), 0.0);
+}
+
+TEST(CostModelTest, FromConfigOverrides) {
+  Config config;
+  config.SetDouble("cost.disk_bps", 1000.0);
+  config.SetDouble("cost.task_startup_s", 9.0);
+  CostModelOptions options = CostModelOptions::FromConfig(config);
+  EXPECT_DOUBLE_EQ(options.disk_bandwidth_bps, 1000.0);
+  EXPECT_DOUBLE_EQ(options.task_startup_s, 9.0);
+  // Untouched keys keep defaults.
+  EXPECT_DOUBLE_EQ(options.network_latency_s,
+                   CostModelOptions().network_latency_s);
+}
+
+}  // namespace
+}  // namespace redoop

@@ -1,0 +1,82 @@
+#ifndef REDOOP_TESTS_TEST_UTIL_H_
+#define REDOOP_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/config.h"
+#include "core/metrics.h"
+#include "queries/aggregation_query.h"
+#include "queries/join_query.h"
+#include "workload/ffg_generator.h"
+#include "workload/rate_profile.h"
+#include "workload/synthetic_feed.h"
+#include "workload/wcc_generator.h"
+
+namespace redoop::testing {
+
+/// Small cluster defaults used across the test suite: 8 nodes, paper slot
+/// layout, 8 MB blocks (smaller data than the benchmarks).
+inline Config SmallClusterConfig() {
+  Config config;
+  config.SetInt("dfs.block_size", 64 * kBytesPerMB);
+  config.SetInt("dfs.replication", 3);
+  return config;
+}
+
+/// A WCC feed at `rps` records/second delivered every `batch_interval`
+/// seconds (records default to 4 KB logical size).
+inline std::unique_ptr<SyntheticFeed> MakeWccFeed(
+    SourceId source, double rps, Timestamp batch_interval,
+    uint64_t seed = 1998, int32_t record_logical_bytes = 4096) {
+  auto feed = std::make_unique<SyntheticFeed>(batch_interval);
+  WccGeneratorOptions options;
+  options.seed = seed;
+  options.num_clients = 200;  // Small key domain keeps tests fast.
+  options.record_logical_bytes = record_logical_bytes;
+  feed->AddSource(source, std::make_shared<WccGenerator>(
+                              std::make_shared<ConstantRate>(rps), options));
+  return feed;
+}
+
+/// A two-source FFG feed (join workloads).
+inline std::unique_ptr<SyntheticFeed> MakeFfgFeed(SourceId left,
+                                                  SourceId right, double rps,
+                                                  Timestamp batch_interval,
+                                                  uint64_t seed = 2013) {
+  auto feed = std::make_unique<SyntheticFeed>(batch_interval);
+  FfgGeneratorOptions options;
+  options.seed = seed;
+  auto rate = std::make_shared<ConstantRate>(rps);
+  feed->AddSource(left, std::make_shared<FfgGenerator>(rate, options));
+  feed->AddSource(right, std::make_shared<FfgGenerator>(rate, options));
+  return feed;
+}
+
+/// Renders (key, value) pairs for diffing in failure messages.
+inline std::string DumpOutput(const std::vector<KeyValue>& kvs,
+                              size_t limit = 10) {
+  std::string out;
+  for (size_t i = 0; i < kvs.size() && i < limit; ++i) {
+    out += kvs[i].key + " => " + kvs[i].value + "\n";
+  }
+  if (kvs.size() > limit) out += "...\n";
+  return out;
+}
+
+/// True when two window outputs are the same multiset (both are sorted by
+/// the drivers already).
+inline bool SameOutput(const std::vector<KeyValue>& a,
+                       const std::vector<KeyValue>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].key != b[i].key || a[i].value != b[i].value) return false;
+  }
+  return true;
+}
+
+}  // namespace redoop::testing
+
+#endif  // REDOOP_TESTS_TEST_UTIL_H_

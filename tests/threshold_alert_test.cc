@@ -1,0 +1,111 @@
+// Tests for the threshold-alert query — a recurring query whose window
+// finalization differs from its reduce body (paper §5's finalization
+// function), checked for Redoop-vs-Hadoop equivalence across cache modes.
+
+#include <gtest/gtest.h>
+
+#include "baseline/hadoop_driver.h"
+#include "core/redoop_driver.h"
+#include "queries/aggregation_query.h"
+#include "queries/threshold_alert_query.h"
+#include "tests/test_util.h"
+
+namespace redoop {
+namespace {
+
+using ::redoop::testing::MakeWccFeed;
+using ::redoop::testing::SameOutput;
+using ::redoop::testing::SmallClusterConfig;
+
+constexpr int32_t kNodes = 8;
+
+TEST(ThresholdAlertFinalizerTest, FiltersBelowThreshold) {
+  ThresholdAlertFinalizer finalizer(/*min_count=*/5);
+  ReduceContext context;
+  finalizer.Reduce("cold", {{"cold", "3:30:10", 8}, {"cold", "2:5:5", 8}},
+                   &context);
+  EXPECT_TRUE(context.output().empty()) << "total count 5 is not > 5";
+  finalizer.Reduce("hot", {{"hot", "4:40:10", 8}, {"hot", "2:2:1", 8}},
+                   &context);
+  ASSERT_EQ(context.output().size(), 1u);
+  EXPECT_EQ(context.output()[0].key, "hot");
+  EXPECT_EQ(context.output()[0].value, "ALERT count=6 sum=42");
+}
+
+TEST(ThresholdAlertTest, AlertsOnlyAboveThreshold) {
+  RecurringQuery query = MakeThresholdAlertQuery(
+      1, "alerts", 1, /*win=*/200, /*slide=*/40, 4, /*min_count=*/20);
+  Cluster cluster(kNodes, SmallClusterConfig());
+  auto feed = MakeWccFeed(1, 50, 20);
+  RedoopDriver driver(&cluster, feed.get(), query);
+  WindowReport w = driver.RunRecurrence(0);
+  // Zipf-skewed clients: some are hot, most are not. Every emitted row is
+  // a genuine alert.
+  ASSERT_GT(w.output.size(), 0u) << "the head of the Zipf should trip";
+  for (const KeyValue& kv : w.output) {
+    int64_t count = 0;
+    ASSERT_EQ(std::sscanf(kv.value.c_str(), "ALERT count=%ld", &count), 1);
+    EXPECT_GT(count, 20);
+  }
+}
+
+TEST(ThresholdAlertTest, RedoopMatchesHadoopWithCustomFinalizer) {
+  RecurringQuery query =
+      MakeThresholdAlertQuery(1, "alerts", 1, 200, 40, 4, 20);
+
+  Cluster hadoop_cluster(kNodes, SmallClusterConfig());
+  auto hadoop_feed = MakeWccFeed(1, 50, 20);
+  HadoopRecurringDriver hadoop(&hadoop_cluster, hadoop_feed.get(), query);
+
+  Cluster redoop_cluster(kNodes, SmallClusterConfig());
+  auto redoop_feed = MakeWccFeed(1, 50, 20);
+  RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query);
+
+  for (int64_t i = 0; i < 4; ++i) {
+    WindowReport h = hadoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i);
+    ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
+  }
+}
+
+TEST(ThresholdAlertTest, InputOnlyCachingAlsoMatches) {
+  // With reduce-output caching off the driver re-reduces windows from the
+  // input caches; the finalization must still compose in.
+  RecurringQuery query =
+      MakeThresholdAlertQuery(1, "alerts", 1, 200, 40, 4, 20);
+
+  Cluster hadoop_cluster(kNodes, SmallClusterConfig());
+  auto hadoop_feed = MakeWccFeed(1, 50, 20);
+  HadoopRecurringDriver hadoop(&hadoop_cluster, hadoop_feed.get(), query);
+
+  Cluster redoop_cluster(kNodes, SmallClusterConfig());
+  auto redoop_feed = MakeWccFeed(1, 50, 20);
+  RedoopDriverOptions options;
+  options.cache_reduce_output = false;
+  RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query, options);
+
+  for (int64_t i = 0; i < 3; ++i) {
+    WindowReport h = hadoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i);
+    ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
+  }
+}
+
+TEST(ComposedReducerTest, RunsSecondOnFirstsOutput) {
+  auto count = std::make_shared<AggregationReducer>();
+  auto alert = std::make_shared<ThresholdAlertFinalizer>(2);
+  ComposedReducer composed(count, alert);
+  ReduceContext context;
+  composed.Reduce("k",
+                  {{"k", "1:5:5", 8}, {"k", "1:7:7", 8}, {"k", "1:1:1", 8}},
+                  &context);
+  ASSERT_EQ(context.output().size(), 1u);
+  EXPECT_EQ(context.output()[0].value, "ALERT count=3 sum=13");
+
+  ReduceContext empty;
+  composed.Reduce("k", {{"k", "1:5:5", 8}}, &empty);
+  EXPECT_TRUE(empty.output().empty());
+}
+
+}  // namespace
+}  // namespace redoop

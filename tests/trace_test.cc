@@ -1,0 +1,95 @@
+// Tests for the Chrome trace exporter and the task-report plumbing
+// through the drivers.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "baseline/hadoop_driver.h"
+#include "core/redoop_driver.h"
+#include "mapreduce/trace.h"
+#include "tests/test_util.h"
+
+namespace redoop {
+namespace {
+
+using ::redoop::testing::MakeWccFeed;
+using ::redoop::testing::SmallClusterConfig;
+
+TaskReport MakeReport(TaskId id, TaskType type, NodeId node, double start,
+                      double total) {
+  TaskReport report;
+  report.id = id;
+  report.type = type;
+  report.node = node;
+  report.timing.scheduled_at = start;
+  report.timing.compute = total;
+  return report;
+}
+
+TEST(TraceWriterTest, JsonShape) {
+  TraceWriter writer;
+  writer.AddJob("job-a", {MakeReport(1, TaskType::kMap, 0, 2.0, 1.5),
+                          MakeReport(2, TaskType::kReduce, 3, 4.0, 0.5)});
+  EXPECT_EQ(writer.event_count(), 2u);
+  const std::string json = writer.ToJson();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"map job-a#1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"reduce job-a#2\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":2000000"), std::string::npos)
+      << "simulated seconds become trace microseconds";
+  EXPECT_NE(json.find("\"dur\":1500000"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+}
+
+TEST(TraceWriterTest, WriteFileRoundTrip) {
+  TraceWriter writer;
+  writer.AddJob("j", {MakeReport(1, TaskType::kMap, 0, 0.0, 1.0)});
+  const std::string path = ::testing::TempDir() + "/redoop_trace_test.json";
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), writer.ToJson());
+  std::remove(path.c_str());
+}
+
+TEST(TraceWriterTest, WriteToBadPathFails) {
+  TraceWriter writer;
+  EXPECT_FALSE(writer.WriteFile("/nonexistent-dir-xyz/trace.json").ok());
+}
+
+TEST(TraceTest, DriversCarryTaskReports) {
+  RecurringQuery query = MakeAggregationQuery(1, "t", 1, 200, 40, 4);
+
+  Cluster hadoop_cluster(6, SmallClusterConfig());
+  auto hadoop_feed = MakeWccFeed(1, 30, 20);
+  HadoopRecurringDriver hadoop(&hadoop_cluster, hadoop_feed.get(), query);
+  WindowReport h = hadoop.RunRecurrence(0);
+  EXPECT_GT(h.task_reports.size(), 0u);
+
+  Cluster redoop_cluster(6, SmallClusterConfig());
+  auto redoop_feed = MakeWccFeed(1, 30, 20);
+  RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query);
+  WindowReport r0 = redoop.RunRecurrence(0);
+  WindowReport r1 = redoop.RunRecurrence(1);
+  EXPECT_GT(r0.task_reports.size(), 0u);
+  EXPECT_GT(r1.task_reports.size(), 0u);
+  EXPECT_LT(r1.task_reports.size(), r0.task_reports.size())
+      << "warm windows run fewer tasks";
+
+  // The whole run exports cleanly.
+  TraceWriter writer;
+  writer.AddJob("hadoop-w0", h.task_reports);
+  writer.AddJob("redoop-w0", r0.task_reports);
+  writer.AddJob("redoop-w1", r1.task_reports);
+  EXPECT_EQ(writer.event_count(), h.task_reports.size() +
+                                      r0.task_reports.size() +
+                                      r1.task_reports.size());
+  EXPECT_GT(writer.ToJson().size(), 100u);
+}
+
+}  // namespace
+}  // namespace redoop

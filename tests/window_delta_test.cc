@@ -1,0 +1,130 @@
+// Tests for update-style delivery (paper Example 2): per-window result
+// deltas against the previous recurrence.
+
+#include <gtest/gtest.h>
+
+#include "baseline/hadoop_driver.h"
+#include "core/redoop_driver.h"
+#include "tests/test_util.h"
+
+namespace redoop {
+namespace {
+
+using ::redoop::testing::MakeWccFeed;
+using ::redoop::testing::SmallClusterConfig;
+
+constexpr int32_t kNodes = 6;
+
+KeyValue KV(const std::string& k, const std::string& v) {
+  return KeyValue(k, v, 8);
+}
+
+TEST(ComputeWindowDeltaTest, MultisetDiff) {
+  const std::vector<KeyValue> prev = {KV("a", "1"), KV("b", "2"), KV("c", "3")};
+  const std::vector<KeyValue> curr = {KV("a", "1"), KV("b", "9"), KV("d", "4")};
+  const WindowDelta delta = ComputeWindowDelta(prev, curr);
+  ASSERT_EQ(delta.added.size(), 2u);
+  EXPECT_EQ(delta.added[0].key, "b");
+  EXPECT_EQ(delta.added[0].value, "9");
+  EXPECT_EQ(delta.added[1].key, "d");
+  ASSERT_EQ(delta.removed.size(), 2u);
+  EXPECT_EQ(delta.removed[0].key, "b");
+  EXPECT_EQ(delta.removed[0].value, "2");
+  EXPECT_EQ(delta.removed[1].key, "c");
+}
+
+TEST(ComputeWindowDeltaTest, EmptyAndIdenticalCases) {
+  EXPECT_TRUE(ComputeWindowDelta({}, {}).Empty());
+  const std::vector<KeyValue> rows = {KV("a", "1"), KV("b", "2")};
+  EXPECT_TRUE(ComputeWindowDelta(rows, rows).Empty());
+  const WindowDelta all_new = ComputeWindowDelta({}, rows);
+  EXPECT_EQ(all_new.added.size(), 2u);
+  EXPECT_TRUE(all_new.removed.empty());
+  const WindowDelta all_gone = ComputeWindowDelta(rows, {});
+  EXPECT_EQ(all_gone.removed.size(), 2u);
+}
+
+TEST(ComputeWindowDeltaTest, DuplicateRowsCountedAsMultiset) {
+  const std::vector<KeyValue> prev = {KV("a", "1"), KV("a", "1")};
+  const std::vector<KeyValue> curr = {KV("a", "1")};
+  const WindowDelta delta = ComputeWindowDelta(prev, curr);
+  EXPECT_TRUE(delta.added.empty());
+  ASSERT_EQ(delta.removed.size(), 1u) << "one of the duplicates went away";
+}
+
+TEST(WindowDeltaTest, DriverDeltasReconstructResults) {
+  RecurringQuery query = MakeAggregationQuery(1, "feed", 1, 200, 40, 4);
+  query.emit_deltas = true;
+  Cluster cluster(kNodes, SmallClusterConfig());
+  auto feed = MakeWccFeed(1, 25, 20);
+  RedoopDriver driver(&cluster, feed.get(), query);
+
+  std::vector<KeyValue> reconstructed;  // Apply deltas window by window.
+  for (int64_t i = 0; i < 4; ++i) {
+    WindowReport w = driver.RunRecurrence(i);
+    if (i == 0) {
+      EXPECT_EQ(w.delta.added.size(), w.output.size())
+          << "first window is all additions";
+      EXPECT_TRUE(w.delta.removed.empty());
+    } else {
+      EXPECT_FALSE(w.delta.Empty()) << "sliding windows change results";
+    }
+    // reconstructed := reconstructed - removed + added.
+    std::multiset<std::pair<std::string, std::string>> rows;
+    for (const KeyValue& kv : reconstructed) rows.insert({kv.key, kv.value});
+    for (const KeyValue& kv : w.delta.removed) {
+      auto it = rows.find({kv.key, kv.value});
+      ASSERT_NE(it, rows.end()) << "removed row was never present";
+      rows.erase(it);
+    }
+    for (const KeyValue& kv : w.delta.added) rows.insert({kv.key, kv.value});
+    reconstructed.clear();
+    for (const auto& [k, v] : rows) reconstructed.push_back(KV(k, v));
+
+    ASSERT_EQ(reconstructed.size(), w.output.size()) << "window " << i;
+    for (size_t r = 0; r < reconstructed.size(); ++r) {
+      EXPECT_EQ(reconstructed[r].key, w.output[r].key);
+      EXPECT_EQ(reconstructed[r].value, w.output[r].value);
+    }
+  }
+}
+
+TEST(WindowDeltaTest, HadoopAndRedoopEmitIdenticalDeltas) {
+  RecurringQuery query = MakeAggregationQuery(1, "feed", 1, 200, 40, 4);
+  query.emit_deltas = true;
+
+  Cluster hadoop_cluster(kNodes, SmallClusterConfig());
+  auto hadoop_feed = MakeWccFeed(1, 25, 20);
+  HadoopRecurringDriver hadoop(&hadoop_cluster, hadoop_feed.get(), query);
+
+  Cluster redoop_cluster(kNodes, SmallClusterConfig());
+  auto redoop_feed = MakeWccFeed(1, 25, 20);
+  RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query);
+
+  for (int64_t i = 0; i < 4; ++i) {
+    WindowReport h = hadoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i);
+    ASSERT_EQ(h.delta.added.size(), r.delta.added.size()) << "window " << i;
+    ASSERT_EQ(h.delta.removed.size(), r.delta.removed.size());
+    for (size_t k = 0; k < h.delta.added.size(); ++k) {
+      EXPECT_EQ(h.delta.added[k], r.delta.added[k]);
+    }
+    for (size_t k = 0; k < h.delta.removed.size(); ++k) {
+      EXPECT_EQ(h.delta.removed[k], r.delta.removed[k]);
+    }
+  }
+}
+
+TEST(WindowDeltaTest, OffByDefault) {
+  RecurringQuery query = MakeAggregationQuery(1, "q", 1, 200, 40, 4);
+  Cluster cluster(kNodes, SmallClusterConfig());
+  auto feed = MakeWccFeed(1, 25, 20);
+  RedoopDriver driver(&cluster, feed.get(), query);
+  WindowReport w0 = driver.RunRecurrence(0);
+  WindowReport w1 = driver.RunRecurrence(1);
+  EXPECT_TRUE(w0.delta.Empty());
+  EXPECT_TRUE(w1.delta.Empty());
+}
+
+}  // namespace
+}  // namespace redoop

@@ -1,0 +1,184 @@
+// Unit + property tests for window/pane arithmetic and join lifespans.
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.h"
+#include "core/window.h"
+
+namespace redoop {
+namespace {
+
+TEST(WindowSpecTest, Overlap) {
+  EXPECT_DOUBLE_EQ((WindowSpec{600, 60}.Overlap()), 0.9);
+  EXPECT_DOUBLE_EQ((WindowSpec{600, 300}.Overlap()), 0.5);
+  EXPECT_DOUBLE_EQ((WindowSpec{600, 600}.Overlap()), 0.0);
+}
+
+TEST(WindowSpecTest, Validity) {
+  EXPECT_TRUE((WindowSpec{600, 60}.Valid()));
+  EXPECT_FALSE((WindowSpec{0, 60}.Valid()));
+  EXPECT_FALSE((WindowSpec{600, 0}.Valid()));
+  EXPECT_FALSE((WindowSpec{60, 600}.Valid())) << "slide must not exceed win";
+}
+
+TEST(WindowGeometryTest, PaneMustDivideWinAndSlide) {
+  EXPECT_DEATH(WindowGeometry(WindowSpec{600, 60}, 50), "divide");
+  WindowGeometry ok(WindowSpec{600, 60}, 60);
+  EXPECT_EQ(ok.panes_per_window(), 10);
+  EXPECT_EQ(ok.panes_per_slide(), 1);
+}
+
+TEST(WindowGeometryTest, TriggerAndRanges) {
+  WindowGeometry g(WindowSpec{600, 200}, 200);
+  EXPECT_EQ(g.TriggerTime(0), 600);
+  EXPECT_EQ(g.TriggerTime(3), 1200);
+  EXPECT_EQ(g.WindowBegin(0), 0);
+  EXPECT_EQ(g.WindowEnd(0), 600);
+  EXPECT_EQ(g.WindowBegin(2), 400);
+  EXPECT_EQ(g.WindowEnd(2), 1000);
+}
+
+TEST(WindowGeometryTest, PaneForTimeAndIntervals) {
+  WindowGeometry g(WindowSpec{600, 200}, 200);
+  EXPECT_EQ(g.PaneForTime(0), 0);
+  EXPECT_EQ(g.PaneForTime(199), 0);
+  EXPECT_EQ(g.PaneForTime(200), 1);
+  EXPECT_EQ(g.PaneBegin(3), 600);
+  EXPECT_EQ(g.PaneEnd(3), 800);
+}
+
+TEST(WindowGeometryTest, PaneRangesPerRecurrence) {
+  WindowGeometry g(WindowSpec{600, 200}, 200);  // 3 panes per window.
+  EXPECT_EQ(g.PanesForRecurrence(0), (PaneRange{0, 3}));
+  EXPECT_EQ(g.PanesForRecurrence(1), (PaneRange{1, 4}));
+  EXPECT_EQ(g.NewPanesForRecurrence(0), (PaneRange{0, 3}));
+  EXPECT_EQ(g.NewPanesForRecurrence(1), (PaneRange{3, 4}));
+  EXPECT_EQ(g.DroppedPanesAtRecurrence(0), (PaneRange{0, 0}));
+  EXPECT_EQ(g.DroppedPanesAtRecurrence(1), (PaneRange{0, 1}));
+}
+
+TEST(WindowGeometryTest, FirstLastRecurrenceUsingPane) {
+  WindowGeometry g(WindowSpec{600, 200}, 200);
+  // Pane 0 is only in window 0; pane 3 in windows 1..3.
+  EXPECT_EQ(g.FirstRecurrenceUsingPane(0), 0);
+  EXPECT_EQ(g.LastRecurrenceUsingPane(0), 0);
+  EXPECT_EQ(g.FirstRecurrenceUsingPane(3), 1);
+  EXPECT_EQ(g.LastRecurrenceUsingPane(3), 3);
+  EXPECT_TRUE(g.PaneExpiredAfter(0, 0));
+  EXPECT_FALSE(g.PaneExpiredAfter(3, 2));
+  EXPECT_TRUE(g.PaneExpiredAfter(3, 3));
+}
+
+TEST(JoinLifespanTest, PaperExample) {
+  // Paper §4.2: win = 3 panes, slide = 2 panes would not divide evenly in
+  // the Table-3 example; use win=4 panes, slide=1 pane: S1P1's partners
+  // span the windows containing pane 1, i.e. windows 0 and 1 -> panes 0-4.
+  WindowGeometry g(WindowSpec{400, 100}, 100);
+  const PaneRange lifespan = JoinLifespan(g, 1);
+  EXPECT_EQ(lifespan.first, 0);
+  EXPECT_EQ(lifespan.last, 5);
+  EXPECT_TRUE(lifespan.Contains(1));
+}
+
+TEST(JoinLifespanTest, ContainsOwnPane) {
+  WindowGeometry g(WindowSpec{600, 300}, 300);
+  for (PaneId p = 0; p < 10; ++p) {
+    EXPECT_TRUE(JoinLifespan(g, p).Contains(p)) << "pane " << p;
+  }
+}
+
+// --------------------- Property suite (TEST_P sweeps) ----------------------
+
+struct GeometryCase {
+  Timestamp win;
+  Timestamp slide;
+};
+
+class GeometryPropertyTest : public ::testing::TestWithParam<GeometryCase> {};
+
+TEST_P(GeometryPropertyTest, WindowsAreExactPaneUnions) {
+  const auto [win, slide] = GetParam();
+  WindowGeometry g(WindowSpec{win, slide}, Gcd(win, slide));
+  for (int64_t rec = 0; rec < 20; ++rec) {
+    const PaneRange panes = g.PanesForRecurrence(rec);
+    EXPECT_EQ(g.PaneBegin(panes.first), g.WindowBegin(rec));
+    EXPECT_EQ(g.PaneEnd(panes.last - 1), g.WindowEnd(rec));
+    EXPECT_EQ(panes.size(), g.panes_per_window());
+  }
+}
+
+TEST_P(GeometryPropertyTest, NewPlusOldCoversWindowWithoutGaps) {
+  const auto [win, slide] = GetParam();
+  WindowGeometry g(WindowSpec{win, slide}, Gcd(win, slide));
+  for (int64_t rec = 1; rec < 20; ++rec) {
+    const PaneRange current = g.PanesForRecurrence(rec);
+    const PaneRange previous = g.PanesForRecurrence(rec - 1);
+    const PaneRange fresh = g.NewPanesForRecurrence(rec);
+    const PaneRange dropped = g.DroppedPanesAtRecurrence(rec);
+    // Every current pane is either carried over or new.
+    for (PaneId p = current.first; p < current.last; ++p) {
+      EXPECT_TRUE(previous.Contains(p) || fresh.Contains(p));
+    }
+    // Nothing new was in the previous window; nothing dropped is current.
+    for (PaneId p = fresh.first; p < fresh.last; ++p) {
+      EXPECT_FALSE(previous.Contains(p));
+    }
+    for (PaneId p = dropped.first; p < dropped.last; ++p) {
+      EXPECT_TRUE(previous.Contains(p));
+      EXPECT_FALSE(current.Contains(p));
+    }
+    // Conservation: |new| == |dropped| == panes per slide.
+    EXPECT_EQ(fresh.size(), g.panes_per_slide());
+    EXPECT_EQ(dropped.size(), g.panes_per_slide());
+  }
+}
+
+TEST_P(GeometryPropertyTest, RecurrenceUsageBoundsAreTight) {
+  const auto [win, slide] = GetParam();
+  WindowGeometry g(WindowSpec{win, slide}, Gcd(win, slide));
+  for (PaneId p = 0; p < 40; ++p) {
+    const int64_t first = g.FirstRecurrenceUsingPane(p);
+    const int64_t last = g.LastRecurrenceUsingPane(p);
+    ASSERT_LE(first, last);
+    EXPECT_TRUE(g.PanesForRecurrence(first).Contains(p));
+    EXPECT_TRUE(g.PanesForRecurrence(last).Contains(p));
+    if (first > 0) {
+      EXPECT_FALSE(g.PanesForRecurrence(first - 1).Contains(p));
+    }
+    EXPECT_FALSE(g.PanesForRecurrence(last + 1).Contains(p));
+    // Every recurrence in between also uses the pane (contiguity).
+    for (int64_t rec = first; rec <= last; ++rec) {
+      EXPECT_TRUE(g.PanesForRecurrence(rec).Contains(p));
+    }
+  }
+}
+
+TEST_P(GeometryPropertyTest, LifespanIsExactlyCoOccurringPanes) {
+  const auto [win, slide] = GetParam();
+  WindowGeometry g(WindowSpec{win, slide}, Gcd(win, slide));
+  for (PaneId p = 0; p < 25; ++p) {
+    const PaneRange lifespan = JoinLifespan(g, p);
+    // Brute force: q co-occurs with p iff some window (within a generous
+    // horizon) contains both.
+    for (PaneId q = 0; q < 50; ++q) {
+      bool co_occurs = false;
+      for (int64_t rec = 0; rec < 60; ++rec) {
+        const PaneRange window = g.PanesForRecurrence(rec);
+        if (window.Contains(p) && window.Contains(q)) co_occurs = true;
+      }
+      EXPECT_EQ(lifespan.Contains(q), co_occurs)
+          << "p=" << p << " q=" << q << " win=" << win << " slide=" << slide;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeometryPropertyTest,
+    ::testing::Values(GeometryCase{600, 60}, GeometryCase{600, 200},
+                      GeometryCase{600, 300}, GeometryCase{600, 540},
+                      GeometryCase{600, 600}, GeometryCase{3600, 900},
+                      GeometryCase{7200, 1800}, GeometryCase{100, 30},
+                      GeometryCase{18000, 1800}));
+
+}  // namespace
+}  // namespace redoop

@@ -1,0 +1,299 @@
+// redoop_cli — configurable recurring-query experiment runner.
+//
+// Runs a recurring aggregation or join on the simulated cluster with any
+// combination of systems, window geometry, workload, and cost-model
+// overrides, and prints the per-window series plus phase breakdowns.
+//
+// Examples:
+//   redoop_cli --query=agg --win=18000 --slide=1800 --windows=10
+//   redoop_cli --query=join --rps=2.5 --record-bytes=524288
+//              --systems=hadoop,redoop
+//   redoop_cli --query=agg --systems=redoop,adaptive --spiked
+//              --proactive-threshold=0.15
+//   redoop_cli --query=agg --nodes=10 --set cost.disk_bps=20971520
+//
+// Flags take --key=value form; --help lists them all. Unknown --set keys
+// are passed straight into the cluster Config (cost model, DFS, node
+// knobs; see CostModelOptions/DfsOptions/NodeOptions::FromConfig).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/hadoop_driver.h"
+#include "mapreduce/trace.h"
+#include "common/math_utils.h"
+#include "common/string_utils.h"
+#include "core/redoop_driver.h"
+#include "queries/aggregation_query.h"
+#include "queries/join_query.h"
+#include "workload/ffg_generator.h"
+#include "workload/rate_profile.h"
+#include "workload/synthetic_feed.h"
+#include "workload/wcc_generator.h"
+
+namespace redoop {
+namespace {
+
+struct CliOptions {
+  std::string query = "agg";  // agg | join.
+  Timestamp win = 18000;
+  Timestamp slide = 1800;
+  int64_t windows = 10;
+  int32_t nodes = 30;
+  int32_t reducers = 16;
+  double rps = 8.0;
+  int32_t record_bytes = 2 * kBytesPerMB;
+  Timestamp batch_interval = 600;
+  uint64_t seed = 1998;
+  bool spiked = false;
+  double spike_multiplier = 2.0;
+  double proactive_threshold = 0.15;
+  std::vector<std::string> systems = {"hadoop", "redoop"};
+  std::string trace_path;
+  Config cluster_config;
+};
+
+void PrintUsage() {
+  std::printf(
+      "redoop_cli — recurring-query experiment runner\n\n"
+      "  --query=agg|join           query kind (default agg)\n"
+      "  --win=SECONDS              window size (default 18000)\n"
+      "  --slide=SECONDS            slide / execution period (default 1800)\n"
+      "  --windows=N                recurrences to run (default 10)\n"
+      "  --nodes=N                  cluster size (default 30)\n"
+      "  --reducers=N               reduce partitions (default 16)\n"
+      "  --rps=R                    records/second/source (default 8)\n"
+      "  --record-bytes=B           logical record size (default 2 MiB)\n"
+      "  --batch-interval=SECONDS   arrival batch size (default 600)\n"
+      "  --seed=S                   workload seed (default 1998)\n"
+      "  --spiked                   double the rate on windows 2,3,5,6,...\n"
+      "  --spike-multiplier=M       spike factor (default 2)\n"
+      "  --proactive-threshold=F    adaptive budget fraction (default 0.15)\n"
+      "  --systems=a,b,...          any of hadoop, redoop, adaptive,\n"
+      "                             redoop-nocache, redoop-inputonly\n"
+      "  --trace=FILE               write a chrome://tracing task timeline\n"
+      "  --set KEY=VALUE            raw cluster-config override (repeatable)\n"
+      "  --help                     this text\n");
+}
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return false;
+    } else if (arg == "--spiked") {
+      options->spiked = true;
+    } else if (arg == "--set") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--set requires KEY=VALUE\n");
+        return false;
+      }
+      const std::string kv = argv[++i];
+      const size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--set requires KEY=VALUE, got %s\n", kv.c_str());
+        return false;
+      }
+      options->cluster_config.Set(kv.substr(0, eq), kv.substr(eq + 1));
+    } else if (ParseFlag(arg, "query", &value)) {
+      options->query = value;
+    } else if (ParseFlag(arg, "win", &value)) {
+      options->win = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "slide", &value)) {
+      options->slide = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "windows", &value)) {
+      options->windows = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "nodes", &value)) {
+      options->nodes = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "reducers", &value)) {
+      options->reducers = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "rps", &value)) {
+      options->rps = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "record-bytes", &value)) {
+      options->record_bytes = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "batch-interval", &value)) {
+      options->batch_interval = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "seed", &value)) {
+      options->seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "spike-multiplier", &value)) {
+      options->spike_multiplier = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "proactive-threshold", &value)) {
+      options->proactive_threshold = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "systems", &value)) {
+      options->systems = SplitString(value, ',');
+    } else if (ParseFlag(arg, "trace", &value)) {
+      options->trace_path = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::shared_ptr<const RateProfile> MakeRate(const CliOptions& options) {
+  if (!options.spiked) return std::make_shared<ConstantRate>(options.rps);
+  return std::make_shared<WindowSpikeRate>(
+      options.rps, options.spike_multiplier, options.win, options.slide,
+      WindowSpikeRate::PaperSpikePattern(options.windows));
+}
+
+std::unique_ptr<SyntheticFeed> MakeFeed(const CliOptions& options) {
+  auto feed = std::make_unique<SyntheticFeed>(options.batch_interval);
+  if (options.query == "join") {
+    FfgGeneratorOptions gen;
+    gen.seed = options.seed;
+    gen.grid_cells_x = 180;
+    gen.grid_cells_y = 180;
+    gen.record_logical_bytes = options.record_bytes;
+    auto rate = MakeRate(options);
+    feed->AddSource(1, std::make_shared<FfgGenerator>(rate, gen));
+    feed->AddSource(2, std::make_shared<FfgGenerator>(rate, gen));
+  } else {
+    WccGeneratorOptions gen;
+    gen.seed = options.seed;
+    gen.record_logical_bytes = options.record_bytes;
+    feed->AddSource(1, std::make_shared<WccGenerator>(MakeRate(options), gen));
+  }
+  return feed;
+}
+
+RecurringQuery MakeQuery(const CliOptions& options) {
+  if (options.query == "join") {
+    return MakeJoinQuery(1, "cli-join", 1, 2, options.win, options.slide,
+                         options.reducers);
+  }
+  return MakeAggregationQuery(1, "cli-agg", 1, options.win, options.slide,
+                              options.reducers);
+}
+
+RunReport RunSystem(const CliOptions& options, const std::string& system) {
+  const RecurringQuery query = MakeQuery(options);
+  Cluster cluster(options.nodes, options.cluster_config);
+  auto feed = MakeFeed(options);
+  if (system == "hadoop") {
+    HadoopRecurringDriver driver(&cluster, feed.get(), query);
+    return driver.Run(options.windows);
+  }
+  RedoopDriverOptions redoop_options;
+  if (system == "adaptive") {
+    redoop_options.adaptive = true;
+    redoop_options.proactive_threshold = options.proactive_threshold;
+  } else if (system == "redoop-nocache") {
+    redoop_options.cache_reduce_input = false;
+    redoop_options.cache_reduce_output = false;
+  } else if (system == "redoop-inputonly") {
+    redoop_options.cache_reduce_output = false;
+  } else if (system != "redoop") {
+    std::fprintf(stderr, "unknown system '%s'\n", system.c_str());
+    std::exit(2);
+  }
+  RedoopDriver driver(&cluster, feed.get(), query, redoop_options);
+  RunReport report = driver.Run(options.windows);
+  report.system = system;
+  return report;
+}
+
+int Main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) return 1;
+  if (options.win <= 0 || options.slide <= 0 || options.slide > options.win) {
+    std::fprintf(stderr, "invalid window geometry: win=%ld slide=%ld\n",
+                 options.win, options.slide);
+    return 1;
+  }
+
+  const WindowSpec spec{options.win, options.slide};
+  std::printf("query=%s  win=%ld s  slide=%ld s  overlap=%.2f  pane=%ld s\n",
+              options.query.c_str(), options.win, options.slide,
+              spec.Overlap(), Gcd(options.win, options.slide));
+  std::printf("nodes=%d  reducers=%d  rps=%.2f  record=%s  windows=%ld%s\n\n",
+              options.nodes, options.reducers, options.rps,
+              HumanBytes(options.record_bytes).c_str(), options.windows,
+              options.spiked ? "  (spiked)" : "");
+
+  std::vector<RunReport> reports;
+  for (const std::string& system : options.systems) {
+    reports.push_back(RunSystem(options, system));
+  }
+
+  // Cross-check every system's results against the first.
+  for (size_t s = 1; s < reports.size(); ++s) {
+    for (size_t w = 0; w < reports[0].windows.size(); ++w) {
+      const auto& a = reports[0].windows[w].output;
+      const auto& b = reports[s].windows[w].output;
+      bool same = a.size() == b.size();
+      for (size_t i = 0; same && i < a.size(); ++i) {
+        same = a[i].key == b[i].key && a[i].value == b[i].value;
+      }
+      if (!same) {
+        std::fprintf(stderr,
+                     "RESULT MISMATCH: %s vs %s at window %zu — aborting\n",
+                     reports[0].system.c_str(), reports[s].system.c_str(), w);
+        return 3;
+      }
+    }
+  }
+
+  std::printf("%-8s", "window");
+  for (const RunReport& r : reports) std::printf(" %16s", r.system.c_str());
+  std::printf("\n");
+  for (size_t w = 0; w < reports[0].windows.size(); ++w) {
+    std::printf("%-8zu", w + 1);
+    for (const RunReport& r : reports) {
+      std::printf(" %16.1f", r.windows[w].response_time);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-8s", "total");
+  for (const RunReport& r : reports) {
+    std::printf(" %16.1f", r.TotalResponseTime());
+  }
+  std::printf("\n%-8s", "shuffle");
+  for (const RunReport& r : reports) {
+    std::printf(" %16.1f", r.TotalShuffleTime());
+  }
+  std::printf("\n%-8s", "reduce");
+  for (const RunReport& r : reports) {
+    std::printf(" %16.1f", r.TotalReduceTime());
+  }
+  std::printf("\n\nall systems produced identical results in every window\n");
+
+  if (!options.trace_path.empty()) {
+    TraceWriter writer;
+    for (const RunReport& r : reports) {
+      for (const WindowReport& w : r.windows) {
+        writer.AddJob(r.system + "-w" + std::to_string(w.recurrence),
+                      w.task_reports);
+      }
+    }
+    const Status status = writer.WriteFile(options.trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   status.ToString().c_str());
+      return 4;
+    }
+    std::printf("trace with %zu task slices written to %s\n",
+                writer.event_count(), options.trace_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace redoop
+
+int main(int argc, char** argv) { return redoop::Main(argc, argv); }
