@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_aggregation.cc" "bench/CMakeFiles/bench_fig6_aggregation.dir/bench_fig6_aggregation.cc.o" "gcc" "bench/CMakeFiles/bench_fig6_aggregation.dir/bench_fig6_aggregation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/queries/CMakeFiles/redoop_queries.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/redoop_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/redoop_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/redoop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/redoop_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/redoop_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/redoop_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/redoop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/redoop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

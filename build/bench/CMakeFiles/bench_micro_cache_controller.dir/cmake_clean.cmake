@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_cache_controller.dir/bench_micro_cache_controller.cc.o"
+  "CMakeFiles/bench_micro_cache_controller.dir/bench_micro_cache_controller.cc.o.d"
+  "bench_micro_cache_controller"
+  "bench_micro_cache_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_cache_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

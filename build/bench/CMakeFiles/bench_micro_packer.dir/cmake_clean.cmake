@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_packer.dir/bench_micro_packer.cc.o"
+  "CMakeFiles/bench_micro_packer.dir/bench_micro_packer.cc.o.d"
+  "bench_micro_packer"
+  "bench_micro_packer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_packer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_spike.dir/adaptive_spike.cpp.o"
+  "CMakeFiles/adaptive_spike.dir/adaptive_spike.cpp.o.d"
+  "adaptive_spike"
+  "adaptive_spike.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_spike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

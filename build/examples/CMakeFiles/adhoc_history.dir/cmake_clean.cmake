@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adhoc_history.dir/adhoc_history.cpp.o"
+  "CMakeFiles/adhoc_history.dir/adhoc_history.cpp.o.d"
+  "adhoc_history"
+  "adhoc_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adhoc_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

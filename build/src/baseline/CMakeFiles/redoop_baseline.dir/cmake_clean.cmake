@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redoop_baseline.dir/hadoop_driver.cc.o"
+  "CMakeFiles/redoop_baseline.dir/hadoop_driver.cc.o.d"
+  "libredoop_baseline.a"
+  "libredoop_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redoop_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redoop_cluster.dir/cluster.cc.o"
+  "CMakeFiles/redoop_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/redoop_cluster.dir/heartbeat.cc.o"
+  "CMakeFiles/redoop_cluster.dir/heartbeat.cc.o.d"
+  "CMakeFiles/redoop_cluster.dir/node.cc.o"
+  "CMakeFiles/redoop_cluster.dir/node.cc.o.d"
+  "libredoop_cluster.a"
+  "libredoop_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redoop_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

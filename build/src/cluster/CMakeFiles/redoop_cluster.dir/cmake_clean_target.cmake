@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libredoop_cluster.a"
+)

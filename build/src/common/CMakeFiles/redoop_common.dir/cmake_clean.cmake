@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redoop_common.dir/config.cc.o"
+  "CMakeFiles/redoop_common.dir/config.cc.o.d"
+  "CMakeFiles/redoop_common.dir/hash.cc.o"
+  "CMakeFiles/redoop_common.dir/hash.cc.o.d"
+  "CMakeFiles/redoop_common.dir/logging.cc.o"
+  "CMakeFiles/redoop_common.dir/logging.cc.o.d"
+  "CMakeFiles/redoop_common.dir/math_utils.cc.o"
+  "CMakeFiles/redoop_common.dir/math_utils.cc.o.d"
+  "CMakeFiles/redoop_common.dir/random.cc.o"
+  "CMakeFiles/redoop_common.dir/random.cc.o.d"
+  "CMakeFiles/redoop_common.dir/status.cc.o"
+  "CMakeFiles/redoop_common.dir/status.cc.o.d"
+  "CMakeFiles/redoop_common.dir/string_utils.cc.o"
+  "CMakeFiles/redoop_common.dir/string_utils.cc.o.d"
+  "libredoop_common.a"
+  "libredoop_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redoop_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache_aware_scheduler.cc" "src/core/CMakeFiles/redoop_core.dir/cache_aware_scheduler.cc.o" "gcc" "src/core/CMakeFiles/redoop_core.dir/cache_aware_scheduler.cc.o.d"
+  "/root/repo/src/core/cache_controller.cc" "src/core/CMakeFiles/redoop_core.dir/cache_controller.cc.o" "gcc" "src/core/CMakeFiles/redoop_core.dir/cache_controller.cc.o.d"
+  "/root/repo/src/core/cache_status_matrix.cc" "src/core/CMakeFiles/redoop_core.dir/cache_status_matrix.cc.o" "gcc" "src/core/CMakeFiles/redoop_core.dir/cache_status_matrix.cc.o.d"
+  "/root/repo/src/core/cache_store.cc" "src/core/CMakeFiles/redoop_core.dir/cache_store.cc.o" "gcc" "src/core/CMakeFiles/redoop_core.dir/cache_store.cc.o.d"
+  "/root/repo/src/core/cache_types.cc" "src/core/CMakeFiles/redoop_core.dir/cache_types.cc.o" "gcc" "src/core/CMakeFiles/redoop_core.dir/cache_types.cc.o.d"
+  "/root/repo/src/core/data_packer.cc" "src/core/CMakeFiles/redoop_core.dir/data_packer.cc.o" "gcc" "src/core/CMakeFiles/redoop_core.dir/data_packer.cc.o.d"
+  "/root/repo/src/core/execution_profiler.cc" "src/core/CMakeFiles/redoop_core.dir/execution_profiler.cc.o" "gcc" "src/core/CMakeFiles/redoop_core.dir/execution_profiler.cc.o.d"
+  "/root/repo/src/core/local_cache_registry.cc" "src/core/CMakeFiles/redoop_core.dir/local_cache_registry.cc.o" "gcc" "src/core/CMakeFiles/redoop_core.dir/local_cache_registry.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/redoop_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/redoop_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/multi_query.cc" "src/core/CMakeFiles/redoop_core.dir/multi_query.cc.o" "gcc" "src/core/CMakeFiles/redoop_core.dir/multi_query.cc.o.d"
+  "/root/repo/src/core/ndim_status_matrix.cc" "src/core/CMakeFiles/redoop_core.dir/ndim_status_matrix.cc.o" "gcc" "src/core/CMakeFiles/redoop_core.dir/ndim_status_matrix.cc.o.d"
+  "/root/repo/src/core/pane_naming.cc" "src/core/CMakeFiles/redoop_core.dir/pane_naming.cc.o" "gcc" "src/core/CMakeFiles/redoop_core.dir/pane_naming.cc.o.d"
+  "/root/repo/src/core/recurring_query.cc" "src/core/CMakeFiles/redoop_core.dir/recurring_query.cc.o" "gcc" "src/core/CMakeFiles/redoop_core.dir/recurring_query.cc.o.d"
+  "/root/repo/src/core/redoop_driver.cc" "src/core/CMakeFiles/redoop_core.dir/redoop_driver.cc.o" "gcc" "src/core/CMakeFiles/redoop_core.dir/redoop_driver.cc.o.d"
+  "/root/repo/src/core/semantic_analyzer.cc" "src/core/CMakeFiles/redoop_core.dir/semantic_analyzer.cc.o" "gcc" "src/core/CMakeFiles/redoop_core.dir/semantic_analyzer.cc.o.d"
+  "/root/repo/src/core/window.cc" "src/core/CMakeFiles/redoop_core.dir/window.cc.o" "gcc" "src/core/CMakeFiles/redoop_core.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/redoop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/redoop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/redoop_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/redoop_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/redoop_mapreduce.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

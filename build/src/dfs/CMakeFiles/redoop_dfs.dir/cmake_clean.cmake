@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redoop_dfs.dir/dfs.cc.o"
+  "CMakeFiles/redoop_dfs.dir/dfs.cc.o.d"
+  "CMakeFiles/redoop_dfs.dir/pane_header.cc.o"
+  "CMakeFiles/redoop_dfs.dir/pane_header.cc.o.d"
+  "CMakeFiles/redoop_dfs.dir/record.cc.o"
+  "CMakeFiles/redoop_dfs.dir/record.cc.o.d"
+  "libredoop_dfs.a"
+  "libredoop_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redoop_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

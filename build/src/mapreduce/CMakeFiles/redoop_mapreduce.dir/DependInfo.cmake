@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/counters.cc" "src/mapreduce/CMakeFiles/redoop_mapreduce.dir/counters.cc.o" "gcc" "src/mapreduce/CMakeFiles/redoop_mapreduce.dir/counters.cc.o.d"
+  "/root/repo/src/mapreduce/job_runner.cc" "src/mapreduce/CMakeFiles/redoop_mapreduce.dir/job_runner.cc.o" "gcc" "src/mapreduce/CMakeFiles/redoop_mapreduce.dir/job_runner.cc.o.d"
+  "/root/repo/src/mapreduce/kv.cc" "src/mapreduce/CMakeFiles/redoop_mapreduce.dir/kv.cc.o" "gcc" "src/mapreduce/CMakeFiles/redoop_mapreduce.dir/kv.cc.o.d"
+  "/root/repo/src/mapreduce/partitioner.cc" "src/mapreduce/CMakeFiles/redoop_mapreduce.dir/partitioner.cc.o" "gcc" "src/mapreduce/CMakeFiles/redoop_mapreduce.dir/partitioner.cc.o.d"
+  "/root/repo/src/mapreduce/scheduler.cc" "src/mapreduce/CMakeFiles/redoop_mapreduce.dir/scheduler.cc.o" "gcc" "src/mapreduce/CMakeFiles/redoop_mapreduce.dir/scheduler.cc.o.d"
+  "/root/repo/src/mapreduce/trace.cc" "src/mapreduce/CMakeFiles/redoop_mapreduce.dir/trace.cc.o" "gcc" "src/mapreduce/CMakeFiles/redoop_mapreduce.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/redoop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/redoop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/redoop_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/redoop_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

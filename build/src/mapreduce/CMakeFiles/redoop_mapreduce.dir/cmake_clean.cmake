@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redoop_mapreduce.dir/counters.cc.o"
+  "CMakeFiles/redoop_mapreduce.dir/counters.cc.o.d"
+  "CMakeFiles/redoop_mapreduce.dir/job_runner.cc.o"
+  "CMakeFiles/redoop_mapreduce.dir/job_runner.cc.o.d"
+  "CMakeFiles/redoop_mapreduce.dir/kv.cc.o"
+  "CMakeFiles/redoop_mapreduce.dir/kv.cc.o.d"
+  "CMakeFiles/redoop_mapreduce.dir/partitioner.cc.o"
+  "CMakeFiles/redoop_mapreduce.dir/partitioner.cc.o.d"
+  "CMakeFiles/redoop_mapreduce.dir/scheduler.cc.o"
+  "CMakeFiles/redoop_mapreduce.dir/scheduler.cc.o.d"
+  "CMakeFiles/redoop_mapreduce.dir/trace.cc.o"
+  "CMakeFiles/redoop_mapreduce.dir/trace.cc.o.d"
+  "libredoop_mapreduce.a"
+  "libredoop_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redoop_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redoop_queries.dir/aggregation_query.cc.o"
+  "CMakeFiles/redoop_queries.dir/aggregation_query.cc.o.d"
+  "CMakeFiles/redoop_queries.dir/distinct_count_query.cc.o"
+  "CMakeFiles/redoop_queries.dir/distinct_count_query.cc.o.d"
+  "CMakeFiles/redoop_queries.dir/join_query.cc.o"
+  "CMakeFiles/redoop_queries.dir/join_query.cc.o.d"
+  "CMakeFiles/redoop_queries.dir/threshold_alert_query.cc.o"
+  "CMakeFiles/redoop_queries.dir/threshold_alert_query.cc.o.d"
+  "libredoop_queries.a"
+  "libredoop_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redoop_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redoop_sim.dir/cost_model.cc.o"
+  "CMakeFiles/redoop_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/redoop_sim.dir/event_queue.cc.o"
+  "CMakeFiles/redoop_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/redoop_sim.dir/simulator.cc.o"
+  "CMakeFiles/redoop_sim.dir/simulator.cc.o.d"
+  "libredoop_sim.a"
+  "libredoop_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redoop_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

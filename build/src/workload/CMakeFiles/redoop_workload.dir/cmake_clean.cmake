@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redoop_workload.dir/count_window_feed.cc.o"
+  "CMakeFiles/redoop_workload.dir/count_window_feed.cc.o.d"
+  "CMakeFiles/redoop_workload.dir/ffg_generator.cc.o"
+  "CMakeFiles/redoop_workload.dir/ffg_generator.cc.o.d"
+  "CMakeFiles/redoop_workload.dir/rate_profile.cc.o"
+  "CMakeFiles/redoop_workload.dir/rate_profile.cc.o.d"
+  "CMakeFiles/redoop_workload.dir/synthetic_feed.cc.o"
+  "CMakeFiles/redoop_workload.dir/synthetic_feed.cc.o.d"
+  "CMakeFiles/redoop_workload.dir/wcc_generator.cc.o"
+  "CMakeFiles/redoop_workload.dir/wcc_generator.cc.o.d"
+  "libredoop_workload.a"
+  "libredoop_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redoop_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adhoc_query_test.dir/adhoc_query_test.cc.o"
+  "CMakeFiles/adhoc_query_test.dir/adhoc_query_test.cc.o.d"
+  "adhoc_query_test"
+  "adhoc_query_test.pdb"
+  "adhoc_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adhoc_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_status_matrix_test.dir/cache_status_matrix_test.cc.o"
+  "CMakeFiles/cache_status_matrix_test.dir/cache_status_matrix_test.cc.o.d"
+  "cache_status_matrix_test"
+  "cache_status_matrix_test.pdb"
+  "cache_status_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_status_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

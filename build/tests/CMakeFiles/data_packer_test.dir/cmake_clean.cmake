@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_packer_test.dir/data_packer_test.cc.o"
+  "CMakeFiles/data_packer_test.dir/data_packer_test.cc.o.d"
+  "data_packer_test"
+  "data_packer_test.pdb"
+  "data_packer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_packer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_count_test.dir/distinct_count_test.cc.o"
+  "CMakeFiles/distinct_count_test.dir/distinct_count_test.cc.o.d"
+  "distinct_count_test"
+  "distinct_count_test.pdb"
+  "distinct_count_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_count_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

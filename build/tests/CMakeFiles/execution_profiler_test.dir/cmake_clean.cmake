@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/execution_profiler_test.dir/execution_profiler_test.cc.o"
+  "CMakeFiles/execution_profiler_test.dir/execution_profiler_test.cc.o.d"
+  "execution_profiler_test"
+  "execution_profiler_test.pdb"
+  "execution_profiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/execution_profiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadoop_driver_test.dir/hadoop_driver_test.cc.o"
+  "CMakeFiles/hadoop_driver_test.dir/hadoop_driver_test.cc.o.d"
+  "hadoop_driver_test"
+  "hadoop_driver_test.pdb"
+  "hadoop_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadoop_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

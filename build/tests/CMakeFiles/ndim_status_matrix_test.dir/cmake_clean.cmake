@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndim_status_matrix_test.dir/ndim_status_matrix_test.cc.o"
+  "CMakeFiles/ndim_status_matrix_test.dir/ndim_status_matrix_test.cc.o.d"
+  "ndim_status_matrix_test"
+  "ndim_status_matrix_test.pdb"
+  "ndim_status_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndim_status_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

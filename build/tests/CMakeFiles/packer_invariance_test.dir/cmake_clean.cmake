@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packer_invariance_test.dir/packer_invariance_test.cc.o"
+  "CMakeFiles/packer_invariance_test.dir/packer_invariance_test.cc.o.d"
+  "packer_invariance_test"
+  "packer_invariance_test.pdb"
+  "packer_invariance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packer_invariance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recurring_query_test.dir/recurring_query_test.cc.o"
+  "CMakeFiles/recurring_query_test.dir/recurring_query_test.cc.o.d"
+  "recurring_query_test"
+  "recurring_query_test.pdb"
+  "recurring_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recurring_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redoop_driver_test.dir/redoop_driver_test.cc.o"
+  "CMakeFiles/redoop_driver_test.dir/redoop_driver_test.cc.o.d"
+  "redoop_driver_test"
+  "redoop_driver_test.pdb"
+  "redoop_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redoop_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_alert_test.dir/threshold_alert_test.cc.o"
+  "CMakeFiles/threshold_alert_test.dir/threshold_alert_test.cc.o.d"
+  "threshold_alert_test"
+  "threshold_alert_test.pdb"
+  "threshold_alert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_alert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

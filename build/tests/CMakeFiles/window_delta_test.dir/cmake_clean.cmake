@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_delta_test.dir/window_delta_test.cc.o"
+  "CMakeFiles/window_delta_test.dir/window_delta_test.cc.o.d"
+  "window_delta_test"
+  "window_delta_test.pdb"
+  "window_delta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_delta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

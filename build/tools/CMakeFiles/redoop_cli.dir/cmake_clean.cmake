@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redoop_cli.dir/redoop_cli.cc.o"
+  "CMakeFiles/redoop_cli.dir/redoop_cli.cc.o.d"
+  "redoop_cli"
+  "redoop_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redoop_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
