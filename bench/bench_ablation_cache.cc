@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "obs/observability.h"
 
 namespace redoop::bench {
 namespace {
@@ -41,12 +42,16 @@ void BM_AblationCache_Aggregation(benchmark::State& state) {
     state.SkipWithError("ablated Redoop diverged from Hadoop");
     return;
   }
+  const double pane_hit_rate = redoop.observability.HitRate(
+      obs::metric::kCachePaneHits, obs::metric::kCachePaneMisses);
   std::printf("agg  input=%d output=%d: total %10.1f s (hadoop %10.1f s, "
-              "warm speedup %.2fx)\n",
+              "warm speedup %.2fx, pane hit rate %.0f%%)\n",
               input_cache, output_cache, redoop.TotalResponseTime(),
-              hadoop.TotalResponseTime(), WarmSpeedup(hadoop, redoop));
+              hadoop.TotalResponseTime(), WarmSpeedup(hadoop, redoop),
+              100.0 * pane_hit_rate);
   state.counters["total_s"] = redoop.TotalResponseTime();
   state.counters["warm_speedup"] = WarmSpeedup(hadoop, redoop);
+  state.counters["pane_hit_rate"] = pane_hit_rate;
 }
 
 BENCHMARK(BM_AblationCache_Aggregation)
@@ -86,12 +91,19 @@ void BM_AblationCache_Join(benchmark::State& state) {
     state.SkipWithError("ablated Redoop diverged from Hadoop");
     return;
   }
+  const double pane_hit_rate = redoop.observability.HitRate(
+      obs::metric::kCachePaneHits, obs::metric::kCachePaneMisses);
+  const double pair_hit_rate = redoop.observability.HitRate(
+      obs::metric::kCachePairHits, obs::metric::kCachePairMisses);
   std::printf("join input=%d output=%d: total %10.1f s (hadoop %10.1f s, "
-              "warm speedup %.2fx)\n",
+              "warm speedup %.2fx, pane hits %.0f%%, pair hits %.0f%%)\n",
               input_cache, output_cache, redoop.TotalResponseTime(),
-              hadoop.TotalResponseTime(), WarmSpeedup(hadoop, redoop));
+              hadoop.TotalResponseTime(), WarmSpeedup(hadoop, redoop),
+              100.0 * pane_hit_rate, 100.0 * pair_hit_rate);
   state.counters["total_s"] = redoop.TotalResponseTime();
   state.counters["warm_speedup"] = WarmSpeedup(hadoop, redoop);
+  state.counters["pane_hit_rate"] = pane_hit_rate;
+  state.counters["pair_hit_rate"] = pair_hit_rate;
 }
 
 BENCHMARK(BM_AblationCache_Join)

@@ -9,6 +9,14 @@
 
 namespace redoop {
 
+namespace {
+JobRunnerOptions WithObs(JobRunnerOptions options,
+                         obs::ObservabilityContext* obs) {
+  options.obs = obs;
+  return options;
+}
+}  // namespace
+
 HadoopRecurringDriver::HadoopRecurringDriver(Cluster* cluster, BatchFeed* feed,
                                              RecurringQuery query,
                                              JobRunnerOptions runner_options)
@@ -17,10 +25,19 @@ HadoopRecurringDriver::HadoopRecurringDriver(Cluster* cluster, BatchFeed* feed,
       query_(std::move(query)),
       geometry_(query_.window(),
                 Gcd(query_.window().win, query_.window().slide)),
-      runner_(cluster, &scheduler_, runner_options) {
+      owned_obs_(runner_options.obs == nullptr
+                     ? std::make_unique<obs::ObservabilityContext>()
+                     : nullptr),
+      obs_(runner_options.obs != nullptr ? runner_options.obs
+                                         : owned_obs_.get()),
+      runner_(cluster, &scheduler_, WithObs(runner_options, obs_)) {
   REDOOP_CHECK(cluster_ != nullptr);
   REDOOP_CHECK(feed_ != nullptr);
   query_.CheckValid();
+  obs_->SetTimeSource(
+      [cluster = cluster_] { return cluster->simulator().Now(); });
+  scheduler_.set_observability(obs_);
+  cluster_->dfs().set_observability(obs_);
   ingested_until_.assign(query_.sources.size(), 0);
 }
 
@@ -81,6 +98,12 @@ WindowReport HadoopRecurringDriver::RunRecurrence(int64_t recurrence) {
   const Timestamp end = geometry_.WindowEnd(recurrence);
   const Timestamp trigger = geometry_.TriggerTime(recurrence);
 
+  obs_->EmitAt(cluster_->simulator().Now(), obs::event::kWindowOpen)
+      .With("recurrence", recurrence)
+      .With("trigger", trigger)
+      .With("window_begin", begin)
+      .With("window_end", end);
+
   // Data for the window lands in HDFS as it arrives (not charged to the
   // query's response time, same as Redoop's packer ingest).
   IngestUpTo(end);
@@ -91,6 +114,9 @@ WindowReport HadoopRecurringDriver::RunRecurrence(int64_t recurrence) {
   if (sim.Now() < static_cast<SimTime>(trigger)) {
     sim.RunUntil(static_cast<SimTime>(trigger));
   }
+  obs_->EmitAt(sim.Now(), obs::event::kWindowTrigger)
+      .With("recurrence", recurrence)
+      .With("trigger", trigger);
 
   // One full job over every batch overlapping the window, with a window
   // filter wrapped around the user mapper.
@@ -147,6 +173,16 @@ WindowReport HadoopRecurringDriver::RunRecurrence(int64_t recurrence) {
     report.delta = ComputeWindowDelta(previous_output_, report.output);
     previous_output_ = report.output;
   }
+
+  obs_->metrics().Increment(obs::metric::kWindowsCompleted);
+  obs_->metrics().Record(obs::metric::kWindowResponseTime,
+                         report.response_time);
+  obs_->EmitAt(report.finished_at, obs::event::kWindowComplete)
+      .With("recurrence", recurrence)
+      .With("trigger", trigger)
+      .With("response_time", report.response_time)
+      .With("output_records", report.output_records)
+      .With("fresh_bytes", report.fresh_input_bytes);
   return report;
 }
 
@@ -156,6 +192,7 @@ RunReport HadoopRecurringDriver::Run(int64_t n) {
   for (int64_t i = 0; i < n; ++i) {
     report.windows.push_back(RunRecurrence(i));
   }
+  report.observability = obs_->metrics().Snapshot();
   return report;
 }
 

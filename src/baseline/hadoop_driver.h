@@ -14,6 +14,7 @@
 #include "core/window.h"
 #include "mapreduce/job_runner.h"
 #include "mapreduce/scheduler.h"
+#include "obs/observability.h"
 
 namespace redoop {
 
@@ -42,6 +43,12 @@ class HadoopRecurringDriver {
 
   const WindowGeometry& geometry() const { return geometry_; }
 
+  /// The active observability context. The driver journals window
+  /// lifecycle events and job/task/DFS metrics into it — the baseline is
+  /// instrumented identically to Redoop so runs are comparable. Comes from
+  /// `runner_options.obs` when set; otherwise driver-owned. Never null.
+  obs::ObservabilityContext* observability() { return obs_; }
+
  private:
   struct StoredBatch {
     std::string file_name;
@@ -58,6 +65,10 @@ class HadoopRecurringDriver {
   BatchFeed* feed_;
   RecurringQuery query_;
   WindowGeometry geometry_;
+  /// Owned fallback when runner_options.obs is null; obs_ is the active
+  /// context. Declared before runner_ so the runner can be handed obs_.
+  std::unique_ptr<obs::ObservabilityContext> owned_obs_;
+  obs::ObservabilityContext* obs_ = nullptr;
   DefaultScheduler scheduler_;
   JobRunner runner_;
   std::vector<Timestamp> ingested_until_;  // Per source index.

@@ -1,11 +1,32 @@
 #include "common/logging.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace redoop {
 
 namespace {
-LogLevel g_log_level = LogLevel::kWarning;
+
+/// Initial level: REDOOP_LOG_LEVEL=debug|info|warning|error when set
+/// (case-sensitive, silently ignored when unrecognized), else kWarning.
+LogLevel InitialLogLevel() {
+  const char* env = std::getenv("REDOOP_LOG_LEVEL");
+  if (env != nullptr) {
+    if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+    if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+    if (std::strcmp(env, "warning") == 0) return LogLevel::kWarning;
+    if (std::strcmp(env, "warn") == 0) return LogLevel::kWarning;
+    if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+    std::fprintf(stderr,
+                 "[WARN logging.cc] unknown REDOOP_LOG_LEVEL '%s' "
+                 "(want debug|info|warning|error); using warning\n",
+                 env);
+  }
+  return LogLevel::kWarning;
+}
+
+LogLevel g_log_level = InitialLogLevel();
 
 const char* LevelName(LogLevel level) {
   switch (level) {

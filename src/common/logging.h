@@ -11,7 +11,9 @@ namespace redoop {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Process-wide minimum level; messages below it are dropped.
-/// Defaults to kWarning so tests and benchmarks stay quiet.
+/// Defaults to kWarning so tests and benchmarks stay quiet; the
+/// REDOOP_LOG_LEVEL environment variable (debug|info|warning|error)
+/// overrides the default at startup. SetLogLevel still wins at runtime.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 

@@ -12,9 +12,13 @@ CacheAwareScheduler::CacheAwareScheduler(const CostModel* cost_model,
 
 NodeId CacheAwareScheduler::SelectNodeForMap(
     const MapPlacementRequest& request, const Cluster& cluster) {
-  // Maps keep Hadoop's shape: replica-local first, then least loaded.
+  // Maps keep Hadoop's shape: replica-local first, then least loaded. The
+  // fallback instance carries no obs sink, so the assignment is journaled
+  // exactly once, here, under this scheduler's policy name.
   DefaultScheduler fallback;
-  return fallback.SelectNodeForMap(request, cluster);
+  const NodeId node = fallback.SelectNodeForMap(request, cluster);
+  scheduler_internal::EmitMapAssignment(obs_, request, node, "cache_aware");
+  return node;
 }
 
 double CacheAwareScheduler::ReduceIoCost(const ReducePlacementRequest& request,
@@ -47,6 +51,44 @@ NodeId CacheAwareScheduler::SelectNodeForReduce(
       best = n.id();
       best_score = score;
     }
+  }
+  if (obs_ != nullptr && best != kInvalidNode) {
+    // Cache affinity is "considered" when the task has cached side inputs
+    // at all, and "taken" when the chosen node holds at least one of them.
+    const bool considered = !request.side_inputs.empty();
+    bool taken = false;
+    int64_t local_bytes = 0;
+    int64_t remote_bytes = 0;
+    for (const ReduceSideInput& side : request.side_inputs) {
+      if (side.location == best) {
+        taken = true;
+        local_bytes += side.bytes;
+      } else {
+        remote_bytes += side.bytes;
+      }
+    }
+    const double io_cost = ReduceIoCost(request, best);
+    obs::MetricRegistry& metrics = obs_->metrics();
+    metrics.Increment(obs::metric::kSchedReduceAssignments);
+    if (considered) {
+      metrics.Increment(taken ? obs::metric::kSchedCacheAffinityTaken
+                              : obs::metric::kSchedCacheAffinityMissed);
+    }
+    metrics.Record(obs::metric::kSchedReduceIoCost, io_cost);
+    obs_->Emit(obs::event::kSchedAssign)
+        .With("kind", "reduce")
+        .With("policy", "cache_aware")
+        .With("node", best)
+        .With("partition", request.partition)
+        .With("load", cluster.node(best).Load())
+        .With("io_cost", io_cost)
+        .With("score", best_score)
+        .With("preferred", request.preferred_node)
+        .With("affinity_considered", considered ? 1 : 0)
+        .With("affinity_taken", taken ? 1 : 0)
+        .With("cache_local_bytes", local_bytes)
+        .With("cache_remote_bytes", remote_bytes)
+        .With("shuffle_bytes", request.shuffle_bytes);
   }
   return best;
 }

@@ -56,6 +56,13 @@ void WindowAwareCacheController::OnPaneInHdfs(
   }
   if (state.ready == CacheReady::kNotAvailable) {
     state.ready = CacheReady::kHdfsAvailable;
+    if (obs_ != nullptr) {
+      obs_->Emit(obs::event::kPaneReady)
+          .With("query", query)
+          .With("source", source)
+          .With("pane", pane)
+          .With("ready", static_cast<int32_t>(CacheReady::kHdfsAvailable));
+    }
   }
   if (!state.in_map_list && state.ready == CacheReady::kHdfsAvailable) {
     state.in_map_list = true;
@@ -78,6 +85,13 @@ void WindowAwareCacheController::OnPaneCached(QueryId query, SourceId source,
   PaneState& state = q->panes[{source, pane}];
   state.ready = CacheReady::kCacheAvailable;
   state.in_map_list = false;
+  if (obs_ != nullptr) {
+    obs_->Emit(obs::event::kPaneReady)
+        .With("query", query)
+        .With("source", source)
+        .With("pane", pane)
+        .With("ready", static_cast<int32_t>(CacheReady::kCacheAvailable));
+  }
   if (q->matrix != nullptr) EnqueueReadyPairs(q, source, pane);
 }
 
@@ -128,6 +142,20 @@ void WindowAwareCacheController::AddSignature(CacheSignature signature,
         std::any_of(begin, end, [&](const auto& e) { return e.second == name; });
     if (!indexed) q->caches_by_pane.insert({key, name});
   }
+  if (obs_ != nullptr) {
+    obs_->metrics().Increment(obs::metric::kCacheAdds);
+    obs_->metrics().Increment(obs::metric::kCacheAddBytes, signature.bytes);
+    obs_->Emit(obs::event::kCacheAdd)
+        .With("name", name)
+        .With("node", signature.node)
+        .With("kind", CacheTypeName(signature.type))
+        .With("source", signature.source)
+        .With("pane", signature.pane)
+        .With("pane_right", signature.pane_right)
+        .With("partition", signature.partition)
+        .With("bytes", signature.bytes)
+        .With("records", signature.records);
+  }
   signatures_[name] = std::move(signature);
 }
 
@@ -163,6 +191,12 @@ void WindowAwareCacheController::MarkPanePairDone(QueryId query, PaneId left,
   QueryState* q = FindQuery(query);
   REDOOP_CHECK(q != nullptr && q->matrix != nullptr);
   q->matrix->MarkDone(left, right);
+  if (obs_ != nullptr) {
+    obs_->Emit(obs::event::kMatrixDone)
+        .With("query", query)
+        .With("left", left)
+        .With("right", right);
+  }
 }
 
 bool WindowAwareCacheController::IsPanePairDone(QueryId query, PaneId left,
@@ -243,6 +277,14 @@ void WindowAwareCacheController::ExpireCache(
   CacheSignature& sig = it->second;
   sig.done_query_mask[static_cast<size_t>(q->mask_bit)] = true;
   if (!sig.Expired()) return;
+  if (obs_ != nullptr) {
+    obs_->metrics().Increment(obs::metric::kCacheEvictions);
+    obs_->Emit(obs::event::kCacheEvict)
+        .With("name", sig.name)
+        .With("node", sig.node)
+        .With("reason", "expired")
+        .With("bytes", sig.bytes);
+  }
   out->push_back(PurgeNotification{sig.node, sig.name});
   signatures_.erase(it);
 }
@@ -258,6 +300,14 @@ std::vector<PurgeNotification> WindowAwareCacheController::FinishRecurrence(
     // caches expire with them. A pane-pair output cache expires once the
     // last window containing both panes has completed.
     auto [left_purged, right_purged] = q->matrix->Shift(recurrence);
+    if (obs_ != nullptr) {
+      obs_->Emit(obs::event::kMatrixShift)
+          .With("query", query)
+          .With("recurrence", recurrence)
+          .With("purged_left", static_cast<int64_t>(left_purged.size()))
+          .With("purged_right", static_cast<int64_t>(right_purged.size()))
+          .With("cells", q->matrix->CellCount());
+    }
     const SourceId left_source = q->query.sources[0].id;
     const SourceId right_source = q->query.sources[1].id;
     auto expire_pane = [&](SourceId source, PaneId pane) {
@@ -322,6 +372,14 @@ WindowAwareCacheController::HandleLostCache(NodeId node,
   if (sig.node != node) return impact;  // Stale notification.
   signatures_.erase(it);
   impact.lost_caches.push_back(PurgeNotification{node, name});
+  if (obs_ != nullptr) {
+    obs_->metrics().Increment(obs::metric::kCacheInvalidations);
+    obs_->Emit(obs::event::kCacheInvalidate)
+        .With("name", name)
+        .With("node", node)
+        .With("reason", "lost")
+        .With("bytes", sig.bytes);
+  }
 
   for (auto& [qid, q] : queries_) {
     (void)qid;
@@ -360,6 +418,14 @@ WindowAwareCacheController::HandleLostCache(NodeId node,
                              /*rebuild=*/true};
         map_task_list_.push_back(rebuild);
         impact.rebuilds.push_back(rebuild);
+        if (obs_ != nullptr) {
+          obs_->metrics().Increment(obs::metric::kCacheRebuilds);
+          obs_->Emit(obs::event::kCacheRebuild)
+              .With("query", q->query.id)
+              .With("source", sig.source)
+              .With("pane", sig.pane)
+              .With("partition", sig.partition);
+        }
       }
       // Sibling partition caches of the same pane survive: the rebuild is
       // partition-scoped (paper §6.4 — pane/partition-grained caching
@@ -378,6 +444,14 @@ NodeId WindowAwareCacheController::DropSignature(const std::string& name) {
   auto it = signatures_.find(name);
   if (it == signatures_.end()) return kInvalidNode;
   const NodeId node = it->second.node;
+  if (obs_ != nullptr) {
+    obs_->metrics().Increment(obs::metric::kCacheInvalidations);
+    obs_->Emit(obs::event::kCacheInvalidate)
+        .With("name", name)
+        .With("node", node)
+        .With("reason", "dropped")
+        .With("bytes", it->second.bytes);
+  }
   signatures_.erase(it);
   return node;
 }

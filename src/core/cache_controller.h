@@ -15,6 +15,7 @@
 #include "core/cache_types.h"
 #include "core/recurring_query.h"
 #include "core/window.h"
+#include "obs/observability.h"
 
 namespace redoop {
 
@@ -141,6 +142,10 @@ class WindowAwareCacheController {
   /// signature's node, or kInvalidNode.
   NodeId DropSignature(const std::string& name);
 
+  /// Journals cache lifecycle decisions (add/evict/invalidate/rebuild,
+  /// pane readiness, matrix transitions); null disables emission.
+  void set_observability(obs::ObservabilityContext* obs) { obs_ = obs; }
+
  private:
   struct PaneState {
     CacheReady ready = CacheReady::kNotAvailable;
@@ -173,6 +178,7 @@ class WindowAwareCacheController {
   std::map<std::string, CacheSignature> signatures_;
   std::deque<PaneWorkItem> map_task_list_;
   std::deque<PanePairWorkItem> reduce_task_list_;
+  obs::ObservabilityContext* obs_ = nullptr;
 };
 
 }  // namespace redoop

@@ -20,6 +20,7 @@ void CacheStore::Put(const std::string& name, std::vector<KeyValue> payload,
   entry->records = records;
   total_bytes_ += bytes;
   entries_[name] = std::move(entry);
+  UpdateGauges();
 }
 
 const CacheStore::Entry* CacheStore::Find(const std::string& name) const {
@@ -32,6 +33,15 @@ void CacheStore::Remove(const std::string& name) {
   if (it == entries_.end()) return;
   total_bytes_ -= it->second->bytes;
   entries_.erase(it);
+  UpdateGauges();
+}
+
+void CacheStore::UpdateGauges() {
+  if (obs_ == nullptr) return;
+  obs_->metrics().SetGauge(obs::metric::kCacheStoreBytes,
+                           static_cast<double>(total_bytes_));
+  obs_->metrics().SetGauge(obs::metric::kCacheStoreEntries,
+                           static_cast<double>(entries_.size()));
 }
 
 }  // namespace redoop

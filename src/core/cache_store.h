@@ -9,6 +9,7 @@
 
 #include "common/ids.h"
 #include "mapreduce/kv.h"
+#include "obs/observability.h"
 
 namespace redoop {
 
@@ -44,9 +45,19 @@ class CacheStore {
   size_t size() const { return entries_.size(); }
   int64_t total_bytes() const { return total_bytes_; }
 
+  /// Keeps cache.store.bytes / cache.store.entries gauges current; null
+  /// disables emission.
+  void set_observability(obs::ObservabilityContext* obs) {
+    obs_ = obs;
+    UpdateGauges();
+  }
+
  private:
+  void UpdateGauges();
+
   std::map<std::string, std::unique_ptr<Entry>> entries_;
   int64_t total_bytes_ = 0;
+  obs::ObservabilityContext* obs_ = nullptr;
 };
 
 }  // namespace redoop

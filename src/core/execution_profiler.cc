@@ -16,6 +16,12 @@ ExecutionProfiler::ExecutionProfiler(double alpha, double beta)
 void ExecutionProfiler::Observe(double execution_time,
                                 int64_t bytes_processed) {
   REDOOP_CHECK(execution_time >= 0.0);
+  // Holt's forecast made *before* this observation arrived — the number a
+  // proactive-mode decision would have used. Journaled below against the
+  // actual so forecast error is a first-class tracked distribution.
+  const bool had_forecast = count_ > 0;
+  const double predicted = had_forecast ? Forecast(1) : 0.0;
+
   last_x_ = execution_time;
   last_bytes_ = bytes_processed;
   if (count_ == 0) {
@@ -27,6 +33,25 @@ void ExecutionProfiler::Observe(double execution_time,
     trend_ = beta_ * (level_ - prev_level) + (1.0 - beta_) * trend_;
   }
   ++count_;
+
+  if (obs_ != nullptr) {
+    obs_->metrics().Increment(obs::metric::kProfilerObservations);
+    obs::Event& e = obs_->Emit(obs::event::kProfilerObserve);
+    e.With("observation", count_)
+        .With("actual", execution_time)
+        .With("bytes", bytes_processed)
+        .With("level", level_)
+        .With("trend", trend_);
+    if (had_forecast) {
+      const double abs_error = std::abs(predicted - execution_time);
+      obs_->metrics().Record(obs::metric::kProfilerAbsErr, abs_error);
+      if (execution_time > 0.0) {
+        obs_->metrics().Record(obs::metric::kProfilerRelErr,
+                               abs_error / execution_time);
+      }
+      e.With("predicted", predicted).With("abs_error", abs_error);
+    }
+  }
 }
 
 double ExecutionProfiler::Forecast(int64_t k) const {

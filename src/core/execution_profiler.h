@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/observability.h"
+
 namespace redoop {
 
 /// Collects per-recurrence execution statistics and forecasts upcoming
@@ -40,6 +42,10 @@ class ExecutionProfiler {
 
   void Reset();
 
+  /// Journals prediction-vs-actual per Observe() (profiler.observe events
+  /// plus forecast-error histograms); null disables emission.
+  void set_observability(obs::ObservabilityContext* obs) { obs_ = obs; }
+
   /// Selects (alpha, beta) by dense grid search minimizing the one-step
   /// squared forecast error over a historical series ("selected by fitting
   /// historical data", §3.3). Requires history.size() >= 3.
@@ -54,6 +60,7 @@ class ExecutionProfiler {
   double last_x_ = 0.0;
   int64_t last_bytes_ = 0;
   int64_t count_ = 0;
+  obs::ObservabilityContext* obs_ = nullptr;
 };
 
 }  // namespace redoop

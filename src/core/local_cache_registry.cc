@@ -50,19 +50,35 @@ int64_t LocalCacheRegistry::expired_count() const {
   return count;
 }
 
-int64_t LocalCacheRegistry::PurgeExpired(TaskNode* node) {
-  REDOOP_CHECK(node != nullptr);
-  REDOOP_CHECK(node->id() == node_);
+int64_t LocalCacheRegistry::PurgeMatching(TaskNode* node,
+                                          int64_t stop_after_bytes,
+                                          const char* reason) {
   int64_t freed = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
+    if (stop_after_bytes >= 0 && freed >= stop_after_bytes) break;
     if (it->second.expired) {
-      freed += node->DeleteLocalFile(it->first);
+      const int64_t bytes = node->DeleteLocalFile(it->first);
+      freed += bytes;
+      if (obs_ != nullptr) {
+        obs_->metrics().Increment(obs::metric::kCachePurgedBytes, bytes);
+        obs_->Emit(obs::event::kCachePurge)
+            .With("name", it->first)
+            .With("node", node_)
+            .With("bytes", bytes)
+            .With("reason", reason);
+      }
       it = entries_.erase(it);
     } else {
       ++it;
     }
   }
   return freed;
+}
+
+int64_t LocalCacheRegistry::PurgeExpired(TaskNode* node) {
+  REDOOP_CHECK(node != nullptr);
+  REDOOP_CHECK(node->id() == node_);
+  return PurgeMatching(node, /*stop_after_bytes=*/-1, "periodic");
 }
 
 int64_t LocalCacheRegistry::MaybePeriodicPurge(TaskNode* node, SimTime now) {
@@ -74,17 +90,7 @@ int64_t LocalCacheRegistry::MaybePeriodicPurge(TaskNode* node, SimTime now) {
 int64_t LocalCacheRegistry::OnDemandPurge(TaskNode* node,
                                           int64_t needed_bytes) {
   REDOOP_CHECK(node != nullptr);
-  int64_t freed = 0;
-  for (auto it = entries_.begin();
-       it != entries_.end() && freed < needed_bytes;) {
-    if (it->second.expired) {
-      freed += node->DeleteLocalFile(it->first);
-      it = entries_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  return freed;
+  return PurgeMatching(node, needed_bytes, "on_demand");
 }
 
 std::vector<LocalCacheEntry> LocalCacheRegistry::Entries() const {

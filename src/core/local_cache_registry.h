@@ -10,6 +10,7 @@
 #include "common/ids.h"
 #include "common/sim_time.h"
 #include "core/cache_types.h"
+#include "obs/observability.h"
 
 namespace redoop {
 
@@ -63,11 +64,19 @@ class LocalCacheRegistry {
 
   std::vector<LocalCacheEntry> Entries() const;
 
+  /// Journals physical deletions (cache.purge events, purged-bytes
+  /// counter); null disables emission.
+  void set_observability(obs::ObservabilityContext* obs) { obs_ = obs; }
+
  private:
+  int64_t PurgeMatching(TaskNode* node, int64_t stop_after_bytes,
+                        const char* reason);
+
   NodeId node_;
   SimDuration purge_cycle_;
   SimTime last_purge_ = 0.0;
   std::map<std::string, LocalCacheEntry> entries_;
+  obs::ObservabilityContext* obs_ = nullptr;
 };
 
 }  // namespace redoop

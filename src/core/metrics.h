@@ -9,6 +9,7 @@
 #include "mapreduce/counters.h"
 #include "mapreduce/kv.h"
 #include "mapreduce/task.h"
+#include "obs/metric_registry.h"
 
 namespace redoop {
 
@@ -63,6 +64,12 @@ struct WindowReport {
 struct RunReport {
   std::string system;  // "hadoop", "redoop", "redoop-adaptive", ...
   std::vector<WindowReport> windows;
+  /// End-of-run metrics snapshot (cache hit rates, scheduler decisions,
+  /// task/DFS totals) from the driver's observability context. Benchmarks
+  /// and tests assert on it; e.g.
+  /// `observability.HitRate(observability.Counter(obs::metric::kCachePaneHits),
+  ///                        observability.Counter(obs::metric::kCachePaneMisses))`.
+  obs::MetricsSnapshot observability;
 
   SimDuration TotalResponseTime() const {
     SimDuration total = 0.0;

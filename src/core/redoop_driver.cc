@@ -60,6 +60,23 @@ RedoopDriver::RedoopDriver(Cluster* cluster, BatchFeed* feed,
   REDOOP_CHECK(feed_ != nullptr);
   query_.CheckValid();
 
+  // Observability: every component journals into one context; sim-time
+  // stamps come from the cluster's simulator.
+  if (options_.obs != nullptr) {
+    obs_ = options_.obs;
+  } else {
+    owned_obs_ = std::make_unique<obs::ObservabilityContext>();
+    obs_ = owned_obs_.get();
+  }
+  obs_->SetTimeSource(
+      [cluster = cluster_] { return cluster->simulator().Now(); });
+  controller_.set_observability(obs_);
+  store_.set_observability(obs_);
+  profiler_.set_observability(obs_);
+  default_scheduler_.set_observability(obs_);
+  cluster_->dfs().set_observability(obs_);
+  options_.runner.obs = obs_;
+
   base_plan_ = analyzer_.Plan(query_.window(), SourceStatistics{0.0});
   base_plan_.pane_size = geometry_.pane_size();
   current_plan_ = base_plan_;
@@ -70,6 +87,7 @@ RedoopDriver::RedoopDriver(Cluster* cluster, BatchFeed* feed,
     sched_options.load_weight_s = options_.scheduler_load_weight_s;
     cache_aware_scheduler_ = std::make_unique<CacheAwareScheduler>(
         &cluster_->cost_model(), sched_options);
+    cache_aware_scheduler_->set_observability(obs_);
   }
   runner_ = std::make_unique<JobRunner>(cluster_, scheduler(),
                                         options_.runner);
@@ -89,6 +107,7 @@ RedoopDriver::RedoopDriver(Cluster* cluster, BatchFeed* feed,
   for (int32_t n = 0; n < cluster_->num_nodes(); ++n) {
     registries_.push_back(
         std::make_unique<LocalCacheRegistry>(n, purge_cycle));
+    registries_.back()->set_observability(obs_);
   }
   ingested_until_.assign(query_.sources.size(), 0);
 
@@ -571,6 +590,8 @@ void RedoopDriver::RegisterJobCaches(const JobResult& result,
       } else {
         ps.roc_names.push_back(sig.name);
       }
+      // Serving this pane later in the same recurrence is not a cache hit.
+      panes_built_this_recurrence_.insert({sig.source, sig.pane});
     }
     store_.Put(sig.name, cache.payload, sig.bytes, sig.records);
     registries_[static_cast<size_t>(sig.node)]->AddEntry(sig.name, sig.type,
@@ -818,6 +839,28 @@ void RedoopDriver::PrepareJoinWindow(int64_t recurrence) {
       deferred_pairs_.end());
 
   const std::vector<PanePairWorkItem> missing = MissingWindowPairs(recurrence);
+  {
+    // Pair-grain cache accounting: every in-window pair whose output is
+    // already materialized is served from cache; the missing ones must run.
+    const PaneRange w = geometry_.PanesForRecurrence(recurrence);
+    const int64_t span = w.last - w.first;
+    const int64_t misses = static_cast<int64_t>(missing.size());
+    const int64_t hits = span * span - misses;
+    if (hits > 0) {
+      obs_->metrics().Increment(obs::metric::kCachePairHits, hits);
+      counters_accum_.Increment(counter::kCachePairHits, hits);
+      obs_->Emit(obs::event::kCachePairHit)
+          .With("recurrence", recurrence)
+          .With("count", hits);
+    }
+    if (misses > 0) {
+      obs_->metrics().Increment(obs::metric::kCachePairMisses, misses);
+      counters_accum_.Increment(counter::kCachePairMisses, misses);
+      obs_->Emit(obs::event::kCachePairMiss)
+          .With("recurrence", recurrence)
+          .With("count", misses);
+    }
+  }
   if (missing.empty()) return;  // Everything cached already.
 
   // Strategy choice on steady-state costs: the pair path's recurring work
@@ -867,10 +910,53 @@ void RedoopDriver::PrepareJoinWindow(int64_t recurrence) {
   }
 }
 
+void RedoopDriver::EmitPaneCacheStats(int64_t recurrence) {
+  if (Effective(query_.pattern, options_) == EffectivePattern::kNoCaching) {
+    return;  // No cache tier enabled; hit/miss is meaningless.
+  }
+  const PaneRange panes = geometry_.PanesForRecurrence(recurrence);
+  for (const QuerySource& qs : query_.sources) {
+    for (PaneId p = panes.first; p < panes.last; ++p) {
+      auto it = pane_states_.find({qs.id, p});
+      if (it == pane_states_.end()) continue;  // Pane carried no data.
+      const PaneIngestState& ps = it->second;
+      bool cached = !ps.ric_names.empty() || !ps.roc_names.empty();
+      for (const std::string& name : ps.ric_names) {
+        if (!store_.Has(name)) cached = false;
+      }
+      for (const std::string& name : ps.roc_names) {
+        if (!store_.Has(name)) cached = false;
+      }
+      const bool built_now =
+          panes_built_this_recurrence_.count({qs.id, p}) > 0;
+      const bool hit = cached && !built_now;
+      if (hit) {
+        obs_->metrics().Increment(obs::metric::kCachePaneHits);
+        obs_->metrics().Increment(obs::metric::kCachePaneHitBytes, ps.bytes);
+        counters_accum_.Increment(counter::kCachePaneHits);
+      } else {
+        obs_->metrics().Increment(obs::metric::kCachePaneMisses);
+        obs_->metrics().Increment(obs::metric::kCachePaneMissBytes, ps.bytes);
+        counters_accum_.Increment(counter::kCachePaneMisses);
+      }
+      obs_->Emit(hit ? obs::event::kCachePaneHit : obs::event::kCachePaneMiss)
+          .With("recurrence", recurrence)
+          .With("source", qs.id)
+          .With("pane", p)
+          .With("bytes", ps.bytes)
+          .With("reason", hit          ? "reused"
+                          : built_now ? "built_this_recurrence"
+                                      : "uncached");
+    }
+  }
+}
+
 WindowReport RedoopDriver::AssembleWindow(int64_t recurrence) {
   const EffectivePattern pattern = Effective(query_.pattern, options_);
   const PaneRange panes = geometry_.PanesForRecurrence(recurrence);
   const int32_t num_partitions = query_.config.num_reducers;
+
+  EmitPaneCacheStats(recurrence);
 
   JobSpec spec;
   spec.config = BaseJobConfig(StringPrintf("window-%ld", recurrence));
@@ -1036,6 +1122,13 @@ WindowReport RedoopDriver::RunRecurrence(int64_t recurrence) {
   const Timestamp window_end = geometry_.WindowEnd(recurrence);
   Simulator& sim = cluster_->simulator();
 
+  panes_built_this_recurrence_.clear();
+  obs_->EmitAt(sim.Now(), obs::event::kWindowOpen)
+      .With("recurrence", recurrence)
+      .With("trigger", trigger)
+      .With("window_begin", geometry_.WindowBegin(recurrence))
+      .With("window_end", window_end);
+
   // 1. Ingest the inter-trigger data; the packer materializes panes and, in
   //    proactive mode, partial processing happens as data lands.
   IngestInterval(geometry_.WindowBegin(recurrence), window_end);
@@ -1048,6 +1141,9 @@ WindowReport RedoopDriver::RunRecurrence(int64_t recurrence) {
   if (sim.Now() < static_cast<SimTime>(trigger)) {
     sim.RunUntil(static_cast<SimTime>(trigger));
   }
+  obs_->EmitAt(sim.Now(), obs::event::kWindowTrigger)
+      .With("recurrence", recurrence)
+      .With("trigger", trigger);
 
   // 3. Remaining incremental work, failure repair, and window assembly.
   DrainWorkLists();
@@ -1074,6 +1170,16 @@ WindowReport RedoopDriver::RunRecurrence(int64_t recurrence) {
   map_phase_accum_ = 0.0;
   fresh_bytes_accum_ = 0;
   counters_accum_ = Counters();
+
+  obs_->metrics().Increment(obs::metric::kWindowsCompleted);
+  obs_->metrics().Record(obs::metric::kWindowResponseTime,
+                         report.response_time);
+  obs_->EmitAt(report.finished_at, obs::event::kWindowComplete)
+      .With("recurrence", recurrence)
+      .With("trigger", trigger)
+      .With("response_time", report.response_time)
+      .With("output_records", report.output_records)
+      .With("fresh_bytes", report.fresh_input_bytes);
 
   AfterRecurrence(recurrence, report);
   return report;
@@ -1169,6 +1275,7 @@ RunReport RedoopDriver::Run(int64_t n) {
   for (int64_t i = 0; i < n; ++i) {
     report.windows.push_back(RunRecurrence(i));
   }
+  report.observability = obs_->metrics().Snapshot();
   return report;
 }
 

@@ -23,6 +23,7 @@
 #include "core/window.h"
 #include "mapreduce/job_runner.h"
 #include "mapreduce/scheduler.h"
+#include "obs/observability.h"
 
 namespace redoop {
 
@@ -62,6 +63,11 @@ struct RedoopDriverOptions {
   /// Engine-level knobs (task retries, straggler model, speculative
   /// execution — the latter off by default, as in the paper's setup).
   JobRunnerOptions runner;
+  /// Metrics + decision-event sink shared by every Redoop component the
+  /// driver wires up (controller, schedulers, profiler, registries, DFS,
+  /// job runner). Must outlive the driver. When null the driver owns a
+  /// private context, reachable via observability().
+  obs::ObservabilityContext* obs = nullptr;
 };
 
 /// The Redoop execution driver: the component that ties together the
@@ -106,6 +112,9 @@ class RedoopDriver {
   bool proactive_mode() const { return proactive_mode_; }
   int32_t current_subpanes() const { return current_plan_.subpanes_per_pane; }
   const RedoopDriverOptions& options() const { return options_; }
+  /// The active observability context (the caller-provided one, or the
+  /// driver-owned fallback). Never null.
+  obs::ObservabilityContext* observability() { return obs_; }
 
  private:
   struct FileSlice {
@@ -155,6 +164,11 @@ class RedoopDriver {
                          PaneId pane_for_roc);
   void AccumulateJobStats(const JobResult& result);
   WindowReport AssembleWindow(int64_t recurrence);
+  /// Classifies every in-window pane as a cache hit (its caches predate
+  /// this recurrence) or miss (built or still unbuilt this recurrence) and
+  /// journals the verdicts. Called once per window, before assembly runs
+  /// any job.
+  void EmitPaneCacheStats(int64_t recurrence);
   void AfterRecurrence(int64_t recurrence, const WindowReport& report);
   void OnCacheLossEvent(NodeId node, const std::vector<std::string>& lost);
   void AppendSideInput(const CacheSignature& sig,
@@ -194,6 +208,9 @@ class RedoopDriver {
   RecurringQuery query_;
   RedoopDriverOptions options_;
   WindowGeometry geometry_;
+  /// Owned fallback when options.obs is null; obs_ is the active context.
+  std::unique_ptr<obs::ObservabilityContext> owned_obs_;
+  obs::ObservabilityContext* obs_ = nullptr;
   SemanticAnalyzer analyzer_;
   PartitionPlan base_plan_;
   PartitionPlan current_plan_;
@@ -206,6 +223,9 @@ class RedoopDriver {
   std::map<SourceId, std::unique_ptr<DynamicDataPacker>> packers_;
   std::vector<std::unique_ptr<LocalCacheRegistry>> registries_;
   std::map<PaneKey, PaneIngestState> pane_states_;
+  /// Panes whose caches were (re)built during the current recurrence —
+  /// serving them is a cache miss, not a hit (cleared per recurrence).
+  std::set<PaneKey> panes_built_this_recurrence_;
   std::vector<Timestamp> ingested_until_;
   int64_t next_recurrence_ = 0;
   bool proactive_mode_ = false;

@@ -58,7 +58,18 @@ StatusOr<FileId> Dfs::CreateFileWithHeader(std::string_view name,
 
   const FileId id = file->id;
   by_name_[file->name] = id;
+  DfsFile* stored = file.get();
   files_[id] = std::move(file);
+  if (obs_ != nullptr) {
+    obs_->metrics().Increment(obs::metric::kDfsFilesCreated);
+    obs_->metrics().Increment(obs::metric::kDfsBytesWritten,
+                              stored->size_bytes);
+    obs_->Emit(obs::event::kDfsFileCreate)
+        .With("file", stored->name)
+        .With("bytes", stored->size_bytes)
+        .With("blocks", static_cast<int64_t>(stored->blocks.size()))
+        .With("records", static_cast<int64_t>(stored->records.size()));
+  }
   return id;
 }
 
@@ -160,6 +171,12 @@ Status Dfs::DeleteFile(std::string_view name) {
       node_bytes_[static_cast<size_t>(n)] -= b.size_bytes;
     }
   }
+  if (obs_ != nullptr) {
+    obs_->metrics().Increment(obs::metric::kDfsFilesDeleted);
+    obs_->Emit(obs::event::kDfsFileDelete)
+        .With("file", fit->second->name)
+        .With("bytes", fit->second->size_bytes);
+  }
   files_.erase(fit);
   by_name_.erase(it);
   return Status::OK();
@@ -208,6 +225,9 @@ void Dfs::OnNodeFailed(NodeId node) {
   if (node_bytes_[static_cast<size_t>(node)] < 0) {
     node_bytes_[static_cast<size_t>(node)] = 0;
   }
+  if (obs_ != nullptr) {
+    obs_->Emit(obs::event::kDfsNodeFailed).With("node", node);
+  }
 }
 
 void Dfs::OnNodeRecovered(NodeId node) {
@@ -241,6 +261,9 @@ int64_t Dfs::ReplicateMissing() {
         ++created;
       }
     }
+  }
+  if (obs_ != nullptr && created > 0) {
+    obs_->metrics().Increment(obs::metric::kDfsReplicasRestored, created);
   }
   return created;
 }

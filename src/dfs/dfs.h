@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "dfs/pane_header.h"
 #include "dfs/record.h"
+#include "obs/observability.h"
 
 namespace redoop {
 
@@ -112,6 +113,10 @@ class Dfs {
   int64_t StoredBytesOnNode(NodeId node) const;
   int64_t file_count() const { return static_cast<int64_t>(by_name_.size()); }
 
+  /// Journal/metrics sink for namespace activity (file create/delete,
+  /// node failures, re-replication); null disables emission.
+  void set_observability(obs::ObservabilityContext* obs) { obs_ = obs; }
+
  private:
   void PlaceBlocks(DfsFile* file);
   std::vector<NodeId> ChooseReplicaNodes();
@@ -119,6 +124,7 @@ class Dfs {
 
   int32_t num_nodes_;
   DfsOptions options_;
+  obs::ObservabilityContext* obs_ = nullptr;
   Random random_;
   NodeId next_writer_ = 0;  // Rotating first-replica target.
   FileId next_file_id_ = 1;

@@ -27,6 +27,13 @@ inline constexpr const char* kReduceTaskRetries = "reduce.task.retries";
 inline constexpr const char* kCacheReadLocalBytes = "cache.read.local.bytes";
 inline constexpr const char* kCacheReadRemoteBytes = "cache.read.remote.bytes";
 inline constexpr const char* kCacheWriteBytes = "cache.write.bytes";
+// Pane-level cache reuse, accounted per window by the Redoop driver: a
+// pane is a hit when served from caches built by a prior recurrence.
+inline constexpr const char* kCachePaneHits = "cache.pane.hits";
+inline constexpr const char* kCachePaneMisses = "cache.pane.misses";
+// Pane-pair reuse in the join path (cache status matrix).
+inline constexpr const char* kCachePairHits = "cache.pair.hits";
+inline constexpr const char* kCachePairMisses = "cache.pair.misses";
 inline constexpr const char* kHdfsReadBytes = "hdfs.read.bytes";
 inline constexpr const char* kHdfsWriteBytes = "hdfs.write.bytes";
 }  // namespace counter

@@ -268,6 +268,20 @@ void JobRunner::StartMapTask(RunState* run, MapTaskState* task, NodeId node) {
   const bool local = std::find(task->replica_nodes.begin(),
                                task->replica_nodes.end(),
                                node) != task->replica_nodes.end();
+  if (options_.obs != nullptr) {
+    options_.obs->metrics().Increment(
+        local ? obs::metric::kDfsReadLocalBytes
+              : obs::metric::kDfsReadRemoteBytes,
+        task->input_bytes);
+    options_.obs
+        ->EmitAt(cluster_->simulator().Now(), obs::event::kDfsRead)
+        .With("file", task->file->name)
+        .With("node", node)
+        .With("bytes", task->input_bytes)
+        .With("source", task->source)
+        .With("pane", task->pane)
+        .With("locality", local ? "local" : "remote");
+  }
   int64_t spilled_bytes = 0;
   for (int64_t b : task->bucket_bytes) spilled_bytes += b;
   task->timing.startup = cost.TaskStartupTime();
@@ -335,6 +349,24 @@ void JobRunner::FinishMapTask(RunState* run, MapTaskState* task,
   c.Increment(counter::kMapOutputRecords, task->output_records);
   c.Increment(counter::kMapOutputBytes, task->output_bytes);
   c.Increment(counter::kHdfsReadBytes, task->input_bytes);
+
+  if (options_.obs != nullptr) {
+    options_.obs->metrics().Increment(obs::metric::kTasksMap);
+    options_.obs->metrics().Record(
+        obs::metric::kTaskMapDuration,
+        report.timing.finished_at - report.timing.scheduled_at);
+    options_.obs->EmitAt(report.timing.finished_at, obs::event::kTaskFinish)
+        .With("kind", "map")
+        .With("task", report.id)
+        .With("node", report.node)
+        .With("source", report.source)
+        .With("pane", report.pane)
+        .With("attempt", report.attempt)
+        .With("start", report.timing.scheduled_at)
+        .With("duration", report.timing.finished_at -
+                              report.timing.scheduled_at)
+        .With("bytes", task->input_bytes);
+  }
 
   if (AllMapsDone(*run) && !run->reduces_unlocked) {
     run->reduces_unlocked = true;
@@ -411,9 +443,17 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
     } else if (side.location == node) {
       task->timing.read += cost.LocalReadTime(side.bytes);
       counters.Increment(counter::kCacheReadLocalBytes, side.bytes);
+      if (options_.obs != nullptr) {
+        options_.obs->metrics().Increment(obs::metric::kCacheReadLocalBytes,
+                                          side.bytes);
+      }
     } else {
       task->timing.read += cost.RemoteReadTime(side.bytes);
       counters.Increment(counter::kCacheReadRemoteBytes, side.bytes);
+      if (options_.obs != nullptr) {
+        options_.obs->metrics().Increment(obs::metric::kCacheReadRemoteBytes,
+                                          side.bytes);
+      }
     }
     cached_bytes += side.bytes;
     cached_records += side.records;
@@ -574,6 +614,24 @@ void JobRunner::FinishReduceTask(RunState* run, ReduceTaskState* task,
   run->result.task_reports.push_back(report);
   run->result.counters.Increment(counter::kReduceTasks);
 
+  if (options_.obs != nullptr) {
+    options_.obs->metrics().Increment(obs::metric::kTasksReduce);
+    options_.obs->metrics().Record(
+        obs::metric::kTaskReduceDuration,
+        report.timing.finished_at - report.timing.scheduled_at);
+    options_.obs->EmitAt(report.timing.finished_at, obs::event::kTaskFinish)
+        .With("kind", "reduce")
+        .With("task", report.id)
+        .With("node", report.node)
+        .With("partition", report.partition)
+        .With("attempt", report.attempt)
+        .With("start", report.timing.scheduled_at)
+        .With("duration",
+              report.timing.finished_at - report.timing.scheduled_at)
+        .With("side_inputs",
+              static_cast<int64_t>(task->side_inputs.size()));
+  }
+
   TryScheduleTasks(run);
   MaybeFinishJob(run);
 }
@@ -620,6 +678,16 @@ SimDuration JobRunner::ArmAttempt(RunState* run, TaskStateT* task,
         task->backup_node = node;
         task->backup_id = next_task_id_++;
         const TaskId backup_id = task->backup_id;
+        if (options_.obs != nullptr) {
+          options_.obs->metrics().Increment(obs::metric::kTaskSpeculations);
+          options_.obs
+              ->EmitAt(cluster_->simulator().Now(),
+                       obs::event::kTaskSpeculate)
+              .With("kind", is_map ? "map" : "reduce")
+              .With("task", primary_id)
+              .With("backup_task", backup_id)
+              .With("node", node);
+        }
         // The backup gets a fresh straggler draw (it is most likely fast —
         // that is the whole point).
         SimDuration backup_duration = nominal_duration;
@@ -715,6 +783,19 @@ void JobRunner::OnNodeFailure(NodeId node) {
 }
 
 void JobRunner::FailTaskAttempt(RunState* run, TaskType type, int64_t index) {
+  if (options_.obs != nullptr) {
+    const bool is_map = type == TaskType::kMap;
+    const auto* map_task =
+        is_map ? run->maps[static_cast<size_t>(index)].get() : nullptr;
+    const auto* reduce_task =
+        is_map ? nullptr : run->reduces[static_cast<size_t>(index)].get();
+    options_.obs->metrics().Increment(obs::metric::kTaskFailures);
+    options_.obs->EmitAt(cluster_->simulator().Now(), obs::event::kTaskFail)
+        .With("kind", is_map ? "map" : "reduce")
+        .With("task", is_map ? map_task->id : reduce_task->id)
+        .With("node", is_map ? map_task->node : reduce_task->node)
+        .With("attempt", is_map ? map_task->attempt : reduce_task->attempt);
+  }
   if (type == TaskType::kMap) {
     MapTaskState* task = run->maps[static_cast<size_t>(index)].get();
     // Slot was already reclaimed by TaskNode::Fail(); just re-queue. A
@@ -834,6 +915,14 @@ JobResult JobRunner::Run(const JobSpec& spec) {
     }
   }
 
+  if (options_.obs != nullptr) {
+    options_.obs->metrics().Increment(obs::metric::kJobs);
+    options_.obs->EmitAt(run.result.submitted_at, obs::event::kJobStart)
+        .With("job", spec.config.name)
+        .With("maps", static_cast<int64_t>(run.maps.size()))
+        .With("reduces", static_cast<int64_t>(run.reduces.size()));
+  }
+
   // Job startup, then the scheduling loop drives everything.
   cluster_->simulator().Schedule(
       cluster_->cost_model().JobStartupTime(), [this, run_owner] {
@@ -861,6 +950,15 @@ JobResult JobRunner::Run(const JobSpec& spec) {
   result.finished_at = cluster_->simulator().Now();
   if (run.first_map_start >= 0) {
     result.map_phase_time = run.last_map_finish - run.first_map_start;
+  }
+
+  if (options_.obs != nullptr) {
+    options_.obs->EmitAt(result.finished_at, obs::event::kJobFinish)
+        .With("job", spec.config.name)
+        .With("status", result.status.ok()
+                            ? "ok"
+                            : StatusCodeToString(result.status.code()))
+        .With("elapsed", result.finished_at - result.submitted_at);
   }
 
   if (result.status.ok()) {

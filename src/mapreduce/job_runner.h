@@ -14,6 +14,7 @@
 #include "mapreduce/job_result.h"
 #include "mapreduce/scheduler.h"
 #include "mapreduce/task.h"
+#include "obs/observability.h"
 
 namespace redoop {
 
@@ -34,6 +35,9 @@ struct JobRunnerOptions {
   bool speculative_execution = false;
   double speculation_factor = 1.3;
   uint64_t seed = 99;
+  /// Metrics/journal sink for task lifecycle, DFS reads, and job events;
+  /// null (the default) disables emission. Must outlive the runner.
+  obs::ObservabilityContext* obs = nullptr;
 };
 
 /// Executes MapReduce jobs on the simulated cluster: splits inputs into

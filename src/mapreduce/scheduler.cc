@@ -23,6 +23,38 @@ NodeId LeastLoadedWithFreeSlot(const Cluster& cluster, bool map_slot) {
 
 }  // namespace scheduler_internal
 
+namespace {
+
+bool HoldsReplica(const MapPlacementRequest& request, NodeId node) {
+  for (NodeId candidate : request.replica_nodes) {
+    if (candidate == node) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+namespace scheduler_internal {
+
+void EmitMapAssignment(obs::ObservabilityContext* obs,
+                       const MapPlacementRequest& request, NodeId node,
+                       const char* policy) {
+  if (obs == nullptr || node == kInvalidNode) return;
+  const bool data_local = HoldsReplica(request, node);
+  obs->metrics().Increment(data_local ? obs::metric::kSchedMapLocal
+                                      : obs::metric::kSchedMapRemote);
+  obs->Emit(obs::event::kSchedAssign)
+      .With("kind", "map")
+      .With("policy", policy)
+      .With("node", node)
+      .With("source", request.source)
+      .With("pane", request.pane)
+      .With("bytes", request.input_bytes)
+      .With("locality", data_local ? "data_local" : "remote");
+}
+
+}  // namespace scheduler_internal
+
 NodeId DefaultScheduler::SelectNodeForMap(const MapPlacementRequest& request,
                                           const Cluster& cluster) {
   // Data locality first: any replica holder with a free map slot, least
@@ -38,15 +70,29 @@ NodeId DefaultScheduler::SelectNodeForMap(const MapPlacementRequest& request,
       best = candidate;
     }
   }
-  if (best != kInvalidNode) return best;
-  return scheduler_internal::LeastLoadedWithFreeSlot(cluster, /*map_slot=*/true);
+  if (best == kInvalidNode) {
+    best = scheduler_internal::LeastLoadedWithFreeSlot(cluster,
+                                                       /*map_slot=*/true);
+  }
+  scheduler_internal::EmitMapAssignment(obs_, request, best, "default");
+  return best;
 }
 
 NodeId DefaultScheduler::SelectNodeForReduce(
     const ReducePlacementRequest& request, const Cluster& cluster) {
-  (void)request;  // Hadoop's default scheduler is cache/locality blind here.
-  return scheduler_internal::LeastLoadedWithFreeSlot(cluster,
-                                                     /*map_slot=*/false);
+  // Hadoop's default scheduler is cache/locality blind here.
+  const NodeId best =
+      scheduler_internal::LeastLoadedWithFreeSlot(cluster, /*map_slot=*/false);
+  if (obs_ != nullptr && best != kInvalidNode) {
+    obs_->metrics().Increment(obs::metric::kSchedReduceAssignments);
+    obs_->Emit(obs::event::kSchedAssign)
+        .With("kind", "reduce")
+        .With("policy", "default")
+        .With("node", best)
+        .With("partition", request.partition)
+        .With("shuffle_bytes", request.shuffle_bytes);
+  }
+  return best;
 }
 
 }  // namespace redoop

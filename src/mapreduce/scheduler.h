@@ -6,6 +6,7 @@
 #include "cluster/cluster.h"
 #include "common/ids.h"
 #include "mapreduce/job.h"
+#include "obs/observability.h"
 
 namespace redoop {
 
@@ -42,6 +43,12 @@ class TaskScheduler {
                                   const Cluster& cluster) = 0;
   virtual NodeId SelectNodeForReduce(const ReducePlacementRequest& request,
                                      const Cluster& cluster) = 0;
+
+  /// Optional decision journal/metrics sink; null disables emission.
+  void set_observability(obs::ObservabilityContext* obs) { obs_ = obs; }
+
+ protected:
+  obs::ObservabilityContext* obs_ = nullptr;
 };
 
 /// Hadoop's default placement shape: prefer a replica-local node with a
@@ -59,6 +66,13 @@ namespace scheduler_internal {
 /// Least-loaded live node with a free slot of the requested kind; breaks
 /// ties by node id for determinism. Returns kInvalidNode when none.
 NodeId LeastLoadedWithFreeSlot(const Cluster& cluster, bool map_slot);
+
+/// Journals a map placement (sched.assign, locality class) into `obs`;
+/// no-op when obs is null or no node was found. Shared by every scheduler
+/// so map-locality accounting is uniform across policies.
+void EmitMapAssignment(obs::ObservabilityContext* obs,
+                       const MapPlacementRequest& request, NodeId node,
+                       const char* policy);
 }  // namespace scheduler_internal
 
 }  // namespace redoop

@@ -2,6 +2,10 @@
 
 #include <cstdio>
 
+#include <algorithm>
+#include <map>
+#include <utility>
+
 #include "common/string_utils.h"
 
 namespace redoop {
@@ -13,13 +17,112 @@ void TraceWriter::AddJob(const std::string& job_label,
   }
 }
 
+void TraceWriter::AddCounterSample(const std::string& series, double time_s,
+                                   double value) {
+  extra_.push_back(StringPrintf(
+      "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.0f,\"pid\":3,\"tid\":0,"
+      "\"args\":{\"value\":%.3f}}",
+      series.c_str(), time_s * 1e6, value));
+}
+
+void TraceWriter::AddCacheSpan(const std::string& name, int64_t node,
+                               double start_s, double end_s, int64_t bytes,
+                               const std::string& kind) {
+  extra_.push_back(StringPrintf(
+      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.0f,"
+      "\"dur\":%.0f,\"pid\":2,\"tid\":%ld,"
+      "\"args\":{\"bytes\":%ld,\"kind\":\"%s\"}}",
+      name.c_str(), kind.c_str(), start_s * 1e6,
+      std::max(0.0, end_s - start_s) * 1e6, node, bytes, kind.c_str()));
+}
+
+void TraceWriter::AddJournal(const obs::EventJournal& journal) {
+  double last_time = 0.0;
+  for (const obs::Event& e : journal.events()) {
+    last_time = std::max(last_time, e.time());
+  }
+
+  struct OpenCache {
+    double start = 0.0;
+    int64_t node = 0;
+    int64_t bytes = 0;
+    std::string kind;
+  };
+  std::map<std::string, OpenCache> open;
+  double occupancy = 0.0;
+  std::vector<std::pair<double, int>> task_deltas;
+
+  for (const obs::Event& e : journal.events()) {
+    const std::string& type = e.type();
+    if (type == obs::event::kCacheAdd) {
+      const std::string name = e.StrOr("name", "");
+      auto it = open.find(name);
+      if (it != open.end()) {
+        // Same-name re-add (chunked rebuild): close the prior span.
+        AddCacheSpan(name, it->second.node, it->second.start, e.time(),
+                     it->second.bytes, it->second.kind);
+        occupancy -= static_cast<double>(it->second.bytes);
+        open.erase(it);
+      }
+      OpenCache oc;
+      oc.start = e.time();
+      oc.node = e.IntOr("node", 0);
+      oc.bytes = e.IntOr("bytes", 0);
+      oc.kind = e.StrOr("kind", "cache");
+      occupancy += static_cast<double>(oc.bytes);
+      open.emplace(name, std::move(oc));
+      AddCounterSample("cache_bytes", e.time(), occupancy);
+    } else if (type == obs::event::kCacheEvict ||
+               type == obs::event::kCacheInvalidate ||
+               type == obs::event::kCachePurge) {
+      auto it = open.find(e.StrOr("name", ""));
+      if (it == open.end()) continue;  // Purge after evict, or unknown.
+      AddCacheSpan(it->first, it->second.node, it->second.start, e.time(),
+                   it->second.bytes, it->second.kind);
+      occupancy -= static_cast<double>(it->second.bytes);
+      open.erase(it);
+      AddCounterSample("cache_bytes", e.time(), occupancy);
+    } else if (type == obs::event::kSchedAssign) {
+      task_deltas.emplace_back(e.time(), +1);
+    } else if (type == obs::event::kTaskFinish ||
+               type == obs::event::kTaskFail) {
+      task_deltas.emplace_back(e.time(), -1);
+    }
+  }
+
+  // Caches still alive when the journal ends stretch to its last event.
+  for (const auto& [name, oc] : open) {
+    AddCacheSpan(name, oc.node, oc.start, last_time, oc.bytes, oc.kind);
+  }
+
+  // Slot-utilization series: starts before finishes at equal timestamps so
+  // the running count never dips below its true value.
+  std::stable_sort(task_deltas.begin(), task_deltas.end(),
+                   [](const std::pair<double, int>& a,
+                      const std::pair<double, int>& b) {
+                     if (a.first != b.first) return a.first < b.first;
+                     return a.second > b.second;
+                   });
+  int running = 0;
+  for (const auto& [t, delta] : task_deltas) {
+    running += delta;
+    AddCounterSample("tasks_running", t, running);
+  }
+}
+
 std::string TraceWriter::ToJson() const {
   std::string out = "{\"traceEvents\":[\n";
-  bool first = true;
+  // Process-name metadata so Perfetto labels the three lanes.
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"name\":\"task attempts\"}},\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
+      "\"args\":{\"name\":\"cache lifetimes\"}},\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":3,"
+      "\"args\":{\"name\":\"counters\"}}";
   for (const Event& event : events_) {
     const TaskReport& r = event.report;
-    if (!first) out += ",\n";
-    first = false;
+    out += ",\n";
     const char* kind = r.type == TaskType::kMap ? "map" : "reduce";
     out += StringPrintf(
         "{\"name\":\"%s %s#%ld\",\"cat\":\"%s\",\"ph\":\"X\","
@@ -32,6 +135,10 @@ std::string TraceWriter::ToJson() const {
         event.job.c_str(), r.partition, r.source, r.pane, r.attempt,
         r.timing.startup, r.timing.read, r.timing.shuffle, r.timing.sort,
         r.timing.compute, r.timing.write);
+  }
+  for (const std::string& json : extra_) {
+    out += ",\n";
+    out += json;
   }
   out += "\n],\"displayTimeUnit\":\"ms\"}\n";
   return out;

@@ -1,19 +1,24 @@
 #ifndef REDOOP_MAPREDUCE_TRACE_H_
 #define REDOOP_MAPREDUCE_TRACE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "mapreduce/task.h"
+#include "obs/event_journal.h"
 
 namespace redoop {
 
-/// Exports task execution timelines in the Chrome trace-event format
-/// (load the file in chrome://tracing or https://ui.perfetto.dev): one
-/// lane per cluster node, one slice per task attempt, with the phase
-/// breakdown in the slice arguments. Simulated seconds are rendered as
-/// trace microseconds.
+/// Exports execution timelines in the Chrome trace-event format (load the
+/// file in chrome://tracing or https://ui.perfetto.dev). Three processes:
+///   pid 1 — task attempts, one lane per cluster node, one slice per
+///           attempt with the phase breakdown in the slice arguments;
+///   pid 2 — cache lifetimes, one lane per node, one slice per cache from
+///           its materialization to its eviction/invalidation/purge;
+///   pid 3 — counter series (cache occupancy bytes, tasks running).
+/// Simulated seconds are rendered as trace microseconds.
 class TraceWriter {
  public:
   TraceWriter() = default;
@@ -22,7 +27,27 @@ class TraceWriter {
   void AddJob(const std::string& job_label,
               const std::vector<TaskReport>& reports);
 
-  size_t event_count() const { return events_.size(); }
+  /// Adds one sample of a counter series ("C" event in the counters
+  /// process).
+  void AddCounterSample(const std::string& series, double time_s,
+                        double value);
+
+  /// Adds one cache's lifetime as a slice in the caches process, laned by
+  /// the node holding it.
+  void AddCacheSpan(const std::string& name, int64_t node, double start_s,
+                    double end_s, int64_t bytes, const std::string& kind);
+
+  /// Reconstructs visualization lanes from a structured event journal:
+  ///   - per-node cache-lifetime slices (cache.add until the matching
+  ///     cache.evict / cache.invalidate / cache.purge; caches still live
+  ///     at the journal's end close at its last event time);
+  ///   - a "cache_bytes" occupancy counter stepped at every transition;
+  ///   - a "tasks_running" counter from sched.assign (+1) and
+  ///     task.finish / task.fail (-1) deltas.
+  void AddJournal(const obs::EventJournal& journal);
+
+  /// Slices + counter samples + spans added so far (metadata excluded).
+  size_t event_count() const { return events_.size() + extra_.size(); }
 
   /// The complete trace as Chrome trace JSON.
   std::string ToJson() const;
@@ -37,6 +62,8 @@ class TraceWriter {
   };
 
   std::vector<Event> events_;
+  /// Pre-rendered JSON objects for counter/cache/metadata events.
+  std::vector<std::string> extra_;
 };
 
 }  // namespace redoop

@@ -1,0 +1,310 @@
+#include "obs/event_journal.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_utils.h"
+#include "obs/metric_registry.h"
+
+namespace redoop {
+namespace obs {
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Event& Event::With(std::string_view key, std::string_view value) {
+  EventField f;
+  f.key = std::string(key);
+  f.kind = EventField::Kind::kString;
+  f.str = std::string(value);
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+Event& Event::With(std::string_view key, double value) {
+  EventField f;
+  f.key = std::string(key);
+  f.kind = EventField::Kind::kDouble;
+  f.f64 = value;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+Event& Event::WithInt(std::string_view key, int64_t value) {
+  EventField f;
+  f.key = std::string(key);
+  f.kind = EventField::Kind::kInt;
+  f.i64 = value;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+const EventField* Event::Find(std::string_view key) const {
+  for (const auto& f : fields_) {
+    if (f.key == key) return &f;
+  }
+  return nullptr;
+}
+
+int64_t Event::IntOr(std::string_view key, int64_t fallback) const {
+  const EventField* f = Find(key);
+  if (f == nullptr) return fallback;
+  if (f->kind == EventField::Kind::kInt) return f->i64;
+  if (f->kind == EventField::Kind::kDouble) {
+    return static_cast<int64_t>(f->f64);
+  }
+  return fallback;
+}
+
+double Event::DoubleOr(std::string_view key, double fallback) const {
+  const EventField* f = Find(key);
+  if (f == nullptr) return fallback;
+  if (f->kind == EventField::Kind::kDouble) return f->f64;
+  if (f->kind == EventField::Kind::kInt) return static_cast<double>(f->i64);
+  return fallback;
+}
+
+std::string Event::StrOr(std::string_view key,
+                         std::string_view fallback) const {
+  const EventField* f = Find(key);
+  if (f == nullptr || f->kind != EventField::Kind::kString) {
+    return std::string(fallback);
+  }
+  return f->str;
+}
+
+std::string Event::ToJson() const {
+  std::string out = StringPrintf("{\"t\":%.6f,\"type\":\"%s\"", time_,
+                                 JsonEscape(type_).c_str());
+  for (const auto& f : fields_) {
+    out += StringPrintf(",\"%s\":", JsonEscape(f.key).c_str());
+    switch (f.kind) {
+      case EventField::Kind::kString:
+        out += StringPrintf("\"%s\"", JsonEscape(f.str).c_str());
+        break;
+      case EventField::Kind::kInt:
+        out += StringPrintf("%lld", static_cast<long long>(f.i64));
+        break;
+      case EventField::Kind::kDouble: {
+        std::string repr = FormatDouble(f.f64);
+        // Keep doubles round-trippable as doubles: a bare integer repr
+        // would re-parse as an int field.
+        if (repr.find('.') == std::string::npos &&
+            repr.find('e') == std::string::npos &&
+            repr.find("inf") == std::string::npos &&
+            repr.find("nan") == std::string::npos) {
+          repr += ".0";
+        }
+        out += repr;
+        break;
+      }
+    }
+  }
+  out += "}";
+  return out;
+}
+
+void EventJournal::SetCommonField(std::string key, std::string value) {
+  for (auto& [k, v] : common_fields_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  common_fields_.emplace_back(std::move(key), std::move(value));
+}
+
+Event& EventJournal::Append(double time, std::string type) {
+  events_.emplace_back(time, std::move(type));
+  Event& e = events_.back();
+  for (const auto& [key, value] : common_fields_) {
+    e.With(key, value);
+  }
+  return e;
+}
+
+size_t EventJournal::CountType(std::string_view type) const {
+  size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.type() == type) ++n;
+  }
+  return n;
+}
+
+std::string EventJournal::ToJsonl() const {
+  std::string out;
+  for (const auto& e : events_) {
+    out += e.ToJson();
+    out += '\n';
+  }
+  return out;
+}
+
+Status EventJournal::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open " + path + " for writing");
+  }
+  const std::string body = ToJsonl();
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) {
+    return Status::Unavailable("short write to " + path);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Minimal scanner for the journal's own output format: one flat JSON
+// object per line, keys and string values with the escapes JsonEscape
+// emits, numbers as printf renders them.
+class LineParser {
+ public:
+  explicit LineParser(std::string_view line) : s_(line) {}
+
+  Status Run(EventJournal* out) {
+    if (!Consume('{')) return Error("expected '{'");
+    double time = 0.0;
+    std::string key;
+    if (!ParseString(&key) || key != "t" || !Consume(':')) {
+      return Error("expected \"t\" field first");
+    }
+    std::string number;
+    bool is_double = false;
+    if (!ParseNumber(&number, &is_double)) return Error("bad time");
+    time = std::strtod(number.c_str(), nullptr);
+    if (!Consume(',')) return Error("expected ','");
+    if (!ParseString(&key) || key != "type" || !Consume(':')) {
+      return Error("expected \"type\" field second");
+    }
+    std::string type;
+    if (!ParseString(&type)) return Error("bad type");
+    Event& e = out->Append(time, std::move(type));
+    while (Consume(',')) {
+      if (!ParseString(&key) || !Consume(':')) return Error("bad field key");
+      if (Peek() == '"') {
+        std::string value;
+        if (!ParseString(&value)) return Error("bad string value");
+        e.With(key, value);
+      } else {
+        if (!ParseNumber(&number, &is_double)) return Error("bad number");
+        if (is_double) {
+          e.With(key, std::strtod(number.c_str(), nullptr));
+        } else {
+          e.With(key, static_cast<int64_t>(
+                          std::strtoll(number.c_str(), nullptr, 10)));
+        }
+      }
+    }
+    if (!Consume('}')) return Error("expected '}'");
+    return Status::OK();
+  }
+
+ private:
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  bool Consume(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        char esc = s_[pos_++];
+        switch (esc) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            const std::string hex(s_.substr(pos_, 4));
+            pos_ += 4;
+            out->push_back(static_cast<char>(
+                std::strtol(hex.c_str(), nullptr, 16)));
+            break;
+          }
+          default: out->push_back(esc);
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Consume('"');
+  }
+
+  bool ParseNumber(std::string* out, bool* is_double) {
+    out->clear();
+    *is_double = false;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E' || c == 'i' || c == 'n' || c == 'f' ||
+          c == 'a') {
+        if (c == '.' || c == 'e' || c == 'E' || c == 'i' || c == 'n') {
+          *is_double = true;
+        }
+        out->push_back(c);
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return !out->empty();
+  }
+
+  Status Error(const char* what) const {
+    return Status::InvalidArgument(
+        StringPrintf("journal parse error at offset %zu: %s", pos_, what));
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status EventJournal::Parse(std::string_view jsonl, EventJournal* out) {
+  size_t start = 0;
+  while (start < jsonl.size()) {
+    size_t end = jsonl.find('\n', start);
+    if (end == std::string_view::npos) end = jsonl.size();
+    std::string_view line = jsonl.substr(start, end - start);
+    if (!line.empty()) {
+      Status s = LineParser(line).Run(out);
+      if (!s.ok()) return s;
+    }
+    start = end + 1;
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace redoop

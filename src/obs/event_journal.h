@@ -1,0 +1,165 @@
+#ifndef REDOOP_OBS_EVENT_JOURNAL_H_
+#define REDOOP_OBS_EVENT_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace redoop {
+namespace obs {
+
+/// One typed key/value field of an event. Field order is insertion order,
+/// which keeps serialized journals deterministic.
+struct EventField {
+  enum class Kind { kString, kInt, kDouble };
+
+  std::string key;
+  Kind kind = Kind::kString;
+  std::string str;
+  int64_t i64 = 0;
+  double f64 = 0.0;
+};
+
+/// A structured, sim-timestamped decision record. Built fluently:
+///
+///   journal.Append(now, event::kCacheAdd)
+///       .With("name", sig.name).With("node", sig.node)
+///       .With("bytes", sig.bytes);
+///
+/// Serialized as one JSON object per line:
+///   {"t":123.456000,"type":"cache.add","name":"...","node":3,...}
+class Event {
+ public:
+  Event(double time, std::string type)
+      : time_(time), type_(std::move(type)) {}
+
+  Event& With(std::string_view key, std::string_view value);
+  Event& With(std::string_view key, const char* value) {
+    return With(key, std::string_view(value));
+  }
+  Event& With(std::string_view key, const std::string& value) {
+    return With(key, std::string_view(value));
+  }
+  Event& With(std::string_view key, double value);
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  Event& With(std::string_view key, T value) {
+    return WithInt(key, static_cast<int64_t>(value));
+  }
+
+  double time() const { return time_; }
+  const std::string& type() const { return type_; }
+  const std::vector<EventField>& fields() const { return fields_; }
+
+  /// Field lookup helpers for consumers (trace reconstruction, tests).
+  const EventField* Find(std::string_view key) const;
+  int64_t IntOr(std::string_view key, int64_t fallback) const;
+  double DoubleOr(std::string_view key, double fallback) const;
+  std::string StrOr(std::string_view key, std::string_view fallback) const;
+
+  /// One JSON object, no trailing newline. Doubles are printed with %.6f
+  /// (time) / %.6g (fields); both are stable under parse → re-serialize.
+  std::string ToJson() const;
+
+ private:
+  Event& WithInt(std::string_view key, int64_t value);
+
+  double time_ = 0.0;
+  std::string type_;
+  std::vector<EventField> fields_;
+};
+
+/// Append-only journal of Events, exported as JSONL. Single-threaded like
+/// the rest of the simulator; determinism comes from append order plus
+/// fixed-format serialization.
+class EventJournal {
+ public:
+  EventJournal() = default;
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+  EventJournal(EventJournal&&) = default;
+  EventJournal& operator=(EventJournal&&) = default;
+
+  /// Common fields are prepended (in registration order) to every event
+  /// appended afterwards — e.g. system=redoop for multi-system CLI runs.
+  void SetCommonField(std::string key, std::string value);
+
+  /// Appends an event and returns it for fluent .With(...) chaining. The
+  /// reference is valid until the next Append.
+  Event& Append(double time, std::string type);
+
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const std::vector<Event>& events() const { return events_; }
+  size_t CountType(std::string_view type) const;
+
+  std::string ToJsonl() const;
+  Status WriteFile(const std::string& path) const;
+
+  /// Parses journal text in the exact format ToJsonl emits (used by tests
+  /// and by TraceWriter when re-loading a journal from disk). Not a general
+  /// JSON parser: one object per line, flat string/number fields.
+  static Status Parse(std::string_view jsonl, EventJournal* out);
+
+  void Clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+  std::vector<std::pair<std::string, std::string>> common_fields_;
+};
+
+/// Event type names. Keeping them in one place documents the schema and
+/// guards against drift between emitters, tests, and trace reconstruction.
+namespace event {
+
+// Cache decisions (window-aware cache controller + local stores).
+inline constexpr const char* kCacheAdd = "cache.add";
+inline constexpr const char* kCacheEvict = "cache.evict";
+inline constexpr const char* kCacheInvalidate = "cache.invalidate";
+inline constexpr const char* kCacheRebuild = "cache.rebuild";
+inline constexpr const char* kCachePurge = "cache.purge";
+inline constexpr const char* kCachePaneHit = "cache.pane.hit";
+inline constexpr const char* kCachePaneMiss = "cache.pane.miss";
+inline constexpr const char* kCachePairHit = "cache.pair.hit";
+inline constexpr const char* kCachePairMiss = "cache.pair.miss";
+
+// Pane readiness transitions (ready bit 0 -> 1 -> 2, paper §4.2).
+inline constexpr const char* kPaneReady = "pane.ready";
+// Cache-status-matrix transitions (join pair bookkeeping, paper §4.3).
+inline constexpr const char* kMatrixDone = "matrix.done";
+inline constexpr const char* kMatrixShift = "matrix.shift";
+
+// Scheduler decisions.
+inline constexpr const char* kSchedAssign = "sched.assign";
+
+// Profiler prediction vs. actual (Holt forecast, paper §4.4).
+inline constexpr const char* kProfilerObserve = "profiler.observe";
+
+// DFS activity.
+inline constexpr const char* kDfsRead = "dfs.read";
+inline constexpr const char* kDfsFileCreate = "dfs.file.create";
+inline constexpr const char* kDfsFileDelete = "dfs.file.delete";
+inline constexpr const char* kDfsNodeFailed = "dfs.node.failed";
+
+// Task attempt lifecycle.
+inline constexpr const char* kTaskFinish = "task.finish";
+inline constexpr const char* kTaskFail = "task.fail";
+inline constexpr const char* kTaskSpeculate = "task.speculate";
+inline constexpr const char* kJobStart = "job.start";
+inline constexpr const char* kJobFinish = "job.finish";
+
+// Recurring-window lifecycle.
+inline constexpr const char* kWindowOpen = "window.open";
+inline constexpr const char* kWindowTrigger = "window.trigger";
+inline constexpr const char* kWindowComplete = "window.complete";
+
+}  // namespace event
+
+}  // namespace obs
+}  // namespace redoop
+
+#endif  // REDOOP_OBS_EVENT_JOURNAL_H_

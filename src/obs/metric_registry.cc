@@ -1,0 +1,272 @@
+#include "obs/metric_registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_utils.h"
+
+namespace redoop {
+namespace obs {
+
+std::string FormatDouble(double value) {
+  if (value == 0.0) return "0";  // Collapses -0 as well.
+  std::string s = StringPrintf("%.6g", value);
+  return s;
+}
+
+int32_t Histogram::BucketIndex(double value) {
+  if (!(value > kMinTrackable)) return 0;
+  // log2(value / kMinTrackable) octaves above the floor, subdivided.
+  const double octaves = std::log2(value / kMinTrackable);
+  return 1 + static_cast<int32_t>(octaves * kSubBucketsPerOctave);
+}
+
+double Histogram::BucketMidpoint(int32_t index) {
+  if (index <= 0) return kMinTrackable;
+  const double lower =
+      kMinTrackable *
+      std::exp2(static_cast<double>(index - 1) / kSubBucketsPerOctave);
+  const double upper =
+      kMinTrackable * std::exp2(static_cast<double>(index) / kSubBucketsPerOctave);
+  return std::sqrt(lower * upper);
+}
+
+void Histogram::Record(double value) {
+  if (snapshot_.count == 0) {
+    snapshot_.min = value;
+    snapshot_.max = value;
+  } else {
+    snapshot_.min = std::min(snapshot_.min, value);
+    snapshot_.max = std::max(snapshot_.max, value);
+  }
+  ++snapshot_.count;
+  snapshot_.sum += value;
+  ++snapshot_.buckets[BucketIndex(value)];
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  // Nearest-rank on the bucketed distribution: find the bucket holding
+  // the ceil(q * count)-th observation.
+  const int64_t rank = std::max<int64_t>(1, static_cast<int64_t>(
+                                                std::ceil(q * count)));
+  int64_t seen = 0;
+  for (const auto& [index, bucket_count] : buckets) {
+    seen += bucket_count;
+    if (seen >= rank) {
+      return std::clamp(Histogram::BucketMidpoint(index), min, max);
+    }
+  }
+  return max;
+}
+
+void HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  sum += other.sum;
+  count += other.count;
+  for (const auto& [index, bucket_count] : other.buckets) {
+    buckets[index] += bucket_count;
+  }
+}
+
+int64_t MetricsSnapshot::Counter(std::string_view name) const {
+  auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+double MetricsSnapshot::Gauge(std::string_view name) const {
+  auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? 0.0 : it->second;
+}
+
+double MetricsSnapshot::HitRate(std::string_view hits,
+                                std::string_view misses) const {
+  const double h = static_cast<double>(Counter(hits));
+  const double total = h + static_cast<double>(Counter(misses));
+  return total > 0.0 ? h / total : 0.0;
+}
+
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] = value;
+  for (const auto& [name, histogram] : other.histograms) {
+    histograms[name].MergeFrom(histogram);
+  }
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += StringPrintf("counter   %-44s %lld\n", name.c_str(),
+                        static_cast<long long>(value));
+  }
+  for (const auto& [name, value] : gauges) {
+    out += StringPrintf("gauge     %-44s %s\n", name.c_str(),
+                        FormatDouble(value).c_str());
+  }
+  for (const auto& [name, h] : histograms) {
+    out += StringPrintf(
+        "histogram %-44s count=%lld mean=%s p50=%s p95=%s p99=%s max=%s\n",
+        name.c_str(), static_cast<long long>(h.count),
+        FormatDouble(h.Mean()).c_str(), FormatDouble(h.P50()).c_str(),
+        FormatDouble(h.P95()).c_str(), FormatDouble(h.P99()).c_str(),
+        FormatDouble(h.max).c_str());
+  }
+  return out;
+}
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += StringPrintf("%s\n    \"%s\": %lld", first ? "" : ",",
+                        JsonEscape(name).c_str(),
+                        static_cast<long long>(value));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += StringPrintf("%s\n    \"%s\": %s", first ? "" : ",",
+                        JsonEscape(name).c_str(), FormatDouble(value).c_str());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += StringPrintf(
+        "%s\n    \"%s\": {\"count\": %lld, \"sum\": %s, \"min\": %s, "
+        "\"max\": %s, \"mean\": %s, \"p50\": %s, \"p95\": %s, \"p99\": %s}",
+        first ? "" : ",", JsonEscape(name).c_str(),
+        static_cast<long long>(h.count), FormatDouble(h.sum).c_str(),
+        FormatDouble(h.min).c_str(), FormatDouble(h.max).c_str(),
+        FormatDouble(h.Mean()).c_str(), FormatDouble(h.P50()).c_str(),
+        FormatDouble(h.P95()).c_str(), FormatDouble(h.P99()).c_str());
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToCsv() const {
+  std::string out = "kind,name,value,count,sum,min,max,p50,p95,p99\n";
+  for (const auto& [name, value] : counters) {
+    out += StringPrintf("counter,%s,%lld,,,,,,,\n", name.c_str(),
+                        static_cast<long long>(value));
+  }
+  for (const auto& [name, value] : gauges) {
+    out += StringPrintf("gauge,%s,%s,,,,,,,\n", name.c_str(),
+                        FormatDouble(value).c_str());
+  }
+  for (const auto& [name, h] : histograms) {
+    out += StringPrintf("histogram,%s,,%lld,%s,%s,%s,%s,%s,%s\n", name.c_str(),
+                        static_cast<long long>(h.count),
+                        FormatDouble(h.sum).c_str(), FormatDouble(h.min).c_str(),
+                        FormatDouble(h.max).c_str(), FormatDouble(h.P50()).c_str(),
+                        FormatDouble(h.P95()).c_str(),
+                        FormatDouble(h.P99()).c_str());
+  }
+  return out;
+}
+
+Counter& MetricRegistry::GetCounter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricRegistry::GetGauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricRegistry::GetHistogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricRegistry::Increment(std::string_view name, int64_t delta) {
+  GetCounter(name).Increment(delta);
+}
+
+void MetricRegistry::SetGauge(std::string_view name, double value) {
+  GetGauge(name).Set(value);
+}
+
+void MetricRegistry::AddGauge(std::string_view name, double delta) {
+  GetGauge(name).Add(delta);
+}
+
+void MetricRegistry::Record(std::string_view name, double value) {
+  GetHistogram(name).Record(value);
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Snapshot();
+  }
+  return snapshot;
+}
+
+void MetricRegistry::Reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace obs
+}  // namespace redoop

@@ -1,0 +1,150 @@
+#ifndef REDOOP_OBS_METRIC_REGISTRY_H_
+#define REDOOP_OBS_METRIC_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace redoop {
+namespace obs {
+
+/// Immutable view of one log-bucketed histogram (see Histogram below for
+/// the bucket layout). Snapshots of the same histogram name merge exactly:
+/// bucket counts add, min/max/sum/count combine losslessly.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< Exact smallest recorded value (0 when empty).
+  double max = 0.0;  ///< Exact largest recorded value (0 when empty).
+  /// Sparse bucket counts keyed by bucket index; only non-empty buckets
+  /// are stored, so wide dynamic ranges stay cheap.
+  std::map<int32_t, int64_t> buckets;
+
+  double Mean() const { return count > 0 ? sum / count : 0.0; }
+
+  /// Approximate quantile for q in [0, 1]. The answer is the geometric
+  /// midpoint of the bucket containing the rank, clamped to [min, max],
+  /// so the relative error is bounded by half a bucket width (~4.5% with
+  /// the default 2^(1/8) growth). Exact at q=0 (min) and q=1 (max).
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+
+  void MergeFrom(const HistogramSnapshot& other);
+};
+
+/// Point-in-time copy of a whole registry. Ordered maps make every
+/// exporter deterministic: identical runs serialize byte-identically.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Counter value, or 0 when the counter was never touched.
+  int64_t Counter(std::string_view name) const;
+  /// Gauge value, or 0.0 when absent.
+  double Gauge(std::string_view name) const;
+
+  /// hits / (hits + misses), or 0.0 when neither counter fired. The
+  /// standard shape for cache hit-rate assertions in benches.
+  double HitRate(std::string_view hits, std::string_view misses) const;
+
+  /// Counters add, histograms merge bucket-wise, gauges take `other`'s
+  /// value (last writer wins — a gauge is a level, not a total).
+  void MergeFrom(const MetricsSnapshot& other);
+
+  /// Human-readable table, one metric per line.
+  std::string ToText() const;
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Histograms export count/sum/min/max/mean/p50/p95/p99.
+  std::string ToJson() const;
+  /// CSV with header kind,name,value,count,sum,min,max,p50,p95,p99.
+  std::string ToCsv() const;
+};
+
+/// Monotonic counter. Not thread-safe; the simulator is single-threaded.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Instantaneous level (bytes cached, entries resident, ...).
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log-bucketed histogram over positive doubles. Buckets grow by
+/// 2^(1/kSubBucketsPerOctave) (~9.05% wide), giving bounded relative
+/// error for quantiles while storing only the non-empty buckets.
+/// Values at or below kMinTrackable collapse into bucket 0.
+class Histogram {
+ public:
+  static constexpr int kSubBucketsPerOctave = 8;
+  static constexpr double kMinTrackable = 1e-9;
+
+  void Record(double value);
+
+  int64_t count() const { return snapshot_.count; }
+  HistogramSnapshot Snapshot() const { return snapshot_; }
+
+  /// Bucket index for a value (0 for values <= kMinTrackable).
+  static int32_t BucketIndex(double value);
+  /// Geometric midpoint used as the representative of bucket `index`.
+  static double BucketMidpoint(int32_t index);
+
+ private:
+  HistogramSnapshot snapshot_;
+};
+
+/// Named metric registry. Instance-based rather than a global singleton so
+/// concurrent simulated systems (e.g. redoop vs. hadoop in one CLI run)
+/// keep separate books and runs stay deterministic. Get* creates on first
+/// use and returns a stable reference; a name keeps one kind for its
+/// lifetime (checked).
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  /// One-shot conveniences for call sites without a cached handle.
+  void Increment(std::string_view name, int64_t delta = 1);
+  void SetGauge(std::string_view name, double value);
+  void AddGauge(std::string_view name, double delta);
+  void Record(std::string_view name, double value);
+
+  MetricsSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Deterministic double formatting shared by all obs exporters: %.6g for
+/// general values, with "-0" normalized to "0" so snapshots never differ
+/// by sign of zero.
+std::string FormatDouble(double value);
+
+}  // namespace obs
+}  // namespace redoop
+
+#endif  // REDOOP_OBS_METRIC_REGISTRY_H_

@@ -1,0 +1,383 @@
+// Tests for the observability layer: metric registry semantics, histogram
+// quantile accuracy, snapshot merging, event-journal JSONL round-trips,
+// and end-to-end determinism of instrumented driver runs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/redoop_driver.h"
+#include "obs/event_journal.h"
+#include "obs/metric_registry.h"
+#include "obs/observability.h"
+#include "tests/test_util.h"
+
+namespace redoop {
+namespace {
+
+using ::redoop::testing::MakeWccFeed;
+using ::redoop::testing::SmallClusterConfig;
+
+// ---------------------------------------------------------------------------
+// MetricRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricRegistryTest, CounterSemantics) {
+  obs::MetricRegistry registry;
+  registry.Increment("a");
+  registry.Increment("a", 4);
+  registry.Increment("b", 0);
+  EXPECT_EQ(registry.GetCounter("a").value(), 5);
+  EXPECT_EQ(registry.GetCounter("b").value(), 0);
+
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.Counter("a"), 5);
+  EXPECT_EQ(snap.Counter("b"), 0);
+  EXPECT_EQ(snap.Counter("never-touched"), 0) << "absent counters read as 0";
+}
+
+TEST(MetricRegistryTest, GaugeSetAndAdd) {
+  obs::MetricRegistry registry;
+  registry.SetGauge("level", 10.0);
+  registry.AddGauge("level", -2.5);
+  EXPECT_DOUBLE_EQ(registry.Snapshot().Gauge("level"), 7.5);
+  registry.SetGauge("level", 1.0);
+  EXPECT_DOUBLE_EQ(registry.Snapshot().Gauge("level"), 1.0)
+      << "Set overwrites, it does not accumulate";
+}
+
+TEST(MetricRegistryTest, StableReferencesAcrossInsertions) {
+  obs::MetricRegistry registry;
+  obs::Counter& a = registry.GetCounter("a");
+  for (int i = 0; i < 100; ++i) {
+    registry.Increment("c" + std::to_string(i));
+  }
+  a.Increment(7);
+  EXPECT_EQ(registry.Snapshot().Counter("a"), 7)
+      << "handles must survive later registrations";
+}
+
+TEST(MetricRegistryTest, ResetClearsEverything) {
+  obs::MetricRegistry registry;
+  registry.Increment("c", 3);
+  registry.SetGauge("g", 1.0);
+  registry.Record("h", 2.0);
+  registry.Reset();
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(MetricsSnapshotTest, HitRate) {
+  obs::MetricRegistry registry;
+  EXPECT_DOUBLE_EQ(registry.Snapshot().HitRate("h", "m"), 0.0)
+      << "no observations -> 0, not NaN";
+  registry.Increment("h", 3);
+  registry.Increment("m", 1);
+  EXPECT_DOUBLE_EQ(registry.Snapshot().HitRate("h", "m"), 0.75);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram quantiles
+// ---------------------------------------------------------------------------
+
+/// Exact nearest-rank quantile of a sorted vector.
+double ExactQuantile(const std::vector<double>& sorted, double q) {
+  const size_t n = sorted.size();
+  size_t rank = static_cast<size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+TEST(HistogramTest, QuantilesOnUniformDistribution) {
+  obs::MetricRegistry registry;
+  std::vector<double> values;
+  for (int i = 1; i <= 1000; ++i) {
+    values.push_back(static_cast<double>(i));
+    registry.Record("h", static_cast<double>(i));
+  }
+  const obs::HistogramSnapshot h = registry.Snapshot().histograms.at("h");
+  EXPECT_EQ(h.count, 1000);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 1000.0);
+  EXPECT_DOUBLE_EQ(h.sum, 500500.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0) << "q=0 is the exact min";
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1000.0) << "q=1 is the exact max";
+
+  // Bucket growth is 2^(1/8) (~9.05%), so the midpoint representative is
+  // within ~4.6% of any value in the bucket.
+  for (const double q : {0.50, 0.95, 0.99}) {
+    const double exact = ExactQuantile(values, q);
+    const double approx = h.Quantile(q);
+    EXPECT_NEAR(approx, exact, exact * 0.05)
+        << "q=" << q << " exact=" << exact << " approx=" << approx;
+  }
+}
+
+TEST(HistogramTest, QuantilesOnSkewedDistribution) {
+  // 95 fast observations at ~1.0 and 5 slow outliers at ~100.0: p50 must
+  // report the fast mode, p99 the slow tail.
+  obs::Histogram hist;
+  std::vector<double> values;
+  for (int i = 0; i < 95; ++i) {
+    const double v = 1.0 + 0.01 * i;
+    values.push_back(v);
+    hist.Record(v);
+  }
+  for (int i = 0; i < 5; ++i) {
+    const double v = 100.0 + i;
+    values.push_back(v);
+    hist.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  const obs::HistogramSnapshot h = hist.Snapshot();
+  EXPECT_NEAR(h.Quantile(0.50), ExactQuantile(values, 0.50),
+              ExactQuantile(values, 0.50) * 0.05);
+  EXPECT_NEAR(h.Quantile(0.99), ExactQuantile(values, 0.99),
+              ExactQuantile(values, 0.99) * 0.05);
+  EXPECT_GT(h.Quantile(0.99), 50.0) << "tail must not collapse into the mode";
+  EXPECT_LT(h.Quantile(0.50), 2.5) << "mode must not absorb the tail";
+}
+
+TEST(HistogramTest, TinyAndZeroValuesCollapseIntoBucketZero) {
+  obs::Histogram hist;
+  hist.Record(0.0);
+  hist.Record(1e-12);
+  const obs::HistogramSnapshot h = hist.Snapshot();
+  EXPECT_EQ(h.count, 2);
+  EXPECT_EQ(h.buckets.count(0), 1u);
+  EXPECT_LE(h.Quantile(0.5), obs::Histogram::kMinTrackable);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot merge
+// ---------------------------------------------------------------------------
+
+TEST(MetricsSnapshotTest, MergeCombinesCountersGaugesHistograms) {
+  obs::MetricRegistry a;
+  obs::MetricRegistry b;
+  a.Increment("shared", 2);
+  b.Increment("shared", 3);
+  b.Increment("only-b", 1);
+  a.SetGauge("g", 1.0);
+  b.SetGauge("g", 9.0);
+  for (int i = 1; i <= 50; ++i) a.Record("h", static_cast<double>(i));
+  for (int i = 51; i <= 100; ++i) b.Record("h", static_cast<double>(i));
+
+  obs::MetricsSnapshot merged = a.Snapshot();
+  merged.MergeFrom(b.Snapshot());
+  EXPECT_EQ(merged.Counter("shared"), 5) << "counters add";
+  EXPECT_EQ(merged.Counter("only-b"), 1);
+  EXPECT_DOUBLE_EQ(merged.Gauge("g"), 9.0) << "gauges take the newer level";
+
+  // The merged histogram must equal one built from all 100 values.
+  obs::MetricRegistry whole;
+  for (int i = 1; i <= 100; ++i) whole.Record("h", static_cast<double>(i));
+  const obs::HistogramSnapshot expect = whole.Snapshot().histograms.at("h");
+  const obs::HistogramSnapshot got = merged.histograms.at("h");
+  EXPECT_EQ(got.count, expect.count);
+  EXPECT_DOUBLE_EQ(got.sum, expect.sum);
+  EXPECT_DOUBLE_EQ(got.min, expect.min);
+  EXPECT_DOUBLE_EQ(got.max, expect.max);
+  EXPECT_EQ(got.buckets, expect.buckets) << "bucket-exact merge";
+  EXPECT_DOUBLE_EQ(got.P95(), expect.P95());
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST(MetricsSnapshotTest, ExportersAreDeterministicAndWellFormed) {
+  obs::MetricRegistry registry;
+  registry.Increment("z.counter", 5);
+  registry.Increment("a.counter", 1);
+  registry.SetGauge("g", -0.0);  // Negative zero must normalize.
+  registry.Record("lat", 0.25);
+
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"a.counter\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"z.counter\": 5"), std::string::npos);
+  EXPECT_LT(json.find("a.counter"), json.find("z.counter"))
+      << "exporters emit names sorted";
+  EXPECT_EQ(json.find("-0"), std::string::npos) << "no negative zero";
+
+  const std::string csv = snap.ToCsv();
+  EXPECT_EQ(csv.rfind("kind,name,value,count,sum,min,max,p50,p95,p99\n", 0),
+            0u);
+  EXPECT_NE(csv.find("counter,a.counter,1"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat,"), std::string::npos);
+  EXPECT_NE(snap.ToText().find("a.counter"), std::string::npos);
+
+  EXPECT_EQ(json, registry.Snapshot().ToJson()) << "snapshotting is stable";
+}
+
+// ---------------------------------------------------------------------------
+// EventJournal
+// ---------------------------------------------------------------------------
+
+TEST(EventJournalTest, FluentFieldsAndLookups) {
+  obs::EventJournal journal;
+  journal.Append(1.5, obs::event::kCacheAdd)
+      .With("name", std::string("RIC_Q1_S1P0_R0"))
+      .With("node", 3)
+      .With("bytes", int64_t{4096})
+      .With("score", 0.25);
+  const obs::Event& e = journal.events().front();
+  EXPECT_EQ(e.time(), 1.5);
+  EXPECT_EQ(e.type(), obs::event::kCacheAdd);
+  EXPECT_EQ(e.StrOr("name", ""), "RIC_Q1_S1P0_R0");
+  EXPECT_EQ(e.IntOr("node", -1), 3);
+  EXPECT_EQ(e.IntOr("bytes", -1), 4096);
+  EXPECT_DOUBLE_EQ(e.DoubleOr("score", 0.0), 0.25);
+  EXPECT_EQ(e.IntOr("absent", -7), -7);
+  EXPECT_EQ(e.Find("absent"), nullptr);
+}
+
+TEST(EventJournalTest, CommonFieldsApplyToLaterEventsOnly) {
+  obs::EventJournal journal;
+  journal.Append(0.0, "before");
+  journal.SetCommonField("system", "redoop");
+  journal.Append(1.0, "after");
+  EXPECT_EQ(journal.events()[0].Find("system"), nullptr);
+  EXPECT_EQ(journal.events()[1].StrOr("system", ""), "redoop");
+}
+
+TEST(EventJournalTest, JsonlRoundTripIsByteIdentical) {
+  obs::EventJournal journal;
+  journal.SetCommonField("system", "redoop");
+  journal.Append(0.0, obs::event::kWindowOpen).With("recurrence", 0);
+  journal.Append(12.25, obs::event::kCacheAdd)
+      .With("name", "quote\"and\\slash")
+      .With("bytes", int64_t{1} << 40)
+      .With("ratio", 0.333333)
+      .With("whole", 4.0);  // Integral-looking double must stay a double.
+  journal.Append(100.5, obs::event::kTaskFinish)
+      .With("kind", "map")
+      .With("duration", 1.75);
+
+  const std::string jsonl = journal.ToJsonl();
+  obs::EventJournal parsed;
+  ASSERT_TRUE(obs::EventJournal::Parse(jsonl, &parsed).ok());
+  ASSERT_EQ(parsed.size(), journal.size());
+  EXPECT_EQ(parsed.ToJsonl(), jsonl) << "parse -> serialize is the identity";
+
+  // Types survive: the integral-looking double is still a double.
+  const obs::Event& add = parsed.events()[1];
+  const obs::EventField* whole = add.Find("whole");
+  ASSERT_NE(whole, nullptr);
+  EXPECT_EQ(whole->kind, obs::EventField::Kind::kDouble);
+  const obs::EventField* bytes = add.Find("bytes");
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_EQ(bytes->kind, obs::EventField::Kind::kInt);
+  EXPECT_EQ(bytes->i64, int64_t{1} << 40);
+  EXPECT_EQ(add.StrOr("name", ""), "quote\"and\\slash");
+}
+
+TEST(EventJournalTest, CountType) {
+  obs::EventJournal journal;
+  journal.Append(0.0, "a");
+  journal.Append(1.0, "b");
+  journal.Append(2.0, "a");
+  EXPECT_EQ(journal.CountType("a"), 2u);
+  EXPECT_EQ(journal.CountType("b"), 1u);
+  EXPECT_EQ(journal.CountType("c"), 0u);
+}
+
+TEST(ObservabilityContextTest, TimeSourceStampsEmittedEvents) {
+  obs::ObservabilityContext ctx;
+  double now = 5.0;
+  ctx.SetTimeSource([&now] { return now; });
+  ctx.Emit("first");
+  now = 9.5;
+  ctx.Emit("second");
+  ctx.EmitAt(2.0, "explicit");
+  EXPECT_DOUBLE_EQ(ctx.journal().events()[0].time(), 5.0);
+  EXPECT_DOUBLE_EQ(ctx.journal().events()[1].time(), 9.5);
+  EXPECT_DOUBLE_EQ(ctx.journal().events()[2].time(), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: instrumented runs are deterministic and observable
+// ---------------------------------------------------------------------------
+
+struct InstrumentedRun {
+  std::string journal_jsonl;
+  std::string metrics_json;
+  obs::MetricsSnapshot snapshot;
+};
+
+InstrumentedRun RunInstrumentedAggregation() {
+  RecurringQuery query = MakeAggregationQuery(1, "obs", 1, 200, 40, 4);
+  Cluster cluster(6, SmallClusterConfig());
+  auto feed = MakeWccFeed(1, 30, 20);
+  obs::ObservabilityContext ctx;
+  ctx.journal().SetCommonField("system", "redoop");
+  RedoopDriverOptions options;
+  options.obs = &ctx;
+  RedoopDriver driver(&cluster, feed.get(), query, options);
+  RunReport report = driver.Run(3);
+  InstrumentedRun run;
+  run.journal_jsonl = ctx.journal().ToJsonl();
+  run.metrics_json = ctx.metrics().Snapshot().ToJson();
+  run.snapshot = report.observability;
+  return run;
+}
+
+TEST(ObservabilityIntegrationTest, IdenticalRunsProduceIdenticalArtifacts) {
+  const InstrumentedRun a = RunInstrumentedAggregation();
+  const InstrumentedRun b = RunInstrumentedAggregation();
+  EXPECT_EQ(a.journal_jsonl, b.journal_jsonl)
+      << "journals must be byte-identical across identical runs";
+  EXPECT_EQ(a.metrics_json, b.metrics_json)
+      << "metric snapshots must be byte-identical across identical runs";
+}
+
+TEST(ObservabilityIntegrationTest, OverlappingWindowsHitThePaneCaches) {
+  const InstrumentedRun run = RunInstrumentedAggregation();
+  const obs::MetricsSnapshot& m = run.snapshot;
+  EXPECT_GT(m.Counter(obs::metric::kCachePaneHits), 0)
+      << "warm windows must reuse panes cached by earlier recurrences";
+  EXPECT_GT(m.Counter(obs::metric::kCachePaneMisses), 0)
+      << "the cold window and each fresh pane are misses";
+  EXPECT_GT(m.HitRate(obs::metric::kCachePaneHits,
+                      obs::metric::kCachePaneMisses),
+            0.5)
+      << "win/slide = 5 panes of overlap per window";
+  EXPECT_EQ(m.Counter(obs::metric::kWindowsCompleted), 3);
+  EXPECT_GT(m.Counter(obs::metric::kTasksMap), 0);
+  EXPECT_GT(m.Counter(obs::metric::kTasksReduce), 0);
+  EXPECT_EQ(m.histograms.at(obs::metric::kWindowResponseTime).count, 3);
+
+  // The journal carries the decision events the trace reconstruction and
+  // the CLI depend on.
+  obs::EventJournal journal;
+  ASSERT_TRUE(obs::EventJournal::Parse(run.journal_jsonl, &journal).ok());
+  EXPECT_GT(journal.CountType(obs::event::kCacheAdd), 0u);
+  EXPECT_GT(journal.CountType(obs::event::kCachePaneHit), 0u);
+  EXPECT_GT(journal.CountType(obs::event::kSchedAssign), 0u);
+  EXPECT_GT(journal.CountType(obs::event::kProfilerObserve), 0u);
+  EXPECT_GT(journal.CountType(obs::event::kTaskFinish), 0u);
+  EXPECT_EQ(journal.CountType(obs::event::kWindowComplete), 3u);
+  for (const obs::Event& e : journal.events()) {
+    EXPECT_EQ(e.StrOr("system", ""), "redoop") << "common field on " << e.type();
+  }
+}
+
+TEST(ObservabilityIntegrationTest, DriverOwnsContextWhenNoneProvided) {
+  RecurringQuery query = MakeAggregationQuery(1, "own", 1, 200, 40, 4);
+  Cluster cluster(6, SmallClusterConfig());
+  auto feed = MakeWccFeed(1, 30, 20);
+  RedoopDriver driver(&cluster, feed.get(), query);
+  ASSERT_NE(driver.observability(), nullptr);
+  RunReport report = driver.Run(2);
+  EXPECT_GT(driver.observability()->journal().size(), 0u);
+  EXPECT_GT(report.observability.Counter(obs::metric::kCachePaneHits), 0);
+}
+
+}  // namespace
+}  // namespace redoop

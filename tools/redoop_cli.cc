@@ -28,6 +28,7 @@
 #include "common/math_utils.h"
 #include "common/string_utils.h"
 #include "core/redoop_driver.h"
+#include "obs/observability.h"
 #include "queries/aggregation_query.h"
 #include "queries/join_query.h"
 #include "workload/ffg_generator.h"
@@ -54,6 +55,8 @@ struct CliOptions {
   double proactive_threshold = 0.15;
   std::vector<std::string> systems = {"hadoop", "redoop"};
   std::string trace_path;
+  std::string events_path;
+  std::string metrics_path;
   Config cluster_config;
 };
 
@@ -75,7 +78,13 @@ void PrintUsage() {
       "  --proactive-threshold=F    adaptive budget fraction (default 0.15)\n"
       "  --systems=a,b,...          any of hadoop, redoop, adaptive,\n"
       "                             redoop-nocache, redoop-inputonly\n"
-      "  --trace=FILE               write a chrome://tracing task timeline\n"
+      "  --trace-out=FILE           write a chrome://tracing timeline (task\n"
+      "                             slices, cache lifetimes, counter series;\n"
+      "                             --trace= is an alias)\n"
+      "  --events-out=FILE          write the structured decision-event\n"
+      "                             journal (JSONL, one event per line)\n"
+      "  --metrics-out=FILE         write end-of-run metric snapshots as\n"
+      "                             JSON keyed by system\n"
       "  --set KEY=VALUE            raw cluster-config override (repeatable)\n"
       "  --help                     this text\n");
 }
@@ -135,8 +144,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->proactive_threshold = std::atof(value.c_str());
     } else if (ParseFlag(arg, "systems", &value)) {
       options->systems = SplitString(value, ',');
-    } else if (ParseFlag(arg, "trace", &value)) {
+    } else if (ParseFlag(arg, "trace", &value) ||
+               ParseFlag(arg, "trace-out", &value)) {
       options->trace_path = value;
+    } else if (ParseFlag(arg, "events-out", &value)) {
+      options->events_path = value;
+    } else if (ParseFlag(arg, "metrics-out", &value)) {
+      options->metrics_path = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
       return false;
@@ -181,15 +195,20 @@ RecurringQuery MakeQuery(const CliOptions& options) {
                               options.reducers);
 }
 
-RunReport RunSystem(const CliOptions& options, const std::string& system) {
+RunReport RunSystem(const CliOptions& options, const std::string& system,
+                    obs::ObservabilityContext* ctx) {
+  ctx->journal().SetCommonField("system", system);
   const RecurringQuery query = MakeQuery(options);
   Cluster cluster(options.nodes, options.cluster_config);
   auto feed = MakeFeed(options);
   if (system == "hadoop") {
-    HadoopRecurringDriver driver(&cluster, feed.get(), query);
+    JobRunnerOptions runner_options;
+    runner_options.obs = ctx;
+    HadoopRecurringDriver driver(&cluster, feed.get(), query, runner_options);
     return driver.Run(options.windows);
   }
   RedoopDriverOptions redoop_options;
+  redoop_options.obs = ctx;
   if (system == "adaptive") {
     redoop_options.adaptive = true;
     redoop_options.proactive_threshold = options.proactive_threshold;
@@ -227,8 +246,10 @@ int Main(int argc, char** argv) {
               options.spiked ? "  (spiked)" : "");
 
   std::vector<RunReport> reports;
+  std::vector<std::unique_ptr<obs::ObservabilityContext>> contexts;
   for (const std::string& system : options.systems) {
-    reports.push_back(RunSystem(options, system));
+    contexts.push_back(std::make_unique<obs::ObservabilityContext>());
+    reports.push_back(RunSystem(options, system, contexts.back().get()));
   }
 
   // Cross-check every system's results against the first.
@@ -271,7 +292,80 @@ int Main(int argc, char** argv) {
   for (const RunReport& r : reports) {
     std::printf(" %16.1f", r.TotalReduceTime());
   }
+  std::printf("\n");
+
+  // Cache reuse per window (pane + pair grain, from the drivers' hit/miss
+  // accounting; the Hadoop baseline caches nothing by design).
+  std::printf("\n%-8s", "cache");
+  for (const RunReport& r : reports) std::printf(" %16s", r.system.c_str());
+  std::printf("   (hits/misses per window)\n");
+  for (size_t w = 0; w < reports[0].windows.size(); ++w) {
+    std::printf("%-8zu", w + 1);
+    for (const RunReport& r : reports) {
+      const Counters& c = r.windows[w].counters;
+      const int64_t hits = c.Get(counter::kCachePaneHits) +
+                           c.Get(counter::kCachePairHits);
+      const int64_t misses = c.Get(counter::kCachePaneMisses) +
+                             c.Get(counter::kCachePairMisses);
+      std::printf(" %16s",
+                  StringPrintf("%ld/%ld", hits, misses).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("%-8s", "hit%");
+  for (const RunReport& r : reports) {
+    const obs::MetricsSnapshot& m = r.observability;
+    const int64_t hits = m.Counter(obs::metric::kCachePaneHits) +
+                         m.Counter(obs::metric::kCachePairHits);
+    const int64_t misses = m.Counter(obs::metric::kCachePaneMisses) +
+                           m.Counter(obs::metric::kCachePairMisses);
+    const double rate = hits + misses > 0
+                            ? 100.0 * static_cast<double>(hits) /
+                                  static_cast<double>(hits + misses)
+                            : 0.0;
+    std::printf(" %16.1f", rate);
+  }
   std::printf("\n\nall systems produced identical results in every window\n");
+
+  if (!options.metrics_path.empty()) {
+    std::string json = "{\n";
+    for (size_t i = 0; i < reports.size(); ++i) {
+      std::string body = reports[i].observability.ToJson();
+      while (!body.empty() && body.back() == '\n') body.pop_back();
+      json += "\"" + reports[i].system + "\": " + body;
+      json += i + 1 < reports.size() ? ",\n" : "\n";
+    }
+    json += "}\n";
+    std::FILE* f = std::fopen(options.metrics_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open metrics file: %s\n",
+                   options.metrics_path.c_str());
+      return 4;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("metric snapshots for %zu systems written to %s\n",
+                reports.size(), options.metrics_path.c_str());
+  }
+
+  if (!options.events_path.empty()) {
+    std::string jsonl;
+    size_t events = 0;
+    for (const auto& ctx : contexts) {
+      jsonl += ctx->journal().ToJsonl();
+      events += ctx->journal().size();
+    }
+    std::FILE* f = std::fopen(options.events_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open events file: %s\n",
+                   options.events_path.c_str());
+      return 4;
+    }
+    std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+    std::fclose(f);
+    std::printf("event journal with %zu events written to %s\n", events,
+                options.events_path.c_str());
+  }
 
   if (!options.trace_path.empty()) {
     TraceWriter writer;
@@ -281,13 +375,18 @@ int Main(int argc, char** argv) {
                       w.task_reports);
       }
     }
+    // Cache-lifetime lanes and counter series, reconstructed from the
+    // decision journals.
+    for (const auto& ctx : contexts) {
+      writer.AddJournal(ctx->journal());
+    }
     const Status status = writer.WriteFile(options.trace_path);
     if (!status.ok()) {
       std::fprintf(stderr, "trace export failed: %s\n",
                    status.ToString().c_str());
       return 4;
     }
-    std::printf("trace with %zu task slices written to %s\n",
+    std::printf("trace with %zu events written to %s\n",
                 writer.event_count(), options.trace_path.c_str());
   }
   return 0;
