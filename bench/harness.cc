@@ -1,0 +1,606 @@
+// bench_harness — runs the figure-reproduction and ablation experiment
+// suite (fig6-fig9, cache + scheduler ablations) in one process and emits
+// a canonical BENCH JSON document of flat dotted metrics:
+//
+//   {"bench": "redoop", "schema": 1, "config": "full", "metrics": {
+//    "fig6.overlap_90.warm_speedup": 7.9, ...}}
+//
+// All metrics are simulated-time quantities, so the document is
+// byte-identical across runs of the same binary — it is diffable with
+// `redoop_analyze diff` and checked against a baseline in CI.
+//
+// Flags:
+//   --smoke       small configuration (6 nodes, 3 windows, 30-min window)
+//                 for CI perf-smoke; full paper scale otherwise
+//   --out=FILE    write the BENCH JSON there (default BENCH_redoop.json)
+//   --only=SUBSTR run only benches whose name contains SUBSTR
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/hadoop_driver.h"
+#include "bench/bench_util.h"
+#include "common/string_utils.h"
+#include "core/redoop_driver.h"
+#include "obs/analysis/analysis.h"
+#include "obs/observability.h"
+#include "queries/aggregation_query.h"
+#include "queries/join_query.h"
+#include "workload/ffg_generator.h"
+#include "workload/rate_profile.h"
+#include "workload/synthetic_feed.h"
+#include "workload/wcc_generator.h"
+
+namespace redoop::bench {
+namespace {
+
+/// Experiment scale. "full" is the paper testbed; "smoke" shrinks every
+/// axis so the whole suite runs in CI seconds while keeping the same
+/// qualitative shape (cache wins, adaptive smoothing, failure overheads).
+struct Scale {
+  const char* name = "full";
+  int32_t nodes = kClusterNodes;
+  int64_t windows = kNumWindows;
+  Timestamp win = kWin;
+  Timestamp batch_interval = kBatchInterval;
+  int32_t reducers = kNumReducers;
+  double rps_factor = 1.0;
+  double fail_delay_s = 400.0;  // Node-failure injection offset (fig9).
+};
+
+Scale FullScale() { return Scale(); }
+
+Scale SmokeScale() {
+  Scale s;
+  s.name = "smoke";
+  s.nodes = 6;
+  s.windows = 3;
+  s.win = 1800;
+  s.batch_interval = 60;
+  s.reducers = 4;
+  s.rps_factor = 0.25;
+  s.fail_delay_s = 40.0;
+  return s;
+}
+
+/// Workload shape for one experiment (scale-independent part).
+struct WorkloadSpec {
+  double overlap = 0.9;
+  double rps = 8.0;  // Paper-scale records/second/source.
+  int32_t record_bytes = 2 * kBytesPerMB;
+  std::vector<int64_t> spiked_windows;
+  double spike_multiplier = 2.0;
+  uint64_t seed = 1998;
+};
+
+Timestamp SlideFor(const Scale& scale, double overlap) {
+  return static_cast<Timestamp>(
+      std::llround(static_cast<double>(scale.win) * (1.0 - overlap)));
+}
+
+std::shared_ptr<const RateProfile> MakeScaledRate(const Scale& scale,
+                                                  const WorkloadSpec& w) {
+  const double rps = w.rps * scale.rps_factor;
+  if (w.spiked_windows.empty()) return std::make_shared<ConstantRate>(rps);
+  return std::make_shared<WindowSpikeRate>(rps, w.spike_multiplier, scale.win,
+                                           SlideFor(scale, w.overlap),
+                                           w.spiked_windows);
+}
+
+std::unique_ptr<SyntheticFeed> MakeScaledWccFeed(const Scale& scale,
+                                                 const WorkloadSpec& w) {
+  auto feed = std::make_unique<SyntheticFeed>(scale.batch_interval);
+  WccGeneratorOptions options;
+  options.seed = w.seed;
+  options.record_logical_bytes = w.record_bytes;
+  feed->AddSource(1, std::make_shared<WccGenerator>(MakeScaledRate(scale, w),
+                                                    options));
+  return feed;
+}
+
+std::unique_ptr<SyntheticFeed> MakeScaledFfgFeed(const Scale& scale,
+                                                 const WorkloadSpec& w) {
+  auto feed = std::make_unique<SyntheticFeed>(scale.batch_interval);
+  FfgGeneratorOptions options;
+  options.seed = w.seed;
+  options.grid_cells_x = 180;
+  options.grid_cells_y = 180;
+  options.record_logical_bytes = w.record_bytes;
+  auto rate = MakeScaledRate(scale, w);
+  feed->AddSource(1, std::make_shared<FfgGenerator>(rate, options));
+  feed->AddSource(2, std::make_shared<FfgGenerator>(rate, options));
+  return feed;
+}
+
+/// One run's report plus its analyzed journal (critical path, slot-wait,
+/// cache attribution).
+struct AnalyzedRun {
+  RunReport report;
+  double critical_path_s = 0.0;
+  double critical_wait_s = 0.0;
+  double slot_wait_s = 0.0;  // Total task slot-wait, not just on-path.
+  double cache_hit_rate = 0.0;
+  int64_t cache_hit_bytes = 0;
+  int64_t stragglers = 0;
+};
+
+void Analyze(const obs::ObservabilityContext& ctx, AnalyzedRun* run) {
+  obs::analysis::RunAnalysis analysis;
+  const Status status =
+      AnalyzeJournal(ctx.journal(), obs::analysis::AnalysisOptions(), &analysis);
+  if (!status.ok() || analysis.systems.empty()) return;
+  const obs::analysis::SystemAnalysis& s = analysis.systems[0];
+  run->critical_path_s = s.TotalCriticalPath();
+  run->critical_wait_s = s.TotalCriticalPathWait();
+  run->slot_wait_s = s.TotalMapPhases().wait + s.TotalReducePhases().wait;
+  const obs::analysis::CacheStats cache = s.TotalCache();
+  run->cache_hit_rate = cache.HitRate();
+  run->cache_hit_bytes = cache.hit_bytes;
+  run->stragglers = s.TotalStragglers();
+}
+
+AnalyzedRun RunHadoopAnalyzed(const Scale& scale, const RecurringQuery& query,
+                              SyntheticFeed* feed) {
+  obs::ObservabilityContext ctx;
+  ctx.journal().SetCommonField("system", "hadoop");
+  Cluster cluster(scale.nodes, Config());
+  JobRunnerOptions options;
+  options.obs = &ctx;
+  HadoopRecurringDriver driver(&cluster, feed, query, options);
+  AnalyzedRun run;
+  run.report = driver.Run(scale.windows);
+  Analyze(ctx, &run);
+  return run;
+}
+
+AnalyzedRun RunRedoopAnalyzed(const Scale& scale, const RecurringQuery& query,
+                              SyntheticFeed* feed,
+                              RedoopDriverOptions options = {}) {
+  obs::ObservabilityContext ctx;
+  ctx.journal().SetCommonField("system", "redoop");
+  Cluster cluster(scale.nodes, Config());
+  options.obs = &ctx;
+  RedoopDriver driver(&cluster, feed, query, options);
+  AnalyzedRun run;
+  run.report = driver.Run(scale.windows);
+  Analyze(ctx, &run);
+  return run;
+}
+
+/// Ordered metric accumulator; insertion order is emission order, which
+/// keeps the BENCH JSON deterministic.
+class Metrics {
+ public:
+  void Add(const std::string& key, double value) {
+    values_.emplace_back(key, value);
+  }
+
+  std::string ToJson(const char* config) const {
+    std::string out = StringPrintf(
+        "{\"bench\": \"redoop\", \"schema\": 1, \"config\": \"%s\", "
+        "\"metrics\": {\n",
+        config);
+    for (size_t i = 0; i < values_.size(); ++i) {
+      out += StringPrintf("\"%s\": %s%s\n", values_[i].first.c_str(),
+                          obs::FormatDouble(values_[i].second).c_str(),
+                          i + 1 < values_.size() ? "," : "");
+    }
+    out += "}}\n";
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> values_;
+};
+
+void AddPairMetrics(const std::string& prefix, const AnalyzedRun& hadoop,
+                    const AnalyzedRun& redoop, Metrics* metrics) {
+  metrics->Add(prefix + ".hadoop_total_s", hadoop.report.TotalResponseTime());
+  metrics->Add(prefix + ".redoop_total_s", redoop.report.TotalResponseTime());
+  metrics->Add(prefix + ".warm_speedup",
+               WarmSpeedup(hadoop.report, redoop.report));
+  metrics->Add(prefix + ".hadoop_shuffle_s", hadoop.report.TotalShuffleTime());
+  metrics->Add(prefix + ".redoop_shuffle_s", redoop.report.TotalShuffleTime());
+  metrics->Add(prefix + ".hadoop_reduce_s", hadoop.report.TotalReduceTime());
+  metrics->Add(prefix + ".redoop_reduce_s", redoop.report.TotalReduceTime());
+  metrics->Add(prefix + ".hadoop_critical_path_s", hadoop.critical_path_s);
+  metrics->Add(prefix + ".redoop_critical_path_s", redoop.critical_path_s);
+  metrics->Add(prefix + ".hadoop_slot_wait_s", hadoop.slot_wait_s);
+  metrics->Add(prefix + ".redoop_slot_wait_s", redoop.slot_wait_s);
+  metrics->Add(prefix + ".redoop_cache_hit_rate", redoop.cache_hit_rate);
+  metrics->Add(prefix + ".redoop_cache_hit_gb",
+               static_cast<double>(redoop.cache_hit_bytes) / 1e9);
+}
+
+bool g_results_matched = true;
+
+void CheckMatch(const char* bench, const RunReport& a, const RunReport& b) {
+  if (ResultsMatch(a, b)) return;
+  std::fprintf(stderr, "%s: %s and %s produced different results\n", bench,
+               a.system.c_str(), b.system.c_str());
+  g_results_matched = false;
+}
+
+std::string OverlapKey(double overlap) {
+  return StringPrintf("overlap_%d",
+                      static_cast<int>(std::llround(overlap * 100.0)));
+}
+
+// --- fig6: recurring aggregation, Hadoop vs Redoop, 3 overlaps ----------
+
+void RunFig6(const Scale& scale, Metrics* metrics) {
+  for (const double overlap : {0.9, 0.5, 0.1}) {
+    WorkloadSpec w;
+    w.overlap = overlap;
+    w.rps = 8.0;
+    const RecurringQuery query =
+        MakeAggregationQuery(1, "fig6-agg", 1, scale.win,
+                             SlideFor(scale, overlap), scale.reducers);
+    auto hadoop_feed = MakeScaledWccFeed(scale, w);
+    const AnalyzedRun hadoop =
+        RunHadoopAnalyzed(scale, query, hadoop_feed.get());
+    auto redoop_feed = MakeScaledWccFeed(scale, w);
+    const AnalyzedRun redoop =
+        RunRedoopAnalyzed(scale, query, redoop_feed.get());
+    CheckMatch("fig6", hadoop.report, redoop.report);
+    AddPairMetrics("fig6." + OverlapKey(overlap), hadoop, redoop, metrics);
+  }
+}
+
+// --- fig7: recurring join, Hadoop vs Redoop, 3 overlaps -----------------
+
+WorkloadSpec JoinWorkload(double overlap) {
+  WorkloadSpec w;
+  w.overlap = overlap;
+  w.rps = 2.5;
+  w.record_bytes = 512 * 1024;
+  w.seed = 2013;
+  return w;
+}
+
+void RunFig7(const Scale& scale, Metrics* metrics) {
+  for (const double overlap : {0.9, 0.5, 0.1}) {
+    const WorkloadSpec w = JoinWorkload(overlap);
+    const RecurringQuery query =
+        MakeJoinQuery(2, "fig7-join", 1, 2, scale.win,
+                      SlideFor(scale, overlap), scale.reducers);
+    auto hadoop_feed = MakeScaledFfgFeed(scale, w);
+    const AnalyzedRun hadoop =
+        RunHadoopAnalyzed(scale, query, hadoop_feed.get());
+    auto redoop_feed = MakeScaledFfgFeed(scale, w);
+    const AnalyzedRun redoop =
+        RunRedoopAnalyzed(scale, query, redoop_feed.get());
+    CheckMatch("fig7", hadoop.report, redoop.report);
+    AddPairMetrics("fig7." + OverlapKey(overlap), hadoop, redoop, metrics);
+  }
+}
+
+// --- fig8: adaptive partitioning under spikes ---------------------------
+
+void RunFig8(const Scale& scale, Metrics* metrics) {
+  for (const double overlap : {0.9, 0.5, 0.1}) {
+    WorkloadSpec w;
+    w.overlap = overlap;
+    w.rps = 10.0;
+    w.spiked_windows = WindowSpikeRate::PaperSpikePattern(scale.windows);
+    const RecurringQuery query =
+        MakeAggregationQuery(3, "fig8-agg", 1, scale.win,
+                             SlideFor(scale, overlap), scale.reducers);
+    RedoopDriverOptions adaptive_options;
+    adaptive_options.adaptive = true;
+    adaptive_options.proactive_threshold = 0.15;
+
+    auto hadoop_feed = MakeScaledWccFeed(scale, w);
+    const AnalyzedRun hadoop =
+        RunHadoopAnalyzed(scale, query, hadoop_feed.get());
+    auto redoop_feed = MakeScaledWccFeed(scale, w);
+    const AnalyzedRun redoop =
+        RunRedoopAnalyzed(scale, query, redoop_feed.get());
+    auto adaptive_feed = MakeScaledWccFeed(scale, w);
+    const AnalyzedRun adaptive =
+        RunRedoopAnalyzed(scale, query, adaptive_feed.get(), adaptive_options);
+    CheckMatch("fig8", hadoop.report, redoop.report);
+    CheckMatch("fig8", hadoop.report, adaptive.report);
+
+    const std::string prefix = "fig8." + OverlapKey(overlap);
+    metrics->Add(prefix + ".hadoop_total_s",
+                 hadoop.report.TotalResponseTime());
+    metrics->Add(prefix + ".redoop_total_s",
+                 redoop.report.TotalResponseTime());
+    metrics->Add(prefix + ".adaptive_total_s",
+                 adaptive.report.TotalResponseTime());
+    const double adaptive_total = adaptive.report.TotalResponseTime();
+    metrics->Add(prefix + ".adaptive_speedup_vs_redoop",
+                 adaptive_total > 0.0
+                     ? redoop.report.TotalResponseTime() / adaptive_total
+                     : 0.0);
+    metrics->Add(prefix + ".adaptive_speedup_vs_hadoop",
+                 adaptive_total > 0.0
+                     ? hadoop.report.TotalResponseTime() / adaptive_total
+                     : 0.0);
+    metrics->Add(prefix + ".adaptive_critical_path_s",
+                 adaptive.critical_path_s);
+  }
+}
+
+// --- fig9: fault tolerance ----------------------------------------------
+
+enum class Injection { kNone, kNodeFailure, kCacheRemoval };
+
+/// Mirrors bench_fig9: per-window failure injection from the second window
+/// on. kNodeFailure kills a rotating node fail_delay_s into the window;
+/// kCacheRemoval wipes the victim's cache files for the window's oldest
+/// pane before the window runs.
+template <typename Driver>
+RunReport RunWithFailures(const Scale& scale, Cluster* cluster, Driver* driver,
+                          const std::string& label, Injection injection) {
+  RunReport report;
+  report.system = label;
+  for (int64_t i = 0; i < scale.windows; ++i) {
+    const NodeId victim = static_cast<NodeId>(1 + i % (scale.nodes - 1));
+    if (injection == Injection::kNodeFailure && i >= 1) {
+      const SimTime trigger =
+          static_cast<SimTime>(driver->geometry().TriggerTime(i));
+      const SimTime when = std::max(cluster->simulator().Now(), trigger) +
+                           scale.fail_delay_s;
+      cluster->simulator().ScheduleAt(
+          when, [cluster, victim] { cluster->FailNode(victim); });
+    } else if (injection == Injection::kCacheRemoval && i >= 1) {
+      const PaneId target = driver->geometry().PanesForRecurrence(i).first;
+      const std::string marker = StringPrintf("P%ld_R", target);
+      for (const std::string& file : cluster->node(victim).LocalFileNames()) {
+        if (file.find(marker) != std::string::npos) {
+          cluster->InjectCacheLoss(victim, file);
+        }
+      }
+    }
+    report.windows.push_back(driver->RunRecurrence(i));
+    if (injection == Injection::kNodeFailure && i >= 1) {
+      cluster->RecoverNode(victim);
+      cluster->dfs().ReplicateMissing();
+    }
+  }
+  return report;
+}
+
+AnalyzedRun RunFig9Case(const Scale& scale, const RecurringQuery& query,
+                        const WorkloadSpec& w, const std::string& label,
+                        bool redoop, Injection injection) {
+  obs::ObservabilityContext ctx;
+  ctx.journal().SetCommonField("system", label);
+  Cluster cluster(scale.nodes, Config());
+  auto feed = MakeScaledFfgFeed(scale, w);
+  AnalyzedRun run;
+  if (redoop) {
+    RedoopDriverOptions options;
+    options.obs = &ctx;
+    RedoopDriver driver(&cluster, feed.get(), query, options);
+    run.report = RunWithFailures(scale, &cluster, &driver, label, injection);
+  } else {
+    JobRunnerOptions options;
+    options.obs = &ctx;
+    HadoopRecurringDriver driver(&cluster, feed.get(), query, options);
+    run.report = RunWithFailures(scale, &cluster, &driver, label, injection);
+  }
+  Analyze(ctx, &run);
+  return run;
+}
+
+void RunFig9(const Scale& scale, Metrics* metrics) {
+  WorkloadSpec w = JoinWorkload(0.5);
+  w.rps = 4.0;
+  w.record_bytes = 2 * kBytesPerMB;
+  const RecurringQuery query =
+      MakeAggregationQuery(4, "fig9-agg", 1, scale.win, SlideFor(scale, 0.5),
+                           scale.reducers);
+
+  const AnalyzedRun hadoop =
+      RunFig9Case(scale, query, w, "hadoop", false, Injection::kNone);
+  const AnalyzedRun hadoop_f = RunFig9Case(scale, query, w, "hadoop_f", false,
+                                           Injection::kNodeFailure);
+  const AnalyzedRun redoop =
+      RunFig9Case(scale, query, w, "redoop", true, Injection::kNone);
+  const AnalyzedRun redoop_f = RunFig9Case(scale, query, w, "redoop_f", true,
+                                           Injection::kCacheRemoval);
+  CheckMatch("fig9", hadoop.report, hadoop_f.report);
+  CheckMatch("fig9", hadoop.report, redoop.report);
+  CheckMatch("fig9", hadoop.report, redoop_f.report);
+
+  metrics->Add("fig9.hadoop_total_s", hadoop.report.TotalResponseTime());
+  metrics->Add("fig9.hadoop_f_total_s", hadoop_f.report.TotalResponseTime());
+  metrics->Add("fig9.redoop_total_s", redoop.report.TotalResponseTime());
+  metrics->Add("fig9.redoop_f_total_s", redoop_f.report.TotalResponseTime());
+  metrics->Add("fig9.redoop_f_critical_path_s", redoop_f.critical_path_s);
+  metrics->Add("fig9.redoop_f_cache_hit_rate", redoop_f.cache_hit_rate);
+  metrics->Add("fig9.hadoop_f_stragglers",
+               static_cast<double>(hadoop_f.stragglers));
+}
+
+// --- cache + combiner ablation ------------------------------------------
+
+void RunAblationCache(const Scale& scale, Metrics* metrics) {
+  struct Combo {
+    bool input;
+    bool output;
+  };
+  const RecurringQuery agg_query =
+      MakeAggregationQuery(5, "ablate-agg", 1, scale.win, SlideFor(scale, 0.9),
+                           scale.reducers);
+  for (const Combo combo :
+       {Combo{false, false}, Combo{true, false}, Combo{false, true},
+        Combo{true, true}}) {
+    WorkloadSpec w;
+    RedoopDriverOptions options;
+    options.cache_reduce_input = combo.input;
+    options.cache_reduce_output = combo.output;
+    auto hadoop_feed = MakeScaledWccFeed(scale, w);
+    const AnalyzedRun hadoop =
+        RunHadoopAnalyzed(scale, agg_query, hadoop_feed.get());
+    auto feed = MakeScaledWccFeed(scale, w);
+    const AnalyzedRun redoop =
+        RunRedoopAnalyzed(scale, agg_query, feed.get(), options);
+    CheckMatch("ablation_cache", hadoop.report, redoop.report);
+    const std::string prefix = StringPrintf(
+        "ablation_cache.agg.in%d_out%d", combo.input, combo.output);
+    metrics->Add(prefix + ".total_s", redoop.report.TotalResponseTime());
+    metrics->Add(prefix + ".warm_speedup",
+                 WarmSpeedup(hadoop.report, redoop.report));
+    metrics->Add(prefix + ".cache_hit_rate", redoop.cache_hit_rate);
+    metrics->Add(prefix + ".cache_hit_gb",
+                 static_cast<double>(redoop.cache_hit_bytes) / 1e9);
+  }
+
+  const RecurringQuery join_query =
+      MakeJoinQuery(6, "ablate-join", 1, 2, scale.win, SlideFor(scale, 0.9),
+                    scale.reducers);
+  for (const Combo combo :
+       {Combo{false, false}, Combo{true, false}, Combo{true, true}}) {
+    const WorkloadSpec w = JoinWorkload(0.9);
+    RedoopDriverOptions options;
+    options.cache_reduce_input = combo.input;
+    options.cache_reduce_output = combo.output;
+    auto hadoop_feed = MakeScaledFfgFeed(scale, w);
+    const AnalyzedRun hadoop =
+        RunHadoopAnalyzed(scale, join_query, hadoop_feed.get());
+    auto feed = MakeScaledFfgFeed(scale, w);
+    const AnalyzedRun redoop =
+        RunRedoopAnalyzed(scale, join_query, feed.get(), options);
+    CheckMatch("ablation_cache", hadoop.report, redoop.report);
+    const std::string prefix = StringPrintf(
+        "ablation_cache.join.in%d_out%d", combo.input, combo.output);
+    metrics->Add(prefix + ".total_s", redoop.report.TotalResponseTime());
+    metrics->Add(prefix + ".warm_speedup",
+                 WarmSpeedup(hadoop.report, redoop.report));
+    metrics->Add(prefix + ".cache_hit_rate", redoop.cache_hit_rate);
+  }
+
+  for (const bool combiner : {false, true}) {
+    WorkloadSpec w;
+    const RecurringQuery query =
+        MakeAggregationQuery(12, "combine-agg", 1, scale.win,
+                             SlideFor(scale, 0.9), scale.reducers, combiner);
+    auto hadoop_feed = MakeScaledWccFeed(scale, w);
+    const AnalyzedRun hadoop =
+        RunHadoopAnalyzed(scale, query, hadoop_feed.get());
+    auto redoop_feed = MakeScaledWccFeed(scale, w);
+    const AnalyzedRun redoop =
+        RunRedoopAnalyzed(scale, query, redoop_feed.get());
+    CheckMatch("ablation_cache", hadoop.report, redoop.report);
+    const std::string prefix =
+        StringPrintf("ablation_cache.combiner_%d", combiner);
+    metrics->Add(prefix + ".hadoop_total_s",
+                 hadoop.report.TotalResponseTime());
+    metrics->Add(prefix + ".redoop_total_s",
+                 redoop.report.TotalResponseTime());
+    metrics->Add(prefix + ".warm_speedup",
+                 WarmSpeedup(hadoop.report, redoop.report));
+  }
+}
+
+// --- scheduler ablation -------------------------------------------------
+
+void RunAblationScheduler(const Scale& scale, Metrics* metrics) {
+  const WorkloadSpec w = JoinWorkload(0.9);
+  for (const bool cache_aware : {false, true}) {
+    const RecurringQuery query =
+        MakeJoinQuery(8, "sched-join", 1, 2, scale.win, SlideFor(scale, 0.9),
+                      scale.reducers);
+    RedoopDriverOptions options;
+    options.use_cache_aware_scheduler = cache_aware;
+    auto feed = MakeScaledFfgFeed(scale, w);
+    const AnalyzedRun redoop =
+        RunRedoopAnalyzed(scale, query, feed.get(), options);
+    const std::string prefix =
+        StringPrintf("ablation_scheduler.cache_aware_%d", cache_aware);
+    metrics->Add(prefix + ".total_s", redoop.report.TotalResponseTime());
+    metrics->Add(prefix + ".remote_cache_gb",
+                 SumCounter(redoop.report, counter::kCacheReadRemoteBytes) /
+                     1e9);
+    metrics->Add(prefix + ".local_cache_gb",
+                 SumCounter(redoop.report, counter::kCacheReadLocalBytes) /
+                     1e9);
+  }
+  for (const int load_weight : {0, 30, 300}) {
+    const RecurringQuery query =
+        MakeJoinQuery(9, "weight-join", 1, 2, scale.win, SlideFor(scale, 0.9),
+                      scale.reducers);
+    RedoopDriverOptions options;
+    options.scheduler_load_weight_s = static_cast<double>(load_weight);
+    auto feed = MakeScaledFfgFeed(scale, w);
+    const AnalyzedRun redoop =
+        RunRedoopAnalyzed(scale, query, feed.get(), options);
+    metrics->Add(StringPrintf("ablation_scheduler.load_weight_%d.total_s",
+                              load_weight),
+                 redoop.report.TotalResponseTime());
+  }
+}
+
+// --- main ---------------------------------------------------------------
+
+int Main(int argc, char** argv) {
+  Scale scale = FullScale();
+  std::string out_path = "BENCH_redoop.json";
+  std::string only;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      scale = SmokeScale();
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--only=", 0) == 0) {
+      only = arg.substr(7);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_harness [--smoke] [--out=FILE] "
+                   "[--only=SUBSTR]\n");
+      return 2;
+    }
+  }
+
+  struct Bench {
+    const char* name;
+    void (*run)(const Scale&, Metrics*);
+  };
+  const Bench benches[] = {
+      {"fig6", RunFig6},           {"fig7", RunFig7},
+      {"fig8", RunFig8},           {"fig9", RunFig9},
+      {"ablation_cache", RunAblationCache},
+      {"ablation_scheduler", RunAblationScheduler},
+  };
+
+  Metrics metrics;
+  for (const Bench& bench : benches) {
+    if (!only.empty() &&
+        std::string(bench.name).find(only) == std::string::npos) {
+      continue;
+    }
+    std::printf("running %s (%s scale)...\n", bench.name, scale.name);
+    std::fflush(stdout);
+    bench.run(scale, &metrics);
+  }
+
+  const std::string json = metrics.ToJson(scale.name);
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 4;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("BENCH JSON written to %s\n", out_path.c_str());
+
+  if (!g_results_matched) {
+    std::fprintf(stderr, "FAILURE: some systems produced divergent results\n");
+    return 5;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace redoop::bench
+
+int main(int argc, char** argv) { return redoop::bench::Main(argc, argv); }

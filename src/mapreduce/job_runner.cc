@@ -29,6 +29,8 @@ struct JobRunner::MapTaskState {
   TaskState state = TaskState::kPending;
   NodeId node = kInvalidNode;
   int32_t attempt = 0;
+  /// When this attempt became schedulable (job startup done, or re-queue).
+  SimTime ready_at = 0.0;
   TaskTiming timing;
   /// Speculative backup attempt, if launched (kInvalidNode = none).
   NodeId backup_node = kInvalidNode;
@@ -56,6 +58,8 @@ struct JobRunner::ReduceTaskState {
   TaskState state = TaskState::kPending;
   NodeId node = kInvalidNode;
   int32_t attempt = 0;
+  /// When this attempt became schedulable (map barrier lift, or re-queue).
+  SimTime ready_at = 0.0;
   TaskTiming timing;
   /// Speculative backup attempt, if launched (kInvalidNode = none).
   NodeId backup_node = kInvalidNode;
@@ -206,9 +210,21 @@ void JobRunner::StartMapTask(RunState* run, MapTaskState* task, NodeId node) {
   task->state = TaskState::kRunning;
   task->node = node;
   task->timing = TaskTiming();
+  task->timing.ready_at = task->ready_at;
   task->timing.scheduled_at = cluster_->simulator().Now();
   if (run->first_map_start < 0) {
     run->first_map_start = task->timing.scheduled_at;
+  }
+  if (options_.obs != nullptr) {
+    options_.obs
+        ->EmitAt(task->timing.scheduled_at, obs::event::kTaskStart)
+        .With("kind", "map")
+        .With("task", task->id)
+        .With("node", node)
+        .With("source", task->source)
+        .With("pane", task->pane)
+        .With("attempt", task->attempt)
+        .With("wait", task->timing.SlotWait());
   }
 
   const CostModel& cost = cluster_->cost_model();
@@ -365,11 +381,23 @@ void JobRunner::FinishMapTask(RunState* run, MapTaskState* task,
         .With("start", report.timing.scheduled_at)
         .With("duration", report.timing.finished_at -
                               report.timing.scheduled_at)
-        .With("bytes", task->input_bytes);
+        .With("bytes", task->input_bytes)
+        .With("wait", report.timing.SlotWait())
+        .With("startup", report.timing.startup)
+        .With("read", report.timing.read)
+        .With("sort", report.timing.sort)
+        .With("compute", report.timing.compute)
+        .With("write", report.timing.write);
   }
 
   if (AllMapsDone(*run) && !run->reduces_unlocked) {
     run->reduces_unlocked = true;
+    // The barrier lifted: every pending reduce becomes schedulable now.
+    for (auto& reduce : run->reduces) {
+      if (reduce->state == TaskState::kPending) {
+        reduce->ready_at = cluster_->simulator().Now();
+      }
+    }
   }
   TryScheduleTasks(run);
   MaybeFinishJob(run);
@@ -390,9 +418,20 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
   task->state = TaskState::kRunning;
   task->node = node;
   task->timing = TaskTiming();
+  task->timing.ready_at = task->ready_at;
   task->timing.scheduled_at = cluster_->simulator().Now();
   task->output.clear();
   task->caches.clear();
+  if (options_.obs != nullptr) {
+    options_.obs
+        ->EmitAt(task->timing.scheduled_at, obs::event::kTaskStart)
+        .With("kind", "reduce")
+        .With("task", task->id)
+        .With("node", node)
+        .With("partition", task->partition)
+        .With("attempt", task->attempt)
+        .With("wait", task->timing.SlotWait());
+  }
 
   const CostModel& cost = cluster_->cost_model();
   const JobSpec& spec = *run->spec;
@@ -629,7 +668,14 @@ void JobRunner::FinishReduceTask(RunState* run, ReduceTaskState* task,
         .With("duration",
               report.timing.finished_at - report.timing.scheduled_at)
         .With("side_inputs",
-              static_cast<int64_t>(task->side_inputs.size()));
+              static_cast<int64_t>(task->side_inputs.size()))
+        .With("wait", report.timing.SlotWait())
+        .With("startup", report.timing.startup)
+        .With("read", report.timing.read)
+        .With("shuffle", report.timing.shuffle)
+        .With("sort", report.timing.sort)
+        .With("compute", report.timing.compute)
+        .With("write", report.timing.write);
   }
 
   TryScheduleTasks(run);
@@ -758,6 +804,7 @@ void JobRunner::OnNodeFailure(NodeId node) {
         task->state = TaskState::kPending;
         task->id = next_task_id_++;
         ++task->attempt;
+        task->ready_at = cluster_->simulator().Now();
         --run->maps_completed;
         run->reduces_unlocked = false;
         run->result.counters.Increment(counter::kMapTaskRetries);
@@ -810,6 +857,7 @@ void JobRunner::FailTaskAttempt(RunState* run, TaskType type, int64_t index) {
     task->state = TaskState::kPending;
     task->id = next_task_id_++;
     ++task->attempt;
+    task->ready_at = cluster_->simulator().Now();
     run->result.counters.Increment(counter::kMapTaskRetries);
     if (task->attempt >= options_.max_task_attempts) {
       run->failure = Status::Aborted(
@@ -828,6 +876,7 @@ void JobRunner::FailTaskAttempt(RunState* run, TaskType type, int64_t index) {
     task->state = TaskState::kPending;
     task->id = next_task_id_++;
     ++task->attempt;
+    task->ready_at = cluster_->simulator().Now();
     run->result.counters.Increment(counter::kReduceTaskRetries);
     if (task->attempt >= options_.max_task_attempts) {
       run->failure = Status::Aborted(
@@ -928,7 +977,12 @@ JobResult JobRunner::Run(const JobSpec& spec) {
       cluster_->cost_model().JobStartupTime(), [this, run_owner] {
         RunState* run = run_owner.get();
         if (run->finished || run != active_run_) return;
-        if (run->maps.empty()) run->reduces_unlocked = true;
+        const SimTime now = cluster_->simulator().Now();
+        for (auto& map : run->maps) map->ready_at = now;
+        if (run->maps.empty()) {
+          run->reduces_unlocked = true;
+          for (auto& reduce : run->reduces) reduce->ready_at = now;
+        }
         TryScheduleTasks(run);
         MaybeFinishJob(run);
       });

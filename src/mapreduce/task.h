@@ -17,6 +17,10 @@ enum class TaskState { kPending, kRunning, kCompleted, kFailed };
 
 /// Per-task timing breakdown (seconds of simulated time).
 struct TaskTiming {
+  /// When the task became eligible to run: maps after job startup, reduces
+  /// when the map barrier lifted. scheduled_at - ready_at is the time the
+  /// attempt spent queued for a free slot.
+  SimTime ready_at = 0.0;
   SimTime scheduled_at = 0.0;
   SimTime finished_at = 0.0;
   SimDuration startup = 0.0;
@@ -29,6 +33,9 @@ struct TaskTiming {
   SimDuration Total() const {
     return startup + read + shuffle + sort + compute + write;
   }
+
+  /// Slot-wait: time spent schedulable but queued behind busy slots.
+  SimDuration SlotWait() const { return scheduled_at - ready_at; }
 };
 
 /// Completion report for one task attempt that ran to completion (the

@@ -1,0 +1,222 @@
+#include "obs/analysis/json_value.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_utils.h"
+
+namespace redoop {
+namespace obs {
+namespace analysis {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
+}
+
+std::string JsonValue::StrOr(std::string_view key,
+                             std::string_view fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind == Kind::kString ? v->str
+                                                  : std::string(fallback);
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view s) : s_(s) {}
+
+  Status Run(JsonValue* out) {
+    Status status = ParseValue(out, 0);
+    if (!status.ok()) return status;
+    SkipWhitespace();
+    if (pos_ != s_.size()) return Error("trailing garbage after document");
+    return Status::OK();
+  }
+
+ private:
+  Status Error(const char* what) const {
+    return Status::InvalidArgument(
+        StringPrintf("json parse error at offset %zu: %s", pos_, what));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  bool Consume(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    switch (Peek()) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->str);
+      case 't':
+        if (!ConsumeLiteral("true")) return Error("bad literal");
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return Status::OK();
+      case 'f':
+        if (!ConsumeLiteral("false")) return Error("bad literal");
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return Status::OK();
+      case 'n':
+        if (!ConsumeLiteral("null")) return Error("bad literal");
+        out->kind = JsonValue::Kind::kNull;
+        return Status::OK();
+      default: return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    Consume('{');
+    out->kind = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      Status status = ParseString(&key);
+      if (!status.ok()) return status;
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      JsonValue value;
+      status = ParseValue(&value, depth + 1);
+      if (!status.ok()) return status;
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    Consume('[');
+    out->kind = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue value;
+      Status status = ParseValue(&value, depth + 1);
+      if (!status.ok()) return status;
+      out->items.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        char esc = s_[pos_++];
+        switch (esc) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return Error("bad \\u escape");
+            const std::string hex(s_.substr(pos_, 4));
+            pos_ += 4;
+            out->push_back(
+                static_cast<char>(std::strtol(hex.c_str(), nullptr, 16)));
+            break;
+          }
+          default: out->push_back(esc);
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    if (!Consume('"')) return Error("unterminated string");
+    return Status::OK();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string repr(s_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out->number = std::strtod(repr.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("bad number");
+    out->kind = JsonValue::Kind::kNumber;
+    return Status::OK();
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status JsonValue::Parse(std::string_view text, JsonValue* out) {
+  *out = JsonValue();
+  return Parser(text).Run(out);
+}
+
+Status JsonValue::LoadFile(const std::string& path, JsonValue* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open " + path + " for reading");
+  }
+  std::string body;
+  char buffer[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    body.append(buffer, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::Unavailable("read error on " + path);
+  return Parse(body, out);
+}
+
+}  // namespace analysis
+}  // namespace obs
+}  // namespace redoop

@@ -1,0 +1,48 @@
+#ifndef REDOOP_OBS_ANALYSIS_JSON_VALUE_H_
+#define REDOOP_OBS_ANALYSIS_JSON_VALUE_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace redoop {
+namespace obs {
+namespace analysis {
+
+/// Minimal JSON document model for the repo's own artifacts (BENCH JSON,
+/// metric snapshots, analyze reports). Not a general-purpose parser: no
+/// surrogate pairs, numbers via strtod, member order preserved as written.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                           // kArray.
+  std::vector<std::pair<std::string, JsonValue>> members; // kObject.
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Object member lookup (linear; documents here are small). Null when
+  /// absent or when this value is not an object.
+  const JsonValue* Find(std::string_view key) const;
+  double NumberOr(std::string_view key, double fallback) const;
+  std::string StrOr(std::string_view key, std::string_view fallback) const;
+
+  /// Parses `text` into `out`. Errors carry the byte offset.
+  static Status Parse(std::string_view text, JsonValue* out);
+
+  /// Reads and parses a JSON file; I/O errors carry the path.
+  static Status LoadFile(const std::string& path, JsonValue* out);
+};
+
+}  // namespace analysis
+}  // namespace obs
+}  // namespace redoop
+
+#endif  // REDOOP_OBS_ANALYSIS_JSON_VALUE_H_

@@ -1,0 +1,202 @@
+#include "obs/analysis/run_diff.h"
+
+#include <cmath>
+
+#include "common/string_utils.h"
+#include "obs/metric_registry.h"
+
+namespace redoop {
+namespace obs {
+namespace analysis {
+
+const double* FlatMetrics::Find(std::string_view key) const {
+  for (const auto& [k, v] : values) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void FlattenInto(const JsonValue& value, const std::string& prefix,
+                 FlatMetrics* out) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNumber:
+      out->values.emplace_back(prefix, value.number);
+      break;
+    case JsonValue::Kind::kObject:
+      for (const auto& [key, child] : value.members) {
+        FlattenInto(child, prefix.empty() ? key : prefix + "." + key, out);
+      }
+      break;
+    case JsonValue::Kind::kArray:
+      for (size_t i = 0; i < value.items.size(); ++i) {
+        const std::string segment = StringPrintf("%zu", i);
+        FlattenInto(value.items[i],
+                    prefix.empty() ? segment : prefix + "." + segment, out);
+      }
+      break;
+    default:
+      break;  // Strings/bools/nulls are not metrics.
+  }
+}
+
+bool Contains(std::string_view key, std::string_view needle) {
+  return key.find(needle) != std::string_view::npos;
+}
+
+}  // namespace
+
+void Flatten(const JsonValue& doc, FlatMetrics* out) {
+  out->values.clear();
+  FlattenInto(doc, "", out);
+}
+
+Direction ClassifyMetric(std::string_view key) {
+  // Higher-better first: "hit_rate" would otherwise match the lower-better
+  // "time" rules via substrings, and speedups must never be read inverted.
+  if (Contains(key, "speedup") || Contains(key, "hit_rate") ||
+      Contains(key, "hits") || Contains(key, "throughput")) {
+    return Direction::kHigherIsBetter;
+  }
+  if (EndsWith(key, "_s") || Contains(key, "time") || Contains(key, "wait") ||
+      Contains(key, "misses") || Contains(key, "critical_path") ||
+      Contains(key, "latency") || Contains(key, "duration") ||
+      Contains(key, "miss_bytes") || Contains(key, "stragglers")) {
+    return Direction::kLowerIsBetter;
+  }
+  return Direction::kInformational;
+}
+
+const char* VerdictToString(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kUnchanged: return "unchanged";
+    case Verdict::kImproved: return "improved";
+    case Verdict::kRegressed: return "REGRESSED";
+    case Verdict::kChanged: return "changed";
+    case Verdict::kAdded: return "added";
+    case Verdict::kRemoved: return "removed";
+  }
+  return "unknown";
+}
+
+DiffReport DiffRuns(const FlatMetrics& baseline, const FlatMetrics& candidate,
+                    const DiffOptions& options) {
+  DiffReport report;
+  for (const auto& [key, base_value] : baseline.values) {
+    MetricDelta delta;
+    delta.key = key;
+    delta.direction = ClassifyMetric(key);
+    delta.baseline = base_value;
+    const double* cand = candidate.Find(key);
+    if (cand == nullptr) {
+      delta.verdict = Verdict::kRemoved;
+      report.deltas.push_back(std::move(delta));
+      continue;
+    }
+    delta.candidate = *cand;
+    const double abs_change = *cand - base_value;
+    if (base_value != 0.0) {
+      delta.relative = abs_change / std::fabs(base_value);
+    } else if (abs_change != 0.0) {
+      delta.relative = abs_change > 0.0 ? 1.0 : -1.0;  // From-zero change.
+    }
+    if (std::fabs(delta.relative) <= options.tolerance) {
+      delta.verdict = Verdict::kUnchanged;
+      ++report.unchanged;
+    } else if (delta.direction == Direction::kInformational) {
+      delta.verdict = Verdict::kChanged;
+      ++report.changed;
+    } else {
+      const bool worse = delta.direction == Direction::kLowerIsBetter
+                             ? delta.relative > 0.0
+                             : delta.relative < 0.0;
+      delta.verdict = worse ? Verdict::kRegressed : Verdict::kImproved;
+      ++(worse ? report.regressed : report.improved);
+    }
+    report.deltas.push_back(std::move(delta));
+  }
+  for (const auto& [key, cand_value] : candidate.values) {
+    if (baseline.Find(key) != nullptr) continue;
+    MetricDelta delta;
+    delta.key = key;
+    delta.direction = ClassifyMetric(key);
+    delta.verdict = Verdict::kAdded;
+    delta.candidate = cand_value;
+    report.deltas.push_back(std::move(delta));
+  }
+  return report;
+}
+
+Status DiffFiles(const std::string& baseline_path,
+                 const std::string& candidate_path, const DiffOptions& options,
+                 DiffReport* out) {
+  JsonValue baseline_doc;
+  Status status = JsonValue::LoadFile(baseline_path, &baseline_doc);
+  if (!status.ok()) {
+    return Status(status.code(), baseline_path + ": " + status.message());
+  }
+  JsonValue candidate_doc;
+  status = JsonValue::LoadFile(candidate_path, &candidate_doc);
+  if (!status.ok()) {
+    return Status(status.code(), candidate_path + ": " + status.message());
+  }
+  FlatMetrics baseline;
+  FlatMetrics candidate;
+  Flatten(baseline_doc, &baseline);
+  Flatten(candidate_doc, &candidate);
+  *out = DiffRuns(baseline, candidate, options);
+  return Status::OK();
+}
+
+std::string DiffReport::ToText() const {
+  std::string out = StringPrintf(
+      "diff: %lld regressed, %lld improved, %lld changed, %lld unchanged, "
+      "%zu total\n",
+      static_cast<long long>(regressed), static_cast<long long>(improved),
+      static_cast<long long>(changed), static_cast<long long>(unchanged),
+      deltas.size());
+  for (const MetricDelta& d : deltas) {
+    if (d.verdict == Verdict::kUnchanged) continue;  // Keep reports short.
+    if (d.verdict == Verdict::kAdded) {
+      out += StringPrintf("  added     %-56s = %s\n", d.key.c_str(),
+                          FormatDouble(d.candidate).c_str());
+    } else if (d.verdict == Verdict::kRemoved) {
+      out += StringPrintf("  removed   %-56s was %s\n", d.key.c_str(),
+                          FormatDouble(d.baseline).c_str());
+    } else {
+      out += StringPrintf("  %-9s %-56s %s -> %s (%+.1f%%)\n",
+                          VerdictToString(d.verdict), d.key.c_str(),
+                          FormatDouble(d.baseline).c_str(),
+                          FormatDouble(d.candidate).c_str(),
+                          d.relative * 100.0);
+    }
+  }
+  return out;
+}
+
+std::string DiffReport::ToJson() const {
+  std::string out = StringPrintf(
+      "{\"regressed\": %lld, \"improved\": %lld, \"changed\": %lld, "
+      "\"unchanged\": %lld, \"deltas\": [",
+      static_cast<long long>(regressed), static_cast<long long>(improved),
+      static_cast<long long>(changed), static_cast<long long>(unchanged));
+  bool first = true;
+  for (const MetricDelta& d : deltas) {
+    if (d.verdict == Verdict::kUnchanged) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += StringPrintf(
+        "{\"key\": \"%s\", \"verdict\": \"%s\", \"baseline\": %s, "
+        "\"candidate\": %s, \"relative\": %s}",
+        d.key.c_str(), VerdictToString(d.verdict),
+        FormatDouble(d.baseline).c_str(), FormatDouble(d.candidate).c_str(),
+        FormatDouble(d.relative).c_str());
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace obs
+}  // namespace redoop

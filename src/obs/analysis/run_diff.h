@@ -1,0 +1,96 @@
+#ifndef REDOOP_OBS_ANALYSIS_RUN_DIFF_H_
+#define REDOOP_OBS_ANALYSIS_RUN_DIFF_H_
+
+// Structured regression diff between two runs' metric documents (BENCH
+// JSON, metric snapshots, or analyze reports). Each document is flattened
+// to dotted numeric keys ("fig6.redoop.overlap_0.9.total_s"), every key
+// classified by direction (lower-better, higher-better, informational),
+// and relative deltas compared against a tolerance band.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/analysis/json_value.h"
+
+namespace redoop {
+namespace obs {
+namespace analysis {
+
+/// A metric document reduced to dotted-path numeric leaves, in document
+/// order. Non-numeric leaves (strings, bools) are ignored.
+struct FlatMetrics {
+  std::vector<std::pair<std::string, double>> values;
+
+  const double* Find(std::string_view key) const;
+};
+
+/// Flattens nested objects/arrays into `out`. Array elements use their
+/// index as the path segment.
+void Flatten(const JsonValue& doc, FlatMetrics* out);
+
+/// How a metric's value relates to quality, inferred from its key.
+enum class Direction {
+  kLowerIsBetter,   // times, waits, misses, byte costs.
+  kHigherIsBetter,  // speedups, hit rates.
+  kInformational,   // counts and ids: report changes, never fail.
+};
+
+Direction ClassifyMetric(std::string_view key);
+
+enum class Verdict {
+  kUnchanged,  // Within tolerance.
+  kImproved,   // Outside tolerance in the good direction.
+  kRegressed,  // Outside tolerance in the bad direction.
+  kChanged,    // Informational metric moved outside tolerance.
+  kAdded,      // Key only in the candidate run.
+  kRemoved,    // Key only in the baseline run.
+};
+
+const char* VerdictToString(Verdict verdict);
+
+struct MetricDelta {
+  std::string key;
+  Direction direction = Direction::kInformational;
+  Verdict verdict = Verdict::kUnchanged;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  /// (candidate - baseline) / |baseline|; 0 when baseline == 0 and the
+  /// values agree, otherwise sign of the absolute change.
+  double relative = 0.0;
+};
+
+struct DiffOptions {
+  /// Relative band treated as noise, e.g. 0.10 = +/-10%.
+  double tolerance = 0.10;
+};
+
+struct DiffReport {
+  std::vector<MetricDelta> deltas;  // Baseline document order.
+  int64_t regressed = 0;
+  int64_t improved = 0;
+  int64_t changed = 0;
+  int64_t unchanged = 0;
+
+  bool HasRegressions() const { return regressed > 0; }
+  std::string ToText() const;
+  std::string ToJson() const;
+};
+
+/// Diffs two flattened runs. Keys present on only one side yield
+/// kAdded/kRemoved deltas (never regressions).
+DiffReport DiffRuns(const FlatMetrics& baseline, const FlatMetrics& candidate,
+                    const DiffOptions& options);
+
+/// Convenience: load both JSON files, flatten, diff.
+Status DiffFiles(const std::string& baseline_path,
+                 const std::string& candidate_path, const DiffOptions& options,
+                 DiffReport* out);
+
+}  // namespace analysis
+}  // namespace obs
+}  // namespace redoop
+
+#endif  // REDOOP_OBS_ANALYSIS_RUN_DIFF_H_

@@ -183,7 +183,8 @@ namespace {
 // emits, numbers as printf renders them.
 class LineParser {
  public:
-  explicit LineParser(std::string_view line) : s_(line) {}
+  LineParser(std::string_view line, size_t line_number)
+      : s_(line), line_number_(line_number) {}
 
   Status Run(EventJournal* out) {
     if (!Consume('{')) return Error("expected '{'");
@@ -220,6 +221,7 @@ class LineParser {
       }
     }
     if (!Consume('}')) return Error("expected '}'");
+    if (pos_ != s_.size()) return Error("trailing garbage after '}'");
     return Status::OK();
   }
 
@@ -282,28 +284,52 @@ class LineParser {
 
   Status Error(const char* what) const {
     return Status::InvalidArgument(
-        StringPrintf("journal parse error at offset %zu: %s", pos_, what));
+        StringPrintf("journal parse error at line %zu, offset %zu: %s",
+                     line_number_, pos_, what));
   }
 
   std::string_view s_;
+  size_t line_number_ = 0;
   size_t pos_ = 0;
 };
 
 }  // namespace
 
 Status EventJournal::Parse(std::string_view jsonl, EventJournal* out) {
+  out->Clear();  // A failed parse must not leave a half-loaded journal.
   size_t start = 0;
+  size_t line_number = 0;
   while (start < jsonl.size()) {
     size_t end = jsonl.find('\n', start);
     if (end == std::string_view::npos) end = jsonl.size();
     std::string_view line = jsonl.substr(start, end - start);
+    ++line_number;
     if (!line.empty()) {
-      Status s = LineParser(line).Run(out);
+      Status s = LineParser(line, line_number).Run(out);
       if (!s.ok()) return s;
     }
     start = end + 1;
   }
   return Status::OK();
+}
+
+Status EventJournal::LoadFile(const std::string& path, EventJournal* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open " + path + " for reading");
+  }
+  std::string body;
+  char buffer[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    body.append(buffer, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::Unavailable("read error on " + path);
+  }
+  return Parse(body, out);
 }
 
 }  // namespace obs

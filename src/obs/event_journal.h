@@ -102,8 +102,15 @@ class EventJournal {
 
   /// Parses journal text in the exact format ToJsonl emits (used by tests
   /// and by TraceWriter when re-loading a journal from disk). Not a general
-  /// JSON parser: one object per line, flat string/number fields.
+  /// JSON parser: one object per line, flat string/number fields. A
+  /// malformed or truncated line fails with its 1-based line number in the
+  /// error message; nothing is silently skipped (blank lines excepted).
+  /// `out` is cleared first — a failed parse never leaves it half-loaded.
   static Status Parse(std::string_view jsonl, EventJournal* out);
+
+  /// Reads `path` and parses it with Parse. Parse errors carry the line
+  /// number; I/O errors carry the path.
+  static Status LoadFile(const std::string& path, EventJournal* out);
 
   void Clear() { events_.clear(); }
 
@@ -145,7 +152,10 @@ inline constexpr const char* kDfsFileCreate = "dfs.file.create";
 inline constexpr const char* kDfsFileDelete = "dfs.file.delete";
 inline constexpr const char* kDfsNodeFailed = "dfs.node.failed";
 
-// Task attempt lifecycle.
+// Task attempt lifecycle. task.start / task.finish form a span pair keyed
+// by the "task" field; the winning attempt's finish carries the per-phase
+// timing breakdown and the slot-wait ("wait") duration.
+inline constexpr const char* kTaskStart = "task.start";
 inline constexpr const char* kTaskFinish = "task.finish";
 inline constexpr const char* kTaskFail = "task.fail";
 inline constexpr const char* kTaskSpeculate = "task.speculate";

@@ -16,14 +16,24 @@ std::string FormatDouble(double value) {
 }
 
 int32_t Histogram::BucketIndex(double value) {
-  if (!(value > kMinTrackable)) return 0;
-  // log2(value / kMinTrackable) octaves above the floor, subdivided.
-  const double octaves = std::log2(value / kMinTrackable);
-  return 1 + static_cast<int32_t>(octaves * kSubBucketsPerOctave);
+  // log2(|value| / kMinTrackable) octaves above the floor, subdivided.
+  // Negative values mirror into negative indexes so std::map iteration
+  // order remains value order: most-negative bucket first, then the
+  // near-zero bucket 0, then positives ascending.
+  if (value > kMinTrackable) {
+    const double octaves = std::log2(value / kMinTrackable);
+    return 1 + static_cast<int32_t>(octaves * kSubBucketsPerOctave);
+  }
+  if (value < -kMinTrackable) {
+    const double octaves = std::log2(-value / kMinTrackable);
+    return -1 - static_cast<int32_t>(octaves * kSubBucketsPerOctave);
+  }
+  return 0;  // |value| <= kMinTrackable, including exact zero.
 }
 
 double Histogram::BucketMidpoint(int32_t index) {
-  if (index <= 0) return kMinTrackable;
+  if (index == 0) return 0.0;
+  if (index < 0) return -BucketMidpoint(-index);
   const double lower =
       kMinTrackable *
       std::exp2(static_cast<double>(index - 1) / kSubBucketsPerOctave);

@@ -86,10 +86,12 @@ class Gauge {
   double value_ = 0.0;
 };
 
-/// Log-bucketed histogram over positive doubles. Buckets grow by
+/// Log-bucketed histogram over doubles. Buckets grow by
 /// 2^(1/kSubBucketsPerOctave) (~9.05% wide), giving bounded relative
 /// error for quantiles while storing only the non-empty buckets.
-/// Values at or below kMinTrackable collapse into bucket 0.
+/// Values with |v| <= kMinTrackable collapse into bucket 0 (representative
+/// 0.0); negative values mirror into negative bucket indexes, so bucket
+/// index order is value order.
 class Histogram {
  public:
   static constexpr int kSubBucketsPerOctave = 8;
@@ -100,9 +102,11 @@ class Histogram {
   int64_t count() const { return snapshot_.count; }
   HistogramSnapshot Snapshot() const { return snapshot_; }
 
-  /// Bucket index for a value (0 for values <= kMinTrackable).
+  /// Bucket index for a value (0 for |value| <= kMinTrackable, negative
+  /// indexes for values below -kMinTrackable).
   static int32_t BucketIndex(double value);
-  /// Geometric midpoint used as the representative of bucket `index`.
+  /// Representative of bucket `index`: 0.0 for bucket 0, the geometric
+  /// midpoint (sign-mirrored for negative indexes) otherwise.
   static double BucketMidpoint(int32_t index);
 
  private:

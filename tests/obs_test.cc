@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -153,6 +154,51 @@ TEST(HistogramTest, TinyAndZeroValuesCollapseIntoBucketZero) {
   EXPECT_LE(h.Quantile(0.5), obs::Histogram::kMinTrackable);
 }
 
+TEST(HistogramTest, SingleSampleQuantilesAreExact) {
+  for (const double v : {42.0, 0.0, -7.5, 1e-12}) {
+    obs::Histogram hist;
+    hist.Record(v);
+    const obs::HistogramSnapshot h = hist.Snapshot();
+    for (const double q : {0.0, 0.25, 0.5, 0.95, 1.0}) {
+      EXPECT_DOUBLE_EQ(h.Quantile(q), v)
+          << "single-sample histograms must be exact at q=" << q
+          << " for v=" << v;
+    }
+  }
+}
+
+TEST(HistogramTest, ZeroIsAnExactQuantile) {
+  obs::Histogram hist;
+  hist.Record(-5.0);
+  hist.Record(0.0);
+  hist.Record(5.0);
+  const obs::HistogramSnapshot h = hist.Snapshot();
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), -5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0)
+      << "the zero bucket's representative value is exactly 0";
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 5.0);
+}
+
+TEST(HistogramTest, NegativeValuesKeepValueOrder) {
+  obs::Histogram hist;
+  hist.Record(-1.0);
+  hist.Record(-2.0);
+  hist.Record(-4.0);
+  const obs::HistogramSnapshot h = hist.Snapshot();
+  EXPECT_DOUBLE_EQ(h.min, -4.0);
+  EXPECT_DOUBLE_EQ(h.max, -1.0);
+  EXPECT_NEAR(h.Quantile(0.5), -2.0, 2.0 * 0.05)
+      << "median of mirrored negative buckets";
+  EXPECT_LT(h.Quantile(0.1), h.Quantile(0.9))
+      << "quantiles must be monotone across negative buckets";
+  // Mixed signs: negative buckets sort before positive ones.
+  hist.Record(3.0);
+  hist.Record(8.0);
+  const obs::HistogramSnapshot mixed = hist.Snapshot();
+  EXPECT_LT(mixed.Quantile(0.2), 0.0);
+  EXPECT_GT(mixed.Quantile(0.9), 0.0);
+}
+
 // ---------------------------------------------------------------------------
 // Snapshot merge
 // ---------------------------------------------------------------------------
@@ -276,6 +322,101 @@ TEST(EventJournalTest, JsonlRoundTripIsByteIdentical) {
   EXPECT_EQ(bytes->kind, obs::EventField::Kind::kInt);
   EXPECT_EQ(bytes->i64, int64_t{1} << 40);
   EXPECT_EQ(add.StrOr("name", ""), "quote\"and\\slash");
+}
+
+TEST(EventJournalTest, MalformedLinesFailWithLineNumbers) {
+  const std::string good1 = "{\"t\":1.000000,\"type\":\"a\"}";
+  const std::string good2 = "{\"t\":2.000000,\"type\":\"b\",\"n\":3}";
+  obs::EventJournal out;
+
+  // Garbage on line 2: the error names the line, nothing is skipped.
+  Status status =
+      obs::EventJournal::Parse(good1 + "\nGARBAGE\n" + good2, &out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 2"), std::string::npos)
+      << status.message();
+
+  // Truncated final line (no closing brace).
+  status = obs::EventJournal::Parse(
+      good1 + "\n{\"t\":2.000000,\"type\":\"b\"", &out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 2"), std::string::npos)
+      << status.message();
+
+  // Trailing garbage after a well-formed object.
+  status = obs::EventJournal::Parse(good1 + "}{", &out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 1"), std::string::npos)
+      << status.message();
+
+  // Blank lines are the one tolerated irregularity.
+  status = obs::EventJournal::Parse(good1 + "\n\n" + good2 + "\n", &out);
+  EXPECT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(EventJournalTest, CorruptedRoundTripsNeverParseSilentlyWrong) {
+  obs::EventJournal journal;
+  journal.SetCommonField("system", "fuzz");
+  journal.Append(1.0, obs::event::kCacheAdd)
+      .With("name", "file-P3_R")
+      .With("bytes", 4096)
+      .With("ratio", 0.125);
+  journal.Append(2.5, obs::event::kTaskFinish)
+      .With("kind", "reduce")
+      .With("duration", 7.75);
+  const std::string jsonl = journal.ToJsonl();
+
+  // Every proper-prefix truncation either fails (mid-line cut) or parses
+  // back to an exact prefix of the original journal (cut at a newline).
+  for (size_t cut = 1; cut < jsonl.size(); ++cut) {
+    const std::string truncated = jsonl.substr(0, cut);
+    obs::EventJournal parsed;
+    const Status status = obs::EventJournal::Parse(truncated, &parsed);
+    if (status.ok()) {
+      const std::string reserialized = parsed.ToJsonl();
+      EXPECT_EQ(jsonl.compare(0, reserialized.size(), reserialized), 0)
+          << "accepted truncation at byte " << cut
+          << " must be a clean line-boundary prefix";
+    } else {
+      EXPECT_NE(status.message().find("line"), std::string::npos)
+          << "error must carry a line number: " << status.message();
+    }
+  }
+
+  // Single-byte structural corruption (braces, quotes, colons, digits
+  // replaced with '!') must fail or round-trip deterministically — never
+  // crash, never drop lines silently.
+  for (size_t i = 0; i < jsonl.size(); ++i) {
+    if (jsonl[i] == '\n') continue;
+    std::string corrupted = jsonl;
+    corrupted[i] = '!';
+    obs::EventJournal parsed;
+    const Status status = obs::EventJournal::Parse(corrupted, &parsed);
+    if (status.ok()) {
+      EXPECT_EQ(parsed.size(), journal.size())
+          << "an accepted corruption at byte " << i
+          << " must not silently drop events";
+    }
+  }
+}
+
+TEST(EventJournalTest, LoadFileReportsMissingAndLoadsRealFiles) {
+  obs::EventJournal out;
+  const Status missing =
+      obs::EventJournal::LoadFile("/nonexistent/journal.jsonl", &out);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_NE(missing.message().find("/nonexistent/journal.jsonl"),
+            std::string::npos);
+
+  obs::EventJournal journal;
+  journal.Append(3.0, "x").With("k", 1);
+  const std::string path = ::testing::TempDir() + "/journal_roundtrip.jsonl";
+  ASSERT_TRUE(journal.WriteFile(path).ok());
+  ASSERT_TRUE(obs::EventJournal::LoadFile(path, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.events()[0].IntOr("k", 0), 1);
+  std::remove(path.c_str());
 }
 
 TEST(EventJournalTest, CountType) {

@@ -227,6 +227,24 @@ RunReport RunSystem(const CliOptions& options, const std::string& system,
   return report;
 }
 
+/// Probes that an output path is writable before any simulation runs, so a
+/// bad --trace-out/--events-out/--metrics-out fails fast instead of after
+/// minutes of simulated work. Opens in append mode: existing files are not
+/// truncated by the probe.
+bool ValidateOutputPath(const char* flag, const std::string& path) {
+  if (path.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr,
+                 "%s: cannot open '%s' for writing (missing directory or "
+                 "permission denied)\n",
+                 flag, path.c_str());
+    return false;
+  }
+  std::fclose(f);
+  return true;
+}
+
 int Main(int argc, char** argv) {
   CliOptions options;
   if (!ParseArgs(argc, argv, &options)) return 1;
@@ -234,6 +252,11 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "invalid window geometry: win=%ld slide=%ld\n",
                  options.win, options.slide);
     return 1;
+  }
+  if (!ValidateOutputPath("--trace-out", options.trace_path) ||
+      !ValidateOutputPath("--events-out", options.events_path) ||
+      !ValidateOutputPath("--metrics-out", options.metrics_path)) {
+    return 4;
   }
 
   const WindowSpec spec{options.win, options.slide};
