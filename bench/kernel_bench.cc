@@ -1,0 +1,196 @@
+// Host wall-clock micro-benchmarks for the execution-engine hot path: the
+// reduce-input assembly kernel (k-way merge of sorted runs vs the old
+// concat + full re-sort) and reduce group hand-off (zero-copy span views
+// vs per-group vector copies).
+//
+// This harness measures *host* time, not simulated time, so its numbers
+// are machine-dependent and deliberately excluded from the canonical BENCH
+// JSON that redoop_analyze diff consumes. CI builds it in Release and
+// uploads the report as an artifact for eyeballing trends; the invariance
+// guarantees live in merge_invariance_test and the smoke baseline instead.
+//
+// Usage: kernel_bench [--out=FILE]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "mapreduce/kv.h"
+
+namespace redoop {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Builds `k` sorted runs of `n` pairs each over a key domain sized to
+/// produce realistic duplicate-key groups across runs (the shape the
+/// reduce path sees: one run per map task, same hot keys in every run).
+std::vector<std::vector<KeyValue>> MakeRuns(size_t k, size_t n,
+                                            uint64_t seed) {
+  Random rng(seed);
+  std::vector<std::vector<KeyValue>> runs(k);
+  const uint64_t key_domain = std::max<uint64_t>(1, (k * n) / 8);
+  for (auto& run : runs) {
+    run.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      run.emplace_back("key-" + std::to_string(rng.Uniform(key_domain)),
+                       "value-" + std::to_string(rng.Uniform(1000)), 24);
+    }
+    SortByKey(&run);
+  }
+  return runs;
+}
+
+/// The pre-merge reduce-input assembly: concatenate every run and sort the
+/// whole thing from scratch.
+std::vector<KeyValue> ConcatSort(const std::vector<std::vector<KeyValue>>& runs) {
+  size_t total = 0;
+  for (const auto& run : runs) total += run.size();
+  std::vector<KeyValue> all;
+  all.reserve(total);
+  for (const auto& run : runs) all.insert(all.end(), run.begin(), run.end());
+  SortByKey(&all);
+  return all;
+}
+
+std::vector<KeyValue> Merge(const std::vector<std::vector<KeyValue>>& runs) {
+  std::vector<std::span<const KeyValue>> views(runs.begin(), runs.end());
+  return MergeSortedRuns(views);
+}
+
+/// Walks the sorted input group by group, handing each group to `consume`
+/// the way the old engine did: copied into a fresh vector per group.
+uint64_t GroupsByCopy(const std::vector<KeyValue>& input) {
+  uint64_t checksum = 0;
+  size_t i = 0;
+  while (i < input.size()) {
+    size_t j = i + 1;
+    while (j < input.size() && input[j].key == input[i].key) ++j;
+    const std::vector<KeyValue> group(input.begin() + static_cast<int64_t>(i),
+                                      input.begin() + static_cast<int64_t>(j));
+    for (const KeyValue& kv : group) checksum += kv.value.size();
+    i = j;
+  }
+  return checksum;
+}
+
+/// Same walk with the post-refactor hand-off: a zero-copy span view.
+uint64_t GroupsBySpan(const std::vector<KeyValue>& input) {
+  uint64_t checksum = 0;
+  size_t i = 0;
+  while (i < input.size()) {
+    size_t j = i + 1;
+    while (j < input.size() && input[j].key == input[i].key) ++j;
+    const std::span<const KeyValue> group(input.data() + i, j - i);
+    for (const KeyValue& kv : group) checksum += kv.value.size();
+    i = j;
+  }
+  return checksum;
+}
+
+struct Report {
+  std::string out_path;
+  std::string text;
+
+  void Line(const char* fmt, ...) {
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    std::printf("%s\n", buf);
+    text += buf;
+    text += '\n';
+  }
+};
+
+/// Times `fn` over `reps` repetitions and returns the best (minimum) wall
+/// time — minimum is the standard estimator for a noisy shared host.
+template <typename Fn>
+double BestOf(int reps, uint64_t* sink, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    *sink += fn();
+    best = std::min(best, SecondsSince(start));
+  }
+  return best;
+}
+
+int Main(int argc, char** argv) {
+  Report report;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) report.out_path = argv[i] + 6;
+  }
+
+  report.Line("kernel_bench: host wall-clock, best of 5 reps");
+  report.Line("%-28s %12s %12s %8s", "case", "baseline_ms", "kernel_ms",
+              "speedup");
+
+  uint64_t sink = 0;  // Defeats dead-code elimination.
+  bool assembly_target_met = false;
+
+  // Reduce-input assembly: merge vs concat+sort across run shapes. The
+  // acceptance bar is >= 2x at >= 8 runs of >= 10k pairs.
+  const struct { size_t k, n; } shapes[] = {
+      {4, 10'000}, {8, 10'000}, {8, 50'000}, {16, 10'000}, {32, 25'000}};
+  for (const auto& shape : shapes) {
+    const auto runs = MakeRuns(shape.k, shape.n, /*seed=*/1998);
+    const double sort_s = BestOf(5, &sink, [&] { return ConcatSort(runs).size(); });
+    const double merge_s = BestOf(5, &sink, [&] { return Merge(runs).size(); });
+    const double speedup = sort_s / merge_s;
+    char label[64];
+    std::snprintf(label, sizeof(label), "assemble k=%zu n=%zu", shape.k,
+                  shape.n);
+    report.Line("%-28s %12.3f %12.3f %7.2fx", label, sort_s * 1e3,
+                merge_s * 1e3, speedup);
+    if (shape.k >= 8 && shape.n >= 10'000 && speedup >= 2.0) {
+      assembly_target_met = true;
+    }
+  }
+
+  // Grouped reduce hand-off: span views vs per-group vector copies over an
+  // already-assembled input.
+  for (const size_t n : {100'000, 1'000'000}) {
+    const auto runs = MakeRuns(8, n / 8, /*seed=*/2013);
+    const std::vector<KeyValue> input = Merge(runs);
+    const double copy_s = BestOf(5, &sink, [&] { return GroupsByCopy(input); });
+    const double span_s = BestOf(5, &sink, [&] { return GroupsBySpan(input); });
+    char label[64];
+    std::snprintf(label, sizeof(label), "reduce-groups n=%zu", input.size());
+    report.Line("%-28s %12.3f %12.3f %7.2fx", label, copy_s * 1e3,
+                span_s * 1e3, copy_s / span_s);
+  }
+
+  report.Line("checksum=%llu", static_cast<unsigned long long>(sink));
+  report.Line("assembly >=2x at k>=8,n>=10k: %s",
+              assembly_target_met ? "PASS" : "FAIL");
+
+  if (!report.out_path.empty()) {
+    if (std::FILE* f = std::fopen(report.out_path.c_str(), "w")) {
+      std::fwrite(report.text.data(), 1, report.text.size(), f);
+      std::fclose(f);
+      std::printf("report written to %s\n", report.out_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s\n", report.out_path.c_str());
+      return 1;
+    }
+  }
+  return assembly_target_met ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace redoop
+
+int main(int argc, char** argv) { return redoop::Main(argc, argv); }

@@ -6,6 +6,7 @@
 // incrementally from its pane caches.
 
 #include <cstdio>
+#include <span>
 
 #include "core/redoop_driver.h"
 #include "queries/aggregation_query.h"
@@ -20,7 +21,7 @@ namespace {
 // cross a tier boundary, so the per-window deltas stay sparse.
 class ActivityTierFinalizer : public Reducer {
  public:
-  void Reduce(const std::string& key, const std::vector<KeyValue>& values,
+  void Reduce(const std::string& key, std::span<const KeyValue> values,
               ReduceContext* context) const override {
     AggregateValue total;
     for (const KeyValue& kv : values) {

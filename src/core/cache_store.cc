@@ -6,9 +6,11 @@
 
 namespace redoop {
 
-void CacheStore::Put(const std::string& name, std::vector<KeyValue> payload,
+void CacheStore::Put(const std::string& name,
+                     std::shared_ptr<const std::vector<KeyValue>> payload,
                      int64_t bytes, int64_t records) {
   REDOOP_CHECK(bytes >= 0 && records >= 0);
+  REDOOP_CHECK(payload != nullptr);
   auto it = entries_.find(name);
   if (it != entries_.end()) {
     total_bytes_ -= it->second->bytes;

@@ -22,7 +22,9 @@ namespace redoop {
 class CacheStore {
  public:
   struct Entry {
-    std::vector<KeyValue> payload;
+    /// Shared with the materializing job's result and any side inputs that
+    /// reference this cache — one immutable vector, never deep-copied.
+    std::shared_ptr<const std::vector<KeyValue>> payload;
     int64_t bytes = 0;
     int64_t records = 0;
   };
@@ -31,9 +33,18 @@ class CacheStore {
   CacheStore(const CacheStore&) = delete;
   CacheStore& operator=(const CacheStore&) = delete;
 
-  /// Stores (or replaces) a payload.
-  void Put(const std::string& name, std::vector<KeyValue> payload,
+  /// Stores (or replaces) a payload, sharing ownership with the caller.
+  void Put(const std::string& name,
+           std::shared_ptr<const std::vector<KeyValue>> payload,
            int64_t bytes, int64_t records);
+
+  /// Convenience for callers materializing a fresh vector.
+  void Put(const std::string& name, std::vector<KeyValue> payload,
+           int64_t bytes, int64_t records) {
+    Put(name,
+        std::make_shared<const std::vector<KeyValue>>(std::move(payload)),
+        bytes, records);
+  }
 
   /// Returns nullptr when absent. The pointer stays valid until the entry
   /// is removed.

@@ -545,7 +545,7 @@ void RedoopDriver::AppendSideInput(const CacheSignature& sig,
   side.location = sig.node;
   side.bytes = sig.bytes;
   side.records = sig.records;
-  side.payload = &entry->payload;
+  side.payload = entry->payload;  // Shared with the store, not copied.
   out->push_back(std::move(side));
 }
 
@@ -1052,8 +1052,9 @@ WindowReport RedoopDriver::AssembleWindow(int64_t recurrence) {
             if (sig->records == 0) continue;
             const CacheStore::Entry* entry = store_.Find(sig->name);
             REDOOP_CHECK(entry != nullptr);
-            report.output.insert(report.output.end(), entry->payload.begin(),
-                                 entry->payload.end());
+            report.output.insert(report.output.end(),
+                                 entry->payload->begin(),
+                                 entry->payload->end());
           }
         }
       }

@@ -57,8 +57,10 @@ struct ReduceSideInput {
   NodeId location = kInvalidNode;
   int64_t bytes = 0;
   int64_t records = 0;
-  /// Borrowed payload (owned by the cache store); must outlive the job.
-  const std::vector<KeyValue>* payload = nullptr;
+  /// Shared payload (typically aliased with the cache store's entry): side
+  /// inputs, caches, and results all reference the same immutable vector
+  /// instead of deep-copying it.
+  std::shared_ptr<const std::vector<KeyValue>> payload;
 };
 
 /// Instructions for materializing caches out of a job run (paper §4:

@@ -1,7 +1,9 @@
 #include "mapreduce/job_runner.h"
 
 #include <algorithm>
+#include <deque>
 #include <set>
+#include <span>
 #include <type_traits>
 #include <utility>
 
@@ -65,7 +67,9 @@ struct JobRunner::ReduceTaskState {
   NodeId backup_node = kInvalidNode;
   TaskId backup_id = 0;
   SimDuration nominal_duration = 0.0;
-  std::vector<KeyValue> output;
+  /// Shared so output caches and the job result alias it instead of
+  /// deep-copying every pair.
+  std::shared_ptr<const std::vector<KeyValue>> output;
   std::vector<MaterializedCache> caches;
 };
 
@@ -77,6 +81,11 @@ struct JobRunner::RunState {
   std::vector<std::unique_ptr<ReduceTaskState>> reduces;
   int64_t maps_completed = 0;
   int64_t reduces_completed = 0;
+  /// Per-reduce-partition total of completed map bucket bytes, maintained
+  /// incrementally as maps finish (and rolled back when a completed map's
+  /// output is lost to a node failure). Replaces the O(maps × reduces)
+  /// rescan the scheduling loop used to pay per placement decision.
+  std::vector<int64_t> partition_shuffle_bytes;
   bool reduces_unlocked = false;  // Set once all maps are done.
   bool finished = false;
   Status failure;  // First fatal error.
@@ -188,12 +197,8 @@ void JobRunner::TryScheduleTasks(RunState* run) {
     request.partition = task->partition;
     request.side_inputs = task->side_inputs;
     request.preferred_node = task->preferred_node;
-    for (const auto& map : run->maps) {
-      if (map->state == TaskState::kCompleted) {
-        request.shuffle_bytes +=
-            map->bucket_bytes[static_cast<size_t>(task->partition)];
-      }
-    }
+    request.shuffle_bytes =
+        run->partition_shuffle_bytes[static_cast<size_t>(task->partition)];
     const NodeId node = scheduler_->SelectNodeForReduce(request, *cluster_);
     if (node == kInvalidNode) break;  // No free reduce slots anywhere.
     StartReduceTask(run, task.get(), node);
@@ -244,13 +249,28 @@ void JobRunner::StartMapTask(RunState* run, MapTaskState* task, NodeId node) {
   for (int64_t r = task->record_begin; r < task->record_end; ++r) {
     mapper->Map(task->file->records[static_cast<size_t>(r)], &context);
   }
-  std::vector<KeyValue> output = context.TakeOutput();
+  // Partition straight out of the map buffer: a counting pass sizes each
+  // bucket exactly, then every pair is moved once — no intermediate vector
+  // and no push_back reallocation churn.
+  std::vector<KeyValue>& output = *context.mutable_output();
   task->output_records = static_cast<int64_t>(output.size());
   task->output_bytes = TotalLogicalBytes(output);
-  for (KeyValue& kv : output) {
-    const int32_t p = run->partitioner->Partition(kv.key, num_partitions);
-    task->buckets[static_cast<size_t>(p)].push_back(std::move(kv));
+  std::vector<int32_t> pair_partition(output.size());
+  std::vector<size_t> partition_counts(static_cast<size_t>(num_partitions), 0);
+  for (size_t i = 0; i < output.size(); ++i) {
+    const int32_t p = run->partitioner->Partition(output[i].key,
+                                                  num_partitions);
+    pair_partition[i] = p;
+    ++partition_counts[static_cast<size_t>(p)];
   }
+  for (size_t p = 0; p < task->buckets.size(); ++p) {
+    task->buckets[p].reserve(partition_counts[p]);
+  }
+  for (size_t i = 0; i < output.size(); ++i) {
+    task->buckets[static_cast<size_t>(pair_partition[i])].push_back(
+        std::move(output[i]));
+  }
+  context.Clear();
   for (auto& bucket : task->buckets) SortByKey(&bucket);
 
   // Map-side combine: each sorted bucket's key groups collapse before the
@@ -258,20 +278,18 @@ void JobRunner::StartMapTask(RunState* run, MapTaskState* task, NodeId node) {
   // everything downstream (spill, shuffle, reduce) sees the combined one.
   if (spec.config.combiner != nullptr) {
     for (auto& bucket : task->buckets) {
-      std::vector<KeyValue> combined;
+      ReduceContext combine_out;
       size_t i = 0;
       while (i < bucket.size()) {
         size_t j = i;
         while (j < bucket.size() && bucket[j].key == bucket[i].key) ++j;
-        std::vector<KeyValue> group(bucket.begin() + static_cast<int64_t>(i),
-                                    bucket.begin() + static_cast<int64_t>(j));
-        ReduceContext combine_out;
-        spec.config.combiner->Reduce(bucket[i].key, group, &combine_out);
-        std::vector<KeyValue> produced = combine_out.TakeOutput();
-        std::move(produced.begin(), produced.end(),
-                  std::back_inserter(combined));
+        spec.config.combiner->Reduce(
+            bucket[i].key,
+            std::span<const KeyValue>(bucket.data() + i, j - i),
+            &combine_out);
         i = j;
       }
+      std::vector<KeyValue> combined = combine_out.TakeOutput();
       SortByKey(&combined);
       bucket = std::move(combined);
     }
@@ -347,6 +365,9 @@ void JobRunner::FinishMapTask(RunState* run, MapTaskState* task,
   run->last_map_finish =
       std::max(run->last_map_finish, task->timing.finished_at);
   ++run->maps_completed;
+  for (size_t p = 0; p < task->bucket_bytes.size(); ++p) {
+    run->partition_shuffle_bytes[p] += task->bucket_bytes[p];
+  }
 
   TaskReport report;
   report.id = task->id;
@@ -420,7 +441,7 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
   task->timing = TaskTiming();
   task->timing.ready_at = task->ready_at;
   task->timing.scheduled_at = cluster_->simulator().Now();
-  task->output.clear();
+  task->output.reset();
   task->caches.clear();
   if (options_.obs != nullptr) {
     options_.obs
@@ -440,12 +461,16 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
 
   task->timing.startup = cost.TaskStartupTime();
 
-  // ---- Shuffle: copy this partition's bucket from every map output. ----
+  // ---- Shuffle: view this partition's sorted bucket from every map
+  // output. The buckets are collected as zero-copy runs for the k-way
+  // merge below; nothing is concatenated or re-sorted. ----
   int64_t new_bytes = 0;
   int64_t new_records = 0;
-  std::vector<KeyValue> input;
-  // (source, pane) -> newly shuffled pairs, for reduce-input caching.
-  std::map<std::pair<SourceId, PaneId>, std::vector<KeyValue>> new_by_pane;
+  std::vector<std::span<const KeyValue>> runs;
+  // (source, pane) -> this partition's sorted bucket runs, for
+  // reduce-input caching.
+  std::map<std::pair<SourceId, PaneId>, std::vector<std::span<const KeyValue>>>
+      runs_by_pane;
   for (const auto& map : run->maps) {
     REDOOP_CHECK(map->state == TaskState::kCompleted);
     const auto& bucket = map->buckets[static_cast<size_t>(partition)];
@@ -460,9 +485,10 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
       task->timing.shuffle += cost.LocalReadTime(bytes) + cost.TransferTime(bytes);
       counters.Increment(counter::kShuffleRemoteBytes, bytes);
     }
-    auto& per_pane = new_by_pane[{map->source, map->pane}];
-    per_pane.insert(per_pane.end(), bucket.begin(), bucket.end());
-    input.insert(input.end(), bucket.begin(), bucket.end());
+    runs.emplace_back(bucket);
+    if (spec.cache.cache_reduce_input) {
+      runs_by_pane[{map->source, map->pane}].emplace_back(bucket);
+    }
   }
 
   // ---- Cached side inputs (reduce input caches from prior recurrences). --
@@ -473,6 +499,11 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
   // the savings shape is right.
   int64_t cached_bytes = 0;
   int64_t cached_records = 0;
+  // Cached payloads are materialized sorted (they are merge outputs), so
+  // they join the merge as runs directly. The sorted-copy fallback guards
+  // against exotic caches (e.g. a multi-emission reducer's output cache
+  // fed back as a side input); the deque keeps earlier spans stable.
+  std::deque<std::vector<KeyValue>> resort_scratch;
   for (const ReduceSideInput& side : task->side_inputs) {
     REDOOP_CHECK(side.partition == partition);
     REDOOP_CHECK(side.payload != nullptr);
@@ -496,35 +527,45 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
     }
     cached_bytes += side.bytes;
     cached_records += side.records;
-    input.insert(input.end(), side.payload->begin(), side.payload->end());
+    if (IsSortedByKey(*side.payload)) {
+      runs.emplace_back(*side.payload);
+    } else {
+      resort_scratch.emplace_back(*side.payload);
+      SortByKey(&resort_scratch.back());
+      runs.emplace_back(resort_scratch.back());
+    }
   }
 
-  // ---- Sort / merge. Newly shuffled data pays a full sort plus the merge
-  // spill to local disk (Hadoop reducers materialize their merged input
-  // before reducing); cached runs are already sorted per pane and only pay
-  // a linear merge pass. ----
+  // ---- Sort / merge. The *simulated* charge is unchanged: newly shuffled
+  // data pays a full sort plus the merge spill to local disk (Hadoop
+  // reducers materialize their merged input before reducing); cached runs
+  // are already sorted per pane and only pay a linear merge pass. The
+  // *host* now does what the charge models — one k-way merge of the
+  // sorted runs instead of a concat + full re-sort. ----
   task->timing.sort = cost.SortTime(new_bytes, new_records) +
                       cost.options().sort_factor *
                           static_cast<double>(cached_bytes);
   const SimDuration merge_spill = cost.LocalWriteTime(new_bytes);
-  SortByKey(&input);
+  const std::vector<KeyValue> input = MergeSortedRuns(runs);
 
-  // ---- Grouping + user reduce calls. ----
+  // ---- Grouping + user reduce calls: each key group is a zero-copy view
+  // into the merged input. ----
   ReduceContext context;
   size_t i = 0;
   while (i < input.size()) {
     size_t j = i;
     while (j < input.size() && input[j].key == input[i].key) ++j;
-    std::vector<KeyValue> group(input.begin() + static_cast<int64_t>(i),
-                                input.begin() + static_cast<int64_t>(j));
-    spec.config.reducer->Reduce(input[i].key, group, &context);
+    spec.config.reducer->Reduce(
+        input[i].key, std::span<const KeyValue>(input.data() + i, j - i),
+        &context);
     i = j;
   }
-  task->output = context.TakeOutput();
+  task->output =
+      std::make_shared<const std::vector<KeyValue>>(context.TakeOutput());
   const int64_t total_input_bytes = new_bytes + cached_bytes;
   task->timing.compute = cost.ReduceComputeTime(total_input_bytes);
 
-  const int64_t output_bytes = TotalLogicalBytes(task->output);
+  const int64_t output_bytes = TotalLogicalBytes(*task->output);
 
   // ---- Writes: reduce-output cache and HDFS output. Reduce-input caches
   // are the merge spill *kept* instead of deleted (paper §4: caching the
@@ -533,7 +574,10 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
   int64_t write_bytes = output_bytes;  // Plain local materialization.
   if (spec.cache.cache_reduce_input) {
     REDOOP_CHECK(spec.cache.input_cache_name != nullptr);
-    for (auto& [key, pairs] : new_by_pane) {
+    for (auto& [key, pane_runs] : runs_by_pane) {
+      // Each pane's cache is the merge of that pane's sorted map buckets —
+      // the same k-way kernel, never a re-sort.
+      std::vector<KeyValue> pairs = MergeSortedRuns(pane_runs);
       if (pairs.empty()) continue;
       MaterializedCache cache;
       cache.name = spec.cache.input_cache_name(key.first, key.second, partition);
@@ -544,8 +588,8 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
       cache.is_reduce_output = false;
       cache.bytes = TotalLogicalBytes(pairs);
       cache.records = static_cast<int64_t>(pairs.size());
-      SortByKey(&pairs);
-      cache.payload = std::move(pairs);
+      cache.payload = std::make_shared<const std::vector<KeyValue>>(
+          std::move(pairs));
       counters.Increment(counter::kCacheWriteBytes, cache.bytes);
       task->caches.push_back(std::move(cache));
     }
@@ -562,12 +606,12 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
     cache.pane_right = task->label_right;
     cache.is_reduce_output = true;
     cache.bytes = output_bytes;
-    cache.records = static_cast<int64_t>(task->output.size());
-    cache.payload = task->output;  // Copy: result also returns the output.
+    cache.records = static_cast<int64_t>(task->output->size());
+    cache.payload = task->output;  // Shared with the job result, not copied.
     write_bytes += cache.bytes;
     counters.Increment(counter::kCacheWriteBytes, cache.bytes);
     task->caches.push_back(std::move(cache));
-  } else if (spec.cache.cache_reduce_output && !task->output.empty()) {
+  } else if (spec.cache.cache_reduce_output && !task->output->empty()) {
     REDOOP_CHECK(spec.cache.output_cache_name != nullptr);
     MaterializedCache cache;
     cache.name = spec.cache.output_cache_name(partition);
@@ -575,8 +619,8 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
     cache.partition = partition;
     cache.is_reduce_output = true;
     cache.bytes = output_bytes;
-    cache.records = static_cast<int64_t>(task->output.size());
-    cache.payload = task->output;  // Copy: result also returns the output.
+    cache.records = static_cast<int64_t>(task->output->size());
+    cache.payload = task->output;  // Shared with the job result, not copied.
     write_bytes += cache.bytes;
     counters.Increment(counter::kCacheWriteBytes, cache.bytes);
     task->caches.push_back(std::move(cache));
@@ -591,7 +635,7 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
                      new_records + cached_records);
   counters.Increment(counter::kReduceInputBytes, total_input_bytes);
   counters.Increment(counter::kReduceOutputRecords,
-                     static_cast<int64_t>(task->output.size()));
+                     static_cast<int64_t>(task->output->size()));
   counters.Increment(counter::kReduceOutputBytes, output_bytes);
 
   const SimDuration duration =
@@ -801,6 +845,11 @@ void JobRunner::OnNodeFailure(NodeId node) {
   if (reduces_outstanding) {
     for (auto& task : run->maps) {
       if (task->state == TaskState::kCompleted && task->node == node) {
+        // The lost output's contribution to the per-partition shuffle
+        // totals rolls back; the re-run adds it again on completion.
+        for (size_t p = 0; p < task->bucket_bytes.size(); ++p) {
+          run->partition_shuffle_bytes[p] -= task->bucket_bytes[p];
+        }
         task->state = TaskState::kPending;
         task->id = next_task_id_++;
         ++task->attempt;
@@ -908,6 +957,8 @@ JobResult JobRunner::Run(const JobSpec& spec) {
   RunState& run = *run_owner;
   run.self = run_owner;
   run.spec = &spec;
+  run.partition_shuffle_bytes.assign(
+      static_cast<size_t>(spec.config.num_reducers), 0);
   run.partitioner = spec.config.partitioner
                         ? spec.config.partitioner
                         : std::make_shared<const HashPartitioner>();
@@ -1021,8 +1072,10 @@ JobResult JobRunner::Run(const JobSpec& spec) {
       result.shuffle_time_total += task->timing.shuffle;
       result.reduce_time_total += task->timing.read + task->timing.sort +
                                   task->timing.compute + task->timing.write;
-      result.output.insert(result.output.end(), task->output.begin(),
-                           task->output.end());
+      if (task->output != nullptr) {
+        result.output.insert(result.output.end(), task->output->begin(),
+                             task->output->end());
+      }
       for (MaterializedCache& cache : task->caches) {
         if (cache.bytes < 0) continue;  // Dropped: node disk was full.
         result.caches.push_back(std::move(cache));

@@ -4,18 +4,119 @@
 
 namespace redoop {
 
-int64_t TotalLogicalBytes(const std::vector<KeyValue>& kvs) {
+int64_t TotalLogicalBytes(std::span<const KeyValue> kvs) {
   int64_t total = 0;
   for (const KeyValue& kv : kvs) total += kv.logical_bytes;
   return total;
 }
 
 void SortByKey(std::vector<KeyValue>* kvs) {
-  std::sort(kvs->begin(), kvs->end(),
-            [](const KeyValue& a, const KeyValue& b) {
-              if (a.key != b.key) return a.key < b.key;
-              return a.value < b.value;
-            });
+  std::sort(kvs->begin(), kvs->end(), KeyValueLess());
+}
+
+bool IsSortedByKey(std::span<const KeyValue> kvs) {
+  return std::is_sorted(kvs.begin(), kvs.end(), KeyValueLess());
+}
+
+namespace {
+
+/// Loser tree over the run heads. Internal nodes hold the *loser* of the
+/// match played at that node; the overall winner sits at tree_[0]. Refilling
+/// after popping the winner replays exactly one leaf-to-root path:
+/// ceil(log2(k)) comparisons per output element.
+class LoserTree {
+ public:
+  explicit LoserTree(std::span<const std::span<const KeyValue>> runs)
+      : runs_(runs), pos_(runs.size(), 0) {
+    size_ = 1;
+    while (size_ < runs_.size()) size_ <<= 1;
+    tree_.assign(2 * size_, kSentinel);
+    // Seed the bracket bottom-up: leaves are run indices (or the sentinel
+    // for padding / empty runs), each internal node keeps the loser and
+    // forwards the winner.
+    std::vector<size_t> winner(2 * size_, kSentinel);
+    for (size_t i = 0; i < size_; ++i) {
+      winner[size_ + i] = (i < runs_.size() && !runs_[i].empty()) ? i
+                                                                  : kSentinel;
+    }
+    for (size_t n = size_ - 1; n >= 1; --n) {
+      const size_t a = winner[2 * n];
+      const size_t b = winner[2 * n + 1];
+      if (Beats(a, b)) {
+        winner[n] = a;
+        tree_[n] = b;
+      } else {
+        winner[n] = b;
+        tree_[n] = a;
+      }
+      if (n == 1) tree_[0] = winner[1];
+    }
+    if (size_ == 1) tree_[0] = winner[1];
+  }
+
+  bool Done() const { return tree_[0] == kSentinel; }
+
+  /// Returns the smallest head and advances its run.
+  const KeyValue& Pop() {
+    const size_t run = tree_[0];
+    const KeyValue& kv = runs_[run][pos_[run]];
+    ++pos_[run];
+    // Replay the path from this run's leaf to the root.
+    size_t winner = pos_[run] < runs_[run].size() ? run : kSentinel;
+    for (size_t n = (size_ + run) / 2; n >= 1; n /= 2) {
+      if (Beats(tree_[n], winner)) std::swap(tree_[n], winner);
+    }
+    tree_[0] = winner;
+    return kv;
+  }
+
+ private:
+  static constexpr size_t kSentinel = static_cast<size_t>(-1);
+
+  /// True when run `a`'s head wins (strictly smaller, or equal with the
+  /// lower run index — the tie-break that makes the merge stable).
+  bool Beats(size_t a, size_t b) const {
+    if (a == kSentinel) return false;
+    if (b == kSentinel) return true;
+    const KeyValue& ka = runs_[a][pos_[a]];
+    const KeyValue& kb = runs_[b][pos_[b]];
+    int c = ka.key.compare(kb.key);
+    if (c != 0) return c < 0;
+    c = ka.value.compare(kb.value);
+    if (c != 0) return c < 0;
+    return a < b;
+  }
+
+  std::span<const std::span<const KeyValue>> runs_;
+  std::vector<size_t> pos_;   // Head index per run.
+  std::vector<size_t> tree_;  // [0] = winner; [1..) = losers per node.
+  size_t size_ = 1;           // Leaf count (power of two).
+};
+
+}  // namespace
+
+std::vector<KeyValue> MergeSortedRuns(
+    std::span<const std::span<const KeyValue>> runs) {
+  size_t total = 0;
+  size_t non_empty = 0;
+  std::span<const KeyValue> last;
+  for (const auto& run : runs) {
+    total += run.size();
+    if (!run.empty()) {
+      ++non_empty;
+      last = run;
+    }
+  }
+  std::vector<KeyValue> merged;
+  merged.reserve(total);
+  if (non_empty == 1) {  // Single run: a straight copy, no comparisons.
+    merged.assign(last.begin(), last.end());
+    return merged;
+  }
+  if (non_empty == 0) return merged;
+  LoserTree tree(runs);
+  while (!tree.Done()) merged.push_back(tree.Pop());
+  return merged;
 }
 
 }  // namespace redoop

@@ -2,6 +2,7 @@
 #define REDOOP_MAPREDUCE_KV_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -28,12 +29,35 @@ struct KeyValue {
   }
 };
 
-/// Total logical size of a span of pairs.
-int64_t TotalLogicalBytes(const std::vector<KeyValue>& kvs);
+/// The deterministic (key, value) total order used everywhere after the
+/// shuffle: bucket sorts, cached runs, and the reduce-side merge all agree
+/// on it, so results are byte-identical across schedules.
+struct KeyValueLess {
+  bool operator()(const KeyValue& a, const KeyValue& b) const {
+    if (a.key != b.key) return a.key < b.key;
+    return a.value < b.value;
+  }
+};
 
-/// Sorts by (key, value) — the deterministic total order used after the
-/// shuffle so results are byte-identical across schedules.
+/// Total logical size of a span of pairs.
+int64_t TotalLogicalBytes(std::span<const KeyValue> kvs);
+
+/// Sorts by (key, value) — see KeyValueLess.
 void SortByKey(std::vector<KeyValue>* kvs);
+
+/// True when `kvs` is non-decreasing under KeyValueLess.
+bool IsSortedByKey(std::span<const KeyValue> kvs);
+
+/// K-way merge of sorted runs into one sorted vector (loser tree, one
+/// comparison path of log2(k) per output element instead of the
+/// O(N log N) comparison sort the concat+SortByKey path pays).
+///
+/// Each run must individually be sorted under KeyValueLess. Pairs that
+/// compare equal are emitted in run order (earlier run first), then in
+/// within-run order — i.e. the merge is stable with respect to the
+/// concatenation order of `runs`, which keeps reduce groups deterministic.
+std::vector<KeyValue> MergeSortedRuns(
+    std::span<const std::span<const KeyValue>> runs);
 
 }  // namespace redoop
 

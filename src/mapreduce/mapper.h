@@ -22,6 +22,9 @@ class MapContext {
   }
 
   const std::vector<KeyValue>& output() const { return output_; }
+  /// Direct access to the collected pairs so callers can partition them in
+  /// place (move the strings out) without an intermediate copy.
+  std::vector<KeyValue>* mutable_output() { return &output_; }
   std::vector<KeyValue> TakeOutput() { return std::move(output_); }
   void Clear() { output_.clear(); }
 

@@ -2,6 +2,7 @@
 #define REDOOP_MAPREDUCE_REDUCER_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,12 +33,14 @@ class ReduceContext {
 
 /// User reduce function: consumes one key group (all shuffled values for a
 /// key, in deterministic sorted order) and emits zero or more output pairs.
-/// Implementations must be stateless.
+/// The group is a zero-copy view into the merged reduce input (or the
+/// map-side sort buffer for combiners); it is only valid for the duration
+/// of the call. Implementations must be stateless.
 class Reducer {
  public:
   virtual ~Reducer() = default;
   virtual void Reduce(const std::string& key,
-                      const std::vector<KeyValue>& values,
+                      std::span<const KeyValue> values,
                       ReduceContext* context) const = 0;
 };
 
@@ -46,7 +49,7 @@ class Reducer {
 /// sorted reducer inputs as caches.
 class NullReducer : public Reducer {
  public:
-  void Reduce(const std::string& key, const std::vector<KeyValue>& values,
+  void Reduce(const std::string& key, std::span<const KeyValue> values,
               ReduceContext* context) const override {
     (void)key;
     (void)values;
@@ -57,7 +60,7 @@ class NullReducer : public Reducer {
 /// Identity reducer: re-emits every value under its key.
 class IdentityReducer : public Reducer {
  public:
-  void Reduce(const std::string& key, const std::vector<KeyValue>& values,
+  void Reduce(const std::string& key, std::span<const KeyValue> values,
               ReduceContext* context) const override {
     for (const KeyValue& v : values) {
       context->Emit(key, v.value, v.logical_bytes);
@@ -76,7 +79,7 @@ class ComposedReducer : public Reducer {
                   std::shared_ptr<const Reducer> second)
       : first_(std::move(first)), second_(std::move(second)) {}
 
-  void Reduce(const std::string& key, const std::vector<KeyValue>& values,
+  void Reduce(const std::string& key, std::span<const KeyValue> values,
               ReduceContext* context) const override {
     ReduceContext intermediate;
     first_->Reduce(key, values, &intermediate);

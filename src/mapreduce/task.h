@@ -2,6 +2,7 @@
 #define REDOOP_MAPREDUCE_TASK_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -63,8 +64,9 @@ struct MaterializedCache {
   bool is_reduce_output = false;
   int64_t bytes = 0;
   int64_t records = 0;
-  /// The cached pairs (moved into the cache store by the caller).
-  std::vector<KeyValue> payload;
+  /// The cached pairs, shared (not copied) into the cache store and any
+  /// aliasing job result/output vectors.
+  std::shared_ptr<const std::vector<KeyValue>> payload;
 };
 
 }  // namespace redoop

@@ -51,7 +51,7 @@ void AggregationMapper::Map(const Record& record,
 }
 
 void AggregationReducer::Reduce(const std::string& key,
-                                const std::vector<KeyValue>& values,
+                                std::span<const KeyValue> values,
                                 ReduceContext* context) const {
   AggregateValue total;
   for (const KeyValue& kv : values) {

@@ -2,6 +2,7 @@
 #define REDOOP_QUERIES_AGGREGATION_QUERY_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "core/recurring_query.h"
@@ -36,7 +37,7 @@ class AggregationMapper : public Mapper {
 /// reducer and as the window finalizer.
 class AggregationReducer : public Reducer {
  public:
-  void Reduce(const std::string& key, const std::vector<KeyValue>& values,
+  void Reduce(const std::string& key, std::span<const KeyValue> values,
               ReduceContext* context) const override;
 };
 

@@ -41,7 +41,7 @@ void DistinctElementMapper::Map(const Record& record,
 }
 
 void DistinctSetReducer::Reduce(const std::string& key,
-                                const std::vector<KeyValue>& values,
+                                std::span<const KeyValue> values,
                                 ReduceContext* context) const {
   std::set<std::string> elements;
   for (const KeyValue& kv : values) {
@@ -54,7 +54,7 @@ void DistinctSetReducer::Reduce(const std::string& key,
 }
 
 void DistinctCountFinalizer::Reduce(const std::string& key,
-                                    const std::vector<KeyValue>& values,
+                                    std::span<const KeyValue> values,
                                     ReduceContext* context) const {
   std::set<std::string> elements;
   for (const KeyValue& kv : values) {

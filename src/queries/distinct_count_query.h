@@ -2,6 +2,7 @@
 #define REDOOP_QUERIES_DISTINCT_COUNT_QUERY_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "core/recurring_query.h"
@@ -22,14 +23,14 @@ class DistinctElementMapper : public Mapper {
 /// carries the set, not a counter.)
 class DistinctSetReducer : public Reducer {
  public:
-  void Reduce(const std::string& key, const std::vector<KeyValue>& values,
+  void Reduce(const std::string& key, std::span<const KeyValue> values,
               ReduceContext* context) const override;
 };
 
 /// Finalizer: collapses the merged element set into its cardinality.
 class DistinctCountFinalizer : public Reducer {
  public:
-  void Reduce(const std::string& key, const std::vector<KeyValue>& values,
+  void Reduce(const std::string& key, std::span<const KeyValue> values,
               ReduceContext* context) const override;
 };
 

@@ -21,7 +21,7 @@ void JoinTaggingMapper::Map(const Record& record,
 }
 
 void EquiJoinReducer::Reduce(const std::string& key,
-                             const std::vector<KeyValue>& values,
+                             std::span<const KeyValue> values,
                              ReduceContext* context) const {
   std::vector<const std::string*> left;
   std::vector<const std::string*> right;

@@ -2,6 +2,7 @@
 #define REDOOP_QUERIES_JOIN_QUERY_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "core/recurring_query.h"
@@ -27,7 +28,7 @@ class JoinTaggingMapper : public Mapper {
 /// join), which is what Redoop's kPanePairJoin pattern requires.
 class EquiJoinReducer : public Reducer {
  public:
-  void Reduce(const std::string& key, const std::vector<KeyValue>& values,
+  void Reduce(const std::string& key, std::span<const KeyValue> values,
               ReduceContext* context) const override;
 };
 

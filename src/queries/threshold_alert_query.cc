@@ -12,7 +12,7 @@ ThresholdAlertFinalizer::ThresholdAlertFinalizer(int64_t min_count)
 }
 
 void ThresholdAlertFinalizer::Reduce(const std::string& key,
-                                     const std::vector<KeyValue>& values,
+                                     std::span<const KeyValue> values,
                                      ReduceContext* context) const {
   AggregateValue total;
   for (const KeyValue& kv : values) {

@@ -2,6 +2,7 @@
 #define REDOOP_QUERIES_THRESHOLD_ALERT_QUERY_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "core/recurring_query.h"
@@ -18,7 +19,7 @@ class ThresholdAlertFinalizer : public Reducer {
  public:
   explicit ThresholdAlertFinalizer(int64_t min_count);
 
-  void Reduce(const std::string& key, const std::vector<KeyValue>& values,
+  void Reduce(const std::string& key, std::span<const KeyValue> values,
               ReduceContext* context) const override;
 
  private:

@@ -109,11 +109,11 @@ TEST(LocalCacheRegistryTest, RemoveDropsMetadataOnly) {
 
 TEST(CacheStoreTest, PutFindRemove) {
   CacheStore store;
-  store.Put("a", {{"k", "v", 8}}, 8, 1);
+  store.Put("a", std::vector<KeyValue>{{"k", "v", 8}}, 8, 1);
   ASSERT_TRUE(store.Has("a"));
   const CacheStore::Entry* entry = store.Find("a");
   ASSERT_NE(entry, nullptr);
-  EXPECT_EQ(entry->payload.size(), 1u);
+  EXPECT_EQ(entry->payload->size(), 1u);
   EXPECT_EQ(entry->bytes, 8);
   EXPECT_EQ(store.total_bytes(), 8);
   store.Remove("a");
@@ -124,18 +124,18 @@ TEST(CacheStoreTest, PutFindRemove) {
 
 TEST(CacheStoreTest, OverwriteReplacesBytes) {
   CacheStore store;
-  store.Put("a", {}, 100, 0);
-  store.Put("a", {}, 40, 0);
+  store.Put("a", std::vector<KeyValue>{}, 100, 0);
+  store.Put("a", std::vector<KeyValue>{}, 40, 0);
   EXPECT_EQ(store.total_bytes(), 40);
   EXPECT_EQ(store.size(), 1u);
 }
 
 TEST(CacheStoreTest, PayloadPointerStableAcrossOtherInserts) {
   CacheStore store;
-  store.Put("a", {{"k", "v", 8}}, 8, 1);
+  store.Put("a", std::vector<KeyValue>{{"k", "v", 8}}, 8, 1);
   const CacheStore::Entry* entry = store.Find("a");
   for (int i = 0; i < 100; ++i) {
-    store.Put("b" + std::to_string(i), {}, 1, 0);
+    store.Put("b" + std::to_string(i), std::vector<KeyValue>{}, 1, 0);
   }
   EXPECT_EQ(store.Find("a"), entry)
       << "job side-input payloads must stay valid while caches are added";

@@ -23,7 +23,7 @@ TEST(DistinctSetReducerTest, UnionsAndSorts) {
   DistinctSetReducer reducer;
   ReduceContext context;
   reducer.Reduce("k",
-                 {{"k", "b|c", 8}, {"k", "a", 8}, {"k", "c|d", 8}},
+                 std::vector<KeyValue>{{"k", "b|c", 8}, {"k", "a", 8}, {"k", "c|d", 8}},
                  &context);
   ASSERT_EQ(context.output().size(), 1u);
   EXPECT_EQ(context.output()[0].value, "a|b|c|d");
@@ -32,7 +32,7 @@ TEST(DistinctSetReducerTest, UnionsAndSorts) {
 TEST(DistinctCountFinalizerTest, CountsUnion) {
   DistinctCountFinalizer finalizer;
   ReduceContext context;
-  finalizer.Reduce("k", {{"k", "a|b", 8}, {"k", "b|c", 8}}, &context);
+  finalizer.Reduce("k", std::vector<KeyValue>{{"k", "a|b", 8}, {"k", "b|c", 8}}, &context);
   ASSERT_EQ(context.output().size(), 1u);
   EXPECT_EQ(context.output()[0].value, "3");
 }

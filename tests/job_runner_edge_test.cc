@@ -12,7 +12,7 @@ namespace {
 
 class SumReducer : public Reducer {
  public:
-  void Reduce(const std::string& key, const std::vector<KeyValue>& values,
+  void Reduce(const std::string& key, std::span<const KeyValue> values,
               ReduceContext* context) const override {
     int64_t total = 0;
     for (const KeyValue& v : values) total += std::stoll(v.value);
@@ -94,7 +94,8 @@ TEST_F(EdgeTest, ActivePartitionsFilterReduces) {
 TEST_F(EdgeTest, WarmReadsChargeOnlyOnce) {
   // Two explicit tasks on the same node reading the same cache: the
   // second read hits the page cache (only one local-read counter bump).
-  std::vector<KeyValue> payload = {{"k", "1", 1 << 20}};
+  auto payload = std::make_shared<const std::vector<KeyValue>>(
+      std::vector<KeyValue>{{"k", "1", 1 << 20}});
   auto make_task = [&](int32_t partition) {
     ExplicitReduceTask task;
     task.partition = partition;
@@ -105,7 +106,7 @@ TEST_F(EdgeTest, WarmReadsChargeOnlyOnce) {
     side.location = 2;
     side.bytes = 1 << 20;
     side.records = 1;
-    side.payload = &payload;
+    side.payload = payload;
     task.side_inputs = {side};
     return task;
   };
@@ -130,7 +131,8 @@ TEST_F(EdgeTest, WarmReadsChargeOnlyOnce) {
 }
 
 TEST_F(EdgeTest, PreferredNodeHintIsHonored) {
-  std::vector<KeyValue> payload = {{"k", "1", 64}};
+  auto payload = std::make_shared<const std::vector<KeyValue>>(
+      std::vector<KeyValue>{{"k", "1", 64}});
   ExplicitReduceTask task;
   task.partition = 0;
   task.preferred_node = 3;
@@ -140,7 +142,7 @@ TEST_F(EdgeTest, PreferredNodeHintIsHonored) {
   side.location = 0;
   side.bytes = 64;
   side.records = 1;
-  side.payload = &payload;
+  side.payload = payload;
   task.side_inputs = {side};
 
   JobSpec spec;

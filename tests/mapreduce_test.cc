@@ -104,7 +104,7 @@ class WordMapper : public Mapper {
 
 class CountReducer : public Reducer {
  public:
-  void Reduce(const std::string& key, const std::vector<KeyValue>& values,
+  void Reduce(const std::string& key, std::span<const KeyValue> values,
               ReduceContext* context) const override {
     int64_t total = 0;
     for (const KeyValue& v : values) total += std::stoll(v.value);
@@ -234,7 +234,8 @@ TEST_F(JobRunnerTest, PerSourceMapperOverride) {
 
 TEST_F(JobRunnerTest, SideInputsFeedReducers) {
   HashPartitioner partitioner;
-  std::vector<KeyValue> payload = {{"word", "5", 16}};
+  auto payload = std::make_shared<const std::vector<KeyValue>>(
+      std::vector<KeyValue>{{"word", "5", 16}});
   const int32_t partition = partitioner.Partition("word", 3);
 
   WriteInput("in", {"word"});
@@ -245,7 +246,7 @@ TEST_F(JobRunnerTest, SideInputsFeedReducers) {
   side.location = 0;
   side.bytes = 16;
   side.records = 1;
-  side.payload = &payload;
+  side.payload = payload;
   spec.side_inputs.push_back(side);
 
   JobResult result = runner_.Run(spec);
@@ -274,8 +275,8 @@ TEST_F(JobRunnerTest, ReduceInputCachingMaterializesPerPane) {
     EXPECT_TRUE(cluster_.node(cache.node).HasLocalFile(cache.name));
     cached_records += cache.records;
     // Payload is sorted.
-    for (size_t i = 1; i < cache.payload.size(); ++i) {
-      EXPECT_LE(cache.payload[i - 1].key, cache.payload[i].key);
+    for (size_t i = 1; i < cache.payload->size(); ++i) {
+      EXPECT_LE((*cache.payload)[i - 1].key, (*cache.payload)[i].key);
     }
   }
   EXPECT_EQ(cached_records, 3) << "all shuffled pairs cached";
@@ -292,13 +293,15 @@ TEST_F(JobRunnerTest, ReduceOutputCachingMaterializes) {
   ASSERT_TRUE(result.status.ok());
   ASSERT_EQ(result.caches.size(), 1u) << "only one partition has output";
   EXPECT_TRUE(result.caches[0].is_reduce_output);
-  ASSERT_EQ(result.caches[0].payload.size(), 1u);
-  EXPECT_EQ(result.caches[0].payload[0].value, "3");
+  ASSERT_EQ(result.caches[0].payload->size(), 1u);
+  EXPECT_EQ((*result.caches[0].payload)[0].value, "3");
 }
 
 TEST_F(JobRunnerTest, ExplicitReduceTasksJoinSideInputsOnly) {
-  std::vector<KeyValue> left = {{"k", "L1", 8}, {"k", "L2", 8}};
-  std::vector<KeyValue> right = {{"k", "R1", 8}};
+  auto left = std::make_shared<const std::vector<KeyValue>>(
+      std::vector<KeyValue>{{"k", "L1", 8}, {"k", "L2", 8}});
+  auto right = std::make_shared<const std::vector<KeyValue>>(
+      std::vector<KeyValue>{{"k", "R1", 8}});
 
   JobSpec spec;
   spec.config.reducer = std::make_shared<const IdentityReducer>();
@@ -314,11 +317,11 @@ TEST_F(JobRunnerTest, ExplicitReduceTasksJoinSideInputsOnly) {
   a.location = 1;
   a.bytes = 16;
   a.records = 2;
-  a.payload = &left;
+  a.payload = left;
   ReduceSideInput b = a;
   b.cache_name = "r";
   b.records = 1;
-  b.payload = &right;
+  b.payload = right;
   task.side_inputs = {a, b};
   spec.explicit_reduce_tasks.push_back(task);
 
@@ -336,7 +339,8 @@ TEST_F(JobRunnerTest, ExplicitTaskWithEmptyOutputStillMaterializesCache) {
   JobSpec spec;
   spec.config.reducer = std::make_shared<const NullReducer>();
   spec.config.num_reducers = 1;
-  std::vector<KeyValue> payload = {{"k", "v", 8}};
+  auto payload = std::make_shared<const std::vector<KeyValue>>(
+      std::vector<KeyValue>{{"k", "v", 8}});
   ExplicitReduceTask task;
   task.partition = 0;
   task.output_cache_name = "empty-pair";
@@ -346,7 +350,7 @@ TEST_F(JobRunnerTest, ExplicitTaskWithEmptyOutputStillMaterializesCache) {
   side.location = 0;
   side.bytes = 8;
   side.records = 1;
-  side.payload = &payload;
+  side.payload = payload;
   task.side_inputs = {side};
   spec.explicit_reduce_tasks.push_back(task);
 

@@ -1,0 +1,150 @@
+// Pins the externally observable behavior of the execution engine to
+// golden values captured from the pre-merge (concat + full re-sort) reduce
+// path. The k-way-merge shuffle path is a host-side implementation change:
+// simulated time is still charged through the same cost-model formulas, so
+// window outputs, counters, and per-task timing sums must all be
+// bit-identical to what the old engine produced. If one of these EXPECTs
+// fires, the merge path changed observable behavior — that is a bug, not a
+// baseline refresh.
+//
+// Golden values were captured from the seed engine with the exact
+// configurations below (8 nodes, SmallClusterConfig, dfs.placement_seed=7).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/redoop_driver.h"
+#include "queries/aggregation_query.h"
+#include "queries/join_query.h"
+#include "tests/test_util.h"
+
+namespace redoop {
+namespace {
+
+using ::redoop::testing::MakeFfgFeed;
+using ::redoop::testing::MakeWccFeed;
+using ::redoop::testing::SmallClusterConfig;
+
+/// FNV-1a over every (key, value, logical_bytes) in order. Any reordering,
+/// drop, duplication, or byte change in the window output changes the hash.
+uint64_t Fnv1a(const std::vector<KeyValue>& kvs) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    h ^= 0xff;
+    h *= 1099511628211ull;
+  };
+  for (const KeyValue& kv : kvs) {
+    mix(kv.key);
+    mix(kv.value);
+    h ^= static_cast<uint64_t>(kv.logical_bytes);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct GoldenWindow {
+  double response;
+  double shuffle;
+  double reduce;
+  size_t output_size;
+  uint64_t output_hash;
+  double sort_sum;     // Sum of per-task sort timings.
+  double shuffle_sum;  // Sum of per-task shuffle timings.
+  double compute_sum;  // Sum of per-task compute timings.
+  int64_t reduce_input_records;
+  int64_t map_output_records;
+  int64_t cache_write_bytes;
+};
+
+void ExpectMatchesGolden(const RunReport& report,
+                         const std::vector<GoldenWindow>& golden) {
+  ASSERT_EQ(report.windows.size(), golden.size());
+  for (size_t w = 0; w < golden.size(); ++w) {
+    SCOPED_TRACE("window " + std::to_string(w));
+    const WindowReport& win = report.windows[w];
+    const GoldenWindow& g = golden[w];
+    // Exact comparisons on purpose: the simulation is deterministic and the
+    // merge path must not perturb simulated time by even one ULP.
+    EXPECT_EQ(win.response_time, g.response);
+    EXPECT_EQ(win.shuffle_time, g.shuffle);
+    EXPECT_EQ(win.reduce_time, g.reduce);
+    ASSERT_EQ(win.output.size(), g.output_size);
+    EXPECT_EQ(Fnv1a(win.output), g.output_hash);
+    double sort_sum = 0, shuffle_sum = 0, compute_sum = 0;
+    for (const TaskReport& t : win.task_reports) {
+      sort_sum += t.timing.sort;
+      shuffle_sum += t.timing.shuffle;
+      compute_sum += t.timing.compute;
+    }
+    EXPECT_EQ(sort_sum, g.sort_sum);
+    EXPECT_EQ(shuffle_sum, g.shuffle_sum);
+    EXPECT_EQ(compute_sum, g.compute_sum);
+    EXPECT_EQ(win.counters.Get(counter::kReduceInputRecords),
+              g.reduce_input_records);
+    EXPECT_EQ(win.counters.Get(counter::kMapOutputRecords),
+              g.map_output_records);
+    EXPECT_EQ(win.counters.Get(counter::kCacheWriteBytes),
+              g.cache_write_bytes);
+  }
+}
+
+TEST(MergePathInvarianceTest, AggregationWindowsMatchPreMergeEngine) {
+  Config config = SmallClusterConfig();
+  config.SetInt("dfs.placement_seed", 7);
+  RecurringQuery query = MakeAggregationQuery(1, "golden-agg", 1, 200, 40, 4);
+  Cluster cluster(8, config);
+  auto feed = MakeWccFeed(1, 30, 20);
+  RedoopDriver driver(&cluster, feed.get(), query);
+  const RunReport report = driver.Run(4);
+
+  ExpectMatchesGolden(
+      report,
+      {
+          {24.988939395711014, 0.44014899553571429, 0.78833336677688859, 200,
+           16934112899838308516ull, 0.2708350998213927, 0.44014899553571435,
+           0.7330994367599486, 6927, 6000, 6172419},
+          {7.431639012621531, 0.096544642857142843, 0.27923090834677977, 200,
+           15245230572314351490ull, 0.054245838407087868,
+           0.096544642857142857, 0.14715628623962401, 2120, 1200, 1234207},
+          {7.4317631901611776, 0.085160528273809516, 0.27919775760127907, 200,
+           11449879434511592080ull, 0.054235998186663935,
+           0.085160528273809516, 0.14714608192443848, 2106, 1200, 1234193},
+          {7.4297067293917394, 0.088252976190476187, 0.27917575208109185, 200,
+           13210125846801884131ull, 0.054223590717275373,
+           0.088252976190476187, 0.1471400260925293, 2098, 1200, 1234255},
+      });
+}
+
+TEST(MergePathInvarianceTest, JoinWindowsMatchPreMergeEngine) {
+  Config config = SmallClusterConfig();
+  config.SetInt("dfs.placement_seed", 7);
+  RecurringQuery query = MakeJoinQuery(2, "golden-join", 1, 2, 120, 40, 2);
+  Cluster cluster(8, config);
+  auto feed = MakeFfgFeed(1, 2, 6, 20);
+  RedoopDriver driver(&cluster, feed.get(), query);
+  const RunReport report = driver.Run(3);
+
+  ExpectMatchesGolden(
+      report,
+      {
+          {4.5404591311823452, 0.22887276785714283, 0.71627862397791286, 3325,
+           7862913586638938801ull, 0.12233711812114231, 0.22887276785714283,
+           0.140625, 1440, 1440, 2949120},
+          {4.4609934269898588, 0.072637276785714286, 0.70522335689347715,
+           3271, 4395222595206836974ull, 0.041751783512648896,
+           0.072637276785714286, 0.09375, 1440, 480, 983040},
+          {4.448272175749679, 0.082035714285714295, 0.69239276448597176, 3179,
+           9237435802120608928ull, 0.041756012533714776, 0.082035714285714295,
+           0.09375, 1440, 480, 983040},
+      });
+}
+
+}  // namespace
+}  // namespace redoop

@@ -1,0 +1,152 @@
+// Unit and property tests for MergeSortedRuns, the loser-tree k-way merge
+// that replaced the reduce-side concat+SortByKey. The contract under test:
+// for any collection of individually-sorted runs, the merge produces the
+// byte-identical vector that concatenating the runs (in order) and running
+// SortByKey would — including logical_bytes, which the comparator ignores
+// but stability preserves.
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mapreduce/kv.h"
+
+namespace redoop {
+namespace {
+
+std::vector<KeyValue> Merge(const std::vector<std::vector<KeyValue>>& runs) {
+  std::vector<std::span<const KeyValue>> views(runs.begin(), runs.end());
+  return MergeSortedRuns(views);
+}
+
+// The reference implementation the merge must match byte for byte: the old
+// reduce path concatenated runs in order and stable-sorted by (key, value).
+std::vector<KeyValue> ConcatAndSort(
+    const std::vector<std::vector<KeyValue>>& runs) {
+  std::vector<KeyValue> all;
+  for (const auto& run : runs) all.insert(all.end(), run.begin(), run.end());
+  std::stable_sort(all.begin(), all.end(), KeyValueLess());
+  return all;
+}
+
+TEST(MergeSortedRunsTest, NoRuns) {
+  EXPECT_TRUE(Merge({}).empty());
+}
+
+TEST(MergeSortedRunsTest, AllRunsEmpty) {
+  EXPECT_TRUE(Merge({{}, {}, {}}).empty());
+}
+
+TEST(MergeSortedRunsTest, SingleRunIsCopiedVerbatim) {
+  std::vector<KeyValue> run = {{"a", "1", 4}, {"b", "2", 4}, {"b", "3", 4}};
+  std::vector<std::vector<KeyValue>> runs = {{}, run, {}};
+  EXPECT_EQ(Merge(runs), run);
+}
+
+TEST(MergeSortedRunsTest, InterleavesTwoRuns) {
+  std::vector<std::vector<KeyValue>> runs = {
+      {{"a", "1", 4}, {"c", "1", 4}, {"e", "1", 4}},
+      {{"b", "2", 4}, {"d", "2", 4}, {"f", "2", 4}},
+  };
+  const std::vector<KeyValue> merged = Merge(runs);
+  ASSERT_EQ(merged.size(), 6u);
+  const std::string want[] = {"a", "b", "c", "d", "e", "f"};
+  for (size_t i = 0; i < merged.size(); ++i) EXPECT_EQ(merged[i].key, want[i]);
+  EXPECT_EQ(merged, ConcatAndSort(runs));
+}
+
+TEST(MergeSortedRunsTest, DuplicateKeysAcrossRunsStayGrouped) {
+  std::vector<std::vector<KeyValue>> runs = {
+      {{"k", "a", 4}, {"k", "c", 4}},
+      {{"k", "b", 4}, {"k", "d", 4}},
+      {{"j", "z", 4}, {"k", "b", 4}},
+  };
+  const std::vector<KeyValue> merged = Merge(runs);
+  ASSERT_EQ(merged.size(), 6u);
+  EXPECT_EQ(merged[0].key, "j");
+  for (size_t i = 1; i < merged.size(); ++i) EXPECT_EQ(merged[i].key, "k");
+  // Values sorted within the key group; the duplicate (k, b) appears twice.
+  EXPECT_EQ(merged[1].value, "a");
+  EXPECT_EQ(merged[2].value, "b");
+  EXPECT_EQ(merged[3].value, "b");
+  EXPECT_EQ(merged[4].value, "c");
+  EXPECT_EQ(merged[5].value, "d");
+  EXPECT_EQ(merged, ConcatAndSort(runs));
+}
+
+TEST(MergeSortedRunsTest, TieBreakIsRunOrderThenPosition) {
+  // Same (key, value) with different logical_bytes: KeyValueLess treats
+  // them as equal, so the merge must emit run 0's pair first, then run 1's,
+  // then run 2's — exactly the concatenation order stable_sort preserves.
+  std::vector<std::vector<KeyValue>> runs = {
+      {{"k", "v", 10}, {"k", "v", 11}},
+      {{"k", "v", 20}},
+      {{"k", "v", 30}},
+  };
+  const std::vector<KeyValue> merged = Merge(runs);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].logical_bytes, 10);
+  EXPECT_EQ(merged[1].logical_bytes, 11);
+  EXPECT_EQ(merged[2].logical_bytes, 20);
+  EXPECT_EQ(merged[3].logical_bytes, 30);
+  EXPECT_EQ(merged, ConcatAndSort(runs));
+}
+
+TEST(MergeSortedRunsTest, ManyRunsIncludingEmpties) {
+  // Exercise non-power-of-two run counts around the loser tree's bracket
+  // padding (sentinel leaves).
+  for (size_t k : {2u, 3u, 5u, 7u, 8u, 9u, 17u}) {
+    std::vector<std::vector<KeyValue>> runs(k);
+    for (size_t r = 0; r < k; ++r) {
+      if (r % 3 == 1) continue;  // Leave some runs empty.
+      for (int i = 0; i < 4; ++i) {
+        runs[r].emplace_back("key-" + std::to_string(i),
+                             "r" + std::to_string(r), 8);
+      }
+    }
+    EXPECT_EQ(Merge(runs), ConcatAndSort(runs)) << "k=" << k;
+  }
+}
+
+// Randomized property: merge(runs) is byte-identical to the old
+// concat+sort path for arbitrary sorted runs with heavy key collisions and
+// equal-(key, value) pairs distinguished only by logical_bytes.
+class MergePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MergePropertyTest, MatchesConcatSortByteForByte) {
+  Random rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    const size_t k = rng.Uniform(12);  // 0..11 runs, often degenerate.
+    std::vector<std::vector<KeyValue>> runs(k);
+    for (auto& run : runs) {
+      const size_t n = rng.Uniform(40);
+      for (size_t i = 0; i < n; ++i) {
+        // Small domains force duplicate keys and duplicate (key, value)
+        // pairs across runs; logical_bytes varies so stability is visible.
+        run.emplace_back("k" + std::to_string(rng.Uniform(6)),
+                         "v" + std::to_string(rng.Uniform(4)),
+                         static_cast<int32_t>(rng.Uniform(100)));
+      }
+      SortByKey(&run);
+    }
+    const std::vector<KeyValue> merged = Merge(runs);
+    const std::vector<KeyValue> expected = ConcatAndSort(runs);
+    ASSERT_EQ(merged.size(), expected.size());
+    for (size_t i = 0; i < merged.size(); ++i) {
+      ASSERT_EQ(merged[i], expected[i])
+          << "seed=" << GetParam() << " iter=" << iter << " index=" << i;
+    }
+    EXPECT_TRUE(IsSortedByKey(merged));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergePropertyTest,
+                         ::testing::Values(1, 7, 42, 1998, 2013, 31337));
+
+}  // namespace
+}  // namespace redoop

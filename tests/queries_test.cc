@@ -67,7 +67,7 @@ TEST(AggregationMapperTest, ToleratesNonNumericTail) {
 TEST(AggregationReducerTest, MergesGroups) {
   AggregationReducer reducer;
   ReduceContext context;
-  reducer.Reduce("k", {{"k", "1:10:10", 8}, {"k", "2:5:4", 8}}, &context);
+  reducer.Reduce("k", std::vector<KeyValue>{{"k", "1:10:10", 8}, {"k", "2:5:4", 8}}, &context);
   ASSERT_EQ(context.output().size(), 1u);
   EXPECT_EQ(context.output()[0].value, "3:15:10");
 }
@@ -133,7 +133,7 @@ TEST(EquiJoinReducerTest, EmitsCrossProductPerKey) {
   EquiJoinReducer reducer;
   ReduceContext context;
   reducer.Reduce("k",
-                 {{"k", "L|a", 100},
+                 std::vector<KeyValue>{{"k", "L|a", 100},
                   {"k", "L|b", 100},
                   {"k", "R|x", 100},
                   {"k", "R|y", 100},
@@ -152,7 +152,7 @@ TEST(EquiJoinReducerTest, EmitsCrossProductPerKey) {
 TEST(EquiJoinReducerTest, OneSidedGroupsEmitNothing) {
   EquiJoinReducer reducer;
   ReduceContext context;
-  reducer.Reduce("k", {{"k", "L|a", 8}, {"k", "L|b", 8}}, &context);
+  reducer.Reduce("k", std::vector<KeyValue>{{"k", "L|a", 8}, {"k", "L|b", 8}}, &context);
   EXPECT_TRUE(context.output().empty());
 }
 

@@ -12,7 +12,7 @@ namespace {
 
 class CountReducer : public Reducer {
  public:
-  void Reduce(const std::string& key, const std::vector<KeyValue>& values,
+  void Reduce(const std::string& key, std::span<const KeyValue> values,
               ReduceContext* context) const override {
     context->Emit(key, std::to_string(values.size()), 8);
   }

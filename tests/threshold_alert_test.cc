@@ -22,10 +22,10 @@ constexpr int32_t kNodes = 8;
 TEST(ThresholdAlertFinalizerTest, FiltersBelowThreshold) {
   ThresholdAlertFinalizer finalizer(/*min_count=*/5);
   ReduceContext context;
-  finalizer.Reduce("cold", {{"cold", "3:30:10", 8}, {"cold", "2:5:5", 8}},
+  finalizer.Reduce("cold", std::vector<KeyValue>{{"cold", "3:30:10", 8}, {"cold", "2:5:5", 8}},
                    &context);
   EXPECT_TRUE(context.output().empty()) << "total count 5 is not > 5";
-  finalizer.Reduce("hot", {{"hot", "4:40:10", 8}, {"hot", "2:2:1", 8}},
+  finalizer.Reduce("hot", std::vector<KeyValue>{{"hot", "4:40:10", 8}, {"hot", "2:2:1", 8}},
                    &context);
   ASSERT_EQ(context.output().size(), 1u);
   EXPECT_EQ(context.output()[0].key, "hot");
@@ -97,13 +97,13 @@ TEST(ComposedReducerTest, RunsSecondOnFirstsOutput) {
   ComposedReducer composed(count, alert);
   ReduceContext context;
   composed.Reduce("k",
-                  {{"k", "1:5:5", 8}, {"k", "1:7:7", 8}, {"k", "1:1:1", 8}},
+                  std::vector<KeyValue>{{"k", "1:5:5", 8}, {"k", "1:7:7", 8}, {"k", "1:1:1", 8}},
                   &context);
   ASSERT_EQ(context.output().size(), 1u);
   EXPECT_EQ(context.output()[0].value, "ALERT count=3 sum=13");
 
   ReduceContext empty;
-  composed.Reduce("k", {{"k", "1:5:5", 8}}, &empty);
+  composed.Reduce("k", std::vector<KeyValue>{{"k", "1:5:5", 8}}, &empty);
   EXPECT_TRUE(empty.output().empty());
 }
 
