@@ -27,8 +27,8 @@ void BM_AblationCache_Aggregation(benchmark::State& state) {
       5, "ablate-agg", 1, kWin, SlideForOverlap(kOverlap), kNumReducers);
 
   RedoopDriverOptions options;
-  options.cache_reduce_input = input_cache;
-  options.cache_reduce_output = output_cache;
+  options.cache.reduce_input = input_cache;
+  options.cache.reduce_output = output_cache;
 
   RunReport redoop;
   RunReport hadoop;
@@ -76,8 +76,8 @@ void BM_AblationCache_Join(benchmark::State& state) {
                                        kNumReducers);
 
   RedoopDriverOptions options;
-  options.cache_reduce_input = input_cache;
-  options.cache_reduce_output = output_cache;
+  options.cache.reduce_input = input_cache;
+  options.cache.reduce_output = output_cache;
 
   RunReport redoop;
   RunReport hadoop;

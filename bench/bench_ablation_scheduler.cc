@@ -29,7 +29,7 @@ void BM_AblationScheduler_Join(benchmark::State& state) {
                                        SlideForOverlap(kOverlap),
                                        kNumReducers);
   RedoopDriverOptions options;
-  options.use_cache_aware_scheduler = cache_aware;
+  options.scheduler.cache_aware = cache_aware;
 
   RunReport redoop;
   for (auto _ : state) {
@@ -58,7 +58,7 @@ void BM_SchedulerLoadWeight_Join(benchmark::State& state) {
                                        SlideForOverlap(kOverlap),
                                        kNumReducers);
   RedoopDriverOptions options;
-  options.scheduler_load_weight_s = load_weight;
+  options.scheduler.load_weight_s = load_weight;
 
   RunReport redoop;
   for (auto _ : state) {

@@ -28,8 +28,8 @@ void BM_Fig8_Adaptive(benchmark::State& state) {
                            SlideForOverlap(overlap), kNumReducers);
 
   RedoopDriverOptions adaptive_options;
-  adaptive_options.adaptive = true;
-  adaptive_options.proactive_threshold = 0.15;
+  adaptive_options.adaptive.enabled = true;
+  adaptive_options.adaptive.proactive_threshold = 0.15;
 
   RunReport hadoop;
   RunReport redoop;

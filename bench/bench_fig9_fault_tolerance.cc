@@ -70,7 +70,7 @@ RunReport RunWithFailures(Cluster* cluster, Driver* driver,
         }
       }
     }
-    report.windows.push_back(driver->RunRecurrence(i));
+    report.windows.push_back(Unwrap(driver->RunRecurrence(i)));
     if (injection == Injection::kNodeFailure && i >= 1) {
       cluster->RecoverNode(victim);
       cluster->dfs().ReplicateMissing();

@@ -37,7 +37,7 @@ void BM_Scalability_Aggregation(benchmark::State& state) {
       Cluster cluster(nodes, Config());
       auto feed = MakeWccFeed(spec, 1);
       RedoopDriver driver(&cluster, feed.get(), query);
-      redoop = driver.Run(kNumWindows);
+      redoop = Unwrap(driver.Run(kNumWindows));
     }
   }
   if (!ResultsMatch(hadoop, redoop)) {
@@ -80,7 +80,7 @@ void BM_MultiQueryConsolidation(benchmark::State& state) {
       Cluster cluster(kClusterNodes, Config());
       auto feed = MakeWccFeed(spec, 1);
       RedoopDriver driver(&cluster, feed.get(), q);
-      isolated_total += driver.Run(6).TotalResponseTime();
+      isolated_total += Unwrap(driver.Run(6)).TotalResponseTime();
     }
     {
       Cluster cluster(kClusterNodes, Config());
@@ -89,7 +89,9 @@ void BM_MultiQueryConsolidation(benchmark::State& state) {
       coordinator.AddQuery(q1);
       coordinator.AddQuery(q2);
       consolidated_total = 0.0;
-      for (const RunReport& r : coordinator.Run(6)) {
+      const std::vector<RunReport> consolidated =
+          coordinator.Run(6).value();
+      for (const RunReport& r : consolidated) {
         consolidated_total += r.TotalResponseTime();
       }
     }
@@ -140,7 +142,7 @@ void BM_Stragglers(benchmark::State& state) {
       RedoopDriverOptions options;
       options.runner = runner;
       RedoopDriver driver(&cluster, feed.get(), query, options);
-      redoop = driver.Run(kNumWindows);
+      redoop = Unwrap(driver.Run(kNumWindows));
     }
   }
   if (!ResultsMatch(hadoop, redoop)) {

@@ -18,6 +18,8 @@
 
 #include "baseline/hadoop_driver.h"
 #include "cluster/cluster.h"
+#include "common/logging.h"
+#include "common/status.h"
 #include "core/metrics.h"
 #include "core/redoop_driver.h"
 #include "queries/aggregation_query.h"
@@ -28,6 +30,20 @@
 #include "workload/wcc_generator.h"
 
 namespace redoop::bench {
+
+/// Benchmarks treat a driver configuration error as fatal: unwrap the
+/// StatusOr entry points (RedoopDriver) or pass plain reports (Hadoop
+/// baseline) through unchanged, so templated helpers work with both.
+inline WindowReport Unwrap(WindowReport report) { return report; }
+inline RunReport Unwrap(RunReport report) { return report; }
+inline WindowReport Unwrap(StatusOr<WindowReport> report) {
+  REDOOP_CHECK(report.ok()) << report.status().ToString();
+  return std::move(report).value();
+}
+inline RunReport Unwrap(StatusOr<RunReport> report) {
+  REDOOP_CHECK(report.ok()) << report.status().ToString();
+  return std::move(report).value();
+}
 
 /// The paper's testbed shape: 30 slaves, 6 map + 2 reduce slots each.
 constexpr int32_t kClusterNodes = 30;
@@ -92,7 +108,7 @@ inline RunReport RunHadoop(const RecurringQuery& query, SyntheticFeed* feed,
                            int64_t windows = kNumWindows) {
   Cluster cluster(kClusterNodes, Config());
   HadoopRecurringDriver driver(&cluster, feed, query);
-  return driver.Run(windows);
+  return Unwrap(driver.Run(windows));
 }
 
 /// Runs Redoop on a fresh cluster with the given options.
@@ -101,7 +117,7 @@ inline RunReport RunRedoop(const RecurringQuery& query, SyntheticFeed* feed,
                            int64_t windows = kNumWindows) {
   Cluster cluster(kClusterNodes, Config());
   RedoopDriver driver(&cluster, feed, query, options);
-  return driver.Run(windows);
+  return Unwrap(driver.Run(windows));
 }
 
 /// Prints the per-window response-time series (a Fig. 6/7/8-style panel).

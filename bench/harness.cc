@@ -14,7 +14,15 @@
 //                 for CI perf-smoke; full paper scale otherwise
 //   --out=FILE    write the BENCH JSON there (default BENCH_redoop.json)
 //   --only=SUBSTR run only benches whose name contains SUBSTR
+//   --threads=N   host worker threads for task payloads (default 1;
+//                 simulated metrics are identical at any setting)
+//
+// Host wall-clock per bench is printed to stdout at every scale, and also
+// recorded as host.* metrics at full scale only — the smoke document must
+// stay byte-identical across runs, so nondeterministic host timings never
+// enter it.
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -37,6 +45,10 @@
 
 namespace redoop::bench {
 namespace {
+
+/// Host worker threads for task payloads (--threads). Purely a wall-clock
+/// knob: every simulated metric is identical at any setting.
+int32_t g_threads = 1;
 
 /// Experiment scale. "full" is the paper testbed; "smoke" shrinks every
 /// axis so the whole suite runs in CI seconds while keeping the same
@@ -150,9 +162,10 @@ AnalyzedRun RunHadoopAnalyzed(const Scale& scale, const RecurringQuery& query,
   Cluster cluster(scale.nodes, Config());
   JobRunnerOptions options;
   options.obs = &ctx;
+  options.threads = g_threads;
   HadoopRecurringDriver driver(&cluster, feed, query, options);
   AnalyzedRun run;
-  run.report = driver.Run(scale.windows);
+  run.report = Unwrap(driver.Run(scale.windows));
   Analyze(ctx, &run);
   return run;
 }
@@ -164,9 +177,10 @@ AnalyzedRun RunRedoopAnalyzed(const Scale& scale, const RecurringQuery& query,
   ctx.journal().SetCommonField("system", "redoop");
   Cluster cluster(scale.nodes, Config());
   options.obs = &ctx;
+  options.runner.threads = g_threads;
   RedoopDriver driver(&cluster, feed, query, options);
   AnalyzedRun run;
-  run.report = driver.Run(scale.windows);
+  run.report = Unwrap(driver.Run(scale.windows));
   Analyze(ctx, &run);
   return run;
 }
@@ -291,8 +305,8 @@ void RunFig8(const Scale& scale, Metrics* metrics) {
         MakeAggregationQuery(3, "fig8-agg", 1, scale.win,
                              SlideFor(scale, overlap), scale.reducers);
     RedoopDriverOptions adaptive_options;
-    adaptive_options.adaptive = true;
-    adaptive_options.proactive_threshold = 0.15;
+    adaptive_options.adaptive.enabled = true;
+    adaptive_options.adaptive.proactive_threshold = 0.15;
 
     auto hadoop_feed = MakeScaledWccFeed(scale, w);
     const AnalyzedRun hadoop =
@@ -358,7 +372,7 @@ RunReport RunWithFailures(const Scale& scale, Cluster* cluster, Driver* driver,
         }
       }
     }
-    report.windows.push_back(driver->RunRecurrence(i));
+    report.windows.push_back(Unwrap(driver->RunRecurrence(i)));
     if (injection == Injection::kNodeFailure && i >= 1) {
       cluster->RecoverNode(victim);
       cluster->dfs().ReplicateMissing();
@@ -378,11 +392,13 @@ AnalyzedRun RunFig9Case(const Scale& scale, const RecurringQuery& query,
   if (redoop) {
     RedoopDriverOptions options;
     options.obs = &ctx;
+    options.runner.threads = g_threads;
     RedoopDriver driver(&cluster, feed.get(), query, options);
     run.report = RunWithFailures(scale, &cluster, &driver, label, injection);
   } else {
     JobRunnerOptions options;
     options.obs = &ctx;
+    options.threads = g_threads;
     HadoopRecurringDriver driver(&cluster, feed.get(), query, options);
     run.report = RunWithFailures(scale, &cluster, &driver, label, injection);
   }
@@ -435,8 +451,8 @@ void RunAblationCache(const Scale& scale, Metrics* metrics) {
         Combo{true, true}}) {
     WorkloadSpec w;
     RedoopDriverOptions options;
-    options.cache_reduce_input = combo.input;
-    options.cache_reduce_output = combo.output;
+    options.cache.reduce_input = combo.input;
+    options.cache.reduce_output = combo.output;
     auto hadoop_feed = MakeScaledWccFeed(scale, w);
     const AnalyzedRun hadoop =
         RunHadoopAnalyzed(scale, agg_query, hadoop_feed.get());
@@ -461,8 +477,8 @@ void RunAblationCache(const Scale& scale, Metrics* metrics) {
        {Combo{false, false}, Combo{true, false}, Combo{true, true}}) {
     const WorkloadSpec w = JoinWorkload(0.9);
     RedoopDriverOptions options;
-    options.cache_reduce_input = combo.input;
-    options.cache_reduce_output = combo.output;
+    options.cache.reduce_input = combo.input;
+    options.cache.reduce_output = combo.output;
     auto hadoop_feed = MakeScaledFfgFeed(scale, w);
     const AnalyzedRun hadoop =
         RunHadoopAnalyzed(scale, join_query, hadoop_feed.get());
@@ -510,7 +526,7 @@ void RunAblationScheduler(const Scale& scale, Metrics* metrics) {
         MakeJoinQuery(8, "sched-join", 1, 2, scale.win, SlideFor(scale, 0.9),
                       scale.reducers);
     RedoopDriverOptions options;
-    options.use_cache_aware_scheduler = cache_aware;
+    options.scheduler.cache_aware = cache_aware;
     auto feed = MakeScaledFfgFeed(scale, w);
     const AnalyzedRun redoop =
         RunRedoopAnalyzed(scale, query, feed.get(), options);
@@ -529,7 +545,7 @@ void RunAblationScheduler(const Scale& scale, Metrics* metrics) {
         MakeJoinQuery(9, "weight-join", 1, 2, scale.win, SlideFor(scale, 0.9),
                       scale.reducers);
     RedoopDriverOptions options;
-    options.scheduler_load_weight_s = static_cast<double>(load_weight);
+    options.scheduler.load_weight_s = static_cast<double>(load_weight);
     auto feed = MakeScaledFfgFeed(scale, w);
     const AnalyzedRun redoop =
         RunRedoopAnalyzed(scale, query, feed.get(), options);
@@ -553,10 +569,12 @@ int Main(int argc, char** argv) {
       out_path = arg.substr(6);
     } else if (arg.rfind("--only=", 0) == 0) {
       only = arg.substr(7);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      g_threads = static_cast<int32_t>(std::atoi(arg.c_str() + 10));
     } else {
       std::fprintf(stderr,
                    "usage: bench_harness [--smoke] [--out=FILE] "
-                   "[--only=SUBSTR]\n");
+                   "[--only=SUBSTR] [--threads=N]\n");
       return 2;
     }
   }
@@ -573,14 +591,32 @@ int Main(int argc, char** argv) {
   };
 
   Metrics metrics;
+  double wall_total_s = 0.0;
   for (const Bench& bench : benches) {
     if (!only.empty() &&
         std::string(bench.name).find(only) == std::string::npos) {
       continue;
     }
-    std::printf("running %s (%s scale)...\n", bench.name, scale.name);
+    std::printf("running %s (%s scale, %d threads)...\n", bench.name,
+                scale.name, g_threads);
     std::fflush(stdout);
+    const auto start = std::chrono::steady_clock::now();
     bench.run(scale, &metrics);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    wall_total_s += wall_s;
+    std::printf("  %s wall-clock: %.2f s\n", bench.name, wall_s);
+    // Host timings are nondeterministic; they may only enter the JSON at
+    // full scale — the smoke document is a byte-compared CI baseline.
+    if (std::strcmp(scale.name, "full") == 0) {
+      metrics.Add(StringPrintf("host.%s.wall_s", bench.name), wall_s);
+    }
+  }
+  if (std::strcmp(scale.name, "full") == 0) {
+    metrics.Add("host.threads", static_cast<double>(g_threads));
+    metrics.Add("host.total_wall_s", wall_total_s);
   }
 
   const std::string json = metrics.ToJson(scale.name);

@@ -48,19 +48,19 @@ int main() {
 
   Cluster adaptive_cluster(16, Config());
   auto adaptive_feed = MakeSpikyFeed();
-  RedoopDriverOptions adaptive_options;
-  adaptive_options.adaptive = true;
-  // Engage proactive mode once the forecast exceeds 20% of the slide.
-  adaptive_options.proactive_threshold = 0.12;
+  // Engage proactive mode once the forecast exceeds 12% of the slide.
   RedoopDriver adaptive(&adaptive_cluster, adaptive_feed.get(), query,
-                        adaptive_options);
+                        RedoopDriverOptions::Builder()
+                            .Adaptive(true)
+                            .ProactiveThreshold(0.12)
+                            .Build());
 
   std::printf("%-8s %7s %12s %12s %15s %10s\n", "window", "spike",
               "hadoop(s)", "redoop(s)", "adaptive(s)", "subpanes");
   for (int64_t i = 0; i < kWindows; ++i) {
     WindowReport h = hadoop.RunRecurrence(i);
-    WindowReport r = redoop.RunRecurrence(i);
-    WindowReport a = adaptive.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i).value();
+    WindowReport a = adaptive.RunRecurrence(i).value();
     std::printf("%-8ld %7s %12.1f %12.1f %15.1f %10d\n", i,
                 i % 3 != 0 ? "x2" : "-", h.response_time, r.response_time,
                 a.response_time, adaptive.current_subpanes());

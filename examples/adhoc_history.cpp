@@ -26,7 +26,7 @@ int main() {
                          std::make_shared<ConstantRate>(6.0), options));
 
   RedoopDriver driver(&cluster, feed.get(), query);
-  for (int64_t i = 0; i < 3; ++i) driver.RunRecurrence(i);
+  for (int64_t i = 0; i < 3; ++i) driver.RunRecurrence(i).value();
   std::printf("3 recurrences done; panes cached up to t = %ld s\n\n",
               driver.geometry().WindowEnd(2));
 

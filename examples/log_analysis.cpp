@@ -63,7 +63,7 @@ int main() {
     double redoop_total = 0.0;
     for (int64_t i = 0; i < kWindows; ++i) {
       WindowReport h = hadoop.RunRecurrence(i);
-      WindowReport r = redoop.RunRecurrence(i);
+      WindowReport r = redoop.RunRecurrence(i).value();
       if (i >= 1) {  // Cold window is similar by design; compare warm ones.
         hadoop_total += h.response_time;
         redoop_total += r.response_time;

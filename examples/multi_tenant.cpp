@@ -35,7 +35,7 @@ int main() {
   std::printf("Shared pane grid for source 1: %ld s\n\n",
               coordinator.PaneSizeForSource(1));
 
-  const std::vector<RunReport> reports = coordinator.Run(/*windows=*/5);
+  const std::vector<RunReport> reports = coordinator.Run(/*windows=*/5).value();
 
   for (const RunReport& report : reports) {
     std::printf("%s\n%-8s %12s %14s %12s\n", report.system.c_str(), "window",

@@ -53,7 +53,7 @@ int main() {
   std::printf("%-8s %12s %10s %10s %10s %12s\n", "window", "response",
               "feed rows", "added", "removed", "delivered");
   for (int64_t i = 0; i < 6; ++i) {
-    WindowReport w = driver.RunRecurrence(i);
+    WindowReport w = driver.RunRecurrence(i).value();
     const size_t delivered = w.delta.added.size() + w.delta.removed.size();
     std::printf("%-8ld %11.1fs %10zu %10zu %10zu %11zu\n", i + 1,
                 w.response_time, w.output.size(), w.delta.added.size(),

@@ -63,7 +63,7 @@ int main() {
               "speedup", "match");
   for (int64_t i = 0; i < 6; ++i) {
     WindowReport h = hadoop.RunRecurrence(i);
-    WindowReport r = redoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i).value();
     const bool match =
         h.output.size() == r.output.size() &&
         std::equal(h.output.begin(), h.output.end(), r.output.begin(),

@@ -25,6 +25,15 @@ class BatchFeed {
   virtual std::vector<RecordBatch> BatchesFor(SourceId source,
                                               Timestamp begin,
                                               Timestamp end) = 0;
+
+  /// Whether this feed can serve `source` at all. Drivers validate their
+  /// query's sources against the feed at construction time and surface a
+  /// typed error instead of aborting mid-run. The default is optimistic so
+  /// feeds that cannot enumerate their sources up front keep working.
+  virtual bool HasSource(SourceId source) const {
+    (void)source;
+    return true;
+  }
 };
 
 /// A mapper decorator that drops records outside [begin, end) before

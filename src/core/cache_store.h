@@ -24,6 +24,11 @@ class CacheStore {
   struct Entry {
     /// Shared with the materializing job's result and any side inputs that
     /// reference this cache — one immutable vector, never deep-copied.
+    /// Publish-once: a payload installed here is never mutated in place; a
+    /// rebuild Put()s a fresh vector and the old shared_ptr stays valid.
+    /// The parallel engine relies on this — an offloaded reduce closure
+    /// keeps merging its captured reference even if the entry is replaced
+    /// (or removed) at the same virtual instant.
     std::shared_ptr<const std::vector<KeyValue>> payload;
     int64_t bytes = 0;
     int64_t records = 0;

@@ -52,7 +52,7 @@ void MultiQueryCoordinator::BuildDrivers() {
     for (const QuerySource& qs : entry.query.sources) {
       panes.push_back(PaneSizeForSource(qs.id));
     }
-    entry.options.pane_size_override = GcdAll(panes);
+    entry.options.adaptive.pane_size_override = GcdAll(panes);
     entry.options.file_namespace =
         StringPrintf("q%d/", entry.query.id);
     entry.driver = std::make_unique<RedoopDriver>(cluster_, feed_,
@@ -60,7 +60,8 @@ void MultiQueryCoordinator::BuildDrivers() {
   }
 }
 
-std::vector<RunReport> MultiQueryCoordinator::Run(int64_t windows_per_query) {
+StatusOr<std::vector<RunReport>> MultiQueryCoordinator::Run(
+    int64_t windows_per_query) {
   REDOOP_CHECK(!started_) << "Run may be called once";
   REDOOP_CHECK(!entries_.empty());
   started_ = true;
@@ -88,8 +89,10 @@ std::vector<RunReport> MultiQueryCoordinator::Run(int64_t windows_per_query) {
     }
     if (best == entries_.size()) break;  // Everyone done.
     Entry& e = entries_[best];
-    reports[best].windows.push_back(
-        e.driver->RunRecurrence(e.next_recurrence));
+    StatusOr<WindowReport> window =
+        e.driver->RunRecurrence(e.next_recurrence);
+    REDOOP_RETURN_IF_ERROR(window.status());
+    reports[best].windows.push_back(std::move(window).value());
     ++e.next_recurrence;
   }
   return reports;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/status.h"
 #include "core/batch_feed.h"
 #include "core/metrics.h"
 #include "core/recurring_query.h"
@@ -37,7 +38,7 @@ class MultiQueryCoordinator {
   MultiQueryCoordinator& operator=(const MultiQueryCoordinator&) = delete;
 
   /// Registers a query. Must be called before Run(); query ids must be
-  /// unique. `options.pane_size_override` and `options.file_namespace`
+  /// unique. `options.adaptive.pane_size_override` and `options.file_namespace`
   /// are set by the coordinator.
   void AddQuery(RecurringQuery query, RedoopDriverOptions options = {});
 
@@ -47,8 +48,9 @@ class MultiQueryCoordinator {
 
   /// Runs every query for `windows_per_query` recurrences, interleaved in
   /// global trigger order. Returns one RunReport per query, in
-  /// registration order. May be called once.
-  std::vector<RunReport> Run(int64_t windows_per_query);
+  /// registration order, or the first driver misconfiguration error
+  /// (see RedoopDriver::RunRecurrence). May be called once.
+  StatusOr<std::vector<RunReport>> Run(int64_t windows_per_query);
 
   /// Driver access (valid after Run() started building them).
   const RedoopDriver& driver(QueryId id) const;
@@ -82,6 +84,10 @@ class SharedFeedView : public BatchFeed {
   std::vector<RecordBatch> BatchesFor(SourceId source, Timestamp begin,
                                       Timestamp end) override {
     return inner_->BatchesFor(source, begin, end);
+  }
+
+  bool HasSource(SourceId source) const override {
+    return inner_->HasSource(source);
   }
 
  private:

@@ -26,21 +26,32 @@ EffectivePattern Effective(IncrementalPattern pattern,
                            const RedoopDriverOptions& options) {
   switch (pattern) {
     case IncrementalPattern::kPerPaneMerge:
-      if (options.cache_reduce_output) return EffectivePattern::kPerPaneMerge;
-      if (options.cache_reduce_input)
+      if (options.cache.reduce_output) return EffectivePattern::kPerPaneMerge;
+      if (options.cache.reduce_input)
         return EffectivePattern::kCachedInputRecompute;
       return EffectivePattern::kNoCaching;
     case IncrementalPattern::kPanePairJoin:
-      if (!options.cache_reduce_input) return EffectivePattern::kNoCaching;
-      return options.cache_reduce_output
+      if (!options.cache.reduce_input) return EffectivePattern::kNoCaching;
+      return options.cache.reduce_output
                  ? EffectivePattern::kPanePairJoin
                  : EffectivePattern::kPanePairJoinNoOutputCache;
     case IncrementalPattern::kCachedInputRecompute:
-      return options.cache_reduce_input
+      return options.cache.reduce_input
                  ? EffectivePattern::kCachedInputRecompute
                  : EffectivePattern::kNoCaching;
   }
   return EffectivePattern::kNoCaching;
+}
+
+/// Pane size the geometry is built with: an invalid override falls back to
+/// the GCD grid so the geometry itself stays well-formed — the rejection
+/// is reported through the driver's init_status() instead of an abort.
+Timestamp EffectivePaneSize(const WindowSpec& window, Timestamp override_pane) {
+  if (override_pane > 0 && window.win % override_pane == 0 &&
+      window.slide % override_pane == 0) {
+    return override_pane;
+  }
+  return Gcd(window.win, window.slide);
 }
 }  // namespace
 
@@ -51,14 +62,34 @@ RedoopDriver::RedoopDriver(Cluster* cluster, BatchFeed* feed,
       query_(std::move(query)),
       options_(options),
       geometry_(query_.window(),
-                options.pane_size_override > 0
-                    ? options.pane_size_override
-                    : Gcd(query_.window().win, query_.window().slide)),
+                EffectivePaneSize(query_.window(),
+                                  options.adaptive.pane_size_override)),
       analyzer_(cluster->dfs().options().block_size_bytes),
-      profiler_(options.profiler_alpha, options.profiler_beta) {
+      profiler_(options.profiler.alpha, options.profiler.beta) {
   REDOOP_CHECK(cluster_ != nullptr);
   REDOOP_CHECK(feed_ != nullptr);
   query_.CheckValid();
+
+  // User-reachable misconfiguration becomes a typed error surfaced by
+  // RunRecurrence/Run rather than an abort deep inside the run.
+  const Timestamp override_pane = options_.adaptive.pane_size_override;
+  if (override_pane > 0 &&
+      (query_.window().win % override_pane != 0 ||
+       query_.window().slide % override_pane != 0)) {
+    init_status_ = Status::InvalidArgument(StringPrintf(
+        "pane_size_override %lld must divide win %lld and slide %lld",
+        static_cast<long long>(override_pane),
+        static_cast<long long>(query_.window().win),
+        static_cast<long long>(query_.window().slide)));
+  }
+  for (const QuerySource& s : query_.sources) {
+    if (!init_status_.ok()) break;
+    if (!feed_->HasSource(s.id)) {
+      init_status_ = Status::NotFound(StringPrintf(
+          "query source %d is not registered with the feed",
+          static_cast<int>(s.id)));
+    }
+  }
 
   // Observability: every component journals into one context; sim-time
   // stamps come from the cluster's simulator.
@@ -82,9 +113,9 @@ RedoopDriver::RedoopDriver(Cluster* cluster, BatchFeed* feed,
   current_plan_ = base_plan_;
   controller_.RegisterQuery(query_, geometry_.pane_size());
 
-  if (options_.use_cache_aware_scheduler) {
+  if (options_.scheduler.cache_aware) {
     CacheAwareSchedulerOptions sched_options;
-    sched_options.load_weight_s = options_.scheduler_load_weight_s;
+    sched_options.load_weight_s = options_.scheduler.load_weight_s;
     cache_aware_scheduler_ = std::make_unique<CacheAwareScheduler>(
         &cluster_->cost_model(), sched_options);
     cache_aware_scheduler_->set_observability(obs_);
@@ -101,8 +132,8 @@ RedoopDriver::RedoopDriver(Cluster* cluster, BatchFeed* feed,
     packers_[s.id] = std::make_unique<DynamicDataPacker>(
         &cluster_->dfs(), s.id, current_plan_, options_.file_namespace);
   }
-  const double purge_cycle = options_.purge_cycle_s >= 0
-                                 ? options_.purge_cycle_s
+  const double purge_cycle = options_.cache.purge_cycle_s >= 0
+                                 ? options_.cache.purge_cycle_s
                                  : static_cast<double>(query_.slide());
   for (int32_t n = 0; n < cluster_->num_nodes(); ++n) {
     registries_.push_back(
@@ -248,7 +279,7 @@ void RedoopDriver::DrainWorkLists() {
     }
     if (!pairs.empty()) {
       if (pattern == EffectivePattern::kPanePairJoin) {
-        if (proactive_mode_ || !options_.hybrid_join_strategy) {
+        if (proactive_mode_ || !options_.cache.hybrid_join_strategy) {
           // Eager: compute pairs as soon as both sides are cached.
           RunPanePairBatch(pairs);
         } else {
@@ -317,7 +348,7 @@ void RedoopDriver::RunPaneSlices(SourceId source, PaneId pane,
   const QueryId qid = query_.id;
   const std::string chunk_suffix =
       chunk > 0 ? StringPrintf("_c%d", chunk) : "";
-  spec.cache.cache_reduce_input = options_.cache_reduce_input;
+  spec.cache.cache_reduce_input = options_.cache.reduce_input;
   spec.cache.input_cache_name = [qid, chunk_suffix](SourceId s, PaneId p,
                                                     int32_t r) {
     return ReduceInputCacheName(qid, s, p, r) + chunk_suffix;
@@ -739,7 +770,7 @@ JobSpec RedoopDriver::BuildFoldedWindowSpec(int64_t recurrence) {
       }
     }
   }
-  spec.cache.cache_reduce_input = options_.cache_reduce_input;
+  spec.cache.cache_reduce_input = options_.cache.reduce_input;
   spec.cache.input_cache_name = [this, qid](SourceId s, PaneId p, int32_t r) {
     auto it = pane_states_.find({s, p});
     const int32_t chunk =
@@ -879,7 +910,7 @@ void RedoopDriver::PrepareJoinWindow(int64_t recurrence) {
     }
   }
   const bool choose_pairs =
-      !options_.hybrid_join_strategy ||
+      !options_.cache.hybrid_join_strategy ||
       EstimatePairPathCost(steady_pairs) <=
           EstimateRecomputePathCost(recurrence);
   if (choose_pairs) {
@@ -1114,9 +1145,15 @@ WindowReport RedoopDriver::AssembleWindow(int64_t recurrence) {
 // Recurrence loop
 // ---------------------------------------------------------------------------
 
-WindowReport RedoopDriver::RunRecurrence(int64_t recurrence) {
-  REDOOP_CHECK(recurrence == next_recurrence_)
-      << "recurrences must run consecutively";
+StatusOr<WindowReport> RedoopDriver::RunRecurrence(int64_t recurrence) {
+  REDOOP_RETURN_IF_ERROR(init_status_);
+  if (recurrence != next_recurrence_) {
+    return Status::FailedPrecondition(StringPrintf(
+        "recurrence %lld out of order (expected %lld): recurrences must "
+        "run consecutively",
+        static_cast<long long>(recurrence),
+        static_cast<long long>(next_recurrence_)));
+  }
   ++next_recurrence_;
 
   const Timestamp trigger = geometry_.TriggerTime(recurrence);
@@ -1204,9 +1241,9 @@ void RedoopDriver::AfterRecurrence(int64_t recurrence,
   // Adaptive re-planning (paper §3.3): forecast next execution time; when
   // it threatens the slide budget, switch to finer sub-panes + proactive
   // early processing.
-  if (options_.adaptive && profiler_.observation_count() >= 2) {
+  if (options_.adaptive.enabled && profiler_.observation_count() >= 2) {
     const double budget =
-        options_.proactive_threshold * static_cast<double>(query_.slide());
+        options_.adaptive.proactive_threshold * static_cast<double>(query_.slide());
     const double forecast = profiler_.Forecast(1);
     const double scale = budget > 0 ? forecast / budget : 0.0;
     for (const QuerySource& qs : query_.sources) {
@@ -1216,7 +1253,7 @@ void RedoopDriver::AfterRecurrence(int64_t recurrence,
       PartitionPlan plan =
           analyzer_.Plan(query_.window(), SourceStatistics{rate});
       plan.pane_size = geometry_.pane_size();  // Grid possibly overridden.
-      plan = analyzer_.AdaptPlan(plan, scale, options_.max_subpanes);
+      plan = analyzer_.AdaptPlan(plan, scale, options_.adaptive.max_subpanes);
       packers_[qs.id]->UpdatePlan(plan);
       current_plan_ = plan;
     }
@@ -1270,11 +1307,13 @@ void RedoopDriver::AfterRecurrence(int64_t recurrence,
   }
 }
 
-RunReport RedoopDriver::Run(int64_t n) {
+StatusOr<RunReport> RedoopDriver::Run(int64_t n) {
   RunReport report;
-  report.system = options_.adaptive ? "redoop-adaptive" : "redoop";
+  report.system = options_.adaptive.enabled ? "redoop-adaptive" : "redoop";
   for (int64_t i = 0; i < n; ++i) {
-    report.windows.push_back(RunRecurrence(i));
+    StatusOr<WindowReport> window = RunRecurrence(i);
+    REDOOP_RETURN_IF_ERROR(window.status());
+    report.windows.push_back(std::move(window).value());
   }
   report.observability = obs_->metrics().Snapshot();
   return report;

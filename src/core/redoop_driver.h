@@ -27,13 +27,12 @@
 
 namespace redoop {
 
-struct RedoopDriverOptions {
+/// Caching knobs (paper §4).
+struct CacheOptions {
   /// Cache the shuffled, sorted reducer inputs per pane (paper §4).
-  bool cache_reduce_input = true;
+  bool reduce_input = true;
   /// Cache per-pane (or per-pane-pair) reducer outputs.
-  bool cache_reduce_output = true;
-  /// Window-aware cache-locality scheduling (Eq. 4) vs Hadoop's default.
-  bool use_cache_aware_scheduler = true;
+  bool reduce_output = true;
   /// Join-window strategy optimizer: per recurrence, cost-estimate the
   /// pane-pair incremental path against re-joining the whole window from
   /// cached reducer inputs, and take the cheaper. Pane pairs win at high
@@ -41,33 +40,119 @@ struct RedoopDriverOptions {
   /// path wins at low overlap, where per-pair execution would re-read each
   /// pane once per partner. Disable to force pane pairs always.
   bool hybrid_join_strategy = true;
-  /// Adaptive input partitioning + proactive execution (paper §3.3).
-  bool adaptive = false;
+  /// Local-registry purge period; < 0 means "one slide" (paper default).
+  double purge_cycle_s = -1.0;
+};
+
+/// Adaptive input partitioning + proactive execution (paper §3.3).
+struct AdaptiveOptions {
+  bool enabled = false;
   /// Proactive mode engages when the forecast execution time exceeds this
   /// fraction of the slide.
   double proactive_threshold = 0.8;
   int32_t max_subpanes = 6;
-  /// Local-registry purge period; < 0 means "one slide" (paper default).
-  double purge_cycle_s = -1.0;
-  double scheduler_load_weight_s = 30.0;
-  /// Holt smoothing parameters for the Execution Profiler.
-  double profiler_alpha = 0.5;
-  double profiler_beta = 0.3;
-  /// Pane-grid override in seconds (0 = GCD(win, slide)). Must divide both
-  /// win and slide. The multi-query coordinator uses this to put every
-  /// query sharing a source on one grid (GCD across all their windows).
+  /// Pane-grid override in seconds (0 = GCD(win, slide)). Must evenly
+  /// divide both win and slide. The multi-query coordinator uses this to
+  /// put every query sharing a source on one grid (GCD across all their
+  /// windows).
   Timestamp pane_size_override = 0;
+};
+
+/// Holt smoothing parameters for the Execution Profiler (paper §3.3).
+struct ProfilerOptions {
+  double alpha = 0.5;
+  double beta = 0.3;
+};
+
+/// Task-placement knobs (paper §5, Eq. 4).
+struct SchedulerOptions {
+  /// Window-aware cache-locality scheduling (Eq. 4) vs Hadoop's default.
+  bool cache_aware = true;
+  /// Weight (simulated seconds) of a node's queued-task load term against
+  /// its cache-affinity term in the placement score.
+  double load_weight_s = 30.0;
+};
+
+struct RedoopDriverOptions {
+  /// Caching behaviour (reduce-input/output caches, join strategy, purge).
+  CacheOptions cache;
+  /// Adaptive partitioning / proactive execution.
+  AdaptiveOptions adaptive;
+  /// Execution-profiler forecasting parameters.
+  ProfilerOptions profiler;
+  /// Task-placement policy.
+  SchedulerOptions scheduler;
   /// Prefix for the query's DFS pane files, so several drivers can consume
   /// the same source on one cluster without name collisions.
   std::string file_namespace;
   /// Engine-level knobs (task retries, straggler model, speculative
-  /// execution — the latter off by default, as in the paper's setup).
+  /// execution — the latter off by default, as in the paper's setup —
+  /// and the host worker-thread count).
   JobRunnerOptions runner;
   /// Metrics + decision-event sink shared by every Redoop component the
   /// driver wires up (controller, schedulers, profiler, registries, DFS,
   /// job runner). Must outlive the driver. When null the driver owns a
   /// private context, reachable via observability().
   obs::ObservabilityContext* obs = nullptr;
+
+  class Builder;
+};
+
+/// Fluent construction for RedoopDriverOptions. Group setters replace a
+/// whole nested block; leaf setters flip the commonly toggled knobs:
+///
+///   auto options = RedoopDriverOptions::Builder()
+///                      .CacheAwareScheduler(false)
+///                      .Adaptive(true)
+///                      .Threads(8)
+///                      .Build();
+class RedoopDriverOptions::Builder {
+ public:
+  Builder() = default;
+  /// Starts from an existing options value (e.g. to derive a variant).
+  explicit Builder(RedoopDriverOptions base) : opts_(std::move(base)) {}
+
+  // -- Group setters -----------------------------------------------------
+  Builder& Cache(CacheOptions v) { opts_.cache = v; return *this; }
+  Builder& Adaptive(AdaptiveOptions v) { opts_.adaptive = v; return *this; }
+  Builder& Profiler(ProfilerOptions v) { opts_.profiler = v; return *this; }
+  Builder& Scheduler(SchedulerOptions v) { opts_.scheduler = v; return *this; }
+  Builder& Runner(JobRunnerOptions v) {
+    opts_.runner = std::move(v);
+    return *this;
+  }
+
+  // -- Leaf setters ------------------------------------------------------
+  Builder& CacheReduceInput(bool v) { opts_.cache.reduce_input = v; return *this; }
+  Builder& CacheReduceOutput(bool v) { opts_.cache.reduce_output = v; return *this; }
+  Builder& HybridJoinStrategy(bool v) { opts_.cache.hybrid_join_strategy = v; return *this; }
+  Builder& PurgeCycle(double seconds) { opts_.cache.purge_cycle_s = seconds; return *this; }
+  Builder& Adaptive(bool v) { opts_.adaptive.enabled = v; return *this; }
+  Builder& ProactiveThreshold(double v) { opts_.adaptive.proactive_threshold = v; return *this; }
+  Builder& MaxSubpanes(int32_t v) { opts_.adaptive.max_subpanes = v; return *this; }
+  Builder& PaneSizeOverride(Timestamp v) { opts_.adaptive.pane_size_override = v; return *this; }
+  Builder& ProfilerSmoothing(double alpha, double beta) {
+    opts_.profiler.alpha = alpha;
+    opts_.profiler.beta = beta;
+    return *this;
+  }
+  Builder& CacheAwareScheduler(bool v) { opts_.scheduler.cache_aware = v; return *this; }
+  Builder& SchedulerLoadWeight(double seconds) { opts_.scheduler.load_weight_s = seconds; return *this; }
+  Builder& FileNamespace(std::string v) {
+    opts_.file_namespace = std::move(v);
+    return *this;
+  }
+  Builder& Threads(int32_t v) { opts_.runner.threads = v; return *this; }
+  Builder& Seed(uint64_t v) { opts_.runner.seed = v; return *this; }
+  Builder& Observability(obs::ObservabilityContext* ctx) {
+    opts_.obs = ctx;
+    return *this;
+  }
+
+  RedoopDriverOptions Build() const { return opts_; }
+
+ private:
+  RedoopDriverOptions opts_;
 };
 
 /// The Redoop execution driver: the component that ties together the
@@ -86,11 +171,16 @@ class RedoopDriver {
   RedoopDriver(const RedoopDriver&) = delete;
   RedoopDriver& operator=(const RedoopDriver&) = delete;
 
-  /// Executes recurrence i (consecutive from 0) and reports.
-  WindowReport RunRecurrence(int64_t recurrence);
+  /// Executes recurrence i (consecutive from 0) and reports. Returns a
+  /// typed error instead of aborting when the driver was misconfigured
+  /// (InvalidArgument: `adaptive.pane_size_override` does not divide the
+  /// query's win/slide; NotFound: a query source is not registered with
+  /// the feed) or when recurrences are requested out of order
+  /// (FailedPrecondition).
+  StatusOr<WindowReport> RunRecurrence(int64_t recurrence);
 
-  /// Convenience: runs recurrences [0, n).
-  RunReport Run(int64_t n);
+  /// Convenience: runs recurrences [0, n). Stops at the first error.
+  StatusOr<RunReport> Run(int64_t n);
 
   /// Ad-hoc historical query (paper §2.1: "even ad-hoc queries can benefit
   /// from the caching of the intermediate data"): evaluates the query's
@@ -112,6 +202,9 @@ class RedoopDriver {
   bool proactive_mode() const { return proactive_mode_; }
   int32_t current_subpanes() const { return current_plan_.subpanes_per_pane; }
   const RedoopDriverOptions& options() const { return options_; }
+  /// Construction-time validation verdict; RunRecurrence/Run return this
+  /// error without doing any work when it is not OK.
+  const Status& init_status() const { return init_status_; }
   /// The active observability context (the caller-provided one, or the
   /// driver-owned fallback). Never null.
   obs::ObservabilityContext* observability() { return obs_; }
@@ -208,6 +301,8 @@ class RedoopDriver {
   RecurringQuery query_;
   RedoopDriverOptions options_;
   WindowGeometry geometry_;
+  /// First misconfiguration found at construction (OK when none).
+  Status init_status_;
   /// Owned fallback when options.obs is null; obs_ is the active context.
   std::unique_ptr<obs::ObservabilityContext> owned_obs_;
   obs::ObservabilityContext* obs_ = nullptr;

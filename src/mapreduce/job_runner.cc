@@ -38,11 +38,42 @@ struct JobRunner::MapTaskState {
   NodeId backup_node = kInvalidNode;
   TaskId backup_id = 0;
   SimDuration nominal_duration = 0.0;
-  // Partitioned, sorted map output: one bucket per reduce partition.
-  std::vector<std::vector<KeyValue>> buckets;
+  /// Straggler draw for the current attempt, consumed at Start (before any
+  /// offload) so the RNG stream is thread-count invariant.
+  double straggler_factor = 1.0;
+  /// Partitioned, sorted map output: one bucket per reduce partition.
+  /// Published once per attempt as an immutable shared payload — in-flight
+  /// reduce closures hold their own reference, so a failure-triggered
+  /// re-run can never mutate data a worker thread is still merging.
+  std::shared_ptr<const std::vector<std::vector<KeyValue>>> buckets;
   std::vector<int64_t> bucket_bytes;
   int64_t output_records = 0;
   int64_t output_bytes = 0;
+};
+
+/// Everything a map payload produces: computed off the simulator thread
+/// (or inline at threads=1) from immutable inputs only.
+struct JobRunner::MapPayloadResult {
+  std::shared_ptr<const std::vector<std::vector<KeyValue>>> buckets;
+  std::vector<int64_t> bucket_bytes;
+  int64_t output_records = 0;  // Pre-combine, sizing the sort charge.
+  int64_t output_bytes = 0;    // Pre-combine.
+};
+
+/// Everything a reduce payload produces. Pane merges come out in
+/// runs_by_pane (source, pane) map order — deterministic — with empty
+/// merges already skipped, mirroring the seed's inline loop.
+struct JobRunner::ReducePayloadResult {
+  std::shared_ptr<const std::vector<KeyValue>> output;
+  int64_t output_bytes = 0;
+  struct PaneMerge {
+    SourceId source = 0;
+    PaneId pane = kInvalidPane;
+    std::shared_ptr<const std::vector<KeyValue>> payload;
+    int64_t bytes = 0;
+    int64_t records = 0;
+  };
+  std::vector<PaneMerge> pane_merges;
 };
 
 struct JobRunner::ReduceTaskState {
@@ -67,6 +98,8 @@ struct JobRunner::ReduceTaskState {
   NodeId backup_node = kInvalidNode;
   TaskId backup_id = 0;
   SimDuration nominal_duration = 0.0;
+  /// Straggler draw for the current attempt (see MapTaskState).
+  double straggler_factor = 1.0;
   /// Shared so output caches and the job result alias it instead of
   /// deep-copying every pair.
   std::shared_ptr<const std::vector<KeyValue>> output;
@@ -97,6 +130,11 @@ struct JobRunner::RunState {
   /// Weak self-reference so scheduled events can keep the state alive past
   /// the Run() call (stale completions are then safely ignored).
   std::weak_ptr<RunState> self;
+  /// One waiter per offloaded payload. Run() drains these before
+  /// returning so no worker thread still references the spec, the DFS, or
+  /// the user functions once the caller regains control — including
+  /// payloads whose join event went stale (failed/re-issued attempts).
+  std::vector<std::function<void()>> pending_payloads;
 };
 
 // ---------------------------------------------------------------------------
@@ -111,6 +149,17 @@ JobRunner::JobRunner(Cluster* cluster, TaskScheduler* scheduler,
       random_(options.seed) {
   REDOOP_CHECK(cluster_ != nullptr);
   REDOOP_CHECK(scheduler_ != nullptr);
+  if (options_.executor != nullptr) {
+    executor_ = options_.executor;
+  } else {
+    const int32_t threads = options_.threads == 0
+                                ? exec::TaskExecutor::DefaultThreadCount()
+                                : options_.threads;
+    if (threads > 1) {
+      owned_executor_ = std::make_unique<exec::TaskExecutor>(threads);
+      executor_ = owned_executor_.get();
+    }
+  }
   cluster_->AddFailureListener(
       [this](NodeId node, const std::vector<std::string>& lost) {
         (void)lost;
@@ -235,70 +284,17 @@ void JobRunner::StartMapTask(RunState* run, MapTaskState* task, NodeId node) {
   const CostModel& cost = cluster_->cost_model();
   const JobSpec& spec = *run->spec;
 
-  // Execute the user map function over the slice (per-source override
-  // first, e.g. join-side tagging).
+  // Per-source mapper override first (e.g. join-side tagging).
   const Mapper* mapper = spec.config.mapper.get();
   auto override_it = spec.per_source_mappers.find(task->source);
   if (override_it != spec.per_source_mappers.end()) {
     mapper = override_it->second.get();
   }
   const int32_t num_partitions = spec.config.num_reducers;
-  task->buckets.assign(static_cast<size_t>(num_partitions), {});
-  task->bucket_bytes.assign(static_cast<size_t>(num_partitions), 0);
-  MapContext context;
-  for (int64_t r = task->record_begin; r < task->record_end; ++r) {
-    mapper->Map(task->file->records[static_cast<size_t>(r)], &context);
-  }
-  // Partition straight out of the map buffer: a counting pass sizes each
-  // bucket exactly, then every pair is moved once — no intermediate vector
-  // and no push_back reallocation churn.
-  std::vector<KeyValue>& output = *context.mutable_output();
-  task->output_records = static_cast<int64_t>(output.size());
-  task->output_bytes = TotalLogicalBytes(output);
-  std::vector<int32_t> pair_partition(output.size());
-  std::vector<size_t> partition_counts(static_cast<size_t>(num_partitions), 0);
-  for (size_t i = 0; i < output.size(); ++i) {
-    const int32_t p = run->partitioner->Partition(output[i].key,
-                                                  num_partitions);
-    pair_partition[i] = p;
-    ++partition_counts[static_cast<size_t>(p)];
-  }
-  for (size_t p = 0; p < task->buckets.size(); ++p) {
-    task->buckets[p].reserve(partition_counts[p]);
-  }
-  for (size_t i = 0; i < output.size(); ++i) {
-    task->buckets[static_cast<size_t>(pair_partition[i])].push_back(
-        std::move(output[i]));
-  }
-  context.Clear();
-  for (auto& bucket : task->buckets) SortByKey(&bucket);
 
-  // Map-side combine: each sorted bucket's key groups collapse before the
-  // spill/shuffle. The sort above is charged on the pre-combine volume;
-  // everything downstream (spill, shuffle, reduce) sees the combined one.
-  if (spec.config.combiner != nullptr) {
-    for (auto& bucket : task->buckets) {
-      ReduceContext combine_out;
-      size_t i = 0;
-      while (i < bucket.size()) {
-        size_t j = i;
-        while (j < bucket.size() && bucket[j].key == bucket[i].key) ++j;
-        spec.config.combiner->Reduce(
-            bucket[i].key,
-            std::span<const KeyValue>(bucket.data() + i, j - i),
-            &combine_out);
-        i = j;
-      }
-      std::vector<KeyValue> combined = combine_out.TakeOutput();
-      SortByKey(&combined);
-      bucket = std::move(combined);
-    }
-  }
-  for (size_t p = 0; p < task->buckets.size(); ++p) {
-    task->bucket_bytes[p] = TotalLogicalBytes(task->buckets[p]);
-  }
-
-  // Simulated duration of this attempt.
+  // Everything start-known is charged and journaled now, before the
+  // payload runs: locality, the DFS read, the input-sized phases, and the
+  // straggler draw. Result-dependent phases land in InstallMapResult.
   const bool local = std::find(task->replica_nodes.begin(),
                                task->replica_nodes.end(),
                                node) != task->replica_nodes.end();
@@ -316,11 +312,117 @@ void JobRunner::StartMapTask(RunState* run, MapTaskState* task, NodeId node) {
         .With("pane", task->pane)
         .With("locality", local ? "local" : "remote");
   }
-  int64_t spilled_bytes = 0;
-  for (int64_t b : task->bucket_bytes) spilled_bytes += b;
   task->timing.startup = cost.TaskStartupTime();
   task->timing.read = local ? cost.LocalReadTime(task->input_bytes)
                             : cost.RemoteReadTime(task->input_bytes);
+  task->straggler_factor = DrawStragglerFactor();
+
+  // The payload closure is pure: it captures only immutable inputs (DFS
+  // records, stateless user functions) and returns fresh data. Which
+  // thread runs it — and when, in host time — is unobservable.
+  auto payload = [file = task->file, begin = task->record_begin,
+                  end = task->record_end, mapper,
+                  combiner = spec.config.combiner,
+                  partitioner = run->partitioner, num_partitions] {
+    return ExecuteMapPayload(file, begin, end, mapper, combiner.get(),
+                             partitioner.get(), num_partitions);
+  };
+  if (executor_ == nullptr) {
+    InstallMapResult(run, task, payload());
+    return;
+  }
+  auto future = executor_->Submit(std::move(payload));
+  run->pending_payloads.push_back([future]() mutable { future.Wait(); });
+  // Join point: installs at the same virtual instant, in submission
+  // order, after every event already queued for this instant — exactly
+  // where the inline result would have been consumed.
+  const TaskId id = task->id;
+  std::shared_ptr<RunState> keepalive = run->self.lock();
+  cluster_->simulator().ScheduleJoin([this, keepalive, task, id,
+                                      future]() mutable {
+    RunState* run = keepalive.get();
+    if (run->finished || run != active_run_ ||
+        task->state != TaskState::kRunning || task->id != id) {
+      return;  // Attempt failed/re-issued before the join fired.
+    }
+    InstallMapResult(run, task, future.Take());
+  });
+}
+
+JobRunner::MapPayloadResult JobRunner::ExecuteMapPayload(
+    const DfsFile* file, int64_t record_begin, int64_t record_end,
+    const Mapper* mapper, const Reducer* combiner,
+    const Partitioner* partitioner, int32_t num_partitions) {
+  MapPayloadResult out;
+  std::vector<std::vector<KeyValue>> buckets(
+      static_cast<size_t>(num_partitions));
+  MapContext context;
+  for (int64_t r = record_begin; r < record_end; ++r) {
+    mapper->Map(file->records[static_cast<size_t>(r)], &context);
+  }
+  // Partition straight out of the map buffer: a counting pass sizes each
+  // bucket exactly, then every pair is moved once — no intermediate vector
+  // and no push_back reallocation churn.
+  std::vector<KeyValue>& output = *context.mutable_output();
+  out.output_records = static_cast<int64_t>(output.size());
+  out.output_bytes = TotalLogicalBytes(output);
+  std::vector<int32_t> pair_partition(output.size());
+  std::vector<size_t> partition_counts(static_cast<size_t>(num_partitions), 0);
+  for (size_t i = 0; i < output.size(); ++i) {
+    const int32_t p = partitioner->Partition(output[i].key, num_partitions);
+    pair_partition[i] = p;
+    ++partition_counts[static_cast<size_t>(p)];
+  }
+  for (size_t p = 0; p < buckets.size(); ++p) {
+    buckets[p].reserve(partition_counts[p]);
+  }
+  for (size_t i = 0; i < output.size(); ++i) {
+    buckets[static_cast<size_t>(pair_partition[i])].push_back(
+        std::move(output[i]));
+  }
+  context.Clear();
+  for (auto& bucket : buckets) SortByKey(&bucket);
+
+  // Map-side combine: each sorted bucket's key groups collapse before the
+  // spill/shuffle. The sort is charged on the pre-combine volume;
+  // everything downstream (spill, shuffle, reduce) sees the combined one.
+  if (combiner != nullptr) {
+    for (auto& bucket : buckets) {
+      ReduceContext combine_out;
+      size_t i = 0;
+      while (i < bucket.size()) {
+        size_t j = i;
+        while (j < bucket.size() && bucket[j].key == bucket[i].key) ++j;
+        combiner->Reduce(bucket[i].key,
+                         std::span<const KeyValue>(bucket.data() + i, j - i),
+                         &combine_out);
+        i = j;
+      }
+      std::vector<KeyValue> combined = combine_out.TakeOutput();
+      SortByKey(&combined);
+      bucket = std::move(combined);
+    }
+  }
+  out.bucket_bytes.assign(static_cast<size_t>(num_partitions), 0);
+  for (size_t p = 0; p < buckets.size(); ++p) {
+    out.bucket_bytes[p] = TotalLogicalBytes(buckets[p]);
+  }
+  out.buckets = std::make_shared<const std::vector<std::vector<KeyValue>>>(
+      std::move(buckets));
+  return out;
+}
+
+void JobRunner::InstallMapResult(RunState* run, MapTaskState* task,
+                                 MapPayloadResult result) {
+  const CostModel& cost = cluster_->cost_model();
+  const JobSpec& spec = *run->spec;
+  task->buckets = std::move(result.buckets);
+  task->bucket_bytes = std::move(result.bucket_bytes);
+  task->output_records = result.output_records;
+  task->output_bytes = result.output_bytes;
+
+  int64_t spilled_bytes = 0;
+  for (int64_t b : task->bucket_bytes) spilled_bytes += b;
   task->timing.compute = cost.MapComputeTime(task->input_bytes);
   if (spec.config.combiner != nullptr) {
     // The combiner scans the full pre-combine output once.
@@ -473,7 +575,7 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
       runs_by_pane;
   for (const auto& map : run->maps) {
     REDOOP_CHECK(map->state == TaskState::kCompleted);
-    const auto& bucket = map->buckets[static_cast<size_t>(partition)];
+    const auto& bucket = (*map->buckets)[static_cast<size_t>(partition)];
     if (bucket.empty()) continue;
     const int64_t bytes = map->bucket_bytes[static_cast<size_t>(partition)];
     new_bytes += bytes;
@@ -536,60 +638,133 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
     }
   }
 
-  // ---- Sort / merge. The *simulated* charge is unchanged: newly shuffled
-  // data pays a full sort plus the merge spill to local disk (Hadoop
-  // reducers materialize their merged input before reducing); cached runs
-  // are already sorted per pane and only pay a linear merge pass. The
-  // *host* now does what the charge models — one k-way merge of the
-  // sorted runs instead of a concat + full re-sort. ----
+  // ---- Sort / merge charges. The *simulated* charge is start-known:
+  // newly shuffled data pays a full sort plus the merge spill to local
+  // disk (Hadoop reducers materialize their merged input before reducing);
+  // cached runs are already sorted per pane and only pay a linear merge
+  // pass. The *host* does what the charge models — one k-way merge of the
+  // sorted runs instead of a concat + full re-sort — inside the payload
+  // below. ----
   task->timing.sort = cost.SortTime(new_bytes, new_records) +
                       cost.options().sort_factor *
                           static_cast<double>(cached_bytes);
   const SimDuration merge_spill = cost.LocalWriteTime(new_bytes);
-  const std::vector<KeyValue> input = MergeSortedRuns(runs);
-
-  // ---- Grouping + user reduce calls: each key group is a zero-copy view
-  // into the merged input. ----
-  ReduceContext context;
-  size_t i = 0;
-  while (i < input.size()) {
-    size_t j = i;
-    while (j < input.size() && input[j].key == input[i].key) ++j;
-    spec.config.reducer->Reduce(
-        input[i].key, std::span<const KeyValue>(input.data() + i, j - i),
-        &context);
-    i = j;
-  }
-  task->output =
-      std::make_shared<const std::vector<KeyValue>>(context.TakeOutput());
   const int64_t total_input_bytes = new_bytes + cached_bytes;
   task->timing.compute = cost.ReduceComputeTime(total_input_bytes);
+  counters.Increment(counter::kReduceInputRecords,
+                     new_records + cached_records);
+  counters.Increment(counter::kReduceInputBytes, total_input_bytes);
+  task->straggler_factor = DrawStragglerFactor();
 
-  const int64_t output_bytes = TotalLogicalBytes(*task->output);
+  // Keep every span's backing storage alive (and immutable) for the
+  // payload's lifetime: map buckets are publish-once shared payloads (a
+  // failure-triggered re-run installs a fresh vector, never mutates this
+  // one), side inputs are shared cache payloads, and the resort scratch
+  // moves into the closure (deque moves preserve element addresses, so
+  // the spans stay valid).
+  std::vector<std::shared_ptr<const std::vector<std::vector<KeyValue>>>>
+      bucket_refs;
+  bucket_refs.reserve(run->maps.size());
+  for (const auto& map : run->maps) bucket_refs.push_back(map->buckets);
+  std::vector<std::shared_ptr<const std::vector<KeyValue>>> side_refs;
+  side_refs.reserve(task->side_inputs.size());
+  for (const ReduceSideInput& side : task->side_inputs) {
+    side_refs.push_back(side.payload);
+  }
 
-  // ---- Writes: reduce-output cache and HDFS output. Reduce-input caches
-  // are the merge spill *kept* instead of deleted (paper §4: caching the
-  // shuffled, sorted reducer input), so they add no write cost beyond the
-  // spill already charged above. ----
-  int64_t write_bytes = output_bytes;  // Plain local materialization.
-  if (spec.cache.cache_reduce_input) {
-    REDOOP_CHECK(spec.cache.input_cache_name != nullptr);
-    for (auto& [key, pane_runs] : runs_by_pane) {
+  // The payload is pure: merge, group, user reduce, per-pane cache merges.
+  // All shared-state accounting (counters, warm reads, journal) already
+  // happened above; naming the caches and charging write costs happens at
+  // install, on the simulator thread.
+  auto payload = [runs = std::move(runs),
+                  runs_by_pane = std::move(runs_by_pane),
+                  scratch = std::move(resort_scratch),
+                  bucket_refs = std::move(bucket_refs),
+                  side_refs = std::move(side_refs),
+                  reducer = spec.config.reducer] {
+    ReducePayloadResult out;
+    const std::vector<KeyValue> input = MergeSortedRuns(runs);
+    // Grouping + user reduce calls: each key group is a zero-copy view
+    // into the merged input.
+    ReduceContext context;
+    size_t i = 0;
+    while (i < input.size()) {
+      size_t j = i;
+      while (j < input.size() && input[j].key == input[i].key) ++j;
+      reducer->Reduce(input[i].key,
+                      std::span<const KeyValue>(input.data() + i, j - i),
+                      &context);
+      i = j;
+    }
+    out.output =
+        std::make_shared<const std::vector<KeyValue>>(context.TakeOutput());
+    out.output_bytes = TotalLogicalBytes(*out.output);
+    for (const auto& [key, pane_runs] : runs_by_pane) {
       // Each pane's cache is the merge of that pane's sorted map buckets —
       // the same k-way kernel, never a re-sort.
       std::vector<KeyValue> pairs = MergeSortedRuns(pane_runs);
       if (pairs.empty()) continue;
+      ReducePayloadResult::PaneMerge merge;
+      merge.source = key.first;
+      merge.pane = key.second;
+      merge.bytes = TotalLogicalBytes(pairs);
+      merge.records = static_cast<int64_t>(pairs.size());
+      merge.payload = std::make_shared<const std::vector<KeyValue>>(
+          std::move(pairs));
+      out.pane_merges.push_back(std::move(merge));
+    }
+    return out;
+  };
+  if (executor_ == nullptr) {
+    InstallReduceResult(run, task, merge_spill, payload());
+    return;
+  }
+  auto future = executor_->Submit(std::move(payload));
+  run->pending_payloads.push_back([future]() mutable { future.Wait(); });
+  const TaskId id = task->id;
+  std::shared_ptr<RunState> keepalive = run->self.lock();
+  cluster_->simulator().ScheduleJoin([this, keepalive, task, id, merge_spill,
+                                      future]() mutable {
+    RunState* run = keepalive.get();
+    if (run->finished || run != active_run_ ||
+        task->state != TaskState::kRunning || task->id != id) {
+      return;  // Attempt failed/re-issued before the join fired.
+    }
+    InstallReduceResult(run, task, merge_spill, future.Take());
+  });
+}
+
+void JobRunner::InstallReduceResult(RunState* run, ReduceTaskState* task,
+                                    SimDuration merge_spill,
+                                    ReducePayloadResult result) {
+  const CostModel& cost = cluster_->cost_model();
+  const JobSpec& spec = *run->spec;
+  Counters& counters = run->result.counters;
+  const int32_t partition = task->partition;
+  const NodeId node = task->node;
+
+  task->output = std::move(result.output);
+  const int64_t output_bytes = result.output_bytes;
+
+  // ---- Writes: reduce-output cache and HDFS output. Reduce-input caches
+  // are the merge spill *kept* instead of deleted (paper §4: caching the
+  // shuffled, sorted reducer input), so they add no write cost beyond the
+  // spill already charged at start. ----
+  int64_t write_bytes = output_bytes;  // Plain local materialization.
+  if (spec.cache.cache_reduce_input) {
+    REDOOP_CHECK(spec.cache.input_cache_name != nullptr);
+    for (ReducePayloadResult::PaneMerge& merge : result.pane_merges) {
       MaterializedCache cache;
-      cache.name = spec.cache.input_cache_name(key.first, key.second, partition);
+      cache.name =
+          spec.cache.input_cache_name(merge.source, merge.pane, partition);
       cache.node = node;
       cache.partition = partition;
-      cache.source = key.first;
-      cache.pane = key.second;
+      cache.source = merge.source;
+      cache.pane = merge.pane;
       cache.is_reduce_output = false;
-      cache.bytes = TotalLogicalBytes(pairs);
-      cache.records = static_cast<int64_t>(pairs.size());
-      cache.payload = std::make_shared<const std::vector<KeyValue>>(
-          std::move(pairs));
+      cache.bytes = merge.bytes;
+      cache.records = merge.records;
+      cache.payload = std::move(merge.payload);
       counters.Increment(counter::kCacheWriteBytes, cache.bytes);
       task->caches.push_back(std::move(cache));
     }
@@ -631,9 +806,6 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
     counters.Increment(counter::kHdfsWriteBytes, output_bytes);
   }
 
-  counters.Increment(counter::kReduceInputRecords,
-                     new_records + cached_records);
-  counters.Increment(counter::kReduceInputBytes, total_input_bytes);
   counters.Increment(counter::kReduceOutputRecords,
                      static_cast<int64_t>(task->output->size()));
   counters.Increment(counter::kReduceOutputBytes, output_bytes);
@@ -730,6 +902,14 @@ void JobRunner::FinishReduceTask(RunState* run, ReduceTaskState* task,
 // Stragglers & speculative execution
 // ---------------------------------------------------------------------------
 
+double JobRunner::DrawStragglerFactor() {
+  if (options_.straggler_probability > 0.0 &&
+      random_.Bernoulli(options_.straggler_probability)) {
+    return options_.straggler_slowdown;
+  }
+  return 1.0;
+}
+
 template <typename TaskStateT>
 SimDuration JobRunner::ArmAttempt(RunState* run, TaskStateT* task,
                                   SimDuration nominal_duration, bool is_map) {
@@ -737,11 +917,11 @@ SimDuration JobRunner::ArmAttempt(RunState* run, TaskStateT* task,
   task->backup_node = kInvalidNode;
   task->backup_id = 0;
 
-  SimDuration actual = nominal_duration;
-  if (options_.straggler_probability > 0.0 &&
-      random_.Bernoulli(options_.straggler_probability)) {
-    actual = nominal_duration * options_.straggler_slowdown;
-  }
+  // The Bernoulli draw happened at Start (DrawStragglerFactor), before any
+  // payload offload: a same-instant failure can kill an attempt between
+  // its start and its join, and the RNG stream must not depend on whether
+  // that join still applies the factor.
+  const SimDuration actual = nominal_duration * task->straggler_factor;
   if (!options_.speculative_execution) return actual;
 
   // Speculation check: if the attempt is still running well past its
@@ -1049,6 +1229,12 @@ JobResult JobRunner::Run(const JobSpec& spec) {
     }
   }
   active_run_ = nullptr;
+  // Drain every offloaded payload — including those whose join event went
+  // stale (failed/re-issued attempts) or will never fire (job aborted with
+  // events still queued). After this loop no worker thread references the
+  // spec, the DFS, or the user functions.
+  for (auto& wait : run.pending_payloads) wait();
+  run.pending_payloads.clear();
 
   JobResult& result = run.result;
   result.status = run.failure;

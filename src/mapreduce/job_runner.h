@@ -10,6 +10,7 @@
 #include "cluster/cluster.h"
 #include "common/ids.h"
 #include "common/random.h"
+#include "exec/task_executor.h"
 #include "mapreduce/job.h"
 #include "mapreduce/job_result.h"
 #include "mapreduce/scheduler.h"
@@ -38,6 +39,17 @@ struct JobRunnerOptions {
   /// Metrics/journal sink for task lifecycle, DFS reads, and job events;
   /// null (the default) disables emission. Must outlive the runner.
   obs::ObservabilityContext* obs = nullptr;
+  /// Host worker threads executing task payloads (the user map/reduce
+  /// functions, combiner, and k-way merges). 1 runs every payload inline
+  /// on the simulator thread; N > 1 offloads payloads to a work-stealing
+  /// pool whose results re-join the event loop at deterministic points;
+  /// 0 means "auto" (hardware_concurrency). Window outputs, counters,
+  /// journal contents, and simulated times are byte-identical at every
+  /// setting — threads only changes host wall-clock.
+  int32_t threads = 1;
+  /// Optional shared executor (e.g. one pool across a MultiQueryCoordinator's
+  /// drivers); overrides `threads` when non-null. Must outlive the runner.
+  exec::TaskExecutor* executor = nullptr;
 };
 
 /// Executes MapReduce jobs on the simulated cluster: splits inputs into
@@ -73,16 +85,32 @@ class JobRunner {
   struct MapTaskState;
   struct ReduceTaskState;
   struct RunState;
+  struct MapPayloadResult;
+  struct ReducePayloadResult;
 
   void BuildMapTasks(const JobSpec& spec, RunState* run);
   void TryScheduleTasks(RunState* run);
   void StartMapTask(RunState* run, MapTaskState* task, NodeId node);
+  /// Installs an offloaded (or inline) map payload's results, charges the
+  /// result-dependent cost-model phases, and arms the attempt. Runs on the
+  /// simulator thread — inline for threads=1, from the join event otherwise.
+  void InstallMapResult(RunState* run, MapTaskState* task,
+                        MapPayloadResult result);
   void FinishMapTask(RunState* run, MapTaskState* task, NodeId winner_node);
   void StartReduceTask(RunState* run, ReduceTaskState* task, NodeId node);
+  /// Reduce twin of InstallMapResult. `merge_spill` is the start-computed
+  /// merge-spill write charge folded into timing.write here.
+  void InstallReduceResult(RunState* run, ReduceTaskState* task,
+                           SimDuration merge_spill,
+                           ReducePayloadResult result);
   void FinishReduceTask(RunState* run, ReduceTaskState* task,
                         NodeId winner_node);
-  /// Applies the straggler draw and, when speculation is on, arms the
-  /// backup-launch check. Returns the attempt's actual duration.
+  /// Consumes the per-attempt straggler draw (call exactly once per
+  /// attempt, at Start — before any payload offload — so the RNG stream
+  /// is identical at every thread count and failure interleaving).
+  double DrawStragglerFactor();
+  /// Applies the pre-drawn straggler factor and, when speculation is on,
+  /// arms the backup-launch check. Returns the attempt's actual duration.
   template <typename TaskState>
   SimDuration ArmAttempt(RunState* run, TaskState* task,
                          SimDuration nominal_duration, bool is_map);
@@ -91,6 +119,14 @@ class JobRunner {
   bool AllMapsDone(const RunState& run) const;
   void MaybeFinishJob(RunState* run);
 
+  static MapPayloadResult ExecuteMapPayload(const DfsFile* file,
+                                            int64_t record_begin,
+                                            int64_t record_end,
+                                            const Mapper* mapper,
+                                            const Reducer* combiner,
+                                            const Partitioner* partitioner,
+                                            int32_t num_partitions);
+
   Cluster* cluster_;
   TaskScheduler* scheduler_;
   JobRunnerOptions options_;
@@ -98,6 +134,10 @@ class JobRunner {
   Random random_;  // Straggler draws (deterministic from options.seed).
   RunState* active_run_ = nullptr;  // Non-null only inside Run().
   TaskId next_task_id_ = 1;
+  /// Payload pool: null in inline mode (threads=1). Points at
+  /// options_.executor when shared, else at owned_executor_.
+  exec::TaskExecutor* executor_ = nullptr;
+  std::unique_ptr<exec::TaskExecutor> owned_executor_;
 };
 
 }  // namespace redoop

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/logging.h"
 #include "common/string_utils.h"
 #include "obs/metric_registry.h"
 
@@ -137,6 +138,18 @@ void EventJournal::SetCommonField(std::string key, std::string value) {
 }
 
 Event& EventJournal::Append(double time, std::string type) {
+  // Single-writer assertion: the first Append (after construction, Clear,
+  // or Parse) pins the owning thread; cross-thread appends are a contract
+  // violation, not a supported mode — the journal is a deterministic
+  // ordered stream, and two writers would make the order racy.
+  const std::thread::id self = std::this_thread::get_id();
+  if (writer_ == std::thread::id()) {
+    writer_ = self;
+  } else {
+    REDOOP_CHECK(writer_ == self)
+        << "EventJournal::Append from a second thread violates the "
+           "single-writer contract";
+  }
   events_.emplace_back(time, std::move(type));
   Event& e = events_.back();
   for (const auto& [key, value] : common_fields_) {
@@ -296,7 +309,12 @@ class LineParser {
 }  // namespace
 
 Status EventJournal::Parse(std::string_view jsonl, EventJournal* out) {
-  out->Clear();  // A failed parse must not leave a half-loaded journal.
+  // Accumulate into a fresh journal and swap in on success: `out`'s
+  // registered common fields must not restamp parsed lines (they already
+  // carry theirs inline — the seed appended through `out` directly, which
+  // silently duplicated fields when loading into a configured journal),
+  // and a failed parse must not leave `out` half-loaded.
+  EventJournal parsed;
   size_t start = 0;
   size_t line_number = 0;
   while (start < jsonl.size()) {
@@ -305,11 +323,16 @@ Status EventJournal::Parse(std::string_view jsonl, EventJournal* out) {
     std::string_view line = jsonl.substr(start, end - start);
     ++line_number;
     if (!line.empty()) {
-      Status s = LineParser(line, line_number).Run(out);
-      if (!s.ok()) return s;
+      Status s = LineParser(line, line_number).Run(&parsed);
+      if (!s.ok()) {
+        *out = EventJournal();
+        return s;
+      }
     }
     start = end + 1;
   }
+  parsed.writer_ = std::thread::id();  // Unpin: parsing is not authorship.
+  *out = std::move(parsed);
   return Status::OK();
 }
 

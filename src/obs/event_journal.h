@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -73,9 +75,16 @@ class Event {
   std::vector<EventField> fields_;
 };
 
-/// Append-only journal of Events, exported as JSONL. Single-threaded like
-/// the rest of the simulator; determinism comes from append order plus
-/// fixed-format serialization.
+/// Append-only journal of Events, exported as JSONL. Determinism comes
+/// from append order plus fixed-format serialization.
+///
+/// Single-writer contract (asserted): every Append must come from the one
+/// thread that owns the journal — the simulator thread. The first Append
+/// after construction, Clear(), or Parse pins the writing thread; an
+/// Append from any other thread REDOOP_CHECK-fails. The parallel task
+/// engine preserves this by emitting only from event-loop join points;
+/// worker threads never touch the journal, so the drain stays a single
+/// deterministic stream.
 class EventJournal {
  public:
   EventJournal() = default;
@@ -105,18 +114,31 @@ class EventJournal {
   /// JSON parser: one object per line, flat string/number fields. A
   /// malformed or truncated line fails with its 1-based line number in the
   /// error message; nothing is silently skipped (blank lines excepted).
-  /// `out` is cleared first — a failed parse never leaves it half-loaded.
+  /// On success `out` is replaced wholesale — events, common-field
+  /// registrations, and writer pinning; on failure it is cleared. Parsed
+  /// lines are never restamped with `out`'s common fields (they carry
+  /// theirs inline), so parse -> serialize is the identity through any
+  /// journal. Must not target a journal another thread is appending to.
   static Status Parse(std::string_view jsonl, EventJournal* out);
 
   /// Reads `path` and parses it with Parse. Parse errors carry the line
-  /// number; I/O errors carry the path.
+  /// number; I/O errors carry the path. Same aliasing/threading contract
+  /// as Parse: never load into a journal a live ObservabilityContext is
+  /// still writing.
   static Status LoadFile(const std::string& path, EventJournal* out);
 
-  void Clear() { events_.clear(); }
+  /// Drops all events and unpins the writer thread (the next Append may
+  /// come from a different thread). Common fields survive.
+  void Clear() {
+    events_.clear();
+    writer_ = std::thread::id();
+  }
 
  private:
   std::vector<Event> events_;
   std::vector<std::pair<std::string, std::string>> common_fields_;
+  /// Writer pin for the single-writer assertion; default id = unpinned.
+  std::thread::id writer_;
 };
 
 /// Event type names. Keeping them in one place documents the schema and

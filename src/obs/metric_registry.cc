@@ -43,6 +43,7 @@ double Histogram::BucketMidpoint(int32_t index) {
 }
 
 void Histogram::Record(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (snapshot_.count == 0) {
     snapshot_.min = value;
     snapshot_.max = value;
@@ -53,6 +54,16 @@ void Histogram::Record(double value) {
   ++snapshot_.count;
   snapshot_.sum += value;
   ++snapshot_.buckets[BucketIndex(value)];
+}
+
+int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_.count;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
 }
 
 double HistogramSnapshot::Quantile(double q) const {
@@ -75,8 +86,14 @@ double HistogramSnapshot::Quantile(double q) const {
 }
 
 void HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
-  if (other.count == 0) return;
-  if (count == 0) {
+  // The empty snapshot is the identity on BOTH sides: its min/max are the
+  // 0.0 placeholders, not observations, and must never fold into a real
+  // extremum (the seed keyed emptiness off `count` alone, which dropped
+  // synthetic bucket-only snapshots and broke associativity for them).
+  const bool other_empty = other.count == 0 && other.buckets.empty();
+  if (other_empty) return;
+  const bool self_empty = count == 0 && buckets.empty();
+  if (self_empty) {
     *this = other;
     return;
   }
@@ -84,6 +101,8 @@ void HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
   max = std::max(max, other.max);
   sum += other.sum;
   count += other.count;
+  // Safe under self-merge: value updates on existing keys only, no
+  // insertion happens mid-iteration.
   for (const auto& [index, bucket_count] : other.buckets) {
     buckets[index] += bucket_count;
   }
@@ -217,6 +236,7 @@ std::string MetricsSnapshot::ToCsv() const {
 }
 
 Counter& MetricRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -226,6 +246,7 @@ Counter& MetricRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -234,6 +255,7 @@ Gauge& MetricRegistry::GetGauge(std::string_view name) {
 }
 
 Histogram& MetricRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -259,6 +281,7 @@ void MetricRegistry::Record(std::string_view name, double value) {
 }
 
 MetricsSnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snapshot;
   for (const auto& [name, counter] : counters_) {
     snapshot.counters[name] = counter->value();
@@ -273,6 +296,9 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
 }
 
 void MetricRegistry::Reset() {
+  // Contract: callers quiesce all writers first — clearing destroys every
+  // metric instance Get* handed out.
+  std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

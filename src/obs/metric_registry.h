@@ -1,18 +1,30 @@
 #ifndef REDOOP_OBS_METRIC_REGISTRY_H_
 #define REDOOP_OBS_METRIC_REGISTRY_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 
 namespace redoop {
 namespace obs {
 
 /// Immutable view of one log-bucketed histogram (see Histogram below for
 /// the bucket layout). Snapshots of the same histogram name merge exactly:
-/// bucket counts add, min/max/sum/count combine losslessly.
+/// bucket counts add, min/max/count combine losslessly.
+///
+/// MergeFrom is associative and commutative in count, min, max, and the
+/// bucket counts (integer adds and min/max folds), with the empty snapshot
+/// as identity — so per-shard or per-phase snapshots fold to the same
+/// result no matter how the folds are grouped. `sum` is a double and is
+/// only reproducible for a fixed fold order; every exporter in this repo
+/// folds in registry (name-sorted) order, which keeps serialized output
+/// deterministic.
 struct HistogramSnapshot {
   int64_t count = 0;
   double sum = 0.0;
@@ -65,25 +77,49 @@ struct MetricsSnapshot {
   std::string ToCsv() const;
 };
 
-/// Monotonic counter. Not thread-safe; the simulator is single-threaded.
+/// Monotonic counter. Thread-safe: increments land on one of kShards
+/// cache-line-padded atomic cells (picked by thread identity, so worker
+/// threads do not bounce one line), and value() folds the shards in fixed
+/// index order — integer adds, so the total is exact and independent of
+/// which thread incremented where. value() taken concurrently with
+/// increments sees some linearization of them; quiesced reads are exact.
 class Counter {
  public:
-  void Increment(int64_t delta = 1) { value_ += delta; }
-  int64_t value() const { return value_; }
+  static constexpr size_t kShards = 8;
+
+  void Increment(int64_t delta = 1) {
+    shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const {
+    int64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
 
  private:
-  int64_t value_ = 0;
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  static size_t ShardIndex() {
+    return std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+           kShards;
+  }
+  std::array<Shard, kShards> shards_{};
 };
 
-/// Instantaneous level (bytes cached, entries resident, ...).
+/// Instantaneous level (bytes cached, entries resident, ...). Atomic:
+/// Set/Add/value are individually thread-safe; a level has no shard-able
+/// structure, so concurrent Set calls linearize arbitrarily.
 class Gauge {
  public:
-  void Set(double value) { value_ = value; }
-  void Add(double delta) { value_ += delta; }
-  double value() const { return value_; }
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Log-bucketed histogram over doubles. Buckets grow by
@@ -92,6 +128,11 @@ class Gauge {
 /// Values with |v| <= kMinTrackable collapse into bucket 0 (representative
 /// 0.0); negative values mirror into negative bucket indexes, so bucket
 /// index order is value order.
+///
+/// Record and Snapshot are serialized by a per-histogram mutex; recorded
+/// values fold through the associative HistogramSnapshot merge, so the
+/// observable state does not depend on which thread recorded what (the
+/// double `sum` aside, see HistogramSnapshot).
 class Histogram {
  public:
   static constexpr int kSubBucketsPerOctave = 8;
@@ -99,8 +140,8 @@ class Histogram {
 
   void Record(double value);
 
-  int64_t count() const { return snapshot_.count; }
-  HistogramSnapshot Snapshot() const { return snapshot_; }
+  int64_t count() const;
+  HistogramSnapshot Snapshot() const;
 
   /// Bucket index for a value (0 for |value| <= kMinTrackable, negative
   /// indexes for values below -kMinTrackable).
@@ -110,6 +151,7 @@ class Histogram {
   static double BucketMidpoint(int32_t index);
 
  private:
+  mutable std::mutex mu_;
   HistogramSnapshot snapshot_;
 };
 
@@ -118,6 +160,17 @@ class Histogram {
 /// keep separate books and runs stay deterministic. Get* creates on first
 /// use and returns a stable reference; a name keeps one kind for its
 /// lifetime (checked).
+///
+/// Thread-safety contract: Get*, Increment, SetGauge, AddGauge, Record,
+/// and Snapshot may be called concurrently from any thread (the maps are
+/// mutex-guarded; metric instances are internally synchronized, and the
+/// unique_ptr indirection keeps Get* references stable across inserts).
+/// Reset() is NOT safe concurrently with anything — it invalidates every
+/// reference Get* handed out — and must only run when all writer threads
+/// have quiesced. Snapshot holds the registry lock while copying, so do
+/// not call registry methods from within a metric accessor (no such path
+/// exists in this codebase; noted because the seed registry tolerated
+/// reentrant Get* during iteration and this one deadlocks instead).
 class MetricRegistry {
  public:
   MetricRegistry() = default;
@@ -138,6 +191,7 @@ class MetricRegistry {
   void Reset();
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

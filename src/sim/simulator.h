@@ -25,6 +25,17 @@ class Simulator {
   /// Schedules `action` at absolute time `when` (>= Now()).
   void ScheduleAt(SimTime when, std::function<void()> action);
 
+  /// Schedules `action` at the current virtual time, after every event
+  /// already queued for this instant (the queue breaks time ties by
+  /// schedule order). This is the parallel engine's join point: an
+  /// offloaded payload's results are installed by a join event that fires
+  /// at the same virtual instant as the submitting event, in submission
+  /// order — so the event sequence any observer sees is independent of
+  /// how long the payload actually took on a worker thread.
+  void ScheduleJoin(std::function<void()> action) {
+    Schedule(0.0, std::move(action));
+  }
+
   /// Processes events until the queue is empty.
   void Run();
 

@@ -31,6 +31,10 @@ class CountWindowFeed : public BatchFeed {
   std::vector<RecordBatch> BatchesFor(SourceId source, Timestamp begin,
                                       Timestamp end) override;
 
+  bool HasSource(SourceId source) const override {
+    return inner_->HasSource(source);
+  }
+
   /// Real (inner-feed) time consumed so far for `source`.
   Timestamp InnerTimeConsumed(SourceId source) const;
 

@@ -36,6 +36,10 @@ class SyntheticFeed : public BatchFeed {
   std::vector<RecordBatch> BatchesFor(SourceId source, Timestamp begin,
                                       Timestamp end) override;
 
+  bool HasSource(SourceId source) const override {
+    return generators_.find(source) != generators_.end();
+  }
+
   Timestamp batch_interval() const { return batch_interval_; }
 
  private:

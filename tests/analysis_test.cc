@@ -303,11 +303,11 @@ TinyRun RunTinyAggregation(bool cache_enabled = true) {
   ctx.journal().SetCommonField("system", "redoop");
   RedoopDriverOptions options;
   options.obs = &ctx;
-  options.cache_reduce_input = cache_enabled;
-  options.cache_reduce_output = cache_enabled;
+  options.cache.reduce_input = cache_enabled;
+  options.cache.reduce_output = cache_enabled;
   RedoopDriver driver(&cluster, feed.get(), query, options);
   TinyRun run;
-  run.report = driver.Run(3);
+  run.report = driver.Run(3).value();
   EXPECT_TRUE(
       AnalyzeJournal(ctx.journal(), AnalysisOptions(), &run.analysis).ok());
   run.breakdown_json = BreakdownToJson(run.analysis);

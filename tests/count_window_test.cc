@@ -70,7 +70,7 @@ TEST(CountWindowTest, EveryWindowCoversExactlyWinRecords) {
   RedoopDriver driver(&cluster, &feed, query);
 
   for (int64_t i = 0; i < 4; ++i) {
-    WindowReport w = driver.RunRecurrence(i);
+    WindowReport w = driver.RunRecurrence(i).value();
     int64_t total = 0;
     for (const KeyValue& kv : w.output) {
       total += AggregateValue::Parse(kv.value).count;
@@ -95,7 +95,7 @@ TEST(CountWindowTest, RedoopMatchesHadoopOnCountWindows) {
 
   for (int64_t i = 0; i < 4; ++i) {
     WindowReport h = hadoop.RunRecurrence(i);
-    WindowReport r = redoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i).value();
     ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
   }
 }

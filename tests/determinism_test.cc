@@ -21,7 +21,7 @@ RunReport OneRedoopRun(uint64_t placement_seed) {
   Cluster cluster(8, config);
   auto feed = MakeWccFeed(1, 30, 20);
   RedoopDriver driver(&cluster, feed.get(), query);
-  return driver.Run(4);
+  return driver.Run(4).value();
 }
 
 TEST(DeterminismTest, IdenticalConfigsReplayExactly) {

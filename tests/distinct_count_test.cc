@@ -45,7 +45,7 @@ TEST(DistinctCountTest, MatchesBruteForceOracle) {
   RedoopDriver driver(&cluster, feed.get(), query);
 
   for (int64_t i = 0; i < 3; ++i) {
-    WindowReport w = driver.RunRecurrence(i);
+    WindowReport w = driver.RunRecurrence(i).value();
     // Oracle: distinct first-value-field per key from the raw feed.
     auto oracle_feed = MakeWccFeed(1, 30, 20);
     const Timestamp begin = driver.geometry().WindowBegin(i);
@@ -79,7 +79,7 @@ TEST(DistinctCountTest, RedoopMatchesHadoop) {
 
   for (int64_t i = 0; i < 4; ++i) {
     WindowReport h = hadoop.RunRecurrence(i);
-    WindowReport r = redoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i).value();
     ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
   }
 }

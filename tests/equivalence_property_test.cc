@@ -61,17 +61,17 @@ TEST_P(EquivalencePropertyTest, RedoopEqualsHadoop) {
 
   HadoopRecurringDriver hadoop(&hadoop_cluster, hadoop_feed.get(), query);
   RedoopDriverOptions options;
-  options.adaptive = c.adaptive;
-  options.proactive_threshold = c.adaptive ? 0.01 : 0.8;
-  options.cache_reduce_input = c.cache_input;
-  options.cache_reduce_output = c.cache_output;
-  options.use_cache_aware_scheduler = c.cache_aware_scheduler;
-  options.hybrid_join_strategy = c.hybrid;
+  options.adaptive.enabled = c.adaptive;
+  options.adaptive.proactive_threshold = c.adaptive ? 0.01 : 0.8;
+  options.cache.reduce_input = c.cache_input;
+  options.cache.reduce_output = c.cache_output;
+  options.scheduler.cache_aware = c.cache_aware_scheduler;
+  options.cache.hybrid_join_strategy = c.hybrid;
   RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query, options);
 
   for (int64_t i = 0; i < kWindows; ++i) {
     WindowReport h = hadoop.RunRecurrence(i);
-    WindowReport r = redoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i).value();
     ASSERT_TRUE(SameOutput(h.output, r.output))
         << c.label << " diverged at window " << i << " (hadoop "
         << h.output.size() << " rows, redoop " << r.output.size() << ")";

@@ -41,7 +41,7 @@ TEST(FaultToleranceTest, AggregationSurvivesCacheWipes) {
   for (int64_t i = 0; i < 5; ++i) {
     if (i >= 1) WipeNodeCaches(&redoop_cluster, static_cast<NodeId>(i % kNodes));
     WindowReport h = hadoop.RunRecurrence(i);
-    WindowReport r = redoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i).value();
     ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
   }
 }
@@ -56,13 +56,13 @@ TEST(FaultToleranceTest, JoinSurvivesCacheWipes) {
   Cluster redoop_cluster(kNodes, SmallClusterConfig());
   auto redoop_feed = MakeFfgFeed(1, 2, 4, 20);
   RedoopDriverOptions options;
-  options.hybrid_join_strategy = false;  // Exercise the pane-pair machinery.
+  options.cache.hybrid_join_strategy = false;  // Exercise the pane-pair machinery.
   RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query, options);
 
   for (int64_t i = 0; i < 5; ++i) {
     if (i >= 1) WipeNodeCaches(&redoop_cluster, static_cast<NodeId>(i % kNodes));
     WindowReport h = hadoop.RunRecurrence(i);
-    WindowReport r = redoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i).value();
     ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
   }
 }
@@ -89,7 +89,7 @@ TEST(FaultToleranceTest, JoinSurvivesNodeDeathBetweenWindows) {
       redoop_cluster.dfs().ReplicateMissing();
     }
     WindowReport h = hadoop.RunRecurrence(i);
-    WindowReport r = redoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i).value();
     ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
   }
 }
@@ -117,7 +117,7 @@ TEST(FaultToleranceTest, AggregationSurvivesMidWindowNodeFailure) {
           when, [&redoop_cluster] { redoop_cluster.FailNode(5); });
     }
     WindowReport h = hadoop.RunRecurrence(i);
-    WindowReport r = redoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i).value();
     ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
   }
 }
@@ -128,12 +128,12 @@ TEST(FaultToleranceTest, LostCachesAreReRegistered) {
   auto feed = MakeWccFeed(1, 30, 20);
   RedoopDriver redoop(&cluster, feed.get(), query);
 
-  ASSERT_GT(redoop.RunRecurrence(0).output.size(), 0u);
+  ASSERT_GT(redoop.RunRecurrence(0).value().output.size(), 0u);
   const size_t signatures_before = redoop.controller().signature_count();
   ASSERT_GT(signatures_before, 0u);
 
   WipeNodeCaches(&cluster, 2);
-  ASSERT_GT(redoop.RunRecurrence(1).output.size(), 0u);
+  ASSERT_GT(redoop.RunRecurrence(1).value().output.size(), 0u);
   // The surviving + rebuilt metadata again covers the live window; sizes
   // match the steady-state progression (one pane retired, one added).
   EXPECT_GT(redoop.controller().signature_count(), 0u);
@@ -150,9 +150,9 @@ TEST(FaultToleranceTest, CacheLossRollsBackPaneReadyBit) {
   Cluster cluster(kNodes, SmallClusterConfig());
   auto feed = MakeFfgFeed(1, 2, 4, 20);
   RedoopDriverOptions options;
-  options.hybrid_join_strategy = false;
+  options.cache.hybrid_join_strategy = false;
   RedoopDriver redoop(&cluster, feed.get(), query, options);
-  redoop.RunRecurrence(0);
+  ASSERT_TRUE(redoop.RunRecurrence(0).ok());
 
   // Find some reduce-input cache and lose it.
   std::string victim_name;
@@ -186,7 +186,7 @@ TEST(FaultToleranceTest, CacheLossRollsBackPaneReadyBit) {
   EXPECT_FALSE(redoop.store().Has(victim_name));
 
   // The next recurrence heals everything and stays correct.
-  EXPECT_GT(redoop.RunRecurrence(1).output.size(), 0u);
+  EXPECT_GT(redoop.RunRecurrence(1).value().output.size(), 0u);
   EXPECT_EQ(redoop.controller().PaneReady(2, victim_source, victim_pane),
             CacheReady::kCacheAvailable);
 }

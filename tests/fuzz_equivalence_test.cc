@@ -37,21 +37,21 @@ TEST_P(FuzzEquivalenceTest, RandomConfigRedoopEqualsHadoop) {
   const int64_t windows = 2 + static_cast<int64_t>(rng.Uniform(3));
 
   RedoopDriverOptions options;
-  options.cache_reduce_input = !rng.Bernoulli(0.15);
-  options.cache_reduce_output = !rng.Bernoulli(0.25);
-  options.use_cache_aware_scheduler = rng.Bernoulli(0.8);
-  options.hybrid_join_strategy = rng.Bernoulli(0.7);
-  options.adaptive = rng.Bernoulli(0.3);
-  if (options.adaptive) options.proactive_threshold = 0.05;
+  options.cache.reduce_input = !rng.Bernoulli(0.15);
+  options.cache.reduce_output = !rng.Bernoulli(0.25);
+  options.scheduler.cache_aware = rng.Bernoulli(0.8);
+  options.cache.hybrid_join_strategy = rng.Bernoulli(0.7);
+  options.adaptive.enabled = rng.Bernoulli(0.3);
+  if (options.adaptive.enabled) options.adaptive.proactive_threshold = 0.05;
 
   SCOPED_TRACE(::testing::Message()
                << "win=" << win << " slide=" << slide << " join=" << join
                << " seed=" << seed << " reducers=" << reducers
                << " nodes=" << nodes << " windows=" << windows
-               << " ric=" << options.cache_reduce_input
-               << " roc=" << options.cache_reduce_output
-               << " adaptive=" << options.adaptive
-               << " hybrid=" << options.hybrid_join_strategy);
+               << " ric=" << options.cache.reduce_input
+               << " roc=" << options.cache.reduce_output
+               << " adaptive=" << options.adaptive.enabled
+               << " hybrid=" << options.cache.hybrid_join_strategy);
 
   RecurringQuery query =
       join ? MakeJoinQuery(9, "fuzz-join", 1, 2, win, slide, reducers)
@@ -74,7 +74,7 @@ TEST_P(FuzzEquivalenceTest, RandomConfigRedoopEqualsHadoop) {
 
   for (int64_t i = 0; i < windows; ++i) {
     WindowReport h = hadoop.RunRecurrence(i);
-    WindowReport r = redoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i).value();
     ASSERT_TRUE(SameOutput(h.output, r.output))
         << "diverged at window " << i << " (hadoop " << h.output.size()
         << " rows, redoop " << r.output.size() << ")";

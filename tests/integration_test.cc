@@ -36,7 +36,7 @@ TEST(IntegrationAggregation, RedoopMatchesHadoopHighOverlap) {
 
   for (int64_t i = 0; i < kWindows; ++i) {
     WindowReport h = hadoop.RunRecurrence(i);
-    WindowReport r = redoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i).value();
     ASSERT_GT(h.output.size(), 0u) << "window " << i << " empty";
     EXPECT_TRUE(SameOutput(h.output, r.output))
         << "window " << i << " diverged\nHadoop:\n"
@@ -67,7 +67,7 @@ TEST(IntegrationAggregation, RedoopFasterOnWarmWindows) {
   double redoop_warm = 0.0;
   for (int64_t i = 0; i < kWindows; ++i) {
     WindowReport h = hadoop.RunRecurrence(i);
-    WindowReport r = redoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i).value();
     ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
     if (i >= 1) {  // Skip the cold window.
       hadoop_warm += h.response_time;
@@ -94,7 +94,7 @@ TEST(IntegrationJoin, RedoopMatchesHadoop) {
   bool any_output = false;
   for (int64_t i = 0; i < kWindows; ++i) {
     WindowReport h = hadoop.RunRecurrence(i);
-    WindowReport r = redoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i).value();
     any_output = any_output || !h.output.empty();
     EXPECT_TRUE(SameOutput(h.output, r.output))
         << "window " << i << " diverged (hadoop " << h.output.size()
@@ -119,7 +119,7 @@ TEST(IntegrationJoin, CachedInputRecomputePatternMatches) {
 
   for (int64_t i = 0; i < kWindows; ++i) {
     WindowReport h = hadoop.RunRecurrence(i);
-    WindowReport r = redoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i).value();
     EXPECT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
   }
 }
@@ -134,13 +134,13 @@ TEST(IntegrationAggregation, AdaptiveModeStillCorrect) {
   Cluster redoop_cluster(kNodes, SmallClusterConfig());
   auto redoop_feed = MakeWccFeed(1, 30, 20);
   RedoopDriverOptions options;
-  options.adaptive = true;
-  options.proactive_threshold = 0.01;  // Force proactive mode quickly.
+  options.adaptive.enabled = true;
+  options.adaptive.proactive_threshold = 0.01;  // Force proactive mode quickly.
   RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query, options);
 
   for (int64_t i = 0; i < kWindows; ++i) {
     WindowReport h = hadoop.RunRecurrence(i);
-    WindowReport r = redoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i).value();
     ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
   }
   EXPECT_TRUE(redoop.proactive_mode())

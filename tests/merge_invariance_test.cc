@@ -95,15 +95,19 @@ void ExpectMatchesGolden(const RunReport& report,
   }
 }
 
-TEST(MergePathInvarianceTest, AggregationWindowsMatchPreMergeEngine) {
+RunReport RunGoldenAggregation(int32_t threads) {
   Config config = SmallClusterConfig();
   config.SetInt("dfs.placement_seed", 7);
   RecurringQuery query = MakeAggregationQuery(1, "golden-agg", 1, 200, 40, 4);
   Cluster cluster(8, config);
   auto feed = MakeWccFeed(1, 30, 20);
-  RedoopDriver driver(&cluster, feed.get(), query);
-  const RunReport report = driver.Run(4);
+  RedoopDriverOptions options;
+  options.runner.threads = threads;
+  RedoopDriver driver(&cluster, feed.get(), query, options);
+  return driver.Run(4).value();
+}
 
+void ExpectAggregationGolden(const RunReport& report) {
   ExpectMatchesGolden(
       report,
       {
@@ -122,15 +126,29 @@ TEST(MergePathInvarianceTest, AggregationWindowsMatchPreMergeEngine) {
       });
 }
 
-TEST(MergePathInvarianceTest, JoinWindowsMatchPreMergeEngine) {
+TEST(MergePathInvarianceTest, AggregationWindowsMatchPreMergeEngine) {
+  ExpectAggregationGolden(RunGoldenAggregation(1));
+}
+
+TEST(MergePathInvarianceTest, AggregationGoldenHoldsUnderParallelOffload) {
+  // Same goldens, offloaded execution: the work-stealing pool must not
+  // perturb a single bit of what the pre-merge engine produced.
+  ExpectAggregationGolden(RunGoldenAggregation(8));
+}
+
+RunReport RunGoldenJoin(int32_t threads) {
   Config config = SmallClusterConfig();
   config.SetInt("dfs.placement_seed", 7);
   RecurringQuery query = MakeJoinQuery(2, "golden-join", 1, 2, 120, 40, 2);
   Cluster cluster(8, config);
   auto feed = MakeFfgFeed(1, 2, 6, 20);
-  RedoopDriver driver(&cluster, feed.get(), query);
-  const RunReport report = driver.Run(3);
+  RedoopDriverOptions options;
+  options.runner.threads = threads;
+  RedoopDriver driver(&cluster, feed.get(), query, options);
+  return driver.Run(3).value();
+}
 
+void ExpectJoinGolden(const RunReport& report) {
   ExpectMatchesGolden(
       report,
       {
@@ -144,6 +162,14 @@ TEST(MergePathInvarianceTest, JoinWindowsMatchPreMergeEngine) {
            9237435802120608928ull, 0.041756012533714776, 0.082035714285714295,
            0.09375, 1440, 480, 983040},
       });
+}
+
+TEST(MergePathInvarianceTest, JoinWindowsMatchPreMergeEngine) {
+  ExpectJoinGolden(RunGoldenJoin(1));
+}
+
+TEST(MergePathInvarianceTest, JoinGoldenHoldsUnderParallelOffload) {
+  ExpectJoinGolden(RunGoldenJoin(8));
 }
 
 }  // namespace

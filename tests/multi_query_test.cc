@@ -49,7 +49,7 @@ TEST(MultiQueryTest, CoRunningQueriesMatchIsolatedHadoop) {
   MultiQueryCoordinator coordinator(&cluster, feed.get());
   coordinator.AddQuery(q1);
   coordinator.AddQuery(q2);
-  const std::vector<RunReport> reports = coordinator.Run(kWindows);
+  const std::vector<RunReport> reports = coordinator.Run(kWindows).value();
 
   ASSERT_EQ(reports.size(), 2u);
   for (size_t qi = 0; qi < 2; ++qi) {
@@ -71,7 +71,7 @@ TEST(MultiQueryTest, InterleavesInTriggerOrder) {
   MultiQueryCoordinator coordinator(&cluster, feed.get());
   coordinator.AddQuery(q1);
   coordinator.AddQuery(q2);
-  const std::vector<RunReport> reports = coordinator.Run(3);
+  const std::vector<RunReport> reports = coordinator.Run(3).value();
 
   // Triggers: q1 at 200, 240, 280; q2 at 300, 360, 420. Each query's
   // windows must finish in its own trigger order, and q1's first window
@@ -104,7 +104,7 @@ TEST(MultiQueryTest, QueriesOnDistinctSources) {
   coordinator.AddQuery(q2);
   EXPECT_EQ(coordinator.PaneSizeForSource(1), 40);
   EXPECT_EQ(coordinator.PaneSizeForSource(2), 100);
-  const auto reports = coordinator.Run(2);
+  const std::vector<RunReport> reports = coordinator.Run(2).value();
   EXPECT_EQ(reports[0].windows.size(), 2u);
   EXPECT_EQ(reports[1].windows.size(), 2u);
   for (const RunReport& r : reports) {

@@ -6,7 +6,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <initializer_list>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/redoop_driver.h"
@@ -461,7 +463,7 @@ InstrumentedRun RunInstrumentedAggregation() {
   RedoopDriverOptions options;
   options.obs = &ctx;
   RedoopDriver driver(&cluster, feed.get(), query, options);
-  RunReport report = driver.Run(3);
+  RunReport report = driver.Run(3).value();
   InstrumentedRun run;
   run.journal_jsonl = ctx.journal().ToJsonl();
   run.metrics_json = ctx.metrics().Snapshot().ToJson();
@@ -509,13 +511,128 @@ TEST(ObservabilityIntegrationTest, OverlappingWindowsHitThePaneCaches) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Thread-safety and merge-associativity contracts (parallel engine support)
+// ---------------------------------------------------------------------------
+
+TEST(MetricRegistryTest, ShardedCountersFoldExactlyUnderConcurrency) {
+  obs::MetricRegistry registry;
+  obs::Counter& counter = registry.GetCounter("parallel.total");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment(3);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), int64_t{3} * kThreads * kPerThread)
+      << "shard fold must lose nothing regardless of thread placement";
+  EXPECT_EQ(registry.Snapshot().Counter("parallel.total"),
+            int64_t{3} * kThreads * kPerThread);
+}
+
+TEST(MetricRegistryTest, ConcurrentGetAndRecordIsSafe) {
+  obs::MetricRegistry registry;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < 500; ++i) {
+        registry.Increment("shared.counter");
+        registry.Record("shared.histogram", 1.0 + t);
+        registry.Increment("per.thread." + std::to_string(t));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.Counter("shared.counter"), kThreads * 500);
+  EXPECT_EQ(snap.histograms.at("shared.histogram").count, kThreads * 500);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.Counter("per.thread." + std::to_string(t)), 500);
+  }
+}
+
+TEST(HistogramTest, SnapshotMergeIsAssociativeAndCommutative) {
+  // Values chosen dyadic so double sums are exact and grouping-invariant.
+  auto snap_of = [](std::initializer_list<double> values) {
+    obs::Histogram h;
+    for (double v : values) h.Record(v);
+    return h.Snapshot();
+  };
+  const obs::HistogramSnapshot a = snap_of({0.25, 8.0});
+  const obs::HistogramSnapshot b = snap_of({-4.5});
+  const obs::HistogramSnapshot c = snap_of({0.5, 0.5, 1024.0});
+  const obs::HistogramSnapshot empty;
+
+  auto merge = [](obs::HistogramSnapshot x, const obs::HistogramSnapshot& y) {
+    x.MergeFrom(y);
+    return x;
+  };
+  const obs::HistogramSnapshot left = merge(merge(a, b), c);
+  const obs::HistogramSnapshot right = merge(a, merge(b, c));
+  EXPECT_EQ(left.count, right.count);
+  EXPECT_EQ(left.min, right.min);
+  EXPECT_EQ(left.max, right.max);
+  EXPECT_EQ(left.sum, right.sum);
+  EXPECT_EQ(left.buckets, right.buckets);
+
+  const obs::HistogramSnapshot ab = merge(a, b);
+  const obs::HistogramSnapshot ba = merge(b, a);
+  EXPECT_EQ(ab.min, ba.min);
+  EXPECT_EQ(ab.max, ba.max);
+  EXPECT_EQ(ab.buckets, ba.buckets);
+
+  // The empty snapshot is a two-sided identity: its placeholder min/max
+  // must never leak into a real extremum (all-negative data would
+  // otherwise pick up a spurious max of 0).
+  EXPECT_EQ(merge(b, empty).max, -4.5);
+  EXPECT_EQ(merge(empty, b).max, -4.5);
+  EXPECT_EQ(merge(merge(empty, a), empty).min, 0.25);
+}
+
+TEST(EventJournalTest, ParseDoesNotRestampCommonFieldsOfTarget) {
+  obs::EventJournal source;
+  source.Append(1.0, "x").With("k", "v");
+  const std::string jsonl = source.ToJsonl();
+
+  obs::EventJournal target;
+  target.SetCommonField("system", "live");
+  target.Append(0.5, "pre-existing");
+  ASSERT_TRUE(obs::EventJournal::Parse(jsonl, &target).ok());
+  ASSERT_EQ(target.size(), 1u);
+  EXPECT_EQ(target.events()[0].Find("system"), nullptr)
+      << "parsed lines must not inherit the target's common fields";
+  EXPECT_EQ(target.ToJsonl(), jsonl) << "parse -> serialize stays identity";
+  // The replaced journal accepts appends from this thread (writer unpinned).
+  target.Append(2.0, "after-parse");
+  EXPECT_EQ(target.size(), 2u);
+}
+
+#ifdef GTEST_HAS_DEATH_TEST
+TEST(EventJournalDeathTest, CrossThreadAppendViolatesSingleWriter) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        obs::EventJournal journal;
+        journal.Append(0.0, "pinned-here");
+        std::thread([&journal] { journal.Append(1.0, "other-thread"); })
+            .join();
+      },
+      "single-writer");
+}
+#endif  // GTEST_HAS_DEATH_TEST
+
 TEST(ObservabilityIntegrationTest, DriverOwnsContextWhenNoneProvided) {
   RecurringQuery query = MakeAggregationQuery(1, "own", 1, 200, 40, 4);
   Cluster cluster(6, SmallClusterConfig());
   auto feed = MakeWccFeed(1, 30, 20);
   RedoopDriver driver(&cluster, feed.get(), query);
   ASSERT_NE(driver.observability(), nullptr);
-  RunReport report = driver.Run(2);
+  RunReport report = driver.Run(2).value();
   EXPECT_GT(driver.observability()->journal().size(), 0u);
   EXPECT_GT(report.observability.Counter(obs::metric::kCachePaneHits), 0);
 }

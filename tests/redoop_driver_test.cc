@@ -26,7 +26,7 @@ TEST(RedoopDriverTest, CachesAppearAfterFirstWindow) {
   RedoopDriver driver(&cluster, feed.get(), query);
 
   EXPECT_EQ(driver.controller().signature_count(), 0u);
-  driver.RunRecurrence(0);
+  ASSERT_TRUE(driver.RunRecurrence(0).ok());
   // 5 panes, each with reduce-input and reduce-output caches.
   EXPECT_GT(driver.controller().signature_count(), 0u);
   EXPECT_GT(driver.store().total_bytes(), 0);
@@ -48,7 +48,7 @@ TEST(RedoopDriverTest, CacheFootprintIsBoundedByExpiration) {
 
   size_t steady_size = 0;
   for (int64_t i = 0; i < 10; ++i) {
-    driver.RunRecurrence(i);
+    ASSERT_TRUE(driver.RunRecurrence(i).ok());
     if (i == 4) steady_size = driver.store().size();
   }
   // After warm-up the footprint stops growing: expired panes are purged.
@@ -65,9 +65,9 @@ TEST(RedoopDriverTest, PeriodicPurgeDeletesExpiredLocalFiles) {
   Cluster cluster(kNodes, SmallClusterConfig());
   auto feed = MakeWccFeed(1, 30, 20);
   RedoopDriverOptions options;
-  options.purge_cycle_s = 0.0;  // Purge on every scan.
+  options.cache.purge_cycle_s = 0.0;  // Purge on every scan.
   RedoopDriver driver(&cluster, feed.get(), query, options);
-  for (int64_t i = 0; i < 6; ++i) driver.RunRecurrence(i);
+  for (int64_t i = 0; i < 6; ++i) ASSERT_TRUE(driver.RunRecurrence(i).ok());
 
   // No node should hold a local file for long-expired pane 0.
   const std::string pane0_ric = ReduceInputCacheName(1, 1, 0, 0);
@@ -81,13 +81,13 @@ TEST(RedoopDriverTest, ProactiveModeEngagesAndRecovers) {
   Cluster cluster(kNodes, SmallClusterConfig());
   auto feed = MakeWccFeed(1, 30, 20);
   RedoopDriverOptions options;
-  options.adaptive = true;
-  options.proactive_threshold = 1e-6;  // Forecast always exceeds budget.
+  options.adaptive.enabled = true;
+  options.adaptive.proactive_threshold = 1e-6;  // Forecast always exceeds budget.
   RedoopDriver driver(&cluster, feed.get(), query, options);
 
-  driver.RunRecurrence(0);
-  driver.RunRecurrence(1);
-  driver.RunRecurrence(2);
+  ASSERT_TRUE(driver.RunRecurrence(0).ok());
+  ASSERT_TRUE(driver.RunRecurrence(1).ok());
+  ASSERT_TRUE(driver.RunRecurrence(2).ok());
   EXPECT_TRUE(driver.proactive_mode());
   EXPECT_GT(driver.current_subpanes(), 1);
 }
@@ -97,7 +97,7 @@ TEST(RedoopDriverTest, AdaptiveOffMeansNoProactiveMode) {
   Cluster cluster(kNodes, SmallClusterConfig());
   auto feed = MakeWccFeed(1, 30, 20);
   RedoopDriver driver(&cluster, feed.get(), query);
-  for (int64_t i = 0; i < 3; ++i) driver.RunRecurrence(i);
+  for (int64_t i = 0; i < 3; ++i) ASSERT_TRUE(driver.RunRecurrence(i).ok());
   EXPECT_FALSE(driver.proactive_mode());
   EXPECT_EQ(driver.current_subpanes(), 1);
 }
@@ -112,13 +112,13 @@ TEST(RedoopDriverTest, NoCachingModeStillCorrect) {
   Cluster redoop_cluster(kNodes, SmallClusterConfig());
   auto redoop_feed = MakeWccFeed(1, 30, 20);
   RedoopDriverOptions options;
-  options.cache_reduce_input = false;
-  options.cache_reduce_output = false;
+  options.cache.reduce_input = false;
+  options.cache.reduce_output = false;
   RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query, options);
 
   for (int64_t i = 0; i < 3; ++i) {
     WindowReport h = hadoop.RunRecurrence(i);
-    WindowReport r = redoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i).value();
     ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
   }
   EXPECT_EQ(redoop.controller().signature_count(), 0u);
@@ -134,12 +134,12 @@ TEST(RedoopDriverTest, InputOnlyCachingCorrectForAggregation) {
   Cluster redoop_cluster(kNodes, SmallClusterConfig());
   auto redoop_feed = MakeWccFeed(1, 30, 20);
   RedoopDriverOptions options;
-  options.cache_reduce_output = false;  // Falls back to input recompute.
+  options.cache.reduce_output = false;  // Falls back to input recompute.
   RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query, options);
 
   for (int64_t i = 0; i < 3; ++i) {
     WindowReport h = hadoop.RunRecurrence(i);
-    WindowReport r = redoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i).value();
     ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
   }
 }
@@ -154,12 +154,12 @@ TEST(RedoopDriverTest, JoinWithoutOutputCacheCorrect) {
   Cluster redoop_cluster(kNodes, SmallClusterConfig());
   auto redoop_feed = MakeFfgFeed(1, 2, 4, 20);
   RedoopDriverOptions options;
-  options.cache_reduce_output = false;
+  options.cache.reduce_output = false;
   RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query, options);
 
   for (int64_t i = 0; i < 4; ++i) {
     WindowReport h = hadoop.RunRecurrence(i);
-    WindowReport r = redoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i).value();
     ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
   }
 }
@@ -174,12 +174,12 @@ TEST(RedoopDriverTest, ForcedPanePairStrategyCorrect) {
   Cluster redoop_cluster(kNodes, SmallClusterConfig());
   auto redoop_feed = MakeFfgFeed(1, 2, 4, 20);
   RedoopDriverOptions options;
-  options.hybrid_join_strategy = false;  // Pane pairs always.
+  options.cache.hybrid_join_strategy = false;  // Pane pairs always.
   RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query, options);
 
   for (int64_t i = 0; i < 4; ++i) {
     WindowReport h = hadoop.RunRecurrence(i);
-    WindowReport r = redoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i).value();
     ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
   }
   // The status matrix advances (pairs retired as panes expire).
@@ -194,14 +194,14 @@ TEST(RedoopDriverTest, ReportsCarryPhaseAndByteAccounting) {
   auto feed = MakeWccFeed(1, 30, 20);
   RedoopDriver driver(&cluster, feed.get(), query);
 
-  WindowReport w0 = driver.RunRecurrence(0);
+  WindowReport w0 = driver.RunRecurrence(0).value();
   EXPECT_GT(w0.response_time, 0.0);
   EXPECT_GT(w0.window_input_bytes, 0);
   EXPECT_EQ(w0.fresh_input_bytes, w0.window_input_bytes)
       << "everything is fresh in the first window";
   EXPECT_GT(w0.shuffle_time + w0.reduce_time, 0.0);
 
-  WindowReport w1 = driver.RunRecurrence(1);
+  WindowReport w1 = driver.RunRecurrence(1).value();
   EXPECT_LT(w1.fresh_input_bytes, w1.window_input_bytes)
       << "warm windows only ingest the new slide";
   EXPECT_LT(w1.response_time, w0.response_time);
@@ -212,9 +212,9 @@ TEST(RedoopDriverTest, PackerAdoptsObservedRateUnderAdaptivity) {
   Cluster cluster(kNodes, SmallClusterConfig());
   auto feed = MakeWccFeed(1, 30, 20);
   RedoopDriverOptions options;
-  options.adaptive = true;
+  options.adaptive.enabled = true;
   RedoopDriver driver(&cluster, feed.get(), query, options);
-  for (int64_t i = 0; i < 3; ++i) driver.RunRecurrence(i);
+  for (int64_t i = 0; i < 3; ++i) ASSERT_TRUE(driver.RunRecurrence(i).ok());
   // 30 rps * 4 KB = ~120 KB/s * 40 s pane = ~4.8 MB < 64 MB block: the
   // analyzer should have switched the packer to multi-pane files.
   EXPECT_GT(driver.packer(1).plan().panes_per_file, 1);
@@ -225,8 +225,44 @@ TEST(RedoopDriverTest, RecurrencesMustBeConsecutive) {
   Cluster cluster(kNodes, SmallClusterConfig());
   auto feed = MakeWccFeed(1, 30, 20);
   RedoopDriver driver(&cluster, feed.get(), query);
-  driver.RunRecurrence(0);
-  EXPECT_DEATH(driver.RunRecurrence(5), "consecutive");
+  ASSERT_TRUE(driver.RunRecurrence(0).ok());
+  const StatusOr<WindowReport> out_of_order = driver.RunRecurrence(5);
+  ASSERT_FALSE(out_of_order.ok());
+  EXPECT_EQ(out_of_order.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(out_of_order.status().message().find("consecutively"),
+            std::string::npos);
+  // A rejected call does not consume the recurrence counter: the driver
+  // stays usable at the expected recurrence.
+  EXPECT_TRUE(driver.RunRecurrence(1).ok());
+}
+
+TEST(RedoopDriverTest, BadPaneSizeOverrideIsATypedError) {
+  RecurringQuery query = MakeAggregationQuery(1, "agg", 1, 200, 40, 4);
+  Cluster cluster(kNodes, SmallClusterConfig());
+  auto feed = MakeWccFeed(1, 30, 20);
+  RedoopDriverOptions options;
+  options.adaptive.pane_size_override = 7;  // Divides neither 200 nor 40.
+  RedoopDriver driver(&cluster, feed.get(), query, options);
+  EXPECT_EQ(driver.init_status().code(), StatusCode::kInvalidArgument);
+  const StatusOr<WindowReport> window = driver.RunRecurrence(0);
+  ASSERT_FALSE(window.ok());
+  EXPECT_EQ(window.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(window.status().message().find("pane_size_override"),
+            std::string::npos);
+  EXPECT_FALSE(driver.Run(2).ok());
+}
+
+TEST(RedoopDriverTest, UnregisteredSourceIsATypedError) {
+  // The feed only registers source 1; the query asks for source 9.
+  RecurringQuery query = MakeAggregationQuery(1, "agg", 9, 200, 40, 4);
+  Cluster cluster(kNodes, SmallClusterConfig());
+  auto feed = MakeWccFeed(1, 30, 20);
+  RedoopDriver driver(&cluster, feed.get(), query);
+  EXPECT_EQ(driver.init_status().code(), StatusCode::kNotFound);
+  const StatusOr<WindowReport> window = driver.RunRecurrence(0);
+  ASSERT_FALSE(window.ok());
+  EXPECT_EQ(window.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(window.status().message().find("source"), std::string::npos);
 }
 
 TEST(RedoopDriverTest, CacheMetadataRidesTheHeartbeatBus) {
@@ -234,8 +270,8 @@ TEST(RedoopDriverTest, CacheMetadataRidesTheHeartbeatBus) {
   Cluster cluster(kNodes, SmallClusterConfig());
   auto feed = MakeWccFeed(1, 30, 20);
   RedoopDriver driver(&cluster, feed.get(), query);
-  driver.RunRecurrence(0);
-  driver.RunRecurrence(1);
+  ASSERT_TRUE(driver.RunRecurrence(0).ok());
+  ASSERT_TRUE(driver.RunRecurrence(1).ok());
   // Registration and purge notifications were sent and drained (paper
   // §2.3: registries sync their deltas to the master with heartbeats).
   EXPECT_EQ(cluster.heartbeat_bus().pending(), 0u)

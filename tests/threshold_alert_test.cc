@@ -38,7 +38,7 @@ TEST(ThresholdAlertTest, AlertsOnlyAboveThreshold) {
   Cluster cluster(kNodes, SmallClusterConfig());
   auto feed = MakeWccFeed(1, 50, 20);
   RedoopDriver driver(&cluster, feed.get(), query);
-  WindowReport w = driver.RunRecurrence(0);
+  WindowReport w = driver.RunRecurrence(0).value();
   // Zipf-skewed clients: some are hot, most are not. Every emitted row is
   // a genuine alert.
   ASSERT_GT(w.output.size(), 0u) << "the head of the Zipf should trip";
@@ -63,7 +63,7 @@ TEST(ThresholdAlertTest, RedoopMatchesHadoopWithCustomFinalizer) {
 
   for (int64_t i = 0; i < 4; ++i) {
     WindowReport h = hadoop.RunRecurrence(i);
-    WindowReport r = redoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i).value();
     ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
   }
 }
@@ -81,12 +81,12 @@ TEST(ThresholdAlertTest, InputOnlyCachingAlsoMatches) {
   Cluster redoop_cluster(kNodes, SmallClusterConfig());
   auto redoop_feed = MakeWccFeed(1, 50, 20);
   RedoopDriverOptions options;
-  options.cache_reduce_output = false;
+  options.cache.reduce_output = false;
   RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query, options);
 
   for (int64_t i = 0; i < 3; ++i) {
     WindowReport h = hadoop.RunRecurrence(i);
-    WindowReport r = redoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i).value();
     ASSERT_TRUE(SameOutput(h.output, r.output)) << "window " << i;
   }
 }

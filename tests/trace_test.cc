@@ -73,8 +73,8 @@ TEST(TraceTest, DriversCarryTaskReports) {
   Cluster redoop_cluster(6, SmallClusterConfig());
   auto redoop_feed = MakeWccFeed(1, 30, 20);
   RedoopDriver redoop(&redoop_cluster, redoop_feed.get(), query);
-  WindowReport r0 = redoop.RunRecurrence(0);
-  WindowReport r1 = redoop.RunRecurrence(1);
+  WindowReport r0 = redoop.RunRecurrence(0).value();
+  WindowReport r1 = redoop.RunRecurrence(1).value();
   EXPECT_GT(r0.task_reports.size(), 0u);
   EXPECT_GT(r1.task_reports.size(), 0u);
   EXPECT_LT(r1.task_reports.size(), r0.task_reports.size())

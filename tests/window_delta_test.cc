@@ -61,7 +61,7 @@ TEST(WindowDeltaTest, DriverDeltasReconstructResults) {
 
   std::vector<KeyValue> reconstructed;  // Apply deltas window by window.
   for (int64_t i = 0; i < 4; ++i) {
-    WindowReport w = driver.RunRecurrence(i);
+    WindowReport w = driver.RunRecurrence(i).value();
     if (i == 0) {
       EXPECT_EQ(w.delta.added.size(), w.output.size())
           << "first window is all additions";
@@ -103,7 +103,7 @@ TEST(WindowDeltaTest, HadoopAndRedoopEmitIdenticalDeltas) {
 
   for (int64_t i = 0; i < 4; ++i) {
     WindowReport h = hadoop.RunRecurrence(i);
-    WindowReport r = redoop.RunRecurrence(i);
+    WindowReport r = redoop.RunRecurrence(i).value();
     ASSERT_EQ(h.delta.added.size(), r.delta.added.size()) << "window " << i;
     ASSERT_EQ(h.delta.removed.size(), r.delta.removed.size());
     for (size_t k = 0; k < h.delta.added.size(); ++k) {
@@ -120,8 +120,8 @@ TEST(WindowDeltaTest, OffByDefault) {
   Cluster cluster(kNodes, SmallClusterConfig());
   auto feed = MakeWccFeed(1, 25, 20);
   RedoopDriver driver(&cluster, feed.get(), query);
-  WindowReport w0 = driver.RunRecurrence(0);
-  WindowReport w1 = driver.RunRecurrence(1);
+  WindowReport w0 = driver.RunRecurrence(0).value();
+  WindowReport w1 = driver.RunRecurrence(1).value();
   EXPECT_TRUE(w0.delta.Empty());
   EXPECT_TRUE(w1.delta.Empty());
 }

@@ -53,6 +53,7 @@ struct CliOptions {
   bool spiked = false;
   double spike_multiplier = 2.0;
   double proactive_threshold = 0.15;
+  int32_t threads = 0;  // 0 = auto (hardware_concurrency).
   std::vector<std::string> systems = {"hadoop", "redoop"};
   std::string trace_path;
   std::string events_path;
@@ -76,6 +77,9 @@ void PrintUsage() {
       "  --spiked                   double the rate on windows 2,3,5,6,...\n"
       "  --spike-multiplier=M       spike factor (default 2)\n"
       "  --proactive-threshold=F    adaptive budget fraction (default 0.15)\n"
+      "  --threads=N                host worker threads for task payloads\n"
+      "                             (default 0 = all hardware threads;\n"
+      "                             results are identical at any setting)\n"
       "  --systems=a,b,...          any of hadoop, redoop, adaptive,\n"
       "                             redoop-nocache, redoop-inputonly\n"
       "  --trace-out=FILE           write a chrome://tracing timeline (task\n"
@@ -86,7 +90,10 @@ void PrintUsage() {
       "  --metrics-out=FILE         write end-of-run metric snapshots as\n"
       "                             JSON keyed by system\n"
       "  --set KEY=VALUE            raw cluster-config override (repeatable)\n"
-      "  --help                     this text\n");
+      "  --help                     this text\n\n"
+      "exit codes: 0 ok, 1 bad flags/geometry, 2 unknown system,\n"
+      "            3 result mismatch, 4 unwritable output path,\n"
+      "            5 driver rejected the configuration\n");
 }
 
 bool ParseFlag(const std::string& arg, const std::string& name,
@@ -142,6 +149,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->spike_multiplier = std::atof(value.c_str());
     } else if (ParseFlag(arg, "proactive-threshold", &value)) {
       options->proactive_threshold = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "threads", &value)) {
+      options->threads = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "systems", &value)) {
       options->systems = SplitString(value, ',');
     } else if (ParseFlag(arg, "trace", &value) ||
@@ -204,25 +213,33 @@ RunReport RunSystem(const CliOptions& options, const std::string& system,
   if (system == "hadoop") {
     JobRunnerOptions runner_options;
     runner_options.obs = ctx;
+    runner_options.threads = options.threads;
     HadoopRecurringDriver driver(&cluster, feed.get(), query, runner_options);
     return driver.Run(options.windows);
   }
-  RedoopDriverOptions redoop_options;
-  redoop_options.obs = ctx;
+  RedoopDriverOptions::Builder builder;
+  builder.Observability(ctx).Threads(options.threads);
   if (system == "adaptive") {
-    redoop_options.adaptive = true;
-    redoop_options.proactive_threshold = options.proactive_threshold;
+    builder.Adaptive(true).ProactiveThreshold(options.proactive_threshold);
   } else if (system == "redoop-nocache") {
-    redoop_options.cache_reduce_input = false;
-    redoop_options.cache_reduce_output = false;
+    builder.CacheReduceInput(false).CacheReduceOutput(false);
   } else if (system == "redoop-inputonly") {
-    redoop_options.cache_reduce_output = false;
+    builder.CacheReduceOutput(false);
   } else if (system != "redoop") {
     std::fprintf(stderr, "unknown system '%s'\n", system.c_str());
     std::exit(2);
   }
-  RedoopDriver driver(&cluster, feed.get(), query, redoop_options);
-  RunReport report = driver.Run(options.windows);
+  RedoopDriver driver(&cluster, feed.get(), query, builder.Build());
+  StatusOr<RunReport> run = driver.Run(options.windows);
+  if (!run.ok()) {
+    // Typed driver errors (bad pane override, unregistered source, ...)
+    // get their own exit code, distinct from flag-parse failures.
+    std::fprintf(stderr, "driver rejected the configuration [%s]: %s\n",
+                 StatusCodeToString(run.status().code()),
+                 run.status().message().c_str());
+    std::exit(5);
+  }
+  RunReport report = std::move(run).value();
   report.system = system;
   return report;
 }
