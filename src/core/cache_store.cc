@@ -7,7 +7,7 @@
 namespace redoop {
 
 void CacheStore::Put(const std::string& name,
-                     std::shared_ptr<const std::vector<KeyValue>> payload,
+                     std::shared_ptr<const FlatKvBuffer> payload,
                      int64_t bytes, int64_t records) {
   REDOOP_CHECK(bytes >= 0 && records >= 0);
   REDOOP_CHECK(payload != nullptr);

@@ -9,6 +9,7 @@
 
 #include "common/ids.h"
 #include "mapreduce/kv.h"
+#include "mapreduce/kv_arena.h"
 #include "obs/observability.h"
 
 namespace redoop {
@@ -23,13 +24,16 @@ class CacheStore {
  public:
   struct Entry {
     /// Shared with the materializing job's result and any side inputs that
-    /// reference this cache — one immutable vector, never deep-copied.
+    /// reference this cache — one immutable flat buffer, never deep-copied
+    /// and free of per-pair string heap blocks, so storing and re-scanning
+    /// cached panes is cheap (the ReStore lesson: result reuse only pays
+    /// when the cached representation itself is cheap).
     /// Publish-once: a payload installed here is never mutated in place; a
-    /// rebuild Put()s a fresh vector and the old shared_ptr stays valid.
+    /// rebuild Put()s a fresh buffer and the old shared_ptr stays valid.
     /// The parallel engine relies on this — an offloaded reduce closure
     /// keeps merging its captured reference even if the entry is replaced
     /// (or removed) at the same virtual instant.
-    std::shared_ptr<const std::vector<KeyValue>> payload;
+    std::shared_ptr<const FlatKvBuffer> payload;
     int64_t bytes = 0;
     int64_t records = 0;
   };
@@ -40,14 +44,16 @@ class CacheStore {
 
   /// Stores (or replaces) a payload, sharing ownership with the caller.
   void Put(const std::string& name,
-           std::shared_ptr<const std::vector<KeyValue>> payload,
+           std::shared_ptr<const FlatKvBuffer> payload,
            int64_t bytes, int64_t records);
 
-  /// Convenience for callers materializing a fresh vector.
+  /// Convenience for callers materializing a fresh buffer (tests, fault
+  /// injection); the string pairs are flattened once on the way in.
   void Put(const std::string& name, std::vector<KeyValue> payload,
            int64_t bytes, int64_t records) {
     Put(name,
-        std::make_shared<const std::vector<KeyValue>>(std::move(payload)),
+        std::make_shared<const FlatKvBuffer>(
+            FlatKvBuffer::FromKeyValues(payload)),
         bytes, records);
   }
 

@@ -1083,9 +1083,7 @@ WindowReport RedoopDriver::AssembleWindow(int64_t recurrence) {
             if (sig->records == 0) continue;
             const CacheStore::Entry* entry = store_.Find(sig->name);
             REDOOP_CHECK(entry != nullptr);
-            report.output.insert(report.output.end(),
-                                 entry->payload->begin(),
-                                 entry->payload->end());
+            entry->payload->AppendToKeyValues(&report.output);
           }
         }
       }

@@ -5,11 +5,16 @@
 namespace redoop {
 
 void Counters::Increment(std::string_view name, int64_t delta) {
-  values_[std::string(name)] += delta;
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    values_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
 }
 
 int64_t Counters::Get(std::string_view name) const {
-  auto it = values_.find(std::string(name));
+  auto it = values_.find(name);
   return it == values_.end() ? 0 : it->second;
 }
 

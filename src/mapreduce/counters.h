@@ -49,13 +49,18 @@ class Counters {
   /// Adds every counter of `other` into this bag.
   void MergeFrom(const Counters& other);
 
-  const std::map<std::string, int64_t>& values() const { return values_; }
+  const std::map<std::string, int64_t, std::less<>>& values() const {
+    return values_;
+  }
 
   /// Multi-line "name = value" dump, sorted by name.
   std::string ToString() const;
 
  private:
-  std::map<std::string, int64_t> values_;
+  /// Transparent comparator: Increment/Get on the hot path look names up
+  /// straight from string_view, allocating a key string only on first
+  /// insertion.
+  std::map<std::string, int64_t, std::less<>> values_;
 };
 
 }  // namespace redoop

@@ -10,6 +10,7 @@
 
 #include "common/ids.h"
 #include "mapreduce/kv.h"
+#include "mapreduce/kv_arena.h"
 #include "mapreduce/mapper.h"
 #include "mapreduce/partitioner.h"
 #include "mapreduce/reducer.h"
@@ -58,9 +59,10 @@ struct ReduceSideInput {
   int64_t bytes = 0;
   int64_t records = 0;
   /// Shared payload (typically aliased with the cache store's entry): side
-  /// inputs, caches, and results all reference the same immutable vector
-  /// instead of deep-copying it.
-  std::shared_ptr<const std::vector<KeyValue>> payload;
+  /// inputs, caches, and results all reference the same immutable flat
+  /// buffer instead of deep-copying it — cached panes pay no per-string
+  /// heap overhead when stored or re-scanned.
+  std::shared_ptr<const FlatKvBuffer> payload;
 };
 
 /// Instructions for materializing caches out of a job run (paper §4:

@@ -12,6 +12,107 @@
 
 namespace redoop {
 
+namespace {
+
+/// FNV-1a over key bytes — the hash-combine table hash. Any hash works:
+/// group *iteration* order is first-occurrence order, never table order,
+/// so the hash choice is unobservable in the output.
+uint64_t HashKeyBytes(std::string_view key) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr uint32_t kNoSlot = static_cast<uint32_t>(-1);
+
+/// Map-side combine over one partition's pairs (`idx`, in emission order)
+/// without sorting the raw pairs first: an open-addressing hash table
+/// groups equal keys, the combiner runs per group, and only the (smaller)
+/// combined output pays a sort. Determinism does not depend on the hash:
+/// groups are visited in first-occurrence order and each group's members
+/// are ordered by (value, emission index) — exactly the sequence the old
+/// sort-then-scan combine presented.
+FlatKvBuffer CombinePartition(const FlatKvBuffer& flat,
+                              const std::vector<uint32_t>& idx,
+                              const Reducer* combiner) {
+  if (idx.empty()) return FlatKvBuffer();
+  // Table capacity: power of two, load factor <= 0.5.
+  size_t cap = 16;
+  while (cap < idx.size() * 2) cap <<= 1;
+  std::vector<uint32_t> table(cap, kNoSlot);  // slot -> group id
+  struct Group {
+    uint64_t hash = 0;
+    uint32_t head = 0;  // First position in idx (defines the group key).
+    uint32_t tail = 0;
+    uint32_t count = 0;
+  };
+  std::vector<Group> groups;
+  // Intrusive chain threading each group's positions, in arrival order.
+  std::vector<uint32_t> next(idx.size(), kNoSlot);
+  for (uint32_t pos = 0; pos < static_cast<uint32_t>(idx.size()); ++pos) {
+    const std::string_view key = flat.key(idx[pos]);
+    const uint64_t h = HashKeyBytes(key);
+    size_t slot = h & (cap - 1);
+    while (true) {
+      if (table[slot] == kNoSlot) {
+        table[slot] = static_cast<uint32_t>(groups.size());
+        Group g;
+        g.hash = h;
+        g.head = g.tail = pos;
+        g.count = 1;
+        groups.push_back(g);
+        break;
+      }
+      Group& g = groups[table[slot]];
+      if (g.hash == h && flat.key(idx[g.head]) == key) {
+        next[g.tail] = pos;
+        g.tail = pos;
+        ++g.count;
+        break;
+      }
+      slot = (slot + 1) & (cap - 1);
+    }
+  }
+  ReduceContext combine_out;
+  KvGroupScratch scratch;
+  const bool flat_combine = combiner->PrefersFlatInput();
+  std::vector<uint32_t> members;
+  for (const Group& g : groups) {
+    members.clear();
+    members.reserve(g.count);
+    for (uint32_t pos = g.head;; pos = next[pos]) {
+      members.push_back(idx[pos]);
+      if (pos == g.tail) break;
+    }
+    // Members share the key; order them by (value, emission index) so the
+    // combiner sees the same sequence a sorted bucket scan would.
+    std::sort(members.begin(), members.end(),
+              [&flat](uint32_t a, uint32_t b) {
+                const std::string_view va = flat.value(a);
+                const std::string_view vb = flat.value(b);
+                if (va != vb) return va < vb;
+                return a < b;
+              });
+    const std::string_view key = flat.key(members.front());
+    if (flat_combine) {
+      combiner->ReduceFlat(key, KvRange(flat, members), &combine_out);
+    } else {
+      combiner->Reduce(scratch.KeyFor(key),
+                       scratch.Fill(KvRange(flat, members)), &combine_out);
+    }
+  }
+  // One sorted materialization of the (combined, smaller) output.
+  FlatKvBuffer combined = combine_out.TakeFlat();
+  FlatKvBuffer bucket = combined.SortedCopy();
+  bucket.ShrinkToFit();
+  return bucket;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Internal task/run state
 // ---------------------------------------------------------------------------
@@ -41,11 +142,11 @@ struct JobRunner::MapTaskState {
   /// Straggler draw for the current attempt, consumed at Start (before any
   /// offload) so the RNG stream is thread-count invariant.
   double straggler_factor = 1.0;
-  /// Partitioned, sorted map output: one bucket per reduce partition.
+  /// Partitioned, sorted map output: one flat bucket per reduce partition.
   /// Published once per attempt as an immutable shared payload — in-flight
   /// reduce closures hold their own reference, so a failure-triggered
   /// re-run can never mutate data a worker thread is still merging.
-  std::shared_ptr<const std::vector<std::vector<KeyValue>>> buckets;
+  std::shared_ptr<const std::vector<FlatKvBuffer>> buckets;
   std::vector<int64_t> bucket_bytes;
   int64_t output_records = 0;
   int64_t output_bytes = 0;
@@ -54,7 +155,7 @@ struct JobRunner::MapTaskState {
 /// Everything a map payload produces: computed off the simulator thread
 /// (or inline at threads=1) from immutable inputs only.
 struct JobRunner::MapPayloadResult {
-  std::shared_ptr<const std::vector<std::vector<KeyValue>>> buckets;
+  std::shared_ptr<const std::vector<FlatKvBuffer>> buckets;
   std::vector<int64_t> bucket_bytes;
   int64_t output_records = 0;  // Pre-combine, sizing the sort charge.
   int64_t output_bytes = 0;    // Pre-combine.
@@ -64,12 +165,12 @@ struct JobRunner::MapPayloadResult {
 /// runs_by_pane (source, pane) map order — deterministic — with empty
 /// merges already skipped, mirroring the seed's inline loop.
 struct JobRunner::ReducePayloadResult {
-  std::shared_ptr<const std::vector<KeyValue>> output;
+  std::shared_ptr<const FlatKvBuffer> output;
   int64_t output_bytes = 0;
   struct PaneMerge {
     SourceId source = 0;
     PaneId pane = kInvalidPane;
-    std::shared_ptr<const std::vector<KeyValue>> payload;
+    std::shared_ptr<const FlatKvBuffer> payload;
     int64_t bytes = 0;
     int64_t records = 0;
   };
@@ -102,7 +203,7 @@ struct JobRunner::ReduceTaskState {
   double straggler_factor = 1.0;
   /// Shared so output caches and the job result alias it instead of
   /// deep-copying every pair.
-  std::shared_ptr<const std::vector<KeyValue>> output;
+  std::shared_ptr<const FlatKvBuffer> output;
   std::vector<MaterializedCache> caches;
 };
 
@@ -354,61 +455,58 @@ JobRunner::MapPayloadResult JobRunner::ExecuteMapPayload(
     const Mapper* mapper, const Reducer* combiner,
     const Partitioner* partitioner, int32_t num_partitions) {
   MapPayloadResult out;
-  std::vector<std::vector<KeyValue>> buckets(
-      static_cast<size_t>(num_partitions));
   MapContext context;
+  // Most mappers emit about one pair per record; ShrinkToFit on the final
+  // buckets trims any over-reservation before they are retained for the
+  // whole shuffle.
+  context.Reserve(static_cast<size_t>(record_end - record_begin));
   for (int64_t r = record_begin; r < record_end; ++r) {
     mapper->Map(file->records[static_cast<size_t>(r)], &context);
   }
-  // Partition straight out of the map buffer: a counting pass sizes each
-  // bucket exactly, then every pair is moved once — no intermediate vector
-  // and no push_back reallocation churn.
-  std::vector<KeyValue>& output = *context.mutable_output();
+  // Partition by slice, straight off the arena: the key never leaves the
+  // flat buffer, each partition collects pair indices, and the bytes are
+  // copied exactly once — into their sorted (or combined) bucket.
+  const FlatKvBuffer& output = context.flat();
   out.output_records = static_cast<int64_t>(output.size());
-  out.output_bytes = TotalLogicalBytes(output);
-  std::vector<int32_t> pair_partition(output.size());
+  out.output_bytes = output.total_logical_bytes();
+  std::vector<uint32_t> pair_partition(output.size());
   std::vector<size_t> partition_counts(static_cast<size_t>(num_partitions), 0);
   for (size_t i = 0; i < output.size(); ++i) {
-    const int32_t p = partitioner->Partition(output[i].key, num_partitions);
-    pair_partition[i] = p;
+    const int32_t p = partitioner->Partition(output.key(i), num_partitions);
+    pair_partition[i] = static_cast<uint32_t>(p);
     ++partition_counts[static_cast<size_t>(p)];
   }
-  for (size_t p = 0; p < buckets.size(); ++p) {
-    buckets[p].reserve(partition_counts[p]);
+  std::vector<std::vector<uint32_t>> partition_indices(
+      static_cast<size_t>(num_partitions));
+  for (size_t p = 0; p < partition_indices.size(); ++p) {
+    partition_indices[p].reserve(partition_counts[p]);
   }
   for (size_t i = 0; i < output.size(); ++i) {
-    buckets[static_cast<size_t>(pair_partition[i])].push_back(
-        std::move(output[i]));
+    partition_indices[pair_partition[i]].push_back(static_cast<uint32_t>(i));
   }
-  context.Clear();
-  for (auto& bucket : buckets) SortByKey(&bucket);
 
-  // Map-side combine: each sorted bucket's key groups collapse before the
-  // spill/shuffle. The sort is charged on the pre-combine volume;
-  // everything downstream (spill, shuffle, reduce) sees the combined one.
-  if (combiner != nullptr) {
-    for (auto& bucket : buckets) {
-      ReduceContext combine_out;
-      size_t i = 0;
-      while (i < bucket.size()) {
-        size_t j = i;
-        while (j < bucket.size() && bucket[j].key == bucket[i].key) ++j;
-        combiner->Reduce(bucket[i].key,
-                         std::span<const KeyValue>(bucket.data() + i, j - i),
-                         &combine_out);
-        i = j;
-      }
-      std::vector<KeyValue> combined = combine_out.TakeOutput();
-      SortByKey(&combined);
-      bucket = std::move(combined);
-    }
-  }
+  std::vector<FlatKvBuffer> buckets(static_cast<size_t>(num_partitions));
   out.bucket_bytes.assign(static_cast<size_t>(num_partitions), 0);
   for (size_t p = 0; p < buckets.size(); ++p) {
-    out.bucket_bytes[p] = TotalLogicalBytes(buckets[p]);
+    std::vector<uint32_t>& idx = partition_indices[p];
+    if (combiner != nullptr) {
+      // Map-side combine: key groups collapse before the spill/shuffle via
+      // a hash table over the raw pairs — only the combined output is
+      // sorted. The sort is charged on the pre-combine volume; everything
+      // downstream (spill, shuffle, reduce) sees the combined one.
+      buckets[p] = CombinePartition(output, idx, combiner);
+    } else {
+      SortSliceIndices(output, &idx);
+      FlatKvBuffer bucket;
+      bucket.Reserve(idx.size());
+      for (uint32_t i : idx) bucket.AppendFrom(output, i);
+      bucket.ShrinkToFit();
+      buckets[p] = std::move(bucket);
+    }
+    out.bucket_bytes[p] = buckets[p].total_logical_bytes();
   }
-  out.buckets = std::make_shared<const std::vector<std::vector<KeyValue>>>(
-      std::move(buckets));
+  out.buckets =
+      std::make_shared<const std::vector<FlatKvBuffer>>(std::move(buckets));
   return out;
 }
 
@@ -568,14 +666,14 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
   // merge below; nothing is concatenated or re-sorted. ----
   int64_t new_bytes = 0;
   int64_t new_records = 0;
-  std::vector<std::span<const KeyValue>> runs;
+  std::vector<const FlatKvBuffer*> runs;
   // (source, pane) -> this partition's sorted bucket runs, for
   // reduce-input caching.
-  std::map<std::pair<SourceId, PaneId>, std::vector<std::span<const KeyValue>>>
+  std::map<std::pair<SourceId, PaneId>, std::vector<const FlatKvBuffer*>>
       runs_by_pane;
   for (const auto& map : run->maps) {
     REDOOP_CHECK(map->state == TaskState::kCompleted);
-    const auto& bucket = (*map->buckets)[static_cast<size_t>(partition)];
+    const FlatKvBuffer& bucket = (*map->buckets)[static_cast<size_t>(partition)];
     if (bucket.empty()) continue;
     const int64_t bytes = map->bucket_bytes[static_cast<size_t>(partition)];
     new_bytes += bytes;
@@ -587,9 +685,9 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
       task->timing.shuffle += cost.LocalReadTime(bytes) + cost.TransferTime(bytes);
       counters.Increment(counter::kShuffleRemoteBytes, bytes);
     }
-    runs.emplace_back(bucket);
+    runs.push_back(&bucket);
     if (spec.cache.cache_reduce_input) {
-      runs_by_pane[{map->source, map->pane}].emplace_back(bucket);
+      runs_by_pane[{map->source, map->pane}].push_back(&bucket);
     }
   }
 
@@ -604,8 +702,8 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
   // Cached payloads are materialized sorted (they are merge outputs), so
   // they join the merge as runs directly. The sorted-copy fallback guards
   // against exotic caches (e.g. a multi-emission reducer's output cache
-  // fed back as a side input); the deque keeps earlier spans stable.
-  std::deque<std::vector<KeyValue>> resort_scratch;
+  // fed back as a side input); the deque keeps earlier pointers stable.
+  std::deque<FlatKvBuffer> resort_scratch;
   for (const ReduceSideInput& side : task->side_inputs) {
     REDOOP_CHECK(side.partition == partition);
     REDOOP_CHECK(side.payload != nullptr);
@@ -629,12 +727,11 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
     }
     cached_bytes += side.bytes;
     cached_records += side.records;
-    if (IsSortedByKey(*side.payload)) {
-      runs.emplace_back(*side.payload);
+    if (side.payload->IsSorted()) {
+      runs.push_back(side.payload.get());
     } else {
-      resort_scratch.emplace_back(*side.payload);
-      SortByKey(&resort_scratch.back());
-      runs.emplace_back(resort_scratch.back());
+      resort_scratch.push_back(side.payload->SortedCopy());
+      runs.push_back(&resort_scratch.back());
     }
   }
 
@@ -656,17 +753,16 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
   counters.Increment(counter::kReduceInputBytes, total_input_bytes);
   task->straggler_factor = DrawStragglerFactor();
 
-  // Keep every span's backing storage alive (and immutable) for the
+  // Keep every run's backing storage alive (and immutable) for the
   // payload's lifetime: map buckets are publish-once shared payloads (a
   // failure-triggered re-run installs a fresh vector, never mutates this
   // one), side inputs are shared cache payloads, and the resort scratch
   // moves into the closure (deque moves preserve element addresses, so
-  // the spans stay valid).
-  std::vector<std::shared_ptr<const std::vector<std::vector<KeyValue>>>>
-      bucket_refs;
+  // the pointers stay valid).
+  std::vector<std::shared_ptr<const std::vector<FlatKvBuffer>>> bucket_refs;
   bucket_refs.reserve(run->maps.size());
   for (const auto& map : run->maps) bucket_refs.push_back(map->buckets);
-  std::vector<std::shared_ptr<const std::vector<KeyValue>>> side_refs;
+  std::vector<std::shared_ptr<const FlatKvBuffer>> side_refs;
   side_refs.reserve(task->side_inputs.size());
   for (const ReduceSideInput& side : task->side_inputs) {
     side_refs.push_back(side.payload);
@@ -683,34 +779,41 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
                   side_refs = std::move(side_refs),
                   reducer = spec.config.reducer] {
     ReducePayloadResult out;
-    const std::vector<KeyValue> input = MergeSortedRuns(runs);
+    const FlatKvBuffer input = MergeFlatRuns(runs);
     // Grouping + user reduce calls: each key group is a zero-copy view
-    // into the merged input.
+    // into the merged flat input. Reducers that opt into the flat surface
+    // never see a per-pair string; the classic interface gets its groups
+    // materialized into reusable scratch.
     ReduceContext context;
+    KvGroupScratch group_scratch;
+    const bool flat_reduce = reducer->PrefersFlatInput();
     size_t i = 0;
     while (i < input.size()) {
+      const std::string_view group_key = input.key(i);
       size_t j = i;
-      while (j < input.size() && input[j].key == input[i].key) ++j;
-      reducer->Reduce(input[i].key,
-                      std::span<const KeyValue>(input.data() + i, j - i),
-                      &context);
+      while (j < input.size() && input.key(j) == group_key) ++j;
+      if (flat_reduce) {
+        reducer->ReduceFlat(group_key, KvRange(input, i, j), &context);
+      } else {
+        reducer->Reduce(group_scratch.KeyFor(group_key),
+                        group_scratch.Fill(KvRange(input, i, j)), &context);
+      }
       i = j;
     }
-    out.output =
-        std::make_shared<const std::vector<KeyValue>>(context.TakeOutput());
-    out.output_bytes = TotalLogicalBytes(*out.output);
+    out.output = std::make_shared<const FlatKvBuffer>(context.TakeFlat());
+    out.output_bytes = out.output->total_logical_bytes();
     for (const auto& [key, pane_runs] : runs_by_pane) {
       // Each pane's cache is the merge of that pane's sorted map buckets —
       // the same k-way kernel, never a re-sort.
-      std::vector<KeyValue> pairs = MergeSortedRuns(pane_runs);
+      FlatKvBuffer pairs = MergeFlatRuns(pane_runs);
       if (pairs.empty()) continue;
       ReducePayloadResult::PaneMerge merge;
       merge.source = key.first;
       merge.pane = key.second;
-      merge.bytes = TotalLogicalBytes(pairs);
+      merge.bytes = pairs.total_logical_bytes();
       merge.records = static_cast<int64_t>(pairs.size());
-      merge.payload = std::make_shared<const std::vector<KeyValue>>(
-          std::move(pairs));
+      merge.payload =
+          std::make_shared<const FlatKvBuffer>(std::move(pairs));
       out.pane_merges.push_back(std::move(merge));
     }
     return out;
@@ -1259,8 +1362,7 @@ JobResult JobRunner::Run(const JobSpec& spec) {
       result.reduce_time_total += task->timing.read + task->timing.sort +
                                   task->timing.compute + task->timing.write;
       if (task->output != nullptr) {
-        result.output.insert(result.output.end(), task->output->begin(),
-                             task->output->end());
+        task->output->AppendToKeyValues(&result.output);
       }
       for (MaterializedCache& cache : task->caches) {
         if (cache.bytes < 0) continue;  // Dropped: node disk was full.

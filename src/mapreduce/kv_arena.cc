@@ -1,0 +1,276 @@
+#include "mapreduce/kv_arena.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace redoop {
+
+namespace {
+
+/// Three-way lexicographic compare of raw byte ranges (memcmp + length
+/// tie-break) — what std::string::compare does, without the strings.
+int CompareBytes(std::string_view a, std::string_view b) {
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  const int c = n == 0 ? 0 : std::memcmp(a.data(), b.data(), n);
+  if (c != 0) return c;
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+}  // namespace
+
+uint64_t FlatKvBuffer::Allocate(size_t n) {
+  if (chunks_.empty() || chunks_.back().capacity - chunks_.back().used < n) {
+    Chunk chunk;
+    chunk.capacity = n > kChunkSize ? n : kChunkSize;
+    chunk.data = std::make_unique<char[]>(chunk.capacity);
+    chunks_.push_back(std::move(chunk));
+    REDOOP_CHECK(chunks_.size() <= (1ull << 32))
+        << "FlatKvBuffer chunk index overflow";
+  }
+  Chunk& chunk = chunks_.back();
+  REDOOP_CHECK(chunk.used <= (1ull << 32) - n)
+      << "FlatKvBuffer intra-chunk offset overflow";
+  const uint64_t addr =
+      (static_cast<uint64_t>(chunks_.size() - 1) << 32) | chunk.used;
+  chunk.used += n;
+  return addr;
+}
+
+void FlatKvBuffer::Append(std::string_view key, std::string_view value,
+                          int32_t logical_bytes) {
+  KvSlice slice;
+  slice.key_len = static_cast<uint32_t>(key.size());
+  slice.value_len = static_cast<uint32_t>(value.size());
+  slice.logical_bytes = logical_bytes;
+  slice.addr = Allocate(key.size() + value.size());
+  char* dst = chunks_[static_cast<size_t>(slice.addr >> 32)].data.get() +
+              static_cast<uint32_t>(slice.addr);
+  if (!key.empty()) std::memcpy(dst, key.data(), key.size());
+  if (!value.empty()) std::memcpy(dst + key.size(), value.data(), value.size());
+  slices_.push_back(slice);
+  total_logical_bytes_ += logical_bytes;
+}
+
+int FlatKvBuffer::Compare(size_t i, const FlatKvBuffer& other,
+                          size_t j) const {
+  const int c = CompareBytes(key(i), other.key(j));
+  if (c != 0) return c;
+  return CompareBytes(value(i), other.value(j));
+}
+
+bool FlatKvBuffer::IsSorted() const {
+  for (size_t i = 1; i < slices_.size(); ++i) {
+    if (Compare(i - 1, *this, i) > 0) return false;
+  }
+  return true;
+}
+
+std::vector<uint32_t> FlatKvBuffer::SortedOrder() const {
+  std::vector<uint32_t> order(slices_.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<uint32_t>(i);
+  }
+  SortSliceIndices(*this, &order);
+  return order;
+}
+
+void SortSliceIndices(const FlatKvBuffer& buf,
+                      std::vector<uint32_t>* indices) {
+  std::vector<KvSortEntry> entries(indices->size());
+  for (size_t k = 0; k < entries.size(); ++k) {
+    entries[k].index = (*indices)[k];
+    entries[k].prefix = buf.prefix(entries[k].index);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [&buf](const KvSortEntry& a, const KvSortEntry& b) {
+              if (a.prefix != b.prefix) return a.prefix < b.prefix;
+              const int c = buf.Compare(a.index, buf, b.index);
+              if (c != 0) return c < 0;
+              return a.index < b.index;  // Stable for equal (key, value).
+            });
+  for (size_t k = 0; k < entries.size(); ++k) {
+    (*indices)[k] = entries[k].index;
+  }
+}
+
+FlatKvBuffer FlatKvBuffer::SortedCopy() const {
+  const std::vector<uint32_t> order = SortedOrder();
+  FlatKvBuffer sorted;
+  sorted.Reserve(order.size());
+  for (uint32_t i : order) sorted.AppendFrom(*this, i);
+  return sorted;
+}
+
+void FlatKvBuffer::ShrinkToFit() {
+  slices_.shrink_to_fit();
+  if (chunks_.empty()) return;
+  // Only the last chunk can have unreferenced tail capacity; earlier
+  // chunks were closed because they could not fit the next pair.
+  Chunk& last = chunks_.back();
+  if (last.used == last.capacity) return;
+  if (last.used == 0) {
+    chunks_.pop_back();
+    return;
+  }
+  auto trimmed = std::make_unique<char[]>(last.used);
+  std::memcpy(trimmed.get(), last.data.get(), last.used);
+  last.data = std::move(trimmed);
+  last.capacity = last.used;
+}
+
+void FlatKvBuffer::Clear() {
+  chunks_.clear();
+  slices_.clear();
+  total_logical_bytes_ = 0;
+}
+
+std::vector<KeyValue> FlatKvBuffer::ToKeyValues() const {
+  std::vector<KeyValue> out;
+  out.reserve(size());
+  AppendToKeyValues(&out);
+  return out;
+}
+
+void FlatKvBuffer::AppendToKeyValues(std::vector<KeyValue>* out) const {
+  out->reserve(out->size() + size());
+  for (size_t i = 0; i < size(); ++i) {
+    out->emplace_back(std::string(key(i)), std::string(value(i)),
+                      logical_bytes(i));
+  }
+}
+
+FlatKvBuffer FlatKvBuffer::FromKeyValues(std::span<const KeyValue> kvs) {
+  FlatKvBuffer buf;
+  buf.Reserve(kvs.size());
+  for (const KeyValue& kv : kvs) buf.Append(kv.key, kv.value, kv.logical_bytes);
+  return buf;
+}
+
+int64_t FlatKvBuffer::HostBytes() const {
+  int64_t total = static_cast<int64_t>(slices_.capacity() * sizeof(KvSlice));
+  for (const Chunk& chunk : chunks_) {
+    total += static_cast<int64_t>(chunk.capacity);
+  }
+  return total;
+}
+
+namespace {
+
+/// Loser tree over flat run heads — the MergeSortedRuns kernel operating
+/// on slices. Each run's current head caches its normalized key prefix,
+/// so a match is usually one uint64 compare; full bytes are only read on
+/// prefix ties.
+class FlatLoserTree {
+ public:
+  explicit FlatLoserTree(std::span<const FlatKvBuffer* const> runs)
+      : runs_(runs), pos_(runs.size(), 0), head_prefix_(runs.size(), 0) {
+    for (size_t r = 0; r < runs_.size(); ++r) {
+      if (!runs_[r]->empty()) head_prefix_[r] = runs_[r]->prefix(0);
+    }
+    size_ = 1;
+    while (size_ < runs_.size()) size_ <<= 1;
+    tree_.assign(2 * size_, kSentinel);
+    std::vector<size_t> winner(2 * size_, kSentinel);
+    for (size_t i = 0; i < size_; ++i) {
+      winner[size_ + i] =
+          (i < runs_.size() && !runs_[i]->empty()) ? i : kSentinel;
+    }
+    for (size_t n = size_ - 1; n >= 1; --n) {
+      const size_t a = winner[2 * n];
+      const size_t b = winner[2 * n + 1];
+      if (Beats(a, b)) {
+        winner[n] = a;
+        tree_[n] = b;
+      } else {
+        winner[n] = b;
+        tree_[n] = a;
+      }
+      if (n == 1) tree_[0] = winner[1];
+    }
+    if (size_ == 1) tree_[0] = winner[1];
+  }
+
+  bool Done() const { return tree_[0] == kSentinel; }
+
+  /// Appends the smallest head to `out` and advances its run.
+  void PopInto(FlatKvBuffer* out) {
+    const size_t run = tree_[0];
+    out->AppendFrom(*runs_[run], pos_[run]);
+    ++pos_[run];
+    size_t winner = kSentinel;
+    if (pos_[run] < runs_[run]->size()) {
+      head_prefix_[run] = runs_[run]->prefix(pos_[run]);
+      winner = run;
+    }
+    for (size_t n = (size_ + run) / 2; n >= 1; n /= 2) {
+      if (Beats(tree_[n], winner)) std::swap(tree_[n], winner);
+    }
+    tree_[0] = winner;
+  }
+
+ private:
+  static constexpr size_t kSentinel = static_cast<size_t>(-1);
+
+  /// True when run `a`'s head wins (strictly smaller (key, value), or
+  /// equal with the lower run index — the stability tie-break).
+  bool Beats(size_t a, size_t b) const {
+    if (a == kSentinel) return false;
+    if (b == kSentinel) return true;
+    if (head_prefix_[a] != head_prefix_[b]) {
+      return head_prefix_[a] < head_prefix_[b];
+    }
+    const int c = runs_[a]->Compare(pos_[a], *runs_[b], pos_[b]);
+    if (c != 0) return c < 0;
+    return a < b;
+  }
+
+  std::span<const FlatKvBuffer* const> runs_;
+  std::vector<size_t> pos_;           // Head index per run.
+  std::vector<uint64_t> head_prefix_; // Normalized prefix of each head.
+  std::vector<size_t> tree_;          // [0] = winner; [1..) = losers.
+  size_t size_ = 1;                   // Leaf count (power of two).
+};
+
+}  // namespace
+
+FlatKvBuffer MergeFlatRuns(std::span<const FlatKvBuffer* const> runs) {
+  size_t total = 0;
+  size_t non_empty = 0;
+  const FlatKvBuffer* last = nullptr;
+  for (const FlatKvBuffer* run : runs) {
+    total += run->size();
+    if (!run->empty()) {
+      ++non_empty;
+      last = run;
+    }
+  }
+  FlatKvBuffer merged;
+  merged.Reserve(total);
+  if (non_empty == 0) return merged;
+  if (non_empty == 1) {  // Single run: a straight byte copy, no compares.
+    for (size_t i = 0; i < last->size(); ++i) merged.AppendFrom(*last, i);
+    return merged;
+  }
+  FlatLoserTree tree(runs);
+  while (!tree.Done()) tree.PopInto(&merged);
+  return merged;
+}
+
+KeyValue& KvGroupScratch::Slot(size_t k) {
+  if (k >= storage_.size()) storage_.resize(k + 1);
+  return storage_[k];
+}
+
+std::span<const KeyValue> KvGroupScratch::Fill(const KvRange& range) {
+  for (size_t k = 0; k < range.size(); ++k) {
+    KeyValue& kv = Slot(k);
+    kv.key.assign(range.key(k));
+    kv.value.assign(range.value(k));
+    kv.logical_bytes = range.logical_bytes(k);
+  }
+  return {storage_.data(), range.size()};
+}
+
+}  // namespace redoop

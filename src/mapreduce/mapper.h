@@ -2,34 +2,46 @@
 #define REDOOP_MAPREDUCE_MAPPER_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dfs/record.h"
 #include "mapreduce/kv.h"
+#include "mapreduce/kv_arena.h"
 
 namespace redoop {
 
-/// Collects a map function's output pairs.
+/// Collects a map function's output pairs. Storage is a flat arena
+/// (FlatKvBuffer): Emit copies the bytes once and never allocates a
+/// per-pair string — the std::string-based Emit signature is a thin
+/// adapter over the flat path, so existing mappers compile and behave
+/// unchanged.
 class MapContext {
  public:
   MapContext() = default;
 
-  void Emit(std::string key, std::string value, int32_t logical_bytes) {
-    output_.emplace_back(std::move(key), std::move(value), logical_bytes);
+  /// Pre-sizes the pair index for an expected output count (e.g. the map
+  /// split's record count — most mappers emit about one pair per record).
+  void Reserve(size_t pairs) { buffer_.Reserve(pairs); }
+
+  void Emit(std::string_view key, std::string_view value,
+            int32_t logical_bytes) {
+    buffer_.Append(key, value, logical_bytes);
   }
-  void Emit(std::string key, std::string value) {
-    output_.emplace_back(std::move(key), std::move(value));
+  void Emit(std::string_view key, std::string_view value) {
+    buffer_.Append(key, value);
   }
 
-  const std::vector<KeyValue>& output() const { return output_; }
-  /// Direct access to the collected pairs so callers can partition them in
-  /// place (move the strings out) without an intermediate copy.
-  std::vector<KeyValue>* mutable_output() { return &output_; }
-  std::vector<KeyValue> TakeOutput() { return std::move(output_); }
-  void Clear() { output_.clear(); }
+  /// Materializes the collected pairs as strings, in emission order.
+  /// Compatibility/testing surface — the engine consumes flat() instead.
+  std::vector<KeyValue> output() const { return buffer_.ToKeyValues(); }
+
+  const FlatKvBuffer& flat() const { return buffer_; }
+  FlatKvBuffer TakeFlat() { return std::move(buffer_); }
+  void Clear() { buffer_.Clear(); }
 
  private:
-  std::vector<KeyValue> output_;
+  FlatKvBuffer buffer_;
 };
 
 /// User map function, exactly the Hadoop interface shape: consumes one input

@@ -5,7 +5,7 @@
 
 namespace redoop {
 
-int32_t HashPartitioner::Partition(const std::string& key,
+int32_t HashPartitioner::Partition(std::string_view key,
                                    int32_t num_partitions) const {
   REDOOP_CHECK(num_partitions > 0);
   return static_cast<int32_t>(Fnv1a64(key) %

@@ -2,19 +2,21 @@
 #define REDOOP_MAPREDUCE_PARTITIONER_H_
 
 #include <cstdint>
-#include <string>
+#include <string_view>
 
 namespace redoop {
 
 /// Assigns intermediate keys to reduce partitions. Redoop requires the
 /// partitioning function of a recurring query to stay fixed across
 /// recurrences (paper §4.3) so that cached reducer inputs remain valid;
-/// implementations must therefore be deterministic and stateless.
+/// implementations must therefore be deterministic and stateless. The key
+/// arrives as a string_view straight out of the flat KV arena — no
+/// temporary std::string is built per pair.
 class Partitioner {
  public:
   virtual ~Partitioner() = default;
   /// Returns a partition in [0, num_partitions).
-  virtual int32_t Partition(const std::string& key,
+  virtual int32_t Partition(std::string_view key,
                             int32_t num_partitions) const = 0;
 };
 
@@ -22,7 +24,7 @@ class Partitioner {
 /// partition count.
 class HashPartitioner : public Partitioner {
  public:
-  int32_t Partition(const std::string& key,
+  int32_t Partition(std::string_view key,
                     int32_t num_partitions) const override;
 };
 

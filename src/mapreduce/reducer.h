@@ -4,53 +4,99 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "mapreduce/kv.h"
+#include "mapreduce/kv_arena.h"
 
 namespace redoop {
 
-/// Collects a reduce function's output pairs.
+/// Collects a reduce function's output pairs. Like MapContext, storage is
+/// a flat arena; the std::string Emit signature is an adapter that copies
+/// bytes once, so existing reducers compile and behave unchanged while the
+/// engine keeps the output flat end-to-end (cache payloads, merges).
 class ReduceContext {
  public:
   ReduceContext() = default;
 
-  void Emit(std::string key, std::string value, int32_t logical_bytes) {
-    output_.emplace_back(std::move(key), std::move(value), logical_bytes);
+  void Emit(std::string_view key, std::string_view value,
+            int32_t logical_bytes) {
+    buffer_.Append(key, value, logical_bytes);
   }
-  void Emit(std::string key, std::string value) {
-    output_.emplace_back(std::move(key), std::move(value));
+  void Emit(std::string_view key, std::string_view value) {
+    buffer_.Append(key, value);
   }
 
-  const std::vector<KeyValue>& output() const { return output_; }
-  std::vector<KeyValue> TakeOutput() { return std::move(output_); }
-  void Clear() { output_.clear(); }
+  /// Materializes the collected pairs as strings, in emission order.
+  /// Compatibility/testing surface — the engine consumes flat() instead.
+  std::vector<KeyValue> output() const { return buffer_.ToKeyValues(); }
+  std::vector<KeyValue> TakeOutput() {
+    std::vector<KeyValue> out = buffer_.ToKeyValues();
+    buffer_.Clear();
+    return out;
+  }
+
+  const FlatKvBuffer& flat() const { return buffer_; }
+  FlatKvBuffer TakeFlat() { return std::move(buffer_); }
+  void Clear() { buffer_.Clear(); }
 
  private:
-  std::vector<KeyValue> output_;
+  FlatKvBuffer buffer_;
 };
 
 /// User reduce function: consumes one key group (all shuffled values for a
 /// key, in deterministic sorted order) and emits zero or more output pairs.
-/// The group is a zero-copy view into the merged reduce input (or the
-/// map-side sort buffer for combiners); it is only valid for the duration
-/// of the call. Implementations must be stateless.
+/// The group is a view into the merged reduce input (or the map-side
+/// combine groups); it is only valid for the duration of the call.
+/// Implementations must be stateless.
+///
+/// Two input surfaces exist:
+///   - Reduce(key, span<const KeyValue>, ...) — the classic string
+///     interface every existing reducer implements. The engine
+///     materializes each group's strings into reusable scratch before the
+///     call, so user code sees exactly what it always saw.
+///   - ReduceFlat(key, KvRange, ...) — opt-in zero-materialization path
+///     over the flat buffer. A reducer that overrides it and returns true
+///     from PrefersFlatInput() skips per-pair string construction
+///     entirely. Both paths must emit identical bytes.
 class Reducer {
  public:
   virtual ~Reducer() = default;
   virtual void Reduce(const std::string& key,
                       std::span<const KeyValue> values,
                       ReduceContext* context) const = 0;
+
+  /// True to have the engine call ReduceFlat instead of materializing
+  /// the group for Reduce.
+  virtual bool PrefersFlatInput() const { return false; }
+
+  /// Flat twin of Reduce. The default adapter materializes and forwards,
+  /// so calling ReduceFlat is always safe; override together with
+  /// PrefersFlatInput() to skip the materialization.
+  virtual void ReduceFlat(std::string_view key, const KvRange& values,
+                          ReduceContext* context) const {
+    KvGroupScratch scratch;
+    Reduce(std::string(key), scratch.Fill(values), context);
+  }
 };
 
 /// Null reducer: consumes everything, emits nothing. Used by Redoop's
 /// pane-caching pass, whose only purpose is materializing the shuffled,
-/// sorted reducer inputs as caches.
+/// sorted reducer inputs as caches — with the flat path it never touches
+/// a single pair.
 class NullReducer : public Reducer {
  public:
   void Reduce(const std::string& key, std::span<const KeyValue> values,
               ReduceContext* context) const override {
+    (void)key;
+    (void)values;
+    (void)context;
+  }
+  bool PrefersFlatInput() const override { return true; }
+  void ReduceFlat(std::string_view key, const KvRange& values,
+                  ReduceContext* context) const override {
     (void)key;
     (void)values;
     (void)context;
@@ -64,6 +110,13 @@ class IdentityReducer : public Reducer {
               ReduceContext* context) const override {
     for (const KeyValue& v : values) {
       context->Emit(key, v.value, v.logical_bytes);
+    }
+  }
+  bool PrefersFlatInput() const override { return true; }
+  void ReduceFlat(std::string_view key, const KvRange& values,
+                  ReduceContext* context) const override {
+    for (size_t i = 0; i < values.size(); ++i) {
+      context->Emit(key, values.value(i), values.logical_bytes(i));
     }
   }
 };
@@ -83,8 +136,9 @@ class ComposedReducer : public Reducer {
               ReduceContext* context) const override {
     ReduceContext intermediate;
     first_->Reduce(key, values, &intermediate);
-    if (intermediate.output().empty()) return;
-    second_->Reduce(key, intermediate.output(), context);
+    if (intermediate.flat().empty()) return;
+    const std::vector<KeyValue> staged = intermediate.output();
+    second_->Reduce(key, staged, context);
   }
 
  private:

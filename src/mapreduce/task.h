@@ -9,6 +9,7 @@
 #include "common/ids.h"
 #include "common/sim_time.h"
 #include "mapreduce/kv.h"
+#include "mapreduce/kv_arena.h"
 
 namespace redoop {
 
@@ -64,9 +65,9 @@ struct MaterializedCache {
   bool is_reduce_output = false;
   int64_t bytes = 0;
   int64_t records = 0;
-  /// The cached pairs, shared (not copied) into the cache store and any
-  /// aliasing job result/output vectors.
-  std::shared_ptr<const std::vector<KeyValue>> payload;
+  /// The cached pairs as an immutable flat buffer, shared (not copied)
+  /// into the cache store and any aliasing side inputs.
+  std::shared_ptr<const FlatKvBuffer> payload;
 };
 
 }  // namespace redoop

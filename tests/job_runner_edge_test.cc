@@ -94,8 +94,8 @@ TEST_F(EdgeTest, ActivePartitionsFilterReduces) {
 TEST_F(EdgeTest, WarmReadsChargeOnlyOnce) {
   // Two explicit tasks on the same node reading the same cache: the
   // second read hits the page cache (only one local-read counter bump).
-  auto payload = std::make_shared<const std::vector<KeyValue>>(
-      std::vector<KeyValue>{{"k", "1", 1 << 20}});
+  auto payload = std::make_shared<const FlatKvBuffer>(
+      FlatKvBuffer::FromKeyValues(std::vector<KeyValue>{{"k", "1", 1 << 20}}));
   auto make_task = [&](int32_t partition) {
     ExplicitReduceTask task;
     task.partition = partition;
@@ -131,8 +131,8 @@ TEST_F(EdgeTest, WarmReadsChargeOnlyOnce) {
 }
 
 TEST_F(EdgeTest, PreferredNodeHintIsHonored) {
-  auto payload = std::make_shared<const std::vector<KeyValue>>(
-      std::vector<KeyValue>{{"k", "1", 64}});
+  auto payload = std::make_shared<const FlatKvBuffer>(
+      FlatKvBuffer::FromKeyValues(std::vector<KeyValue>{{"k", "1", 64}}));
   ExplicitReduceTask task;
   task.partition = 0;
   task.preferred_node = 3;

@@ -1,0 +1,194 @@
+// Unit tests for the flat KV arena: slice layout, the normalized-prefix
+// sort, flat merge, KvRange views, and the scratch materialization the
+// string Reduce adapter relies on.
+#include "mapreduce/kv_arena.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "mapreduce/kv.h"
+
+namespace redoop {
+namespace {
+
+TEST(FlatKvBufferTest, AppendAndRead) {
+  FlatKvBuffer buf;
+  buf.Append("alpha", "1", 14);
+  buf.Append("", "empty-key", 17);
+  buf.Append("beta", "", 12);
+  ASSERT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.key(0), "alpha");
+  EXPECT_EQ(buf.value(0), "1");
+  EXPECT_EQ(buf.logical_bytes(0), 14);
+  EXPECT_EQ(buf.key(1), "");
+  EXPECT_EQ(buf.value(1), "empty-key");
+  EXPECT_EQ(buf.key(2), "beta");
+  EXPECT_EQ(buf.value(2), "");
+  EXPECT_EQ(buf.total_logical_bytes(), 14 + 17 + 12);
+}
+
+TEST(FlatKvBufferTest, FramingAppendMatchesKeyValueDefault) {
+  FlatKvBuffer buf;
+  buf.Append("key", "value");
+  const KeyValue kv("key", "value");
+  EXPECT_EQ(buf.logical_bytes(0), kv.logical_bytes);
+}
+
+TEST(FlatKvBufferTest, RoundTripsThroughKeyValues) {
+  std::vector<KeyValue> kvs = {
+      {"b", "2", 10}, {"a", "1", 9}, {"a", "0", 9}, {"c", "", 8}};
+  FlatKvBuffer buf = FlatKvBuffer::FromKeyValues(kvs);
+  EXPECT_EQ(buf.ToKeyValues(), kvs);
+}
+
+TEST(FlatKvBufferTest, PairLargerThanChunkGetsOwnChunk) {
+  FlatKvBuffer buf;
+  const std::string big(1 << 20, 'x');  // 1 MiB > 256 KiB chunk.
+  buf.Append("small", "pair", 8);
+  buf.Append("big", big, 4);
+  buf.Append("after", "big", 8);
+  EXPECT_EQ(buf.value(1), big);
+  EXPECT_EQ(buf.key(2), "after");
+}
+
+TEST(FlatKvBufferTest, ViewsStableAcrossAppends) {
+  FlatKvBuffer buf;
+  buf.Append("first", "v", 8);
+  const std::string_view key0 = buf.key(0);
+  // Force several chunk rollovers.
+  const std::string filler(100 * 1024, 'f');
+  for (int i = 0; i < 16; ++i) buf.Append("k", filler, 8);
+  EXPECT_EQ(key0, "first") << "chunk storage must never relocate";
+}
+
+TEST(FlatKvBufferTest, NormalizedPrefixOrdersLikeBytes) {
+  // Integer order of prefixes must equal lexicographic order of the first
+  // 8 bytes, including empty keys, proper prefixes, and high bytes.
+  const std::vector<std::string> keys = {
+      "", "a", std::string("a\0", 2), "aa", "ab", "abcdefgh", "abcdefghZ",
+      "b", std::string("\xff\xfe", 2), std::string("\x01", 1)};
+  for (const std::string& a : keys) {
+    for (const std::string& b : keys) {
+      const std::string a8 = a.substr(0, 8);
+      const std::string b8 = b.substr(0, 8);
+      const uint64_t pa = FlatKvBuffer::NormalizedPrefix(a);
+      const uint64_t pb = FlatKvBuffer::NormalizedPrefix(b);
+      if (a8 < b8) {
+        EXPECT_LE(pa, pb) << a << " vs " << b;
+      } else if (b8 < a8) {
+        EXPECT_LE(pb, pa) << a << " vs " << b;
+      } else {
+        EXPECT_EQ(pa, pb) << a << " vs " << b;
+      }
+    }
+  }
+}
+
+TEST(FlatKvBufferTest, SortedOrderMatchesKeyValueLess) {
+  Random random(7);
+  FlatKvBuffer buf;
+  std::vector<KeyValue> kvs;
+  for (int i = 0; i < 500; ++i) {
+    // Shared prefixes longer than 8 bytes force the tie fallback.
+    std::string key = "shared-prefix-";
+    key += static_cast<char>('a' + random.Uniform(4));
+    if (random.Uniform(4) == 0) key = "";
+    if (random.Uniform(5) == 0) key += '\0';
+    std::string value = std::to_string(random.Uniform(10));
+    buf.Append(key, value, 8);
+    kvs.emplace_back(std::move(key), std::move(value), 8);
+  }
+  FlatKvBuffer sorted = buf.SortedCopy();
+  std::stable_sort(kvs.begin(), kvs.end(), KeyValueLess{});
+  EXPECT_TRUE(sorted.IsSorted());
+  EXPECT_EQ(sorted.ToKeyValues(), kvs)
+      << "prefix sort must equal stable (key, value) sort";
+}
+
+TEST(FlatKvBufferTest, ShrinkToFitPreservesContents) {
+  FlatKvBuffer buf;
+  buf.Reserve(1000);
+  buf.Append("k1", "v1", 8);
+  buf.Append("k2", "v2", 8);
+  const int64_t before = buf.HostBytes();
+  buf.ShrinkToFit();
+  EXPECT_LT(buf.HostBytes(), before);
+  EXPECT_EQ(buf.key(0), "k1");
+  EXPECT_EQ(buf.value(1), "v2");
+}
+
+TEST(MergeFlatRunsTest, MergesSortedRunsStably) {
+  FlatKvBuffer a;
+  a.Append("a", "1", 8);
+  a.Append("c", "runA", 8);
+  FlatKvBuffer b;
+  b.Append("b", "2", 8);
+  b.Append("c", "runA", 8);  // Equal (key, value) as run a's pair.
+  FlatKvBuffer c;  // Empty run.
+  const std::vector<const FlatKvBuffer*> runs = {&a, &b, &c};
+  FlatKvBuffer merged = MergeFlatRuns(runs);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_TRUE(merged.IsSorted());
+  EXPECT_EQ(merged.key(0), "a");
+  EXPECT_EQ(merged.key(1), "b");
+  EXPECT_EQ(merged.key(2), "c");
+  EXPECT_EQ(merged.key(3), "c");
+}
+
+TEST(MergeFlatRunsTest, SingleAndEmptyRuns) {
+  FlatKvBuffer only;
+  only.Append("x", "1", 8);
+  const std::vector<const FlatKvBuffer*> single = {&only};
+  EXPECT_EQ(MergeFlatRuns(single).size(), 1u);
+  const std::vector<const FlatKvBuffer*> none = {};
+  EXPECT_TRUE(MergeFlatRuns(none).empty());
+}
+
+TEST(KvRangeTest, ContiguousAndIndexViews) {
+  FlatKvBuffer buf;
+  buf.Append("k", "a", 8);
+  buf.Append("k", "b", 8);
+  buf.Append("k", "c", 8);
+  const KvRange contiguous(buf, 1, 3);
+  ASSERT_EQ(contiguous.size(), 2u);
+  EXPECT_EQ(contiguous.value(0), "b");
+  EXPECT_EQ(contiguous.value(1), "c");
+  const std::vector<uint32_t> indices = {2, 0};
+  const KvRange subset(buf, indices);
+  ASSERT_EQ(subset.size(), 2u);
+  EXPECT_EQ(subset.value(0), "c");
+  EXPECT_EQ(subset.value(1), "a");
+}
+
+TEST(KvGroupScratchTest, MaterializesAndRecyclesStorage) {
+  FlatKvBuffer buf;
+  buf.Append("key", "long-value-one", 8);
+  buf.Append("key", "two", 9);
+  KvGroupScratch scratch;
+  std::span<const KeyValue> group = scratch.Fill(KvRange(buf, 0, 2));
+  ASSERT_EQ(group.size(), 2u);
+  EXPECT_EQ(group[0].value, "long-value-one");
+  EXPECT_EQ(group[1].logical_bytes, 9);
+  // Refill with a shorter group: contents replaced, size honored.
+  FlatKvBuffer other;
+  other.Append("x", "y", 4);
+  group = scratch.Fill(KvRange(other, 0, 1));
+  ASSERT_EQ(group.size(), 1u);
+  EXPECT_EQ(group[0].key, "x");
+}
+
+TEST(SortSliceIndicesTest, SortsSubsetOnly) {
+  FlatKvBuffer buf;
+  buf.Append("c", "1", 8);
+  buf.Append("a", "1", 8);
+  buf.Append("b", "1", 8);
+  std::vector<uint32_t> idx = {0, 2};  // "c", "b" — skip "a".
+  SortSliceIndices(buf, &idx);
+  EXPECT_EQ(idx, (std::vector<uint32_t>{2, 0}));
+}
+
+}  // namespace
+}  // namespace redoop

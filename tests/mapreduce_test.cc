@@ -234,8 +234,8 @@ TEST_F(JobRunnerTest, PerSourceMapperOverride) {
 
 TEST_F(JobRunnerTest, SideInputsFeedReducers) {
   HashPartitioner partitioner;
-  auto payload = std::make_shared<const std::vector<KeyValue>>(
-      std::vector<KeyValue>{{"word", "5", 16}});
+  auto payload = std::make_shared<const FlatKvBuffer>(
+      FlatKvBuffer::FromKeyValues(std::vector<KeyValue>{{"word", "5", 16}}));
   const int32_t partition = partitioner.Partition("word", 3);
 
   WriteInput("in", {"word"});
@@ -275,9 +275,7 @@ TEST_F(JobRunnerTest, ReduceInputCachingMaterializesPerPane) {
     EXPECT_TRUE(cluster_.node(cache.node).HasLocalFile(cache.name));
     cached_records += cache.records;
     // Payload is sorted.
-    for (size_t i = 1; i < cache.payload->size(); ++i) {
-      EXPECT_LE((*cache.payload)[i - 1].key, (*cache.payload)[i].key);
-    }
+    EXPECT_TRUE(cache.payload->IsSorted());
   }
   EXPECT_EQ(cached_records, 3) << "all shuffled pairs cached";
 }
@@ -294,14 +292,14 @@ TEST_F(JobRunnerTest, ReduceOutputCachingMaterializes) {
   ASSERT_EQ(result.caches.size(), 1u) << "only one partition has output";
   EXPECT_TRUE(result.caches[0].is_reduce_output);
   ASSERT_EQ(result.caches[0].payload->size(), 1u);
-  EXPECT_EQ((*result.caches[0].payload)[0].value, "3");
+  EXPECT_EQ(result.caches[0].payload->value(0), "3");
 }
 
 TEST_F(JobRunnerTest, ExplicitReduceTasksJoinSideInputsOnly) {
-  auto left = std::make_shared<const std::vector<KeyValue>>(
-      std::vector<KeyValue>{{"k", "L1", 8}, {"k", "L2", 8}});
-  auto right = std::make_shared<const std::vector<KeyValue>>(
-      std::vector<KeyValue>{{"k", "R1", 8}});
+  auto left = std::make_shared<const FlatKvBuffer>(FlatKvBuffer::FromKeyValues(
+      std::vector<KeyValue>{{"k", "L1", 8}, {"k", "L2", 8}}));
+  auto right = std::make_shared<const FlatKvBuffer>(
+      FlatKvBuffer::FromKeyValues(std::vector<KeyValue>{{"k", "R1", 8}}));
 
   JobSpec spec;
   spec.config.reducer = std::make_shared<const IdentityReducer>();
@@ -339,8 +337,8 @@ TEST_F(JobRunnerTest, ExplicitTaskWithEmptyOutputStillMaterializesCache) {
   JobSpec spec;
   spec.config.reducer = std::make_shared<const NullReducer>();
   spec.config.num_reducers = 1;
-  auto payload = std::make_shared<const std::vector<KeyValue>>(
-      std::vector<KeyValue>{{"k", "v", 8}});
+  auto payload = std::make_shared<const FlatKvBuffer>(
+      FlatKvBuffer::FromKeyValues(std::vector<KeyValue>{{"k", "v", 8}}));
   ExplicitReduceTask task;
   task.partition = 0;
   task.output_cache_name = "empty-pair";
