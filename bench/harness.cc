@@ -16,6 +16,10 @@
 //   --only=SUBSTR run only benches whose name contains SUBSTR
 //   --threads=N   host worker threads for task payloads (default 1;
 //                 simulated metrics are identical at any setting)
+//   --journal-out=FILE
+//                 dump the fig7 overlap_90 redoop run's journal (JSONL)
+//                 there; redoop_inspect reproduces the fig7 per_query
+//                 metrics from that file alone
 //
 // Host wall-clock per bench is printed to stdout at every scale, and also
 // recorded as host.* metrics at full scale only — the smoke document must
@@ -36,6 +40,7 @@
 #include "core/redoop_driver.h"
 #include "obs/analysis/analysis.h"
 #include "obs/observability.h"
+#include "obs/slo/slo_tracker.h"
 #include "queries/aggregation_query.h"
 #include "queries/join_query.h"
 #include "workload/ffg_generator.h"
@@ -49,6 +54,11 @@ namespace {
 /// Host worker threads for task payloads (--threads). Purely a wall-clock
 /// knob: every simulated metric is identical at any setting.
 int32_t g_threads = 1;
+
+/// When non-empty, the fig7 overlap_90 redoop run dumps its journal here
+/// (--journal-out). One fixed, deterministic capture: the CI golden for
+/// redoop_inspect is diffed against reports derived from this file.
+std::string g_journal_out;
 
 /// Experiment scale. "full" is the paper testbed; "smoke" shrinks every
 /// axis so the whole suite runs in CI seconds while keeping the same
@@ -138,6 +148,9 @@ struct AnalyzedRun {
   double cache_hit_rate = 0.0;
   int64_t cache_hit_bytes = 0;
   int64_t stragglers = 0;
+  /// Per-query SLO rollup (deadline attainment, lag) from the same
+  /// journal, grouped by query label.
+  obs::slo::SloReport slo;
 };
 
 void Analyze(const obs::ObservabilityContext& ctx, AnalyzedRun* run) {
@@ -153,6 +166,9 @@ void Analyze(const obs::ObservabilityContext& ctx, AnalyzedRun* run) {
   run->cache_hit_rate = cache.HitRate();
   run->cache_hit_bytes = cache.hit_bytes;
   run->stragglers = s.TotalStragglers();
+  obs::analysis::AnalysisOptions per_query;
+  per_query.group_by_query = true;
+  run->slo = obs::slo::ComputeSlo(ctx.journal(), per_query);
 }
 
 AnalyzedRun RunHadoopAnalyzed(const Scale& scale, const RecurringQuery& query,
@@ -172,7 +188,8 @@ AnalyzedRun RunHadoopAnalyzed(const Scale& scale, const RecurringQuery& query,
 
 AnalyzedRun RunRedoopAnalyzed(const Scale& scale, const RecurringQuery& query,
                               SyntheticFeed* feed,
-                              RedoopDriverOptions options = {}) {
+                              RedoopDriverOptions options = {},
+                              bool dump_journal = false) {
   obs::ObservabilityContext ctx;
   ctx.journal().SetCommonField("system", "redoop");
   Cluster cluster(scale.nodes, Config());
@@ -182,6 +199,18 @@ AnalyzedRun RunRedoopAnalyzed(const Scale& scale, const RecurringQuery& query,
   AnalyzedRun run;
   run.report = Unwrap(driver.Run(scale.windows));
   Analyze(ctx, &run);
+  if (dump_journal && !g_journal_out.empty()) {
+    const std::string jsonl = ctx.journal().ToJsonl();
+    std::FILE* f = std::fopen(g_journal_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   g_journal_out.c_str());
+    } else {
+      std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+      std::fclose(f);
+      std::printf("journal written to %s\n", g_journal_out.c_str());
+    }
+  }
   return run;
 }
 
@@ -286,10 +315,23 @@ void RunFig7(const Scale& scale, Metrics* metrics) {
     const AnalyzedRun hadoop =
         RunHadoopAnalyzed(scale, query, hadoop_feed.get());
     auto redoop_feed = MakeScaledFfgFeed(scale, w);
-    const AnalyzedRun redoop =
-        RunRedoopAnalyzed(scale, query, redoop_feed.get());
+    const AnalyzedRun redoop = RunRedoopAnalyzed(
+        scale, query, redoop_feed.get(), {}, /*dump_journal=*/overlap == 0.9);
     CheckMatch("fig7", hadoop.report, redoop.report);
-    AddPairMetrics("fig7." + OverlapKey(overlap), hadoop, redoop, metrics);
+    const std::string prefix = "fig7." + OverlapKey(overlap);
+    AddPairMetrics(prefix, hadoop, redoop, metrics);
+    // Per-query SLO rollup from the redoop journal. redoop_inspect must
+    // reproduce these figures from the --journal-out capture alone.
+    for (const obs::slo::QuerySlo& q : redoop.slo.queries) {
+      const std::string qp = prefix + ".per_query." +
+                             (q.query.empty() ? "unattributed" : q.query);
+      metrics->Add(qp + ".windows", static_cast<double>(q.windows));
+      metrics->Add(qp + ".attainment", q.Attainment());
+      metrics->Add(qp + ".lag_total_s", q.total_lag_s);
+      metrics->Add(qp + ".response_mean_s", q.MeanResponse());
+      metrics->Add(qp + ".cache_hit_rate", q.CacheHitRate());
+      metrics->Add(qp + ".slot_wait_s", q.slot_wait_s);
+    }
   }
 }
 
@@ -571,10 +613,12 @@ int Main(int argc, char** argv) {
       only = arg.substr(7);
     } else if (arg.rfind("--threads=", 0) == 0) {
       g_threads = static_cast<int32_t>(std::atoi(arg.c_str() + 10));
+    } else if (arg.rfind("--journal-out=", 0) == 0) {
+      g_journal_out = arg.substr(14);
     } else {
       std::fprintf(stderr,
                    "usage: bench_harness [--smoke] [--out=FILE] "
-                   "[--only=SUBSTR] [--threads=N]\n");
+                   "[--only=SUBSTR] [--threads=N] [--journal-out=FILE]\n");
       return 2;
     }
   }

@@ -6,13 +6,16 @@
 #include "common/logging.h"
 #include "common/math_utils.h"
 #include "common/string_utils.h"
+#include "obs/slo/slo_tracker.h"
 
 namespace redoop {
 
 namespace {
-JobRunnerOptions WithObs(JobRunnerOptions options,
-                         obs::ObservabilityContext* obs) {
+JobRunnerOptions WithTelemetry(JobRunnerOptions options,
+                               obs::ObservabilityContext* obs,
+                               const obs::TelemetryScope* scope) {
   options.obs = obs;
+  options.telemetry = scope;
   return options;
 }
 }  // namespace
@@ -30,13 +33,15 @@ HadoopRecurringDriver::HadoopRecurringDriver(Cluster* cluster, BatchFeed* feed,
                      : nullptr),
       obs_(runner_options.obs != nullptr ? runner_options.obs
                                          : owned_obs_.get()),
-      runner_(cluster, &scheduler_, WithObs(runner_options, obs_)) {
+      scope_(obs_, query_.name, &telemetry_window_),
+      runner_(cluster, &scheduler_,
+              WithTelemetry(runner_options, obs_, &scope_)) {
   REDOOP_CHECK(cluster_ != nullptr);
   REDOOP_CHECK(feed_ != nullptr);
   query_.CheckValid();
   obs_->SetTimeSource(
       [cluster = cluster_] { return cluster->simulator().Now(); });
-  scheduler_.set_observability(obs_);
+  scheduler_.set_telemetry(scope_);
   cluster_->dfs().set_observability(obs_);
   ingested_until_.assign(query_.sources.size(), 0);
 }
@@ -98,11 +103,15 @@ WindowReport HadoopRecurringDriver::RunRecurrence(int64_t recurrence) {
   const Timestamp end = geometry_.WindowEnd(recurrence);
   const Timestamp trigger = geometry_.TriggerTime(recurrence);
 
-  obs_->EmitAt(cluster_->simulator().Now(), obs::event::kWindowOpen)
-      .With("recurrence", recurrence)
-      .With("trigger", trigger)
-      .With("window_begin", begin)
-      .With("window_end", end);
+  telemetry_window_ = recurrence;
+  obs::Event& open =
+      scope_.EmitAt(cluster_->simulator().Now(), obs::event::kWindowOpen)
+          .With("recurrence", recurrence)
+          .With("trigger", trigger)
+          .With("window_begin", begin)
+          .With("window_end", end);
+  const double deadline = query_.EffectiveDeadline();
+  if (deadline > 0) open.With("deadline", deadline);
 
   // Data for the window lands in HDFS as it arrives (not charged to the
   // query's response time, same as Redoop's packer ingest).
@@ -114,7 +123,7 @@ WindowReport HadoopRecurringDriver::RunRecurrence(int64_t recurrence) {
   if (sim.Now() < static_cast<SimTime>(trigger)) {
     sim.RunUntil(static_cast<SimTime>(trigger));
   }
-  obs_->EmitAt(sim.Now(), obs::event::kWindowTrigger)
+  scope_.EmitAt(sim.Now(), obs::event::kWindowTrigger)
       .With("recurrence", recurrence)
       .With("trigger", trigger);
 
@@ -174,15 +183,15 @@ WindowReport HadoopRecurringDriver::RunRecurrence(int64_t recurrence) {
     previous_output_ = report.output;
   }
 
-  obs_->metrics().Increment(obs::metric::kWindowsCompleted);
-  obs_->metrics().Record(obs::metric::kWindowResponseTime,
-                         report.response_time);
-  obs_->EmitAt(report.finished_at, obs::event::kWindowComplete)
+  scope_.Increment(obs::metric::kWindowsCompleted);
+  scope_.Record(obs::metric::kWindowResponseTime, report.response_time);
+  scope_.EmitAt(report.finished_at, obs::event::kWindowComplete)
       .With("recurrence", recurrence)
       .With("trigger", trigger)
       .With("response_time", report.response_time)
       .With("output_records", report.output_records)
       .With("fresh_bytes", report.fresh_input_bytes);
+  telemetry_window_ = -1;
   return report;
 }
 
@@ -193,6 +202,10 @@ RunReport HadoopRecurringDriver::Run(int64_t n) {
     report.windows.push_back(RunRecurrence(i));
   }
   report.observability = obs_->metrics().Snapshot();
+  obs::analysis::AnalysisOptions slo_options;
+  slo_options.group_by_query = true;
+  obs::slo::ExportTo(obs::slo::ComputeSlo(obs_->journal(), slo_options),
+                     &report.observability);
   return report;
 }
 

@@ -69,6 +69,12 @@ class HadoopRecurringDriver {
   /// context. Declared before runner_ so the runner can be handed obs_.
   std::unique_ptr<obs::ObservabilityContext> owned_obs_;
   obs::ObservabilityContext* obs_ = nullptr;
+  /// Current recurrence for event attribution (-1 outside a recurrence);
+  /// declared before scope_, which captures its address.
+  int64_t telemetry_window_ = -1;
+  /// Query-attributed scope — the baseline is instrumented identically to
+  /// Redoop so per-query SLO/lag figures are comparable across systems.
+  obs::TelemetryScope scope_;
   DefaultScheduler scheduler_;
   JobRunner runner_;
   std::vector<Timestamp> ingested_until_;  // Per source index.

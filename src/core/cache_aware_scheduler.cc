@@ -17,7 +17,7 @@ NodeId CacheAwareScheduler::SelectNodeForMap(
   // exactly once, here, under this scheduler's policy name.
   DefaultScheduler fallback;
   const NodeId node = fallback.SelectNodeForMap(request, cluster);
-  scheduler_internal::EmitMapAssignment(obs_, request, node, "cache_aware");
+  scheduler_internal::EmitMapAssignment(scope_, request, node, "cache_aware");
   return node;
 }
 
@@ -52,7 +52,7 @@ NodeId CacheAwareScheduler::SelectNodeForReduce(
       best_score = score;
     }
   }
-  if (obs_ != nullptr && best != kInvalidNode) {
+  if (scope_.active() && best != kInvalidNode) {
     // Cache affinity is "considered" when the task has cached side inputs
     // at all, and "taken" when the chosen node holds at least one of them.
     const bool considered = !request.side_inputs.empty();
@@ -68,14 +68,13 @@ NodeId CacheAwareScheduler::SelectNodeForReduce(
       }
     }
     const double io_cost = ReduceIoCost(request, best);
-    obs::MetricRegistry& metrics = obs_->metrics();
-    metrics.Increment(obs::metric::kSchedReduceAssignments);
+    scope_.Increment(obs::metric::kSchedReduceAssignments);
     if (considered) {
-      metrics.Increment(taken ? obs::metric::kSchedCacheAffinityTaken
-                              : obs::metric::kSchedCacheAffinityMissed);
+      scope_.Increment(taken ? obs::metric::kSchedCacheAffinityTaken
+                             : obs::metric::kSchedCacheAffinityMissed);
     }
-    metrics.Record(obs::metric::kSchedReduceIoCost, io_cost);
-    obs_->Emit(obs::event::kSchedAssign)
+    scope_.Record(obs::metric::kSchedReduceIoCost, io_cost);
+    scope_.Emit(obs::event::kSchedAssign)
         .With("kind", "reduce")
         .With("policy", "cache_aware")
         .With("node", best)

@@ -56,8 +56,8 @@ void WindowAwareCacheController::OnPaneInHdfs(
   }
   if (state.ready == CacheReady::kNotAvailable) {
     state.ready = CacheReady::kHdfsAvailable;
-    if (obs_ != nullptr) {
-      obs_->Emit(obs::event::kPaneReady)
+    if (scope_.active()) {
+      scope_.Emit(obs::event::kPaneReady)
           .With("query", query)
           .With("source", source)
           .With("pane", pane)
@@ -85,8 +85,8 @@ void WindowAwareCacheController::OnPaneCached(QueryId query, SourceId source,
   PaneState& state = q->panes[{source, pane}];
   state.ready = CacheReady::kCacheAvailable;
   state.in_map_list = false;
-  if (obs_ != nullptr) {
-    obs_->Emit(obs::event::kPaneReady)
+  if (scope_.active()) {
+    scope_.Emit(obs::event::kPaneReady)
         .With("query", query)
         .With("source", source)
         .With("pane", pane)
@@ -142,10 +142,10 @@ void WindowAwareCacheController::AddSignature(CacheSignature signature,
         std::any_of(begin, end, [&](const auto& e) { return e.second == name; });
     if (!indexed) q->caches_by_pane.insert({key, name});
   }
-  if (obs_ != nullptr) {
-    obs_->metrics().Increment(obs::metric::kCacheAdds);
-    obs_->metrics().Increment(obs::metric::kCacheAddBytes, signature.bytes);
-    obs_->Emit(obs::event::kCacheAdd)
+  if (scope_.active()) {
+    scope_.Increment(obs::metric::kCacheAdds);
+    scope_.Increment(obs::metric::kCacheAddBytes, signature.bytes);
+    scope_.Emit(obs::event::kCacheAdd)
         .With("name", name)
         .With("node", signature.node)
         .With("kind", CacheTypeName(signature.type))
@@ -191,8 +191,8 @@ void WindowAwareCacheController::MarkPanePairDone(QueryId query, PaneId left,
   QueryState* q = FindQuery(query);
   REDOOP_CHECK(q != nullptr && q->matrix != nullptr);
   q->matrix->MarkDone(left, right);
-  if (obs_ != nullptr) {
-    obs_->Emit(obs::event::kMatrixDone)
+  if (scope_.active()) {
+    scope_.Emit(obs::event::kMatrixDone)
         .With("query", query)
         .With("left", left)
         .With("right", right);
@@ -277,9 +277,9 @@ void WindowAwareCacheController::ExpireCache(
   CacheSignature& sig = it->second;
   sig.done_query_mask[static_cast<size_t>(q->mask_bit)] = true;
   if (!sig.Expired()) return;
-  if (obs_ != nullptr) {
-    obs_->metrics().Increment(obs::metric::kCacheEvictions);
-    obs_->Emit(obs::event::kCacheEvict)
+  if (scope_.active()) {
+    scope_.Increment(obs::metric::kCacheEvictions);
+    scope_.Emit(obs::event::kCacheEvict)
         .With("name", sig.name)
         .With("node", sig.node)
         .With("reason", "expired")
@@ -300,8 +300,8 @@ std::vector<PurgeNotification> WindowAwareCacheController::FinishRecurrence(
     // caches expire with them. A pane-pair output cache expires once the
     // last window containing both panes has completed.
     auto [left_purged, right_purged] = q->matrix->Shift(recurrence);
-    if (obs_ != nullptr) {
-      obs_->Emit(obs::event::kMatrixShift)
+    if (scope_.active()) {
+      scope_.Emit(obs::event::kMatrixShift)
           .With("query", query)
           .With("recurrence", recurrence)
           .With("purged_left", static_cast<int64_t>(left_purged.size()))
@@ -372,9 +372,9 @@ WindowAwareCacheController::HandleLostCache(NodeId node,
   if (sig.node != node) return impact;  // Stale notification.
   signatures_.erase(it);
   impact.lost_caches.push_back(PurgeNotification{node, name});
-  if (obs_ != nullptr) {
-    obs_->metrics().Increment(obs::metric::kCacheInvalidations);
-    obs_->Emit(obs::event::kCacheInvalidate)
+  if (scope_.active()) {
+    scope_.Increment(obs::metric::kCacheInvalidations);
+    scope_.Emit(obs::event::kCacheInvalidate)
         .With("name", name)
         .With("node", node)
         .With("reason", "lost")
@@ -418,9 +418,9 @@ WindowAwareCacheController::HandleLostCache(NodeId node,
                              /*rebuild=*/true};
         map_task_list_.push_back(rebuild);
         impact.rebuilds.push_back(rebuild);
-        if (obs_ != nullptr) {
-          obs_->metrics().Increment(obs::metric::kCacheRebuilds);
-          obs_->Emit(obs::event::kCacheRebuild)
+        if (scope_.active()) {
+          scope_.Increment(obs::metric::kCacheRebuilds);
+          scope_.Emit(obs::event::kCacheRebuild)
               .With("query", q->query.id)
               .With("source", sig.source)
               .With("pane", sig.pane)
@@ -444,9 +444,9 @@ NodeId WindowAwareCacheController::DropSignature(const std::string& name) {
   auto it = signatures_.find(name);
   if (it == signatures_.end()) return kInvalidNode;
   const NodeId node = it->second.node;
-  if (obs_ != nullptr) {
-    obs_->metrics().Increment(obs::metric::kCacheInvalidations);
-    obs_->Emit(obs::event::kCacheInvalidate)
+  if (scope_.active()) {
+    scope_.Increment(obs::metric::kCacheInvalidations);
+    scope_.Emit(obs::event::kCacheInvalidate)
         .With("name", name)
         .With("node", node)
         .With("reason", "dropped")

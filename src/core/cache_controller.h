@@ -15,7 +15,7 @@
 #include "core/cache_types.h"
 #include "core/recurring_query.h"
 #include "core/window.h"
-#include "obs/observability.h"
+#include "obs/telemetry_scope.h"
 
 namespace redoop {
 
@@ -143,8 +143,17 @@ class WindowAwareCacheController {
   NodeId DropSignature(const std::string& name);
 
   /// Journals cache lifecycle decisions (add/evict/invalidate/rebuild,
-  /// pane readiness, matrix transitions); null disables emission.
-  void set_observability(obs::ObservabilityContext* obs) { obs_ = obs; }
+  /// pane readiness, matrix transitions) through an attribution scope:
+  /// events carry the scope's query/window and counters land on the
+  /// labeled per-query series too.
+  void set_telemetry(obs::TelemetryScope scope) {
+    scope_ = std::move(scope);
+  }
+  /// Unattributed convenience (standalone/test use); null disables
+  /// emission.
+  void set_observability(obs::ObservabilityContext* obs) {
+    scope_ = obs::TelemetryScope(obs);
+  }
 
  private:
   struct PaneState {
@@ -178,7 +187,7 @@ class WindowAwareCacheController {
   std::map<std::string, CacheSignature> signatures_;
   std::deque<PaneWorkItem> map_task_list_;
   std::deque<PanePairWorkItem> reduce_task_list_;
-  obs::ObservabilityContext* obs_ = nullptr;
+  obs::TelemetryScope scope_;
 };
 
 }  // namespace redoop

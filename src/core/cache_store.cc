@@ -39,11 +39,11 @@ void CacheStore::Remove(const std::string& name) {
 }
 
 void CacheStore::UpdateGauges() {
-  if (obs_ == nullptr) return;
-  obs_->metrics().SetGauge(obs::metric::kCacheStoreBytes,
-                           static_cast<double>(total_bytes_));
-  obs_->metrics().SetGauge(obs::metric::kCacheStoreEntries,
-                           static_cast<double>(entries_.size()));
+  if (!scope_.active()) return;
+  scope_.SetGauge(obs::metric::kCacheStoreBytes,
+                  static_cast<double>(total_bytes_));
+  scope_.SetGauge(obs::metric::kCacheStoreEntries,
+                  static_cast<double>(entries_.size()));
 }
 
 }  // namespace redoop

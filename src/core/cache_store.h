@@ -10,7 +10,7 @@
 #include "common/ids.h"
 #include "mapreduce/kv.h"
 #include "mapreduce/kv_arena.h"
-#include "obs/observability.h"
+#include "obs/telemetry_scope.h"
 
 namespace redoop {
 
@@ -67,11 +67,16 @@ class CacheStore {
   size_t size() const { return entries_.size(); }
   int64_t total_bytes() const { return total_bytes_; }
 
-  /// Keeps cache.store.bytes / cache.store.entries gauges current; null
-  /// disables emission.
-  void set_observability(obs::ObservabilityContext* obs) {
-    obs_ = obs;
+  /// Keeps cache.store.bytes / cache.store.entries gauges current
+  /// (global and per-query labeled series via the scope).
+  void set_telemetry(obs::TelemetryScope scope) {
+    scope_ = std::move(scope);
     UpdateGauges();
+  }
+  /// Unattributed convenience (standalone/test use); null disables
+  /// emission.
+  void set_observability(obs::ObservabilityContext* obs) {
+    set_telemetry(obs::TelemetryScope(obs));
   }
 
  private:
@@ -79,7 +84,7 @@ class CacheStore {
 
   std::map<std::string, std::unique_ptr<Entry>> entries_;
   int64_t total_bytes_ = 0;
-  obs::ObservabilityContext* obs_ = nullptr;
+  obs::TelemetryScope scope_;
 };
 
 }  // namespace redoop

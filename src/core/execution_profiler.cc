@@ -34,9 +34,9 @@ void ExecutionProfiler::Observe(double execution_time,
   }
   ++count_;
 
-  if (obs_ != nullptr) {
-    obs_->metrics().Increment(obs::metric::kProfilerObservations);
-    obs::Event& e = obs_->Emit(obs::event::kProfilerObserve);
+  if (scope_.active()) {
+    scope_.Increment(obs::metric::kProfilerObservations);
+    obs::Event& e = scope_.Emit(obs::event::kProfilerObserve);
     e.With("observation", count_)
         .With("actual", execution_time)
         .With("bytes", bytes_processed)
@@ -44,9 +44,9 @@ void ExecutionProfiler::Observe(double execution_time,
         .With("trend", trend_);
     if (had_forecast) {
       const double abs_error = std::abs(predicted - execution_time);
-      obs_->metrics().Record(obs::metric::kProfilerAbsErr, abs_error);
+      scope_.Record(obs::metric::kProfilerAbsErr, abs_error);
       if (execution_time > 0.0) {
-        obs_->metrics().Record(obs::metric::kProfilerRelErr,
+        scope_.Record(obs::metric::kProfilerRelErr,
                                abs_error / execution_time);
       }
       e.With("predicted", predicted).With("abs_error", abs_error);

@@ -5,7 +5,7 @@
 #include <utility>
 #include <vector>
 
-#include "obs/observability.h"
+#include "obs/telemetry_scope.h"
 
 namespace redoop {
 
@@ -43,8 +43,15 @@ class ExecutionProfiler {
   void Reset();
 
   /// Journals prediction-vs-actual per Observe() (profiler.observe events
-  /// plus forecast-error histograms); null disables emission.
-  void set_observability(obs::ObservabilityContext* obs) { obs_ = obs; }
+  /// plus forecast-error histograms) with the scope's attribution.
+  void set_telemetry(obs::TelemetryScope scope) {
+    scope_ = std::move(scope);
+  }
+  /// Unattributed convenience (standalone/test use); null disables
+  /// emission.
+  void set_observability(obs::ObservabilityContext* obs) {
+    scope_ = obs::TelemetryScope(obs);
+  }
 
   /// Selects (alpha, beta) by dense grid search minimizing the one-step
   /// squared forecast error over a historical series ("selected by fitting
@@ -60,7 +67,7 @@ class ExecutionProfiler {
   double last_x_ = 0.0;
   int64_t last_bytes_ = 0;
   int64_t count_ = 0;
-  obs::ObservabilityContext* obs_ = nullptr;
+  obs::TelemetryScope scope_;
 };
 
 }  // namespace redoop

@@ -59,9 +59,9 @@ int64_t LocalCacheRegistry::PurgeMatching(TaskNode* node,
     if (it->second.expired) {
       const int64_t bytes = node->DeleteLocalFile(it->first);
       freed += bytes;
-      if (obs_ != nullptr) {
-        obs_->metrics().Increment(obs::metric::kCachePurgedBytes, bytes);
-        obs_->Emit(obs::event::kCachePurge)
+      if (scope_.active()) {
+        scope_.Increment(obs::metric::kCachePurgedBytes, bytes);
+        scope_.Emit(obs::event::kCachePurge)
             .With("name", it->first)
             .With("node", node_)
             .With("bytes", bytes)

@@ -10,7 +10,7 @@
 #include "common/ids.h"
 #include "common/sim_time.h"
 #include "core/cache_types.h"
-#include "obs/observability.h"
+#include "obs/telemetry_scope.h"
 
 namespace redoop {
 
@@ -65,8 +65,16 @@ class LocalCacheRegistry {
   std::vector<LocalCacheEntry> Entries() const;
 
   /// Journals physical deletions (cache.purge events, purged-bytes
-  /// counter); null disables emission.
-  void set_observability(obs::ObservabilityContext* obs) { obs_ = obs; }
+  /// counter). The driver hands a node-labeled scope so purge bytes are
+  /// attributable per query AND per node.
+  void set_telemetry(obs::TelemetryScope scope) {
+    scope_ = std::move(scope);
+  }
+  /// Unattributed convenience (standalone/test use); null disables
+  /// emission.
+  void set_observability(obs::ObservabilityContext* obs) {
+    scope_ = obs::TelemetryScope(obs);
+  }
 
  private:
   int64_t PurgeMatching(TaskNode* node, int64_t stop_after_bytes,
@@ -76,7 +84,7 @@ class LocalCacheRegistry {
   SimDuration purge_cycle_;
   SimTime last_purge_ = 0.0;
   std::map<std::string, LocalCacheEntry> entries_;
-  obs::ObservabilityContext* obs_ = nullptr;
+  obs::TelemetryScope scope_;
 };
 
 }  // namespace redoop

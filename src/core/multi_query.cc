@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/math_utils.h"
 #include "common/string_utils.h"
+#include "obs/slo/slo_tracker.h"
 
 namespace redoop {
 
@@ -94,6 +95,17 @@ StatusOr<std::vector<RunReport>> MultiQueryCoordinator::Run(
     REDOOP_RETURN_IF_ERROR(window.status());
     reports[best].windows.push_back(std::move(window).value());
     ++e.next_recurrence;
+  }
+  // Each query's report carries its own metrics + SLO rollup. With one
+  // shared observability context the labeled series disambiguate queries;
+  // ComputeSlo's per-query grouping does the same for the journal.
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    obs::ObservabilityContext* obs = entries_[i].driver->observability();
+    reports[i].observability = obs->metrics().Snapshot();
+    obs::analysis::AnalysisOptions slo_options;
+    slo_options.group_by_query = true;
+    obs::slo::ExportTo(obs::slo::ComputeSlo(obs->journal(), slo_options),
+                       &reports[i].observability);
   }
   return reports;
 }

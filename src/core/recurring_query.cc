@@ -7,6 +7,11 @@ namespace redoop {
 
 Timestamp RecurringQuery::slide() const { return window().slide; }
 
+double RecurringQuery::EffectiveDeadline() const {
+  if (deadline_s < 0.0) return static_cast<double>(slide());
+  return deadline_s;
+}
+
 std::shared_ptr<const Mapper> RecurringQuery::MapperFor(
     SourceId source) const {
   auto it = source_mappers.find(source);

@@ -66,6 +66,17 @@ struct RecurringQuery {
   /// still produced; deltas are derived from the sorted outputs.
   bool emit_deltas = false;
 
+  /// Per-window completion deadline in seconds from the trigger, used by
+  /// the SLO tracker (attainment / lag). Negative (the default) means
+  /// "one slide" — a recurring query that cannot finish within its slide
+  /// falls behind its own cadence, so the slide is the natural SLO. Zero
+  /// disables deadline tracking entirely (no attainment, no lag).
+  double deadline_s = -1.0;
+
+  /// The effective deadline: deadline_s, defaulted to the slide; 0 when
+  /// tracking is disabled.
+  double EffectiveDeadline() const;
+
   /// Finalization: merges partial outputs (per-pane or per-pane-pair) into
   /// the window result. For kPerPaneMerge the default (null) reuses
   /// `config.reducer` — correct whenever the reducer is a semigroup

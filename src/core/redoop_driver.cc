@@ -9,6 +9,7 @@
 #include "common/math_utils.h"
 #include "common/string_utils.h"
 #include "core/pane_naming.h"
+#include "obs/slo/slo_tracker.h"
 
 namespace redoop {
 
@@ -101,12 +102,17 @@ RedoopDriver::RedoopDriver(Cluster* cluster, BatchFeed* feed,
   }
   obs_->SetTimeSource(
       [cluster = cluster_] { return cluster->simulator().Now(); });
-  controller_.set_observability(obs_);
-  store_.set_observability(obs_);
-  profiler_.set_observability(obs_);
-  default_scheduler_.set_observability(obs_);
+  // Attribution: one query-labeled scope, copied into every component.
+  // telemetry_window_ is the driver-owned recurrence cell the scopes read
+  // at emit time. DFS stays cluster-scoped (shared across drivers).
+  scope_ = obs::TelemetryScope(obs_, query_.name, &telemetry_window_);
+  controller_.set_telemetry(scope_);
+  store_.set_telemetry(scope_);
+  profiler_.set_telemetry(scope_);
+  default_scheduler_.set_telemetry(scope_);
   cluster_->dfs().set_observability(obs_);
   options_.runner.obs = obs_;
+  options_.runner.telemetry = &scope_;
 
   base_plan_ = analyzer_.Plan(query_.window(), SourceStatistics{0.0});
   base_plan_.pane_size = geometry_.pane_size();
@@ -118,7 +124,7 @@ RedoopDriver::RedoopDriver(Cluster* cluster, BatchFeed* feed,
     sched_options.load_weight_s = options_.scheduler.load_weight_s;
     cache_aware_scheduler_ = std::make_unique<CacheAwareScheduler>(
         &cluster_->cost_model(), sched_options);
-    cache_aware_scheduler_->set_observability(obs_);
+    cache_aware_scheduler_->set_telemetry(scope_);
   }
   runner_ = std::make_unique<JobRunner>(cluster_, scheduler(),
                                         options_.runner);
@@ -138,7 +144,7 @@ RedoopDriver::RedoopDriver(Cluster* cluster, BatchFeed* feed,
   for (int32_t n = 0; n < cluster_->num_nodes(); ++n) {
     registries_.push_back(
         std::make_unique<LocalCacheRegistry>(n, purge_cycle));
-    registries_.back()->set_observability(obs_);
+    registries_.back()->set_telemetry(scope_.WithNode(n));
   }
   ingested_until_.assign(query_.sources.size(), 0);
 
@@ -878,16 +884,16 @@ void RedoopDriver::PrepareJoinWindow(int64_t recurrence) {
     const int64_t misses = static_cast<int64_t>(missing.size());
     const int64_t hits = span * span - misses;
     if (hits > 0) {
-      obs_->metrics().Increment(obs::metric::kCachePairHits, hits);
+      scope_.Increment(obs::metric::kCachePairHits, hits);
       counters_accum_.Increment(counter::kCachePairHits, hits);
-      obs_->Emit(obs::event::kCachePairHit)
+      scope_.Emit(obs::event::kCachePairHit)
           .With("recurrence", recurrence)
           .With("count", hits);
     }
     if (misses > 0) {
-      obs_->metrics().Increment(obs::metric::kCachePairMisses, misses);
+      scope_.Increment(obs::metric::kCachePairMisses, misses);
       counters_accum_.Increment(counter::kCachePairMisses, misses);
-      obs_->Emit(obs::event::kCachePairMiss)
+      scope_.Emit(obs::event::kCachePairMiss)
           .With("recurrence", recurrence)
           .With("count", misses);
     }
@@ -962,15 +968,15 @@ void RedoopDriver::EmitPaneCacheStats(int64_t recurrence) {
           panes_built_this_recurrence_.count({qs.id, p}) > 0;
       const bool hit = cached && !built_now;
       if (hit) {
-        obs_->metrics().Increment(obs::metric::kCachePaneHits);
-        obs_->metrics().Increment(obs::metric::kCachePaneHitBytes, ps.bytes);
+        scope_.Increment(obs::metric::kCachePaneHits);
+        scope_.Increment(obs::metric::kCachePaneHitBytes, ps.bytes);
         counters_accum_.Increment(counter::kCachePaneHits);
       } else {
-        obs_->metrics().Increment(obs::metric::kCachePaneMisses);
-        obs_->metrics().Increment(obs::metric::kCachePaneMissBytes, ps.bytes);
+        scope_.Increment(obs::metric::kCachePaneMisses);
+        scope_.Increment(obs::metric::kCachePaneMissBytes, ps.bytes);
         counters_accum_.Increment(counter::kCachePaneMisses);
       }
-      obs_->Emit(hit ? obs::event::kCachePaneHit : obs::event::kCachePaneMiss)
+      scope_.Emit(hit ? obs::event::kCachePaneHit : obs::event::kCachePaneMiss)
           .With("recurrence", recurrence)
           .With("source", qs.id)
           .With("pane", p)
@@ -1159,11 +1165,15 @@ StatusOr<WindowReport> RedoopDriver::RunRecurrence(int64_t recurrence) {
   Simulator& sim = cluster_->simulator();
 
   panes_built_this_recurrence_.clear();
-  obs_->EmitAt(sim.Now(), obs::event::kWindowOpen)
-      .With("recurrence", recurrence)
-      .With("trigger", trigger)
-      .With("window_begin", geometry_.WindowBegin(recurrence))
-      .With("window_end", window_end);
+  telemetry_window_ = recurrence;  // Scopes stamp this onto every event.
+  obs::Event& open =
+      scope_.EmitAt(sim.Now(), obs::event::kWindowOpen)
+          .With("recurrence", recurrence)
+          .With("trigger", trigger)
+          .With("window_begin", geometry_.WindowBegin(recurrence))
+          .With("window_end", window_end);
+  const double deadline = query_.EffectiveDeadline();
+  if (deadline > 0) open.With("deadline", deadline);
 
   // 1. Ingest the inter-trigger data; the packer materializes panes and, in
   //    proactive mode, partial processing happens as data lands.
@@ -1177,7 +1187,7 @@ StatusOr<WindowReport> RedoopDriver::RunRecurrence(int64_t recurrence) {
   if (sim.Now() < static_cast<SimTime>(trigger)) {
     sim.RunUntil(static_cast<SimTime>(trigger));
   }
-  obs_->EmitAt(sim.Now(), obs::event::kWindowTrigger)
+  scope_.EmitAt(sim.Now(), obs::event::kWindowTrigger)
       .With("recurrence", recurrence)
       .With("trigger", trigger);
 
@@ -1207,10 +1217,10 @@ StatusOr<WindowReport> RedoopDriver::RunRecurrence(int64_t recurrence) {
   fresh_bytes_accum_ = 0;
   counters_accum_ = Counters();
 
-  obs_->metrics().Increment(obs::metric::kWindowsCompleted);
-  obs_->metrics().Record(obs::metric::kWindowResponseTime,
+  scope_.Increment(obs::metric::kWindowsCompleted);
+  scope_.Record(obs::metric::kWindowResponseTime,
                          report.response_time);
-  obs_->EmitAt(report.finished_at, obs::event::kWindowComplete)
+  scope_.EmitAt(report.finished_at, obs::event::kWindowComplete)
       .With("recurrence", recurrence)
       .With("trigger", trigger)
       .With("response_time", report.response_time)
@@ -1218,6 +1228,7 @@ StatusOr<WindowReport> RedoopDriver::RunRecurrence(int64_t recurrence) {
       .With("fresh_bytes", report.fresh_input_bytes);
 
   AfterRecurrence(recurrence, report);
+  telemetry_window_ = -1;  // Between-recurrence events are unattributed.
   return report;
 }
 
@@ -1314,6 +1325,13 @@ StatusOr<RunReport> RedoopDriver::Run(int64_t n) {
     report.windows.push_back(std::move(window).value());
   }
   report.observability = obs_->metrics().Snapshot();
+  // Fold the per-query SLO rollup (deadline attainment, lag, cache hit
+  // rate) into the exported snapshot. Derived from the journal alone, so
+  // redoop_inspect reproduces these figures from the journal file.
+  obs::analysis::AnalysisOptions slo_options;
+  slo_options.group_by_query = true;
+  obs::slo::ExportTo(obs::slo::ComputeSlo(obs_->journal(), slo_options),
+                     &report.observability);
   return report;
 }
 

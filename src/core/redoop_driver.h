@@ -208,6 +208,9 @@ class RedoopDriver {
   /// The active observability context (the caller-provided one, or the
   /// driver-owned fallback). Never null.
   obs::ObservabilityContext* observability() { return obs_; }
+  /// The driver's query-attributed telemetry scope (carries the query
+  /// label and the live recurrence window for event stamping).
+  const obs::TelemetryScope& telemetry() const { return scope_; }
 
  private:
   struct FileSlice {
@@ -306,6 +309,11 @@ class RedoopDriver {
   /// Owned fallback when options.obs is null; obs_ is the active context.
   std::unique_ptr<obs::ObservabilityContext> owned_obs_;
   obs::ObservabilityContext* obs_ = nullptr;
+  /// Current recurrence, read by telemetry scopes at emit time (-1 when no
+  /// recurrence is active). Must outlive every scope copy handed out.
+  int64_t telemetry_window_ = -1;
+  /// Query-attributed scope shared (by copy) with every wired component.
+  obs::TelemetryScope scope_;
   SemanticAnalyzer analyzer_;
   PartitionPlan base_plan_;
   PartitionPlan current_plan_;

@@ -247,6 +247,8 @@ JobRunner::JobRunner(Cluster* cluster, TaskScheduler* scheduler,
     : cluster_(cluster),
       scheduler_(scheduler),
       options_(options),
+      scope_(options.telemetry != nullptr ? *options.telemetry
+                                          : obs::TelemetryScope(options.obs)),
       random_(options.seed) {
   REDOOP_CHECK(cluster_ != nullptr);
   REDOOP_CHECK(scheduler_ != nullptr);
@@ -370,9 +372,8 @@ void JobRunner::StartMapTask(RunState* run, MapTaskState* task, NodeId node) {
   if (run->first_map_start < 0) {
     run->first_map_start = task->timing.scheduled_at;
   }
-  if (options_.obs != nullptr) {
-    options_.obs
-        ->EmitAt(task->timing.scheduled_at, obs::event::kTaskStart)
+  if (scope_.active()) {
+    scope_.EmitAt(task->timing.scheduled_at, obs::event::kTaskStart)
         .With("kind", "map")
         .With("task", task->id)
         .With("node", node)
@@ -399,13 +400,12 @@ void JobRunner::StartMapTask(RunState* run, MapTaskState* task, NodeId node) {
   const bool local = std::find(task->replica_nodes.begin(),
                                task->replica_nodes.end(),
                                node) != task->replica_nodes.end();
-  if (options_.obs != nullptr) {
-    options_.obs->metrics().Increment(
+  if (scope_.active()) {
+    scope_.Increment(
         local ? obs::metric::kDfsReadLocalBytes
               : obs::metric::kDfsReadRemoteBytes,
         task->input_bytes);
-    options_.obs
-        ->EmitAt(cluster_->simulator().Now(), obs::event::kDfsRead)
+    scope_.EmitAt(cluster_->simulator().Now(), obs::event::kDfsRead)
         .With("file", task->file->name)
         .With("node", node)
         .With("bytes", task->input_bytes)
@@ -587,12 +587,12 @@ void JobRunner::FinishMapTask(RunState* run, MapTaskState* task,
   c.Increment(counter::kMapOutputBytes, task->output_bytes);
   c.Increment(counter::kHdfsReadBytes, task->input_bytes);
 
-  if (options_.obs != nullptr) {
-    options_.obs->metrics().Increment(obs::metric::kTasksMap);
-    options_.obs->metrics().Record(
+  if (scope_.active()) {
+    scope_.Increment(obs::metric::kTasksMap);
+    scope_.Record(
         obs::metric::kTaskMapDuration,
         report.timing.finished_at - report.timing.scheduled_at);
-    options_.obs->EmitAt(report.timing.finished_at, obs::event::kTaskFinish)
+    scope_.EmitAt(report.timing.finished_at, obs::event::kTaskFinish)
         .With("kind", "map")
         .With("task", report.id)
         .With("node", report.node)
@@ -643,9 +643,8 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
   task->timing.scheduled_at = cluster_->simulator().Now();
   task->output.reset();
   task->caches.clear();
-  if (options_.obs != nullptr) {
-    options_.obs
-        ->EmitAt(task->timing.scheduled_at, obs::event::kTaskStart)
+  if (scope_.active()) {
+    scope_.EmitAt(task->timing.scheduled_at, obs::event::kTaskStart)
         .With("kind", "reduce")
         .With("task", task->id)
         .With("node", node)
@@ -713,15 +712,15 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
     } else if (side.location == node) {
       task->timing.read += cost.LocalReadTime(side.bytes);
       counters.Increment(counter::kCacheReadLocalBytes, side.bytes);
-      if (options_.obs != nullptr) {
-        options_.obs->metrics().Increment(obs::metric::kCacheReadLocalBytes,
+      if (scope_.active()) {
+        scope_.Increment(obs::metric::kCacheReadLocalBytes,
                                           side.bytes);
       }
     } else {
       task->timing.read += cost.RemoteReadTime(side.bytes);
       counters.Increment(counter::kCacheReadRemoteBytes, side.bytes);
-      if (options_.obs != nullptr) {
-        options_.obs->metrics().Increment(obs::metric::kCacheReadRemoteBytes,
+      if (scope_.active()) {
+        scope_.Increment(obs::metric::kCacheReadRemoteBytes,
                                           side.bytes);
       }
     }
@@ -972,12 +971,12 @@ void JobRunner::FinishReduceTask(RunState* run, ReduceTaskState* task,
   run->result.task_reports.push_back(report);
   run->result.counters.Increment(counter::kReduceTasks);
 
-  if (options_.obs != nullptr) {
-    options_.obs->metrics().Increment(obs::metric::kTasksReduce);
-    options_.obs->metrics().Record(
+  if (scope_.active()) {
+    scope_.Increment(obs::metric::kTasksReduce);
+    scope_.Record(
         obs::metric::kTaskReduceDuration,
         report.timing.finished_at - report.timing.scheduled_at);
-    options_.obs->EmitAt(report.timing.finished_at, obs::event::kTaskFinish)
+    scope_.EmitAt(report.timing.finished_at, obs::event::kTaskFinish)
         .With("kind", "reduce")
         .With("task", report.id)
         .With("node", report.node)
@@ -1051,10 +1050,9 @@ SimDuration JobRunner::ArmAttempt(RunState* run, TaskStateT* task,
         task->backup_node = node;
         task->backup_id = next_task_id_++;
         const TaskId backup_id = task->backup_id;
-        if (options_.obs != nullptr) {
-          options_.obs->metrics().Increment(obs::metric::kTaskSpeculations);
-          options_.obs
-              ->EmitAt(cluster_->simulator().Now(),
+        if (scope_.active()) {
+          scope_.Increment(obs::metric::kTaskSpeculations);
+          scope_.EmitAt(cluster_->simulator().Now(),
                        obs::event::kTaskSpeculate)
               .With("kind", is_map ? "map" : "reduce")
               .With("task", primary_id)
@@ -1162,14 +1160,14 @@ void JobRunner::OnNodeFailure(NodeId node) {
 }
 
 void JobRunner::FailTaskAttempt(RunState* run, TaskType type, int64_t index) {
-  if (options_.obs != nullptr) {
+  if (scope_.active()) {
     const bool is_map = type == TaskType::kMap;
     const auto* map_task =
         is_map ? run->maps[static_cast<size_t>(index)].get() : nullptr;
     const auto* reduce_task =
         is_map ? nullptr : run->reduces[static_cast<size_t>(index)].get();
-    options_.obs->metrics().Increment(obs::metric::kTaskFailures);
-    options_.obs->EmitAt(cluster_->simulator().Now(), obs::event::kTaskFail)
+    scope_.Increment(obs::metric::kTaskFailures);
+    scope_.EmitAt(cluster_->simulator().Now(), obs::event::kTaskFail)
         .With("kind", is_map ? "map" : "reduce")
         .With("task", is_map ? map_task->id : reduce_task->id)
         .With("node", is_map ? map_task->node : reduce_task->node)
@@ -1298,9 +1296,9 @@ JobResult JobRunner::Run(const JobSpec& spec) {
     }
   }
 
-  if (options_.obs != nullptr) {
-    options_.obs->metrics().Increment(obs::metric::kJobs);
-    options_.obs->EmitAt(run.result.submitted_at, obs::event::kJobStart)
+  if (scope_.active()) {
+    scope_.Increment(obs::metric::kJobs);
+    scope_.EmitAt(run.result.submitted_at, obs::event::kJobStart)
         .With("job", spec.config.name)
         .With("maps", static_cast<int64_t>(run.maps.size()))
         .With("reduces", static_cast<int64_t>(run.reduces.size()));
@@ -1346,8 +1344,8 @@ JobResult JobRunner::Run(const JobSpec& spec) {
     result.map_phase_time = run.last_map_finish - run.first_map_start;
   }
 
-  if (options_.obs != nullptr) {
-    options_.obs->EmitAt(result.finished_at, obs::event::kJobFinish)
+  if (scope_.active()) {
+    scope_.EmitAt(result.finished_at, obs::event::kJobFinish)
         .With("job", spec.config.name)
         .With("status", result.status.ok()
                             ? "ok"

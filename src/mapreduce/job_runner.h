@@ -39,6 +39,10 @@ struct JobRunnerOptions {
   /// Metrics/journal sink for task lifecycle, DFS reads, and job events;
   /// null (the default) disables emission. Must outlive the runner.
   obs::ObservabilityContext* obs = nullptr;
+  /// Attribution scope for emission (query/window labels). When non-null
+  /// it is copied at construction and takes precedence over `obs`; the
+  /// pointed-to scope only needs to live until the constructor returns.
+  const obs::TelemetryScope* telemetry = nullptr;
   /// Host worker threads executing task payloads (the user map/reduce
   /// functions, combiner, and k-way merges). 1 runs every payload inline
   /// on the simulator thread; N > 1 offloads payloads to a work-stealing
@@ -130,6 +134,7 @@ class JobRunner {
   Cluster* cluster_;
   TaskScheduler* scheduler_;
   JobRunnerOptions options_;
+  obs::TelemetryScope scope_;  // From options.telemetry, else options.obs.
   DiskFullHandler disk_full_handler_;
   Random random_;  // Straggler draws (deterministic from options.seed).
   RunState* active_run_ = nullptr;  // Non-null only inside Run().

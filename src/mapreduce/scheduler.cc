@@ -36,14 +36,14 @@ bool HoldsReplica(const MapPlacementRequest& request, NodeId node) {
 
 namespace scheduler_internal {
 
-void EmitMapAssignment(obs::ObservabilityContext* obs,
+void EmitMapAssignment(const obs::TelemetryScope& scope,
                        const MapPlacementRequest& request, NodeId node,
                        const char* policy) {
-  if (obs == nullptr || node == kInvalidNode) return;
+  if (!scope.active() || node == kInvalidNode) return;
   const bool data_local = HoldsReplica(request, node);
-  obs->metrics().Increment(data_local ? obs::metric::kSchedMapLocal
-                                      : obs::metric::kSchedMapRemote);
-  obs->Emit(obs::event::kSchedAssign)
+  scope.Increment(data_local ? obs::metric::kSchedMapLocal
+                             : obs::metric::kSchedMapRemote);
+  scope.Emit(obs::event::kSchedAssign)
       .With("kind", "map")
       .With("policy", policy)
       .With("node", node)
@@ -74,7 +74,7 @@ NodeId DefaultScheduler::SelectNodeForMap(const MapPlacementRequest& request,
     best = scheduler_internal::LeastLoadedWithFreeSlot(cluster,
                                                        /*map_slot=*/true);
   }
-  scheduler_internal::EmitMapAssignment(obs_, request, best, "default");
+  scheduler_internal::EmitMapAssignment(scope_, request, best, "default");
   return best;
 }
 
@@ -83,9 +83,9 @@ NodeId DefaultScheduler::SelectNodeForReduce(
   // Hadoop's default scheduler is cache/locality blind here.
   const NodeId best =
       scheduler_internal::LeastLoadedWithFreeSlot(cluster, /*map_slot=*/false);
-  if (obs_ != nullptr && best != kInvalidNode) {
-    obs_->metrics().Increment(obs::metric::kSchedReduceAssignments);
-    obs_->Emit(obs::event::kSchedAssign)
+  if (scope_.active() && best != kInvalidNode) {
+    scope_.Increment(obs::metric::kSchedReduceAssignments);
+    scope_.Emit(obs::event::kSchedAssign)
         .With("kind", "reduce")
         .With("policy", "default")
         .With("node", best)

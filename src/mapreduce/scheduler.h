@@ -1,12 +1,13 @@
 #ifndef REDOOP_MAPREDUCE_SCHEDULER_H_
 #define REDOOP_MAPREDUCE_SCHEDULER_H_
 
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "common/ids.h"
 #include "mapreduce/job.h"
-#include "obs/observability.h"
+#include "obs/telemetry_scope.h"
 
 namespace redoop {
 
@@ -44,11 +45,17 @@ class TaskScheduler {
   virtual NodeId SelectNodeForReduce(const ReducePlacementRequest& request,
                                      const Cluster& cluster) = 0;
 
-  /// Optional decision journal/metrics sink; null disables emission.
-  void set_observability(obs::ObservabilityContext* obs) { obs_ = obs; }
+  /// Journals placement decisions (sched.assign, locality classes) with
+  /// the scope's query/window attribution.
+  void set_telemetry(obs::TelemetryScope scope) { scope_ = std::move(scope); }
+  /// Unattributed convenience (standalone/test use); null disables
+  /// emission.
+  void set_observability(obs::ObservabilityContext* obs) {
+    scope_ = obs::TelemetryScope(obs);
+  }
 
  protected:
-  obs::ObservabilityContext* obs_ = nullptr;
+  obs::TelemetryScope scope_;
 };
 
 /// Hadoop's default placement shape: prefer a replica-local node with a
@@ -67,10 +74,11 @@ namespace scheduler_internal {
 /// ties by node id for determinism. Returns kInvalidNode when none.
 NodeId LeastLoadedWithFreeSlot(const Cluster& cluster, bool map_slot);
 
-/// Journals a map placement (sched.assign, locality class) into `obs`;
-/// no-op when obs is null or no node was found. Shared by every scheduler
-/// so map-locality accounting is uniform across policies.
-void EmitMapAssignment(obs::ObservabilityContext* obs,
+/// Journals a map placement (sched.assign, locality class) through
+/// `scope`; no-op when the scope is inactive or no node was found. Shared
+/// by every scheduler so map-locality accounting is uniform across
+/// policies.
+void EmitMapAssignment(const obs::TelemetryScope& scope,
                        const MapPlacementRequest& request, NodeId node,
                        const char* policy);
 }  // namespace scheduler_internal

@@ -87,6 +87,14 @@ const SystemAnalysis* RunAnalysis::FindSystem(std::string_view name) const {
   return nullptr;
 }
 
+const SystemAnalysis* RunAnalysis::FindQuery(std::string_view system,
+                                             std::string_view query) const {
+  for (const SystemAnalysis& s : systems) {
+    if (s.system == system && s.query == query) return &s;
+  }
+  return nullptr;
+}
+
 namespace {
 
 PhaseBreakdown PhasesFromFinish(const Event& e) {
@@ -245,11 +253,17 @@ Status AnalyzeJournal(const EventJournal& journal,
 
   auto builder_for = [&](const Event& e) -> SystemBuilder& {
     const std::string system = e.StrOr("system", "");
-    auto it = builder_index.find(system);
+    const std::string query =
+        options.group_by_query ? e.StrOr("query", "") : std::string();
+    // '\n' cannot appear in either value (journal lines are flat), so the
+    // concatenation is an unambiguous composite key.
+    const std::string key = system + '\n' + query;
+    auto it = builder_index.find(key);
     if (it == builder_index.end()) {
-      it = builder_index.emplace(system, builders.size()).first;
+      it = builder_index.emplace(key, builders.size()).first;
       builders.emplace_back();
       builders.back().analysis.system = system;
+      builders.back().analysis.query = query;
     }
     return builders[it->second];
   };
@@ -262,6 +276,7 @@ Status AnalyzeJournal(const EventJournal& journal,
       b.window.recurrence = e.IntOr("recurrence", -1);
       b.window.open_time = e.time();
       b.window.trigger_time = e.DoubleOr("trigger", e.time());
+      b.window.deadline_s = e.DoubleOr("deadline", -1.0);
       b.window_open = true;
     } else if (type == event::kWindowTrigger) {
       SystemBuilder& b = builder_for(e);
@@ -407,12 +422,27 @@ void AppendPhaseRow(std::string* out, const char* label,
 
 }  // namespace
 
+namespace {
+
+// "system X" / "system X query Y" — group heading shared by both text
+// renderers; the query segment only appears for per-query groupings so
+// ungrouped output is unchanged.
+std::string GroupHeading(const SystemAnalysis& s) {
+  std::string out = StringPrintf(
+      "system %s", s.system.empty() ? "(unnamed)" : s.system.c_str());
+  if (!s.query.empty()) {
+    out += StringPrintf(" query %s", s.query.c_str());
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string BreakdownToText(const RunAnalysis& analysis) {
   std::string out;
   for (const SystemAnalysis& s : analysis.systems) {
-    out += StringPrintf("=== system %s: %zu windows, total response %s s ===\n",
-                        s.system.empty() ? "(unnamed)" : s.system.c_str(),
-                        s.windows.size(),
+    out += StringPrintf("=== %s: %zu windows, total response %s s ===\n",
+                        GroupHeading(s).c_str(), s.windows.size(),
                         FormatDouble(s.TotalResponseTime()).c_str());
     for (const WindowAnalysis& w : s.windows) {
       const CacheStats& c = w.cache;
@@ -451,8 +481,9 @@ std::string BreakdownToJson(const RunAnalysis& analysis) {
   for (const SystemAnalysis& s : analysis.systems) {
     out += first_system ? "\n" : ",\n";
     first_system = false;
-    out += StringPrintf("{\"system\": \"%s\", \"windows\": [",
-                        s.system.c_str());
+    out += StringPrintf("{\"system\": \"%s\", \"query\": \"%s\", "
+                        "\"windows\": [",
+                        s.system.c_str(), s.query.c_str());
     bool first_window = true;
     for (const WindowAnalysis& w : s.windows) {
       out += first_window ? "\n" : ",\n";
@@ -491,9 +522,9 @@ std::string CriticalPathToText(const RunAnalysis& analysis) {
   std::string out;
   for (const SystemAnalysis& s : analysis.systems) {
     out += StringPrintf(
-        "=== system %s: critical path %s s over %zu windows "
+        "=== %s: critical path %s s over %zu windows "
         "(slot-wait %s s) ===\n",
-        s.system.empty() ? "(unnamed)" : s.system.c_str(),
+        GroupHeading(s).c_str(),
         FormatDouble(s.TotalCriticalPath()).c_str(), s.windows.size(),
         FormatDouble(s.TotalCriticalPathWait()).c_str());
     for (const WindowAnalysis& w : s.windows) {
@@ -532,8 +563,9 @@ std::string CriticalPathToJson(const RunAnalysis& analysis) {
   for (const SystemAnalysis& s : analysis.systems) {
     out += first_system ? "\n" : ",\n";
     first_system = false;
-    out += StringPrintf("{\"system\": \"%s\", \"windows\": [",
-                        s.system.c_str());
+    out += StringPrintf("{\"system\": \"%s\", \"query\": \"%s\", "
+                        "\"windows\": [",
+                        s.system.c_str(), s.query.c_str());
     bool first_window = true;
     for (const WindowAnalysis& w : s.windows) {
       out += first_window ? "\n" : ",\n";

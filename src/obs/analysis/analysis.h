@@ -125,6 +125,9 @@ struct WindowAnalysis {
   double trigger_time = 0.0;
   double complete_time = 0.0;
   double response_time = 0.0;
+  /// Deadline the driver stamped on window.open (seconds from trigger);
+  /// < 0 when the query has no deadline configured.
+  double deadline_s = -1.0;
   PhaseBreakdown map_phases;
   PhaseBreakdown reduce_phases;
   CacheStats cache;
@@ -135,9 +138,15 @@ struct WindowAnalysis {
   int64_t speculative_attempts = 0;
 };
 
-/// All windows of one system (journal common field "system").
+/// All windows of one analysis group. The default grouping key is the
+/// journal common field "system"; with AnalysisOptions::group_by_query
+/// the key is (system, query) using the per-event "query" attribution
+/// field, so multi-tenant journals slice into one SystemAnalysis per
+/// recurring query (events without a query land in a group with
+/// query = "").
 struct SystemAnalysis {
   std::string system;
+  std::string query;  ///< "" unless group_by_query split this group out.
   std::vector<WindowAnalysis> windows;
 
   double TotalResponseTime() const;
@@ -152,12 +161,19 @@ struct SystemAnalysis {
 struct AnalysisOptions {
   /// Straggler threshold: flag tasks slower than k * median of their wave.
   double straggler_k = 3.0;
+  /// Split each system's windows further by the per-event "query"
+  /// attribution field (one SystemAnalysis per (system, query) pair).
+  bool group_by_query = false;
 };
 
 struct RunAnalysis {
   std::vector<SystemAnalysis> systems;  // First-seen order.
 
   const SystemAnalysis* FindSystem(std::string_view name) const;
+  /// Lookup by (system, query); query matching applies even when the
+  /// analysis ran without group_by_query (all queries then share "").
+  const SystemAnalysis* FindQuery(std::string_view system,
+                                  std::string_view query) const;
 };
 
 /// Reconstructs windows, jobs, task spans, phase breakdowns, cache stats,

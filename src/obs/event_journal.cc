@@ -150,12 +150,32 @@ Event& EventJournal::Append(double time, std::string type) {
         << "EventJournal::Append from a second thread violates the "
            "single-writer contract";
   }
+  SealAndEvict();
   events_.emplace_back(time, std::move(type));
   Event& e = events_.back();
   for (const auto& [key, value] : common_fields_) {
     e.With(key, value);
   }
   return e;
+}
+
+void EventJournal::SealAndEvict() {
+  // The newest event's fluent .With chain completes before the next
+  // Append, so its serialized size is only knowable (and charged) here.
+  if (events_.size() > sealed_sizes_.size()) {
+    const int64_t bytes =
+        static_cast<int64_t>(events_.back().ToJson().size()) + 1;  // +'\n'
+    sealed_sizes_.push_back(bytes);
+    sealed_bytes_ += bytes;
+  }
+  if (retention_budget_ <= 0) return;
+  while (sealed_bytes_ > retention_budget_ && !sealed_sizes_.empty()) {
+    dropped_bytes_ += sealed_sizes_.front();
+    sealed_bytes_ -= sealed_sizes_.front();
+    sealed_sizes_.pop_front();
+    events_.pop_front();
+    ++dropped_events_;
+  }
 }
 
 size_t EventJournal::CountType(std::string_view type) const {
@@ -168,6 +188,18 @@ size_t EventJournal::CountType(std::string_view type) const {
 
 std::string EventJournal::ToJsonl() const {
   std::string out;
+  if (dropped_events_ > 0) {
+    // Lead a truncated journal with its marker so any consumer sees the
+    // loss before the first surviving event. The timestamp is the oldest
+    // retained event's (0 if nothing survived), which is recomputed
+    // identically on reserialize, keeping parse -> serialize an identity.
+    Event marker(events_.empty() ? 0.0 : events_.front().time(),
+                 event::kJournalTruncated);
+    marker.With("dropped_events", dropped_events_)
+        .With("dropped_bytes", dropped_bytes_);
+    out += marker.ToJson();
+    out += '\n';
+  }
   for (const auto& e : events_) {
     out += e.ToJson();
     out += '\n';
@@ -327,6 +359,14 @@ Status EventJournal::Parse(std::string_view jsonl, EventJournal* out) {
       if (!s.ok()) {
         *out = EventJournal();
         return s;
+      }
+      // A truncation marker is journal metadata, not an event: fold it
+      // back into the counters so a reserialize regenerates it.
+      if (parsed.events_.back().type() == event::kJournalTruncated) {
+        const Event& marker = parsed.events_.back();
+        parsed.dropped_events_ += marker.IntOr("dropped_events", 0);
+        parsed.dropped_bytes_ += marker.IntOr("dropped_bytes", 0);
+        parsed.events_.pop_back();
       }
     }
     start = end + 1;

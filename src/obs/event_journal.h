@@ -2,6 +2,7 @@
 #define REDOOP_OBS_EVENT_JOURNAL_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -78,6 +79,17 @@ class Event {
 /// Append-only journal of Events, exported as JSONL. Determinism comes
 /// from append order plus fixed-format serialization.
 ///
+/// Flight-recorder mode: SetRetentionBudget(bytes) bounds the journal to
+/// a fixed serialized-byte budget. When a new Append would exceed it, the
+/// oldest events are evicted (ring-buffer semantics) and counted in
+/// dropped_events()/dropped_bytes(). A truncated journal serializes with
+/// a leading "journal.truncated" marker line carrying those counters;
+/// Parse recognizes the marker and restores the counters instead of
+/// storing it as an event, so parse -> serialize stays the identity for
+/// truncated journals too. Eviction is deterministic: it depends only on
+/// the byte sizes of the serialized events, which are themselves
+/// deterministic.
+///
 /// Single-writer contract (asserted): every Append must come from the one
 /// thread that owns the journal — the simulator thread. The first Append
 /// after construction, Clear(), or Parse pins the writing thread; an
@@ -98,12 +110,26 @@ class EventJournal {
   void SetCommonField(std::string key, std::string value);
 
   /// Appends an event and returns it for fluent .With(...) chaining. The
-  /// reference is valid until the next Append.
+  /// reference is valid until the next Append. With a retention budget
+  /// set, the previous event's size is sealed here and the oldest events
+  /// are evicted while the sealed bytes exceed the budget (the newest
+  /// event is always retained).
   Event& Append(double time, std::string type);
+
+  /// Caps retained serialized bytes; <= 0 (the default) means unbounded.
+  /// May be set or changed at any point before or between Appends (same
+  /// single-writer thread); shrinking the budget evicts on the next
+  /// Append.
+  void SetRetentionBudget(int64_t max_bytes) { retention_budget_ = max_bytes; }
+  int64_t retention_budget() const { return retention_budget_; }
+  /// Events / serialized bytes evicted by the retention budget so far
+  /// (or restored from a parsed "journal.truncated" marker).
+  int64_t dropped_events() const { return dropped_events_; }
+  int64_t dropped_bytes() const { return dropped_bytes_; }
 
   size_t size() const { return events_.size(); }
   bool empty() const { return events_.empty(); }
-  const std::vector<Event>& events() const { return events_; }
+  const std::deque<Event>& events() const { return events_; }
   size_t CountType(std::string_view type) const;
 
   std::string ToJsonl() const;
@@ -127,16 +153,33 @@ class EventJournal {
   /// still writing.
   static Status LoadFile(const std::string& path, EventJournal* out);
 
-  /// Drops all events and unpins the writer thread (the next Append may
-  /// come from a different thread). Common fields survive.
+  /// Drops all events, resets the truncation counters, and unpins the
+  /// writer thread (the next Append may come from a different thread).
+  /// Common fields and the retention budget survive.
   void Clear() {
     events_.clear();
+    sealed_sizes_.clear();
+    sealed_bytes_ = 0;
+    dropped_events_ = 0;
+    dropped_bytes_ = 0;
     writer_ = std::thread::id();
   }
 
  private:
-  std::vector<Event> events_;
+  /// Seals the size of the most recent event (its fluent .With chain is
+  /// complete once the next Append or a serialization happens) and evicts
+  /// from the front while over budget.
+  void SealAndEvict();
+
+  std::deque<Event> events_;
   std::vector<std::pair<std::string, std::string>> common_fields_;
+  /// Serialized size of each sealed event; parallel prefix of events_
+  /// (the newest event is unsealed until the next Append).
+  std::deque<int64_t> sealed_sizes_;
+  int64_t sealed_bytes_ = 0;
+  int64_t retention_budget_ = 0;  ///< <= 0: unbounded.
+  int64_t dropped_events_ = 0;
+  int64_t dropped_bytes_ = 0;
   /// Writer pin for the single-writer assertion; default id = unpinned.
   std::thread::id writer_;
 };
@@ -188,6 +231,11 @@ inline constexpr const char* kJobFinish = "job.finish";
 inline constexpr const char* kWindowOpen = "window.open";
 inline constexpr const char* kWindowTrigger = "window.trigger";
 inline constexpr const char* kWindowComplete = "window.complete";
+
+// Synthetic marker line a truncated flight-recorder journal leads with;
+// carries dropped_events / dropped_bytes. Never stored as an event:
+// ToJsonl synthesizes it, Parse folds it back into the journal counters.
+inline constexpr const char* kJournalTruncated = "journal.truncated";
 
 }  // namespace event
 

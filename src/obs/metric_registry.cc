@@ -15,6 +15,40 @@ std::string FormatDouble(double value) {
   return s;
 }
 
+bool LabelSet::operator<(const LabelSet& o) const {
+  if (query != o.query) return query < o.query;
+  if (window != o.window) return window < o.window;
+  if (node != o.node) return node < o.node;
+  return phase < o.phase;
+}
+
+std::string LabelSet::Encode() const {
+  if (empty()) return "";
+  std::string out = "{";
+  const char* sep = "";
+  if (!query.empty()) {
+    out += StringPrintf("%squery=%s", sep, query.c_str());
+    sep = ",";
+  }
+  if (window >= 0) {
+    out += StringPrintf("%swindow=%lld", sep, static_cast<long long>(window));
+    sep = ",";
+  }
+  if (node >= 0) {
+    out += StringPrintf("%snode=%d", sep, node);
+    sep = ",";
+  }
+  if (!phase.empty()) {
+    out += StringPrintf("%sphase=%s", sep, phase.c_str());
+  }
+  out += "}";
+  return out;
+}
+
+std::string LabeledName(std::string_view name, const LabelSet& labels) {
+  return std::string(name) + labels.Encode();
+}
+
 int32_t Histogram::BucketIndex(double value) {
   // log2(|value| / kMinTrackable) octaves above the floor, subdivided.
   // Negative values mirror into negative indexes so std::map iteration
@@ -127,7 +161,10 @@ double MetricsSnapshot::HitRate(std::string_view hits,
 
 void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
   for (const auto& [name, value] : other.counters) counters[name] += value;
-  for (const auto& [name, value] : other.gauges) gauges[name] = value;
+  // Gauges add (see header): merges fold disjoint books, where a level is
+  // the sum of its shards. The seed's last-writer-wins made the result
+  // depend on fold order.
+  for (const auto& [name, value] : other.gauges) gauges[name] += value;
   for (const auto& [name, histogram] : other.histograms) {
     histograms[name].MergeFrom(histogram);
   }
@@ -235,6 +272,114 @@ std::string MetricsSnapshot::ToCsv() const {
   return out;
 }
 
+MetricRegistry::MetricRegistry() {
+  // LabelId 0 is always the empty set: label-agnostic call sites can pass
+  // kNoLabels and land on the plain unlabeled series.
+  label_entries_.push_back(LabelEntry{});
+  label_ids_.emplace(LabelSet{}, kNoLabels);
+}
+
+namespace {
+
+// Charset rule from the LabelSet contract: keep encoded names parseable.
+void CheckLabelValue(const char* dim, const std::string& value) {
+  for (char c : value) {
+    REDOOP_CHECK(c != '{' && c != '}' && c != ',' && c != '=' && c != '"' &&
+                 c != '\n' && c != '\r')
+        << "label value for '" << dim << "' contains a reserved character: "
+        << value;
+  }
+}
+
+}  // namespace
+
+LabelId MetricRegistry::InternLabels(const LabelSet& labels) {
+  CheckLabelValue("query", labels.query);
+  CheckLabelValue("phase", labels.phase);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = label_ids_.find(labels);
+  if (it != label_ids_.end()) return it->second;
+  const LabelId id = static_cast<LabelId>(label_entries_.size());
+  label_entries_.push_back(LabelEntry{labels, labels.Encode()});
+  label_ids_.emplace(labels, id);
+  return id;
+}
+
+LabelSet MetricRegistry::label_set(LabelId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  REDOOP_CHECK(id >= 0 && static_cast<size_t>(id) < label_entries_.size())
+      << "unknown LabelId " << id;
+  return label_entries_[id].labels;
+}
+
+namespace {
+
+// Shared lookup shape for the three labeled maps: find-or-create the
+// per-name slot, then the per-label instance. Transparent string_view
+// find on the outer map means no allocation after first use.
+template <typename T, typename LabeledMapT>
+T& GetLabeled(LabeledMapT& map, std::string_view name, LabelId labels) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name),
+                     typename LabeledMapT::mapped_type())
+             .first;
+  }
+  auto& per_label = it->second;
+  auto lit = per_label.find(labels);
+  if (lit == per_label.end()) {
+    lit = per_label.emplace(labels, std::make_unique<T>()).first;
+  }
+  return *lit->second;
+}
+
+}  // namespace
+
+Counter& MetricRegistry::GetCounter(std::string_view name, LabelId labels) {
+  if (labels == kNoLabels) return GetCounter(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  REDOOP_CHECK(static_cast<size_t>(labels) < label_entries_.size())
+      << "unknown LabelId " << labels;
+  return GetLabeled<Counter>(labeled_counters_, name, labels);
+}
+
+Gauge& MetricRegistry::GetGauge(std::string_view name, LabelId labels) {
+  if (labels == kNoLabels) return GetGauge(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  REDOOP_CHECK(static_cast<size_t>(labels) < label_entries_.size())
+      << "unknown LabelId " << labels;
+  return GetLabeled<Gauge>(labeled_gauges_, name, labels);
+}
+
+Histogram& MetricRegistry::GetHistogram(std::string_view name,
+                                        LabelId labels) {
+  if (labels == kNoLabels) return GetHistogram(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  REDOOP_CHECK(static_cast<size_t>(labels) < label_entries_.size())
+      << "unknown LabelId " << labels;
+  return GetLabeled<Histogram>(labeled_histograms_, name, labels);
+}
+
+void MetricRegistry::Increment(std::string_view name, LabelId labels,
+                               int64_t delta) {
+  GetCounter(name, labels).Increment(delta);
+}
+
+void MetricRegistry::SetGauge(std::string_view name, LabelId labels,
+                              double value) {
+  GetGauge(name, labels).Set(value);
+}
+
+void MetricRegistry::AddGauge(std::string_view name, LabelId labels,
+                              double delta) {
+  GetGauge(name, labels).Add(delta);
+}
+
+void MetricRegistry::Record(std::string_view name, LabelId labels,
+                            double value) {
+  GetHistogram(name, labels).Record(value);
+}
+
 Counter& MetricRegistry::GetCounter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
@@ -281,6 +426,11 @@ void MetricRegistry::Record(std::string_view name, double value) {
 }
 
 MetricsSnapshot MetricRegistry::Snapshot() const {
+  // Fold order is pinned here: plain series iterate name-sorted, labeled
+  // series iterate name-sorted then LabelId-sorted, and each Counter folds
+  // its shards in fixed index order — so two snapshots of identical
+  // registry state are identical element-for-element, independent of
+  // which threads wrote what.
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snapshot;
   for (const auto& [name, counter] : counters_) {
@@ -292,16 +442,37 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
   for (const auto& [name, histogram] : histograms_) {
     snapshot.histograms[name] = histogram->Snapshot();
   }
+  for (const auto& [name, per_label] : labeled_counters_) {
+    for (const auto& [id, counter] : per_label) {
+      snapshot.counters[name + label_entries_[id].suffix] = counter->value();
+    }
+  }
+  for (const auto& [name, per_label] : labeled_gauges_) {
+    for (const auto& [id, gauge] : per_label) {
+      snapshot.gauges[name + label_entries_[id].suffix] = gauge->value();
+    }
+  }
+  for (const auto& [name, per_label] : labeled_histograms_) {
+    for (const auto& [id, histogram] : per_label) {
+      snapshot.histograms[name + label_entries_[id].suffix] =
+          histogram->Snapshot();
+    }
+  }
   return snapshot;
 }
 
 void MetricRegistry::Reset() {
   // Contract: callers quiesce all writers first — clearing destroys every
-  // metric instance Get* handed out.
+  // metric instance Get* handed out. Interned label ids survive: scopes
+  // cache them for their lifetime, and the intern table is metadata, not
+  // metric state.
   std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  labeled_counters_.clear();
+  labeled_gauges_.clear();
+  labeled_histograms_.clear();
 }
 
 }  // namespace obs

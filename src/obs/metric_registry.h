@@ -10,9 +10,53 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <vector>
 
 namespace redoop {
 namespace obs {
+
+/// Low-cardinality dimensional labels for one metric series or journal
+/// event. Unset dimensions ("" / -1) are omitted from the encoded form.
+///
+/// Cardinality contract (DESIGN §13): `query`, `node`, and `phase` may
+/// label long-lived metric series — their value sets are bounded by the
+/// workload definition and cluster size. `window` is unbounded over a
+/// recurring run and must only ride on journal events, never on metric
+/// series; it is part of LabelSet so event attribution and series
+/// attribution share one vocabulary.
+///
+/// Label values must not contain '{', '}', ',', '=', '"', or newlines
+/// (checked at intern time) so encoded names stay parseable.
+struct LabelSet {
+  std::string query;   ///< Recurring-query name; "" = unattributed.
+  int64_t window = -1; ///< Recurrence index; -1 = none.
+  int32_t node = -1;   ///< Cluster node id; -1 = none.
+  std::string phase;   ///< e.g. "map" / "reduce"; "" = none.
+
+  bool empty() const {
+    return query.empty() && window < 0 && node < 0 && phase.empty();
+  }
+  bool operator==(const LabelSet& o) const {
+    return query == o.query && window == o.window && node == o.node &&
+           phase == o.phase;
+  }
+  bool operator<(const LabelSet& o) const;
+
+  /// Canonical encoded suffix, e.g. "{query=wcc,node=3}". Dimensions
+  /// appear in the fixed order query, window, node, phase, so encoded
+  /// names sort deterministically. Empty set encodes to "".
+  std::string Encode() const;
+};
+
+/// Interned handle for a LabelSet within one MetricRegistry. Id 0 is
+/// always the empty set; handles are only meaningful against the registry
+/// that interned them.
+using LabelId = int32_t;
+inline constexpr LabelId kNoLabels = 0;
+
+/// `name` + the canonical encoded suffix of `labels` — the key under
+/// which a labeled series appears in a MetricsSnapshot.
+std::string LabeledName(std::string_view name, const LabelSet& labels);
 
 /// Immutable view of one log-bucketed histogram (see Histogram below for
 /// the bucket layout). Snapshots of the same histogram name merge exactly:
@@ -64,8 +108,16 @@ struct MetricsSnapshot {
   /// standard shape for cache hit-rate assertions in benches.
   double HitRate(std::string_view hits, std::string_view misses) const;
 
-  /// Counters add, histograms merge bucket-wise, gauges take `other`'s
-  /// value (last writer wins — a gauge is a level, not a total).
+  /// Counters add, histograms merge bucket-wise, and gauges ADD. A merge
+  /// folds disjoint books (per-shard registries, per-query sub-runs),
+  /// where levels are additive across the shards being combined; the seed
+  /// took `other`'s value (last writer wins), which made multi-shard
+  /// folds fold-order-sensitive. Addition is commutative, and for the
+  /// integer-valued levels this repo exports (bytes, entries) it is also
+  /// exact in double, so any fold order yields the same snapshot. For
+  /// fractional gauges the usual double-rounding caveat applies, matching
+  /// HistogramSnapshot::sum: exporters fold in registry (name-sorted)
+  /// order, which keeps serialized output deterministic.
   void MergeFrom(const MetricsSnapshot& other);
 
   /// Human-readable table, one metric per line.
@@ -162,18 +214,32 @@ class Histogram {
 /// lifetime (checked).
 ///
 /// Thread-safety contract: Get*, Increment, SetGauge, AddGauge, Record,
-/// and Snapshot may be called concurrently from any thread (the maps are
-/// mutex-guarded; metric instances are internally synchronized, and the
-/// unique_ptr indirection keeps Get* references stable across inserts).
+/// InternLabels, and Snapshot may be called concurrently from any thread
+/// (the maps are mutex-guarded; metric instances are internally
+/// synchronized, and the unique_ptr indirection keeps Get* references
+/// stable across inserts).
 /// Reset() is NOT safe concurrently with anything — it invalidates every
 /// reference Get* handed out — and must only run when all writer threads
 /// have quiesced. Snapshot holds the registry lock while copying, so do
 /// not call registry methods from within a metric accessor (no such path
 /// exists in this codebase; noted because the seed registry tolerated
 /// reentrant Get* during iteration and this one deadlocks instead).
+///
+/// Labeled series: InternLabels dedups a LabelSet into a LabelId once
+/// (the only point that allocates the encoded suffix); after that the
+/// labeled Get*/one-shot overloads are a transparent name lookup plus an
+/// integer map step under the same mutex — no per-call string building,
+/// so the hot path stays allocation-free. Snapshot() exports a labeled
+/// series under its encoded name (e.g. "cache.pane.hits{query=wcc}"),
+/// which keeps MetricsSnapshot, its exporters, and MergeFrom label-
+/// agnostic and deterministic (std::map name order). The shard-fold
+/// order inside each Counter and the name-sorted snapshot iteration are
+/// both fixed, so identical runs snapshot byte-identically regardless of
+/// thread interleaving (the PR 4 determinism guarantee extends to
+/// labeled series unchanged).
 class MetricRegistry {
  public:
-  MetricRegistry() = default;
+  MetricRegistry();
   MetricRegistry(const MetricRegistry&) = delete;
   MetricRegistry& operator=(const MetricRegistry&) = delete;
 
@@ -181,20 +247,54 @@ class MetricRegistry {
   Gauge& GetGauge(std::string_view name);
   Histogram& GetHistogram(std::string_view name);
 
+  /// Interns `labels`, returning a stable handle (kNoLabels for the empty
+  /// set). Idempotent; checks the label-value charset rule.
+  LabelId InternLabels(const LabelSet& labels);
+  /// The LabelSet behind a handle previously returned by InternLabels.
+  LabelSet label_set(LabelId id) const;
+
+  /// Labeled series. `labels` must come from this registry's
+  /// InternLabels; kNoLabels aliases the plain unlabeled series.
+  Counter& GetCounter(std::string_view name, LabelId labels);
+  Gauge& GetGauge(std::string_view name, LabelId labels);
+  Histogram& GetHistogram(std::string_view name, LabelId labels);
+
   /// One-shot conveniences for call sites without a cached handle.
   void Increment(std::string_view name, int64_t delta = 1);
   void SetGauge(std::string_view name, double value);
   void AddGauge(std::string_view name, double delta);
   void Record(std::string_view name, double value);
 
+  /// Labeled one-shots: bump ONLY the labeled series. TelemetryScope
+  /// layers "global + labeled" on top of these.
+  void Increment(std::string_view name, LabelId labels, int64_t delta);
+  void SetGauge(std::string_view name, LabelId labels, double value);
+  void AddGauge(std::string_view name, LabelId labels, double delta);
+  void Record(std::string_view name, LabelId labels, double value);
+
   MetricsSnapshot Snapshot() const;
   void Reset();
 
  private:
+  template <typename T>
+  using LabeledMap =
+      std::map<std::string, std::map<LabelId, std::unique_ptr<T>>,
+               std::less<>>;
+
+  struct LabelEntry {
+    LabelSet labels;
+    std::string suffix;  ///< Cached Encode() result.
+  };
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  LabeledMap<Counter> labeled_counters_;
+  LabeledMap<Gauge> labeled_gauges_;
+  LabeledMap<Histogram> labeled_histograms_;
+  std::vector<LabelEntry> label_entries_;  ///< Index = LabelId; [0] empty.
+  std::map<LabelSet, LabelId> label_ids_;
 };
 
 /// Deterministic double formatting shared by all obs exporters: %.6g for

@@ -220,7 +220,9 @@ TEST(MetricsSnapshotTest, MergeCombinesCountersGaugesHistograms) {
   merged.MergeFrom(b.Snapshot());
   EXPECT_EQ(merged.Counter("shared"), 5) << "counters add";
   EXPECT_EQ(merged.Counter("only-b"), 1);
-  EXPECT_DOUBLE_EQ(merged.Gauge("g"), 9.0) << "gauges take the newer level";
+  EXPECT_DOUBLE_EQ(merged.Gauge("g"), 10.0)
+      << "gauges add: levels from disjoint sources (per-node queue depths, "
+         "store bytes) combine, and addition is fold-order independent";
 
   // The merged histogram must equal one built from all 100 values.
   obs::MetricRegistry whole;
@@ -625,6 +627,192 @@ TEST(EventJournalDeathTest, CrossThreadAppendViolatesSingleWriter) {
       "single-writer");
 }
 #endif  // GTEST_HAS_DEATH_TEST
+
+// ---------------------------------------------------------------------------
+// Dimensional labels + TelemetryScope
+// ---------------------------------------------------------------------------
+
+TEST(MetricsSnapshotTest, GaugeMergeIsFoldOrderIndependent) {
+  // Three disjoint books with integer-valued levels; any fold order (and
+  // grouping) must produce one snapshot. The seed's last-writer-wins merge
+  // made the result depend on which shard folded last.
+  obs::MetricRegistry a, b, c;
+  a.SetGauge("store.bytes", 100.0);
+  b.SetGauge("store.bytes", 7.0);
+  c.SetGauge("store.bytes", 3000.0);
+  c.SetGauge("only-c", 5.0);
+
+  obs::MetricsSnapshot abc = a.Snapshot();
+  abc.MergeFrom(b.Snapshot());
+  abc.MergeFrom(c.Snapshot());
+
+  obs::MetricsSnapshot cba = c.Snapshot();
+  cba.MergeFrom(b.Snapshot());
+  cba.MergeFrom(a.Snapshot());
+
+  obs::MetricsSnapshot grouped = b.Snapshot();  // (b + c) + a
+  grouped.MergeFrom(c.Snapshot());
+  grouped.MergeFrom(a.Snapshot());
+
+  EXPECT_DOUBLE_EQ(abc.Gauge("store.bytes"), 3107.0);
+  EXPECT_EQ(abc.ToJson(), cba.ToJson()) << "fold order must not show";
+  EXPECT_EQ(abc.ToJson(), grouped.ToJson()) << "fold grouping must not show";
+}
+
+TEST(MetricRegistryTest, LabelSetEncodingAndInterning) {
+  obs::LabelSet empty;
+  EXPECT_EQ(empty.Encode(), "");
+  obs::LabelSet full;
+  full.query = "wcc";
+  full.window = 12;
+  full.node = 3;
+  full.phase = "map";
+  EXPECT_EQ(full.Encode(), "{query=wcc,window=12,node=3,phase=map}")
+      << "fixed dimension order, set dims only";
+  obs::LabelSet partial;
+  partial.query = "join";
+  partial.node = 0;
+  EXPECT_EQ(obs::LabeledName("cache.pane.hits", partial),
+            "cache.pane.hits{query=join,node=0}");
+
+  obs::MetricRegistry registry;
+  EXPECT_EQ(registry.InternLabels(empty), obs::kNoLabels);
+  const obs::LabelId id = registry.InternLabels(partial);
+  EXPECT_NE(id, obs::kNoLabels);
+  EXPECT_EQ(registry.InternLabels(partial), id) << "interning dedups";
+  EXPECT_EQ(registry.label_set(id), partial);
+}
+
+TEST(MetricRegistryTest, LabeledSeriesExportUnderEncodedNames) {
+  obs::MetricRegistry registry;
+  obs::LabelSet wcc;
+  wcc.query = "wcc";
+  const obs::LabelId id = registry.InternLabels(wcc);
+
+  registry.Increment("hits", 2);       // Global series.
+  registry.Increment("hits", id, 5);   // Labeled series: separate cell.
+  registry.SetGauge("level", id, 9.0);
+  registry.Record("lat", id, 0.25);
+  registry.Increment("plain", obs::kNoLabels, 3);  // Aliases the plain cell.
+
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.Counter("hits"), 2);
+  EXPECT_EQ(snap.Counter("hits{query=wcc}"), 5);
+  EXPECT_DOUBLE_EQ(snap.Gauge("level{query=wcc}"), 9.0);
+  EXPECT_EQ(snap.histograms.at("lat{query=wcc}").count, 1);
+  EXPECT_EQ(snap.Counter("plain"), 3);
+
+  registry.Reset();
+  EXPECT_EQ(registry.Snapshot().counters.size(), 0u);
+  // Handles stay valid across Reset (intern table survives).
+  registry.Increment("hits", id, 1);
+  EXPECT_EQ(registry.Snapshot().Counter("hits{query=wcc}"), 1);
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(MetricRegistryDeathTest, LabelValueCharsetIsEnforced) {
+  obs::MetricRegistry registry;
+  obs::LabelSet bad;
+  bad.query = "a{b";
+  EXPECT_DEATH(registry.InternLabels(bad), "label value");
+}
+#endif  // GTEST_HAS_DEATH_TEST
+
+TEST(TelemetryScopeTest, StampsAttributionAndDualWritesMetrics) {
+  obs::ObservabilityContext ctx;
+  int64_t window_cell = -1;
+  obs::TelemetryScope scope(&ctx, "wcc", &window_cell);
+
+  scope.Emit("custom").With("k", 1);  // window < 0: no window field.
+  window_cell = 4;
+  scope.Emit("custom2");
+  scope.Increment("c", 2);
+  scope.Record("h", 1.5);
+
+  const obs::Event& first = ctx.journal().events()[0];
+  EXPECT_EQ(first.StrOr("query", ""), "wcc");
+  EXPECT_EQ(first.Find("window"), nullptr);
+  const obs::Event& second = ctx.journal().events()[1];
+  EXPECT_EQ(second.IntOr("window", -1), 4);
+
+  const obs::MetricsSnapshot snap = ctx.metrics().Snapshot();
+  EXPECT_EQ(snap.Counter("c"), 2) << "global series still written";
+  EXPECT_EQ(snap.Counter("c{query=wcc}"), 2);
+  EXPECT_EQ(snap.histograms.at("h{query=wcc}").count, 1);
+
+  // Derived scopes extend the label set; query/window plumbing carries.
+  obs::TelemetryScope node_scope = scope.WithNode(3);
+  node_scope.Increment("c");
+  EXPECT_EQ(ctx.metrics().Snapshot().Counter("c{query=wcc,node=3}"), 1);
+  EXPECT_EQ(node_scope.window(), 4);
+
+  // Inactive scopes ignore metric writes.
+  obs::TelemetryScope inactive;
+  EXPECT_FALSE(inactive.active());
+  inactive.Increment("ignored");
+  EXPECT_EQ(ctx.metrics().Snapshot().Counter("ignored"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder (bounded journal retention)
+// ---------------------------------------------------------------------------
+
+TEST(EventJournalTest, RetentionBudgetEvictsOldestEvents) {
+  obs::EventJournal unbounded;
+  obs::EventJournal bounded;
+  bounded.SetRetentionBudget(1);  // Tiny: every sealed event evicts.
+  int64_t total_bytes = 0;
+  for (int i = 0; i < 50; ++i) {
+    unbounded.Append(i, "tick").With("i", i);
+    bounded.Append(i, "tick").With("i", i);
+    total_bytes +=
+        static_cast<int64_t>(unbounded.events().back().ToJson().size()) + 1;
+  }
+  EXPECT_EQ(unbounded.size(), 50u);
+  // The newest event is never evicted (sizes seal at the next Append), so
+  // the bounded journal retains exactly the still-open tail.
+  EXPECT_EQ(bounded.size(), 1u);
+  EXPECT_EQ(bounded.events().back().IntOr("i", -1), 49);
+  EXPECT_EQ(bounded.dropped_events(), 49);
+  EXPECT_GT(bounded.dropped_bytes(), 0);
+  EXPECT_LT(bounded.dropped_bytes(), total_bytes);
+
+  // A generous budget drops nothing.
+  obs::EventJournal roomy;
+  roomy.SetRetentionBudget(total_bytes + 1024);
+  for (int i = 0; i < 50; ++i) roomy.Append(i, "tick").With("i", i);
+  EXPECT_EQ(roomy.size(), 50u);
+  EXPECT_EQ(roomy.dropped_events(), 0);
+
+  bounded.Clear();
+  EXPECT_EQ(bounded.dropped_events(), 0) << "Clear resets drop counters";
+  EXPECT_EQ(bounded.dropped_bytes(), 0);
+}
+
+TEST(EventJournalTest, TruncationMarkerRoundTripsThroughJsonl) {
+  obs::EventJournal journal;
+  journal.SetRetentionBudget(256);
+  for (int i = 0; i < 200; ++i) {
+    journal.Append(static_cast<double>(i), "tick").With("i", i);
+  }
+  ASSERT_GT(journal.dropped_events(), 0);
+
+  const std::string jsonl = journal.ToJsonl();
+  EXPECT_NE(jsonl.find(obs::event::kJournalTruncated), std::string::npos)
+      << "serialized form must disclose the truncation";
+  const size_t first_newline = jsonl.find('\n');
+  EXPECT_LT(jsonl.find(obs::event::kJournalTruncated), first_newline)
+      << "marker leads the file: " << jsonl.substr(0, 80);
+
+  obs::EventJournal parsed;
+  const Status status = obs::EventJournal::Parse(jsonl, &parsed);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(parsed.size(), journal.size())
+      << "the marker is folded into counters, not kept as an event";
+  EXPECT_EQ(parsed.dropped_events(), journal.dropped_events());
+  EXPECT_EQ(parsed.dropped_bytes(), journal.dropped_bytes());
+  EXPECT_EQ(parsed.ToJsonl(), jsonl) << "parse -> serialize is identity";
+}
 
 TEST(ObservabilityIntegrationTest, DriverOwnsContextWhenNoneProvided) {
   RecurringQuery query = MakeAggregationQuery(1, "own", 1, 200, 40, 4);

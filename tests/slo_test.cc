@@ -1,0 +1,281 @@
+// SLO tracker edge cases and end-to-end reproducibility:
+//   - queries with no configured deadline export no attainment figures;
+//   - zero-pane (empty) windows still count toward windows/attainment;
+//   - lag accounting is byte-stable across thread counts even when a node
+//     dies mid-job (reusing the parallel-determinism fault scenario);
+//   - flight-recorder truncation keeps ComputeSlo usable and disclosed;
+//   - the driver-exported slo.* snapshot entries are reproducible from
+//     the journal alone (the redoop_inspect contract).
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "core/redoop_driver.h"
+#include "obs/analysis/analysis.h"
+#include "obs/event_journal.h"
+#include "obs/observability.h"
+#include "obs/slo/slo_tracker.h"
+#include "queries/aggregation_query.h"
+#include "tests/test_util.h"
+
+namespace redoop {
+namespace {
+
+using ::redoop::testing::MakeWccFeed;
+using ::redoop::testing::SmallClusterConfig;
+
+obs::analysis::AnalysisOptions PerQuery() {
+  obs::analysis::AnalysisOptions options;
+  options.group_by_query = true;
+  return options;
+}
+
+RecurringQuery DeadlineQuery(double deadline_s) {
+  RecurringQuery query = MakeAggregationQuery(1, "slo-agg", 1, 200, 40, 4);
+  query.deadline_s = deadline_s;
+  return query;
+}
+
+/// Runs the aggregation workload and hands back the driver's report; the
+/// journal and snapshot live in the driver-owned context.
+struct SloRun {
+  RunReport report;
+  std::string journal_jsonl;
+  /// SLO report from the live (in-memory) journal — exact doubles, unlike
+  /// a report re-derived from the lossily-formatted JSONL dump.
+  obs::slo::SloReport live_slo;
+};
+
+SloRun RunDriver(const RecurringQuery& query, int32_t threads = 1,
+                 int64_t journal_budget = 0, bool kill_node = false) {
+  Config config = SmallClusterConfig();
+  config.SetInt("dfs.placement_seed", 7);
+  Cluster cluster(8, config);
+  auto feed = MakeWccFeed(1, 30, 20);
+  RedoopDriverOptions options;
+  options.runner.threads = threads;
+  RedoopDriver driver(&cluster, feed.get(), query, options);
+  if (journal_budget > 0) {
+    driver.observability()->journal().SetRetentionBudget(journal_budget);
+  }
+  if (kill_node) {
+    // The parallel-determinism fault scenario: a node dies mid-way into
+    // window 2's job (task attempts start ~2 s after the trigger), killing
+    // running attempts whose join events are already queued.
+    const SimTime when =
+        static_cast<SimTime>(driver.geometry().TriggerTime(2)) + 3.5;
+    cluster.simulator().ScheduleAt(when,
+                                   [&cluster] { cluster.FailNode(1); });
+  }
+  SloRun run;
+  run.report = driver.Run(4).value();
+  run.journal_jsonl = driver.observability()->journal().ToJsonl();
+  run.live_slo = obs::slo::ComputeSlo(driver.observability()->journal(),
+                                      PerQuery());
+  return run;
+}
+
+obs::slo::SloReport SloFromJsonl(const std::string& jsonl) {
+  obs::EventJournal journal;
+  EXPECT_TRUE(obs::EventJournal::Parse(jsonl, &journal).ok());
+  return obs::slo::ComputeSlo(journal, PerQuery());
+}
+
+// ---------------------------------------------------------------------------
+// No deadline configured.
+// ---------------------------------------------------------------------------
+
+TEST(SloTrackerTest, NoDeadlineConfiguredExportsNoAttainment) {
+  // deadline_s = 0 disables deadline tracking entirely (EffectiveDeadline
+  // returns 0, window.open carries no "deadline" field).
+  const SloRun run = RunDriver(DeadlineQuery(0.0));
+  const obs::slo::SloReport report = SloFromJsonl(run.journal_jsonl);
+  ASSERT_EQ(report.queries.size(), 1u);
+  const obs::slo::QuerySlo& q = report.queries[0];
+  EXPECT_EQ(q.query, "slo-agg");
+  EXPECT_EQ(q.windows, 4);
+  EXPECT_EQ(q.windows_with_deadline, 0);
+  EXPECT_DOUBLE_EQ(q.Attainment(), -1.0);
+  EXPECT_DOUBLE_EQ(q.total_lag_s, 0.0);
+
+  // The deadline family must be absent from the exported snapshot; the
+  // deadline-independent figures still export.
+  const obs::MetricsSnapshot& snap = run.report.observability;
+  EXPECT_EQ(snap.gauges.count("slo.attainment{query=slo-agg}"), 0u);
+  EXPECT_EQ(snap.counters.count("slo.deadline.met{query=slo-agg}"), 0u);
+  EXPECT_EQ(snap.gauges.count("slo.lag.total_s{query=slo-agg}"), 0u);
+  EXPECT_EQ(snap.Counter("slo.windows{query=slo-agg}"), 4);
+  EXPECT_GT(snap.Gauge("slo.response.mean_s{query=slo-agg}"), 0.0);
+}
+
+TEST(SloTrackerTest, DefaultDeadlineIsTheSlide) {
+  // deadline_s = -1 (the default) means "deadline = slide": a recurring
+  // query that cannot keep up with its own cadence is falling behind.
+  const SloRun run = RunDriver(DeadlineQuery(-1.0));
+  const obs::slo::SloReport report = SloFromJsonl(run.journal_jsonl);
+  ASSERT_EQ(report.queries.size(), 1u);
+  EXPECT_EQ(report.queries[0].windows_with_deadline, 4);
+  EXPECT_DOUBLE_EQ(report.queries[0].deadline_s, 40.0);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-pane (empty) windows — synthetic journal, no job events at all.
+// ---------------------------------------------------------------------------
+
+TEST(SloTrackerTest, ZeroPaneWindowStillCountsTowardAttainment) {
+  obs::ObservabilityContext ctx;
+  ctx.journal().SetCommonField("system", "test");
+  obs::TelemetryScope scope(&ctx, "empty", nullptr);
+  // Window 0: no data arrived — opens and completes with zero response
+  // and no intervening job/task/cache events.
+  scope.EmitAt(0.0, obs::event::kWindowOpen)
+      .With("recurrence", static_cast<int64_t>(0))
+      .With("trigger", 10.0)
+      .With("deadline", 5.0);
+  scope.EmitAt(10.0, obs::event::kWindowComplete)
+      .With("recurrence", static_cast<int64_t>(0))
+      .With("trigger", 10.0)
+      .With("response_time", 0.0);
+  // Window 1: misses its deadline by 2.5 s.
+  scope.EmitAt(10.0, obs::event::kWindowOpen)
+      .With("recurrence", static_cast<int64_t>(1))
+      .With("trigger", 20.0)
+      .With("deadline", 5.0);
+  scope.EmitAt(27.5, obs::event::kWindowComplete)
+      .With("recurrence", static_cast<int64_t>(1))
+      .With("trigger", 20.0)
+      .With("response_time", 7.5);
+
+  const obs::slo::SloReport report =
+      obs::slo::ComputeSlo(ctx.journal(), PerQuery());
+  ASSERT_EQ(report.queries.size(), 1u);
+  const obs::slo::QuerySlo& q = report.queries[0];
+  EXPECT_EQ(q.windows, 2);
+  EXPECT_EQ(q.windows_with_deadline, 2);
+  EXPECT_EQ(q.deadline_met, 1);  // The empty window met trivially.
+  EXPECT_EQ(q.deadline_missed, 1);
+  EXPECT_DOUBLE_EQ(q.Attainment(), 0.5);
+  EXPECT_DOUBLE_EQ(q.total_lag_s, 2.5);
+  EXPECT_DOUBLE_EQ(q.max_lag_s, 2.5);
+  EXPECT_DOUBLE_EQ(q.last_lag_s, 2.5);
+  EXPECT_DOUBLE_EQ(q.CacheHitRate(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Lag accounting across a mid-job node death, at every thread count.
+// ---------------------------------------------------------------------------
+
+TEST(SloTrackerTest, LagAccountingIdenticalAcrossThreadsUnderNodeDeath) {
+  // A 1 s deadline every window misses: lag is live on every window, so
+  // any thread-count- or failure-induced drift shows up in the figures.
+  const RecurringQuery query = DeadlineQuery(1.0);
+  const SloRun base = RunDriver(query, 1, 0, /*kill_node=*/true);
+  const obs::slo::SloReport base_report = SloFromJsonl(base.journal_jsonl);
+  ASSERT_EQ(base_report.queries.size(), 1u);
+  const obs::slo::QuerySlo& q = base_report.queries[0];
+  EXPECT_EQ(q.windows, 4);
+  EXPECT_EQ(q.deadline_missed, 4);
+  EXPECT_DOUBLE_EQ(q.Attainment(), 0.0);
+  EXPECT_GT(q.total_lag_s, 0.0);
+  EXPECT_GE(q.max_lag_s, q.last_lag_s);
+  EXPECT_GT(q.failed_attempts, 0);  // The node death cost attempts.
+
+  for (int32_t threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const SloRun other = RunDriver(query, threads, 0, /*kill_node=*/true);
+    // Journals are byte-identical across thread counts, so the SLO report
+    // (a pure function of the journal) must render identically too.
+    EXPECT_EQ(base.journal_jsonl, other.journal_jsonl);
+    EXPECT_EQ(base_report.ToJson(), SloFromJsonl(other.journal_jsonl).ToJson());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flight-recorder truncation.
+// ---------------------------------------------------------------------------
+
+TEST(SloTrackerTest, TruncatedJournalStillAnalyzesAndDisclosesDrops) {
+  // A tight budget evicts the oldest windows' events; ComputeSlo sees only
+  // the surviving suffix but must not crash or double-count, and the
+  // truncation counters must round-trip through the JSONL dump.
+  const SloRun run = RunDriver(DeadlineQuery(-1.0), 1,
+                               /*journal_budget=*/16 * 1024);
+  obs::EventJournal parsed;
+  ASSERT_TRUE(obs::EventJournal::Parse(run.journal_jsonl, &parsed).ok());
+  EXPECT_GT(parsed.dropped_events(), 0);
+  EXPECT_GT(parsed.dropped_bytes(), 0);
+
+  const obs::slo::SloReport report =
+      obs::slo::ComputeSlo(parsed, PerQuery());
+  ASSERT_EQ(report.queries.size(), 1u);
+  // Early window.open/complete pairs were evicted: the tracker sees fewer
+  // windows than ran, never more.
+  EXPECT_GT(report.queries[0].windows, 0);
+  EXPECT_LE(report.queries[0].windows, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Reproducibility: driver-exported slo.* equals journal-derived figures.
+// ---------------------------------------------------------------------------
+
+TEST(SloTrackerTest, SnapshotExportMatchesJournalDerivedReport) {
+  const SloRun run = RunDriver(DeadlineQuery(-1.0));
+  const obs::slo::SloReport& report = run.live_slo;
+  ASSERT_EQ(report.queries.size(), 1u);
+  const obs::slo::QuerySlo& q = report.queries[0];
+
+  obs::MetricsSnapshot derived;
+  obs::slo::ExportTo(report, &derived);
+  const obs::MetricsSnapshot& exported = run.report.observability;
+  // Every slo.* entry the driver exported must be reproducible from the
+  // journal alone — the redoop_inspect contract.
+  for (const auto& [name, value] : derived.counters) {
+    EXPECT_EQ(exported.Counter(name), value) << name;
+  }
+  for (const auto& [name, value] : derived.gauges) {
+    EXPECT_DOUBLE_EQ(exported.Gauge(name), value) << name;
+  }
+  EXPECT_EQ(exported.Counter("slo.windows{query=slo-agg}"), q.windows);
+  EXPECT_DOUBLE_EQ(exported.Gauge("slo.attainment{query=slo-agg}"),
+                   q.Attainment());
+}
+
+// ---------------------------------------------------------------------------
+// Per-query grouping (the --per-query flag's underlying switch).
+// ---------------------------------------------------------------------------
+
+TEST(SloTrackerTest, GroupByQuerySplitsRowsUngroupedCollapses) {
+  obs::ObservabilityContext ctx;
+  ctx.journal().SetCommonField("system", "test");
+  for (const char* name : {"alpha", "beta"}) {
+    obs::TelemetryScope scope(&ctx, name, nullptr);
+    scope.EmitAt(0.0, obs::event::kWindowOpen)
+        .With("recurrence", static_cast<int64_t>(0))
+        .With("trigger", 10.0)
+        .With("deadline", 5.0);
+    scope.EmitAt(12.0, obs::event::kWindowComplete)
+        .With("recurrence", static_cast<int64_t>(0))
+        .With("trigger", 10.0)
+        .With("response_time", 2.0);
+  }
+
+  const obs::slo::SloReport grouped =
+      obs::slo::ComputeSlo(ctx.journal(), PerQuery());
+  ASSERT_EQ(grouped.queries.size(), 2u);
+  EXPECT_EQ(grouped.queries[0].query, "alpha");  // Sorted by (system, query).
+  EXPECT_EQ(grouped.queries[1].query, "beta");
+  EXPECT_NE(grouped.Find("test", "alpha"), nullptr);
+  EXPECT_EQ(grouped.Find("test", "missing"), nullptr);
+
+  const obs::slo::SloReport collapsed =
+      obs::slo::ComputeSlo(ctx.journal(), obs::analysis::AnalysisOptions());
+  ASSERT_EQ(collapsed.queries.size(), 1u);
+  EXPECT_EQ(collapsed.queries[0].query, "");
+  EXPECT_EQ(collapsed.queries[0].windows, 2);
+}
+
+}  // namespace
+}  // namespace redoop

@@ -1,9 +1,11 @@
 // redoop_analyze — journal analysis and run-diff regression tool.
 //
 // Subcommands:
-//   redoop_analyze breakdown JOURNAL.jsonl [--json] [--straggler-k=K]
+//   redoop_analyze breakdown JOURNAL.jsonl [--json] [--per-query]
+//                            [--straggler-k=K]
 //       Per-window phase breakdowns (map/reduce read, shuffle, sort,
 //       compute, write, slot-wait) and cache-efficiency attribution.
+//       --per-query splits the report by the journal's query labels.
 //   redoop_analyze critical-path JOURNAL.jsonl [--json] [--straggler-k=K]
 //       Longest chain through each window's task DAG, with per-hop
 //       slot-wait and straggler flags.
@@ -35,12 +37,15 @@ using obs::analysis::RunAnalysis;
 void PrintUsage() {
   std::printf(
       "redoop_analyze — journal analysis and run-diff regression tool\n\n"
-      "  redoop_analyze breakdown JOURNAL.jsonl [--json] [--straggler-k=K]\n"
+      "  redoop_analyze breakdown JOURNAL.jsonl [--json] [--per-query]\n"
+      "                          [--straggler-k=K]\n"
       "  redoop_analyze critical-path JOURNAL.jsonl [--json] "
       "[--straggler-k=K]\n"
       "  redoop_analyze diff BASELINE.json CANDIDATE.json [--json] "
       "[--tolerance=F]\n\n"
       "  --json            emit the report as JSON instead of text\n"
+      "  --per-query       group windows by the journal's query labels\n"
+      "                    (one report section per (system, query))\n"
       "  --straggler-k=K   flag tasks slower than K x wave median "
       "(default 3)\n"
       "  --tolerance=F     relative band treated as noise (default 0.10)\n\n"
@@ -68,6 +73,8 @@ bool ParseArgs(int argc, char** argv, AnalyzeArgs* args) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       args->json = true;
+    } else if (arg == "--per-query") {
+      args->analysis.group_by_query = true;
     } else if (arg.rfind("--straggler-k=", 0) == 0) {
       args->analysis.straggler_k = std::atof(arg.c_str() + 14);
       if (args->analysis.straggler_k <= 0.0) {
