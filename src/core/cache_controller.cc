@@ -424,7 +424,8 @@ WindowAwareCacheController::HandleLostCache(NodeId node,
               .With("query", q->query.id)
               .With("source", sig.source)
               .With("pane", sig.pane)
-              .With("partition", sig.partition);
+              .With("partition", sig.partition)
+              .With("node", node);
         }
       }
       // Sibling partition caches of the same pane survive: the rebuild is

@@ -103,9 +103,10 @@ RedoopDriver::RedoopDriver(Cluster* cluster, BatchFeed* feed,
   obs_->SetTimeSource(
       [cluster = cluster_] { return cluster->simulator().Now(); });
   // Attribution: one query-labeled scope, copied into every component.
-  // telemetry_window_ is the driver-owned recurrence cell the scopes read
-  // at emit time. DFS stays cluster-scoped (shared across drivers).
-  scope_ = obs::TelemetryScope(obs_, query_.name, &telemetry_window_);
+  // telemetry_window_ / trace_ctx_ are the driver-owned cells the scopes
+  // read at emit time. DFS stays cluster-scoped (shared across drivers).
+  scope_ = obs::TelemetryScope(obs_, query_.name, &telemetry_window_,
+                               &trace_ctx_);
   controller_.set_telemetry(scope_);
   store_.set_telemetry(scope_);
   profiler_.set_telemetry(scope_);
@@ -629,6 +630,7 @@ void RedoopDriver::RegisterJobCaches(const JobResult& result,
       }
       // Serving this pane later in the same recurrence is not a cache hit.
       panes_built_this_recurrence_.insert({sig.source, sig.pane});
+      pane_built_window_[{sig.source, sig.pane}] = telemetry_window_;
     }
     store_.Put(sig.name, cache.payload, sig.bytes, sig.records);
     registries_[static_cast<size_t>(sig.node)]->AddEntry(sig.name, sig.type,
@@ -976,14 +978,25 @@ void RedoopDriver::EmitPaneCacheStats(int64_t recurrence) {
         scope_.Increment(obs::metric::kCachePaneMissBytes, ps.bytes);
         counters_accum_.Increment(counter::kCachePaneMisses);
       }
-      scope_.Emit(hit ? obs::event::kCachePaneHit : obs::event::kCachePaneMiss)
-          .With("recurrence", recurrence)
-          .With("source", qs.id)
-          .With("pane", p)
-          .With("bytes", ps.bytes)
-          .With("reason", hit          ? "reused"
-                          : built_now ? "built_this_recurrence"
-                                      : "uncached");
+      obs::Event& verdict =
+          scope_.Emit(hit ? obs::event::kCachePaneHit
+                          : obs::event::kCachePaneMiss)
+              .With("recurrence", recurrence)
+              .With("source", qs.id)
+              .With("pane", p)
+              .With("bytes", ps.bytes)
+              .With("reason", hit          ? "reused"
+                              : built_now ? "built_this_recurrence"
+                                          : "uncached");
+      // Lineage: a reuse hit consumes the artifact built in an earlier
+      // window — name that window so the trace's follows-from edge points
+      // at the right pane span even after rebuilds.
+      if (hit) {
+        auto built = pane_built_window_.find({qs.id, p});
+        if (built != pane_built_window_.end()) {
+          verdict.With("built_in", built->second);
+        }
+      }
     }
   }
 }
@@ -1166,6 +1179,17 @@ StatusOr<WindowReport> RedoopDriver::RunRecurrence(int64_t recurrence) {
 
   panes_built_this_recurrence_.clear();
   telemetry_window_ = recurrence;  // Scopes stamp this onto every event.
+  // Window trace context: every scope copy points at trace_ctx_, so one
+  // store here makes the whole component tree stamp this window's ids.
+  // The trace id hashes the same system/query labels the journal stamps.
+  const int64_t sample_period = options_.trace.sample_period;
+  trace_ctx_.trace_id = obs::trace::TraceIdFor(
+      obs_->journal().CommonFieldOr("system", ""), query_.name);
+  trace_ctx_.span_id =
+      obs::trace::WindowSpanId(trace_ctx_.trace_id, recurrence);
+  trace_ctx_.window = recurrence;
+  trace_ctx_.sampled =
+      sample_period > 0 && recurrence % sample_period == 0;
   obs::Event& open =
       scope_.EmitAt(sim.Now(), obs::event::kWindowOpen)
           .With("recurrence", recurrence)
@@ -1220,6 +1244,17 @@ StatusOr<WindowReport> RedoopDriver::RunRecurrence(int64_t recurrence) {
   scope_.Increment(obs::metric::kWindowsCompleted);
   scope_.Record(obs::metric::kWindowResponseTime,
                          report.response_time);
+  // Always-sample-on-SLO-violation: an unsampled window that blew its
+  // deadline is promoted retroactively, so its completion record (and the
+  // teardown that follows) is traceable; the marker explains why stamps
+  // appear mid-window.
+  if (!trace_ctx_.sampled && trace_ctx_.active() && deadline > 0 &&
+      report.response_time > deadline) {
+    trace_ctx_.sampled = true;
+    scope_.EmitAt(report.finished_at, obs::event::kTraceSample)
+        .With("recurrence", recurrence)
+        .With("reason", "slo_violation");
+  }
   scope_.EmitAt(report.finished_at, obs::event::kWindowComplete)
       .With("recurrence", recurrence)
       .With("trigger", trigger)
@@ -1229,6 +1264,7 @@ StatusOr<WindowReport> RedoopDriver::RunRecurrence(int64_t recurrence) {
 
   AfterRecurrence(recurrence, report);
   telemetry_window_ = -1;  // Between-recurrence events are unattributed.
+  trace_ctx_ = obs::trace::TraceContext();  // ... and untraced.
   return report;
 }
 

@@ -73,6 +73,16 @@ struct SchedulerOptions {
   double load_weight_s = 30.0;
 };
 
+/// Causal-tracing knobs (DESIGN §14).
+struct TraceOptions {
+  /// Head sampling: stamp trace/span ids on every event of one window in
+  /// `sample_period` (window `r` is sampled when r % period == 0). 1 =
+  /// trace every window (default); 0 disables stamping entirely. A window
+  /// that misses its SLO deadline is promoted to sampled retroactively
+  /// regardless of the period (always-sample-on-SLO-violation).
+  int64_t sample_period = 1;
+};
+
 struct RedoopDriverOptions {
   /// Caching behaviour (reduce-input/output caches, join strategy, purge).
   CacheOptions cache;
@@ -82,6 +92,8 @@ struct RedoopDriverOptions {
   ProfilerOptions profiler;
   /// Task-placement policy.
   SchedulerOptions scheduler;
+  /// Causal-trace sampling policy.
+  TraceOptions trace;
   /// Prefix for the query's DFS pane files, so several drivers can consume
   /// the same source on one cluster without name collisions.
   std::string file_namespace;
@@ -117,6 +129,7 @@ class RedoopDriverOptions::Builder {
   Builder& Adaptive(AdaptiveOptions v) { opts_.adaptive = v; return *this; }
   Builder& Profiler(ProfilerOptions v) { opts_.profiler = v; return *this; }
   Builder& Scheduler(SchedulerOptions v) { opts_.scheduler = v; return *this; }
+  Builder& Trace(TraceOptions v) { opts_.trace = v; return *this; }
   Builder& Runner(JobRunnerOptions v) {
     opts_.runner = std::move(v);
     return *this;
@@ -137,6 +150,7 @@ class RedoopDriverOptions::Builder {
     return *this;
   }
   Builder& CacheAwareScheduler(bool v) { opts_.scheduler.cache_aware = v; return *this; }
+  Builder& TraceSamplePeriod(int64_t v) { opts_.trace.sample_period = v; return *this; }
   Builder& SchedulerLoadWeight(double seconds) { opts_.scheduler.load_weight_s = seconds; return *this; }
   Builder& FileNamespace(std::string v) {
     opts_.file_namespace = std::move(v);
@@ -312,6 +326,10 @@ class RedoopDriver {
   /// Current recurrence, read by telemetry scopes at emit time (-1 when no
   /// recurrence is active). Must outlive every scope copy handed out.
   int64_t telemetry_window_ = -1;
+  /// Current window's trace context, read by telemetry scopes at emit time
+  /// (inactive between recurrences). Same lifetime contract as the window
+  /// cell: every scope copy points here.
+  obs::trace::TraceContext trace_ctx_;
   /// Query-attributed scope shared (by copy) with every wired component.
   obs::TelemetryScope scope_;
   SemanticAnalyzer analyzer_;
@@ -329,6 +347,9 @@ class RedoopDriver {
   /// Panes whose caches were (re)built during the current recurrence —
   /// serving them is a cache miss, not a hit (cleared per recurrence).
   std::set<PaneKey> panes_built_this_recurrence_;
+  /// Window each pane's caches were last (re)built in, for the pane-hit
+  /// lineage stamp ("built_in"): the follows-from edge's producer window.
+  std::map<PaneKey, int64_t> pane_built_window_;
   std::vector<Timestamp> ingested_until_;
   int64_t next_recurrence_ = 0;
   bool proactive_mode_ = false;

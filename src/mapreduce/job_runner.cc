@@ -373,14 +373,16 @@ void JobRunner::StartMapTask(RunState* run, MapTaskState* task, NodeId node) {
     run->first_map_start = task->timing.scheduled_at;
   }
   if (scope_.active()) {
-    scope_.EmitAt(task->timing.scheduled_at, obs::event::kTaskStart)
-        .With("kind", "map")
-        .With("task", task->id)
-        .With("node", node)
-        .With("source", task->source)
-        .With("pane", task->pane)
-        .With("attempt", task->attempt)
-        .With("wait", task->timing.SlotWait());
+    obs::Event& e =
+        scope_.EmitAt(task->timing.scheduled_at, obs::event::kTaskStart)
+            .With("kind", "map")
+            .With("task", task->id)
+            .With("node", node)
+            .With("source", task->source)
+            .With("pane", task->pane)
+            .With("attempt", task->attempt)
+            .With("wait", task->timing.SlotWait());
+    StampTaskContext(task->id, task->attempt, &e);
   }
 
   const CostModel& cost = cluster_->cost_model();
@@ -408,6 +410,7 @@ void JobRunner::StartMapTask(RunState* run, MapTaskState* task, NodeId node) {
     scope_.EmitAt(cluster_->simulator().Now(), obs::event::kDfsRead)
         .With("file", task->file->name)
         .With("node", node)
+        .With("task", task->id)
         .With("bytes", task->input_bytes)
         .With("source", task->source)
         .With("pane", task->pane)
@@ -644,13 +647,15 @@ void JobRunner::StartReduceTask(RunState* run, ReduceTaskState* task,
   task->output.reset();
   task->caches.clear();
   if (scope_.active()) {
-    scope_.EmitAt(task->timing.scheduled_at, obs::event::kTaskStart)
-        .With("kind", "reduce")
-        .With("task", task->id)
-        .With("node", node)
-        .With("partition", task->partition)
-        .With("attempt", task->attempt)
-        .With("wait", task->timing.SlotWait());
+    obs::Event& e =
+        scope_.EmitAt(task->timing.scheduled_at, obs::event::kTaskStart)
+            .With("kind", "reduce")
+            .With("task", task->id)
+            .With("node", node)
+            .With("partition", task->partition)
+            .With("attempt", task->attempt)
+            .With("wait", task->timing.SlotWait());
+    StampTaskContext(task->id, task->attempt, &e);
   }
 
   const CostModel& cost = cluster_->cost_model();
@@ -1159,6 +1164,15 @@ void JobRunner::OnNodeFailure(NodeId node) {
   TryScheduleTasks(run);
 }
 
+void JobRunner::StampTaskContext(int64_t task, int64_t attempt,
+                                 obs::Event* e) const {
+  const obs::trace::TraceContext* tc = scope_.trace();
+  if (tc == nullptr || !tc->active() || !tc->sampled) return;
+  e->With("ctx",
+          tc->Child(obs::trace::TaskSpanId(tc->trace_id, task, attempt))
+              .Serialize());
+}
+
 void JobRunner::FailTaskAttempt(RunState* run, TaskType type, int64_t index) {
   if (scope_.active()) {
     const bool is_map = type == TaskType::kMap;
@@ -1167,11 +1181,21 @@ void JobRunner::FailTaskAttempt(RunState* run, TaskType type, int64_t index) {
     const auto* reduce_task =
         is_map ? nullptr : run->reduces[static_cast<size_t>(index)].get();
     scope_.Increment(obs::metric::kTaskFailures);
-    scope_.EmitAt(cluster_->simulator().Now(), obs::event::kTaskFail)
-        .With("kind", is_map ? "map" : "reduce")
-        .With("task", is_map ? map_task->id : reduce_task->id)
-        .With("node", is_map ? map_task->node : reduce_task->node)
-        .With("attempt", is_map ? map_task->attempt : reduce_task->attempt);
+    // The work identity (source/pane or partition) lets the trace link the
+    // re-issued attempt — which gets a fresh task id — back to this
+    // failure with a follows-from edge.
+    obs::Event& e =
+        scope_.EmitAt(cluster_->simulator().Now(), obs::event::kTaskFail)
+            .With("kind", is_map ? "map" : "reduce")
+            .With("task", is_map ? map_task->id : reduce_task->id)
+            .With("node", is_map ? map_task->node : reduce_task->node)
+            .With("attempt",
+                  is_map ? map_task->attempt : reduce_task->attempt);
+    if (is_map) {
+      e.With("source", map_task->source).With("pane", map_task->pane);
+    } else {
+      e.With("partition", reduce_task->partition);
+    }
   }
   if (type == TaskType::kMap) {
     MapTaskState* task = run->maps[static_cast<size_t>(index)].get();

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/string_utils.h"
+#include "obs/trace/span_builder.h"
+#include "obs/trace/trace_context.h"
 
 namespace redoop {
 
@@ -93,6 +95,41 @@ void TraceWriter::AddJournal(const obs::EventJournal& journal) {
   // Caches still alive when the journal ends stretch to its last event.
   for (const auto& [name, oc] : open) {
     AddCacheSpan(name, oc.node, oc.start, last_time, oc.bytes, oc.kind);
+  }
+
+  // Cross-window causality: one flow arrow per follows-from edge of the
+  // reconstructed span DAG, drawn in the cache-lifetimes lane. A
+  // pane_reuse arrow runs from the window that built a pane to each later
+  // window whose cache hit consumed it; a recovery arrow runs from a node
+  // failure to the rebuild it caused.
+  obs::trace::Trace trace;
+  if (obs::trace::BuildTrace(journal, &trace).ok()) {
+    for (const obs::trace::FollowsFrom& edge : trace.follows) {
+      const obs::trace::Span* from = trace.Find(edge.from);
+      const double from_ts = from != nullptr ? from->end : edge.time;
+      const int64_t tid = from != nullptr && from->node >= 0 ? from->node : 0;
+      std::string name;
+      if (edge.kind == "pane_reuse") {
+        name = StringPrintf("pane_reuse S%ld/P%ld", edge.source, edge.pane);
+      } else {
+        name = edge.kind;
+      }
+      const std::string id = StringPrintf(
+          "%s-%ld", obs::trace::IdHex(edge.from).c_str(), edge.window_to);
+      extra_.push_back(StringPrintf(
+          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"s\",\"id\":\"%s\","
+          "\"ts\":%.0f,\"pid\":2,\"tid\":%ld,"
+          "\"args\":{\"window_from\":%ld,\"window_to\":%ld}}",
+          name.c_str(), edge.kind.c_str(), id.c_str(), from_ts * 1e6, tid,
+          edge.window_from, edge.window_to));
+      extra_.push_back(StringPrintf(
+          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"f\",\"bp\":\"e\","
+          "\"id\":\"%s\",\"ts\":%.0f,\"pid\":2,\"tid\":%ld,"
+          "\"args\":{\"window_from\":%ld,\"window_to\":%ld}}",
+          name.c_str(), edge.kind.c_str(), id.c_str(),
+          std::max(edge.time, from_ts) * 1e6, tid, edge.window_from,
+          edge.window_to));
+    }
   }
 
   // Slot-utilization series: starts before finishes at equal timestamps so

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 #include "common/string_utils.h"
 #include "obs/metric_registry.h"
@@ -27,6 +28,14 @@ void CacheStats::Add(const CacheStats& other) {
   pair_misses += other.pair_misses;
   hit_bytes += other.hit_bytes;
   miss_bytes += other.miss_bytes;
+}
+
+void BlameBreakdown::Add(const BlameBreakdown& other) {
+  compute += other.compute;
+  cache_wait += other.cache_wait;
+  slot_wait += other.slot_wait;
+  skew += other.skew;
+  recovery += other.recovery;
 }
 
 double CacheStats::HitRate() const {
@@ -69,6 +78,12 @@ PhaseBreakdown SystemAnalysis::TotalReducePhases() const {
 CacheStats SystemAnalysis::TotalCache() const {
   CacheStats total;
   for (const WindowAnalysis& w : windows) total.Add(w.cache);
+  return total;
+}
+
+BlameBreakdown SystemAnalysis::TotalBlame() const {
+  BlameBreakdown total;
+  for (const WindowAnalysis& w : windows) total.Add(w.blame);
   return total;
 }
 
@@ -120,16 +135,22 @@ double MedianDuration(std::vector<double> durations) {
   return durations[rank];
 }
 
-/// Critical path of one job: submit -> slowest map -> barrier -> slowest
-/// reduce -> finish. Hop durations are clamped at zero (map re-execution
-/// after failures can reorder spans) and sum to ~Elapsed() otherwise.
+/// Critical path of one job: true longest path through the span DAG.
+/// Nodes are the job submit, every finished task attempt, and the job
+/// finish; edges run submit -> map, map -> reduce (the shuffle barrier),
+/// and tail -> finish, weighted by the zero-clamped scheduling gap plus
+/// the successor task's duration. On a well-formed journal every
+/// (map, reduce) chain telescopes to finish - submit, so all chains tie
+/// and the tie-break — prefer the later-ending predecessor — reproduces
+/// the wave-tail choice of the heuristic this replaced; on reordered or
+/// failure-heavy journals (where clamping bites) the DP maximizes over
+/// every chain instead of assuming the last-ending tasks chain up.
 void AppendJobCriticalPath(const JobSpan& job, WindowCriticalPath* path) {
-  const TaskSpan* last_map = nullptr;
-  const TaskSpan* last_reduce = nullptr;
+  std::vector<const TaskSpan*> maps;
+  std::vector<const TaskSpan*> reduces;
   for (const TaskSpan& task : job.tasks) {
     if (!task.finished) continue;
-    const TaskSpan*& slot = task.is_map ? last_map : last_reduce;
-    if (slot == nullptr || task.end() > slot->end()) slot = &task;
+    (task.is_map ? maps : reduces).push_back(&task);
   }
 
   auto add = [path](std::string label, const TaskSpan* task, double start,
@@ -148,24 +169,98 @@ void AppendJobCriticalPath(const JobSpan& job, WindowCriticalPath* path) {
     path->wait += std::max(0.0, wait);
   };
 
-  if (last_map == nullptr && last_reduce == nullptr) {
+  if (maps.empty() && reduces.empty()) {
     add("job", nullptr, job.start, job.Elapsed(), 0.0);
     return;
   }
-  const TaskSpan* first = last_map != nullptr ? last_map : last_reduce;
-  add("startup", nullptr, job.start, first->start - job.start, first->wait);
-  if (last_map != nullptr) {
-    add("map", last_map, last_map->start, last_map->duration, 0.0);
+
+  // Ties (telescoped chains are equal up to rounding) break toward the
+  // later-ending predecessor.
+  constexpr double kTieEps = 1e-9;
+  auto better = [](double value, double pred_end, double best,
+                   double best_pred_end) {
+    if (value > best + kTieEps) return true;
+    if (value < best - kTieEps) return false;
+    return pred_end > best_pred_end;
+  };
+  auto gap = [](double from_end, double to_start) {
+    return std::max(0.0, to_start - from_end);
+  };
+
+  // best length of a chain ending at each task (inclusive of its duration).
+  std::vector<double> map_best(maps.size());
+  for (size_t i = 0; i < maps.size(); ++i) {
+    map_best[i] = gap(job.start, maps[i]->start) + maps[i]->duration;
   }
-  if (last_reduce != nullptr) {
-    if (last_map != nullptr) {
-      add("barrier", nullptr, last_map->end(),
-          last_reduce->start - last_map->end(), last_reduce->wait);
+  std::vector<double> reduce_best(reduces.size());
+  std::vector<int64_t> reduce_pred(reduces.size(), -1);
+  for (size_t j = 0; j < reduces.size(); ++j) {
+    if (maps.empty()) {
+      reduce_best[j] = gap(job.start, reduces[j]->start) +
+                       reduces[j]->duration;
+      continue;
     }
-    add("reduce", last_reduce, last_reduce->start, last_reduce->duration,
+    double best = 0.0;
+    double best_pred_end = 0.0;
+    int64_t best_i = -1;
+    for (size_t i = 0; i < maps.size(); ++i) {
+      const double value = map_best[i] +
+                           gap(maps[i]->end(), reduces[j]->start) +
+                           reduces[j]->duration;
+      if (best_i < 0 ||
+          better(value, maps[i]->end(), best, best_pred_end)) {
+        best = value;
+        best_pred_end = maps[i]->end();
+        best_i = static_cast<int64_t>(i);
+      }
+    }
+    reduce_best[j] = best;
+    reduce_pred[j] = best_i;
+  }
+
+  // Finish node: tails are the reduces when any ran, else the maps.
+  const std::vector<const TaskSpan*>& tails =
+      reduces.empty() ? maps : reduces;
+  const std::vector<double>& tail_best =
+      reduces.empty() ? map_best : reduce_best;
+  double best = 0.0;
+  double best_pred_end = 0.0;
+  int64_t best_tail = -1;
+  for (size_t t = 0; t < tails.size(); ++t) {
+    const double value = tail_best[t] + gap(tails[t]->end(), job.finish);
+    if (best_tail < 0 ||
+        better(value, tails[t]->end(), best, best_pred_end)) {
+      best = value;
+      best_pred_end = tails[t]->end();
+      best_tail = static_cast<int64_t>(t);
+    }
+  }
+
+  const TaskSpan* path_reduce =
+      reduces.empty() ? nullptr
+                      : reduces[static_cast<size_t>(best_tail)];
+  const TaskSpan* path_map = nullptr;
+  if (reduces.empty()) {
+    path_map = maps[static_cast<size_t>(best_tail)];
+  } else if (reduce_pred[static_cast<size_t>(best_tail)] >= 0) {
+    path_map = maps[static_cast<size_t>(
+        reduce_pred[static_cast<size_t>(best_tail)])];
+  }
+
+  const TaskSpan* first = path_map != nullptr ? path_map : path_reduce;
+  add("startup", nullptr, job.start, first->start - job.start, first->wait);
+  if (path_map != nullptr) {
+    add("map", path_map, path_map->start, path_map->duration, 0.0);
+  }
+  if (path_reduce != nullptr) {
+    if (path_map != nullptr) {
+      add("barrier", nullptr, path_map->end(),
+          path_reduce->start - path_map->end(), path_reduce->wait);
+    }
+    add("reduce", path_reduce, path_reduce->start, path_reduce->duration,
         0.0);
   }
-  const TaskSpan* tail = last_reduce != nullptr ? last_reduce : last_map;
+  const TaskSpan* tail = path_reduce != nullptr ? path_reduce : path_map;
   add("finalize", nullptr, tail->end(), job.finish - tail->end(), 0.0);
 }
 
@@ -198,6 +293,57 @@ void FlagStragglers(const WindowAnalysis& window, double k,
   }
 }
 
+/// Splits a window's critical-path length into blame buckets. Each step
+/// contributes exactly its duration, so the buckets sum to the length.
+/// Task steps: recovery when the attempt is a re-issue; else skew (excess
+/// over the wave median) and, for maps of panes that missed the cache
+/// this window, cache-wait (the read time reuse would have saved); the
+/// remainder is compute. Gap steps (startup/barrier/finalize) split into
+/// slot-wait and compute.
+void ComputeBlame(WindowAnalysis* window,
+                  const std::set<std::pair<int64_t, int64_t>>& missed) {
+  std::map<int64_t, const TaskSpan*> tasks;
+  for (const JobSpan& job : window->jobs) {
+    for (const TaskSpan& t : job.tasks) tasks[t.id] = &t;
+  }
+  std::map<int64_t, double> straggler_median;
+  for (const Straggler& s : window->stragglers) {
+    straggler_median[s.task] = s.wave_median;
+  }
+
+  BlameBreakdown& b = window->blame;
+  for (const CriticalPathStep& step : window->critical_path.steps) {
+    const double d = step.duration;
+    const TaskSpan* task = nullptr;
+    if (step.task >= 0) {
+      auto it = tasks.find(step.task);
+      if (it != tasks.end()) task = it->second;
+    }
+    if (task == nullptr) {
+      const double slot = std::min(std::max(0.0, step.wait), d);
+      b.slot_wait += slot;
+      b.compute += d - slot;
+      continue;
+    }
+    if (task->attempt > 0) {
+      b.recovery += d;
+      continue;
+    }
+    double skew_part = 0.0;
+    auto sit = straggler_median.find(task->id);
+    if (sit != straggler_median.end()) {
+      skew_part = std::min(d, std::max(0.0, d - sit->second));
+    }
+    double cache_part = 0.0;
+    if (task->is_map && missed.count({task->source, task->pane}) > 0) {
+      cache_part = std::max(0.0, std::min(task->phases.read, d - skew_part));
+    }
+    b.skew += skew_part;
+    b.cache_wait += cache_part;
+    b.compute += d - skew_part - cache_part;
+  }
+}
+
 /// Per-system reconstruction state while scanning the journal.
 struct SystemBuilder {
   SystemAnalysis analysis;
@@ -206,6 +352,9 @@ struct SystemBuilder {
   JobSpan job;                  // Open job being filled.
   bool job_open = false;
   std::map<int64_t, size_t> task_index;  // task id -> index in job.tasks.
+  /// Panes that missed the cache this window (blame: their path reads are
+  /// cache-wait, not compute). Cleared per window.
+  std::set<std::pair<int64_t, int64_t>> missed_panes;
 
   void FinalizeWindow(double straggler_k) {
     if (job_open) CloseJob();  // Truncated journal: keep partial job.
@@ -213,6 +362,8 @@ struct SystemBuilder {
       AppendJobCriticalPath(j, &window.critical_path);
     }
     FlagStragglers(window, straggler_k, &window.stragglers);
+    ComputeBlame(&window, missed_panes);
+    missed_panes.clear();
     analysis.windows.push_back(std::move(window));
     window = WindowAnalysis();
     window_open = false;
@@ -359,6 +510,7 @@ Status AnalyzeJournal(const EventJournal& journal,
       } else {
         ++b.window.cache.pane_misses;
         b.window.cache.miss_bytes += bytes;
+        b.missed_panes.insert({e.IntOr("source", -1), e.IntOr("pane", -1)});
       }
     } else if (type == event::kCachePairHit || type == event::kCachePairMiss) {
       SystemBuilder& b = builder_for(e);
@@ -518,6 +670,27 @@ std::string BreakdownToJson(const RunAnalysis& analysis) {
   return out;
 }
 
+namespace {
+
+std::string BlameText(const BlameBreakdown& b) {
+  return StringPrintf(
+      "compute=%s cache_wait=%s slot_wait=%s skew=%s recovery=%s",
+      FormatDouble(b.compute).c_str(), FormatDouble(b.cache_wait).c_str(),
+      FormatDouble(b.slot_wait).c_str(), FormatDouble(b.skew).c_str(),
+      FormatDouble(b.recovery).c_str());
+}
+
+std::string BlameJson(const BlameBreakdown& b) {
+  return StringPrintf(
+      "{\"compute\": %s, \"cache_wait\": %s, \"slot_wait\": %s, "
+      "\"skew\": %s, \"recovery\": %s}",
+      FormatDouble(b.compute).c_str(), FormatDouble(b.cache_wait).c_str(),
+      FormatDouble(b.slot_wait).c_str(), FormatDouble(b.skew).c_str(),
+      FormatDouble(b.recovery).c_str());
+}
+
+}  // namespace
+
 std::string CriticalPathToText(const RunAnalysis& analysis) {
   std::string out;
   for (const SystemAnalysis& s : analysis.systems) {
@@ -527,12 +700,14 @@ std::string CriticalPathToText(const RunAnalysis& analysis) {
         GroupHeading(s).c_str(),
         FormatDouble(s.TotalCriticalPath()).c_str(), s.windows.size(),
         FormatDouble(s.TotalCriticalPathWait()).c_str());
+    out += StringPrintf("blame: %s\n", BlameText(s.TotalBlame()).c_str());
     for (const WindowAnalysis& w : s.windows) {
       out += StringPrintf(
           "window %ld: path=%s s  wait=%s s  response=%s s\n", w.recurrence,
           FormatDouble(w.critical_path.length).c_str(),
           FormatDouble(w.critical_path.wait).c_str(),
           FormatDouble(w.response_time).c_str());
+      out += StringPrintf("  blame: %s\n", BlameText(w.blame).c_str());
       for (const CriticalPathStep& step : w.critical_path.steps) {
         out += StringPrintf("  %-9s", step.label.c_str());
         if (step.task >= 0) {
@@ -600,14 +775,15 @@ std::string CriticalPathToJson(const RunAnalysis& analysis) {
             straggler.node, FormatDouble(straggler.duration).c_str(),
             FormatDouble(straggler.wave_median).c_str());
       }
-      out += "]}";
+      out += StringPrintf("], \"blame\": %s}", BlameJson(w.blame).c_str());
     }
     out += StringPrintf(
         "\n], \"totals\": {\"length\": %s, \"wait\": %s, "
-        "\"stragglers\": %lld}}",
+        "\"stragglers\": %lld, \"blame\": %s}}",
         FormatDouble(s.TotalCriticalPath()).c_str(),
         FormatDouble(s.TotalCriticalPathWait()).c_str(),
-        static_cast<long long>(s.TotalStragglers()));
+        static_cast<long long>(s.TotalStragglers()),
+        BlameJson(s.TotalBlame()).c_str());
   }
   out += "\n]}\n";
   return out;

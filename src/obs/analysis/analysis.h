@@ -98,14 +98,39 @@ struct CriticalPathStep {
   double wait = 0.0;  // Slot-wait inside this hop.
 };
 
-/// Longest chain through a window's task DAG: per job, submit -> slowest
-/// map -> barrier -> slowest reduce -> finish; jobs within a window are
-/// serial, so the window path is the concatenation and its length is the
-/// sum of job elapsed times.
+/// Longest chain through a window's task DAG, computed per job by dynamic
+/// programming over the span DAG (submit -> maps -> shuffle barrier ->
+/// reduces -> finish, edge weight = clamped scheduling gap + successor
+/// duration). Jobs within a window are serial, so the window path is the
+/// concatenation. On a well-formed journal the DP's choice coincides with
+/// the wave tail (last-ending map/reduce); on reordered or failure-heavy
+/// journals it maximizes where the old tail heuristic undercounted.
 struct WindowCriticalPath {
   double length = 0.0;
   double wait = 0.0;  // Total slot-wait along the path.
   std::vector<CriticalPathStep> steps;
+};
+
+/// Root-cause split of a window's critical-path length (DESIGN §14): why
+/// was this window's path as long as it was? The five fields partition
+/// the path exactly — Total() == WindowCriticalPath::length.
+struct BlameBreakdown {
+  /// Useful work (and any path time not attributed below).
+  double compute = 0.0;
+  /// Map-side read time on the path spent re-reading panes that missed
+  /// the cache this window — the cost of reuse NOT happening.
+  double cache_wait = 0.0;
+  /// Path time queued for a task slot (cluster too busy).
+  double slot_wait = 0.0;
+  /// Straggler excess: path-task time beyond its wave median.
+  double skew = 0.0;
+  /// Path time inside re-issued attempts (attempt > 0) — failure repair.
+  double recovery = 0.0;
+
+  void Add(const BlameBreakdown& other);
+  double Total() const {
+    return compute + cache_wait + slot_wait + skew + recovery;
+  }
 };
 
 /// A task flagged as abnormally slow: duration > k * median duration of
@@ -133,6 +158,7 @@ struct WindowAnalysis {
   CacheStats cache;
   std::vector<JobSpan> jobs;
   WindowCriticalPath critical_path;
+  BlameBreakdown blame;
   std::vector<Straggler> stragglers;
   int64_t failed_attempts = 0;
   int64_t speculative_attempts = 0;
@@ -152,6 +178,7 @@ struct SystemAnalysis {
   double TotalResponseTime() const;
   double TotalCriticalPath() const;
   double TotalCriticalPathWait() const;
+  BlameBreakdown TotalBlame() const;
   PhaseBreakdown TotalMapPhases() const;
   PhaseBreakdown TotalReducePhases() const;
   CacheStats TotalCache() const;

@@ -1,5 +1,6 @@
 #include "obs/event_journal.h"
 
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 
@@ -31,6 +32,42 @@ std::string JsonEscape(std::string_view s) {
     }
   }
   return out;
+}
+
+// Span-boundary keys for atomic flight-recorder eviction. A begin event
+// and its end event map to the same key; "" means the event is not a span
+// boundary. Task ids are unique per run; job and window keys carry the
+// query label so concurrent queries cannot alias.
+std::string SpanBeginKey(const Event& e) {
+  const std::string& t = e.type();
+  if (t == event::kTaskStart) {
+    return StringPrintf("task/%lld",
+                        static_cast<long long>(e.IntOr("task", -1)));
+  }
+  if (t == event::kJobStart) {
+    return "job/" + e.StrOr("query", "") + "/" + e.StrOr("job", "");
+  }
+  if (t == event::kWindowOpen) {
+    return StringPrintf("window/%s/%lld", e.StrOr("query", "").c_str(),
+                        static_cast<long long>(e.IntOr("recurrence", -1)));
+  }
+  return std::string();
+}
+
+std::string SpanEndKey(const Event& e) {
+  const std::string& t = e.type();
+  if (t == event::kTaskFinish || t == event::kTaskFail) {
+    return StringPrintf("task/%lld",
+                        static_cast<long long>(e.IntOr("task", -1)));
+  }
+  if (t == event::kJobFinish) {
+    return "job/" + e.StrOr("query", "") + "/" + e.StrOr("job", "");
+  }
+  if (t == event::kWindowComplete) {
+    return StringPrintf("window/%s/%lld", e.StrOr("query", "").c_str(),
+                        static_cast<long long>(e.IntOr("recurrence", -1)));
+  }
+  return std::string();
 }
 
 }  // namespace
@@ -137,6 +174,14 @@ void EventJournal::SetCommonField(std::string key, std::string value) {
   common_fields_.emplace_back(std::move(key), std::move(value));
 }
 
+std::string EventJournal::CommonFieldOr(std::string_view key,
+                                        std::string_view fallback) const {
+  for (const auto& [k, v] : common_fields_) {
+    if (k == key) return v;
+  }
+  return std::string(fallback);
+}
+
 Event& EventJournal::Append(double time, std::string type) {
   // Single-writer assertion: the first Append (after construction, Clear,
   // or Parse) pins the owning thread; cross-thread appends are a contract
@@ -165,16 +210,51 @@ void EventJournal::SealAndEvict() {
   if (events_.size() > sealed_sizes_.size()) {
     const int64_t bytes =
         static_cast<int64_t>(events_.back().ToJson().size()) + 1;  // +'\n'
+    if (retention_budget_ > 0) {
+      // A span end whose begin was already evicted is dropped at the seal
+      // point: retaining it would fabricate an end-without-begin span.
+      const std::string end_key = SpanEndKey(events_.back());
+      if (!end_key.empty() && pending_orphan_ends_.erase(end_key) > 0) {
+        dropped_bytes_ += bytes;
+        ++dropped_events_;
+        events_.pop_back();
+        return;
+      }
+      // A fresh begin supersedes any stale orphan entry for its key (the
+      // key now names a new, fully retained span whose end must survive).
+      const std::string begin_key = SpanBeginKey(events_.back());
+      if (!begin_key.empty()) pending_orphan_ends_.erase(begin_key);
+    }
     sealed_sizes_.push_back(bytes);
     sealed_bytes_ += bytes;
   }
   if (retention_budget_ <= 0) return;
   while (sealed_bytes_ > retention_budget_ && !sealed_sizes_.empty()) {
+    const std::string begin_key = SpanBeginKey(events_.front());
     dropped_bytes_ += sealed_sizes_.front();
     sealed_bytes_ -= sealed_sizes_.front();
     sealed_sizes_.pop_front();
     events_.pop_front();
     ++dropped_events_;
+    if (begin_key.empty()) continue;
+    // Evict the whole span: drop the matching end event with its begin.
+    // Spans with one key never interleave (task ids are unique; jobs and
+    // windows of one query are serial), so the first matching end in the
+    // sealed region is the right one.
+    bool found = false;
+    for (size_t i = 0; i < sealed_sizes_.size(); ++i) {
+      if (SpanEndKey(events_[i]) != begin_key) continue;
+      dropped_bytes_ += sealed_sizes_[i];
+      sealed_bytes_ -= sealed_sizes_[i];
+      sealed_sizes_.erase(sealed_sizes_.begin() +
+                          static_cast<ptrdiff_t>(i));
+      events_.erase(events_.begin() + static_cast<ptrdiff_t>(i));
+      ++dropped_events_;
+      found = true;
+      break;
+    }
+    // Not journaled (or not yet sealed): catch it when it arrives.
+    if (!found) pending_orphan_ends_.insert(begin_key);
   }
 }
 

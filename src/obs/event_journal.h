@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <set>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -87,8 +88,16 @@ class Event {
 /// Parse recognizes the marker and restores the counters instead of
 /// storing it as an event, so parse -> serialize stays the identity for
 /// truncated journals too. Eviction is deterministic: it depends only on
-/// the byte sizes of the serialized events, which are themselves
-/// deterministic.
+/// the byte sizes and fields of the serialized events, which are
+/// themselves deterministic.
+///
+/// Spans evict atomically: when eviction drops a span-begin event
+/// (window.open, job.start, task.start), the matching end event
+/// (window.complete, job.finish, task.finish/task.fail) is dropped with
+/// it — immediately if already journaled, or the moment it is sealed if
+/// it arrives later — and charged to the same truncation counters. A
+/// retained journal therefore never contains an end without its begin,
+/// so span reconstruction sees whole spans or nothing.
 ///
 /// Single-writer contract (asserted): every Append must come from the one
 /// thread that owns the journal — the simulator thread. The first Append
@@ -108,6 +117,12 @@ class EventJournal {
   /// Common fields are prepended (in registration order) to every event
   /// appended afterwards — e.g. system=redoop for multi-system CLI runs.
   void SetCommonField(std::string key, std::string value);
+
+  /// The registered common-field value for `key`, or `fallback` when no
+  /// such registration exists (used by emitters that need to derive the
+  /// trace id from the same "system" label the journal stamps).
+  std::string CommonFieldOr(std::string_view key,
+                            std::string_view fallback) const;
 
   /// Appends an event and returns it for fluent .With(...) chaining. The
   /// reference is valid until the next Append. With a retention budget
@@ -162,6 +177,7 @@ class EventJournal {
     sealed_bytes_ = 0;
     dropped_events_ = 0;
     dropped_bytes_ = 0;
+    pending_orphan_ends_.clear();
     writer_ = std::thread::id();
   }
 
@@ -180,6 +196,11 @@ class EventJournal {
   int64_t retention_budget_ = 0;  ///< <= 0: unbounded.
   int64_t dropped_events_ = 0;
   int64_t dropped_bytes_ = 0;
+  /// Span keys whose begin event was evicted before the matching end was
+  /// journaled; the end is dropped at seal time when it arrives. A later
+  /// begin with the same key clears the entry (the key now names a new,
+  /// fully retained span).
+  std::set<std::string> pending_orphan_ends_;
   /// Writer pin for the single-writer assertion; default id = unpinned.
   std::thread::id writer_;
 };
@@ -231,6 +252,11 @@ inline constexpr const char* kJobFinish = "job.finish";
 inline constexpr const char* kWindowOpen = "window.open";
 inline constexpr const char* kWindowTrigger = "window.trigger";
 inline constexpr const char* kWindowComplete = "window.complete";
+
+// Head-sampling promotion: an unsampled window that violated its SLO
+// deadline is retroactively sampled (always-sample-on-SLO-violation);
+// carries query/recurrence/reason.
+inline constexpr const char* kTraceSample = "trace.sample";
 
 // Synthetic marker line a truncated flight-recorder journal leads with;
 // carries dropped_events / dropped_bytes. Never stored as an event:

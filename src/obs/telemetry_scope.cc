@@ -6,8 +6,9 @@ namespace redoop {
 namespace obs {
 
 TelemetryScope::TelemetryScope(ObservabilityContext* obs, std::string query,
-                               const int64_t* window_cell)
-    : obs_(obs), window_cell_(window_cell) {
+                               const int64_t* window_cell,
+                               const trace::TraceContext* trace_cell)
+    : obs_(obs), window_cell_(window_cell), trace_cell_(trace_cell) {
   labels_.query = std::move(query);
   if (obs_ != nullptr && !labels_.empty()) {
     label_id_ = obs_->metrics().InternLabels(labels_);
@@ -15,8 +16,12 @@ TelemetryScope::TelemetryScope(ObservabilityContext* obs, std::string query,
 }
 
 TelemetryScope::TelemetryScope(ObservabilityContext* obs, LabelSet labels,
-                               const int64_t* window_cell)
-    : obs_(obs), labels_(std::move(labels)), window_cell_(window_cell) {
+                               const int64_t* window_cell,
+                               const trace::TraceContext* trace_cell)
+    : obs_(obs),
+      labels_(std::move(labels)),
+      window_cell_(window_cell),
+      trace_cell_(trace_cell) {
   if (obs_ != nullptr && !labels_.empty()) {
     label_id_ = obs_->metrics().InternLabels(labels_);
   }
@@ -25,13 +30,13 @@ TelemetryScope::TelemetryScope(ObservabilityContext* obs, LabelSet labels,
 TelemetryScope TelemetryScope::WithNode(int32_t node) const {
   LabelSet labels = labels_;
   labels.node = node;
-  return TelemetryScope(obs_, std::move(labels), window_cell_);
+  return TelemetryScope(obs_, std::move(labels), window_cell_, trace_cell_);
 }
 
 TelemetryScope TelemetryScope::WithPhase(std::string phase) const {
   LabelSet labels = labels_;
   labels.phase = std::move(phase);
-  return TelemetryScope(obs_, std::move(labels), window_cell_);
+  return TelemetryScope(obs_, std::move(labels), window_cell_, trace_cell_);
 }
 
 Event& TelemetryScope::Emit(std::string type) const {
@@ -44,6 +49,11 @@ Event& TelemetryScope::EmitAt(double time, std::string type) const {
   if (!labels_.query.empty()) e.With("query", labels_.query);
   const int64_t w = window();
   if (w >= 0) e.With("window", w);
+  if (trace_cell_ != nullptr && trace_cell_->active() &&
+      trace_cell_->sampled) {
+    e.With("trace", trace::IdHex(trace_cell_->trace_id));
+    e.With("pspan", trace::IdHex(trace_cell_->span_id));
+  }
   return e;
 }
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "obs/observability.h"
+#include "obs/trace/trace_context.h"
 
 namespace redoop {
 namespace obs {
@@ -37,10 +38,16 @@ class TelemetryScope {
   /// Unattributed scope: global series only, no event stamping. The
   /// drop-in equivalent of passing a bare ObservabilityContext*.
   explicit TelemetryScope(ObservabilityContext* obs) : obs_(obs) {}
-  /// Query-attributed scope. `window_cell`, when non-null, must outlive
-  /// the scope and every copy of it (driver-owned member).
+  /// Query-attributed scope. `window_cell` and `trace_cell`, when
+  /// non-null, must outlive the scope and every copy of it (driver-owned
+  /// members). `trace_cell` points at the driver's current TraceContext:
+  /// while it is active and sampled, every event emitted through this
+  /// scope (and all copies) is stamped with the trace id and enclosing
+  /// span id, which is how trace propagation reaches the schedulers,
+  /// runner, and cache layers without any of them knowing about tracing.
   TelemetryScope(ObservabilityContext* obs, std::string query,
-                 const int64_t* window_cell = nullptr);
+                 const int64_t* window_cell = nullptr,
+                 const trace::TraceContext* trace_cell = nullptr);
 
   /// Derived scope with the node / phase dimension added (re-interns the
   /// extended label set; query and window plumbing are inherited).
@@ -54,6 +61,9 @@ class TelemetryScope {
   int64_t window() const {
     return window_cell_ != nullptr ? *window_cell_ : -1;
   }
+  /// The driver's trace-context cell (null for untraced scopes). Callers
+  /// that create child spans (JobRunner task envelopes) read it here.
+  const trace::TraceContext* trace() const { return trace_cell_; }
 
   double Now() const { return obs_ != nullptr ? obs_->Now() : 0.0; }
 
@@ -72,12 +82,14 @@ class TelemetryScope {
 
  private:
   TelemetryScope(ObservabilityContext* obs, LabelSet labels,
-                 const int64_t* window_cell);
+                 const int64_t* window_cell,
+                 const trace::TraceContext* trace_cell);
 
   ObservabilityContext* obs_ = nullptr;
   LabelSet labels_;
   LabelId label_id_ = kNoLabels;
   const int64_t* window_cell_ = nullptr;
+  const trace::TraceContext* trace_cell_ = nullptr;
 };
 
 }  // namespace obs

@@ -1,0 +1,152 @@
+#include "obs/trace/trace_context.h"
+
+#include <cstdlib>
+
+#include "common/string_utils.h"
+
+namespace redoop {
+namespace obs {
+namespace trace {
+
+namespace {
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+constexpr const char* kTokenPrefix = "redoop-trace/";
+}  // namespace
+
+uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = kFnvOffset;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+SpanId DeriveId(std::string_view canonical) {
+  const uint64_t h = Fnv1a64(canonical);
+  return h != 0 ? h : kFnvOffset;
+}
+
+std::string IdHex(SpanId id) {
+  return StringPrintf("%016llx", static_cast<unsigned long long>(id));
+}
+
+SpanId TraceIdFor(std::string_view system, std::string_view query) {
+  std::string canonical = "trace:";
+  canonical.append(system);
+  canonical += '/';
+  canonical.append(query);
+  return DeriveId(canonical);
+}
+
+SpanId WindowSpanId(SpanId trace, int64_t recurrence) {
+  return DeriveId(StringPrintf("window:%s:%lld", IdHex(trace).c_str(),
+                               static_cast<long long>(recurrence)));
+}
+
+SpanId PhaseSpanId(SpanId window_span, std::string_view job,
+                   int64_t occurrence, std::string_view kind) {
+  return DeriveId(StringPrintf(
+      "phase:%s:%.*s#%lld:%.*s", IdHex(window_span).c_str(),
+      static_cast<int>(job.size()), job.data(),
+      static_cast<long long>(occurrence), static_cast<int>(kind.size()),
+      kind.data()));
+}
+
+SpanId TaskSpanId(SpanId trace, int64_t task, int64_t attempt) {
+  return DeriveId(StringPrintf("task:%s:%lld:%lld", IdHex(trace).c_str(),
+                               static_cast<long long>(task),
+                               static_cast<long long>(attempt)));
+}
+
+SpanId CacheOpSpanId(SpanId trace, std::string_view event_type,
+                     std::string_view key, int64_t occurrence) {
+  return DeriveId(StringPrintf(
+      "cacheop:%s:%.*s:%.*s#%lld", IdHex(trace).c_str(),
+      static_cast<int>(event_type.size()), event_type.data(),
+      static_cast<int>(key.size()), key.data(),
+      static_cast<long long>(occurrence)));
+}
+
+SpanId PaneSpanId(SpanId trace, int64_t source, int64_t pane,
+                  int64_t built_window) {
+  return DeriveId(StringPrintf("pane:%s:S%lld:P%lld:W%lld",
+                               IdHex(trace).c_str(),
+                               static_cast<long long>(source),
+                               static_cast<long long>(pane),
+                               static_cast<long long>(built_window)));
+}
+
+SpanId FailureSpanId(SpanId trace, int64_t node, int64_t occurrence) {
+  return DeriveId(StringPrintf("failure:%s:N%lld#%lld", IdHex(trace).c_str(),
+                               static_cast<long long>(node),
+                               static_cast<long long>(occurrence)));
+}
+
+std::string TraceContext::Serialize() const {
+  return StringPrintf("%s%s/%s/%lld/%c", kTokenPrefix,
+                      IdHex(trace_id).c_str(), IdHex(span_id).c_str(),
+                      static_cast<long long>(window), sampled ? 's' : 'u');
+}
+
+namespace {
+
+bool ParseHex16(std::string_view s, uint64_t* out) {
+  if (s.size() != 16) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool TraceContext::Parse(std::string_view token, TraceContext* out) {
+  const std::string_view prefix(kTokenPrefix);
+  if (token.substr(0, prefix.size()) != prefix) return false;
+  token.remove_prefix(prefix.size());
+
+  const size_t slash1 = token.find('/');
+  if (slash1 == std::string_view::npos) return false;
+  const size_t slash2 = token.find('/', slash1 + 1);
+  if (slash2 == std::string_view::npos) return false;
+  const size_t slash3 = token.find('/', slash2 + 1);
+  if (slash3 == std::string_view::npos) return false;
+
+  TraceContext parsed;
+  if (!ParseHex16(token.substr(0, slash1), &parsed.trace_id)) return false;
+  if (!ParseHex16(token.substr(slash1 + 1, slash2 - slash1 - 1),
+                  &parsed.span_id)) {
+    return false;
+  }
+  const std::string window_str(
+      token.substr(slash2 + 1, slash3 - slash2 - 1));
+  if (window_str.empty()) return false;
+  char* end = nullptr;
+  parsed.window = std::strtoll(window_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  const std::string_view flag = token.substr(slash3 + 1);
+  if (flag == "s") {
+    parsed.sampled = true;
+  } else if (flag == "u") {
+    parsed.sampled = false;
+  } else {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+}  // namespace trace
+}  // namespace obs
+}  // namespace redoop

@@ -242,7 +242,9 @@ TEST(AnalyzeJournalTest, GoldenCriticalPathText) {
   const std::string expected =
       "=== system test: critical path 8.1 s over 1 windows "
       "(slot-wait 1 s) ===\n"
+      "blame: compute=3.1 cache_wait=0 slot_wait=1 skew=4 recovery=0\n"
       "window 0: path=8.1 s  wait=1 s  response=9 s\n"
+      "  blame: compute=3.1 cache_wait=0 slot_wait=1 skew=4 recovery=0\n"
       "  startup                          start=0.5        dur=1          "
       "wait=1\n"
       "  map       task=3      node=2    start=1.5        dur=5          "
@@ -255,6 +257,9 @@ TEST(AnalyzeJournalTest, GoldenCriticalPathText) {
       "wait=0\n"
       "  straggler map task=3 node=2 dur=5 s (wave median 1 s)\n";
   EXPECT_EQ(CriticalPathToText(analysis), expected);
+  // The blame buckets partition the path length exactly.
+  const auto& w = analysis.systems[0].windows[0];
+  EXPECT_NEAR(w.blame.Total(), w.critical_path.length, 1e-9);
 }
 
 TEST(AnalyzeJournalTest, ToleratesJournalsWithoutTaskStartSpans) {

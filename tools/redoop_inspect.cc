@@ -13,6 +13,14 @@
 //                      [--straggler-k=K]
 //       Queries ranked by KEY: cache_bytes (default), slot_wait, lag, or
 //       response.
+//   redoop_inspect trace JOURNAL.jsonl [--window=N] [--json]
+//       Causal span view reconstructed from the journal: the default
+//       summary counts spans, follows-from edges, and the critical path;
+//       --window=N renders that recurrence's span tree with cross-window
+//       follows-from annotations.
+//   redoop_inspect lineage JOURNAL.jsonl SOURCE:PANE [--json]
+//       Cross-window lineage of one pane: the window that built it and
+//       every later window whose cache hit consumed it.
 //
 // Truncated journals (flight-recorder captures that evicted old events)
 // are disclosed in both renderings: the text header and the "journal"
@@ -30,6 +38,7 @@
 #include "obs/analysis/analysis.h"
 #include "obs/event_journal.h"
 #include "obs/slo/slo_tracker.h"
+#include "obs/trace/span_builder.h"
 
 namespace redoop {
 namespace {
@@ -43,11 +52,15 @@ void PrintUsage() {
       "redoop_inspect — flight-recorder introspection tool\n\n"
       "  redoop_inspect slo JOURNAL.jsonl [--json] [--straggler-k=K]\n"
       "  redoop_inspect top JOURNAL.jsonl [--by=KEY] [--limit=N] [--json]\n"
-      "                     [--straggler-k=K]\n\n"
+      "                     [--straggler-k=K]\n"
+      "  redoop_inspect trace JOURNAL.jsonl [--window=N] [--json]\n"
+      "  redoop_inspect lineage JOURNAL.jsonl SOURCE:PANE [--json]\n\n"
       "  --json            emit the report as JSON instead of text\n"
       "  --by=KEY          ranking key for top: cache_bytes (default),\n"
       "                    slot_wait, lag, response\n"
       "  --limit=N         rows in the top view (default 10)\n"
+      "  --window=N        trace: render recurrence N's span tree instead\n"
+      "                    of the whole-run summary\n"
       "  --straggler-k=K   flag tasks slower than K x wave median "
       "(default 3)\n\n"
       "Reports group by the journal's query labels; journals from runs\n"
@@ -60,6 +73,7 @@ struct InspectArgs {
   std::string command;
   std::vector<std::string> paths;
   bool json = false;
+  int64_t window = -1;  // trace: recurrence to render; -1 = summary.
   AnalysisOptions analysis;
   TopOptions top;
 };
@@ -85,6 +99,12 @@ bool ParseArgs(int argc, char** argv, InspectArgs* args) {
         return false;
       }
       args->top.limit = static_cast<size_t>(limit);
+    } else if (arg.rfind("--window=", 0) == 0) {
+      args->window = std::atol(arg.c_str() + 9);
+      if (args->window < 0) {
+        std::fprintf(stderr, "--window must be non-negative\n");
+        return false;
+      }
     } else if (arg.rfind("--straggler-k=", 0) == 0) {
       args->analysis.straggler_k = std::atof(arg.c_str() + 14);
       if (args->analysis.straggler_k <= 0.0) {
@@ -125,6 +145,21 @@ std::string JournalHeaderJson(const obs::EventJournal& journal) {
       static_cast<long long>(journal.dropped_bytes()));
 }
 
+/// Parses "SOURCE:PANE" (two non-negative integers) for lineage.
+bool ParsePaneRef(const std::string& ref, int64_t* source, int64_t* pane) {
+  const size_t colon = ref.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= ref.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < ref.size(); ++i) {
+    if (i == colon) continue;
+    if (ref[i] < '0' || ref[i] > '9') return false;
+  }
+  *source = std::atol(ref.substr(0, colon).c_str());
+  *pane = std::atol(ref.substr(colon + 1).c_str());
+  return true;
+}
+
 /// Wraps a report document (ending in "}\n") as the value of `key` in an
 /// object that also carries the journal header.
 std::string WrapJson(const obs::EventJournal& journal, const char* key,
@@ -142,12 +177,23 @@ int Main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
-  if (args.command != "slo" && args.command != "top") {
+  if (args.command != "slo" && args.command != "top" &&
+      args.command != "trace" && args.command != "lineage") {
     std::fprintf(stderr, "unknown command: %s\n\n", args.command.c_str());
     PrintUsage();
     return 2;
   }
-  if (args.paths.size() != 1) {
+  int64_t lineage_source = -1;
+  int64_t lineage_pane = -1;
+  if (args.command == "lineage") {
+    if (args.paths.size() != 2 ||
+        !ParsePaneRef(args.paths[1], &lineage_source, &lineage_pane)) {
+      std::fprintf(stderr,
+                   "lineage takes a journal path and a SOURCE:PANE pane "
+                   "reference (e.g. 0:3)\n");
+      return 2;
+    }
+  } else if (args.paths.size() != 1) {
     std::fprintf(stderr, "%s takes exactly one journal path\n",
                  args.command.c_str());
     return 2;
@@ -172,9 +218,41 @@ int Main(int argc, char** argv) {
                  status.ToString().c_str());
     return 3;
   }
-  const SloReport report = obs::slo::ComputeSlo(journal, args.analysis);
-
   std::string out;
+  if (args.command == "trace" || args.command == "lineage") {
+    obs::trace::Trace trace;
+    const Status built = obs::trace::BuildTrace(journal, &trace);
+    if (!built.ok()) {
+      std::fprintf(stderr, "cannot build trace: %s\n",
+                   built.ToString().c_str());
+      return 3;
+    }
+    if (args.command == "lineage") {
+      out = args.json
+                ? WrapJson(journal, "lineage",
+                           obs::trace::PaneLineageJson(trace, lineage_source,
+                                                       lineage_pane))
+                : JournalHeaderText(journal) +
+                      obs::trace::PaneLineageText(trace, lineage_source,
+                                                  lineage_pane);
+    } else if (args.window >= 0) {
+      out = args.json
+                ? WrapJson(journal, "trace",
+                           obs::trace::WindowTreeJson(trace, args.window))
+                : JournalHeaderText(journal) +
+                      obs::trace::WindowTreeText(trace, args.window);
+    } else {
+      out = args.json
+                ? WrapJson(journal, "trace",
+                           obs::trace::TraceSummaryJson(trace, journal))
+                : JournalHeaderText(journal) +
+                      obs::trace::TraceSummaryText(trace, journal);
+    }
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    return 0;
+  }
+
+  const SloReport report = obs::slo::ComputeSlo(journal, args.analysis);
   if (args.command == "slo") {
     out = args.json ? WrapJson(journal, "slo", report.ToJson())
                     : JournalHeaderText(journal) + report.ToText();
