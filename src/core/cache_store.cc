@@ -6,6 +6,15 @@
 
 namespace redoop {
 
+std::shared_ptr<const FlatKvBuffer> CacheStore::Entry::payload() const {
+  if (flat_ != nullptr) return flat_;
+  std::call_once(decode_once_, [this] {
+    decoded_ =
+        std::make_shared<const FlatKvBuffer>(columnar_->Decode());
+  });
+  return decoded_;
+}
+
 void CacheStore::Put(const std::string& name,
                      std::shared_ptr<const FlatKvBuffer> payload,
                      int64_t bytes, int64_t records) {
@@ -14,13 +23,22 @@ void CacheStore::Put(const std::string& name,
   auto it = entries_.find(name);
   if (it != entries_.end()) {
     total_bytes_ -= it->second->bytes;
+    total_compressed_bytes_ -= it->second->compressed_bytes;
     entries_.erase(it);
   }
   auto entry = std::make_unique<Entry>();
-  entry->payload = std::move(payload);
+  if (columnar_) {
+    entry->columnar_ = std::make_shared<const ColumnarKvPane>(
+        ColumnarKvPane::Encode(*payload));
+    entry->compressed_bytes = entry->columnar_->compressed_bytes();
+  } else {
+    entry->flat_ = std::move(payload);
+    entry->compressed_bytes = bytes;
+  }
   entry->bytes = bytes;
   entry->records = records;
   total_bytes_ += bytes;
+  total_compressed_bytes_ += entry->compressed_bytes;
   entries_[name] = std::move(entry);
   UpdateGauges();
 }
@@ -34,6 +52,7 @@ void CacheStore::Remove(const std::string& name) {
   auto it = entries_.find(name);
   if (it == entries_.end()) return;
   total_bytes_ -= it->second->bytes;
+  total_compressed_bytes_ -= it->second->compressed_bytes;
   entries_.erase(it);
   UpdateGauges();
 }
@@ -42,6 +61,8 @@ void CacheStore::UpdateGauges() {
   if (!scope_.active()) return;
   scope_.SetGauge(obs::metric::kCacheStoreBytes,
                   static_cast<double>(total_bytes_));
+  scope_.SetGauge(obs::metric::kCacheStoreCompressedBytes,
+                  static_cast<double>(total_compressed_bytes_));
   scope_.SetGauge(obs::metric::kCacheStoreEntries,
                   static_cast<double>(entries_.size()));
 }

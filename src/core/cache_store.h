@@ -4,12 +4,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/ids.h"
 #include "mapreduce/kv.h"
 #include "mapreduce/kv_arena.h"
+#include "mapreduce/kv_columnar.h"
 #include "obs/telemetry_scope.h"
 
 namespace redoop {
@@ -22,27 +24,51 @@ namespace redoop {
 /// the recovery path the paper describes.
 class CacheStore {
  public:
-  struct Entry {
-    /// Shared with the materializing job's result and any side inputs that
-    /// reference this cache — one immutable flat buffer, never deep-copied
-    /// and free of per-pair string heap blocks, so storing and re-scanning
-    /// cached panes is cheap (the ReStore lesson: result reuse only pays
-    /// when the cached representation itself is cheap).
-    /// Publish-once: a payload installed here is never mutated in place; a
-    /// rebuild Put()s a fresh buffer and the old shared_ptr stays valid.
-    /// The parallel engine relies on this — an offloaded reduce closure
-    /// keeps merging its captured reference even if the entry is replaced
-    /// (or removed) at the same virtual instant.
-    std::shared_ptr<const FlatKvBuffer> payload;
+  class Entry {
+   public:
+    /// The pane's pairs as one immutable flat buffer, shared (never
+    /// deep-copied) with every side input that references this cache —
+    /// the ReStore lesson: result reuse only pays when the cached
+    /// representation itself is cheap.
+    ///
+    /// Row mode: the buffer the materializing job handed to Put(), shared
+    /// with its result. Columnar mode: the entry holds only the compressed
+    /// columns at rest; the first payload() call decodes them into a fresh
+    /// buffer, memoized for later hits (call_once, so concurrent readers
+    /// are safe and decode exactly once).
+    ///
+    /// Publish-once either way: a payload handed out is never mutated in
+    /// place; a rebuild Put()s a fresh entry and old shared_ptrs stay
+    /// valid. The parallel engine relies on this — an offloaded reduce
+    /// closure keeps merging its captured reference even if the entry is
+    /// replaced (or removed) at the same virtual instant.
+    std::shared_ptr<const FlatKvBuffer> payload() const;
+
+    /// Logical (simulated) size — what capacity math and hit accounting
+    /// have always charged.
     int64_t bytes = 0;
+    /// Host bytes of the at-rest form: the columnar image in columnar
+    /// mode, `bytes` in row mode (no compressed form exists, so real
+    /// traffic is accounted at logical size). hit_compressed vs.
+    /// hit_logical in the journal come from here.
+    int64_t compressed_bytes = 0;
     int64_t records = 0;
+
+   private:
+    friend class CacheStore;
+    std::shared_ptr<const FlatKvBuffer> flat_;        // Row mode.
+    std::shared_ptr<const ColumnarKvPane> columnar_;  // Columnar mode.
+    mutable std::once_flag decode_once_;
+    mutable std::shared_ptr<const FlatKvBuffer> decoded_;
   };
 
   CacheStore() = default;
   CacheStore(const CacheStore&) = delete;
   CacheStore& operator=(const CacheStore&) = delete;
 
-  /// Stores (or replaces) a payload, sharing ownership with the caller.
+  /// Stores (or replaces) a payload. In row mode ownership is shared with
+  /// the caller; in columnar mode the pairs are transposed/compressed and
+  /// the caller's flat buffer is not retained.
   void Put(const std::string& name,
            std::shared_ptr<const FlatKvBuffer> payload,
            int64_t bytes, int64_t records);
@@ -66,6 +92,13 @@ class CacheStore {
 
   size_t size() const { return entries_.size(); }
   int64_t total_bytes() const { return total_bytes_; }
+  int64_t total_compressed_bytes() const { return total_compressed_bytes_; }
+
+  /// Switches the at-rest representation for future Puts (existing entries
+  /// keep their form). Set before the first Put; driven by
+  /// CacheOptions::columnar_payloads.
+  void set_columnar(bool columnar) { columnar_ = columnar; }
+  bool columnar() const { return columnar_; }
 
   /// Keeps cache.store.bytes / cache.store.entries gauges current
   /// (global and per-query labeled series via the scope).
@@ -84,6 +117,8 @@ class CacheStore {
 
   std::map<std::string, std::unique_ptr<Entry>> entries_;
   int64_t total_bytes_ = 0;
+  int64_t total_compressed_bytes_ = 0;
+  bool columnar_ = false;
   obs::TelemetryScope scope_;
 };
 

@@ -109,6 +109,7 @@ RedoopDriver::RedoopDriver(Cluster* cluster, BatchFeed* feed,
                                &trace_ctx_);
   controller_.set_telemetry(scope_);
   store_.set_telemetry(scope_);
+  store_.set_columnar(options_.cache.columnar_payloads);
   profiler_.set_telemetry(scope_);
   default_scheduler_.set_telemetry(scope_);
   cluster_->dfs().set_observability(obs_);
@@ -583,7 +584,9 @@ void RedoopDriver::AppendSideInput(const CacheSignature& sig,
   side.location = sig.node;
   side.bytes = sig.bytes;
   side.records = sig.records;
-  side.payload = entry->payload;  // Shared with the store, not copied.
+  // Shared with the store, not copied; columnar entries decode here (once,
+  // memoized) — the lazy "decompress on cache hit" moment.
+  side.payload = entry->payload();
   out->push_back(std::move(side));
 }
 
@@ -960,11 +963,19 @@ void RedoopDriver::EmitPaneCacheStats(int64_t recurrence) {
       if (it == pane_states_.end()) continue;  // Pane carried no data.
       const PaneIngestState& ps = it->second;
       bool cached = !ps.ric_names.empty() || !ps.roc_names.empty();
+      // Compressed footprint of the at-rest payloads backing this pane —
+      // the bytes a hit actually moves (columnar entries report their
+      // encoded image; row entries report logical size).
+      int64_t compressed = 0;
       for (const std::string& name : ps.ric_names) {
-        if (!store_.Has(name)) cached = false;
+        const CacheStore::Entry* entry = store_.Find(name);
+        if (entry == nullptr) cached = false;
+        else compressed += entry->compressed_bytes;
       }
       for (const std::string& name : ps.roc_names) {
-        if (!store_.Has(name)) cached = false;
+        const CacheStore::Entry* entry = store_.Find(name);
+        if (entry == nullptr) cached = false;
+        else compressed += entry->compressed_bytes;
       }
       const bool built_now =
           panes_built_this_recurrence_.count({qs.id, p}) > 0;
@@ -972,6 +983,8 @@ void RedoopDriver::EmitPaneCacheStats(int64_t recurrence) {
       if (hit) {
         scope_.Increment(obs::metric::kCachePaneHits);
         scope_.Increment(obs::metric::kCachePaneHitBytes, ps.bytes);
+        scope_.Increment(obs::metric::kCachePaneHitCompressedBytes,
+                         compressed);
         counters_accum_.Increment(counter::kCachePaneHits);
       } else {
         scope_.Increment(obs::metric::kCachePaneMisses);
@@ -988,6 +1001,8 @@ void RedoopDriver::EmitPaneCacheStats(int64_t recurrence) {
               .With("reason", hit          ? "reused"
                               : built_now ? "built_this_recurrence"
                                           : "uncached");
+      // Only hits report compressed traffic: a miss moves no cached bytes.
+      if (hit) verdict.With("compressed_bytes", compressed);
       // Lineage: a reuse hit consumes the artifact built in an earlier
       // window — name that window so the trace's follows-from edge points
       // at the right pane span even after rebuilds.
@@ -1102,7 +1117,7 @@ WindowReport RedoopDriver::AssembleWindow(int64_t recurrence) {
             if (sig->records == 0) continue;
             const CacheStore::Entry* entry = store_.Find(sig->name);
             REDOOP_CHECK(entry != nullptr);
-            entry->payload->AppendToKeyValues(&report.output);
+            entry->payload()->AppendToKeyValues(&report.output);
           }
         }
       }

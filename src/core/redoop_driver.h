@@ -42,6 +42,12 @@ struct CacheOptions {
   bool hybrid_join_strategy = true;
   /// Local-registry purge period; < 0 means "one slide" (paper default).
   double purge_cycle_s = -1.0;
+  /// Store cache payloads columnar-compressed (front-coded key column,
+  /// varint value/offset columns), decoding lazily into a FlatKvBuffer on
+  /// first access. Job outputs, counters, and simulated timings are
+  /// byte-identical either way — only host memory and the compressed-bytes
+  /// accounting change. Off = keep the row-ordered flat buffer as-is.
+  bool columnar_payloads = true;
 };
 
 /// Adaptive input partitioning + proactive execution (paper §3.3).
@@ -140,6 +146,7 @@ class RedoopDriverOptions::Builder {
   Builder& CacheReduceOutput(bool v) { opts_.cache.reduce_output = v; return *this; }
   Builder& HybridJoinStrategy(bool v) { opts_.cache.hybrid_join_strategy = v; return *this; }
   Builder& PurgeCycle(double seconds) { opts_.cache.purge_cycle_s = seconds; return *this; }
+  Builder& ColumnarPayloads(bool v) { opts_.cache.columnar_payloads = v; return *this; }
   Builder& Adaptive(bool v) { opts_.adaptive.enabled = v; return *this; }
   Builder& ProactiveThreshold(double v) { opts_.adaptive.proactive_threshold = v; return *this; }
   Builder& MaxSubpanes(int32_t v) { opts_.adaptive.max_subpanes = v; return *this; }

@@ -1,0 +1,143 @@
+#include "dfs/columnar.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace redoop {
+
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+const char* GetVarint(const char* p, const char* end, uint64_t* v) {
+  uint64_t result = 0;
+  for (int shift = 0; shift < 70 && p < end; shift += 7) {
+    const uint8_t byte = static_cast<uint8_t>(*p++);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return p;
+    }
+  }
+  return nullptr;  // Truncated or overlong.
+}
+
+namespace {
+
+size_t SharedPrefix(std::string_view a, std::string_view b) {
+  const size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+}  // namespace
+
+void FrontCodedWriter::Append(std::string_view s) {
+  const size_t shared = SharedPrefix(previous_, s);
+  PutVarint(&bytes_, shared);
+  PutVarint(&bytes_, s.size() - shared);
+  bytes_.append(s.data() + shared, s.size() - shared);
+  previous_.assign(s);
+}
+
+bool FrontCodedReader::Next(std::string* out) {
+  uint64_t shared = 0;
+  uint64_t suffix = 0;
+  p_ = GetVarint(p_, end_, &shared);
+  if (p_ == nullptr) return false;
+  p_ = GetVarint(p_, end_, &suffix);
+  if (p_ == nullptr || shared > previous_.size() ||
+      suffix > static_cast<uint64_t>(end_ - p_)) {
+    p_ = end_ = nullptr;
+    return false;
+  }
+  previous_.resize(shared);
+  previous_.append(p_, suffix);
+  p_ += suffix;
+  out->assign(previous_);
+  return true;
+}
+
+ColumnarRecordBlock ColumnarRecordBlock::Encode(const Record* records,
+                                                size_t count) {
+  ColumnarRecordBlock block;
+  block.count_ = static_cast<int64_t>(count);
+  FrontCodedWriter keys;
+  int64_t prev_ts = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const Record& r = records[i];
+    PutVarint(&block.timestamps_, ZigZagEncode(r.timestamp - prev_ts));
+    prev_ts = r.timestamp;
+    keys.Append(r.key);
+    PutVarint(&block.values_, r.value.size());
+    block.values_.append(r.value);
+    PutVarint(&block.logical_, ZigZagEncode(r.logical_bytes));
+  }
+  const Codec* codec = DefaultColumnCodec();
+  std::string compressed;
+  for (std::string* column :
+       {&block.timestamps_, &block.values_, &block.logical_}) {
+    codec->Compress(*column, &compressed);
+    column->swap(compressed);
+  }
+  codec->Compress(keys.bytes(), &compressed);
+  block.keys_.swap(compressed);
+  return block;
+}
+
+void ColumnarRecordBlock::DecodeInto(std::vector<Record>* out) const {
+  const Codec* codec = DefaultColumnCodec();
+  std::string timestamps, keys, values, logical;
+  REDOOP_CHECK(codec->Decompress(timestamps_, &timestamps) &&
+               codec->Decompress(keys_, &keys) &&
+               codec->Decompress(values_, &values) &&
+               codec->Decompress(logical_, &logical))
+      << "corrupt columnar record block";
+  out->reserve(out->size() + static_cast<size_t>(count_));
+  FrontCodedReader key_reader(keys);
+  const char* tp = timestamps.data();
+  const char* tend = tp + timestamps.size();
+  const char* vp = values.data();
+  const char* vend = vp + values.size();
+  const char* lp = logical.data();
+  const char* lend = lp + logical.size();
+  int64_t prev_ts = 0;
+  for (int64_t i = 0; i < count_; ++i) {
+    Record r;
+    uint64_t raw = 0;
+    tp = GetVarint(tp, tend, &raw);
+    REDOOP_CHECK(tp != nullptr) << "corrupt timestamp column";
+    prev_ts += ZigZagDecode(raw);
+    r.timestamp = prev_ts;
+    REDOOP_CHECK(key_reader.Next(&r.key)) << "corrupt key column";
+    vp = GetVarint(vp, vend, &raw);
+    REDOOP_CHECK(vp != nullptr &&
+                 raw <= static_cast<uint64_t>(vend - vp))
+        << "corrupt value column";
+    r.value.assign(vp, raw);
+    vp += raw;
+    lp = GetVarint(lp, lend, &raw);
+    REDOOP_CHECK(lp != nullptr) << "corrupt logical-bytes column";
+    r.logical_bytes = static_cast<int32_t>(ZigZagDecode(raw));
+    out->push_back(std::move(r));
+  }
+}
+
+std::vector<Record> ColumnarRecordBlock::Decode() const {
+  std::vector<Record> out;
+  DecodeInto(&out);
+  return out;
+}
+
+const Codec* DefaultColumnCodec() {
+  static const IdentityCodec* const kCodec = new IdentityCodec();
+  return kCodec;
+}
+
+}  // namespace redoop

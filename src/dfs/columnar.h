@@ -1,0 +1,151 @@
+#ifndef REDOOP_DFS_COLUMNAR_H_
+#define REDOOP_DFS_COLUMNAR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dfs/record.h"
+
+namespace redoop {
+
+// ---------------------------------------------------------------------------
+// Varint / zigzag primitives shared by every columnar encoder.
+// ---------------------------------------------------------------------------
+
+/// Appends `v` LEB128-style: 7 payload bits per byte, high bit = "more".
+void PutVarint(std::string* out, uint64_t v);
+
+/// Decodes one varint from [p, end). Returns the position past it, or
+/// nullptr on truncated/overlong input (> 10 bytes).
+const char* GetVarint(const char* p, const char* end, uint64_t* v);
+
+/// Maps signed to unsigned so small magnitudes stay small varints.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+// ---------------------------------------------------------------------------
+// Column codec plug-point.
+// ---------------------------------------------------------------------------
+
+/// Per-column byte-transform hook. Column encoders produce lightweight
+/// front-coded/varint images; a Codec is the slot where a heavier general
+/// codec (LZ4, zstd) would screw in without touching the column formats.
+/// The tree ships only IdentityCodec — the container bakes in no codec
+/// libraries — but everything downstream accounts compressed bytes through
+/// this interface so swapping one in is a one-liner.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+  virtual std::string_view name() const = 0;
+  virtual void Compress(std::string_view in, std::string* out) const = 0;
+  /// False on corrupt input (identity never fails).
+  virtual bool Decompress(std::string_view in, std::string* out) const = 0;
+};
+
+/// The no-op codec: bytes pass through untouched.
+class IdentityCodec : public Codec {
+ public:
+  std::string_view name() const override { return "identity"; }
+  void Compress(std::string_view in, std::string* out) const override {
+    out->assign(in.data(), in.size());
+  }
+  bool Decompress(std::string_view in, std::string* out) const override {
+    out->assign(in.data(), in.size());
+    return true;
+  }
+};
+
+/// Process-wide codec applied to every column (identity singleton).
+const Codec* DefaultColumnCodec();
+
+// ---------------------------------------------------------------------------
+// Front-coded byte columns.
+// ---------------------------------------------------------------------------
+
+/// Incremental front-coder: each appended string is stored as
+/// varint(shared-prefix length with the previous string), varint(suffix
+/// length), suffix bytes. Sorted or low-churn key streams collapse to a
+/// few bytes per entry; worst case costs two varints over raw.
+class FrontCodedWriter {
+ public:
+  void Append(std::string_view s);
+  /// The encoded column; valid after any number of Appends.
+  const std::string& bytes() const { return bytes_; }
+  std::string TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+  std::string previous_;
+};
+
+/// Streaming decoder for a FrontCodedWriter column. Emits entries in
+/// order; `Next` returns false on exhausted or corrupt input.
+class FrontCodedReader {
+ public:
+  explicit FrontCodedReader(std::string_view bytes)
+      : p_(bytes.data()), end_(bytes.data() + bytes.size()) {}
+
+  bool AtEnd() const { return p_ == end_; }
+  /// Decodes the next entry into `*out` (reused across calls).
+  bool Next(std::string* out);
+
+ private:
+  const char* p_;
+  const char* end_;
+  std::string previous_;
+};
+
+// ---------------------------------------------------------------------------
+// Columnar record block — the DFS pane payload format.
+// ---------------------------------------------------------------------------
+
+/// One pane's records transposed into four independently-encoded columns:
+///
+///   timestamps : zigzag varint deltas (batch order is near-sorted in time)
+///   keys       : front-coded (shared-prefix truncation + varint offsets)
+///   values     : varint length + raw bytes
+///   logical    : zigzag varint per-record logical_bytes
+///
+/// Encode/Decode round-trips records byte-identically in order, so the
+/// simulated world — which charges logical bytes — cannot observe whether
+/// a file was stored row-wise or columnar; only host memory and the
+/// compressed-bytes accounting change.
+class ColumnarRecordBlock {
+ public:
+  ColumnarRecordBlock() = default;
+
+  static ColumnarRecordBlock Encode(const Record* records, size_t count);
+  static ColumnarRecordBlock Encode(const std::vector<Record>& records) {
+    return Encode(records.data(), records.size());
+  }
+
+  /// Reconstructs the original record vector (order and bytes preserved).
+  std::vector<Record> Decode() const;
+  /// Decode() appending into an existing vector (multi-segment files).
+  void DecodeInto(std::vector<Record>* out) const;
+
+  int64_t record_count() const { return count_; }
+  /// Host bytes of the encoded image — the "real traffic" a cache hit or
+  /// block read of this pane would move.
+  int64_t compressed_bytes() const {
+    return static_cast<int64_t>(timestamps_.size() + keys_.size() +
+                                values_.size() + logical_.size());
+  }
+
+ private:
+  std::string timestamps_;
+  std::string keys_;
+  std::string values_;
+  std::string logical_;
+  int64_t count_ = 0;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_DFS_COLUMNAR_H_

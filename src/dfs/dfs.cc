@@ -50,11 +50,12 @@ StatusOr<FileId> Dfs::CreateFileWithHeader(std::string_view name,
   file->id = next_file_id_++;
   file->name = std::string(name);
   file->size_bytes = TotalLogicalBytes(records) + header.logical_bytes();
-  file->records = std::move(records);
   file->pane_header = std::move(header);
   file->time_begin = time_begin;
   file->time_end = time_end;
-  PlaceBlocks(file.get());
+  file->record_count_ = static_cast<int64_t>(records.size());
+  EncodeSegments(file.get(), records);
+  PlaceBlocks(file.get(), records);
 
   const FileId id = file->id;
   by_name_[file->name] = id;
@@ -68,14 +69,52 @@ StatusOr<FileId> Dfs::CreateFileWithHeader(std::string_view name,
         .With("file", stored->name)
         .With("bytes", stored->size_bytes)
         .With("blocks", static_cast<int64_t>(stored->blocks.size()))
-        .With("records", static_cast<int64_t>(stored->records.size()));
+        .With("records", stored->record_count());
   }
   return id;
 }
 
-void Dfs::PlaceBlocks(DfsFile* file) {
+const std::vector<Record>& DfsFile::rows() const {
+  std::call_once(decode_once_, [this] {
+    rows_.reserve(static_cast<size_t>(record_count_));
+    for (const ColumnarRecordBlock& segment : segments_) {
+      segment.DecodeInto(&rows_);
+    }
+  });
+  return rows_;
+}
+
+void Dfs::EncodeSegments(DfsFile* file, const std::vector<Record>& records) {
+  const int64_t total = static_cast<int64_t>(records.size());
+  // Pane-granular segments only when the header tiles the record range
+  // exactly; anything else (plain files, headerless panes) encodes whole.
+  bool tiled = !file->pane_header.empty();
+  int64_t expect = 0;
+  for (const PaneHeaderEntry& e : file->pane_header.entries()) {
+    if (e.record_offset != expect) tiled = false;
+    expect += e.record_count;
+  }
+  if (tiled && expect != total) tiled = false;
+  if (!tiled) {
+    file->segments_.push_back(ColumnarRecordBlock::Encode(records));
+    return;
+  }
+  int64_t compressed_offset = 0;
+  const auto& entries = file->pane_header.entries();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    ColumnarRecordBlock segment = ColumnarRecordBlock::Encode(
+        records.data() + entries[i].record_offset,
+        static_cast<size_t>(entries[i].record_count));
+    const int64_t size = segment.compressed_bytes();
+    file->pane_header.AnnotateCompressed(i, compressed_offset, size);
+    compressed_offset += size;
+    file->segments_.push_back(std::move(segment));
+  }
+}
+
+void Dfs::PlaceBlocks(DfsFile* file, const std::vector<Record>& records) {
   const int64_t block_size = options_.block_size_bytes;
-  const int64_t record_count = static_cast<int64_t>(file->records.size());
+  const int64_t record_count = static_cast<int64_t>(records.size());
   int64_t begin = 0;
   int64_t bytes_in_block = 0;
   int64_t index = 0;
@@ -94,7 +133,7 @@ void Dfs::PlaceBlocks(DfsFile* file) {
   };
 
   for (; index < record_count; ++index) {
-    bytes_in_block += file->records[static_cast<size_t>(index)].logical_bytes;
+    bytes_in_block += records[static_cast<size_t>(index)].logical_bytes;
     if (bytes_in_block >= block_size) flush_block(index + 1);
   }
   if (bytes_in_block > 0 || file->blocks.empty()) {

@@ -284,7 +284,7 @@ void JobRunner::BuildMapTasks(const JobSpec& spec, RunState* run) {
       return;
     }
     const DfsFile* file = *file_or;
-    const int64_t file_records = static_cast<int64_t>(file->records.size());
+    const int64_t file_records = file->record_count();
     const int64_t begin = std::max<int64_t>(0, input.record_begin);
     const int64_t end = input.record_end < 0
                             ? file_records
@@ -302,8 +302,9 @@ void JobRunner::BuildMapTasks(const JobSpec& spec, RunState* run) {
       task->file = file;
       task->record_begin = slice_begin;
       task->record_end = slice_end;
+      const std::vector<Record>& rows = file->rows();
       for (int64_t r = slice_begin; r < slice_end; ++r) {
-        task->input_bytes += file->records[static_cast<size_t>(r)].logical_bytes;
+        task->input_bytes += rows[static_cast<size_t>(r)].logical_bytes;
       }
       task->replica_nodes = block.replicas;
       task->source = input.source;
@@ -463,8 +464,9 @@ JobRunner::MapPayloadResult JobRunner::ExecuteMapPayload(
   // buckets trims any over-reservation before they are retained for the
   // whole shuffle.
   context.Reserve(static_cast<size_t>(record_end - record_begin));
+  const std::vector<Record>& rows = file->rows();  // Decoded once, memoized.
   for (int64_t r = record_begin; r < record_end; ++r) {
-    mapper->Map(file->records[static_cast<size_t>(r)], &context);
+    mapper->Map(rows[static_cast<size_t>(r)], &context);
   }
   // Partition by slice, straight off the arena: the key never leaves the
   // flat buffer, each partition collects pair indices, and the bytes are

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "exec/task_executor.h"
 
 namespace redoop {
 
@@ -76,21 +77,163 @@ std::vector<uint32_t> FlatKvBuffer::SortedOrder() const {
   return order;
 }
 
+namespace {
+
+/// The strict total order both sort paths realize: prefix, then full
+/// (key, value) bytes, then buffer index. Index uniqueness makes this a
+/// total order, so any correct sort yields the same permutation.
+struct KvEntryLess {
+  const FlatKvBuffer* buf;
+  bool operator()(const KvSortEntry& a, const KvSortEntry& b) const {
+    if (a.prefix != b.prefix) return a.prefix < b.prefix;
+    const int c = buf->Compare(a.index, *buf, b.index);
+    if (c != 0) return c < 0;
+    return a.index < b.index;  // Stable for equal (key, value).
+  }
+};
+
+/// Byte histograms for all eight radix passes, filled in one sweep over
+/// the entries. counts[b][v] = entries whose prefix byte `b` (b = 0 is the
+/// least significant) equals `v`.
+struct RadixHistograms {
+  uint64_t counts[8][256];
+};
+
+/// Builds entries[begin, end) from the index slice and accumulates their
+/// prefix bytes into `hist`. Slices are disjoint, so parallel calls touch
+/// disjoint entry ranges and private histograms — merging is an addition.
+void BuildEntriesAndHistogram(const FlatKvBuffer& buf, const uint32_t* src,
+                              KvSortEntry* entries, size_t begin, size_t end,
+                              RadixHistograms* hist) {
+  std::memset(hist->counts, 0, sizeof(hist->counts));
+  for (size_t k = begin; k < end; ++k) {
+    const uint32_t index = src[k];
+    const uint64_t prefix = buf.prefix(index);
+    entries[k].prefix = prefix;
+    entries[k].index = index;
+    for (int b = 0; b < 8; ++b) {
+      ++hist->counts[b][(prefix >> (8 * b)) & 0xFF];
+    }
+  }
+}
+
+/// LSD radix sort of `entries` by prefix: least-significant byte first,
+/// stable scatter per pass, passes where every prefix shares the byte are
+/// skipped. Afterwards entries are prefix-ordered with equal-prefix runs
+/// still in input order; the caller finishes those runs by comparison.
+void RadixScatterPasses(std::vector<KvSortEntry>* entries,
+                        const RadixHistograms& hist) {
+  const size_t n = entries->size();
+  std::vector<KvSortEntry> scratch(n);
+  KvSortEntry* from = entries->data();
+  KvSortEntry* to = scratch.data();
+  for (int b = 0; b < 8; ++b) {
+    const uint64_t* counts = hist.counts[b];
+    uint64_t offsets[256];
+    uint64_t sum = 0;
+    bool trivial = false;
+    for (int v = 0; v < 256; ++v) {
+      if (counts[v] == n) trivial = true;
+      offsets[v] = sum;
+      sum += counts[v];
+    }
+    if (trivial) continue;  // All prefixes share this byte: identity pass.
+    const int shift = 8 * b;
+    for (size_t k = 0; k < n; ++k) {
+      const KvSortEntry e = from[k];
+      to[offsets[(e.prefix >> shift) & 0xFF]++] = e;
+    }
+    std::swap(from, to);
+  }
+  if (from != entries->data()) {
+    std::memcpy(entries->data(), from, n * sizeof(KvSortEntry));
+  }
+}
+
+/// Sorts `entries` in place by the full KvEntryLess order via LSD radix on
+/// the prefix plus a comparison finish of equal-prefix runs. When
+/// `executor` is non-null the entry-build/histogram sweep fans out over
+/// worker threads; the per-slice histograms merge by addition in slice
+/// order, so the merged counts — and therefore the scatter — are
+/// independent of scheduling.
+void RadixSortEntries(const FlatKvBuffer& buf, const uint32_t* src,
+                      std::vector<KvSortEntry>* entries,
+                      exec::TaskExecutor* executor) {
+  const size_t n = entries->size();
+  RadixHistograms hist;
+  // Entries below this per-slice size are not worth a task round-trip.
+  constexpr size_t kMinEntriesPerTask = 64 * 1024;
+  const size_t max_tasks =
+      executor == nullptr
+          ? 1
+          : std::min<size_t>(
+                static_cast<size_t>(executor->thread_count()),
+                (n + kMinEntriesPerTask - 1) / kMinEntriesPerTask);
+  if (max_tasks <= 1) {
+    BuildEntriesAndHistogram(buf, src, entries->data(), 0, n, &hist);
+  } else {
+    std::vector<RadixHistograms> parts(max_tasks);
+    std::vector<exec::TaskFuture<int>> futures;
+    futures.reserve(max_tasks);
+    const size_t per_task = (n + max_tasks - 1) / max_tasks;
+    for (size_t t = 0; t < max_tasks; ++t) {
+      const size_t begin = t * per_task;
+      const size_t end = std::min(n, begin + per_task);
+      KvSortEntry* data = entries->data();
+      RadixHistograms* part = &parts[t];
+      futures.push_back(executor->Submit([&buf, src, data, begin, end, part] {
+        BuildEntriesAndHistogram(buf, src, data, begin, end, part);
+        return 0;
+      }));
+    }
+    for (auto& f : futures) f.Wait();
+    std::memset(hist.counts, 0, sizeof(hist.counts));
+    for (const RadixHistograms& part : parts) {
+      for (int b = 0; b < 8; ++b) {
+        for (int v = 0; v < 256; ++v) hist.counts[b][v] += part.counts[b][v];
+      }
+    }
+  }
+  RadixScatterPasses(entries, hist);
+  // Comparison finish: each equal-prefix run is contiguous now; full-byte
+  // order and the index tie-break are decided here. The full comparator
+  // (not just the tail) keeps this line-for-line the comparison path's
+  // order, so outputs match it byte for byte.
+  KvSortEntry* data = entries->data();
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i + 1;
+    while (j < n && data[j].prefix == data[i].prefix) ++j;
+    if (j - i > 1) std::sort(data + i, data + j, KvEntryLess{&buf});
+    i = j;
+  }
+}
+
+}  // namespace
+
 void SortSliceIndices(const FlatKvBuffer& buf,
                       std::vector<uint32_t>* indices) {
-  std::vector<KvSortEntry> entries(indices->size());
-  for (size_t k = 0; k < entries.size(); ++k) {
-    entries[k].index = (*indices)[k];
-    entries[k].prefix = buf.prefix(entries[k].index);
+  SortSliceIndicesWith(buf, indices, KvSortMode::kAuto, nullptr);
+}
+
+void SortSliceIndicesWith(const FlatKvBuffer& buf,
+                          std::vector<uint32_t>* indices, KvSortMode mode,
+                          exec::TaskExecutor* executor) {
+  const size_t n = indices->size();
+  const bool radix =
+      mode == KvSortMode::kRadix ||
+      (mode == KvSortMode::kAuto && n >= kKvRadixSortMinEntries);
+  std::vector<KvSortEntry> entries(n);
+  if (radix) {
+    RadixSortEntries(buf, indices->data(), &entries, executor);
+  } else {
+    for (size_t k = 0; k < n; ++k) {
+      entries[k].index = (*indices)[k];
+      entries[k].prefix = buf.prefix(entries[k].index);
+    }
+    std::sort(entries.begin(), entries.end(), KvEntryLess{&buf});
   }
-  std::sort(entries.begin(), entries.end(),
-            [&buf](const KvSortEntry& a, const KvSortEntry& b) {
-              if (a.prefix != b.prefix) return a.prefix < b.prefix;
-              const int c = buf.Compare(a.index, buf, b.index);
-              if (c != 0) return c < 0;
-              return a.index < b.index;  // Stable for equal (key, value).
-            });
-  for (size_t k = 0; k < entries.size(); ++k) {
+  for (size_t k = 0; k < n; ++k) {
     (*indices)[k] = entries[k].index;
   }
 }

@@ -13,6 +13,10 @@
 
 namespace redoop {
 
+namespace exec {
+class TaskExecutor;
+}  // namespace exec
+
 /// One pair inside a FlatKvBuffer: a packed arena address plus lengths.
 /// 24 bytes, no per-pair heap allocation — versus sizeof(KeyValue) == 72
 /// plus up to two string heap blocks. The address packs (chunk index <<
@@ -176,7 +180,31 @@ class FlatKvBuffer {
 /// Sorts `indices` (pairs of `buf`) by (key, value), equal pairs staying
 /// in index order — SortedOrder() restricted to a subset. Used by the map
 /// path to order one partition's pairs without touching the others.
+///
+/// Adaptive: large runs go through an LSD radix sort over the 16-byte sort
+/// entries (8 histogram+scatter passes on the normalized prefix, then a
+/// comparison finish of equal-prefix runs); tiny runs keep the comparison
+/// sort, whose constant factor wins below ~1k entries. Both paths order by
+/// the same strict total order (prefix, key bytes, value bytes, index), so
+/// the output permutation is identical whichever path runs.
 void SortSliceIndices(const FlatKvBuffer& buf, std::vector<uint32_t>* indices);
+
+/// Forced sort strategy for SortSliceIndicesWith. kAuto is what
+/// SortSliceIndices uses: radix at >= kKvRadixSortMinEntries, comparison
+/// below. The forced modes exist for benchmarks and equivalence tests.
+enum class KvSortMode { kAuto, kComparison, kRadix };
+
+/// Entry count at which kAuto switches from the comparison sort to radix.
+inline constexpr size_t kKvRadixSortMinEntries = 1024;
+
+/// SortSliceIndices with an explicit strategy and an optional executor.
+/// With an executor, the radix path builds its byte histograms in parallel
+/// (per-thread histograms over disjoint slices, merged additively in slice
+/// order) — the scatter passes stay sequential. The executor never changes
+/// the output permutation, only wall-clock.
+void SortSliceIndicesWith(const FlatKvBuffer& buf,
+                          std::vector<uint32_t>* indices, KvSortMode mode,
+                          exec::TaskExecutor* executor = nullptr);
 
 /// A lightweight view of a key group inside a FlatKvBuffer: either a
 /// contiguous slice [begin, end) (merged reduce input) or an arbitrary

@@ -1,0 +1,60 @@
+#include "mapreduce/kv_columnar.h"
+
+#include "common/logging.h"
+#include "dfs/columnar.h"
+
+namespace redoop {
+
+ColumnarKvPane ColumnarKvPane::Encode(const FlatKvBuffer& buf) {
+  ColumnarKvPane pane;
+  pane.count_ = static_cast<int64_t>(buf.size());
+  FrontCodedWriter keys;
+  for (size_t i = 0; i < buf.size(); ++i) {
+    keys.Append(buf.key(i));
+    const std::string_view value = buf.value(i);
+    PutVarint(&pane.values_, value.size());
+    pane.values_.append(value);
+    PutVarint(&pane.logical_, ZigZagEncode(buf.logical_bytes(i)));
+  }
+  const Codec* codec = DefaultColumnCodec();
+  std::string compressed;
+  codec->Compress(keys.bytes(), &compressed);
+  pane.keys_.swap(compressed);
+  codec->Compress(pane.values_, &compressed);
+  pane.values_.swap(compressed);
+  codec->Compress(pane.logical_, &compressed);
+  pane.logical_.swap(compressed);
+  return pane;
+}
+
+FlatKvBuffer ColumnarKvPane::Decode() const {
+  const Codec* codec = DefaultColumnCodec();
+  std::string keys, values, logical;
+  REDOOP_CHECK(codec->Decompress(keys_, &keys) &&
+               codec->Decompress(values_, &values) &&
+               codec->Decompress(logical_, &logical))
+      << "corrupt columnar kv pane";
+  FlatKvBuffer buf;
+  buf.Reserve(static_cast<size_t>(count_));
+  FrontCodedReader key_reader(keys);
+  const char* vp = values.data();
+  const char* vend = vp + values.size();
+  const char* lp = logical.data();
+  const char* lend = lp + logical.size();
+  std::string key;
+  for (int64_t i = 0; i < count_; ++i) {
+    REDOOP_CHECK(key_reader.Next(&key)) << "corrupt key column";
+    uint64_t raw = 0;
+    vp = GetVarint(vp, vend, &raw);
+    REDOOP_CHECK(vp != nullptr && raw <= static_cast<uint64_t>(vend - vp))
+        << "corrupt value column";
+    const std::string_view value(vp, raw);
+    vp += raw;
+    lp = GetVarint(lp, lend, &raw);
+    REDOOP_CHECK(lp != nullptr) << "corrupt logical-bytes column";
+    buf.Append(key, value, static_cast<int32_t>(ZigZagDecode(raw)));
+  }
+  return buf;
+}
+
+}  // namespace redoop

@@ -1,0 +1,52 @@
+#ifndef REDOOP_MAPREDUCE_KV_COLUMNAR_H_
+#define REDOOP_MAPREDUCE_KV_COLUMNAR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "mapreduce/kv_arena.h"
+
+namespace redoop {
+
+/// A cached KV pane payload transposed into three independently-encoded
+/// columns (the CacheStore's at-rest form when columnar payloads are on):
+///
+///   keys    : front-coded — varint(shared-prefix len), varint(suffix len),
+///             suffix bytes. Cache payloads are sorted runs, so adjacent
+///             keys share long prefixes and the column collapses hard.
+///   values  : varint length + raw bytes (the varint lengths double as the
+///             offset array — cumulative sums recover every boundary).
+///   logical : zigzag varint per-pair logical_bytes.
+///
+/// Encode/Decode round-trips a FlatKvBuffer byte-identically in pair
+/// order, so reducers fed from a decoded pane group and emit exactly what
+/// the row layout produced. Columns pass through DefaultColumnCodec()
+/// (identity today; the plug-point for a real codec).
+///
+/// compressed_bytes() is the encoded image size — what a cache hit
+/// actually moves, vs. the logical bytes the simulation charges.
+class ColumnarKvPane {
+ public:
+  ColumnarKvPane() = default;
+
+  static ColumnarKvPane Encode(const FlatKvBuffer& buf);
+
+  /// Reconstructs the pairs (order, bytes, and logical sizes preserved).
+  FlatKvBuffer Decode() const;
+
+  int64_t pair_count() const { return count_; }
+  int64_t compressed_bytes() const {
+    return static_cast<int64_t>(keys_.size() + values_.size() +
+                                logical_.size());
+  }
+
+ private:
+  std::string keys_;
+  std::string values_;
+  std::string logical_;
+  int64_t count_ = 0;
+};
+
+}  // namespace redoop
+
+#endif  // REDOOP_MAPREDUCE_KV_COLUMNAR_H_

@@ -27,6 +27,7 @@ void CacheStats::Add(const CacheStats& other) {
   pair_hits += other.pair_hits;
   pair_misses += other.pair_misses;
   hit_bytes += other.hit_bytes;
+  hit_compressed_bytes += other.hit_compressed_bytes;
   miss_bytes += other.miss_bytes;
 }
 
@@ -507,6 +508,8 @@ Status AnalyzeJournal(const EventJournal& journal,
       if (hit) {
         ++b.window.cache.pane_hits;
         b.window.cache.hit_bytes += bytes;
+        b.window.cache.hit_compressed_bytes +=
+            e.IntOr("compressed_bytes", bytes);
       } else {
         ++b.window.cache.pane_misses;
         b.window.cache.miss_bytes += bytes;
@@ -550,13 +553,15 @@ std::string PhaseJson(const PhaseBreakdown& p) {
 std::string CacheJson(const CacheStats& c) {
   return StringPrintf(
       "{\"pane_hits\": %lld, \"pane_misses\": %lld, \"pair_hits\": %lld, "
-      "\"pair_misses\": %lld, \"hit_bytes\": %lld, \"miss_bytes\": %lld, "
+      "\"pair_misses\": %lld, \"hit_bytes\": %lld, "
+      "\"hit_compressed_bytes\": %lld, \"miss_bytes\": %lld, "
       "\"hit_rate\": %s}",
       static_cast<long long>(c.pane_hits),
       static_cast<long long>(c.pane_misses),
       static_cast<long long>(c.pair_hits),
       static_cast<long long>(c.pair_misses),
       static_cast<long long>(c.hit_bytes),
+      static_cast<long long>(c.hit_compressed_bytes),
       static_cast<long long>(c.miss_bytes),
       FormatDouble(c.HitRate()).c_str());
 }
@@ -616,13 +621,14 @@ std::string BreakdownToText(const RunAnalysis& analysis) {
     const CacheStats total = s.TotalCache();
     out += StringPrintf(
         "  cache   pane %lld/%lld  pair %lld/%lld  hit rate %s  reused "
-        "%lld bytes\n",
+        "%lld bytes (%lld compressed)\n",
         static_cast<long long>(total.pane_hits),
         static_cast<long long>(total.pane_hits + total.pane_misses),
         static_cast<long long>(total.pair_hits),
         static_cast<long long>(total.pair_hits + total.pair_misses),
         FormatDouble(total.HitRate()).c_str(),
-        static_cast<long long>(total.hit_bytes));
+        static_cast<long long>(total.hit_bytes),
+        static_cast<long long>(total.hit_compressed_bytes));
   }
   return out;
 }

@@ -63,6 +63,10 @@ namespace metric {
 inline constexpr const char* kCachePaneHits = "cache.pane.hits";
 inline constexpr const char* kCachePaneMisses = "cache.pane.misses";
 inline constexpr const char* kCachePaneHitBytes = "cache.pane.hit.bytes";
+// Host bytes of the at-rest (columnar-compressed) payloads backing a pane
+// hit — the traffic a hit really moves, vs. the logical bytes above.
+inline constexpr const char* kCachePaneHitCompressedBytes =
+    "cache.pane.hit.compressed.bytes";
 inline constexpr const char* kCachePaneMissBytes = "cache.pane.miss.bytes";
 // Pane-pair reuse in the join path (cache status matrix).
 inline constexpr const char* kCachePairHits = "cache.pair.hits";
@@ -76,6 +80,8 @@ inline constexpr const char* kCacheInvalidations = "cache.invalidations";
 inline constexpr const char* kCacheRebuilds = "cache.rebuilds";
 inline constexpr const char* kCachePurgedBytes = "cache.purged.bytes";
 inline constexpr const char* kCacheStoreBytes = "cache.store.bytes";    // gauge
+inline constexpr const char* kCacheStoreCompressedBytes =
+    "cache.store.compressed.bytes";  // gauge
 inline constexpr const char* kCacheStoreEntries = "cache.store.entries";  // gauge
 
 // Cache reads at reduce time (local = side input on the reducer's node).

@@ -49,7 +49,9 @@ struct QuerySlo {
 
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
-  int64_t cache_hit_bytes = 0;
+  int64_t cache_hit_bytes = 0;  ///< Logical bytes served from cache.
+  /// Host bytes of the columnar-compressed payloads those hits decoded.
+  int64_t cache_hit_compressed_bytes = 0;
 
   double slot_wait_s = 0.0;  ///< Map + reduce slot-wait across windows.
   int64_t stragglers = 0;

@@ -113,7 +113,7 @@ TEST(CacheStoreTest, PutFindRemove) {
   ASSERT_TRUE(store.Has("a"));
   const CacheStore::Entry* entry = store.Find("a");
   ASSERT_NE(entry, nullptr);
-  EXPECT_EQ(entry->payload->size(), 1u);
+  EXPECT_EQ(entry->payload()->size(), 1u);
   EXPECT_EQ(entry->bytes, 8);
   EXPECT_EQ(store.total_bytes(), 8);
   store.Remove("a");

@@ -34,7 +34,7 @@ TEST(DfsTest, CreateAndGet) {
   ASSERT_TRUE(dfs.Exists("f1"));
   auto file = dfs.GetFile("f1");
   ASSERT_TRUE(file.ok());
-  EXPECT_EQ((*file)->records.size(), 10u);
+  EXPECT_EQ((*file)->rows().size(), 10u);
   EXPECT_EQ((*file)->size_bytes, 1000) << "empty header adds no bytes";
   EXPECT_EQ((*file)->time_begin, 0);
   EXPECT_EQ((*file)->time_end, 10);

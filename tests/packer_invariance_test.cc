@@ -53,7 +53,7 @@ std::map<std::string, std::vector<Record>> PackWithBoundaries(
 
   std::map<std::string, std::vector<Record>> contents;
   for (const std::string& name : dfs.ListFiles()) {
-    contents[name] = (*dfs.GetFile(name))->records;
+    contents[name] = (*dfs.GetFile(name))->rows();
   }
   return contents;
 }
