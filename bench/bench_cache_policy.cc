@@ -1,0 +1,102 @@
+// bench_cache_policy — the capacity-bounded CacheStore sweep on its own:
+// every eviction policy (lru, fifo, s3fifo, sieve, hybrid) against byte
+// budgets stepping from unbounded down to 1% of the measured working set,
+// on a fig6-shaped aggregation and a fig7-shaped join. Emits a BENCH JSON
+// document of flat dotted metrics:
+//
+//   {"bench": "redoop_cache_policy", "schema": 1, "config": "smoke",
+//    "metrics": {"cache_policy.agg.unbounded.total_s": ..., ...}}
+//
+// All metrics are simulated-time quantities, byte-identical across runs
+// and thread counts, so the smoke document is a cmp-able CI baseline
+// (bench/baselines/cache_policy_smoke.json).
+//
+// Flags:
+//   --smoke       small configuration for CI; full paper scale otherwise
+//   --out=FILE    write the BENCH JSON there (default
+//                 BENCH_cache_policy.json)
+//   --threads=N   host worker threads (wall-clock only)
+//
+// Exit is nonzero if any budgeted run's window outputs diverge from the
+// unbounded reference — eviction must never change answers, only work.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/cache_policy_sweep.h"
+#include "common/string_utils.h"
+#include "obs/observability.h"
+
+namespace redoop::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  CachePolicyScale scale = CachePolicyFullScale();
+  const char* config = "full";
+  std::string out_path = "BENCH_cache_policy.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      scale = CachePolicySmokeScale();
+      config = "smoke";
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      scale.threads = static_cast<int32_t>(std::atoi(arg.c_str() + 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_cache_policy [--smoke] [--out=FILE] "
+                   "[--threads=N]\n");
+      return 2;
+    }
+  }
+
+  std::printf("running cache_policy sweep (%s scale, %d threads)...\n",
+              config, scale.threads);
+  std::fflush(stdout);
+  const CachePolicySweepResult result = RunCachePolicySweep(scale);
+
+  std::printf("%-8s %-10s %-14s %12s %10s %10s %6s\n", "workload", "policy",
+              "budget", "total_s", "hit_rate", "evictions", "ident");
+  for (const CachePolicyCell& c : result.cells) {
+    std::printf("%-8s %-10s %-14s %12.1f %10.3f %10lld %6s\n",
+                c.workload.c_str(), c.policy.c_str(), c.budget_label.c_str(),
+                c.total_s, c.hit_rate, static_cast<long long>(c.evictions),
+                c.budget_bytes > 0 ? (c.identical ? "yes" : "NO") : "ref");
+  }
+
+  std::string json = StringPrintf(
+      "{\"bench\": \"redoop_cache_policy\", \"schema\": 1, "
+      "\"config\": \"%s\", \"metrics\": {\n",
+      config);
+  const auto metrics = CachePolicyMetrics(result);
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    json += StringPrintf("\"%s\": %s%s\n", metrics[i].first.c_str(),
+                         obs::FormatDouble(metrics[i].second).c_str(),
+                         i + 1 < metrics.size() ? "," : "");
+  }
+  json += "}}\n";
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 4;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("BENCH JSON written to %s\n", out_path.c_str());
+
+  if (!result.all_identical) {
+    std::fprintf(stderr,
+                 "FAILURE: a budgeted run diverged from the unbounded "
+                 "reference\n");
+    return 5;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace redoop::bench
+
+int main(int argc, char** argv) { return redoop::bench::Main(argc, argv); }

@@ -36,6 +36,7 @@
 
 #include "baseline/hadoop_driver.h"
 #include "bench/bench_util.h"
+#include "bench/cache_policy_sweep.h"
 #include "common/string_utils.h"
 #include "core/redoop_driver.h"
 #include "exec/task_executor.h"
@@ -612,6 +613,31 @@ void RunAblationScheduler(const Scale& scale, Metrics* metrics) {
   }
 }
 
+// --- cache_policy: eviction policy × byte budget sweep ------------------
+
+/// Policy × budget grid over the shared sweep (bench/cache_policy_sweep.h).
+/// Any budgeted cell whose window outputs diverge from the unbounded
+/// reference fails the whole harness, same as a Hadoop/Redoop mismatch.
+void RunCachePolicy(const Scale& scale, Metrics* metrics) {
+  CachePolicyScale s;
+  s.nodes = scale.nodes;
+  s.windows = scale.windows;
+  s.win = scale.win;
+  s.batch_interval = scale.batch_interval;
+  s.reducers = scale.reducers;
+  s.rps_factor = scale.rps_factor;
+  s.threads = g_threads;
+  const CachePolicySweepResult result = RunCachePolicySweep(s);
+  for (const auto& [key, value] : CachePolicyMetrics(result)) {
+    metrics->Add(key, value);
+  }
+  if (!result.all_identical) {
+    std::fprintf(stderr,
+                 "cache_policy: a budgeted run diverged from unbounded\n");
+    g_results_matched = false;
+  }
+}
+
 // --- multicore: honest host wall-clock at threads ∈ {1, 2, 8} -----------
 
 /// The engine's map hot loop without the simulator around it: synthesize
@@ -731,6 +757,7 @@ int Main(int argc, char** argv) {
       {"fig8", RunFig8},           {"fig9", RunFig9},
       {"ablation_cache", RunAblationCache},
       {"ablation_scheduler", RunAblationScheduler},
+      {"cache_policy", RunCachePolicy},
       {"multicore", RunMulticore},
   };
 

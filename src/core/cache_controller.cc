@@ -293,6 +293,8 @@ std::vector<PurgeNotification> WindowAwareCacheController::FinishRecurrence(
     QueryId query, int64_t recurrence) {
   QueryState* q = FindQuery(query);
   REDOOP_CHECK(q != nullptr);
+  q->last_finished_recurrence = std::max(q->last_finished_recurrence,
+                                         recurrence);
   std::vector<PurgeNotification> notifications;
 
   if (q->matrix != nullptr) {
@@ -439,6 +441,66 @@ WindowAwareCacheController::HandleLostCache(NodeId node,
 WindowAwareCacheController::LossImpact WindowAwareCacheController::OnCacheLost(
     NodeId node, const std::string& name) {
   return HandleLostCache(node, name);
+}
+
+NodeId WindowAwareCacheController::OnCacheEvicted(const CacheKey& key) {
+  auto it = signatures_.find(key.name());
+  if (it == signatures_.end()) return kInvalidNode;
+  const CacheSignature sig = it->second;
+  // The store already journaled cache.pane.evict; the rollback here is
+  // silent so eviction accounting is never double-counted.
+  signatures_.erase(it);
+
+  for (auto& [qid, q] : queries_) {
+    (void)qid;
+    if (sig.pane_right != kInvalidPane) {
+      if (q->matrix == nullptr) continue;
+      // Drop only this partition's index entry; sibling partitions of the
+      // pair may still be resident.
+      auto [begin, end] =
+          q->caches_by_pair.equal_range({sig.pane, sig.pane_right});
+      for (auto e = begin; e != end; ++e) {
+        if (e->second == key.name()) {
+          q->caches_by_pair.erase(e);
+          break;
+        }
+      }
+      // Flip the cell back to recompute iff a future (unfinished) window
+      // still reads the pair; un-doing an expired cell would block Shift
+      // forever for a pair nothing will ever run again.
+      const int64_t last_needed =
+          std::min(q->geometry->LastRecurrenceUsingPane(sig.pane),
+                   q->geometry->LastRecurrenceUsingPane(sig.pane_right));
+      if (last_needed > q->last_finished_recurrence) {
+        q->matrix->MarkUndone(sig.pane, sig.pane_right);
+      }
+      continue;
+    }
+    auto pane_it = q->panes.find({sig.source, sig.pane});
+    if (pane_it == q->panes.end()) continue;
+    PaneState& state = pane_it->second;
+    if (sig.type == CacheType::kReduceInput &&
+        state.ready == CacheReady::kCacheAvailable) {
+      // Roll the ready bit back and strip pending reduce pairs using the
+      // pane — but schedule no rebuild map task: the window-preparation
+      // manifest check recomputes the pane lazily, only if it is read
+      // again.
+      state.ready = CacheReady::kHdfsAvailable;
+      reduce_task_list_.erase(
+          std::remove_if(reduce_task_list_.begin(), reduce_task_list_.end(),
+                         [&](const PanePairWorkItem& item) {
+                           if (item.query != q->query.id) return false;
+                           const bool uses =
+                               item.left == sig.pane || item.right == sig.pane;
+                           if (uses) {
+                             q->pairs_enqueued.erase({item.left, item.right});
+                           }
+                           return uses;
+                         }),
+          reduce_task_list_.end());
+    }
+  }
+  return sig.node;
 }
 
 NodeId WindowAwareCacheController::DropSignature(const std::string& name) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "core/cache_key.h"
 #include "core/cache_status_matrix.h"
 #include "core/cache_types.h"
 #include "core/recurring_query.h"
@@ -142,6 +143,17 @@ class WindowAwareCacheController {
   /// signature's node, or kInvalidNode.
   NodeId DropSignature(const std::string& name);
 
+  /// Rolls back metadata for a cache the budget-bounded store evicted.
+  /// Unlike OnCacheLost this never enqueues an eager rebuild — under
+  /// budget pressure that would thrash (evict, rebuild, evict again);
+  /// recovery is lazy, riding the driver's window-preparation checks
+  /// (manifest validation and missing-pair scans) so an evicted pane is
+  /// recomputed only when a window actually reads it again. For a
+  /// join-output cache the status-matrix cell flips back to not-done iff
+  /// a future (unfinished) window still uses the pair. Returns the
+  /// evicted signature's node, or kInvalidNode when unknown.
+  NodeId OnCacheEvicted(const CacheKey& key);
+
   /// Journals cache lifecycle decisions (add/evict/invalidate/rebuild,
   /// pane readiness, matrix transitions) through an attribution scope:
   /// events carry the scope's query/window and counters land on the
@@ -174,6 +186,9 @@ class WindowAwareCacheController {
     /// Join-output caches keyed by (left, right).
     std::multimap<std::pair<PaneId, PaneId>, std::string> caches_by_pair;
     std::set<std::pair<PaneId, PaneId>> pairs_enqueued;
+    /// Highest recurrence FinishRecurrence has sealed — the horizon that
+    /// decides whether an evicted pane pair still has a future reader.
+    int64_t last_finished_recurrence = -1;
   };
 
   QueryState* FindQuery(QueryId id);

@@ -1,0 +1,127 @@
+#include "core/cache_key.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_utils.h"
+#include "core/pane_naming.h"
+
+namespace redoop {
+
+CacheKey CacheKey::ReduceInput(QueryId query, SourceId source, PaneId pane,
+                               int32_t partition) {
+  REDOOP_CHECK(query >= 0 && source >= 0 && pane >= 0 && partition >= 0);
+  CacheKey key;
+  key.kind_ = Kind::kReduceInput;
+  key.query_ = query;
+  key.source_ = source;
+  key.pane_ = pane;
+  key.partition_ = partition;
+  key.name_ = ReduceInputCacheName(query, source, pane, partition);
+  return key;
+}
+
+CacheKey CacheKey::ReduceOutput(QueryId query, SourceId source, PaneId pane,
+                                int32_t partition) {
+  REDOOP_CHECK(query >= 0 && source >= 0 && pane >= 0 && partition >= 0);
+  CacheKey key;
+  key.kind_ = Kind::kReduceOutput;
+  key.query_ = query;
+  key.source_ = source;
+  key.pane_ = pane;
+  key.partition_ = partition;
+  key.name_ = ReduceOutputCacheName(query, source, pane, partition);
+  return key;
+}
+
+CacheKey CacheKey::JoinOutput(QueryId query, PaneId left, PaneId right,
+                              int32_t partition) {
+  REDOOP_CHECK(query >= 0 && left >= 0 && right >= 0 && partition >= 0);
+  CacheKey key;
+  key.kind_ = Kind::kJoinOutput;
+  key.query_ = query;
+  key.pane_ = left;
+  key.pane_right_ = right;
+  key.partition_ = partition;
+  key.name_ = JoinOutputCacheName(query, left, right, partition);
+  return key;
+}
+
+std::optional<CacheKey> CacheKey::Parse(const std::string& name) {
+  CacheKey key;
+  int query = 0;
+  int source = 0;
+  int partition = 0;
+  long pane = 0;
+  long right = 0;
+  int consumed = 0;
+  // %n captures how much of the string the base form matched; suffixes and
+  // the full-consumption check come after.
+  if (std::sscanf(name.c_str(), "RIC_Q%d_S%dP%ld_R%d%n", &query, &source,
+                  &pane, &partition, &consumed) == 4) {
+    key.kind_ = Kind::kReduceInput;
+    key.source_ = source;
+    key.pane_ = pane;
+  } else if (std::sscanf(name.c_str(), "ROC_Q%d_S%dP%ld_R%d%n", &query,
+                         &source, &pane, &partition, &consumed) == 4) {
+    key.kind_ = Kind::kReduceOutput;
+    key.source_ = source;
+    key.pane_ = pane;
+  } else if (std::sscanf(name.c_str(), "JOC_Q%d_P%ldx%ld_R%d%n", &query,
+                         &pane, &right, &partition, &consumed) == 4) {
+    key.kind_ = Kind::kJoinOutput;
+    key.pane_ = pane;
+    key.pane_right_ = right;
+  } else {
+    return std::nullopt;
+  }
+  if (query < 0 || source < 0 || pane < 0 || right < 0 || partition < 0) {
+    return std::nullopt;
+  }
+  key.query_ = query;
+  key.partition_ = partition;
+  const char* rest = name.c_str() + consumed;
+  if (key.kind_ != Kind::kJoinOutput) {
+    int chunk = 0;
+    int n = 0;
+    if (std::sscanf(rest, "_c%d%n", &chunk, &n) == 1) {
+      if (chunk < 0) return std::nullopt;
+      key.chunk_ = chunk;
+      rest += n;
+    }
+    if (std::strncmp(rest, "_rb", 3) == 0) {
+      key.rebuilt_ = true;
+      rest += 3;
+    }
+  }
+  if (*rest != '\0') return std::nullopt;
+  key.name_ = name;
+  return key;
+}
+
+CacheKey CacheKey::FromName(const std::string& name) {
+  std::optional<CacheKey> key = Parse(name);
+  REDOOP_CHECK(key.has_value()) << "malformed cache name: " << name;
+  return *std::move(key);
+}
+
+CacheKey CacheKey::WithChunk(int32_t chunk) const {
+  REDOOP_CHECK(valid() && kind_ != Kind::kJoinOutput);
+  REDOOP_CHECK(chunk >= 0 && chunk_ < 0 && !rebuilt_);
+  CacheKey key = *this;
+  key.chunk_ = chunk;
+  key.name_ += StringPrintf("_c%d", chunk);
+  return key;
+}
+
+CacheKey CacheKey::Rebuilt() const {
+  REDOOP_CHECK(valid() && kind_ != Kind::kJoinOutput);
+  REDOOP_CHECK(!rebuilt_);
+  CacheKey key = *this;
+  key.rebuilt_ = true;
+  key.name_ += "_rb";
+  return key;
+}
+
+}  // namespace redoop

@@ -37,6 +37,18 @@ void CacheStatusMatrix::MarkDone(PaneId left, PaneId right) {
   done_[static_cast<size_t>(li * extent_[1] + ri)] = true;
 }
 
+void CacheStatusMatrix::MarkUndone(PaneId left, PaneId right) {
+  REDOOP_CHECK(left >= 0 && right >= 0);
+  // Purged pairs stay "done": nothing ahead reads them, and un-purging
+  // would block Shift forever. Cells beyond the extent are already
+  // not-done.
+  if (left < base_[0] || right < base_[1]) return;
+  const int64_t li = left - base_[0];
+  const int64_t ri = right - base_[1];
+  if (li >= extent_[0] || ri >= extent_[1]) return;
+  done_[static_cast<size_t>(li * extent_[1] + ri)] = false;
+}
+
 bool CacheStatusMatrix::IsDone(PaneId left, PaneId right) const {
   if (left < base_[0] || right < base_[1]) return true;  // Purged == done.
   const int64_t li = left - base_[0];

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "core/cache_key.h"
 #include "core/window.h"
 
 namespace redoop {
@@ -29,9 +30,25 @@ class CacheStatusMatrix {
   /// needed. Marking an already-purged pair is a no-op.
   void MarkDone(PaneId left, PaneId right);
 
+  /// Flips the pane-pair task (left, right) back to not-done — the cache
+  /// holding its join output was evicted under budget pressure, so the
+  /// pair must recompute before its next use. No-op for purged pairs (no
+  /// future window reads them) and for cells outside the current extent.
+  void MarkUndone(PaneId left, PaneId right);
+
   /// True when (left, right) completed (pairs before the purged frontier
   /// count as done).
   bool IsDone(PaneId left, PaneId right) const;
+
+  /// CacheKey conveniences for the join-output cells a key names (valid
+  /// only for Kind::kJoinOutput keys).
+  void MarkDone(const CacheKey& key) { MarkDone(key.pane(), key.pane_right()); }
+  void MarkUndone(const CacheKey& key) {
+    MarkUndone(key.pane(), key.pane_right());
+  }
+  bool IsDone(const CacheKey& key) const {
+    return IsDone(key.pane(), key.pane_right());
+  }
 
   /// True when every pair within pane `p`'s lifespan (paper §4.2) is done,
   /// i.e. p has exhausted its join partners. `left_dim` selects whether p

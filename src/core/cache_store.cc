@@ -1,8 +1,10 @@
 #include "core/cache_store.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/event_journal.h"
 
 namespace redoop {
 
@@ -15,56 +17,210 @@ std::shared_ptr<const FlatKvBuffer> CacheStore::Entry::payload() const {
   return decoded_;
 }
 
-void CacheStore::Put(const std::string& name,
-                     std::shared_ptr<const FlatKvBuffer> payload,
-                     int64_t bytes, int64_t records) {
-  REDOOP_CHECK(bytes >= 0 && records >= 0);
-  REDOOP_CHECK(payload != nullptr);
-  auto it = entries_.find(name);
-  if (it != entries_.end()) {
-    total_bytes_ -= it->second->bytes;
-    total_compressed_bytes_ -= it->second->compressed_bytes;
-    entries_.erase(it);
-  }
-  auto entry = std::make_unique<Entry>();
-  if (columnar_) {
-    entry->columnar_ = std::make_shared<const ColumnarKvPane>(
-        ColumnarKvPane::Encode(*payload));
-    entry->compressed_bytes = entry->columnar_->compressed_bytes();
-  } else {
-    entry->flat_ = std::move(payload);
-    entry->compressed_bytes = bytes;
-  }
-  entry->bytes = bytes;
-  entry->records = records;
-  total_bytes_ += bytes;
-  total_compressed_bytes_ += entry->compressed_bytes;
-  entries_[name] = std::move(entry);
-  UpdateGauges();
+void CacheStore::Lease::Release() {
+  if (store_ == nullptr) return;
+  store_->ReleasePin(name_);
+  store_ = nullptr;
 }
 
-const CacheStore::Entry* CacheStore::Find(const std::string& name) const {
-  auto it = entries_.find(name);
-  return it == entries_.end() ? nullptr : it->second.get();
+CacheStore::CacheStore(Options options)
+    : options_(std::move(options)),
+      policy_(MakeEvictionPolicy(options_.policy, options_.budget_bytes)) {
+  UpdateGauges(GaugeSnapshot{});
 }
 
-void CacheStore::Remove(const std::string& name) {
+void CacheStore::Put(const CacheKey& key, PanePayload payload,
+                     PaneStats stats) {
+  REDOOP_CHECK(key.valid());
+  REDOOP_CHECK(stats.bytes >= 0 && stats.records >= 0);
+  REDOOP_CHECK(payload.rows() != nullptr);
+  std::vector<EvictionNotice> notices;
+  GaugeSnapshot after;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key.name());
+    if (it != entries_.end()) {
+      policy_->OnRemove(it->first);
+      EraseLocked(it);
+    }
+    auto entry = std::make_unique<Entry>();
+    if (options_.columnar_payloads) {
+      entry->columnar_ = std::make_shared<const ColumnarKvPane>(
+          ColumnarKvPane::Encode(*payload.rows()));
+      entry->compressed_bytes = entry->columnar_->compressed_bytes();
+    } else {
+      entry->flat_ = payload.rows();
+      entry->compressed_bytes = stats.bytes;
+    }
+    entry->bytes = stats.bytes;
+    entry->records = stats.records;
+    total_bytes_ += stats.bytes;
+    total_compressed_bytes_ += entry->compressed_bytes;
+    entries_[key.name()] = std::move(entry);
+    policy_->OnInsert(key.name(), stats.bytes);
+    peak_bytes_ = std::max(peak_bytes_, total_bytes_);
+    EvictLocked(/*exclude=*/key.name(), &notices);
+    after = SnapshotLocked();
+  }
+  PublishEvictions(notices, after);
+}
+
+const CacheStore::Entry* CacheStore::Find(const CacheKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key.name());
+  if (it == entries_.end()) return nullptr;
+  policy_->OnAccess(it->first);
+  return it->second.get();
+}
+
+void CacheStore::Remove(const CacheKey& key) {
+  GaugeSnapshot after;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key.name());
+    if (it == entries_.end()) return;
+    policy_->OnRemove(it->first);
+    EraseLocked(it);
+    after = SnapshotLocked();
+  }
+  UpdateGauges(after);
+}
+
+CacheStore::Lease CacheStore::Acquire(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key.name());
+  if (it == entries_.end()) return Lease();
+  if (it->second->pins_++ == 0) pinned_bytes_ += it->second->bytes;
+  return Lease(this, key.name());
+}
+
+void CacheStore::ReleasePin(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
-  if (it == entries_.end()) return;
+  if (it == entries_.end() || it->second->pins_ == 0) return;
+  if (--it->second->pins_ == 0) pinned_bytes_ -= it->second->bytes;
+}
+
+void CacheStore::EnforceBudget() {
+  std::vector<EvictionNotice> notices;
+  GaugeSnapshot after;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EvictLocked(/*exclude=*/"", &notices);
+    after = SnapshotLocked();
+  }
+  PublishEvictions(notices, after);
+}
+
+size_t CacheStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+int64_t CacheStore::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+int64_t CacheStore::total_compressed_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_compressed_bytes_;
+}
+
+int64_t CacheStore::pinned_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pinned_bytes_;
+}
+
+int64_t CacheStore::peak_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_bytes_;
+}
+
+int64_t CacheStore::evicted_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_entries_;
+}
+
+int64_t CacheStore::evicted_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_bytes_;
+}
+
+void CacheStore::EvictLocked(const std::string& exclude,
+                             std::vector<EvictionNotice>* notices) {
+  if (options_.budget_bytes <= 0) return;
+  while (total_bytes_ > options_.budget_bytes) {
+    const std::string victim =
+        policy_->PickVictim([this, &exclude](const std::string& name) {
+          if (!exclude.empty() && name == exclude) return false;
+          auto it = entries_.find(name);
+          return it != entries_.end() && it->second->pins_ == 0;
+        });
+    if (victim.empty()) break;  // Only pinned (or excluded) entries left.
+    auto it = entries_.find(victim);
+    REDOOP_CHECK(it != entries_.end()) << "policy picked unknown victim";
+    EvictionNotice notice;
+    notice.key = CacheKey::FromName(it->first);
+    notice.bytes = it->second->bytes;
+    notice.compressed_bytes = it->second->compressed_bytes;
+    notice.records = it->second->records;
+    policy_->OnRemove(it->first);
+    EraseLocked(it);
+    ++evicted_entries_;
+    evicted_bytes_ += notice.bytes;
+    notices->push_back(std::move(notice));
+  }
+}
+
+void CacheStore::EraseLocked(
+    std::map<std::string, std::unique_ptr<Entry>>::iterator it) {
   total_bytes_ -= it->second->bytes;
   total_compressed_bytes_ -= it->second->compressed_bytes;
+  if (it->second->pins_ > 0) pinned_bytes_ -= it->second->bytes;
   entries_.erase(it);
-  UpdateGauges();
 }
 
-void CacheStore::UpdateGauges() {
-  if (!scope_.active()) return;
-  scope_.SetGauge(obs::metric::kCacheStoreBytes,
-                  static_cast<double>(total_bytes_));
-  scope_.SetGauge(obs::metric::kCacheStoreCompressedBytes,
-                  static_cast<double>(total_compressed_bytes_));
-  scope_.SetGauge(obs::metric::kCacheStoreEntries,
-                  static_cast<double>(entries_.size()));
+CacheStore::GaugeSnapshot CacheStore::SnapshotLocked() const {
+  GaugeSnapshot snapshot;
+  snapshot.bytes = total_bytes_;
+  snapshot.compressed_bytes = total_compressed_bytes_;
+  snapshot.pinned_bytes = pinned_bytes_;
+  snapshot.entries = entries_.size();
+  return snapshot;
+}
+
+void CacheStore::PublishEvictions(const std::vector<EvictionNotice>& notices,
+                                  const GaugeSnapshot& after) {
+  const obs::TelemetryScope& scope = options_.telemetry;
+  for (const EvictionNotice& notice : notices) {
+    if (scope.active()) {
+      scope.Increment(obs::metric::kCacheEvictedEntries);
+      scope.Increment(obs::metric::kCacheEvictedBytes, notice.bytes);
+      scope.Emit(obs::event::kCachePaneEvict)
+          .With("name", notice.key.name())
+          .With("policy", EvictionPolicyName(options_.policy))
+          .With("bytes", notice.bytes)
+          .With("compressed_bytes", notice.compressed_bytes)
+          .With("records", notice.records)
+          .With("reason", "budget");
+    }
+    if (options_.on_evict) options_.on_evict(notice);
+  }
+  UpdateGauges(after);
+}
+
+void CacheStore::UpdateGauges(const GaugeSnapshot& snapshot) {
+  const obs::TelemetryScope& scope = options_.telemetry;
+  if (!scope.active()) return;
+  scope.SetGauge(obs::metric::kCacheStoreBytes,
+                 static_cast<double>(snapshot.bytes));
+  scope.SetGauge(obs::metric::kCacheStoreCompressedBytes,
+                 static_cast<double>(snapshot.compressed_bytes));
+  scope.SetGauge(obs::metric::kCacheStorePinnedBytes,
+                 static_cast<double>(snapshot.pinned_bytes));
+  scope.SetGauge(obs::metric::kCacheStoreEntries,
+                 static_cast<double>(snapshot.entries));
 }
 
 }  // namespace redoop

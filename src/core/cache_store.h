@@ -2,13 +2,17 @@
 #define REDOOP_CORE_CACHE_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
+#include "core/cache_key.h"
+#include "core/eviction_policy.h"
 #include "mapreduce/kv.h"
 #include "mapreduce/kv_arena.h"
 #include "mapreduce/kv_columnar.h"
@@ -16,12 +20,31 @@
 
 namespace redoop {
 
-/// The contents of cached files. In the real system every task node keeps
-/// cache payloads on its local disk; in the simulation the bytes live here
-/// (keyed by cache name) while placement, capacity, and I/O costs are
-/// tracked on the TaskNode / cache-controller side. Losing a cache (node
-/// failure, injection) removes its payload, forcing a rebuild — exactly
-/// the recovery path the paper describes.
+/// The contents of cached files, now under a configurable byte budget. In
+/// the real system every task node keeps cache payloads on its local disk;
+/// in the simulation the bytes live here (keyed by CacheKey) while
+/// placement and I/O costs are tracked on the TaskNode / cache-controller
+/// side. An entry leaves the store three ways: explicit Remove (loss,
+/// purge), replacement by a fresh Put, or *eviction* when the budget is
+/// exceeded — the configured EvictionPolicy picks victims among unpinned
+/// entries and the on_evict callback lets the driver roll back controller
+/// state so the pane flips to recompute.
+///
+/// Budgeting is on logical (simulated) bytes, so policy behaviour is
+/// independent of the at-rest representation (row vs. columnar).
+///
+/// Pinning: Acquire() returns a Lease that exempts an entry from eviction
+/// while any lease on it is live. The driver pins everything the current
+/// recurrence reads or registers, so the store may transiently exceed the
+/// budget while pinned bytes demand it; EnforceBudget() trims back once
+/// leases are released. The capacity invariant is therefore: after any
+/// Put/EnforceBudget, total_bytes() <= budget unless pinned entries (or a
+/// single oversized incoming entry) force the excess.
+///
+/// All mutations and reads take the store mutex; the configured policy is
+/// only ever driven under it. Victim order depends only on the operation
+/// sequence, which the driver issues in deterministic simulated-time order,
+/// so evictions are byte-identical at any --threads setting.
 class CacheStore {
  public:
   class Entry {
@@ -41,11 +64,13 @@ class CacheStore {
     /// place; a rebuild Put()s a fresh entry and old shared_ptrs stay
     /// valid. The parallel engine relies on this — an offloaded reduce
     /// closure keeps merging its captured reference even if the entry is
-    /// replaced (or removed) at the same virtual instant.
+    /// replaced, removed, or evicted at the same virtual instant. Pinning
+    /// exists for *planning* correctness (an entry the recurrence still
+    /// reads must stay resident), not for memory safety.
     std::shared_ptr<const FlatKvBuffer> payload() const;
 
-    /// Logical (simulated) size — what capacity math and hit accounting
-    /// have always charged.
+    /// Logical (simulated) size — what capacity math, the byte budget, and
+    /// hit accounting have always charged.
     int64_t bytes = 0;
     /// Host bytes of the at-rest form: the columnar image in columnar
     /// mode, `bytes` in row mode (no compressed form exists, so real
@@ -60,66 +85,169 @@ class CacheStore {
     std::shared_ptr<const ColumnarKvPane> columnar_;  // Columnar mode.
     mutable std::once_flag decode_once_;
     mutable std::shared_ptr<const FlatKvBuffer> decoded_;
+    int64_t pins_ = 0;  // Live leases; > 0 exempts from eviction.
   };
 
-  CacheStore() = default;
+  /// Size accounting a materializing job reports alongside its payload.
+  struct PaneStats {
+    int64_t bytes = 0;
+    int64_t records = 0;
+  };
+
+  /// The payload argument of Put — a thin wrapper so call sites read as
+  /// Put(key, payload, stats) and the two historical Put overloads stay
+  /// collapsed into one.
+  class PanePayload {
+   public:
+    /// Shares ownership with the materializing job's result (row mode
+    /// keeps this exact buffer at rest).
+    PanePayload(std::shared_ptr<const FlatKvBuffer> rows)  // NOLINT
+        : rows_(std::move(rows)) {}
+    /// Convenience for callers materializing fresh pairs (tests, fault
+    /// injection); flattened once on the way in.
+    static PanePayload FromKeyValues(std::vector<KeyValue> pairs) {
+      return PanePayload(std::make_shared<const FlatKvBuffer>(
+          FlatKvBuffer::FromKeyValues(pairs)));
+    }
+    const std::shared_ptr<const FlatKvBuffer>& rows() const { return rows_; }
+
+   private:
+    std::shared_ptr<const FlatKvBuffer> rows_;
+  };
+
+  /// What a budget eviction removed; handed to Options::on_evict (outside
+  /// the store mutex) so the driver can roll back planner state.
+  struct EvictionNotice {
+    CacheKey key;
+    int64_t bytes = 0;
+    int64_t compressed_bytes = 0;
+    int64_t records = 0;
+  };
+  using EvictionCallback = std::function<void(const EvictionNotice&)>;
+
+  /// Construction-time configuration, mirroring the RedoopDriverOptions
+  /// idiom: everything that used to be a mutable setter is fixed here.
+  struct Options {
+    /// Logical-byte budget; 0 = unbounded (never evicts).
+    int64_t budget_bytes = 0;
+    EvictionPolicyKind policy = EvictionPolicyKind::kLru;
+    /// At-rest representation for stored payloads.
+    bool columnar_payloads = false;
+    /// Keeps cache.store.* gauges current and emits cache.pane.evict
+    /// events (global and per-query labeled series via the scope).
+    obs::TelemetryScope telemetry;
+    /// Invoked once per evicted entry, after the entry is gone and the
+    /// mutex is released. Must not call back into this store.
+    EvictionCallback on_evict;
+  };
+
+  /// RAII pin: while live, the named entry is exempt from budget eviction.
+  /// Releasing does not itself evict — the owner calls EnforceBudget()
+  /// when a batch of leases retires (end of recurrence).
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept
+        : store_(other.store_), name_(std::move(other.name_)) {
+      other.store_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        store_ = other.store_;
+        name_ = std::move(other.name_);
+        other.store_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { Release(); }
+
+    bool active() const { return store_ != nullptr; }
+    void Release();
+
+   private:
+    friend class CacheStore;
+    Lease(CacheStore* store, std::string name)
+        : store_(store), name_(std::move(name)) {}
+    CacheStore* store_ = nullptr;
+    std::string name_;
+  };
+
+  CacheStore() : CacheStore(Options()) {}
+  explicit CacheStore(Options options);
   CacheStore(const CacheStore&) = delete;
   CacheStore& operator=(const CacheStore&) = delete;
 
-  /// Stores (or replaces) a payload. In row mode ownership is shared with
-  /// the caller; in columnar mode the pairs are transposed/compressed and
-  /// the caller's flat buffer is not retained.
-  void Put(const std::string& name,
-           std::shared_ptr<const FlatKvBuffer> payload,
-           int64_t bytes, int64_t records);
-
-  /// Convenience for callers materializing a fresh buffer (tests, fault
-  /// injection); the string pairs are flattened once on the way in.
-  void Put(const std::string& name, std::vector<KeyValue> payload,
-           int64_t bytes, int64_t records) {
-    Put(name,
-        std::make_shared<const FlatKvBuffer>(
-            FlatKvBuffer::FromKeyValues(payload)),
-        bytes, records);
-  }
+  /// Stores (or replaces) a payload, then — when a budget is set — evicts
+  /// unpinned entries per the policy until the budget holds again. The
+  /// entry being inserted is never its own victim; pin it to protect it
+  /// past the next Put.
+  void Put(const CacheKey& key, PanePayload payload, PaneStats stats);
 
   /// Returns nullptr when absent. The pointer stays valid until the entry
-  /// is removed.
-  const Entry* Find(const std::string& name) const;
-  bool Has(const std::string& name) const { return Find(name) != nullptr; }
+  /// is removed, replaced, or evicted; pin the entry to extend that. A hit
+  /// counts as a policy access (LRU recency etc.).
+  const Entry* Find(const CacheKey& key) const;
+  bool Has(const CacheKey& key) const { return Find(key) != nullptr; }
 
-  void Remove(const std::string& name);
+  /// Explicit removal (cache loss, purge). Ignores pins — the planner
+  /// layers that call this already know the entry is gone.
+  void Remove(const CacheKey& key);
 
-  size_t size() const { return entries_.size(); }
-  int64_t total_bytes() const { return total_bytes_; }
-  int64_t total_compressed_bytes() const { return total_compressed_bytes_; }
+  /// Pins the entry; returns an inactive lease when the key is absent.
+  Lease Acquire(const CacheKey& key);
 
-  /// Switches the at-rest representation for future Puts (existing entries
-  /// keep their form). Set before the first Put; driven by
-  /// CacheOptions::columnar_payloads.
-  void set_columnar(bool columnar) { columnar_ = columnar; }
-  bool columnar() const { return columnar_; }
+  /// Evicts per policy until the budget holds or only pinned entries
+  /// remain. Call after releasing a batch of leases.
+  void EnforceBudget();
 
-  /// Keeps cache.store.bytes / cache.store.entries gauges current
-  /// (global and per-query labeled series via the scope).
-  void set_telemetry(obs::TelemetryScope scope) {
-    scope_ = std::move(scope);
-    UpdateGauges();
-  }
-  /// Unattributed convenience (standalone/test use); null disables
-  /// emission.
-  void set_observability(obs::ObservabilityContext* obs) {
-    set_telemetry(obs::TelemetryScope(obs));
-  }
+  size_t size() const;
+  int64_t total_bytes() const;
+  int64_t total_compressed_bytes() const;
+  /// Bytes of entries currently holding at least one lease.
+  int64_t pinned_bytes() const;
+  /// High-water mark of total_bytes() over the store's lifetime — the
+  /// working-set measure the bench sweep derives budgets from.
+  int64_t peak_bytes() const;
+  int64_t evicted_entries() const;
+  int64_t evicted_bytes() const;
+
+  int64_t budget_bytes() const { return options_.budget_bytes; }
+  EvictionPolicyKind policy() const { return options_.policy; }
+  bool columnar() const { return options_.columnar_payloads; }
 
  private:
-  void UpdateGauges();
+  struct GaugeSnapshot {
+    int64_t bytes = 0;
+    int64_t compressed_bytes = 0;
+    int64_t pinned_bytes = 0;
+    size_t entries = 0;
+  };
 
+  /// Evicts until the budget holds; lock held. `exclude` (may be empty)
+  /// is never picked. Removed entries are appended to `notices`.
+  void EvictLocked(const std::string& exclude,
+                   std::vector<EvictionNotice>* notices);
+  /// Drops one entry from the maps and totals; lock held.
+  void EraseLocked(std::map<std::string, std::unique_ptr<Entry>>::iterator it);
+  void ReleasePin(const std::string& name);
+  GaugeSnapshot SnapshotLocked() const;
+  void PublishEvictions(const std::vector<EvictionNotice>& notices,
+                        const GaugeSnapshot& after);
+  void UpdateGauges(const GaugeSnapshot& snapshot);
+
+  const Options options_;
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Entry>> entries_;
+  std::unique_ptr<EvictionPolicy> policy_;
   int64_t total_bytes_ = 0;
   int64_t total_compressed_bytes_ = 0;
-  bool columnar_ = false;
-  obs::TelemetryScope scope_;
+  int64_t pinned_bytes_ = 0;
+  int64_t peak_bytes_ = 0;
+  int64_t evicted_entries_ = 0;
+  int64_t evicted_bytes_ = 0;
 };
 
 }  // namespace redoop

@@ -1,0 +1,370 @@
+#include "core/eviction_policy.h"
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace redoop {
+namespace {
+
+/// LRU and FIFO share one structure: a recency/arrival list (front =
+/// coldest) plus an ordered index. LRU refreshes position on access, FIFO
+/// does not.
+class ListOrderPolicy : public EvictionPolicy {
+ public:
+  ListOrderPolicy(EvictionPolicyKind kind, bool refresh_on_access)
+      : kind_(kind), refresh_on_access_(refresh_on_access) {}
+
+  void OnInsert(const std::string& key, int64_t /*bytes*/) override {
+    OnRemove(key);
+    order_.push_back(key);
+    index_[key] = std::prev(order_.end());
+  }
+
+  void OnAccess(const std::string& key) override {
+    if (!refresh_on_access_) return;
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    order_.splice(order_.end(), order_, it->second);
+  }
+
+  void OnRemove(const std::string& key) override {
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    order_.erase(it->second);
+    index_.erase(it);
+  }
+
+  std::string PickVictim(
+      const std::function<bool(const std::string&)>& evictable) override {
+    for (const std::string& key : order_) {
+      if (evictable(key)) return key;
+    }
+    return "";
+  }
+
+  EvictionPolicyKind kind() const override { return kind_; }
+
+ private:
+  const EvictionPolicyKind kind_;
+  const bool refresh_on_access_;
+  std::list<std::string> order_;
+  std::map<std::string, std::list<std::string>::iterator> index_;
+};
+
+/// SIEVE: a FIFO queue with one visited bit per entry and a hand that scans
+/// from the oldest entry toward the newest, clearing visited bits as it
+/// passes and evicting the first cold (unvisited) entry. Pinned entries are
+/// skipped without touching their bit, so a pin never distorts the scan
+/// order of its neighbours.
+class SievePolicy : public EvictionPolicy {
+ public:
+  void OnInsert(const std::string& key, int64_t /*bytes*/) override {
+    OnRemove(key);
+    queue_.push_back(Node{key, false});
+    index_[key] = std::prev(queue_.end());
+  }
+
+  void OnAccess(const std::string& key) override {
+    auto it = index_.find(key);
+    if (it != index_.end()) it->second->visited = true;
+  }
+
+  void OnRemove(const std::string& key) override {
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    if (hand_ == key) AdvanceHand(it->second);
+    queue_.erase(it->second);
+    index_.erase(it);
+  }
+
+  std::string PickVictim(
+      const std::function<bool(const std::string&)>& evictable) override {
+    if (queue_.empty()) return "";
+    auto it = hand_.empty() ? queue_.begin() : index_.at(hand_);
+    // One lap may only clear visited bits; the second lap then finds the
+    // first cold evictable entry, so 2N+1 steps always suffice.
+    for (size_t step = 0; step < 2 * queue_.size() + 1; ++step) {
+      if (evictable(it->key)) {
+        if (!it->visited) {
+          AdvanceHand(it);
+          return it->key;
+        }
+        it->visited = false;
+      }
+      ++it;
+      if (it == queue_.end()) it = queue_.begin();
+    }
+    return "";
+  }
+
+  EvictionPolicyKind kind() const override {
+    return EvictionPolicyKind::kSieve;
+  }
+
+ private:
+  struct Node {
+    std::string key;
+    bool visited = false;
+  };
+
+  void AdvanceHand(std::list<Node>::iterator at) {
+    auto next = std::next(at);
+    if (next == queue_.end()) next = queue_.begin();
+    hand_ = (next == at) ? std::string() : next->key;
+  }
+
+  std::list<Node> queue_;
+  std::map<std::string, std::list<Node>::iterator> index_;
+  std::string hand_;  // Key under the hand; "" = start from the oldest.
+};
+
+/// S3-FIFO: a small probationary FIFO absorbs one-hit wonders, a main FIFO
+/// holds proven entries, and a ghost FIFO of recently demoted keys promotes
+/// re-inserted panes straight to main. Eviction drains the small queue while
+/// it exceeds its byte target (promoting entries with >1 hit), otherwise the
+/// main queue with one second-chance round per accumulated hit.
+class S3FifoPolicy : public EvictionPolicy {
+ public:
+  explicit S3FifoPolicy(int64_t budget_bytes)
+      : small_target_(std::max<int64_t>(budget_bytes / 10, 1)) {}
+
+  void OnInsert(const std::string& key, int64_t bytes) override {
+    OnRemove(key);
+    auto ghost = ghost_index_.find(key);
+    const bool proven = ghost != ghost_index_.end();
+    if (proven) {
+      ghost_.erase(ghost->second);
+      ghost_index_.erase(ghost);
+    }
+    std::list<Node>& queue = proven ? main_ : small_;
+    queue.push_back(Node{key, bytes, 0});
+    index_[key] = Slot{proven, std::prev(queue.end())};
+    (proven ? main_bytes_ : small_bytes_) += bytes;
+  }
+
+  void OnAccess(const std::string& key) override {
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    it->second.at->freq = std::min(it->second.at->freq + 1, 3);
+  }
+
+  void OnRemove(const std::string& key) override {
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    const Slot& slot = it->second;
+    (slot.in_main ? main_bytes_ : small_bytes_) -= slot.at->bytes;
+    if (!slot.in_main) RememberGhost(key);
+    (slot.in_main ? main_ : small_).erase(slot.at);
+    index_.erase(it);
+  }
+
+  std::string PickVictim(
+      const std::function<bool(const std::string&)>& evictable) override {
+    // Promotions and second chances are bounded by the accumulated hit
+    // counts (<= 3 per entry), so 5N+5 steps always terminate the scan.
+    const size_t limit = 5 * (small_.size() + main_.size()) + 5;
+    for (size_t step = 0; step < limit; ++step) {
+      const bool drain_small =
+          !small_.empty() && (small_bytes_ > small_target_ || main_.empty());
+      if (drain_small) {
+        auto it = FirstActionable(&small_, evictable);
+        if (it != small_.end()) {
+          if (it->freq > 1) {
+            Promote(it);
+            continue;
+          }
+          return it->key;
+        }
+        // Small queue fully pinned and cold: fall through to main.
+      }
+      auto it = FirstActionable(&main_, evictable);
+      if (it == main_.end()) return "";
+      if (it->freq > 0) {
+        --it->freq;
+        main_.splice(main_.end(), main_, it);
+        continue;
+      }
+      return it->key;
+    }
+    return "";
+  }
+
+  EvictionPolicyKind kind() const override {
+    return EvictionPolicyKind::kS3Fifo;
+  }
+
+ private:
+  struct Node {
+    std::string key;
+    int64_t bytes = 0;
+    int freq = 0;
+  };
+  struct Slot {
+    bool in_main = false;
+    std::list<Node>::iterator at;
+  };
+
+  /// Oldest entry the policy may act on: evictable, or hot enough to move.
+  std::list<Node>::iterator FirstActionable(
+      std::list<Node>* queue,
+      const std::function<bool(const std::string&)>& evictable) {
+    const bool in_main = queue == &main_;
+    for (auto it = queue->begin(); it != queue->end(); ++it) {
+      const bool movable = in_main ? it->freq > 0 : it->freq > 1;
+      if (movable || evictable(it->key)) return it;
+    }
+    return queue->end();
+  }
+
+  void Promote(std::list<Node>::iterator it) {
+    small_bytes_ -= it->bytes;
+    main_bytes_ += it->bytes;
+    it->freq = 0;
+    main_.splice(main_.end(), small_, it);
+    index_[it->key] = Slot{true, it};
+  }
+
+  void RememberGhost(const std::string& key) {
+    ghost_.push_back(key);
+    ghost_index_[key] = std::prev(ghost_.end());
+    const size_t cap = std::max<size_t>(2 * index_.size(), 64);
+    while (ghost_.size() > cap) {
+      ghost_index_.erase(ghost_.front());
+      ghost_.pop_front();
+    }
+  }
+
+  const int64_t small_target_;
+  std::list<Node> small_;
+  std::list<Node> main_;
+  int64_t small_bytes_ = 0;
+  int64_t main_bytes_ = 0;
+  std::map<std::string, Slot> index_;
+  std::list<std::string> ghost_;
+  std::map<std::string, std::list<std::string>::iterator> ghost_index_;
+};
+
+/// Frequency/recency hybrid: each entry carries its observed reuse count
+/// and last-access sequence number; the victim is the entry with the lowest
+/// blended score (normalized frequency weighted over normalized recency),
+/// ties broken by insertion order. This is the H-SVM-LRU shape with the
+/// SVM's predicted-reuse feature replaced by the measured per-pane reuse
+/// count the journal already tracks.
+class HybridPolicy : public EvictionPolicy {
+ public:
+  void OnInsert(const std::string& key, int64_t /*bytes*/) override {
+    ++seq_;
+    info_[key] = Info{0, seq_, seq_};
+  }
+
+  void OnAccess(const std::string& key) override {
+    auto it = info_.find(key);
+    if (it == info_.end()) return;
+    ++it->second.reuses;
+    it->second.last_seq = ++seq_;
+  }
+
+  void OnRemove(const std::string& key) override { info_.erase(key); }
+
+  std::string PickVictim(
+      const std::function<bool(const std::string&)>& evictable) override {
+    int64_t max_reuses = 0;
+    uint64_t min_seq = 0;
+    uint64_t max_seq = 0;
+    bool first = true;
+    for (const auto& [key, info] : info_) {
+      max_reuses = std::max(max_reuses, info.reuses);
+      min_seq = first ? info.last_seq : std::min(min_seq, info.last_seq);
+      max_seq = first ? info.last_seq : std::max(max_seq, info.last_seq);
+      first = false;
+    }
+    const double seq_span = static_cast<double>(max_seq - min_seq) + 1.0;
+    const std::string* victim = nullptr;
+    double victim_score = 0.0;
+    uint64_t victim_ins = 0;
+    for (const auto& [key, info] : info_) {
+      if (!evictable(key)) continue;
+      const double freq =
+          static_cast<double>(info.reuses) / static_cast<double>(max_reuses + 1);
+      const double recency =
+          static_cast<double>(info.last_seq - min_seq) / seq_span;
+      const double score = kFrequencyWeight * freq +
+                           (1.0 - kFrequencyWeight) * recency;
+      if (victim == nullptr || score < victim_score ||
+          (score == victim_score && info.ins_seq < victim_ins)) {
+        victim = &key;
+        victim_score = score;
+        victim_ins = info.ins_seq;
+      }
+    }
+    return victim == nullptr ? "" : *victim;
+  }
+
+  EvictionPolicyKind kind() const override {
+    return EvictionPolicyKind::kHybrid;
+  }
+
+ private:
+  struct Info {
+    int64_t reuses = 0;
+    uint64_t last_seq = 0;
+    uint64_t ins_seq = 0;
+  };
+
+  static constexpr double kFrequencyWeight = 0.6;
+
+  std::map<std::string, Info> info_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace
+
+const char* EvictionPolicyName(EvictionPolicyKind kind) {
+  switch (kind) {
+    case EvictionPolicyKind::kLru:
+      return "lru";
+    case EvictionPolicyKind::kFifo:
+      return "fifo";
+    case EvictionPolicyKind::kS3Fifo:
+      return "s3fifo";
+    case EvictionPolicyKind::kSieve:
+      return "sieve";
+    case EvictionPolicyKind::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+std::optional<EvictionPolicyKind> ParseEvictionPolicy(const std::string& name) {
+  if (name == "lru") return EvictionPolicyKind::kLru;
+  if (name == "fifo") return EvictionPolicyKind::kFifo;
+  if (name == "s3fifo") return EvictionPolicyKind::kS3Fifo;
+  if (name == "sieve") return EvictionPolicyKind::kSieve;
+  if (name == "hybrid") return EvictionPolicyKind::kHybrid;
+  return std::nullopt;
+}
+
+std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(EvictionPolicyKind kind,
+                                                   int64_t budget_bytes) {
+  switch (kind) {
+    case EvictionPolicyKind::kLru:
+      return std::make_unique<ListOrderPolicy>(kind, /*refresh_on_access=*/true);
+    case EvictionPolicyKind::kFifo:
+      return std::make_unique<ListOrderPolicy>(kind,
+                                               /*refresh_on_access=*/false);
+    case EvictionPolicyKind::kS3Fifo:
+      return std::make_unique<S3FifoPolicy>(budget_bytes);
+    case EvictionPolicyKind::kSieve:
+      return std::make_unique<SievePolicy>();
+    case EvictionPolicyKind::kHybrid:
+      return std::make_unique<HybridPolicy>();
+  }
+  REDOOP_CHECK(false) << "unknown eviction policy";
+  return nullptr;
+}
+
+}  // namespace redoop

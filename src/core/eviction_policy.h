@@ -1,0 +1,66 @@
+#ifndef REDOOP_CORE_EVICTION_POLICY_H_
+#define REDOOP_CORE_EVICTION_POLICY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace redoop {
+
+/// Replacement policies for the capacity-bounded CacheStore. The names match
+/// the caching-survey taxonomy: classic recency (LRU), insertion order
+/// (FIFO), the quick-demotion FIFO family (S3-FIFO), the lazy-promotion
+/// clock variant (SIEVE), and a frequency/recency hybrid scored on observed
+/// per-pane reuse counts (the H-SVM-LRU idea with the learned component
+/// replaced by the measured reuse frequency).
+enum class EvictionPolicyKind { kLru, kFifo, kS3Fifo, kSieve, kHybrid };
+
+/// Stable lower-case names ("lru", "fifo", "s3fifo", "sieve", "hybrid") for
+/// flags, bench tables, and journal events.
+const char* EvictionPolicyName(EvictionPolicyKind kind);
+std::optional<EvictionPolicyKind> ParseEvictionPolicy(const std::string& name);
+
+/// Replacement-order bookkeeping for CacheStore. The store notifies the
+/// policy on every insert/access/remove and asks it for victims when over
+/// budget; the policy never owns entries or bytes accounting.
+///
+/// Implementations are strictly deterministic: the victim sequence depends
+/// only on the order of OnInsert/OnAccess/OnRemove calls (ties broken by
+/// insertion order), never on pointer values or hash iteration. The driver
+/// issues every cache operation from its own thread in simulated-time
+/// order, so victim sequences are identical at any --threads setting.
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  /// A key was inserted (or replaced — the store removes first, so a
+  /// replacement arrives as OnRemove + OnInsert). `bytes` is the logical
+  /// payload size, for policies with size-aware queues (S3-FIFO).
+  virtual void OnInsert(const std::string& key, int64_t bytes) = 0;
+  /// A cache hit on `key` (no-op for keys the policy no longer tracks).
+  virtual void OnAccess(const std::string& key) = 0;
+  /// `key` left the store (eviction, purge, or replacement).
+  virtual void OnRemove(const std::string& key) = 0;
+
+  /// Picks the next victim among tracked keys for which `evictable` returns
+  /// true (the store excludes pinned entries and the entry being inserted);
+  /// returns "" when no tracked key qualifies. The caller completes the
+  /// eviction with OnRemove.
+  virtual std::string PickVictim(
+      const std::function<bool(const std::string&)>& evictable) = 0;
+
+  virtual EvictionPolicyKind kind() const = 0;
+};
+
+/// Policy-switch factory (the block_gc_cache idiom): one place maps the
+/// configured kind to an implementation. `budget_bytes` sizes internal
+/// structures for policies that need it (S3-FIFO's small-queue target);
+/// 0 (unbounded) is legal — the store then never asks for victims.
+std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(EvictionPolicyKind kind,
+                                                   int64_t budget_bytes);
+
+}  // namespace redoop
+
+#endif  // REDOOP_CORE_EVICTION_POLICY_H_

@@ -9,35 +9,36 @@ LocalCacheRegistry::LocalCacheRegistry(NodeId node, SimDuration purge_cycle)
   REDOOP_CHECK(purge_cycle_ >= 0.0);
 }
 
-void LocalCacheRegistry::AddEntry(const std::string& name, CacheType type,
+void LocalCacheRegistry::AddEntry(const CacheKey& key, CacheType type,
                                   int64_t bytes) {
+  REDOOP_CHECK(key.valid());
   REDOOP_CHECK(type != CacheType::kNone);
   REDOOP_CHECK(bytes >= 0);
   LocalCacheEntry entry;
-  entry.name = name;
+  entry.name = key.name();
   entry.type = type;
   entry.expired = false;
   entry.bytes = bytes;
-  entries_[name] = std::move(entry);
+  entries_[key.name()] = std::move(entry);
 }
 
-bool LocalCacheRegistry::MarkExpired(const std::string& name) {
-  auto it = entries_.find(name);
+bool LocalCacheRegistry::MarkExpired(const CacheKey& key) {
+  auto it = entries_.find(key.name());
   if (it == entries_.end()) return false;
   it->second.expired = true;
   return true;
 }
 
-void LocalCacheRegistry::Remove(const std::string& name) {
-  entries_.erase(name);
+void LocalCacheRegistry::Remove(const CacheKey& key) {
+  entries_.erase(key.name());
 }
 
-bool LocalCacheRegistry::Has(const std::string& name) const {
-  return entries_.count(name) > 0;
+bool LocalCacheRegistry::Has(const CacheKey& key) const {
+  return entries_.count(key.name()) > 0;
 }
 
-const LocalCacheEntry* LocalCacheRegistry::Find(const std::string& name) const {
-  auto it = entries_.find(name);
+const LocalCacheEntry* LocalCacheRegistry::Find(const CacheKey& key) const {
+  auto it = entries_.find(key.name());
   return it == entries_.end() ? nullptr : &it->second;
 }
 

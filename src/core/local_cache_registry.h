@@ -9,6 +9,7 @@
 #include "cluster/node.h"
 #include "common/ids.h"
 #include "common/sim_time.h"
+#include "core/cache_key.h"
 #include "core/cache_types.h"
 #include "obs/telemetry_scope.h"
 
@@ -36,17 +37,19 @@ class LocalCacheRegistry {
   SimDuration purge_cycle() const { return purge_cycle_; }
 
   /// Appends a new (unexpired) entry. Overwrites a stale same-name entry.
-  void AddEntry(const std::string& name, CacheType type, int64_t bytes);
+  /// Taking a CacheKey (not a raw name) means a malformed pane name fails
+  /// at key construction, never as a silently unfindable registry row.
+  void AddEntry(const CacheKey& key, CacheType type, int64_t bytes);
 
   /// Purge notification from the controller. Returns false when the entry
   /// is unknown (e.g. already dropped by a failure).
-  bool MarkExpired(const std::string& name);
+  bool MarkExpired(const CacheKey& key);
 
   /// Drops metadata for a cache that vanished (node-local file loss).
-  void Remove(const std::string& name);
+  void Remove(const CacheKey& key);
 
-  bool Has(const std::string& name) const;
-  const LocalCacheEntry* Find(const std::string& name) const;
+  bool Has(const CacheKey& key) const;
+  const LocalCacheEntry* Find(const CacheKey& key) const;
   size_t size() const { return entries_.size(); }
   int64_t expired_count() const;
 

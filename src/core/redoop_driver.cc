@@ -108,8 +108,17 @@ RedoopDriver::RedoopDriver(Cluster* cluster, BatchFeed* feed,
   scope_ = obs::TelemetryScope(obs_, query_.name, &telemetry_window_,
                                &trace_ctx_);
   controller_.set_telemetry(scope_);
-  store_.set_telemetry(scope_);
-  store_.set_columnar(options_.cache.columnar_payloads);
+  {
+    CacheStore::Options store_options;
+    store_options.budget_bytes = options_.cache.budget_bytes;
+    store_options.policy = options_.cache.eviction_policy;
+    store_options.columnar_payloads = options_.cache.columnar_payloads;
+    store_options.telemetry = scope_;
+    store_options.on_evict = [this](const CacheStore::EvictionNotice& n) {
+      OnCacheEvicted(n);
+    };
+    store_ = std::make_unique<CacheStore>(std::move(store_options));
+  }
   profiler_.set_telemetry(scope_);
   default_scheduler_.set_telemetry(scope_);
   cluster_->dfs().set_observability(obs_);
@@ -436,18 +445,6 @@ void RedoopDriver::RunPanePairBatch(
   }
 }
 
-namespace {
-/// Parses the partition out of a cache name ("RIC_Q1_S1P5_R7" or
-/// "ROC_..._R7_c2" -> 7); -1 when the name has no partition marker.
-int32_t PartitionFromCacheName(const std::string& name) {
-  const size_t pos = name.rfind("_R");
-  if (pos == std::string::npos) return -1;
-  int partition = -1;
-  if (std::sscanf(name.c_str() + pos + 2, "%d", &partition) != 1) return -1;
-  return partition;
-}
-}  // namespace
-
 void RedoopDriver::RebuildPane(SourceId source, PaneId pane) {
   auto it = pane_states_.find({source, pane});
   if (it == pane_states_.end()) return;  // Pane already expired.
@@ -460,23 +457,31 @@ void RedoopDriver::RebuildPane(SourceId source, PaneId pane) {
   // reduce/caching tasks.
   std::set<int32_t> lost_ric;
   std::set<int32_t> lost_roc;
-  auto classify = [&](std::vector<std::string>* manifest,
+  auto classify = [&](std::vector<CacheKey>* manifest,
                       std::set<int32_t>* lost) {
     manifest->erase(
         std::remove_if(manifest->begin(), manifest->end(),
-                       [&](const std::string& name) {
-                         if (store_.Has(name)) return false;  // Survivor.
-                         const int32_t partition =
-                             PartitionFromCacheName(name);
-                         if (partition >= 0) lost->insert(partition);
-                         const NodeId node = controller_.DropSignature(name);
+                       [&](const CacheKey& key) {
+                         if (store_->Has(key)) {
+                           // Survivor: pin it so the rebuild's own Puts
+                           // cannot evict what the pane still relies on.
+                           recurrence_leases_.push_back(
+                               store_->Acquire(key));
+                           return false;
+                         }
+                         if (key.partition() >= 0) {
+                           lost->insert(key.partition());
+                         }
+                         const NodeId node =
+                             controller_.DropSignature(key.name());
                          if (node != kInvalidNode &&
                              node < cluster_->num_nodes()) {
                            if (cluster_->node(node).alive()) {
-                             cluster_->node(node).DeleteLocalFile(name);
+                             cluster_->node(node).DeleteLocalFile(
+                                 key.name());
                            }
                            registries_[static_cast<size_t>(node)]->Remove(
-                               name);
+                               key);
                          }
                          return true;
                        }),
@@ -500,8 +505,8 @@ void RedoopDriver::RebuildPane(SourceId source, PaneId pane) {
   for (int32_t partition : lost_roc) {
     if (lost_ric.count(partition) > 0) continue;
     bool have_ric = false;
-    for (const std::string& name : ps.ric_names) {
-      if (PartitionFromCacheName(name) == partition) have_ric = true;
+    for (const CacheKey& key : ps.ric_names) {
+      if (key.partition() == partition) have_ric = true;
     }
     if (have_ric) reducible.insert(partition);
   }
@@ -542,13 +547,12 @@ void RedoopDriver::RebuildOutputsFromInputs(
   JobSpec spec;
   spec.config =
       BaseJobConfig(StringPrintf("roc-rebuild-S%dP%ld", source, pane));
-  for (const std::string& name : ps.ric_names) {
-    const int32_t partition = PartitionFromCacheName(name);
-    if (std::find(partitions.begin(), partitions.end(), partition) ==
+  for (const CacheKey& key : ps.ric_names) {
+    if (std::find(partitions.begin(), partitions.end(), key.partition()) ==
         partitions.end()) {
       continue;
     }
-    const CacheSignature* sig = controller_.Find(name);
+    const CacheSignature* sig = controller_.Find(key.name());
     if (sig != nullptr) AppendSideInput(*sig, &spec.side_inputs);
   }
   const QueryId qid = query_.id;
@@ -573,9 +577,13 @@ void RedoopDriver::RebuildOutputsFromInputs(
 // ---------------------------------------------------------------------------
 
 void RedoopDriver::AppendSideInput(const CacheSignature& sig,
-                                   std::vector<ReduceSideInput>* out) const {
-  const CacheStore::Entry* entry = store_.Find(sig.name);
+                                   std::vector<ReduceSideInput>* out) {
+  const CacheKey key = CacheKey::FromName(sig.name);
+  const CacheStore::Entry* entry = store_->Find(key);
   REDOOP_CHECK(entry != nullptr) << "cache payload missing: " << sig.name;
+  // Pin for the rest of the recurrence: a side input already handed to a
+  // job spec must not be reclaimed by a later Put's budget sweep.
+  recurrence_leases_.push_back(store_->Acquire(key));
   ReduceSideInput side;
   side.cache_name = sig.name;
   side.partition = sig.partition;
@@ -591,7 +599,7 @@ void RedoopDriver::AppendSideInput(const CacheSignature& sig,
 }
 
 std::vector<ReduceSideInput> RedoopDriver::SideInputsFor(
-    const std::vector<const CacheSignature*>& caches) const {
+    const std::vector<const CacheSignature*>& caches) {
   std::vector<ReduceSideInput> out;
   out.reserve(caches.size());
   for (const CacheSignature* sig : caches) AppendSideInput(*sig, &out);
@@ -602,6 +610,9 @@ void RedoopDriver::RegisterJobCaches(const JobResult& result,
                                      SourceId source_for_roc,
                                      PaneId pane_for_roc) {
   for (const MaterializedCache& cache : result.caches) {
+    // Free validation: a job that emitted a malformed cache file name dies
+    // here, not as an unfindable registry row windows later.
+    const CacheKey key = CacheKey::FromName(cache.name);
     CacheSignature sig;
     sig.name = cache.name;
     sig.partition = cache.partition;
@@ -627,16 +638,20 @@ void RedoopDriver::RegisterJobCaches(const JobResult& result,
     if (sig.pane_right == kInvalidPane && sig.pane != kInvalidPane) {
       PaneIngestState& ps = pane_states_[{sig.source, sig.pane}];
       if (sig.type == CacheType::kReduceInput) {
-        ps.ric_names.push_back(sig.name);
+        ps.ric_names.push_back(key);
       } else {
-        ps.roc_names.push_back(sig.name);
+        ps.roc_names.push_back(key);
       }
       // Serving this pane later in the same recurrence is not a cache hit.
       panes_built_this_recurrence_.insert({sig.source, sig.pane});
       pane_built_window_[{sig.source, sig.pane}] = telemetry_window_;
     }
-    store_.Put(sig.name, cache.payload, sig.bytes, sig.records);
-    registries_[static_cast<size_t>(sig.node)]->AddEntry(sig.name, sig.type,
+    store_->Put(key, CacheStore::PanePayload(cache.payload),
+                CacheStore::PaneStats{sig.bytes, sig.records});
+    // Pin the fresh entry for the rest of the recurrence: the window that
+    // just paid to build it must be able to read it back.
+    recurrence_leases_.push_back(store_->Acquire(key));
+    registries_[static_cast<size_t>(sig.node)]->AddEntry(key, sig.type,
                                                          sig.bytes);
     // The registry ships its delta to the master with its next heartbeat
     // (paper §2.3); the bus records the in-flight metadata traffic.
@@ -672,13 +687,25 @@ void RedoopDriver::EnsureWindowPanes(int64_t recurrence) {
       if (it == pane_states_.end()) continue;  // Pane had no data.
       const PaneIngestState& ps = it->second;
       bool missing = false;
-      for (const std::string& name : ps.ric_names) {
-        if (!store_.Has(name)) missing = true;
+      for (const CacheKey& key : ps.ric_names) {
+        if (!store_->Has(key)) missing = true;
       }
-      for (const std::string& name : ps.roc_names) {
-        if (!store_.Has(name)) missing = true;
+      for (const CacheKey& key : ps.roc_names) {
+        if (!store_->Has(key)) missing = true;
       }
-      if (missing) RebuildPane(qs.id, p);
+      if (missing) {
+        // RebuildPane pins the survivors and re-materializes the rest.
+        RebuildPane(qs.id, p);
+      } else {
+        // Pin the pane's manifest for this window: assembly reads these
+        // entries, so the budget sweep must not reclaim them mid-window.
+        for (const CacheKey& key : ps.ric_names) {
+          recurrence_leases_.push_back(store_->Acquire(key));
+        }
+        for (const CacheKey& key : ps.roc_names) {
+          recurrence_leases_.push_back(store_->Acquire(key));
+        }
+      }
     }
   }
 }
@@ -882,6 +909,23 @@ void RedoopDriver::PrepareJoinWindow(int64_t recurrence) {
 
   const std::vector<PanePairWorkItem> missing = MissingWindowPairs(recurrence);
   {
+    // Pin the in-window pair outputs already materialized: assembly unions
+    // them later this recurrence, so the pair batch's own Puts must not
+    // evict them in the meantime.
+    const PaneRange w = geometry_.PanesForRecurrence(recurrence);
+    for (PaneId l = w.first; l < w.last; ++l) {
+      for (PaneId r = w.first; r < w.last; ++r) {
+        for (int32_t part = 0; part < query_.config.num_reducers; ++part) {
+          const CacheKey key =
+              CacheKey::JoinOutput(query_.id, l, r, part);
+          if (store_->Has(key)) {
+            recurrence_leases_.push_back(store_->Acquire(key));
+          }
+        }
+      }
+    }
+  }
+  {
     // Pair-grain cache accounting: every in-window pair whose output is
     // already materialized is served from cache; the missing ones must run.
     const PaneRange w = geometry_.PanesForRecurrence(recurrence);
@@ -967,13 +1011,13 @@ void RedoopDriver::EmitPaneCacheStats(int64_t recurrence) {
       // the bytes a hit actually moves (columnar entries report their
       // encoded image; row entries report logical size).
       int64_t compressed = 0;
-      for (const std::string& name : ps.ric_names) {
-        const CacheStore::Entry* entry = store_.Find(name);
+      for (const CacheKey& key : ps.ric_names) {
+        const CacheStore::Entry* entry = store_->Find(key);
         if (entry == nullptr) cached = false;
         else compressed += entry->compressed_bytes;
       }
-      for (const std::string& name : ps.roc_names) {
-        const CacheStore::Entry* entry = store_.Find(name);
+      for (const CacheKey& key : ps.roc_names) {
+        const CacheStore::Entry* entry = store_->Find(key);
         if (entry == nullptr) cached = false;
         else compressed += entry->compressed_bytes;
       }
@@ -1115,7 +1159,8 @@ WindowReport RedoopDriver::AssembleWindow(int64_t recurrence) {
             REDOOP_CHECK(sig != nullptr)
                 << "missing pair output " << l << "x" << r << " R" << part;
             if (sig->records == 0) continue;
-            const CacheStore::Entry* entry = store_.Find(sig->name);
+            const CacheStore::Entry* entry =
+                store_->Find(CacheKey::FromName(sig->name));
             REDOOP_CHECK(entry != nullptr);
             entry->payload()->AppendToKeyValues(&report.output);
           }
@@ -1326,14 +1371,21 @@ void RedoopDriver::AfterRecurrence(int64_t recurrence,
   const std::vector<PurgeNotification> notifications =
       controller_.FinishRecurrence(query_.id, recurrence);
   for (const PurgeNotification& n : notifications) {
+    const CacheKey key = CacheKey::FromName(n.name);
     if (n.node >= 0 && n.node < cluster_->num_nodes()) {
-      registries_[static_cast<size_t>(n.node)]->MarkExpired(n.name);
+      registries_[static_cast<size_t>(n.node)]->MarkExpired(key);
       // Master -> node purge notification (paper §4.2) rides the bus too.
       cluster_->heartbeat_bus().Send(n.node, cluster_->simulator().Now(),
                                      "cache-expire", n.name);
     }
-    store_.Remove(n.name);
+    store_->Remove(key);
   }
+  // Retire this recurrence's pins, then trim the store back under budget.
+  // Doing both here (not lease-by-lease) keeps the victim sequence a pure
+  // function of the recurrence boundary, independent of lease destruction
+  // order.
+  recurrence_leases_.clear();
+  store_->EnforceBudget();
   cluster_->heartbeat_bus().DeliverUpTo(cluster_->simulator().Now() +
                                         cluster_->heartbeat_bus().interval());
   // Periodic purging on every live node (paper §4.1).
@@ -1435,16 +1487,16 @@ StatusOr<std::vector<KeyValue>> RedoopDriver::RunAdHocQuery(Timestamp begin,
     if (has_cached_outputs) {
       // Serve the pane from its cached partial outputs.
       served_from_cache = true;
-      for (const std::string& name : ps.roc_names) {
-        const CacheSignature* sig = controller_.Find(name);
-        if (sig == nullptr || !store_.Has(name)) {
+      for (const CacheKey& key : ps.roc_names) {
+        const CacheSignature* sig = controller_.Find(key.name());
+        if (sig == nullptr || !store_->Has(key)) {
           served_from_cache = false;
           break;
         }
       }
       if (served_from_cache) {
-        for (const std::string& name : ps.roc_names) {
-          AppendSideInput(*controller_.Find(name), &spec.side_inputs);
+        for (const CacheKey& key : ps.roc_names) {
+          AppendSideInput(*controller_.Find(key.name()), &spec.side_inputs);
         }
       }
     }
@@ -1483,14 +1535,32 @@ void RedoopDriver::OnCacheLossEvent(NodeId node,
     WindowAwareCacheController::LossImpact impact =
         controller_.OnCacheLost(node, name);
     for (const PurgeNotification& n : impact.lost_caches) {
-      store_.Remove(n.name);
+      store_->Remove(CacheKey::FromName(n.name));
       if (n.node >= 0 && n.node < cluster_->num_nodes()) {
         if (n.node != node && cluster_->node(n.node).alive()) {
           cluster_->node(n.node).DeleteLocalFile(n.name);
         }
-        registries_[static_cast<size_t>(n.node)]->Remove(n.name);
+        registries_[static_cast<size_t>(n.node)]->Remove(
+            CacheKey::FromName(n.name));
       }
     }
+  }
+}
+
+void RedoopDriver::OnCacheEvicted(const CacheStore::EvictionNotice& notice) {
+  // The store already dropped the payload and journaled the eviction; this
+  // rolls the *planner* back so the pane reads as recompute-needed: drop
+  // the signature, flip the matrix/ready bits, clear stale work-list
+  // entries, and purge the node-side metadata and file. No eager rebuild —
+  // a future window that actually reads the pane re-materializes it via
+  // EnsureWindowPanes / MissingWindowPairs (lazy, no thrash under a tight
+  // budget).
+  const NodeId node = controller_.OnCacheEvicted(notice.key);
+  if (node != kInvalidNode && node < cluster_->num_nodes()) {
+    if (cluster_->node(node).alive()) {
+      cluster_->node(node).DeleteLocalFile(notice.key.name());
+    }
+    registries_[static_cast<size_t>(node)]->Remove(notice.key);
   }
 }
 

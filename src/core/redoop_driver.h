@@ -13,7 +13,9 @@
 #include "core/batch_feed.h"
 #include "core/cache_aware_scheduler.h"
 #include "core/cache_controller.h"
+#include "core/cache_key.h"
 #include "core/cache_store.h"
+#include "core/eviction_policy.h"
 #include "core/data_packer.h"
 #include "core/execution_profiler.h"
 #include "core/local_cache_registry.h"
@@ -48,6 +50,14 @@ struct CacheOptions {
   /// byte-identical either way — only host memory and the compressed-bytes
   /// accounting change. Off = keep the row-ordered flat buffer as-is.
   bool columnar_payloads = true;
+  /// Logical-byte budget of the driver's CacheStore; 0 = unbounded (keep
+  /// every pane the lifespan math declares live, the paper's model). Under
+  /// a budget, evicted panes flip back to recompute and are rebuilt lazily
+  /// when a window reads them again — window outputs stay byte-identical
+  /// to the unbounded run, only the work volume changes.
+  int64_t budget_bytes = 0;
+  /// Victim selection under the byte budget (ignored when unbounded).
+  EvictionPolicyKind eviction_policy = EvictionPolicyKind::kLru;
 };
 
 /// Adaptive input partitioning + proactive execution (paper §3.3).
@@ -147,6 +157,8 @@ class RedoopDriverOptions::Builder {
   Builder& HybridJoinStrategy(bool v) { opts_.cache.hybrid_join_strategy = v; return *this; }
   Builder& PurgeCycle(double seconds) { opts_.cache.purge_cycle_s = seconds; return *this; }
   Builder& ColumnarPayloads(bool v) { opts_.cache.columnar_payloads = v; return *this; }
+  Builder& CacheBudgetBytes(int64_t v) { opts_.cache.budget_bytes = v; return *this; }
+  Builder& CacheEvictionPolicy(EvictionPolicyKind v) { opts_.cache.eviction_policy = v; return *this; }
   Builder& Adaptive(bool v) { opts_.adaptive.enabled = v; return *this; }
   Builder& ProactiveThreshold(double v) { opts_.adaptive.proactive_threshold = v; return *this; }
   Builder& MaxSubpanes(int32_t v) { opts_.adaptive.max_subpanes = v; return *this; }
@@ -216,7 +228,7 @@ class RedoopDriver {
   // --- Introspection (tests, benchmarks) --------------------------------
   const WindowGeometry& geometry() const { return geometry_; }
   const WindowAwareCacheController& controller() const { return controller_; }
-  const CacheStore& store() const { return store_; }
+  const CacheStore& store() const { return *store_; }
   const ExecutionProfiler& profiler() const { return profiler_; }
   const LocalCacheRegistry& registry(NodeId node) const;
   const DynamicDataPacker& packer(SourceId source) const;
@@ -248,9 +260,10 @@ class RedoopDriver {
     bool cached_reported = false;
     int32_t chunks_processed = 0;
     int64_t bytes = 0;
-    /// Cache files materialized for this pane (manifest for loss checks).
-    std::vector<std::string> ric_names;
-    std::vector<std::string> roc_names;
+    /// Cache files materialized for this pane (manifest for loss and
+    /// eviction checks).
+    std::vector<CacheKey> ric_names;
+    std::vector<CacheKey> roc_names;
   };
 
   using PaneKey = std::pair<SourceId, PaneId>;
@@ -288,10 +301,16 @@ class RedoopDriver {
   void EmitPaneCacheStats(int64_t recurrence);
   void AfterRecurrence(int64_t recurrence, const WindowReport& report);
   void OnCacheLossEvent(NodeId node, const std::vector<std::string>& lost);
+  /// Rolls planner state back for a budget eviction (signature drop, node
+  /// file delete, registry removal, ready-bit/matrix rollback) without
+  /// scheduling an eager rebuild.
+  void OnCacheEvicted(const CacheStore::EvictionNotice& notice);
+  /// Appends the cache's payload as a reduce side input, pinning its store
+  /// entry for the rest of the recurrence.
   void AppendSideInput(const CacheSignature& sig,
-                       std::vector<ReduceSideInput>* out) const;
+                       std::vector<ReduceSideInput>* out);
   std::vector<ReduceSideInput> SideInputsFor(
-      const std::vector<const CacheSignature*>& caches) const;
+      const std::vector<const CacheSignature*>& caches);
   /// Join windows: decides the execution strategy (pane pairs vs cached-
   /// input recompute), runs the needed work, and — on the recompute path —
   /// stashes the window output in `join_window_override_`.
@@ -343,7 +362,14 @@ class RedoopDriver {
   PartitionPlan base_plan_;
   PartitionPlan current_plan_;
   WindowAwareCacheController controller_;
-  CacheStore store_;
+  /// Built in the constructor body (its Options capture `this` for the
+  /// eviction callback and need scope_ live first).
+  std::unique_ptr<CacheStore> store_;
+  /// Pins on every cache entry the current recurrence registered or read;
+  /// cleared (then EnforceBudget) at the end of each recurrence. Must be
+  /// declared after store_ so destruction releases the pins while the
+  /// store is still alive.
+  std::vector<CacheStore::Lease> recurrence_leases_;
   ExecutionProfiler profiler_;
   DefaultScheduler default_scheduler_;
   std::unique_ptr<CacheAwareScheduler> cache_aware_scheduler_;

@@ -29,6 +29,8 @@ void CacheStats::Add(const CacheStats& other) {
   hit_bytes += other.hit_bytes;
   hit_compressed_bytes += other.hit_compressed_bytes;
   miss_bytes += other.miss_bytes;
+  evictions += other.evictions;
+  evicted_bytes += other.evicted_bytes;
 }
 
 void BlameBreakdown::Add(const BlameBreakdown& other) {
@@ -524,6 +526,14 @@ Status AnalyzeJournal(const EventJournal& journal,
       } else {
         b.window.cache.pair_misses += count;
       }
+    } else if (type == event::kCachePaneEvict) {
+      // Budget evictions can land between recurrences (EnforceBudget at
+      // the recurrence boundary); charge them to the open window when one
+      // exists, else to the next window that opens.
+      SystemBuilder& b = builder_for(e);
+      b.EnsureWindow(e.time());
+      ++b.window.cache.evictions;
+      b.window.cache.evicted_bytes += e.IntOr("bytes", 0);
     }
   }
 
@@ -555,7 +565,7 @@ std::string CacheJson(const CacheStats& c) {
       "{\"pane_hits\": %lld, \"pane_misses\": %lld, \"pair_hits\": %lld, "
       "\"pair_misses\": %lld, \"hit_bytes\": %lld, "
       "\"hit_compressed_bytes\": %lld, \"miss_bytes\": %lld, "
-      "\"hit_rate\": %s}",
+      "\"evictions\": %lld, \"evicted_bytes\": %lld, \"hit_rate\": %s}",
       static_cast<long long>(c.pane_hits),
       static_cast<long long>(c.pane_misses),
       static_cast<long long>(c.pair_hits),
@@ -563,6 +573,8 @@ std::string CacheJson(const CacheStats& c) {
       static_cast<long long>(c.hit_bytes),
       static_cast<long long>(c.hit_compressed_bytes),
       static_cast<long long>(c.miss_bytes),
+      static_cast<long long>(c.evictions),
+      static_cast<long long>(c.evicted_bytes),
       FormatDouble(c.HitRate()).c_str());
 }
 
@@ -629,6 +641,13 @@ std::string BreakdownToText(const RunAnalysis& analysis) {
         FormatDouble(total.HitRate()).c_str(),
         static_cast<long long>(total.hit_bytes),
         static_cast<long long>(total.hit_compressed_bytes));
+    if (total.evictions > 0) {
+      out += StringPrintf(
+          "  evict   %lld panes (%lld bytes) pushed out by the byte "
+          "budget\n",
+          static_cast<long long>(total.evictions),
+          static_cast<long long>(total.evicted_bytes));
+    }
   }
   return out;
 }

@@ -84,6 +84,10 @@ struct CacheStats {
   // decoded — the traffic the hits really moved.
   int64_t hit_compressed_bytes = 0;
   int64_t miss_bytes = 0;  // Bytes that had to be (re)built.
+  // Budget evictions (cache.pane.evict): panes the byte budget pushed out
+  // of the store, flipping them back to recompute.
+  int64_t evictions = 0;
+  int64_t evicted_bytes = 0;
 
   void Add(const CacheStats& other);
   double HitRate() const;

@@ -217,6 +217,9 @@ inline constexpr const char* kCacheRebuild = "cache.rebuild";
 inline constexpr const char* kCachePurge = "cache.purge";
 inline constexpr const char* kCachePaneHit = "cache.pane.hit";
 inline constexpr const char* kCachePaneMiss = "cache.pane.miss";
+// A budget eviction removed a resident pane payload from the CacheStore
+// (the cell flips back to recompute; lifespan expiry stays cache.evict).
+inline constexpr const char* kCachePaneEvict = "cache.pane.evict";
 inline constexpr const char* kCachePairHit = "cache.pair.hit";
 inline constexpr const char* kCachePairMiss = "cache.pair.miss";
 

@@ -79,10 +79,16 @@ inline constexpr const char* kCacheEvictions = "cache.evictions";
 inline constexpr const char* kCacheInvalidations = "cache.invalidations";
 inline constexpr const char* kCacheRebuilds = "cache.rebuilds";
 inline constexpr const char* kCachePurgedBytes = "cache.purged.bytes";
+// Budget-driven CacheStore evictions (distinct from lifespan-driven
+// cache.evictions above).
+inline constexpr const char* kCacheEvictedEntries = "cache.evicted.entries";
+inline constexpr const char* kCacheEvictedBytes = "cache.evicted.bytes";
 inline constexpr const char* kCacheStoreBytes = "cache.store.bytes";    // gauge
 inline constexpr const char* kCacheStoreCompressedBytes =
     "cache.store.compressed.bytes";  // gauge
 inline constexpr const char* kCacheStoreEntries = "cache.store.entries";  // gauge
+inline constexpr const char* kCacheStorePinnedBytes =
+    "cache.store.pinned.bytes";  // gauge
 
 // Cache reads at reduce time (local = side input on the reducer's node).
 inline constexpr const char* kCacheReadLocalBytes = "cache.read.local.bytes";

@@ -46,6 +46,8 @@ SloReport ComputeSlo(const analysis::RunAnalysis& analysis) {
       q.cache_misses += w.cache.pane_misses + w.cache.pair_misses;
       q.cache_hit_bytes += w.cache.hit_bytes;
       q.cache_hit_compressed_bytes += w.cache.hit_compressed_bytes;
+      q.cache_evictions += w.cache.evictions;
+      q.cache_evicted_bytes += w.cache.evicted_bytes;
       q.slot_wait_s += w.map_phases.wait + w.reduce_phases.wait;
       q.stragglers += static_cast<int64_t>(w.stragglers.size());
       q.failed_attempts += w.failed_attempts;
@@ -95,6 +97,8 @@ void ExportTo(const SloReport& report, MetricsSnapshot* snapshot) {
     gauge("slo.cache.hit_rate", q.CacheHitRate());
     counter("slo.cache.hit.bytes", q.cache_hit_bytes);
     counter("slo.cache.hit.compressed.bytes", q.cache_hit_compressed_bytes);
+    counter("slo.cache.evictions", q.cache_evictions);
+    counter("slo.cache.evicted.bytes", q.cache_evicted_bytes);
     gauge("slo.slot_wait_s", q.slot_wait_s);
     counter("slo.stragglers", q.stragglers);
   }
@@ -143,6 +147,10 @@ std::string SloReport::ToText() const {
         static_cast<long long>(q.cache_hits + q.cache_misses),
         static_cast<long long>(q.cache_hit_bytes),
         static_cast<long long>(q.cache_hit_compressed_bytes));
+    out += StringPrintf(
+        "  evictions   %lld (%lld bytes reclaimed by the budget)\n",
+        static_cast<long long>(q.cache_evictions),
+        static_cast<long long>(q.cache_evicted_bytes));
     out += StringPrintf("  slot wait   %s s\n",
                         FormatDouble(q.slot_wait_s).c_str());
     out += StringPrintf(
@@ -171,6 +179,7 @@ std::string SloReport::ToJson() const {
         "\"lag_last_s\": %s, \"cache_hits\": %lld, \"cache_misses\": %lld, "
         "\"cache_hit_rate\": %s, \"cache_hit_bytes\": %lld, "
         "\"cache_hit_compressed_bytes\": %lld, "
+        "\"cache_evictions\": %lld, \"cache_evicted_bytes\": %lld, "
         "\"slot_wait_s\": %s, \"stragglers\": %lld, "
         "\"straggler_incidence\": %s, \"failed_attempts\": %lld, "
         "\"speculative_attempts\": %lld}",
@@ -191,6 +200,8 @@ std::string SloReport::ToJson() const {
         FormatDouble(q.CacheHitRate()).c_str(),
         static_cast<long long>(q.cache_hit_bytes),
         static_cast<long long>(q.cache_hit_compressed_bytes),
+        static_cast<long long>(q.cache_evictions),
+        static_cast<long long>(q.cache_evicted_bytes),
         FormatDouble(q.slot_wait_s).c_str(),
         static_cast<long long>(q.stragglers),
         FormatDouble(q.StragglerIncidence()).c_str(),

@@ -1,0 +1,339 @@
+// Property tests for the capacity-bounded CacheStore: the capacity
+// invariant under every eviction policy, pin/lease exemption, deterministic
+// victim order, policy victim semantics, typed CacheKey parsing, and the
+// end-to-end guarantee that evict→recompute runs stay byte-identical to
+// the unbounded run at any budget and thread count.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/cache_key.h"
+#include "core/cache_store.h"
+#include "core/eviction_policy.h"
+#include "core/redoop_driver.h"
+#include "queries/aggregation_query.h"
+#include "workload/rate_profile.h"
+#include "workload/synthetic_feed.h"
+#include "workload/wcc_generator.h"
+
+namespace redoop {
+namespace {
+
+constexpr EvictionPolicyKind kAllPolicies[] = {
+    EvictionPolicyKind::kLru, EvictionPolicyKind::kFifo,
+    EvictionPolicyKind::kS3Fifo, EvictionPolicyKind::kSieve,
+    EvictionPolicyKind::kHybrid};
+
+CacheKey Ric(PaneId pane, int32_t partition = 0) {
+  return CacheKey::ReduceInput(/*query=*/1, /*source=*/1, pane, partition);
+}
+
+CacheStore::PanePayload Payload() {
+  return CacheStore::PanePayload::FromKeyValues({{"k", "v", 8}});
+}
+
+void PutBytes(CacheStore* store, const CacheKey& key, int64_t bytes) {
+  store->Put(key, Payload(), CacheStore::PaneStats{bytes, 1});
+}
+
+// --- capacity invariant -------------------------------------------------
+
+TEST(CachePolicyCapacity, InvariantHoldsForEveryPolicy) {
+  for (const EvictionPolicyKind kind : kAllPolicies) {
+    SCOPED_TRACE(EvictionPolicyName(kind));
+    CacheStore::Options options;
+    options.budget_bytes = 1000;
+    options.policy = kind;
+    CacheStore store(std::move(options));
+    for (PaneId pane = 0; pane < 50; ++pane) {
+      PutBytes(&store, Ric(pane), 100);
+      // No pins and every entry fits: the budget must hold after each Put.
+      EXPECT_LE(store.total_bytes(), 1000) << "pane " << pane;
+    }
+    EXPECT_GT(store.evicted_entries(), 0);
+    EXPECT_EQ(store.evicted_entries() * 100, store.evicted_bytes());
+    // Put admits before it evicts, so the high-water mark may transiently
+    // overshoot by at most the one incoming entry.
+    EXPECT_LE(store.peak_bytes(), 1000 + 100);
+  }
+}
+
+TEST(CachePolicyCapacity, OversizedEntryMayExceedUntilNextPut) {
+  CacheStore::Options options;
+  options.budget_bytes = 100;
+  CacheStore store(std::move(options));
+  // A single entry larger than the whole budget is admitted (the incoming
+  // entry is never its own victim)...
+  PutBytes(&store, Ric(0), 250);
+  EXPECT_TRUE(store.Has(Ric(0)));
+  EXPECT_EQ(store.total_bytes(), 250);
+  // ...but the next Put makes it the victim and the budget holds again.
+  PutBytes(&store, Ric(1), 10);
+  EXPECT_FALSE(store.Has(Ric(0)));
+  EXPECT_TRUE(store.Has(Ric(1)));
+  EXPECT_EQ(store.total_bytes(), 10);
+}
+
+TEST(CachePolicyCapacity, UnboundedStoreNeverEvicts) {
+  CacheStore store;
+  for (PaneId pane = 0; pane < 100; ++pane) {
+    PutBytes(&store, Ric(pane), 1 << 20);
+  }
+  EXPECT_EQ(store.size(), 100u);
+  EXPECT_EQ(store.evicted_entries(), 0);
+  store.EnforceBudget();
+  EXPECT_EQ(store.size(), 100u);
+}
+
+// --- pin / lease --------------------------------------------------------
+
+TEST(CachePolicyPinning, PinnedEntriesAreExemptFromEviction) {
+  for (const EvictionPolicyKind kind : kAllPolicies) {
+    SCOPED_TRACE(EvictionPolicyName(kind));
+    CacheStore::Options options;
+    options.budget_bytes = 300;
+    options.policy = kind;
+    CacheStore store(std::move(options));
+    PutBytes(&store, Ric(0), 100);
+    CacheStore::Lease pin = store.Acquire(Ric(0));
+    ASSERT_TRUE(pin.active());
+    EXPECT_EQ(store.pinned_bytes(), 100);
+    for (PaneId pane = 1; pane < 30; ++pane) {
+      PutBytes(&store, Ric(pane), 100);
+      ASSERT_TRUE(store.Has(Ric(0))) << "pane " << pane;
+    }
+    EXPECT_LE(store.total_bytes(), 300);
+  }
+}
+
+TEST(CachePolicyPinning, AllPinnedStoreExceedsBudgetThenEnforceTrims) {
+  CacheStore::Options options;
+  options.budget_bytes = 200;
+  CacheStore store(std::move(options));
+  std::vector<CacheStore::Lease> pins;
+  for (PaneId pane = 0; pane < 5; ++pane) {
+    PutBytes(&store, Ric(pane), 100);
+    pins.push_back(store.Acquire(Ric(pane)));
+  }
+  // Every entry is pinned: the store must hold all 500 bytes.
+  EXPECT_EQ(store.size(), 5u);
+  EXPECT_EQ(store.total_bytes(), 500);
+  EXPECT_EQ(store.pinned_bytes(), 500);
+  // Releasing leases does not evict by itself...
+  pins.clear();
+  EXPECT_EQ(store.total_bytes(), 500);
+  EXPECT_EQ(store.pinned_bytes(), 0);
+  // ...EnforceBudget at the recurrence boundary does.
+  store.EnforceBudget();
+  EXPECT_LE(store.total_bytes(), 200);
+  EXPECT_EQ(store.evicted_entries(), 3);
+}
+
+TEST(CachePolicyPinning, InactiveLeaseForAbsentKey) {
+  CacheStore store;
+  CacheStore::Lease lease = store.Acquire(Ric(7));
+  EXPECT_FALSE(lease.active());
+}
+
+// --- deterministic victim order -----------------------------------------
+
+std::vector<std::string> VictimScript(EvictionPolicyKind kind) {
+  std::vector<std::string> victims;
+  CacheStore::Options options;
+  options.budget_bytes = 400;
+  options.policy = kind;
+  options.on_evict = [&victims](const CacheStore::EvictionNotice& notice) {
+    EXPECT_EQ(notice.bytes, 100);
+    victims.push_back(notice.key.name());
+  };
+  CacheStore store(std::move(options));
+  for (PaneId pane = 0; pane < 20; ++pane) {
+    PutBytes(&store, Ric(pane), 100);
+    // Deterministic access pattern to exercise recency/frequency state.
+    if (pane >= 2) store.Find(Ric(pane - 2));
+    if (pane % 3 == 0) store.Find(Ric(pane));
+  }
+  return victims;
+}
+
+TEST(CachePolicyDeterminism, VictimOrderIsReproducible) {
+  for (const EvictionPolicyKind kind : kAllPolicies) {
+    SCOPED_TRACE(EvictionPolicyName(kind));
+    const std::vector<std::string> first = VictimScript(kind);
+    const std::vector<std::string> second = VictimScript(kind);
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+  }
+}
+
+// --- per-policy victim semantics ----------------------------------------
+
+TEST(CachePolicySemantics, LruEvictsLeastRecentlyUsed) {
+  CacheStore::Options options;
+  options.budget_bytes = 300;
+  options.policy = EvictionPolicyKind::kLru;
+  CacheStore store(std::move(options));
+  PutBytes(&store, Ric(0), 100);
+  PutBytes(&store, Ric(1), 100);
+  PutBytes(&store, Ric(2), 100);
+  store.Find(Ric(0));  // Refresh 0; 1 becomes least-recent.
+  PutBytes(&store, Ric(3), 100);
+  EXPECT_TRUE(store.Has(Ric(0)));
+  EXPECT_FALSE(store.Has(Ric(1)));
+  EXPECT_TRUE(store.Has(Ric(2)));
+  EXPECT_TRUE(store.Has(Ric(3)));
+}
+
+TEST(CachePolicySemantics, FifoIgnoresAccesses) {
+  CacheStore::Options options;
+  options.budget_bytes = 300;
+  options.policy = EvictionPolicyKind::kFifo;
+  CacheStore store(std::move(options));
+  PutBytes(&store, Ric(0), 100);
+  PutBytes(&store, Ric(1), 100);
+  PutBytes(&store, Ric(2), 100);
+  store.Find(Ric(0));  // FIFO does not care: 0 is still first in.
+  PutBytes(&store, Ric(3), 100);
+  EXPECT_FALSE(store.Has(Ric(0)));
+  EXPECT_TRUE(store.Has(Ric(1)));
+}
+
+// --- concurrent stat reads (exercised under TSan in CI) ------------------
+
+TEST(CachePolicyConcurrency, StatReadsRaceFreeAgainstMutations) {
+  CacheStore::Options options;
+  options.budget_bytes = 5000;
+  CacheStore store(std::move(options));
+  std::vector<std::thread> readers;
+  readers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&store] {
+      int64_t sink = 0;
+      for (int i = 0; i < 2000; ++i) {
+        sink += store.total_bytes() + store.total_compressed_bytes() +
+                static_cast<int64_t>(store.size()) + store.pinned_bytes();
+      }
+      EXPECT_GE(sink, 0);
+    });
+  }
+  for (PaneId pane = 0; pane < 500; ++pane) {
+    PutBytes(&store, Ric(pane % 60), 100);
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_LE(store.total_bytes(), 5000);
+}
+
+// --- typed CacheKey -----------------------------------------------------
+
+TEST(CacheKeyTest, FactoriesRoundTripThroughParse) {
+  const CacheKey keys[] = {
+      CacheKey::ReduceInput(3, 1, 42, 7),
+      CacheKey::ReduceOutput(3, 1, 42, 7),
+      CacheKey::JoinOutput(3, 5, 9, 2),
+      CacheKey::ReduceInput(3, 1, 42, 7).WithChunk(2),
+      CacheKey::ReduceInput(3, 1, 42, 7).Rebuilt(),
+      CacheKey::ReduceInput(3, 1, 42, 7).WithChunk(2).Rebuilt(),
+  };
+  for (const CacheKey& key : keys) {
+    SCOPED_TRACE(key.name());
+    const std::optional<CacheKey> parsed = CacheKey::Parse(key.name());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, key);
+    EXPECT_EQ(parsed->kind(), key.kind());
+    EXPECT_EQ(parsed->partition(), key.partition());
+    EXPECT_EQ(parsed->chunk(), key.chunk());
+    EXPECT_EQ(parsed->rebuilt(), key.rebuilt());
+  }
+}
+
+TEST(CacheKeyTest, MalformedNamesFailToParse) {
+  const char* bad[] = {
+      "",
+      "garbage",
+      "RIC_Q1",
+      "RIC_Q1_S1P3",
+      "RIC_Q1_S1P3_R",
+      "RIC_Q1_S1P3_R0_x",
+      "RIC_Q1_S1P3_R0trailing",
+      "JOC_Q1_P3_R0",
+      "ROC_Qx_S1P3_R0",
+  };
+  for (const char* name : bad) {
+    SCOPED_TRACE(name);
+    EXPECT_FALSE(CacheKey::Parse(name).has_value());
+  }
+}
+
+// --- end-to-end: evict → recompute byte identity ------------------------
+
+struct DriverRun {
+  RunReport report;
+  int64_t peak_bytes = 0;
+  int64_t evictions = 0;
+};
+
+DriverRun RunSmallAgg(int64_t budget_bytes, EvictionPolicyKind policy,
+                      int32_t threads) {
+  auto feed = std::make_unique<SyntheticFeed>(/*batch_interval=*/60);
+  WccGeneratorOptions gen;
+  gen.seed = 7;
+  gen.record_logical_bytes = 256 * 1024;
+  feed->AddSource(1, std::make_shared<WccGenerator>(
+                         std::make_shared<ConstantRate>(2.0), gen));
+  const RecurringQuery query = MakeAggregationQuery(
+      1, "policy-agg", 1, /*win=*/1800, /*slide=*/180, /*num_reducers=*/2);
+  Cluster cluster(4, Config());
+  RedoopDriverOptions options;
+  options.cache.budget_bytes = budget_bytes;
+  options.cache.eviction_policy = policy;
+  options.runner.threads = threads;
+  RedoopDriver driver(&cluster, feed.get(), query, options);
+  DriverRun run;
+  run.report = bench::Unwrap(driver.Run(/*windows=*/3));
+  run.peak_bytes = driver.store().peak_bytes();
+  run.evictions = driver.store().evicted_entries();
+  return run;
+}
+
+TEST(EvictRecompute, ByteIdenticalToUnboundedAcrossPoliciesAndThreads) {
+  const DriverRun reference =
+      RunSmallAgg(0, EvictionPolicyKind::kLru, /*threads=*/1);
+  ASSERT_GT(reference.peak_bytes, 0);
+  EXPECT_EQ(reference.evictions, 0);
+  const int64_t tight = std::max<int64_t>(1, reference.peak_bytes / 20);
+  for (const EvictionPolicyKind kind : kAllPolicies) {
+    for (const int32_t threads : {1, 8}) {
+      SCOPED_TRACE(std::string(EvictionPolicyName(kind)) + " threads=" +
+                   std::to_string(threads));
+      const DriverRun bounded = RunSmallAgg(tight, kind, threads);
+      EXPECT_GT(bounded.evictions, 0);
+      EXPECT_TRUE(bench::ResultsMatch(reference.report, bounded.report));
+    }
+  }
+}
+
+TEST(EvictRecompute, ByteIdenticalAtEveryBudgetRung) {
+  const DriverRun reference =
+      RunSmallAgg(0, EvictionPolicyKind::kLru, /*threads=*/1);
+  ASSERT_GT(reference.peak_bytes, 0);
+  for (const double fraction : {0.25, 0.05, 0.01}) {
+    for (const int32_t threads : {1, 8}) {
+      const int64_t budget = std::max<int64_t>(
+          1, static_cast<int64_t>(
+                 static_cast<double>(reference.peak_bytes) * fraction));
+      SCOPED_TRACE("fraction=" + std::to_string(fraction) +
+                   " threads=" + std::to_string(threads));
+      const DriverRun bounded =
+          RunSmallAgg(budget, EvictionPolicyKind::kLru, threads);
+      EXPECT_TRUE(bench::ResultsMatch(reference.report, bounded.report));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace redoop

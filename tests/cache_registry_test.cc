@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "cluster/node.h"
+#include "core/cache_key.h"
 #include "core/cache_store.h"
 #include "core/local_cache_registry.h"
 
@@ -16,68 +17,79 @@ NodeOptions BigNode() {
   return o;
 }
 
+// Well-formed pane-cache keys for registry/store rows.
+CacheKey Ric(PaneId pane, int32_t partition = 0) {
+  return CacheKey::ReduceInput(/*query=*/1, /*source=*/1, pane, partition);
+}
+CacheKey Roc(PaneId pane, int32_t partition = 0) {
+  return CacheKey::ReduceOutput(/*query=*/1, /*source=*/1, pane, partition);
+}
+
 TEST(LocalCacheRegistryTest, AddAndFind) {
   LocalCacheRegistry registry(0, /*purge_cycle=*/60.0);
-  registry.AddEntry("S1P3", CacheType::kReduceOutput, 100);
-  registry.AddEntry("S2P4", CacheType::kReduceInput, 200);
+  registry.AddEntry(Roc(3), CacheType::kReduceOutput, 100);
+  registry.AddEntry(Ric(4), CacheType::kReduceInput, 200);
   EXPECT_EQ(registry.size(), 2u);
-  ASSERT_TRUE(registry.Has("S1P3"));
-  const LocalCacheEntry* entry = registry.Find("S1P3");
+  ASSERT_TRUE(registry.Has(Roc(3)));
+  const LocalCacheEntry* entry = registry.Find(Roc(3));
   ASSERT_NE(entry, nullptr);
   EXPECT_EQ(entry->type, CacheType::kReduceOutput);
   EXPECT_FALSE(entry->expired);
   EXPECT_EQ(entry->bytes, 100);
-  EXPECT_EQ(registry.Find("nope"), nullptr);
+  EXPECT_EQ(registry.Find(Roc(99)), nullptr);
 }
 
 TEST(LocalCacheRegistryTest, MarkExpired) {
   LocalCacheRegistry registry(0, 60.0);
-  registry.AddEntry("c", CacheType::kReduceInput, 10);
-  EXPECT_TRUE(registry.MarkExpired("c"));
-  EXPECT_TRUE(registry.Find("c")->expired);
+  registry.AddEntry(Ric(1), CacheType::kReduceInput, 10);
+  EXPECT_TRUE(registry.MarkExpired(Ric(1)));
+  EXPECT_TRUE(registry.Find(Ric(1))->expired);
   EXPECT_EQ(registry.expired_count(), 1);
-  EXPECT_FALSE(registry.MarkExpired("unknown"));
+  EXPECT_FALSE(registry.MarkExpired(Ric(42)));
 }
 
 TEST(LocalCacheRegistryTest, PurgeExpiredDeletesFromNode) {
   TaskNode node(0, BigNode());
-  node.PutLocalFile("keep", 100);
-  node.PutLocalFile("drop", 200);
+  const CacheKey keep = Ric(1);
+  const CacheKey drop = Ric(2);
+  node.PutLocalFile(keep.name(), 100);
+  node.PutLocalFile(drop.name(), 200);
   LocalCacheRegistry registry(0, 60.0);
-  registry.AddEntry("keep", CacheType::kReduceInput, 100);
-  registry.AddEntry("drop", CacheType::kReduceInput, 200);
-  registry.MarkExpired("drop");
+  registry.AddEntry(keep, CacheType::kReduceInput, 100);
+  registry.AddEntry(drop, CacheType::kReduceInput, 200);
+  registry.MarkExpired(drop);
 
   EXPECT_EQ(registry.PurgeExpired(&node), 200);
-  EXPECT_TRUE(node.HasLocalFile("keep"));
-  EXPECT_FALSE(node.HasLocalFile("drop"));
+  EXPECT_TRUE(node.HasLocalFile(keep.name()));
+  EXPECT_FALSE(node.HasLocalFile(drop.name()));
   EXPECT_EQ(registry.size(), 1u);
   EXPECT_EQ(registry.PurgeExpired(&node), 0) << "second purge is a no-op";
 }
 
 TEST(LocalCacheRegistryTest, PeriodicPurgeHonorsCycle) {
   TaskNode node(0, BigNode());
-  node.PutLocalFile("a", 50);
+  const CacheKey a = Roc(1);
+  node.PutLocalFile(a.name(), 50);
   LocalCacheRegistry registry(0, /*purge_cycle=*/100.0);
-  registry.AddEntry("a", CacheType::kReduceOutput, 50);
-  registry.MarkExpired("a");
+  registry.AddEntry(a, CacheType::kReduceOutput, 50);
+  registry.MarkExpired(a);
 
   // Cycle starts at time 0; a scan before it elapses does nothing.
   EXPECT_EQ(registry.MaybePeriodicPurge(&node, 50.0), 0);
-  EXPECT_TRUE(node.HasLocalFile("a"));
+  EXPECT_TRUE(node.HasLocalFile(a.name()));
   // After the cycle, the scan purges.
   EXPECT_EQ(registry.MaybePeriodicPurge(&node, 120.0), 50);
-  EXPECT_FALSE(node.HasLocalFile("a"));
+  EXPECT_FALSE(node.HasLocalFile(a.name()));
 }
 
 TEST(LocalCacheRegistryTest, OnDemandPurgeFreesJustEnough) {
   TaskNode node(0, BigNode());
   LocalCacheRegistry registry(0, 1e9);  // Periodic purge effectively off.
   for (int i = 0; i < 5; ++i) {
-    const std::string name = "c" + std::to_string(i);
-    node.PutLocalFile(name, 100);
-    registry.AddEntry(name, CacheType::kReduceInput, 100);
-    registry.MarkExpired(name);
+    const CacheKey key = Ric(i);
+    node.PutLocalFile(key.name(), 100);
+    registry.AddEntry(key, CacheType::kReduceInput, 100);
+    registry.MarkExpired(key);
   }
   const int64_t freed = registry.OnDemandPurge(&node, 250);
   EXPECT_GE(freed, 250);
@@ -87,57 +99,69 @@ TEST(LocalCacheRegistryTest, OnDemandPurgeFreesJustEnough) {
 TEST(LocalCacheRegistryTest, OnDemandPurgeSkipsLiveCaches) {
   TaskNode node(0, BigNode());
   LocalCacheRegistry registry(0, 1e9);
-  node.PutLocalFile("live", 100);
-  registry.AddEntry("live", CacheType::kReduceInput, 100);
+  const CacheKey live = Ric(1);
+  node.PutLocalFile(live.name(), 100);
+  registry.AddEntry(live, CacheType::kReduceInput, 100);
   EXPECT_EQ(registry.OnDemandPurge(&node, 1000), 0)
       << "unexpired caches must never be purged";
-  EXPECT_TRUE(node.HasLocalFile("live"));
+  EXPECT_TRUE(node.HasLocalFile(live.name()));
 }
 
 TEST(LocalCacheRegistryTest, RemoveDropsMetadataOnly) {
   TaskNode node(0, BigNode());
-  node.PutLocalFile("x", 10);
+  const CacheKey x = Ric(1);
+  node.PutLocalFile(x.name(), 10);
   LocalCacheRegistry registry(0, 60.0);
-  registry.AddEntry("x", CacheType::kReduceInput, 10);
-  registry.Remove("x");
-  EXPECT_FALSE(registry.Has("x"));
+  registry.AddEntry(x, CacheType::kReduceInput, 10);
+  registry.Remove(x);
+  EXPECT_FALSE(registry.Has(x));
   // Physical deletion is the failure path's job, not Remove's.
-  EXPECT_TRUE(node.HasLocalFile("x"));
+  EXPECT_TRUE(node.HasLocalFile(x.name()));
 }
 
 // ------------------------------ CacheStore ---------------------------------
 
 TEST(CacheStoreTest, PutFindRemove) {
   CacheStore store;
-  store.Put("a", std::vector<KeyValue>{{"k", "v", 8}}, 8, 1);
-  ASSERT_TRUE(store.Has("a"));
-  const CacheStore::Entry* entry = store.Find("a");
+  const CacheKey a = Ric(1);
+  store.Put(a,
+            CacheStore::PanePayload::FromKeyValues({{"k", "v", 8}}),
+            CacheStore::PaneStats{8, 1});
+  ASSERT_TRUE(store.Has(a));
+  const CacheStore::Entry* entry = store.Find(a);
   ASSERT_NE(entry, nullptr);
   EXPECT_EQ(entry->payload()->size(), 1u);
   EXPECT_EQ(entry->bytes, 8);
   EXPECT_EQ(store.total_bytes(), 8);
-  store.Remove("a");
-  EXPECT_FALSE(store.Has("a"));
+  store.Remove(a);
+  EXPECT_FALSE(store.Has(a));
   EXPECT_EQ(store.total_bytes(), 0);
-  store.Remove("a");  // Idempotent.
+  store.Remove(a);  // Idempotent.
 }
 
 TEST(CacheStoreTest, OverwriteReplacesBytes) {
   CacheStore store;
-  store.Put("a", std::vector<KeyValue>{}, 100, 0);
-  store.Put("a", std::vector<KeyValue>{}, 40, 0);
+  const CacheKey a = Ric(1);
+  store.Put(a, CacheStore::PanePayload::FromKeyValues({}),
+            CacheStore::PaneStats{100, 0});
+  store.Put(a, CacheStore::PanePayload::FromKeyValues({}),
+            CacheStore::PaneStats{40, 0});
   EXPECT_EQ(store.total_bytes(), 40);
   EXPECT_EQ(store.size(), 1u);
 }
 
 TEST(CacheStoreTest, PayloadPointerStableAcrossOtherInserts) {
   CacheStore store;
-  store.Put("a", std::vector<KeyValue>{{"k", "v", 8}}, 8, 1);
-  const CacheStore::Entry* entry = store.Find("a");
+  const CacheKey a = Roc(0);
+  store.Put(a,
+            CacheStore::PanePayload::FromKeyValues({{"k", "v", 8}}),
+            CacheStore::PaneStats{8, 1});
+  const CacheStore::Entry* entry = store.Find(a);
   for (int i = 0; i < 100; ++i) {
-    store.Put("b" + std::to_string(i), std::vector<KeyValue>{}, 1, 0);
+    store.Put(Ric(i), CacheStore::PanePayload::FromKeyValues({}),
+              CacheStore::PaneStats{1, 0});
   }
-  EXPECT_EQ(store.Find("a"), entry)
+  EXPECT_EQ(store.Find(a), entry)
       << "job side-input payloads must stay valid while caches are added";
 }
 

@@ -183,7 +183,7 @@ TEST(FaultToleranceTest, CacheLossRollsBackPaneReadyBit) {
             CacheReady::kHdfsAvailable)
       << "ready bit must roll back to HDFS-available (paper §5)";
   EXPECT_EQ(redoop.controller().Find(victim_name), nullptr);
-  EXPECT_FALSE(redoop.store().Has(victim_name));
+  EXPECT_FALSE(redoop.store().Has(CacheKey::FromName(victim_name)));
 
   // The next recurrence heals everything and stays correct.
   EXPECT_GT(redoop.RunRecurrence(1).value().output.size(), 0u);

@@ -57,7 +57,8 @@ TEST(RedoopDriverTest, CacheFootprintIsBoundedByExpiration) {
   // Expired pane 0 caches are gone everywhere.
   EXPECT_EQ(driver.controller().Find(ReduceInputCacheName(1, 1, 0, 0)),
             nullptr);
-  EXPECT_FALSE(driver.store().Has(ReduceInputCacheName(1, 1, 0, 0)));
+  EXPECT_FALSE(
+      driver.store().Has(CacheKey::ReduceInput(1, 1, 0, 0)));
 }
 
 TEST(RedoopDriverTest, PeriodicPurgeDeletesExpiredLocalFiles) {
