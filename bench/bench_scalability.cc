@@ -5,11 +5,42 @@
 // data-proportional, not slot-proportional. With very large clusters the
 // gap narrows as fixed per-job overheads start to dominate Redoop's small
 // incremental jobs.
+//
+// Fleet mode (DESIGN §17): `--fleet` (full scale) or `--smoke` runs the
+// multi-tenant serving sweep instead — N identical-pipeline queries on
+// one coordinator, private caches vs shared scans + cross-query dedup +
+// fair share, sweeping the query count 10→500 and the cluster size
+// 30→1000. Emits a BENCH JSON document of flat dotted metrics:
+//
+//   {"bench": "redoop_scalability", "schema": 1, "config": "smoke",
+//    "metrics": {"fleet.q4.speedup": ..., ...}}
+//
+// All fleet metrics are simulated-time quantities, byte-identical across
+// runs and thread counts, so the smoke document is a cmp-able CI baseline
+// (bench/baselines/scalability_smoke.json).
+//
+// Flags (fleet mode):
+//   --fleet       fleet sweep at full paper scale
+//   --smoke       fleet sweep at CI scale
+//   --out=FILE    write the BENCH JSON there (default
+//                 BENCH_scalability.json)
+//   --threads=N   host worker threads (wall-clock only)
+//
+// Exit is nonzero if any fleet run's window outputs diverge from its
+// private-cache baseline — sharing must never change answers, only work.
+// Without fleet flags, the google-benchmark suite below runs as before.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
 #include "bench/bench_util.h"
+#include "bench/fleet_sweep.h"
+#include "common/string_utils.h"
 #include "core/multi_query.h"
+#include "obs/observability.h"
 
 namespace redoop::bench {
 namespace {
@@ -164,7 +195,89 @@ BENCHMARK(BM_Stragglers)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+int FleetMain(const FleetSweepScale& scale, const char* config,
+              const std::string& out_path) {
+  std::printf("running fleet sweep (%s scale, %d threads)...\n", config,
+              scale.threads);
+  std::fflush(stdout);
+  const FleetSweepResult result = RunFleetSweep(scale);
+
+  std::printf("%-6s %5s %6s %14s %14s %8s %10s %10s %6s\n", "cell", "Q",
+              "nodes", "private_s", "fleet_s", "speedup", "scan_save",
+              "adoptions", "ident");
+  for (const FleetCell& c : result.cells) {
+    std::printf("%-6s %5d %6d %14.1f %14.1f %7.2fx %9.1f%% %10lld %6s\n",
+                c.label.c_str(), c.queries, c.nodes, c.private_total_s,
+                c.fleet_total_s, c.speedup, 100.0 * c.scan_savings,
+                static_cast<long long>(c.adoptions),
+                c.identical ? "yes" : "NO");
+  }
+
+  std::string json = StringPrintf(
+      "{\"bench\": \"redoop_scalability\", \"schema\": 1, "
+      "\"config\": \"%s\", \"metrics\": {\n",
+      config);
+  const auto metrics = FleetMetrics(result);
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    json += StringPrintf("\"%s\": %s%s\n", metrics[i].first.c_str(),
+                         obs::FormatDouble(metrics[i].second).c_str(),
+                         i + 1 < metrics.size() ? "," : "");
+  }
+  json += "}}\n";
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 4;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("BENCH JSON written to %s\n", out_path.c_str());
+
+  if (!result.all_identical) {
+    std::fprintf(stderr,
+                 "FAILURE: a fleet run diverged from its private-cache "
+                 "baseline\n");
+    return 5;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace redoop::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using redoop::bench::FleetFullScale;
+  using redoop::bench::FleetSmokeScale;
+  using redoop::bench::FleetSweepScale;
+
+  bool fleet = false;
+  FleetSweepScale scale;
+  const char* config = "full";
+  std::string out_path = "BENCH_scalability.json";
+  int32_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fleet") {
+      fleet = true;
+      scale = FleetFullScale();
+    } else if (arg == "--smoke") {
+      fleet = true;
+      scale = FleetSmokeScale();
+      config = "smoke";
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<int32_t>(std::atoi(arg.c_str() + 10));
+    }
+  }
+  if (fleet) {
+    scale.threads = threads;
+    return redoop::bench::FleetMain(scale, config, out_path);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

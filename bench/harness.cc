@@ -37,6 +37,7 @@
 #include "baseline/hadoop_driver.h"
 #include "bench/bench_util.h"
 #include "bench/cache_policy_sweep.h"
+#include "bench/fleet_sweep.h"
 #include "common/string_utils.h"
 #include "core/redoop_driver.h"
 #include "exec/task_executor.h"
@@ -638,6 +639,44 @@ void RunCachePolicy(const Scale& scale, Metrics* metrics) {
   }
 }
 
+// --- fleet: multi-tenant serving sweep (DESIGN §17) ---------------------
+
+/// Query-count and cluster-size grid over the shared sweep
+/// (bench/fleet_sweep.h): private caches vs shared scans + cross-query
+/// dedup + fair share, byte-identity asserted per cell. The full-scale
+/// grid is trimmed to the headline cells (the standalone
+/// bench_scalability --fleet binary carries the whole 10->500 sweep); the
+/// 120-query cell is the acceptance row: shared+dedup must beat the
+/// private-cache coordinator on both scanned bytes and simulated time.
+void RunFleet(const Scale& scale, Metrics* metrics) {
+  FleetSweepScale s;
+  if (std::strcmp(scale.name, "full") == 0) {
+    s = FleetFullScale();
+    s.query_counts = {12, 120};
+    s.node_counts = {300};
+    s.node_sweep_queries = 120;
+  } else {
+    s = FleetSmokeScale();
+  }
+  s.threads = g_threads;
+  const FleetSweepResult result = RunFleetSweep(s);
+  for (const auto& [key, value] : FleetMetrics(result)) {
+    metrics->Add(key, value);
+  }
+  for (const FleetCell& c : result.cells) {
+    std::printf("  %-6s Q=%-4d nodes=%-5d private %10.1f s  fleet %10.1f s"
+                "  speedup %5.2fx  scan savings %5.1f%%  adoptions %lld\n",
+                c.label.c_str(), c.queries, c.nodes, c.private_total_s,
+                c.fleet_total_s, c.speedup, 100.0 * c.scan_savings,
+                static_cast<long long>(c.adoptions));
+  }
+  if (!result.all_identical) {
+    std::fprintf(stderr,
+                 "fleet: a fleet run diverged from its private baseline\n");
+    g_results_matched = false;
+  }
+}
+
 // --- multicore: honest host wall-clock at threads ∈ {1, 2, 8} -----------
 
 /// The engine's map hot loop without the simulator around it: synthesize
@@ -758,6 +797,7 @@ int Main(int argc, char** argv) {
       {"ablation_cache", RunAblationCache},
       {"ablation_scheduler", RunAblationScheduler},
       {"cache_policy", RunCachePolicy},
+      {"fleet", RunFleet},
       {"multicore", RunMulticore},
   };
 

@@ -92,4 +92,46 @@ NodeId CacheAwareScheduler::SelectNodeForReduce(
   return best;
 }
 
+void FairShareLedger::RegisterTenant(QueryId id, double weight) {
+  REDOOP_CHECK(weight > 0.0) << "fair-share weight must be positive";
+  tenants_[id].weight = weight;
+}
+
+void FairShareLedger::Charge(QueryId id, double service_s) {
+  auto it = tenants_.find(id);
+  REDOOP_CHECK(it != tenants_.end()) << "Charge on unregistered tenant " << id;
+  it->second.attained_s += service_s / it->second.weight;
+}
+
+double FairShareLedger::AttainedService(QueryId id) const {
+  auto it = tenants_.find(id);
+  return it != tenants_.end() ? it->second.attained_s : 0.0;
+}
+
+double FairShareLedger::Weight(QueryId id) const {
+  auto it = tenants_.find(id);
+  return it != tenants_.end() ? it->second.weight : 1.0;
+}
+
+size_t FairShareLedger::PickNext(
+    const std::vector<Candidate>& candidates) const {
+  REDOOP_CHECK(!candidates.empty());
+  size_t best = 0;
+  double best_attained = AttainedService(candidates[0].id);
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    double attained = AttainedService(candidates[i].id);
+    const Candidate& a = candidates[i];
+    const Candidate& b = candidates[best];
+    bool wins = attained < best_attained ||
+                (attained == best_attained &&
+                 (a.trigger < b.trigger ||
+                  (a.trigger == b.trigger && a.index < b.index)));
+    if (wins) {
+      best = i;
+      best_attained = attained;
+    }
+  }
+  return best;
+}
+
 }  // namespace redoop

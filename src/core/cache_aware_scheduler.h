@@ -1,6 +1,12 @@
 #ifndef REDOOP_CORE_CACHE_AWARE_SCHEDULER_H_
 #define REDOOP_CORE_CACHE_AWARE_SCHEDULER_H_
 
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
 #include "mapreduce/scheduler.h"
 #include "sim/cost_model.h"
 
@@ -46,6 +52,42 @@ class CacheAwareScheduler : public TaskScheduler {
  private:
   const CostModel* cost_model_;
   CacheAwareSchedulerOptions options_;
+};
+
+/// Weighted fair-share bookkeeping for multi-tenant admission (DESIGN
+/// §17). Each tenant accrues `service / weight` as it runs; among
+/// admission candidates, the one with the least attained weighted service
+/// goes first, so an overrunning query cannot starve lighter tenants.
+/// Deterministic: ties break on (trigger time, registration index).
+class FairShareLedger {
+ public:
+  /// `weight` must be positive; a tenant registered twice keeps its
+  /// latest weight but its attained service.
+  void RegisterTenant(QueryId id, double weight);
+
+  /// Accrues `service_s` simulated seconds of service to `id`.
+  void Charge(QueryId id, double service_s);
+
+  /// Attained weighted service (sum of service / weight), 0 for unknown.
+  double AttainedService(QueryId id) const;
+  double Weight(QueryId id) const;
+
+  struct Candidate {
+    QueryId id = 0;
+    Timestamp trigger = 0;
+    size_t index = 0;  // registration order, the final tiebreak
+  };
+
+  /// Index (into `candidates`) of the tenant to admit next: least
+  /// attained weighted service, ties by earlier trigger then lower index.
+  size_t PickNext(const std::vector<Candidate>& candidates) const;
+
+ private:
+  struct Tenant {
+    double weight = 1.0;
+    double attained_s = 0.0;
+  };
+  std::map<QueryId, Tenant> tenants_;
 };
 
 }  // namespace redoop

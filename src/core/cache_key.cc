@@ -124,4 +124,15 @@ CacheKey CacheKey::Rebuilt() const {
   return key;
 }
 
+std::string CacheKey::ContentKey(const std::string& pipeline_signature,
+                                 int32_t execution_mode, SourceId source,
+                                 int64_t pane_size, PaneId pane) {
+  REDOOP_CHECK(!pipeline_signature.empty() && source >= 0 && pane_size > 0 &&
+               pane >= 0);
+  return StringPrintf("CNT|%s|m%d|S%d|g%lld|P%lld", pipeline_signature.c_str(),
+                      execution_mode, source,
+                      static_cast<long long>(pane_size),
+                      static_cast<long long>(pane));
+}
+
 }  // namespace redoop

@@ -46,6 +46,17 @@ class CacheKey {
   CacheKey WithChunk(int32_t chunk) const;
   CacheKey Rebuilt() const;
 
+  /// Content-addressed dedup key for one pane's cached images (DESIGN
+  /// §17): two queries map to the same key exactly when their cached
+  /// bytes for the pane are provably identical — same pipeline signature
+  /// (mapper / combiner / partitioner / reducer count), same execution
+  /// mode (which cache kinds the driver materializes), same source, same
+  /// pane grid, same pane. Deliberately query-id-free; this is the name
+  /// space physical sharing happens in.
+  static std::string ContentKey(const std::string& pipeline_signature,
+                                int32_t execution_mode, SourceId source,
+                                int64_t pane_size, PaneId pane);
+
   bool valid() const { return kind_ != Kind::kInvalid; }
   Kind kind() const { return kind_; }
   QueryId query() const { return query_; }

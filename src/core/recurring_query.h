@@ -60,6 +60,15 @@ struct RecurringQuery {
 
   IncrementalPattern pattern = IncrementalPattern::kPerPaneMerge;
 
+  /// Content signature of the query's upstream pipeline: everything that
+  /// determines a cached pane's bytes given (source, pane grid) — the
+  /// mapper, combiner, partitioner, and reducer count. Queries with equal
+  /// non-empty signatures over the same source and pane size produce
+  /// byte-identical cached panes, so the fleet dedup layer (DESIGN §17)
+  /// can share one physical image between them. Empty (the default) opts
+  /// the query out of cross-query dedup; query factories set it.
+  std::string pipeline_signature;
+
   /// Update-style delivery (the paper's Example 2): when set, every
   /// WindowReport also carries the delta of the window's result against
   /// the previous recurrence's (added/removed rows). The full result is

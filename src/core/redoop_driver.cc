@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/math_utils.h"
 #include "common/string_utils.h"
+#include "core/fleet.h"
 #include "core/pane_naming.h"
 #include "obs/slo/slo_tracker.h"
 
@@ -168,6 +169,16 @@ RedoopDriver::RedoopDriver(Cluster* cluster, BatchFeed* feed,
         if (!*alive) return;
         OnCacheLossEvent(node, lost);
       });
+
+  // Fleet rollback hook (DESIGN §17): when another holder's budget evicts
+  // a shared pane image, this query drops its copies too. The coordinator
+  // runs drivers serially and owns both the context and the drivers, so
+  // the raw `this` capture is safe for the driver's lifetime.
+  if (options_.fleet != nullptr) {
+    options_.fleet->RegisterQuery(query_.id, [this](SourceId s, PaneId p) {
+      EvictFleetPane(s, p);
+    });
+  }
 }
 
 RedoopDriver::~RedoopDriver() {
@@ -345,6 +356,14 @@ void RedoopDriver::RunPaneSlices(SourceId source, PaneId pane,
   PaneIngestState& ps = pane_states_[{source, pane}];
   const int32_t chunk = ps.chunks_processed;
 
+  // Cross-query dedup (DESIGN §17): if another query with an identical
+  // upstream pipeline already built this pane on the same grid, adopt its
+  // images instead of re-running the job; if not, run the job and publish
+  // ours. Eligibility is decided before the job mutates the manifests.
+  const bool dedup_eligible =
+      FleetDedupEligible(source, pane, slices, active_partitions);
+  if (dedup_eligible && TryAdoptPane(source, pane)) return;
+
   JobSpec spec;
   spec.config = BaseJobConfig(StringPrintf("pane-S%dP%ld", source, pane));
   const bool make_roc = pattern == EffectivePattern::kPerPaneMerge;
@@ -381,6 +400,7 @@ void RedoopDriver::RunPaneSlices(SourceId source, PaneId pane,
   REDOOP_CHECK(result.status.ok()) << result.status.ToString();
   RegisterJobCaches(result, source, pane);
   AccumulateJobStats(result);
+  if (dedup_eligible) PublishFleetPane(source, pane, result.caches);
 }
 
 void RedoopDriver::RunPanePairBatch(
@@ -1259,6 +1279,24 @@ StatusOr<WindowReport> RedoopDriver::RunRecurrence(int64_t recurrence) {
   const double deadline = query_.EffectiveDeadline();
   if (deadline > 0) open.With("deadline", deadline);
 
+  // Fleet admission (DESIGN §17): the coordinator's fair-share queue set
+  // this note just before dispatching; journal it inside the window
+  // bracket so per-tenant slot-wait lands on the right recurrence.
+  if (pending_admission_.has_value()) {
+    const FleetAdmission& adm = *pending_admission_;
+    scope_.Increment(obs::metric::kFleetAdmitted);
+    scope_.Record(obs::metric::kFleetAdmissionWait, adm.wait_s);
+    scope_.SetGauge(obs::metric::kFleetQueueDepth,
+                    static_cast<double>(adm.queued));
+    scope_.EmitAt(sim.Now(), obs::event::kFleetAdmit)
+        .With("recurrence", recurrence)
+        .With("wait", adm.wait_s)
+        .With("queued", adm.queued)
+        .With("attained", adm.attained_s)
+        .With("weight", adm.weight);
+    pending_admission_.reset();
+  }
+
   // 1. Ingest the inter-trigger data; the packer materializes panes and, in
   //    proactive mode, partial processing happens as data lands.
   IngestInterval(geometry_.WindowBegin(recurrence), window_end);
@@ -1562,6 +1600,174 @@ void RedoopDriver::OnCacheEvicted(const CacheStore::EvictionNotice& notice) {
     }
     registries_[static_cast<size_t>(node)]->Remove(notice.key);
   }
+  // Fleet dedup (DESIGN §17): the evicted entry may be one physical image
+  // shared with other queries — they lose it too. The fan-out drops the
+  // index entry and calls every other holder's EvictFleetPane.
+  if (options_.fleet != nullptr &&
+      notice.key.kind() != CacheKey::Kind::kJoinOutput) {
+    auto it = fleet_pane_keys_.find({notice.key.source(), notice.key.pane()});
+    if (it != fleet_pane_keys_.end()) {
+      const std::string content_key = it->second;
+      const SourceId source = it->first.first;
+      const PaneId pane = it->first.second;
+      fleet_pane_keys_.erase(it);
+      options_.fleet->FanoutEviction(content_key, source, pane, query_.id);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet serving (DESIGN §17)
+// ---------------------------------------------------------------------------
+
+void RedoopDriver::NoteFleetAdmission(const FleetAdmission& note) {
+  pending_admission_ = note;
+}
+
+bool RedoopDriver::FleetDedupEligible(
+    SourceId source, PaneId pane, const std::vector<FileSlice>& slices,
+    const std::vector<int32_t>& active_partitions) const {
+  if (options_.fleet == nullptr || !options_.fleet->options().cache_dedup) {
+    return false;
+  }
+  if (query_.pipeline_signature.empty()) return false;
+  if (!active_partitions.empty()) return false;  // Partition-scoped rebuild.
+  if (Effective(query_.pattern, options_) == EffectivePattern::kNoCaching) {
+    return false;
+  }
+  auto it = pane_states_.find({source, pane});
+  if (it == pane_states_.end()) return false;
+  const PaneIngestState& ps = it->second;
+  // Only the initial, complete, single-chunk build is content-addressable:
+  // partial chunks and rebuilds depend on per-query ingest history.
+  return ps.complete && ps.chunks_processed == 0 &&
+         slices.size() == ps.all_slices.size() && ps.ric_names.empty() &&
+         ps.roc_names.empty();
+}
+
+std::string RedoopDriver::FleetContentKey(SourceId source, PaneId pane) const {
+  return CacheKey::ContentKey(
+      query_.pipeline_signature,
+      static_cast<int32_t>(Effective(query_.pattern, options_)), source,
+      geometry_.pane_size(), pane);
+}
+
+bool RedoopDriver::TryAdoptPane(SourceId source, PaneId pane) {
+  FleetContext* fleet = options_.fleet;
+  const std::string content_key = FleetContentKey(source, pane);
+  const std::vector<CacheImage>* images = fleet->dedup().Find(content_key);
+  if (images == nullptr) return false;
+  PaneIngestState& ps = pane_states_[{source, pane}];
+  int64_t adopted_bytes = 0;
+  for (const CacheImage& image : *images) {
+    // Register the shared image under this query's own key and signature,
+    // at the producer's node placement — exactly what RegisterJobCaches
+    // would have done, minus the job.
+    const CacheKey key =
+        image.is_reduce_output
+            ? CacheKey::ReduceOutput(query_.id, source, pane, image.partition)
+            : CacheKey::ReduceInput(query_.id, source, pane, image.partition);
+    CacheSignature sig;
+    sig.name = key.name();
+    sig.partition = image.partition;
+    sig.node = image.node;
+    sig.bytes = image.bytes;
+    sig.records = image.records;
+    sig.ready = CacheReady::kCacheAvailable;
+    sig.type = image.is_reduce_output ? CacheType::kReduceOutput
+                                      : CacheType::kReduceInput;
+    sig.source = source;
+    sig.pane = pane;
+    if (sig.type == CacheType::kReduceInput) {
+      ps.ric_names.push_back(key);
+    } else {
+      ps.roc_names.push_back(key);
+    }
+    panes_built_this_recurrence_.insert({source, pane});
+    pane_built_window_[{source, pane}] = telemetry_window_;
+    store_->Put(key, CacheStore::PanePayload(image.payload),
+                CacheStore::PaneStats{sig.bytes, sig.records});
+    recurrence_leases_.push_back(store_->Acquire(key));
+    registries_[static_cast<size_t>(sig.node)]->AddEntry(key, sig.type,
+                                                         sig.bytes);
+    cluster_->heartbeat_bus().Send(sig.node, cluster_->simulator().Now(),
+                                   "cache-add", sig.name);
+    adopted_bytes += sig.bytes;
+    controller_.AddSignature(std::move(sig), query_.id);
+  }
+  cluster_->heartbeat_bus().DeliverUpTo(cluster_->simulator().Now());
+  fleet->dedup().AddHolder(content_key, query_.id);
+  fleet_pane_keys_[{source, pane}] = content_key;
+  ++fleet->stats().dedup_adoptions;
+  fleet->stats().dedup_bytes += adopted_bytes;
+  scope_.Increment(obs::metric::kFleetDedupAdoptions);
+  scope_.Increment(obs::metric::kFleetDedupBytes, adopted_bytes);
+  scope_.Emit(obs::event::kFleetAdopt)
+      .With("source", static_cast<int64_t>(source))
+      .With("pane", static_cast<int64_t>(pane))
+      .With("bytes", adopted_bytes)
+      .With("images", static_cast<int64_t>(images->size()));
+  return true;
+}
+
+void RedoopDriver::PublishFleetPane(
+    SourceId source, PaneId pane,
+    const std::vector<MaterializedCache>& caches) {
+  if (caches.empty()) return;
+  const std::string content_key = FleetContentKey(source, pane);
+  std::vector<CacheImage> images;
+  images.reserve(caches.size());
+  for (const MaterializedCache& cache : caches) {
+    CacheImage image;
+    image.is_reduce_output = cache.is_reduce_output;
+    image.partition = cache.partition;
+    image.node = cache.node;
+    image.bytes = cache.bytes;
+    image.records = cache.records;
+    image.payload = cache.payload;
+    images.push_back(std::move(image));
+  }
+  options_.fleet->dedup().Publish(content_key, source, pane,
+                                  geometry_.pane_size(), query_.id,
+                                  std::move(images));
+  fleet_pane_keys_[{source, pane}] = content_key;
+  ++options_.fleet->stats().dedup_published;
+  scope_.Increment(obs::metric::kFleetDedupPublished);
+}
+
+void RedoopDriver::EvictFleetPane(SourceId source, PaneId pane) {
+  auto it = fleet_pane_keys_.find({source, pane});
+  if (it == fleet_pane_keys_.end()) return;
+  fleet_pane_keys_.erase(it);
+  auto ps_it = pane_states_.find({source, pane});
+  if (ps_it == pane_states_.end()) return;
+  PaneIngestState& ps = ps_it->second;
+  int64_t dropped = 0;
+  int64_t dropped_bytes = 0;
+  auto drop = [&](const CacheKey& key) {
+    if (!store_->Has(key)) return;
+    const CacheStore::Entry* entry = store_->Find(key);
+    dropped_bytes += entry->bytes;
+    store_->Remove(key);  // Remove never re-enters eviction callbacks.
+    const NodeId node = controller_.OnCacheEvicted(key);
+    if (node != kInvalidNode && node < cluster_->num_nodes()) {
+      if (cluster_->node(node).alive()) {
+        cluster_->node(node).DeleteLocalFile(key.name());
+      }
+      registries_[static_cast<size_t>(node)]->Remove(key);
+    }
+    ++dropped;
+  };
+  for (const CacheKey& key : ps.ric_names) drop(key);
+  for (const CacheKey& key : ps.roc_names) drop(key);
+  // Manifests stay intact: EnsureWindowPanes sees the missing store
+  // entries and rebuilds the pane lazily, only when a window reads it.
+  scope_.Increment(obs::metric::kFleetDedupEvictFanout);
+  scope_.Emit(obs::event::kFleetEvictFanout)
+      .With("source", static_cast<int64_t>(source))
+      .With("pane", static_cast<int64_t>(pane))
+      .With("entries", dropped)
+      .With("bytes", dropped_bytes);
 }
 
 }  // namespace redoop

@@ -29,6 +29,8 @@
 
 namespace redoop {
 
+class FleetContext;  // core/fleet.h; held by pointer only.
+
 /// Caching knobs (paper §4).
 struct CacheOptions {
   /// Cache the shuffled, sorted reducer inputs per pane (paper §4).
@@ -122,6 +124,11 @@ struct RedoopDriverOptions {
   /// job runner). Must outlive the driver. When null the driver owns a
   /// private context, reachable via observability().
   obs::ObservabilityContext* obs = nullptr;
+  /// Fleet-serving context shared across co-resident drivers (DESIGN §17):
+  /// cross-query pane dedup and eviction fan-out. Set by the
+  /// MultiQueryCoordinator; null (the default) for standalone drivers.
+  /// Must outlive the driver; consulted on the coordinator thread only.
+  FleetContext* fleet = nullptr;
 
   class Builder;
 };
@@ -179,6 +186,10 @@ class RedoopDriverOptions::Builder {
   Builder& Seed(uint64_t v) { opts_.runner.seed = v; return *this; }
   Builder& Observability(obs::ObservabilityContext* ctx) {
     opts_.obs = ctx;
+    return *this;
+  }
+  Builder& Fleet(FleetContext* ctx) {
+    opts_.fleet = ctx;
     return *this;
   }
 
@@ -244,6 +255,16 @@ class RedoopDriver {
   /// The driver's query-attributed telemetry scope (carries the query
   /// label and the live recurrence window for event stamping).
   const obs::TelemetryScope& telemetry() const { return scope_; }
+
+  /// What the coordinator's admission queue decided for the next
+  /// recurrence; journaled as a fleet.admit event when the window opens.
+  struct FleetAdmission {
+    double wait_s = 0.0;    // Trigger-to-admission delay (simulated).
+    int64_t queued = 0;     // Queue depth at admission time.
+    double attained_s = 0.0;  // Tenant's attained weighted service.
+    double weight = 1.0;
+  };
+  void NoteFleetAdmission(const FleetAdmission& note);
 
  private:
   struct FileSlice {
@@ -339,6 +360,25 @@ class RedoopDriver {
   JobConfig BaseJobConfig(const std::string& suffix) const;
   TaskScheduler* scheduler();
 
+  // --- Fleet serving (DESIGN §17) ---------------------------------------
+  /// Whether this caching pass may share images across queries: the
+  /// initial full-pane build (chunk 0, every slice, no partition scope,
+  /// empty manifests) of a dedup-opted query under a fleet context.
+  bool FleetDedupEligible(SourceId source, PaneId pane,
+                          const std::vector<FileSlice>& slices,
+                          const std::vector<int32_t>& active_partitions) const;
+  std::string FleetContentKey(SourceId source, PaneId pane) const;
+  /// Adopts another query's published images for this pane (payloads
+  /// shared, zero simulated work); false when no image is published.
+  bool TryAdoptPane(SourceId source, PaneId pane);
+  /// Publishes this pane's just-built images for later queries to adopt.
+  void PublishFleetPane(SourceId source, PaneId pane,
+                        const std::vector<MaterializedCache>& caches);
+  /// Rollback fan-out target: another holder's budget evicted the shared
+  /// physical image, so this query's copies are dropped too (manifests
+  /// stay, EnsureWindowPanes rebuilds lazily).
+  void EvictFleetPane(SourceId source, PaneId pane);
+
   Cluster* cluster_;
   BatchFeed* feed_;
   RecurringQuery query_;
@@ -403,6 +443,12 @@ class RedoopDriver {
   /// Fresh bytes per source in the current inter-trigger interval (rate
   /// statistics for the Semantic Analyzer).
   std::map<SourceId, int64_t> source_window_bytes_;
+  /// Panes whose resident caches are physically shared through the fleet
+  /// dedup index, by content key — consulted on eviction in either
+  /// direction (this query's budget, or a fan-out from another holder).
+  std::map<PaneKey, std::string> fleet_pane_keys_;
+  /// Coordinator-set admission note, consumed by the next RunRecurrence.
+  std::optional<FleetAdmission> pending_admission_;
 
   // Per-recurrence accumulators (proactive jobs count toward the next
   // recurrence's phase totals).

@@ -33,6 +33,23 @@ void CacheStats::Add(const CacheStats& other) {
   evicted_bytes += other.evicted_bytes;
 }
 
+void FleetWindowStats::Add(const FleetWindowStats& other) {
+  admissions += other.admissions;
+  admission_wait_s += other.admission_wait_s;
+  queued_peak = std::max(queued_peak, other.queued_peak);
+  if (other.admissions > 0) {
+    attained_s = other.attained_s;
+    weight = other.weight;
+  }
+  scan_hits += other.scan_hits;
+  scan_misses += other.scan_misses;
+  scan_hit_bytes += other.scan_hit_bytes;
+  scan_scanned_bytes += other.scan_scanned_bytes;
+  dedup_adoptions += other.dedup_adoptions;
+  dedup_bytes += other.dedup_bytes;
+  evict_fanouts += other.evict_fanouts;
+}
+
 void BlameBreakdown::Add(const BlameBreakdown& other) {
   compute += other.compute;
   cache_wait += other.cache_wait;
@@ -75,6 +92,12 @@ PhaseBreakdown SystemAnalysis::TotalMapPhases() const {
 PhaseBreakdown SystemAnalysis::TotalReducePhases() const {
   PhaseBreakdown total;
   for (const WindowAnalysis& w : windows) total.Add(w.reduce_phases);
+  return total;
+}
+
+FleetWindowStats SystemAnalysis::TotalFleet() const {
+  FleetWindowStats total;
+  for (const WindowAnalysis& w : windows) total.Add(w.fleet);
   return total;
 }
 
@@ -526,6 +549,34 @@ Status AnalyzeJournal(const EventJournal& journal,
       } else {
         b.window.cache.pair_misses += count;
       }
+    } else if (type == event::kFleetAdmit) {
+      SystemBuilder& b = builder_for(e);
+      b.EnsureWindow(e.time());
+      ++b.window.fleet.admissions;
+      b.window.fleet.admission_wait_s += e.DoubleOr("wait", 0.0);
+      b.window.fleet.queued_peak =
+          std::max(b.window.fleet.queued_peak, e.IntOr("queued", 0));
+      b.window.fleet.attained_s = e.DoubleOr("attained", 0.0);
+      b.window.fleet.weight = e.DoubleOr("weight", 1.0);
+    } else if (type == event::kFleetScan) {
+      SystemBuilder& b = builder_for(e);
+      b.EnsureWindow(e.time());
+      b.window.fleet.scan_hits += e.IntOr("hits", 0);
+      b.window.fleet.scan_misses += e.IntOr("misses", 0);
+      // "bytes" is everything served; "scanned_bytes" the part that hit
+      // the inner feed. The difference is what shared scans saved.
+      b.window.fleet.scan_hit_bytes +=
+          e.IntOr("bytes", 0) - e.IntOr("scanned_bytes", 0);
+      b.window.fleet.scan_scanned_bytes += e.IntOr("scanned_bytes", 0);
+    } else if (type == event::kFleetAdopt) {
+      SystemBuilder& b = builder_for(e);
+      b.EnsureWindow(e.time());
+      ++b.window.fleet.dedup_adoptions;
+      b.window.fleet.dedup_bytes += e.IntOr("bytes", 0);
+    } else if (type == event::kFleetEvictFanout) {
+      SystemBuilder& b = builder_for(e);
+      b.EnsureWindow(e.time());
+      ++b.window.fleet.evict_fanouts;
     } else if (type == event::kCachePaneEvict) {
       // Budget evictions can land between recurrences (EnforceBudget at
       // the recurrence boundary); charge them to the open window when one

@@ -140,6 +140,30 @@ struct BlameBreakdown {
   }
 };
 
+/// Fleet-serving attribution for one window (DESIGN §17), from the
+/// fleet.* decision events: admission wait, shared-scan hit/miss split,
+/// and cross-query dedup adoptions/fan-outs.
+struct FleetWindowStats {
+  int64_t admissions = 0;
+  double admission_wait_s = 0.0;
+  int64_t queued_peak = 0;
+  double attained_s = 0.0;  // Last admission's attained weighted service.
+  double weight = 0.0;      // 0 until a fleet.admit event is seen.
+  int64_t scan_hits = 0;
+  int64_t scan_misses = 0;
+  int64_t scan_hit_bytes = 0;      // Served minus scanned: bytes NOT re-read.
+  int64_t scan_scanned_bytes = 0;  // Bytes that did hit the inner feed.
+  int64_t dedup_adoptions = 0;
+  int64_t dedup_bytes = 0;
+  int64_t evict_fanouts = 0;
+
+  void Add(const FleetWindowStats& other);
+  bool Any() const {
+    return admissions != 0 || scan_hits != 0 || scan_misses != 0 ||
+           dedup_adoptions != 0 || evict_fanouts != 0;
+  }
+};
+
 /// A task flagged as abnormally slow: duration > k * median duration of
 /// its wave (tasks of the same kind in the same job).
 struct Straggler {
@@ -163,6 +187,7 @@ struct WindowAnalysis {
   PhaseBreakdown map_phases;
   PhaseBreakdown reduce_phases;
   CacheStats cache;
+  FleetWindowStats fleet;
   std::vector<JobSpan> jobs;
   WindowCriticalPath critical_path;
   BlameBreakdown blame;
@@ -189,6 +214,7 @@ struct SystemAnalysis {
   PhaseBreakdown TotalMapPhases() const;
   PhaseBreakdown TotalReducePhases() const;
   CacheStats TotalCache() const;
+  FleetWindowStats TotalFleet() const;
   int64_t TotalStragglers() const;
 };
 

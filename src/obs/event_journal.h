@@ -256,6 +256,15 @@ inline constexpr const char* kWindowOpen = "window.open";
 inline constexpr const char* kWindowTrigger = "window.trigger";
 inline constexpr const char* kWindowComplete = "window.complete";
 
+// Fleet serving (multi-tenant coordinator, DESIGN §17): admission of a
+// recurrence by the fair-share queue, a shared-scan read with its hit /
+// miss split, adoption of a deduplicated pane image built by another
+// query, and the rollback fan-out when a shared image is evicted.
+inline constexpr const char* kFleetAdmit = "fleet.admit";
+inline constexpr const char* kFleetScan = "fleet.scan";
+inline constexpr const char* kFleetAdopt = "fleet.pane.adopt";
+inline constexpr const char* kFleetEvictFanout = "fleet.pane.evict_fanout";
+
 // Head-sampling promotion: an unsampled window that violated its SLO
 // deadline is retroactively sampled (always-sample-on-SLO-violation);
 // carries query/recurrence/reason.

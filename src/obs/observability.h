@@ -130,6 +130,23 @@ inline constexpr const char* kTaskReduceDuration = "task.reduce.duration_s"; // 
 inline constexpr const char* kWindowsCompleted = "windows.completed";
 inline constexpr const char* kWindowResponseTime = "window.response_time_s";  // histogram
 
+// Fleet serving (multi-tenant coordinator, DESIGN §17).
+inline constexpr const char* kFleetAdmitted = "fleet.admitted";
+inline constexpr const char* kFleetAdmissionWait =
+    "fleet.admission.wait_s";  // histogram
+inline constexpr const char* kFleetQueueDepth = "fleet.queue.depth";  // gauge
+inline constexpr const char* kFleetScanRequests = "fleet.scan.requests";
+inline constexpr const char* kFleetScanHits = "fleet.scan.hits";
+inline constexpr const char* kFleetScanMisses = "fleet.scan.misses";
+inline constexpr const char* kFleetScanBytesServed = "fleet.scan.bytes.served";
+inline constexpr const char* kFleetScanBytesScanned =
+    "fleet.scan.bytes.scanned";
+inline constexpr const char* kFleetDedupPublished = "fleet.dedup.published";
+inline constexpr const char* kFleetDedupAdoptions = "fleet.dedup.adoptions";
+inline constexpr const char* kFleetDedupBytes = "fleet.dedup.bytes";
+inline constexpr const char* kFleetDedupEvictFanout =
+    "fleet.dedup.evict.fanout";
+
 }  // namespace metric
 
 }  // namespace obs

@@ -52,6 +52,21 @@ SloReport ComputeSlo(const analysis::RunAnalysis& analysis) {
       q.stragglers += static_cast<int64_t>(w.stragglers.size());
       q.failed_attempts += w.failed_attempts;
       q.speculative_attempts += w.speculative_attempts;
+      q.fleet_admissions += w.fleet.admissions;
+      q.fleet_admission_wait_s += w.fleet.admission_wait_s;
+      q.fleet_queued_peak = std::max(q.fleet_queued_peak,
+                                     w.fleet.queued_peak);
+      if (w.fleet.admissions > 0) {
+        q.fleet_attained_s = w.fleet.attained_s;
+        q.fleet_weight = w.fleet.weight;
+      }
+      q.fleet_scan_hits += w.fleet.scan_hits;
+      q.fleet_scan_misses += w.fleet.scan_misses;
+      q.fleet_scan_hit_bytes += w.fleet.scan_hit_bytes;
+      q.fleet_scan_scanned_bytes += w.fleet.scan_scanned_bytes;
+      q.fleet_adoptions += w.fleet.dedup_adoptions;
+      q.fleet_adopted_bytes += w.fleet.dedup_bytes;
+      q.fleet_evict_fanouts += w.fleet.evict_fanouts;
     }
     report.queries.push_back(std::move(q));
   }
@@ -101,6 +116,22 @@ void ExportTo(const SloReport& report, MetricsSnapshot* snapshot) {
     counter("slo.cache.evicted.bytes", q.cache_evicted_bytes);
     gauge("slo.slot_wait_s", q.slot_wait_s);
     counter("slo.stragglers", q.stragglers);
+    // Fleet figures only exist for coordinator-served queries; gating on
+    // activity keeps single-driver exports (and their goldens) unchanged.
+    if (q.FleetActive()) {
+      counter("slo.fleet.admissions", q.fleet_admissions);
+      gauge("slo.fleet.admission.wait_s", q.fleet_admission_wait_s);
+      counter("slo.fleet.queued.peak", q.fleet_queued_peak);
+      gauge("slo.fleet.attained_s", q.fleet_attained_s);
+      gauge("slo.fleet.weight", q.fleet_weight);
+      counter("slo.fleet.scan.hits", q.fleet_scan_hits);
+      counter("slo.fleet.scan.misses", q.fleet_scan_misses);
+      counter("slo.fleet.scan.hit.bytes", q.fleet_scan_hit_bytes);
+      counter("slo.fleet.scan.scanned.bytes", q.fleet_scan_scanned_bytes);
+      counter("slo.fleet.adoptions", q.fleet_adoptions);
+      counter("slo.fleet.adopted.bytes", q.fleet_adopted_bytes);
+      counter("slo.fleet.evict.fanouts", q.fleet_evict_fanouts);
+    }
   }
 }
 
@@ -207,6 +238,79 @@ std::string SloReport::ToJson() const {
         FormatDouble(q.StragglerIncidence()).c_str(),
         static_cast<long long>(q.failed_attempts),
         static_cast<long long>(q.speculative_attempts));
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string FleetToText(const SloReport& report) {
+  std::string out;
+  for (const QuerySlo& q : report.queries) {
+    out += StringPrintf("=== %s: %lld windows ===\n", QueryLabel(q).c_str(),
+                        static_cast<long long>(q.windows));
+    if (!q.FleetActive()) {
+      out += "  not fleet-served (no fleet.* events in the journal)\n";
+      continue;
+    }
+    out += StringPrintf(
+        "  admission   %lld admits  wait total %s s (mean %s s)  queued "
+        "peak %lld\n",
+        static_cast<long long>(q.fleet_admissions),
+        FormatDouble(q.fleet_admission_wait_s).c_str(),
+        FormatDouble(q.FleetMeanAdmissionWait()).c_str(),
+        static_cast<long long>(q.fleet_queued_peak));
+    out += StringPrintf("  fair share  weight %s  attained %s weighted s\n",
+                        FormatDouble(q.fleet_weight).c_str(),
+                        FormatDouble(q.fleet_attained_s).c_str());
+    out += StringPrintf(
+        "  shared scan hit rate %s (%lld/%lld batches, %lld bytes not "
+        "re-read, %lld scanned)\n",
+        FormatDouble(q.FleetScanHitRate()).c_str(),
+        static_cast<long long>(q.fleet_scan_hits),
+        static_cast<long long>(q.fleet_scan_hits + q.fleet_scan_misses),
+        static_cast<long long>(q.fleet_scan_hit_bytes),
+        static_cast<long long>(q.fleet_scan_scanned_bytes));
+    out += StringPrintf(
+        "  dedup       %lld panes adopted (%lld bytes shared)  evict "
+        "fan-outs %lld\n",
+        static_cast<long long>(q.fleet_adoptions),
+        static_cast<long long>(q.fleet_adopted_bytes),
+        static_cast<long long>(q.fleet_evict_fanouts));
+  }
+  return out;
+}
+
+std::string FleetToJson(const SloReport& report) {
+  std::string out = "{\"queries\": [";
+  bool first = true;
+  for (const QuerySlo& q : report.queries) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += StringPrintf(
+        "{\"system\": \"%s\", \"query\": \"%s\", \"windows\": %lld, "
+        "\"fleet_served\": %s, \"admissions\": %lld, "
+        "\"admission_wait_s\": %s, \"queued_peak\": %lld, "
+        "\"weight\": %s, \"attained_s\": %s, \"scan_hits\": %lld, "
+        "\"scan_misses\": %lld, \"scan_hit_rate\": %s, "
+        "\"scan_hit_bytes\": %lld, \"scan_scanned_bytes\": %lld, "
+        "\"adoptions\": %lld, \"adopted_bytes\": %lld, "
+        "\"evict_fanouts\": %lld}",
+        q.system.c_str(), q.query.c_str(),
+        static_cast<long long>(q.windows),
+        q.FleetActive() ? "true" : "false",
+        static_cast<long long>(q.fleet_admissions),
+        FormatDouble(q.fleet_admission_wait_s).c_str(),
+        static_cast<long long>(q.fleet_queued_peak),
+        FormatDouble(q.fleet_weight).c_str(),
+        FormatDouble(q.fleet_attained_s).c_str(),
+        static_cast<long long>(q.fleet_scan_hits),
+        static_cast<long long>(q.fleet_scan_misses),
+        FormatDouble(q.FleetScanHitRate()).c_str(),
+        static_cast<long long>(q.fleet_scan_hit_bytes),
+        static_cast<long long>(q.fleet_scan_scanned_bytes),
+        static_cast<long long>(q.fleet_adoptions),
+        static_cast<long long>(q.fleet_adopted_bytes),
+        static_cast<long long>(q.fleet_evict_fanouts));
   }
   out += "\n]}\n";
   return out;

@@ -62,6 +62,22 @@ struct QuerySlo {
   int64_t failed_attempts = 0;
   int64_t speculative_attempts = 0;
 
+  /// Fleet serving (DESIGN §17): all zero unless the journal carries
+  /// fleet.* events, i.e. the query ran under a MultiQueryCoordinator with
+  /// fleet features on. Exported / rendered only when FleetActive().
+  int64_t fleet_admissions = 0;
+  double fleet_admission_wait_s = 0.0;  ///< Total slot-wait at admission.
+  int64_t fleet_queued_peak = 0;
+  double fleet_attained_s = 0.0;  ///< Final attained weighted service.
+  double fleet_weight = 0.0;      ///< 0 until an admission is seen.
+  int64_t fleet_scan_hits = 0;
+  int64_t fleet_scan_misses = 0;
+  int64_t fleet_scan_hit_bytes = 0;  ///< Bytes shared scans did NOT re-read.
+  int64_t fleet_scan_scanned_bytes = 0;
+  int64_t fleet_adoptions = 0;       ///< Panes adopted from another query.
+  int64_t fleet_adopted_bytes = 0;
+  int64_t fleet_evict_fanouts = 0;
+
   /// met / windows_with_deadline, or -1.0 when no deadline was configured.
   double Attainment() const {
     return windows_with_deadline > 0
@@ -77,6 +93,21 @@ struct QuerySlo {
   }
   double StragglerIncidence() const {
     return windows > 0 ? static_cast<double>(stragglers) / windows : 0.0;
+  }
+  /// True when the journal recorded any fleet.* activity for the query.
+  bool FleetActive() const {
+    return fleet_admissions != 0 || fleet_scan_hits != 0 ||
+           fleet_scan_misses != 0 || fleet_adoptions != 0 ||
+           fleet_evict_fanouts != 0;
+  }
+  double FleetScanHitRate() const {
+    const double total =
+        static_cast<double>(fleet_scan_hits + fleet_scan_misses);
+    return total > 0.0 ? static_cast<double>(fleet_scan_hits) / total : 0.0;
+  }
+  double FleetMeanAdmissionWait() const {
+    return fleet_admissions > 0 ? fleet_admission_wait_s / fleet_admissions
+                                : 0.0;
   }
 };
 
@@ -119,6 +150,12 @@ struct TopOptions {
 bool TopKeyValue(const QuerySlo& q, std::string_view by, double* value);
 std::string TopToText(const SloReport& report, const TopOptions& options);
 std::string TopToJson(const SloReport& report, const TopOptions& options);
+
+/// Per-tenant fleet view (DESIGN §17): admission wait and attained
+/// weighted service, shared-scan savings, and dedup adoptions per query.
+/// Queries with no fleet activity are listed as "not fleet-served".
+std::string FleetToText(const SloReport& report);
+std::string FleetToJson(const SloReport& report);
 
 }  // namespace slo
 }  // namespace obs

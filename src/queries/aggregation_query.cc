@@ -73,6 +73,11 @@ RecurringQuery MakeAggregationQuery(QueryId id, const std::string& name,
   query.config.reducer = std::make_shared<const AggregationReducer>();
   if (use_combiner) query.config.combiner = query.config.reducer;
   query.config.num_reducers = num_reducers;
+  // Cached pane bytes depend only on the mapper/combiner/reducer bodies
+  // and the reducer count; finalizers run at window assembly and do not
+  // affect the signature (so threshold-alert panes dedup against these).
+  query.pipeline_signature =
+      StringPrintf("agg:v1:r%d:c%d", num_reducers, use_combiner ? 1 : 0);
   QuerySource qs;
   qs.id = source;
   qs.name = StringPrintf("S%d", source);

@@ -75,6 +75,7 @@ RecurringQuery MakeDistinctCountQuery(QueryId id, const std::string& name,
   query.config.reducer = std::make_shared<const DistinctSetReducer>();
   query.finalizer = std::make_shared<const DistinctCountFinalizer>();
   query.config.num_reducers = num_reducers;
+  query.pipeline_signature = StringPrintf("distinct:v1:r%d", num_reducers);
   QuerySource qs;
   qs.id = source;
   qs.name = StringPrintf("S%d", source);

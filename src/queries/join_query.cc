@@ -72,6 +72,10 @@ RecurringQuery MakeJoinQuery(QueryId id, const std::string& name,
   query.config.mapper = std::make_shared<const JoinTaggingMapper>('L');
   query.config.reducer = std::make_shared<const EquiJoinReducer>();
   query.config.num_reducers = num_reducers;
+  // The side tag a source's mapper emits depends on which join side the
+  // source is on, so the signature pins the (left, right) assignment.
+  query.pipeline_signature = StringPrintf("join:v1:r%d:L%d:R%d", num_reducers,
+                                          left_source, right_source);
   query.source_mappers[left_source] =
       std::make_shared<const JoinTaggingMapper>('L');
   query.source_mappers[right_source] =

@@ -29,6 +29,9 @@ RecurringQuery MakeThresholdAlertQuery(QueryId id, const std::string& name,
                                        int64_t min_count) {
   RecurringQuery query =
       MakeAggregationQuery(id, name, source, win, slide, num_reducers);
+  // Keeps the aggregation pipeline_signature: the alert finalizer runs at
+  // window assembly only, so cached panes are byte-identical to a plain
+  // aggregation's and the two query kinds dedup against each other.
   query.finalizer = std::make_shared<const ThresholdAlertFinalizer>(min_count);
   return query;
 }

@@ -114,6 +114,26 @@ TEST(MultiQueryTest, QueriesOnDistinctSources) {
   }
 }
 
+TEST(MultiQueryTest, RunWithNoQueriesIsFailedPrecondition) {
+  Cluster cluster(kNodes, SmallClusterConfig());
+  auto feed = MakeWccFeed(1, 20, 20);
+  MultiQueryCoordinator coordinator(&cluster, feed.get());
+  const StatusOr<std::vector<RunReport>> result = coordinator.Run(2);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MultiQueryTest, SecondRunIsFailedPrecondition) {
+  Cluster cluster(kNodes, SmallClusterConfig());
+  auto feed = MakeWccFeed(1, 20, 20);
+  MultiQueryCoordinator coordinator(&cluster, feed.get());
+  coordinator.AddQuery(MakeAggregationQuery(1, "once", 1, 200, 40, 4));
+  ASSERT_TRUE(coordinator.Run(2).ok());
+  const StatusOr<std::vector<RunReport>> again = coordinator.Run(2);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kFailedPrecondition);
+}
+
 TEST(MultiQueryTest, DuplicateQueryIdAborts) {
   Cluster cluster(kNodes, SmallClusterConfig());
   auto feed = MakeWccFeed(1, 20, 20);

@@ -21,6 +21,10 @@
 //   redoop_inspect lineage JOURNAL.jsonl SOURCE:PANE [--json]
 //       Cross-window lineage of one pane: the window that built it and
 //       every later window whose cache hit consumed it.
+//   redoop_inspect fleet JOURNAL.jsonl [--json]
+//       Per-tenant fleet-serving view (DESIGN §17): admission wait and
+//       attained weighted service, shared-scan savings, dedup adoptions,
+//       and eviction fan-outs per query.
 //
 // Truncated journals (flight-recorder captures that evicted old events)
 // are disclosed in both renderings: the text header and the "journal"
@@ -54,7 +58,8 @@ void PrintUsage() {
       "  redoop_inspect top JOURNAL.jsonl [--by=KEY] [--limit=N] [--json]\n"
       "                     [--straggler-k=K]\n"
       "  redoop_inspect trace JOURNAL.jsonl [--window=N] [--json]\n"
-      "  redoop_inspect lineage JOURNAL.jsonl SOURCE:PANE [--json]\n\n"
+      "  redoop_inspect lineage JOURNAL.jsonl SOURCE:PANE [--json]\n"
+      "  redoop_inspect fleet JOURNAL.jsonl [--json]\n\n"
       "  --json            emit the report as JSON instead of text\n"
       "  --by=KEY          ranking key for top: cache_bytes (default),\n"
       "                    slot_wait, lag, response\n"
@@ -178,7 +183,8 @@ int Main(int argc, char** argv) {
     return 2;
   }
   if (args.command != "slo" && args.command != "top" &&
-      args.command != "trace" && args.command != "lineage") {
+      args.command != "trace" && args.command != "lineage" &&
+      args.command != "fleet") {
     std::fprintf(stderr, "unknown command: %s\n\n", args.command.c_str());
     PrintUsage();
     return 2;
@@ -256,6 +262,9 @@ int Main(int argc, char** argv) {
   if (args.command == "slo") {
     out = args.json ? WrapJson(journal, "slo", report.ToJson())
                     : JournalHeaderText(journal) + report.ToText();
+  } else if (args.command == "fleet") {
+    out = args.json ? WrapJson(journal, "fleet", FleetToJson(report))
+                    : JournalHeaderText(journal) + FleetToText(report);
   } else {
     out = args.json ? WrapJson(journal, "top", TopToJson(report, args.top))
                     : JournalHeaderText(journal) + TopToText(report, args.top);
